@@ -1,0 +1,40 @@
+; guess_three.s — the smallest possible system-level backtracking program.
+;
+; Opens a DFS exploration scope, guesses one of three extensions, prints
+; 'A' + the guess, fails to backtrack, and exits once the scope is
+; exhausted.  Run it with:
+;
+;   dune exec bin/lwsnap_cli.exe -- run examples/guess_three.s
+
+main:
+    mov   rdi, 0            ; DFS
+    mov   rax, 8            ; sys_guess_strategy
+    syscall
+    cmp   rax, 0
+    je    done              ; scope exhausted: fall through to exit
+
+    mov   rdi, 3            ; three extensions
+    mov   rax, 6            ; sys_guess
+    syscall
+
+    add   rax, 'A'          ; turn the extension number into a letter
+    mov   rcx, buf
+    stb   [rcx], rax
+    stib  [rcx+1], 10       ; newline
+    mov   rdi, 1
+    mov   rsi, buf
+    mov   rdx, 2
+    mov   rax, 1            ; sys_write
+    syscall
+
+    mov   rax, 7            ; sys_guess_fail: explore the next extension
+    syscall
+
+done:
+    mov   rdi, 0
+    mov   rax, 0            ; sys_exit
+    syscall
+
+.align 4096
+buf:
+.zeros 8
