@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel Bench_util Ckpt Core Float Format Isa List Mem Os Printf Prolog Queue Sat Staged Stdx String Symex Sys Test Vcpu Workloads

@@ -1,0 +1,651 @@
+(* The experiment harness: regenerates every experiment in DESIGN.md's
+   per-experiment index (E1-E8, derived from the paper's claims — a HotOS
+   position paper has no numbered tables) plus bechamel micro-benchmarks.
+
+     dune exec bench/main.exe                 run everything
+     dune exec bench/main.exe -- --only E3    one experiment
+     dune exec bench/main.exe -- --quick      reduced sizes            *)
+
+module As = Mem.Addr_space
+module Phys = Mem.Phys_mem
+module Mm = Mem.Mem_metrics
+module Explorer = Core.Explorer
+module Service = Core.Service
+module U = Bench_util
+
+let quick = ref false
+
+(* ------------------------------------------------------------------ *)
+(* E1: n-queens — system-level vs hand-coded vs Prolog (§5)           *)
+(* ------------------------------------------------------------------ *)
+
+let e1 () =
+  U.header "E1  n-queens: system-level backtracking vs the §5 comparators"
+    "Claim: \"substantially worse than a hand-coded implementation, but \
+     better than a Prolog implementation\" for this trivial-granularity \
+     problem.  All-solutions enumeration.  (Hand-coded runs native; the \
+     system-level guest pays the interpreter as well as the snapshots — \
+     see us/ext for the per-extension overhead alone.)";
+  let row = U.row_format [ 2; 5; 12; 12; 12; 12; 14; 10 ] in
+  row [ "n"; "sols"; "hand ms"; "syslvl ms"; "prolog ms"; "replay ms";
+        "guest instrs"; "us/ext" ];
+  let sizes = if !quick then [ 5; 6 ] else [ 5; 6; 7; 8 ] in
+  List.iter
+    (fun n ->
+      let hand_ms, hand_count = U.time_ms (fun () -> Workloads.Nqueens.host_count n) in
+      let image = Workloads.Nqueens.program ~n in
+      let sys_ms, result = U.time_ms (fun () -> Explorer.run_image image) in
+      let stats = result.Explorer.stats in
+      let sols =
+        List.length
+          (List.filter (fun l -> l <> "")
+             (String.split_on_char '\n' result.Explorer.transcript))
+      in
+      assert (sols = hand_count);
+      let prolog_ms, prolog_count =
+        U.time_ms (fun () -> fst (Prolog.Samples.count_queens n))
+      in
+      assert (prolog_count = sols);
+      let replay_ms, replay_sols =
+        U.time_ms (fun () ->
+            let r =
+              Core.Native_bt.run_all (fun ctx ->
+                  let row_ = Array.make n false in
+                  let ld = Array.make (2 * n) false in
+                  let rd = Array.make (2 * n) false in
+                  for c = 0 to n - 1 do
+                    let q = Core.Native_bt.guess ctx n in
+                    if row_.(q) || ld.(q + c) || rd.(n + q - c) then
+                      Core.Native_bt.fail ctx;
+                    row_.(q) <- true;
+                    ld.(q + c) <- true;
+                    rd.(n + q - c) <- true
+                  done)
+            in
+            List.length r.Core.Native_bt.solutions)
+      in
+      assert (replay_sols = sols);
+      let per_ext =
+        sys_ms *. 1000.0 /. Float.of_int (max 1 stats.Core.Stats.extensions_evaluated)
+      in
+      row
+        [ U.fint n; U.fint sols; U.fms hand_ms; U.fms sys_ms; U.fms prolog_ms;
+          U.fms replay_ms; U.fint stats.Core.Stats.instructions; U.fus per_ext ])
+    sizes
+
+(* ------------------------------------------------------------------ *)
+(* E2: snapshot cost vs address-space size (§3, §4)                   *)
+(* ------------------------------------------------------------------ *)
+
+let dirty_aspace pages =
+  let phys = Phys.create () in
+  let t = As.create phys in
+  for vpn = 0 to pages - 1 do
+    As.map_zero t ~vpn;
+    As.write_u64 t (Mem.Page.addr_of_vpn vpn) vpn  (* materialise *)
+  done;
+  phys, t
+
+let e2 () =
+  U.header "E2  snapshot capture/restore latency vs address-space size"
+    "Claim: lightweight snapshots are created and restored \"with very high \
+     frequency\"; naive fork has \"large performance overheads\".  COW \
+     capture/restore must be flat in the address-space size; eager copies \
+     (fork-style clone, libckpt full checkpoint) must grow linearly.";
+  let row = U.row_format [ 6; 13; 13; 13; 13; 13; 13 ] in
+  row [ "pages"; "capture us"; "restore us"; "1st-wr us"; "clone ms";
+        "ckpt ms"; "incr(8d) ms" ];
+  let sizes = if !quick then [ 64; 512 ] else [ 16; 64; 256; 1024; 4096 ] in
+  List.iter
+    (fun pages ->
+      let phys, t = dirty_aspace pages in
+      let iters = 2000 in
+      let capture_ms, _ =
+        U.time_ms (fun () ->
+            for _ = 1 to iters do
+              ignore (As.snapshot t)
+            done)
+      in
+      let snap = As.snapshot t in
+      let restore_ms, _ =
+        U.time_ms (fun () ->
+            for _ = 1 to iters do
+              As.restore t snap
+            done)
+      in
+      (* first write after a snapshot: the COW fault service *)
+      let fault_iters = 500 in
+      let fault_ms, _ =
+        U.time_ms (fun () ->
+            for _ = 1 to fault_iters do
+              let s = As.snapshot t in
+              As.write_u64 t 0 1;
+              As.restore t s
+            done)
+      in
+      let clone_ms, _ = U.time_ms (fun () -> ignore (Ckpt.clone phys t)) in
+      let ckpt_ms, _ = U.time_ms (fun () -> ignore (Ckpt.full_capture t)) in
+      let chain = Ckpt.incr_start t in
+      let incr_ms, _ =
+        U.time_ms (fun () ->
+            (* dirty 8 pages, then take one incremental checkpoint *)
+            for k = 0 to 7 do
+              As.write_u64 t (Mem.Page.addr_of_vpn (k mod pages)) 9
+            done;
+            Ckpt.incr_capture chain t)
+      in
+      row
+        [ U.fint pages;
+          U.fus (capture_ms *. 1000.0 /. Float.of_int iters);
+          U.fus (restore_ms *. 1000.0 /. Float.of_int iters);
+          U.fus (fault_ms *. 1000.0 /. Float.of_int fault_iters);
+          U.fms clone_ms;
+          U.fms ckpt_ms;
+          U.fms incr_ms ])
+    sizes
+
+(* ------------------------------------------------------------------ *)
+(* E3: problem granularity and memory locality (§5)                   *)
+(* ------------------------------------------------------------------ *)
+
+let e3 () =
+  U.header "E3  granularity/locality sweep: snapshots vs hand-coded undo"
+    "Claim (§5): trivial extension steps favour hand-coded backtracking; \
+     larger instruction counts and more pages touched per step amortise \
+     the snapshot machinery.  Both programs run on the same interpreter — \
+     the ratio isolates the state-management mechanism.  W = ALU ops per \
+     step, K = pages written per step.";
+  let row = U.row_format [ 7; 4; 11; 11; 9; 11; 11 ] in
+  row [ "W"; "K"; "hand ms"; "syslvl ms"; "ratio"; "cow/step"; "instr/step" ];
+  let base =
+    { Workloads.Locality.depth = (if !quick then 3 else 4);
+      branch = 3;
+      touch_pages = 0;
+      work = 0;
+      arena_pages = 32 }
+  in
+  let sweeps =
+    [ 0, 1; 0, 8; 100, 1; 100, 8; 1000, 1; 1000, 8; 10000, 1; 10000, 8 ]
+  in
+  List.iter
+    (fun (work, touch_pages) ->
+      let p = { base with Workloads.Locality.work; touch_pages } in
+      let hand_image = Workloads.Locality.program_handcoded p in
+      let hand_ms, hand_status =
+        U.time_ms (fun () ->
+            let m = Os.Libos.boot (Phys.create ()) hand_image in
+            match Os.Libos.run m ~fuel:2_000_000_000 with
+            | Os.Libos.Exited { status } -> status
+            | other -> Format.kasprintf failwith "handcoded: %a" Os.Libos.pp_stop other)
+      in
+      assert (hand_status = Workloads.Locality.expected_paths p land 0xff);
+      let sys_image = Workloads.Locality.program p in
+      let sys_ms, result = U.time_ms (fun () -> Explorer.run_image sys_image) in
+      let stats = result.Explorer.stats in
+      assert (stats.Core.Stats.fails = Workloads.Locality.expected_paths p);
+      let steps = max 1 stats.Core.Stats.extensions_evaluated in
+      row
+        [ U.fint work; U.fint touch_pages; U.fms hand_ms; U.fms sys_ms;
+          U.fratio (sys_ms /. hand_ms);
+          Printf.sprintf "%.2f"
+            (Float.of_int stats.Core.Stats.mem.Mm.cow_faults /. Float.of_int steps);
+          U.fint (stats.Core.Stats.instructions / steps) ])
+    sweeps
+
+(* ------------------------------------------------------------------ *)
+(* E4: incremental solving from snapshots (§2)                        *)
+(* ------------------------------------------------------------------ *)
+
+let e4 () =
+  U.header "E4  incremental solving: p then p∧q vs from scratch"
+    "Claim (§2): \"an incremental solver given formula p immediately \
+     followed by p∧q can solve both in less time than solving p and then \
+     solving p∧q from scratch\" — and a lightweight snapshot of solved p \
+     gives that incrementality to a solver with no incremental support of \
+     its own (the guest DPLL publishes its solved state via sys_guess).";
+  let num_vars = if !quick then 20 else 30 in
+  let num_clauses = num_vars * 3 in
+  let chain_len = 4 in
+  let base = Workloads.Cnf_gen.planted ~num_vars ~num_clauses ~seed:77 in
+  let increments =
+    Workloads.Cnf_gen.increments ~num_vars ~count:chain_len ~width:2 ~seed:78
+  in
+  let prefix k = List.concat (List.filteri (fun idx _ -> idx < k) increments) in
+
+  (* host CDCL: warm push-chain vs cold re-solves *)
+  let host_warm_ms, _ =
+    U.time_ms (fun () ->
+        let s = Sat.Solver.create () in
+        Sat.Solver.add_cnf s base.Workloads.Cnf_gen.clauses;
+        ignore (Sat.Solver.solve s);
+        List.iter
+          (fun q ->
+            Sat.Solver.push s;
+            Sat.Solver.add_cnf s q;
+            ignore (Sat.Solver.solve s))
+          increments)
+  in
+  let host_cold_ms, _ =
+    U.time_ms (fun () ->
+        for k = 0 to chain_len do
+          let s = Sat.Solver.create () in
+          Sat.Solver.add_cnf s (base.Workloads.Cnf_gen.clauses @ prefix k);
+          ignore (Sat.Solver.solve s)
+        done)
+  in
+  (* guest DPLL under snapshots: one run consuming the whole chain, vs
+     from-scratch runs of each prefix *)
+  let stdin_chain = Workloads.Guest_dpll.encode_increments increments in
+  let guest_warm_ms, warm_result =
+    U.time_ms (fun () ->
+        (* first-exit: stop once one path has consumed the whole chain *)
+        Explorer.run_image ~mode:`First_exit ~stdin:stdin_chain
+          (Workloads.Guest_dpll.program ~num_vars base.Workloads.Cnf_gen.clauses))
+  in
+  let sat_count =
+    List.length
+      (List.filter (fun l -> l = "SAT")
+         (String.split_on_char '\n' warm_result.Explorer.transcript))
+  in
+  let guest_cold_ms, _ =
+    U.time_ms (fun () ->
+        for k = 0 to chain_len do
+          ignore
+            (Explorer.run_image ~mode:`First_exit
+               (Workloads.Guest_dpll.program ~num_vars
+                  (base.Workloads.Cnf_gen.clauses @ prefix k)))
+        done)
+  in
+  Printf.printf
+    "problem: %d vars, %d base clauses, %d increments of 2 clauses; \
+     solved states along the warm chain: %d\n\n"
+    num_vars num_clauses chain_len sat_count;
+  let row = U.row_format [ 30; 12; 12; 9 ] in
+  row [ "system"; "warm ms"; "cold ms"; "speedup" ];
+  row
+    [ "host CDCL (push/pop)"; U.fms host_warm_ms; U.fms host_cold_ms;
+      U.fratio (host_cold_ms /. host_warm_ms) ];
+  row
+    [ "guest DPLL (snapshots)"; U.fms guest_warm_ms; U.fms guest_cold_ms;
+      U.fratio (guest_cold_ms /. guest_warm_ms) ]
+
+(* ------------------------------------------------------------------ *)
+(* E5: symbolic-execution state forking, COW vs software copy (§2)    *)
+(* ------------------------------------------------------------------ *)
+
+let e5 () =
+  U.header "E5  S2E-style state forking: COW snapshots vs eager copies"
+    "Claim (§2): replacing S2E's software copy-on-write layers with \
+     hardware snapshots cuts state-forking cost.  Both backends explore \
+     identical path sets; only the forking mechanism differs.";
+  let row = U.row_format [ 12; 7; 6; 10; 10; 11; 13 ] in
+  row [ "target"; "mode"; "paths"; "ms"; "paths/s"; "kB copied"; "copied/fork" ];
+  let depth = if !quick then 6 else 8 in
+  let targets =
+    [ Printf.sprintf "tree(%d)" depth, Workloads.Symex_targets.branch_tree ~depth, depth;
+      "password", Workloads.Symex_targets.password, 4;
+      "classifier", Workloads.Symex_targets.classifier, 2 ]
+  in
+  List.iter
+    (fun (name, image, stdin_bytes) ->
+      List.iter
+        (fun (mode_name, mode) ->
+          let config =
+            { Symex.Engine.default_config with
+              symbolic_stdin = stdin_bytes;
+              fork_mode = mode }
+          in
+          let ms, r = U.time_ms (fun () -> Symex.Engine.run ~config image) in
+          let paths = List.length r.Symex.Engine.paths in
+          let copied_bytes =
+            match mode with
+            | Symex.Engine.Cow -> r.Symex.Engine.mem.Mm.bytes_copied
+            | Symex.Engine.Eager_copy ->
+              r.Symex.Engine.eager_pages_copied * Mem.Page.size
+          in
+          row
+            [ name; mode_name; U.fint paths; U.fms ms;
+              U.fint (int_of_float (Float.of_int paths /. ms *. 1000.0));
+              U.fint (copied_bytes / 1024);
+              Printf.sprintf "%.1f pg"
+                (Float.of_int (copied_bytes / Mem.Page.size)
+                /. Float.of_int (max 1 r.Symex.Engine.forks)) ])
+        [ "cow", Symex.Engine.Cow; "eager", Symex.Engine.Eager_copy ])
+    targets
+
+(* ------------------------------------------------------------------ *)
+(* E6: flexible search strategies (§3.1)                              *)
+(* ------------------------------------------------------------------ *)
+
+let e6 () =
+  U.header "E6  search strategies over one unchanged guest program"
+    "Claim (§3.1): the strategy schedules extension evaluation separately \
+     from the program; DFS/BFS/A*/SM-A* explore the same maze guest with \
+     very different cost/optimality/memory profiles (A* consumes the \
+     guest's sys_guess_hint distances).";
+  let row = U.row_format [ 6; 10; 7; 5; 11; 10; 9 ] in
+  row [ "maze"; "strategy"; "found"; "opt"; "evaluated"; "max live"; "evicted" ];
+  let seeds = if !quick then [ 41 ] else [ 41; 113; 7 ] in
+  List.iter
+    (fun seed ->
+      let maze = Workloads.Grid.generate ~width:9 ~height:9 ~wall_density:0.28 ~seed in
+      let opt = Workloads.Grid.host_shortest maze in
+      let image = Workloads.Grid.program maze in
+      List.iter
+        (fun (name, strategy) ->
+          let r =
+            Explorer.run_image ~mode:`First_exit ~max_extensions:2_000_000
+              ~strategy_override:strategy image
+          in
+          match r.Explorer.outcome with
+          | Explorer.Stopped_first_exit len ->
+            row
+              [ U.fint seed; name; U.fint len;
+                (match opt with Some o when o = len -> "yes" | Some _ | None -> "no");
+                U.fint r.Explorer.stats.Core.Stats.extensions_evaluated;
+                U.fint r.Explorer.stats.Core.Stats.max_live_snapshots;
+                U.fint r.Explorer.stats.Core.Stats.evicted ]
+          | Explorer.Completed _ -> row [ U.fint seed; name; "-"; "-"; "-"; "-"; "-" ]
+          | Explorer.Aborted m -> Printf.printf "%d %s aborted: %s\n" seed name m)
+        [ "dfs", `Dfs; "bfs", `Bfs; "astar", `Astar; "sma-128", `Sma 128;
+          "wastar-2", `Wastar 2.0; "beam-64", `Beam 64; "random", `Random 5 ])
+    seeds
+
+(* ------------------------------------------------------------------ *)
+(* E7: snapshot-tree space accounting (§3.1)                          *)
+(* ------------------------------------------------------------------ *)
+
+let e7 () =
+  U.header "E7  snapshot trees: COW sharing across partial candidates"
+    "Claim (§3.1): the immutable parent relationship encodes the candidate \
+     tree space-efficiently.  Every interior node of a guess tree is kept \
+     alive as a service candidate; actual frame usage is compared with the \
+     naive size (every snapshot stored whole).";
+  let row = U.row_format [ 16; 11; 11; 11; 11; 9 ] in
+  row [ "workload"; "candidates"; "pages/cand"; "naive MB"; "actual MB"; "sharing" ];
+  let workloads =
+    let locality depth touch =
+      Printf.sprintf "locality(%d,%d)" depth touch,
+      Workloads.Locality.program
+        { Workloads.Locality.depth; branch = 2; touch_pages = touch; work = 0;
+          arena_pages = 16 }
+    in
+    if !quick then [ "queens(5)", Workloads.Nqueens.program ~n:5 ]
+    else
+      [ "queens(6)", Workloads.Nqueens.program ~n:6;
+        locality 5 2;
+        locality 5 8;
+        "counting(2^8)", Workloads.Counting.program ~depth:8 ~branch:2 ]
+  in
+  List.iter
+    (fun (name, image) ->
+      let svc, first = Service.boot image in
+      (* client-driven BFS over every candidate the guest publishes *)
+      let queue = Queue.create () in
+      let candidates = ref [] in
+      let note outcome =
+        match outcome with
+        | Service.Ready { candidate; arity; _ } ->
+          candidates := candidate :: !candidates;
+          for choice = 0 to arity - 1 do
+            Queue.add (candidate, choice) queue
+          done
+        | Service.Failed _ | Service.Finished _ | Service.Crashed _ -> ()
+      in
+      note first;
+      while not (Queue.is_empty queue) do
+        let candidate, choice = Queue.take queue in
+        note (Service.resume svc candidate ~choice ())
+      done;
+      let n = Service.live_candidates svc in
+      let total_pages =
+        List.fold_left (fun acc c -> acc + Service.pages svc c) 0 !candidates
+      in
+      let naive_mb = Float.of_int (total_pages * Mem.Page.size) /. 1048576.0 in
+      let actual_frames = Service.distinct_frames svc in
+      let actual_mb = Float.of_int (actual_frames * Mem.Page.size) /. 1048576.0 in
+      row
+        [ name; U.fint n;
+          Printf.sprintf "%.1f" (Float.of_int total_pages /. Float.of_int (max 1 n));
+          Printf.sprintf "%.2f" naive_mb; Printf.sprintf "%.3f" actual_mb;
+          U.fratio (naive_mb /. actual_mb) ])
+    workloads
+
+(* ------------------------------------------------------------------ *)
+(* E8: MMU mechanism ablation — persistent map vs radix tables (§4)   *)
+(* ------------------------------------------------------------------ *)
+
+let replay_trace ~write ~snapshot ~restore =
+  let rng = Stdx.Prng.create ~seed:12345 in
+  let snaps = ref [||] in
+  let nsnaps = ref 0 in
+  let add s =
+    if !nsnaps < 128 then begin
+      if Array.length !snaps = !nsnaps then
+        snaps := Array.append !snaps (Array.make (max 16 !nsnaps) s);
+      !snaps.(!nsnaps) <- s;
+      incr nsnaps
+    end
+  in
+  for step = 1 to 30_000 do
+    let vpn = Stdx.Prng.int rng 256 in
+    write (Mem.Page.addr_of_vpn vpn + Stdx.Prng.int rng 4088) step;
+    if step mod 100 = 0 then add (snapshot ());
+    if step mod 400 = 0 && !nsnaps > 0 then
+      restore !snaps.(Stdx.Prng.int rng !nsnaps)
+  done
+
+let e8 () =
+  U.header "E8  ablation: persistent-trie MMU vs 4-level radix page table"
+    "Both back-ends implement the same COW snapshot semantics; the radix \
+     variant mirrors nested paging (page-table pages are COW'd on the \
+     first post-snapshot write).  Same 30k-write/300-snapshot trace.";
+  let row = U.row_format [ 18; 10; 12; 12; 14; 12 ] in
+  row [ "backend"; "ms"; "cow faults"; "pt copies"; "tlb hit rate"; "frames" ];
+  let as_ms, as_metrics =
+    U.time_ms (fun () ->
+        let phys = Phys.create () in
+        let t = As.create phys in
+        for vpn = 0 to 255 do
+          As.map_zero t ~vpn
+        done;
+        replay_trace
+          ~write:(fun addr v -> As.write_u64 t addr v)
+          ~snapshot:(fun () -> As.snapshot t)
+          ~restore:(fun s -> As.restore t s);
+        Mm.copy (Phys.metrics phys))
+  in
+  let ept_ms, ept_metrics =
+    U.time_ms (fun () ->
+        let phys = Phys.create () in
+        let t = Mem.Ept.create phys in
+        for vpn = 0 to 255 do
+          Mem.Ept.map_zero t ~vpn
+        done;
+        replay_trace
+          ~write:(fun addr v -> Mem.Ept.write_u64 t addr v)
+          ~snapshot:(fun () -> Mem.Ept.snapshot t)
+          ~restore:(fun s -> Mem.Ept.restore t s);
+        Mm.copy (Phys.metrics phys))
+  in
+  let print_row name ms (m : Mm.t) =
+    let hit_rate =
+      Float.of_int m.Mm.tlb_hits
+      /. Float.of_int (max 1 (m.Mm.tlb_hits + m.Mm.tlb_misses))
+    in
+    row
+      [ name; U.fms ms; U.fint m.Mm.cow_faults; U.fint m.Mm.pt_node_copies;
+        Printf.sprintf "%.1f%%" (100.0 *. hit_rate); U.fint m.Mm.frames_allocated ]
+  in
+  print_row "persistent trie" as_ms as_metrics;
+  print_row "radix (EPT-like)" ept_ms ept_metrics
+
+(* ------------------------------------------------------------------ *)
+(* E9: interpreter ablation — decoded-instruction cache on/off        *)
+(* ------------------------------------------------------------------ *)
+
+let e9 () =
+  U.header "E9  ablation: decoded-instruction cache"
+    "The interpreter memoises decoded instructions per immutable frame      (sound because frames of retired generations never change in place).       This is infrastructure, not a paper claim; it calibrates how much of      the guest runtime is simulation overhead.";
+  let row = U.row_format [ 10; 12; 14; 12 ] in
+  row [ "icache"; "ms"; "instructions"; "ns/instr" ];
+  let p =
+    { Workloads.Locality.depth = 4; branch = 3; touch_pages = 1;
+      work = (if !quick then 500 else 2000); arena_pages = 8 }
+  in
+  let image = Workloads.Locality.program_handcoded p in
+  List.iter
+    (fun use_cache ->
+      let ms, retired =
+        U.time_ms (fun () ->
+            let machine = Os.Libos.boot (Phys.create ()) image in
+            let cpu = machine.Os.Libos.cpu in
+            let aspace = machine.Os.Libos.aspace in
+            let icache =
+              if use_cache then Some (Vcpu.Interp.create_icache ()) else None
+            in
+            let brk = ref Os.Libos.default_layout.Os.Libos.heap_base in
+            let rec drive () =
+              match Vcpu.Interp.run ?icache cpu aspace ~fuel:2_000_000_000 with
+              | Vcpu.Interp.Syscall ->
+                let number = Vcpu.Cpu.get cpu Isa.Reg.rax in
+                if number = Os.Sys_abi.sys_brk then begin
+                  let req = Vcpu.Cpu.get cpu Isa.Reg.rdi in
+                  if req > !brk then
+                    for vpn = Mem.Page.vpn_of_addr !brk
+                        to Mem.Page.vpn_of_addr (req - 1) do
+                      As.map_zero aspace ~vpn
+                    done;
+                  if req > 0 then brk := req;
+                  Vcpu.Cpu.set cpu Isa.Reg.rax !brk;
+                  drive ()
+                end
+                else ()  (* exit *)
+              | Vcpu.Interp.Fault (Vcpu.Interp.Page_fault { addr; _ }) ->
+                As.map_zero aspace ~vpn:(Mem.Page.vpn_of_addr addr);
+                drive ()
+              | Vcpu.Interp.Halt | Vcpu.Interp.Out_of_fuel
+              | Vcpu.Interp.Fault _ -> ()
+            in
+            drive ();
+            cpu.Vcpu.Cpu.retired)
+      in
+      row
+        [ (if use_cache then "on" else "off"); U.fms ms; U.fint retired;
+          Printf.sprintf "%.0f" (ms *. 1e6 /. Float.of_int retired) ])
+    [ false; true ]
+
+(* ------------------------------------------------------------------ *)
+(* E10: parallel exploration (Figure 2)                               *)
+(* ------------------------------------------------------------------ *)
+
+let e10 () =
+  U.header "E10  parallel exploration: simulated multi-worker scheduling"
+    "Figure 2 runs one evaluation thread per hardware thread over a shared \
+     search graph; per section 3 a parallel DFS simply forks without \
+     waiting, made safe by snapshot isolation.  Workers are full virtual \
+     CPUs over shared physical memory, scheduled in deterministic rounds \
+     of a fixed instruction quantum - the round count is the virtual \
+     makespan.";
+  let row = U.row_format [ 14; 9; 9; 10; 9; 12 ] in
+  row [ "workload"; "workers"; "rounds"; "speedup"; "eff."; "fails/exits" ];
+  let jobs =
+    [ "queens(7)", Workloads.Nqueens.program ~n:7;
+      "locality",
+      Workloads.Locality.program
+        { Workloads.Locality.depth = (if !quick then 3 else 5); branch = 3;
+          touch_pages = 2; work = 300; arena_pages = 8 } ]
+  in
+  List.iter
+    (fun (name, image) ->
+      let base_rounds = ref 0 in
+      List.iter
+        (fun workers ->
+          let config =
+            { Core.Parallel.default_config with
+              Core.Parallel.workers;
+              quantum = 2000 }
+          in
+          let r = Core.Parallel.run ~config image in
+          (match r.Core.Parallel.outcome with
+          | Explorer.Completed _ -> ()
+          | Explorer.Stopped_first_exit _ | Explorer.Aborted _ ->
+            failwith "E10: unexpected outcome");
+          if workers = 1 then base_rounds := r.Core.Parallel.rounds;
+          let speedup =
+            Float.of_int !base_rounds /. Float.of_int r.Core.Parallel.rounds
+          in
+          row
+            [ name; U.fint workers; U.fint r.Core.Parallel.rounds;
+              U.fratio speedup;
+              Printf.sprintf "%.0f%%" (100.0 *. speedup /. Float.of_int workers);
+              Printf.sprintf "%d/%d" r.Core.Parallel.stats.Core.Stats.fails
+                r.Core.Parallel.stats.Core.Stats.exits ])
+        [ 1; 2; 4; 8 ])
+    jobs
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                          *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  U.header "MICRO  bechamel microbenchmarks"
+    "Core operations, estimated by OLS over monotonic-clock samples \
+     (snapshot primitives over a 256-page dirty address space).";
+  let open Bechamel in
+  let _, aspace = dirty_aspace 256 in
+  let snap = As.snapshot aspace in
+  let rng = Stdx.Prng.create ~seed:9 in
+  let ptmap =
+    List.fold_left
+      (fun m k -> Stdx.Ptmap.add k k m)
+      Stdx.Ptmap.empty
+      (List.init 10_000 (fun _ -> Stdx.Prng.next rng land 0xFFFFF))
+  in
+  let counting_image = Workloads.Counting.program ~depth:1 ~branch:2 in
+  let tests =
+    [ Test.make ~name:"snapshot_capture" (Staged.stage (fun () -> As.snapshot aspace));
+      Test.make ~name:"snapshot_restore" (Staged.stage (fun () -> As.restore aspace snap));
+      Test.make ~name:"cow_fault_roundtrip"
+        (Staged.stage (fun () ->
+             let s = As.snapshot aspace in
+             As.write_u64 aspace 0 1;
+             As.restore aspace s));
+      Test.make ~name:"write_u64_no_fault"
+        (Staged.stage (fun () -> As.write_u64 aspace 8 42));
+      Test.make ~name:"ptmap_find_10k"
+        (Staged.stage (fun () -> Stdx.Ptmap.find_opt 0x1234 ptmap));
+      Test.make ~name:"ptmap_add_10k"
+        (Staged.stage (fun () -> Stdx.Ptmap.add 0x98765 1 ptmap));
+      Test.make ~name:"guess_tree_2ext"
+        (Staged.stage (fun () -> Explorer.run_image counting_image)) ]
+  in
+  U.run_micro ~name:"lwsnap" tests
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [ "E1", e1; "E2", e2; "E3", e3; "E4", e4; "E5", e5; "E6", e6; "E7", e7;
+    "E8", e8; "E9", e9; "E10", e10; "MICRO", micro ]
+
+let () =
+  let only = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+      quick := true;
+      parse rest
+    | "--only" :: name :: rest ->
+      only := String.uppercase_ascii name :: !only;
+      parse rest
+    | arg :: _ -> failwith (Printf.sprintf "unknown argument %S" arg)
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let selected =
+    if !only = [] then experiments
+    else List.filter (fun (name, _) -> List.mem name !only) experiments
+  in
+  Printf.printf
+    "lwsnap experiment harness — reproduces the claims of \"Lightweight \
+     Snapshots and System-level Backtracking\" (HotOS 2013)\n";
+  List.iter (fun (_, run) -> run ()) selected

@@ -1,0 +1,282 @@
+(* lwsnap: drive the lightweight-snapshot backtracking system from the
+   command line.  Subcommands: run, solve, symex, prolog, disasm. *)
+
+open Cmdliner
+
+let strategy_conv =
+  let parse = function
+    | "dfs" -> Ok `Dfs
+    | "bfs" -> Ok `Bfs
+    | "astar" -> Ok `Astar
+    | "sma" -> Ok (`Sma 256)
+    | "wastar" -> Ok (`Wastar 2.0)
+    | "beam" -> Ok (`Beam 64)
+    | "random" -> Ok (`Random 42)
+    | s -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  let print fmt (s : Core.Explorer.strategy) =
+    Format.pp_print_string fmt
+      (match s with
+      | `Dfs -> "dfs"
+      | `Bfs -> "bfs"
+      | `Astar -> "astar"
+      | `Sma _ -> "sma"
+      | `Wastar _ -> "wastar"
+      | `Beam _ -> "beam"
+      | `Dfs_bounded _ -> "dfs-bounded"
+      | `Random _ -> "random"
+      | `Custom _ -> "custom")
+  in
+  Arg.conv (parse, print)
+
+let strategy_arg =
+  Arg.(value & opt (some strategy_conv) None
+       & info [ "s"; "strategy" ] ~docv:"STRATEGY"
+           ~doc:"Override the guest's strategy: dfs, bfs, astar, sma, wastar, beam, random.")
+
+let first_arg =
+  Arg.(value & flag & info [ "first" ] ~doc:"Stop at the first in-scope exit.")
+
+let size_arg ~default =
+  Arg.(value & opt int default & info [ "n" ] ~docv:"N" ~doc:"Problem size.")
+
+let build_image workload n =
+  if Filename.check_suffix workload ".s" then
+    if Sys.file_exists workload then begin
+      let text = In_channel.with_open_text workload In_channel.input_all in
+      match Isa.Asm_parser.assemble_text text with
+      | image -> Ok image
+      | exception Isa.Asm_parser.Parse_error { line; message } ->
+        Error (Printf.sprintf "%s:%d: %s" workload line message)
+      | exception Isa.Asm.Error message ->
+        Error (Printf.sprintf "%s: %s" workload message)
+    end
+    else Error (Printf.sprintf "no such file %S" workload)
+  else
+  match workload with
+  | "nqueens" -> Ok (Workloads.Nqueens.program ~n)
+  | "coloring" -> Ok (Workloads.Coloring.program Workloads.Coloring.petersen ~k:n)
+  | "counting" -> Ok (Workloads.Counting.program ~depth:n ~branch:2)
+  | "grid" ->
+    let maze = Workloads.Grid.generate ~width:n ~height:n ~wall_density:0.25 ~seed:7 in
+    Ok (Workloads.Grid.program maze)
+  | "subset" ->
+    Ok (Workloads.Subset_sum.program ~all_solutions:true ~target:(3 * n)
+          (List.init n (fun k -> k + 1)))
+  | other -> Error (Printf.sprintf "unknown workload %S" other)
+
+let run_cmd =
+  let workload =
+    Arg.(value & pos 0 string "nqueens"
+         & info [] ~docv:"WORKLOAD"
+             ~doc:"A built-in workload (nqueens, coloring, counting, grid, \
+                   subset) or a path to a .s assembly file (see \
+                   examples/guess_three.s for the dialect).")
+  in
+  let action workload n strategy first =
+    match build_image workload n with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok image ->
+      let mode = if first then `First_exit else `Run_to_completion in
+      let result =
+        Core.Explorer.run_image ~mode ?strategy_override:strategy image
+      in
+      print_string result.Core.Explorer.transcript;
+      (match result.Core.Explorer.outcome with
+      | Core.Explorer.Completed s -> Printf.printf "[completed, status %d]\n" s
+      | Core.Explorer.Stopped_first_exit s -> Printf.printf "[first exit, status %d]\n" s
+      | Core.Explorer.Aborted m -> Printf.printf "[aborted: %s]\n" m);
+      Format.printf "%a@." Core.Stats.pp result.Core.Explorer.stats;
+      0
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run a guest search workload under the explorer.")
+    Term.(const action $ workload $ size_arg ~default:6 $ strategy_arg $ first_arg)
+
+let solve_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"FILE.cnf" ~doc:"DIMACS CNF input.")
+  in
+  let guest =
+    Arg.(value & flag
+         & info [ "guest" ]
+             ~doc:"Solve inside the guest DPLL under system-level backtracking \
+                   instead of the host CDCL solver.")
+  in
+  let action path guest =
+    let text = In_channel.with_open_text path In_channel.input_all in
+    let cnf = Workloads.Cnf_gen.of_dimacs text in
+    if guest then begin
+      let image =
+        Workloads.Guest_dpll.program ~num_vars:cnf.Workloads.Cnf_gen.num_vars
+          cnf.Workloads.Cnf_gen.clauses
+      in
+      let result = Core.Explorer.run_image ~mode:`First_exit image in
+      print_string result.Core.Explorer.transcript;
+      match result.Core.Explorer.outcome with
+      | Core.Explorer.Stopped_first_exit _ -> 0
+      | Core.Explorer.Completed s when s = Workloads.Guest_dpll.exit_unsat -> 20
+      | Core.Explorer.Completed _ -> 0
+      | Core.Explorer.Aborted m ->
+        prerr_endline m;
+        1
+    end
+    else begin
+      let solver = Sat.Solver.create () in
+      Sat.Solver.add_cnf solver cnf.Workloads.Cnf_gen.clauses;
+      match Sat.Solver.solve solver with
+      | Sat.Solver.Sat ->
+        print_endline "SAT";
+        List.iter
+          (fun (v, b) -> Printf.printf "%d " (if b then v else -v))
+          (Sat.Solver.model solver);
+        print_newline ();
+        0
+      | Sat.Solver.Unsat ->
+        print_endline "UNSAT";
+        20
+      | Sat.Solver.Unknown ->
+        print_endline "UNKNOWN";
+        30
+    end
+  in
+  Cmd.v (Cmd.info "solve" ~doc:"Solve a DIMACS CNF (host CDCL or guest DPLL).")
+    Term.(const action $ file $ guest)
+
+let symex_cmd =
+  let target =
+    Arg.(value & pos 0 string "password"
+         & info [] ~docv:"TARGET" ~doc:"One of: password, tree, classifier, absdiff.")
+  in
+  let eager =
+    Arg.(value & flag & info [ "eager" ] ~doc:"Use eager state copies instead of COW.")
+  in
+  let action target eager =
+    let image, stdin_bytes =
+      match target with
+      | "password" -> Workloads.Symex_targets.password, 4
+      | "tree" -> Workloads.Symex_targets.branch_tree ~depth:6, 6
+      | "classifier" -> Workloads.Symex_targets.classifier, 2
+      | "absdiff" -> Workloads.Symex_targets.abs_diff, 2
+      | other -> failwith (Printf.sprintf "unknown target %S" other)
+    in
+    let config =
+      { Symex.Engine.default_config with
+        symbolic_stdin = stdin_bytes;
+        fork_mode = (if eager then Symex.Engine.Eager_copy else Symex.Engine.Cow) }
+    in
+    let r = Symex.Engine.run ~config image in
+    Printf.printf "paths=%d forks=%d infeasible=%d solver_calls=%d\n"
+      r.Symex.Engine.explored r.Symex.Engine.forks r.Symex.Engine.infeasible
+      r.Symex.Engine.solver_calls;
+    List.iter
+      (fun (p : Symex.Engine.path_report) ->
+        let input =
+          String.concat ","
+            (List.map (fun (v, x) -> Printf.sprintf "s%d=%d" v x)
+               (List.sort compare p.Symex.Engine.input))
+        in
+        let end_ =
+          match p.Symex.Engine.end_ with
+          | Symex.Engine.Exited s -> Printf.sprintf "exit(%d)" s
+          | Symex.Engine.Faulted m -> "fault: " ^ m
+          | Symex.Engine.Unsupported m -> "unsupported: " ^ m
+          | Symex.Engine.Step_limit -> "step-limit"
+        in
+        Printf.printf "  %-12s [%s]\n" end_ input)
+      r.Symex.Engine.paths;
+    0
+  in
+  Cmd.v (Cmd.info "symex" ~doc:"Symbolically execute a built-in target.")
+    Term.(const action $ target $ eager)
+
+let prolog_cmd =
+  let consult =
+    Arg.(value & opt (some file) None
+         & info [ "c"; "consult" ] ~docv:"FILE.pl" ~doc:"Consult a Prolog source file.")
+  in
+  let query =
+    Arg.(value & opt (some string) None
+         & info [ "q"; "query" ] ~docv:"GOAL" ~doc:"Goal to solve, e.g. \"append(X, Y, [1, 2])\".")
+  in
+  let max_solutions =
+    Arg.(value & opt int 10
+         & info [ "max" ] ~docv:"N" ~doc:"Stop after N solutions (default 10).")
+  in
+  let action n consult query max_solutions =
+    match query with
+    | None ->
+      let count, stats = Prolog.Samples.count_queens n in
+      Printf.printf "%d solutions (unifications=%d backtracks=%d choice_points=%d)\n"
+        count stats.Prolog.Machine.unifications stats.Prolog.Machine.backtracks
+        stats.Prolog.Machine.choice_points;
+      0
+    | Some goal -> (
+      match
+        let program =
+          match consult with
+          | None -> []
+          | Some path ->
+            Prolog.Parser.parse_program
+              (In_channel.with_open_text path In_channel.input_all)
+        in
+        let db =
+          Prolog.Machine.db_of_clauses (Prolog.Samples.list_clauses @ program)
+        in
+        let parsed = Prolog.Parser.parse_query goal in
+        let found = ref 0 in
+        let _ =
+          Prolog.Parser.run_query db parsed ~on_solution:(fun bindings ->
+              incr found;
+              if bindings = [] then print_endline "true"
+              else
+                print_endline
+                  (String.concat ", "
+                     (List.map
+                        (fun (name, t) -> name ^ " = " ^ Prolog.Term.to_string t)
+                        bindings));
+              !found < max_solutions)
+        in
+        if !found = 0 then print_endline "false";
+        0
+      with
+      | status -> status
+      | exception Prolog.Parser.Error { line; message } ->
+        Printf.eprintf "parse error at line %d: %s\n" line message;
+        1)
+  in
+  Cmd.v
+    (Cmd.info "prolog"
+       ~doc:"Run the Prolog engine: n-queens by default, or consult a file \
+             and solve a query.")
+    Term.(const action $ size_arg ~default:6 $ consult $ query $ max_solutions)
+
+let disasm_cmd =
+  let workload =
+    Arg.(value & pos 0 string "nqueens" & info [] ~docv:"WORKLOAD")
+  in
+  let action workload n =
+    match build_image workload n with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok image ->
+      let listing =
+        Isa.Disasm.disassemble ~code:image.Isa.Asm.code ~origin:image.Isa.Asm.origin ()
+      in
+      Format.printf "%a" Isa.Disasm.pp_listing listing;
+      0
+  in
+  Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a workload image.")
+    Term.(const action $ workload $ size_arg ~default:6)
+
+let () =
+  let default = Term.(ret (const (`Help (`Pager, None)))) in
+  let info =
+    Cmd.info "lwsnap" ~version:"1.0.0"
+      ~doc:"Lightweight snapshots and system-level backtracking."
+  in
+  exit (Cmd.eval' (Cmd.group ~default info
+                     [ run_cmd; solve_cmd; symex_cmd; prolog_cmd; disasm_cmd ]))

@@ -1,0 +1,1 @@
+examples/find_bug.ml: Char List Mem Printf String Symex Workloads

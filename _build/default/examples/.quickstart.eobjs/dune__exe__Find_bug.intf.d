@@ -1,0 +1,1 @@
+examples/find_bug.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Core List Mem Printf String Sys Workloads

@@ -1,0 +1,1 @@
+examples/repair_journal.ml: Core List Mem Os Printf String Workloads

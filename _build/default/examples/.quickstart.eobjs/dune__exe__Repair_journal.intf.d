@@ -1,0 +1,1 @@
+examples/repair_journal.mli:

@@ -1,0 +1,1 @@
+examples/solver_service.ml: Core List Printf Workloads

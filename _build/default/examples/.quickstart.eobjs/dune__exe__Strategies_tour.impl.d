@@ -1,0 +1,1 @@
+examples/strategies_tour.ml: Array Core List Printf Workloads

@@ -1,0 +1,90 @@
+(* The multi-path incremental solver service of §3.2.
+
+   The guest is a single-path DPLL SAT solver (lib/workloads/guest_dpll)
+   that publishes a partial candidate at every decision point (arity-2
+   guesses) and at every solved state (an arity-1 "yield" guess).  This
+   client implements the paper's "externally controlled search strategy":
+   it drives the guest's decisions with its own DFS stack, and once the
+   base problem p is solved it holds an opaque reference to the solved
+   state and resumes it repeatedly with *different* increments q — each
+   resume solves p ∧ q starting from p's intact solver state, never from
+   scratch.  Because candidate references are immutable, the three
+   increment queries below all branch off the same solved-p snapshot.
+
+     dune exec examples/solver_service.exe                        *)
+
+module Service = Core.Service
+
+(* One DFS stack entry: a published decision point with the next untried
+   extension.  [fed] records whether the increment had been delivered on
+   the path that created the entry — backtracking to a pre-increment
+   decision means q must be re-fed at the next solved-state yield. *)
+type entry = { cand : Service.ref_; next : int; arity : int; fed : bool }
+
+type drive_outcome =
+  | Solved of { yield : Service.ref_; model : string; stack : entry list }
+  | Unsat
+  | Ended of int
+
+(* Drive the guest to the next solved state.  [increment] (if any) is
+   delivered at every solved-state yield reached on a path where it has not
+   been delivered yet; a yield on a fed path is the answer. *)
+let drive svc ~increment ~stack outcome ~fed =
+  let stack = ref stack in
+  let rec go outcome ~fed =
+    match outcome with
+    | Service.Ready { candidate; arity; output } ->
+      if arity = 1 then
+        (* a solved state: either the answer, or the place to feed q *)
+        (match increment with
+        | Some stdin when not fed ->
+          go (Service.resume svc candidate ~choice:0 ~stdin ()) ~fed:true
+        | Some _ | None -> Solved { yield = candidate; model = output; stack = !stack })
+      else begin
+        if arity > 1 then stack := { cand = candidate; next = 1; arity; fed } :: !stack;
+        go (Service.resume svc candidate ~choice:0 ()) ~fed
+      end
+    | Service.Failed _ -> backtrack ()
+    | Service.Finished { status; _ } -> Ended status
+    | Service.Crashed msg -> failwith ("guest crashed: " ^ msg)
+  and backtrack () =
+    match !stack with
+    | [] -> Unsat
+    | ({ cand; next; arity; fed } as e) :: rest ->
+      stack := (if next + 1 < arity then { e with next = next + 1 } :: rest else rest);
+      go (Service.resume svc cand ~choice:next ()) ~fed
+  in
+  go outcome ~fed
+
+let () =
+  let num_vars = 14 in
+  let base = Workloads.Cnf_gen.planted ~num_vars ~num_clauses:30 ~seed:2026 in
+  Printf.printf "base problem p: %d vars, %d clauses\n" num_vars
+    (List.length base.Workloads.Cnf_gen.clauses);
+  let image = Workloads.Guest_dpll.program ~num_vars base.Workloads.Cnf_gen.clauses in
+  let svc, first = Service.boot image in
+  match drive svc ~increment:None ~stack:[] first ~fed:false with
+  | Unsat -> print_endline "p is UNSAT (unexpected for a planted instance)"
+  | Ended status -> Printf.printf "guest ended early with status %d\n" status
+  | Solved { yield = p_ref; model; stack = p_stack } ->
+    Printf.printf "p solved: %s" model;
+    Printf.printf
+      "candidate #p is an immutable snapshot of the whole solver state (%d pages)\n\n"
+      (Service.pages svc p_ref);
+    let queries =
+      [ "q1 = (¬x1 ∨ ¬x2)", [ [ -1; -2 ] ];
+        "q2 = x13 ∧ x14", [ [ 13 ]; [ 14 ] ];
+        "q3 = x1 ∧ ¬x1 (contradiction)", [ [ 1 ]; [ -1 ] ] ]
+    in
+    List.iter
+      (fun (name, clauses) ->
+        let stdin = Workloads.Guest_dpll.encode_increments [ clauses ] in
+        (* every query branches off the same solved-p reference *)
+        let outcome = Service.resume svc p_ref ~choice:0 ~stdin () in
+        match drive svc ~increment:(Some stdin) ~stack:p_stack outcome ~fed:true with
+        | Solved { model; _ } -> Printf.printf "p ∧ %-28s SAT   %s" name model
+        | Unsat -> Printf.printf "p ∧ %-28s UNSAT\n" name
+        | Ended status -> Printf.printf "p ∧ %-28s ended (%d)\n" name status)
+      queries;
+    Printf.printf "\nlive candidates: %d, backed by %d distinct physical frames\n"
+      (Service.live_candidates svc) (Service.distinct_frames svc)

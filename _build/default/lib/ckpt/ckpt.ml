@@ -1,0 +1,75 @@
+module As = Mem.Addr_space
+
+type full = { pages : (int * string) list; bytes : int }
+
+let copy_pages aspace vpns =
+  List.map
+    (fun vpn ->
+      vpn,
+      Bytes.to_string
+        (As.read_bytes aspace ~addr:(Mem.Page.addr_of_vpn vpn) ~len:Mem.Page.size))
+    vpns
+
+let full_capture aspace =
+  let pages = copy_pages aspace (As.mapped_vpns aspace) in
+  { pages; bytes = List.length pages * Mem.Page.size }
+
+let full_restore aspace full =
+  List.iter (fun vpn -> As.unmap aspace ~vpn) (As.mapped_vpns aspace);
+  List.iter (fun (vpn, data) -> As.map_data aspace ~vpn data) full.pages
+
+let full_bytes f = f.bytes
+
+(* Incremental checkpoints identify dirty pages by diffing address-space
+   snapshots — the moral equivalent of libckpt's mprotect dirty tracking —
+   but the checkpoint data itself is an eager copy, which is the cost being
+   measured. *)
+type incr_chain = {
+  mutable marks : As.snapshot list;  (* most recent first, for diffing *)
+  mutable states : full list;        (* page images, most recent first *)
+}
+
+let incr_start aspace =
+  { marks = [ As.snapshot aspace ]; states = [ full_capture aspace ] }
+
+let incr_capture chain aspace =
+  let mark = As.snapshot aspace in
+  let dirty_vpns =
+    match chain.marks with
+    | [] -> As.mapped_vpns aspace
+    | prev :: _ ->
+      List.map (fun (vpn, _, _) -> vpn)
+        (Stdx.Ptmap.sym_diff
+           (fun (a : Mem.Phys_mem.frame) b -> a == b)
+           (As.snapshot_map_for_debug prev)
+           (As.snapshot_map_for_debug mark))
+  in
+  let live = List.filter (fun vpn -> As.is_mapped aspace ~vpn) dirty_vpns in
+  let pages = copy_pages aspace live in
+  chain.marks <- mark :: chain.marks;
+  chain.states <- { pages; bytes = List.length pages * Mem.Page.size } :: chain.states
+
+let incr_count chain = List.length chain.states
+
+let incr_restore aspace chain ~index =
+  let n = List.length chain.states in
+  if index < 0 || index >= n then invalid_arg "Ckpt.incr_restore: bad index";
+  (* states are most-recent-first; replay base then deltas 1..index *)
+  let ordered = List.rev chain.states in
+  List.iter (fun vpn -> As.unmap aspace ~vpn) (As.mapped_vpns aspace);
+  List.iteri
+    (fun k state ->
+      if k <= index then
+        List.iter (fun (vpn, data) -> As.map_data aspace ~vpn data) state.pages)
+    ordered
+
+let incr_bytes chain = List.fold_left (fun acc s -> acc + s.bytes) 0 chain.states
+
+let clone phys src =
+  let dst = As.create phys in
+  List.iter
+    (fun vpn ->
+      let data = As.read_bytes src ~addr:(Mem.Page.addr_of_vpn vpn) ~len:Mem.Page.size in
+      As.map_data dst ~vpn (Bytes.to_string data))
+    (As.mapped_vpns src);
+  dst

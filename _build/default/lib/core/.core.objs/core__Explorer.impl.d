@@ -1,0 +1,1 @@
+lib/core/explorer.ml: Buffer Ext Format Isa List Mem Option Os Printf Search Snapshot Stats String Vcpu

@@ -1,0 +1,1 @@
+lib/core/explorer.mli: Ext Isa Os Search Stats

@@ -1,0 +1,1 @@
+lib/core/native_bt.ml: Array List Stdx

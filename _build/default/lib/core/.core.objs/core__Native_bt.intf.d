@@ -1,0 +1,1 @@
+lib/core/native_bt.mli:

@@ -1,0 +1,1 @@
+lib/core/parallel.ml: Array Buffer Explorer Ext Format Isa List Mem Os Printf Search Snapshot Stats String Vcpu

@@ -1,0 +1,1 @@
+lib/core/parallel.mli: Explorer Isa Stats

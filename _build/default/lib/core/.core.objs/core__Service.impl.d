@@ -1,0 +1,1 @@
+lib/core/service.ml: Format Hashtbl Isa List Mem Option Os Printf Snapshot String Vcpu

@@ -1,0 +1,1 @@
+lib/core/service.mli: Isa Os

@@ -1,0 +1,1 @@
+lib/core/snapshot.mli: Mem Os Vcpu

@@ -1,0 +1,242 @@
+module Libos = Os.Libos
+module Cpu = Vcpu.Cpu
+module Reg = Isa.Reg
+module Frontier = Search.Frontier
+
+type strategy =
+  [ `Dfs
+  | `Bfs
+  | `Astar
+  | `Sma of int
+  | `Wastar of float
+  | `Beam of int
+  | `Dfs_bounded of int
+  | `Random of int
+  | `Custom of (unit -> Ext.t Frontier.t) ]
+
+type terminal_kind =
+  | Exit of int
+  | Fail
+  | Path_killed of string
+
+type terminal = {
+  kind : terminal_kind;
+  output : string;
+  depth : int;
+}
+
+type outcome =
+  | Completed of int
+  | Stopped_first_exit of int
+  | Aborted of string
+
+type result = {
+  outcome : outcome;
+  transcript : string;
+  terminals : terminal list;
+  stats : Stats.t;
+}
+
+type mode = [ `Run_to_completion | `First_exit ]
+
+type scope = { root : Snapshot.t; frontier : Ext.t Frontier.t }
+
+let make_frontier : strategy -> Ext.t Frontier.t = function
+  | `Dfs -> Frontier.dfs ()
+  | `Bfs -> Frontier.bfs ()
+  | `Astar -> Frontier.astar ()
+  | `Sma capacity -> Frontier.sma ~capacity ()
+  | `Wastar weight -> Frontier.wastar ~weight ()
+  | `Beam width -> Frontier.beam ~width ()
+  | `Dfs_bounded max_depth -> Frontier.dfs_bounded ~max_depth ()
+  | `Random seed -> Frontier.random ~seed ()
+  | `Custom make -> make ()
+
+let strategy_of_id id : strategy option =
+  if id = Os.Sys_abi.strategy_dfs then Some `Dfs
+  else if id = Os.Sys_abi.strategy_bfs then Some `Bfs
+  else if id = Os.Sys_abi.strategy_astar then Some `Astar
+  else if id = Os.Sys_abi.strategy_sma then Some (`Sma 64)
+  else if id = Os.Sys_abi.strategy_random then Some (`Random 42)
+  else None
+
+let reason_to_string r = Format.asprintf "%a" Libos.pp_reason r
+
+let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
+    ?(max_extensions = max_int) ?strategy_override (machine : Libos.t) =
+  let stats = Stats.create () in
+  let mem_before = Mem.Mem_metrics.copy (Mem.Addr_space.metrics machine.aspace) in
+  let retired_before = machine.cpu.Cpu.retired in
+  let transcript = Buffer.create 256 in
+  let terminals = ref [] in
+  let scope : scope option ref = ref None in
+  let marker = ref (Libos.stdout_chunks machine) in
+  let pending_hint = ref 0 in
+  let current_depth = ref 0 in
+  let current_snap : Snapshot.t option ref = ref None in
+
+  (* Move stdout chunks produced since the last scheduling point into the
+     global transcript; returns them as this path's attributed output. *)
+  let harvest () =
+    let cur = Libos.stdout_chunks machine in
+    let rec collect acc l =
+      if l == !marker then acc
+      else
+        match l with
+        | [] -> acc
+        | chunk :: rest -> collect (chunk :: acc) rest
+    in
+    let chunks = collect [] cur in
+    marker := cur;
+    let text = String.concat "" chunks in
+    Buffer.add_string transcript text;
+    text
+  in
+
+  let record kind output =
+    terminals := { kind; output; depth = !current_depth } :: !terminals
+  in
+
+  let finish outcome =
+    stats.instructions <- machine.cpu.Cpu.retired - retired_before;
+    Mem.Mem_metrics.add stats.mem
+      (Mem.Mem_metrics.diff (Mem.Addr_space.metrics machine.aspace) mem_before);
+    { outcome;
+      transcript = Buffer.contents transcript;
+      terminals = List.rev !terminals;
+      stats }
+  in
+
+  (* Schedule the next extension; [`Continue] means the machine is ready to
+     resume, [`Scope_done] that the scope was exhausted and the root
+     restored (rax is 0 there, captured before it was set to 1). *)
+  let schedule sc =
+    stats.evicted <- stats.evicted + List.length (sc.frontier.Frontier.evicted ());
+    match sc.frontier.Frontier.pop () with
+    | Some (ext : Ext.t) ->
+      Snapshot.restore machine ext.snap;
+      marker := Libos.stdout_chunks machine;
+      Cpu.set machine.cpu Reg.rax ext.index;
+      current_depth := ext.meta.Frontier.depth;
+      current_snap := Some ext.snap;
+      stats.extensions_evaluated <- stats.extensions_evaluated + 1;
+      stats.restores <- stats.restores + 1
+    | None ->
+      Snapshot.restore machine sc.root;
+      marker := Libos.stdout_chunks machine;
+      current_depth := 0;
+      current_snap := None;
+      stats.restores <- stats.restores + 1;
+      scope := None
+  in
+
+  let track_extents sc =
+    let frontier_len = sc.frontier.Frontier.length () in
+    stats.max_frontier <- max stats.max_frontier frontier_len;
+    let lineage_len =
+      match !current_snap with None -> 0 | Some s -> List.length (Snapshot.lineage s)
+    in
+    stats.max_live_snapshots <- max stats.max_live_snapshots (frontier_len + lineage_len)
+  in
+
+  let rec loop () =
+    match Libos.run machine ~fuel:fuel_per_step with
+    | Libos.Guess_strategy { strategy } -> (
+      match !scope with
+      | Some _ -> finish (Aborted "nested sys_guess_strategy")
+      | None -> (
+        let chosen =
+          match strategy_override with
+          | Some s -> Some s
+          | None -> strategy_of_id strategy
+        in
+        match chosen with
+        | None -> finish (Aborted (Printf.sprintf "unknown strategy id %d" strategy))
+        | Some strat ->
+          ignore (harvest ());
+          (* The root must observe 0 when restored after exhaustion, and 1
+             on the exploring path right now. *)
+          Cpu.set machine.cpu Reg.rax 0;
+          let root = Snapshot.capture ~depth:0 machine in
+          stats.snapshots_created <- stats.snapshots_created + 1;
+          scope := Some { root; frontier = make_frontier strat };
+          current_snap := Some root;
+          current_depth := 0;
+          Cpu.set machine.cpu Reg.rax 1;
+          loop ()))
+    | Libos.Guess { n } -> (
+      match !scope with
+      | None -> finish (Aborted "sys_guess outside a strategy scope")
+      | Some sc ->
+        ignore (harvest ());
+        if n <= 0 then begin
+          stats.fails <- stats.fails + 1;
+          record Fail "";
+          schedule sc;
+          loop ()
+        end
+        else begin
+          let snap =
+            Snapshot.capture ?parent:!current_snap ~depth:!current_depth machine
+          in
+          stats.guesses <- stats.guesses + 1;
+          stats.snapshots_created <- stats.snapshots_created + 1;
+          let meta = { Frontier.depth = !current_depth + 1; hint = !pending_hint } in
+          pending_hint := 0;
+          let batch =
+            List.init n (fun index -> meta, { Ext.snap; index; meta })
+          in
+          sc.frontier.Frontier.push_batch batch;
+          stats.extensions_pushed <- stats.extensions_pushed + n;
+          track_extents sc;
+          if stats.extensions_pushed > max_extensions then
+            finish (Aborted "extension budget exhausted")
+          else begin
+            schedule sc;
+            loop ()
+          end
+        end)
+    | Libos.Guess_fail -> (
+      match !scope with
+      | None -> finish (Aborted "sys_guess_fail outside a strategy scope")
+      | Some sc ->
+        let output = harvest () in
+        stats.fails <- stats.fails + 1;
+        record Fail output;
+        schedule sc;
+        loop ())
+    | Libos.Guess_hint { dist } ->
+      pending_hint := dist;
+      Cpu.set machine.cpu Reg.rax 0;
+      loop ()
+    | Libos.Exited { status } -> (
+      let output = harvest () in
+      match !scope with
+      | None -> finish (Completed status)
+      | Some sc -> (
+        stats.exits <- stats.exits + 1;
+        record (Exit status) output;
+        match mode with
+        | `First_exit -> finish (Stopped_first_exit status)
+        | `Run_to_completion ->
+          schedule sc;
+          loop ()))
+    | Libos.Killed reason -> (
+      let output = harvest () in
+      match !scope with
+      | None -> finish (Aborted (reason_to_string reason))
+      | Some sc ->
+        stats.kills <- stats.kills + 1;
+        record (Path_killed (reason_to_string reason)) output;
+        schedule sc;
+        loop ())
+  in
+  loop ()
+
+let run_image ?mode ?fuel_per_step ?max_extensions ?strategy_override
+    ?(files = []) ?stdin image =
+  let phys = Mem.Phys_mem.create () in
+  let machine = Libos.boot phys image in
+  List.iter (fun (path, content) -> Libos.add_file machine ~path content) files;
+  Option.iter (Libos.set_stdin machine) stdin;
+  run ?mode ?fuel_per_step ?max_extensions ?strategy_override machine

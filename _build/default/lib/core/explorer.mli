@@ -1,0 +1,90 @@
+(** System-level backtracking: the scheduler behind [sys_guess],
+    [sys_guess_fail] and [sys_guess_strategy].
+
+    The protocol follows §3 and Figure 1 of the paper exactly:
+
+    - [sys_guess_strategy(s)] opens an exploration scope.  It returns 1 to
+      the path that explores, and 0 once the whole scope is exhausted (the
+      root snapshot is restored, so the program continues after the call —
+      the way Figure 1's [main] falls out of the [if] when every answer has
+      been printed).
+    - [sys_guess(n)] captures a lightweight snapshot (the partial
+      candidate), creates [n] extensions — (parent snapshot, index) pairs,
+      nothing more — and asks the strategy for the next extension to
+      evaluate; evaluation restores the snapshot and returns the extension
+      number in [rax].
+    - [sys_guess_fail()] discards the executing extension and schedules the
+      next one; it never returns into the failing path.
+    - [sys_guess_hint(d)] attaches a heuristic distance to the next guess's
+      extensions, consumed by A*-family strategies.
+
+    Guest stdout follows Prolog semantics, as in the paper's n-queens
+    example: text written to fd 1 is emitted to the global transcript at
+    the next scheduling point and survives backtracking, while file-system
+    effects, descriptors and the heap are rolled back with the snapshot. *)
+
+type strategy =
+  [ `Dfs
+  | `Bfs
+  | `Astar
+  | `Sma of int   (** memory-bounded A* with the given frontier capacity *)
+  | `Wastar of float  (** weighted A* (hint weight) *)
+  | `Beam of int  (** greedy beam search with the given width *)
+  | `Dfs_bounded of int  (** DFS refusing extensions beyond this depth *)
+  | `Random of int  (** seed *)
+  | `Custom of (unit -> Ext.t Search.Frontier.t) ]
+
+type terminal_kind =
+  | Exit of int                (** the path terminated via exit(status) *)
+  | Fail                       (** sys_guess_fail *)
+  | Path_killed of string      (** fault or fuel exhaustion, described *)
+
+type terminal = {
+  kind : terminal_kind;
+  output : string;  (** stdout produced by this path since its snapshot *)
+  depth : int;
+}
+
+type outcome =
+  | Completed of int       (** guest exited outside any scope with status *)
+  | Stopped_first_exit of int  (** [`First_exit] mode hit an in-scope exit *)
+  | Aborted of string      (** protocol violation or machine kill *)
+
+type result = {
+  outcome : outcome;
+  transcript : string;     (** global stdout, Prolog-style *)
+  terminals : terminal list;  (** in completion order *)
+  stats : Stats.t;
+}
+
+type mode = [ `Run_to_completion | `First_exit ]
+
+val make_frontier : strategy -> Ext.t Search.Frontier.t
+(** Instantiate a strategy's frontier (shared with {!Parallel}). *)
+
+val strategy_of_id : int -> strategy option
+(** Map a [sys_guess_strategy] identifier to a strategy. *)
+
+val run :
+  ?mode:mode ->
+  ?fuel_per_step:int ->
+  ?max_extensions:int ->
+  ?strategy_override:strategy ->
+  Os.Libos.t ->
+  result
+(** Drive a booted machine to completion.  [fuel_per_step] bounds guest
+    instructions between scheduler events (default 50M); [max_extensions]
+    aborts runaway searches; [strategy_override] ignores the id passed to
+    [sys_guess_strategy] and forces the given strategy — how the E6 bench
+    runs one program under many strategies. *)
+
+val run_image :
+  ?mode:mode ->
+  ?fuel_per_step:int ->
+  ?max_extensions:int ->
+  ?strategy_override:strategy ->
+  ?files:(string * string) list ->
+  ?stdin:string ->
+  Isa.Asm.image ->
+  result
+(** Convenience: boot a fresh machine on fresh physical memory and [run]. *)

@@ -1,0 +1,5 @@
+type t = {
+  snap : Snapshot.t;
+  index : int;
+  meta : Search.Frontier.meta;
+}

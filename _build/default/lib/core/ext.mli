@@ -1,0 +1,9 @@
+(** A candidate extension step (§3.1): "simply a reference to their parent
+    partial candidate and the extension number".  Deferred computation —
+    nothing runs until a strategy schedules it. *)
+
+type t = {
+  snap : Snapshot.t;               (** the parent partial candidate *)
+  index : int;                     (** the extension number *)
+  meta : Search.Frontier.meta;
+}

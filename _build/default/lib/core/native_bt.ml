@@ -1,0 +1,89 @@
+exception Fail
+
+(* One execution replays a decision prefix, then takes 0 for every fresh
+   guess; [trail] records (chosen, arity) for the whole path so the driver
+   can compute the next prefix in DFS order. *)
+type ctx = {
+  prefix : int array;
+  mutable position : int;
+  trail : (int * int) Stdx.Vec.t;
+  mutable replayed : int;
+}
+
+let guess ctx n =
+  if n <= 0 then raise Fail;
+  let k = ctx.position in
+  ctx.position <- k + 1;
+  let choice = if k < Array.length ctx.prefix then ctx.prefix.(k) else 0 in
+  if k < Array.length ctx.prefix then ctx.replayed <- ctx.replayed + 1;
+  if choice >= n then raise Fail;
+  ignore (Stdx.Vec.push ctx.trail (choice, n));
+  choice
+
+let fail _ctx = raise Fail
+
+type 'a stats_result = {
+  solutions : 'a list;
+  replays : int;
+  decisions_replayed : int;
+}
+
+(* Next prefix in DFS order after a path whose trail is [trail]: increment
+   the deepest decision that still has untried extensions, dropping
+   everything below it.  [None] when the whole tree is exhausted. *)
+let next_prefix trail =
+  let rec scan i =
+    if i < 0 then None
+    else
+      let chosen, arity = Stdx.Vec.get trail i in
+      if chosen + 1 < arity then begin
+        let prefix = Array.make (i + 1) 0 in
+        for j = 0 to i - 1 do
+          prefix.(j) <- fst (Stdx.Vec.get trail j)
+        done;
+        prefix.(i) <- chosen + 1;
+        Some prefix
+      end
+      else scan (i - 1)
+  in
+  scan (Stdx.Vec.length trail - 1)
+
+let run ?(max_solutions = max_int) ~stop_at_first f =
+  let solutions = ref [] in
+  let count = ref 0 in
+  let replays = ref 0 in
+  let decisions_replayed = ref 0 in
+  let rec explore prefix =
+    let ctx =
+      { prefix;
+        position = 0;
+        trail = Stdx.Vec.create ~dummy:(0, 0) ();
+        replayed = 0 }
+    in
+    incr replays;
+    let finished =
+      match f ctx with
+      | v ->
+        solutions := v :: !solutions;
+        incr count;
+        stop_at_first || !count >= max_solutions
+      | exception Fail -> false
+    in
+    decisions_replayed := !decisions_replayed + ctx.replayed;
+    if finished then ()
+    else
+      match next_prefix ctx.trail with
+      | None -> ()
+      | Some prefix -> explore prefix
+  in
+  explore [||];
+  { solutions = List.rev !solutions;
+    replays = !replays;
+    decisions_replayed = !decisions_replayed }
+
+let run_all ?max_solutions f = run ?max_solutions ~stop_at_first:false f
+
+let run_first f =
+  match (run ~stop_at_first:true f).solutions with
+  | [] -> None
+  | v :: _ -> Some v

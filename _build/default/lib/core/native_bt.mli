@@ -1,0 +1,32 @@
+(** Replay-based backtracking for host OCaml code — the ablation baseline.
+
+    Offers the same guess/fail programming model as the system calls, but
+    "restores" a partial candidate by re-executing the program from the
+    start along a recorded decision prefix.  No state is isolated: the
+    program must be observationally deterministic and must not leak side
+    effects between paths (the very bookkeeping burden §1 promises to
+    remove — which is the point of measuring this baseline in E3). *)
+
+exception Fail
+(** Raised by user code to backtrack, like [sys_guess_fail]. *)
+
+type ctx
+
+val guess : ctx -> int -> int
+(** [guess ctx n] returns an extension number in [0, n); across replays it
+    enumerates all of them in DFS order.  [n <= 0] fails. *)
+
+val fail : ctx -> 'a
+(** Abandon the current path. *)
+
+type 'a stats_result = {
+  solutions : 'a list;       (** in DFS order *)
+  replays : int;             (** times the program was re-executed *)
+  decisions_replayed : int;  (** total prefix decisions re-taken *)
+}
+
+val run_all : ?max_solutions:int -> (ctx -> 'a) -> 'a stats_result
+(** Enumerate every completed path of the program. *)
+
+val run_first : (ctx -> 'a) -> 'a option
+(** Stop at the first completed path. *)

@@ -1,0 +1,236 @@
+module Libos = Os.Libos
+module Cpu = Vcpu.Cpu
+module Reg = Isa.Reg
+module Frontier = Search.Frontier
+
+type config = {
+  workers : int;
+  quantum : int;
+  strategy : Explorer.strategy;
+  mode : [ `Run_to_completion | `First_exit ];
+  max_extensions : int;
+}
+
+let default_config =
+  { workers = 4;
+    quantum = 20_000;
+    strategy = `Dfs;
+    mode = `Run_to_completion;
+    max_extensions = max_int }
+
+type result = {
+  outcome : Explorer.outcome;
+  transcript : string;
+  terminals : Explorer.terminal list;
+  rounds : int;
+  busy_rounds : int array;
+  instructions : int;
+  stats : Stats.t;
+}
+
+type worker = {
+  machine : Libos.t;
+  mutable busy : bool;
+  mutable marker : string list;      (* stdout harvest point *)
+  mutable pending_hint : int;
+  mutable depth : int;
+  mutable snap : Snapshot.t option;  (* candidate this path descends from *)
+}
+
+exception Abort of string
+exception Done of Explorer.outcome
+
+let run ?(config = default_config) (image : Isa.Asm.image) =
+  if config.workers < 1 then invalid_arg "Parallel.run: need at least one worker";
+  let phys = Mem.Phys_mem.create () in
+  let stats = Stats.create () in
+  let mem_before = Mem.Mem_metrics.copy (Mem.Phys_mem.metrics phys) in
+  let workers =
+    Array.init config.workers (fun _ ->
+        let machine = Libos.boot phys image in
+        { machine;
+          busy = false;
+          marker = Libos.stdout_chunks machine;
+          pending_hint = 0;
+          depth = 0;
+          snap = None })
+  in
+  let transcript = Buffer.create 256 in
+  let terminals = ref [] in
+  let rounds = ref 0 in
+  let busy_rounds = Array.make config.workers 0 in
+
+  let harvest w =
+    let cur = Libos.stdout_chunks w.machine in
+    let rec collect acc l =
+      if l == w.marker then acc
+      else match l with [] -> acc | chunk :: rest -> collect (chunk :: acc) rest
+    in
+    let chunks = collect [] cur in
+    w.marker <- cur;
+    let text = String.concat "" chunks in
+    Buffer.add_string transcript text;
+    text
+  in
+  let record kind output depth =
+    terminals := { Explorer.kind; output; depth } :: !terminals
+  in
+
+  let w0 = workers.(0) in
+
+  (* Phase 1: worker 0 runs alone up to sys_guess_strategy. *)
+  let to_scope () =
+    match Libos.run w0.machine ~fuel:max_int with
+    | Libos.Guess_strategy { strategy = id } ->
+      let strat =
+        match config.strategy with
+        | `Dfs -> (
+          (* honour the guest's id when the config keeps the default *)
+          match Explorer.strategy_of_id id with
+          | Some s -> s
+          | None -> raise (Abort (Printf.sprintf "unknown strategy id %d" id)))
+        | other -> other
+      in
+      ignore (harvest w0);
+      Cpu.set w0.machine.Libos.cpu Reg.rax 0;
+      let root = Snapshot.capture ~depth:0 w0.machine in
+      stats.Stats.snapshots_created <- stats.Stats.snapshots_created + 1;
+      Cpu.set w0.machine.Libos.cpu Reg.rax 1;
+      root, Explorer.make_frontier strat
+    | Libos.Exited { status } ->
+      ignore (harvest w0);
+      raise (Done (Explorer.Completed status))
+    | Libos.Killed reason ->
+      raise (Abort (Format.asprintf "%a" Libos.pp_reason reason))
+    | Libos.Guess _ | Libos.Guess_fail | Libos.Guess_hint _ ->
+      raise (Abort "guess before sys_guess_strategy")
+  in
+
+  let pop_into frontier w =
+    match frontier.Frontier.pop () with
+    | None -> ()
+    | Some (ext : Ext.t) ->
+      Snapshot.restore w.machine ext.Ext.snap;
+      w.marker <- Libos.stdout_chunks w.machine;
+      Cpu.set w.machine.Libos.cpu Reg.rax ext.Ext.index;
+      w.depth <- ext.Ext.meta.Frontier.depth;
+      w.snap <- Some ext.Ext.snap;
+      w.busy <- true;
+      stats.Stats.extensions_evaluated <- stats.Stats.extensions_evaluated + 1;
+      stats.Stats.restores <- stats.Stats.restores + 1
+  in
+
+  (* One scheduling event for a busy worker. *)
+  let handle_stop frontier w stop =
+    match stop with
+    | Libos.Killed Libos.Fuel_exhausted ->
+      (* quantum expired; stays busy and resumes next round *)
+      ()
+    | Libos.Guess { n } ->
+      ignore (harvest w);
+      if n <= 0 then begin
+        stats.Stats.fails <- stats.Stats.fails + 1;
+        record Explorer.Fail "" w.depth;
+        w.busy <- false;
+        pop_into frontier w
+      end
+      else begin
+        let snap = Snapshot.capture ?parent:w.snap ~depth:w.depth w.machine in
+        stats.Stats.guesses <- stats.Stats.guesses + 1;
+        stats.Stats.snapshots_created <- stats.Stats.snapshots_created + 1;
+        let meta = { Frontier.depth = w.depth + 1; hint = w.pending_hint } in
+        w.pending_hint <- 0;
+        frontier.Frontier.push_batch
+          (List.init n (fun index -> meta, { Ext.snap; index; meta }));
+        stats.Stats.extensions_pushed <- stats.Stats.extensions_pushed + n;
+        stats.Stats.max_frontier <-
+          max stats.Stats.max_frontier (frontier.Frontier.length ());
+        if stats.Stats.extensions_pushed > config.max_extensions then
+          raise (Abort "extension budget exhausted");
+        w.busy <- false;
+        pop_into frontier w
+      end
+    | Libos.Guess_fail ->
+      let output = harvest w in
+      stats.Stats.fails <- stats.Stats.fails + 1;
+      record Explorer.Fail output w.depth;
+      w.busy <- false;
+      pop_into frontier w
+    | Libos.Guess_hint { dist } ->
+      w.pending_hint <- dist;
+      Cpu.set w.machine.Libos.cpu Reg.rax 0
+    | Libos.Guess_strategy _ -> raise (Abort "nested sys_guess_strategy")
+    | Libos.Exited { status } ->
+      let output = harvest w in
+      stats.Stats.exits <- stats.Stats.exits + 1;
+      record (Explorer.Exit status) output w.depth;
+      (match config.mode with
+      | `First_exit -> raise (Done (Explorer.Stopped_first_exit status))
+      | `Run_to_completion -> ());
+      w.busy <- false;
+      pop_into frontier w
+    | Libos.Killed reason ->
+      let output = harvest w in
+      stats.Stats.kills <- stats.Stats.kills + 1;
+      record (Explorer.Path_killed (Format.asprintf "%a" Libos.pp_reason reason))
+        output w.depth;
+      w.busy <- false;
+      pop_into frontier w
+  in
+
+  let outcome =
+    try
+      let root, frontier = to_scope () in
+      w0.busy <- true;
+      w0.snap <- Some root;
+      (* Phase 2: round-robin quanta until the scope drains. *)
+      let continue_ = ref true in
+      while !continue_ do
+        incr rounds;
+        let any_busy = ref false in
+        Array.iteri
+          (fun idx w ->
+            if not w.busy then pop_into frontier w;
+            if w.busy then begin
+              any_busy := true;
+              busy_rounds.(idx) <- busy_rounds.(idx) + 1;
+              stats.Stats.evicted <-
+                stats.Stats.evicted + List.length (frontier.Frontier.evicted ());
+              handle_stop frontier w (Libos.run w.machine ~fuel:config.quantum)
+            end)
+          workers;
+        if (not !any_busy) && frontier.Frontier.length () = 0 then continue_ := false
+      done;
+      (* Scope exhausted: resume worker 0 from the root with rax = 0. *)
+      Snapshot.restore w0.machine root;
+      w0.marker <- Libos.stdout_chunks w0.machine;
+      stats.Stats.restores <- stats.Stats.restores + 1;
+      let rec drain () =
+        match Libos.run w0.machine ~fuel:max_int with
+        | Libos.Exited { status } ->
+          ignore (harvest w0);
+          Explorer.Completed status
+        | Libos.Guess_strategy _ -> raise (Abort "second sys_guess_strategy scope")
+        | Libos.Guess _ | Libos.Guess_fail -> raise (Abort "guess after scope")
+        | Libos.Guess_hint _ ->
+          Cpu.set w0.machine.Libos.cpu Reg.rax 0;
+          drain ()
+        | Libos.Killed reason ->
+          raise (Abort (Format.asprintf "%a" Libos.pp_reason reason))
+      in
+      drain ()
+    with
+    | Done outcome -> outcome
+    | Abort message -> Explorer.Aborted message
+  in
+  stats.Stats.instructions <-
+    Array.fold_left (fun acc w -> acc + w.machine.Libos.cpu.Cpu.retired) 0 workers;
+  Mem.Mem_metrics.add stats.Stats.mem
+    (Mem.Mem_metrics.diff (Mem.Phys_mem.metrics phys) mem_before);
+  { outcome;
+    transcript = Buffer.contents transcript;
+    terminals = List.rev !terminals;
+    rounds = !rounds;
+    busy_rounds;
+    instructions = stats.Stats.instructions;
+    stats }

@@ -1,0 +1,46 @@
+(** Multi-worker exploration — Figure 2's architecture, simulated.
+
+    The paper's libOS runs one evaluation thread per hardware thread, all
+    scheduling extensions from a shared search graph.  Here each worker is
+    a full virtual CPU with its own address space and OS state, but all
+    workers allocate frames from one {!Mem.Phys_mem} — so a snapshot
+    captured by one worker can be restored by any other (the page map is
+    just frame references), and the generation discipline keeps their COW
+    invariants sound across workers: frames inside a captured snapshot
+    always belong to retired generations, so a worker restoring a sibling's
+    candidate can never observe, or race with, the in-place writes of the
+    worker that created it.  This is §3's "parallel depth-first-search
+    strategy [that] simply forks without waiting" made safe by isolation.
+
+    Execution is simulated round-robin: every busy worker runs a fixed
+    quantum of guest instructions per round, deterministically.  The round
+    count is the virtual makespan, so parallel speedup is measurable
+    without host threads. *)
+
+type config = {
+  workers : int;
+  quantum : int;      (** guest instructions per worker per round *)
+  strategy : Explorer.strategy;
+  mode : [ `Run_to_completion | `First_exit ];
+  max_extensions : int;
+}
+
+val default_config : config
+(** 4 workers, 20k-instruction quantum, DFS, run to completion. *)
+
+type result = {
+  outcome : Explorer.outcome;
+  transcript : string;       (** all workers' stdout, in completion order *)
+  terminals : Explorer.terminal list;
+  rounds : int;              (** virtual makespan *)
+  busy_rounds : int array;   (** per-worker rounds spent executing *)
+  instructions : int;        (** total guest instructions, all workers *)
+  stats : Stats.t;
+}
+
+val run : ?config:config -> Isa.Asm.image -> result
+(** Boot [workers] machines over shared physical memory and explore.  The
+    guest protocol is identical to {!Explorer}: worker 0 runs until
+    [sys_guess_strategy]; the scope's extensions are then evaluated by all
+    workers; when the frontier drains and every worker is idle, worker 0
+    resumes from the root with 0 in [rax]. *)

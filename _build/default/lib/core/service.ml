@@ -1,0 +1,100 @@
+module Libos = Os.Libos
+module Cpu = Vcpu.Cpu
+module Reg = Isa.Reg
+
+type ref_ = int
+
+type t = {
+  machine : Libos.t;
+  table : (int, Snapshot.t) Hashtbl.t;
+  mutable next_ref : int;
+  mutable current : Snapshot.t option;
+  fuel_per_step : int;
+  mutable marker : string list;
+}
+
+type outcome =
+  | Ready of { candidate : ref_; arity : int; output : string }
+  | Finished of { status : int; output : string }
+  | Failed of { output : string }
+  | Crashed of string
+
+let harvest t =
+  let cur = Libos.stdout_chunks t.machine in
+  let rec collect acc l =
+    if l == t.marker then acc
+    else match l with [] -> acc | chunk :: rest -> collect (chunk :: acc) rest
+  in
+  let chunks = collect [] cur in
+  t.marker <- cur;
+  String.concat "" chunks
+
+let publish t =
+  let snap =
+    Snapshot.capture ?parent:t.current
+      ~depth:(match t.current with None -> 0 | Some s -> s.Snapshot.depth + 1)
+      t.machine
+  in
+  let id = t.next_ref in
+  t.next_ref <- id + 1;
+  Hashtbl.replace t.table id snap;
+  t.current <- Some snap;
+  id
+
+let rec advance t =
+  match Libos.run t.machine ~fuel:t.fuel_per_step with
+  | Libos.Guess { n } ->
+    let output = harvest t in
+    let candidate = publish t in
+    Ready { candidate; arity = n; output }
+  | Libos.Guess_fail -> Failed { output = harvest t }
+  | Libos.Exited { status } -> Finished { status; output = harvest t }
+  | Libos.Guess_hint _ ->
+    Cpu.set t.machine.cpu Reg.rax 0;
+    advance t
+  | Libos.Guess_strategy _ ->
+    (* A service-driven guest needs no internal strategy; accept and move
+       on so the same binaries run under both drivers. *)
+    Cpu.set t.machine.cpu Reg.rax 1;
+    advance t
+  | Libos.Killed reason -> Crashed (Format.asprintf "%a" Libos.pp_reason reason)
+
+let boot ?(fuel_per_step = 50_000_000) ?(files = []) ?stdin image =
+  let phys = Mem.Phys_mem.create () in
+  let machine = Libos.boot phys image in
+  List.iter (fun (path, content) -> Libos.add_file machine ~path content) files;
+  Option.iter (Libos.set_stdin machine) stdin;
+  let t =
+    { machine;
+      table = Hashtbl.create 64;
+      next_ref = 0;
+      current = None;
+      fuel_per_step;
+      marker = Libos.stdout_chunks machine }
+  in
+  t, advance t
+
+let find t r =
+  match Hashtbl.find_opt t.table r with
+  | Some snap -> snap
+  | None -> invalid_arg (Printf.sprintf "Service: unknown candidate reference %d" r)
+
+let resume t r ~choice ?stdin () =
+  let snap = find t r in
+  Snapshot.restore t.machine snap;
+  t.current <- Some snap;
+  t.marker <- Libos.stdout_chunks t.machine;
+  Cpu.set t.machine.cpu Reg.rax choice;
+  Option.iter (Libos.set_stdin t.machine) stdin;
+  advance t
+
+let release t r = Hashtbl.remove t.table r
+
+let depth t r = (find t r).Snapshot.depth
+let pages t r = Snapshot.pages (find t r)
+let live_candidates t = Hashtbl.length t.table
+
+let distinct_frames t =
+  Snapshot.distinct_frames (Hashtbl.fold (fun _ s acc -> s :: acc) t.table [])
+
+let machine t = t.machine

@@ -1,0 +1,51 @@
+(** Externally-controlled search (§3.1, §3.2): clients hold opaque
+    references to partial candidates and decide which extension of which
+    candidate runs next.
+
+    This implements the paper's multi-path incremental solver service: the
+    guest is a single-path program; whenever it calls [sys_guess(n)] it
+    publishes a choice point.  The service captures the lightweight
+    snapshot, hands the client an opaque reference, and the client later
+    resumes {e any} published reference with a chosen extension number (and
+    optionally fresh stdin for the guest to read its next request from).
+    Solving [p] then [p ∧ q] incrementally is: resume the reference
+    obtained after solving [p]. *)
+
+type t
+
+type ref_
+(** Opaque reference to a published partial candidate. *)
+
+type outcome =
+  | Ready of { candidate : ref_; arity : int; output : string }
+      (** the guest called [sys_guess(arity)] — a new choice point *)
+  | Finished of { status : int; output : string }
+  | Failed of { output : string }     (** the guest called [sys_guess_fail] *)
+  | Crashed of string
+
+val boot :
+  ?fuel_per_step:int ->
+  ?files:(string * string) list ->
+  ?stdin:string ->
+  Isa.Asm.image ->
+  t * outcome
+(** Boot the guest and run it to its first choice point (or completion). *)
+
+val resume : t -> ref_ -> choice:int -> ?stdin:string -> unit -> outcome
+(** Restore the candidate's snapshot, deliver [choice] as the guess result
+    (and replace the guest's stdin if given), and run to the next event.
+    A reference stays valid forever and can be resumed any number of
+    times — that is the immutability guarantee. *)
+
+val release : t -> ref_ -> unit
+(** Drop a published candidate: its snapshot becomes unreachable from the
+    service (frames are reclaimed once no other candidate shares them).
+    Resuming a released reference raises [Invalid_argument]. *)
+
+val depth : t -> ref_ -> int
+val pages : t -> ref_ -> int
+val live_candidates : t -> int
+val distinct_frames : t -> int
+(** Physical frames backing all published candidates together. *)
+
+val machine : t -> Os.Libos.t

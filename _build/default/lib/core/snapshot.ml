@@ -1,0 +1,36 @@
+module As = Mem.Addr_space
+
+type t = {
+  id : int;
+  regs : Vcpu.Cpu.saved;
+  mem : As.snapshot;
+  os : Os.Libos.os_state;
+  parent : t option;
+  depth : int;
+}
+
+let next_id = ref 0
+
+let capture ?parent ~depth (machine : Os.Libos.t) =
+  let id = !next_id in
+  incr next_id;
+  { id;
+    regs = Vcpu.Cpu.save machine.cpu;
+    mem = As.snapshot machine.aspace;
+    os = Os.Libos.os_capture machine;
+    parent;
+    depth }
+
+let restore (machine : Os.Libos.t) t =
+  Vcpu.Cpu.load machine.cpu t.regs;
+  As.restore machine.aspace t.mem;
+  Os.Libos.os_restore machine t.os
+
+let pages t = As.snapshot_pages t.mem
+
+let distinct_frames snaps = As.distinct_frames (List.map (fun s -> s.mem) snaps)
+
+let delta_pages a b = As.delta_pages a.mem b.mem
+
+let rec lineage t =
+  t :: (match t.parent with None -> [] | Some p -> lineage p)

@@ -1,0 +1,34 @@
+(** The lightweight immutable execution snapshot — the paper's central
+    abstraction (§3.1).
+
+    A snapshot is the combination of an immutable register file, an
+    immutable (COW) address space, and immutable OS state including the
+    logical copy of open files.  Capture is O(1): the register file is one
+    small array copy, the other two are persistent-value grabs.  Each
+    snapshot records its parent, forming the partial-candidate tree whose
+    structural sharing is what makes the encoding space-efficient. *)
+
+type t = private {
+  id : int;
+  regs : Vcpu.Cpu.saved;
+  mem : Mem.Addr_space.snapshot;
+  os : Os.Libos.os_state;
+  parent : t option;
+  depth : int;  (** guesses from the exploration root *)
+}
+
+val capture : ?parent:t -> depth:int -> Os.Libos.t -> t
+val restore : Os.Libos.t -> t -> unit
+
+val pages : t -> int
+(** Logical pages mapped in the snapshot's address space. *)
+
+val distinct_frames : t list -> int
+(** Physical frames backing the union of the snapshots: the space-accounting
+    measure (shared pages count once). *)
+
+val delta_pages : t -> t -> int
+(** Pages whose backing differs between two snapshots of the same lineage. *)
+
+val lineage : t -> t list
+(** The snapshot and its ancestors, root last. *)

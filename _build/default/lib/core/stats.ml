@@ -1,0 +1,30 @@
+type t = {
+  mutable guesses : int;
+  mutable extensions_pushed : int;
+  mutable extensions_evaluated : int;
+  mutable fails : int;
+  mutable exits : int;
+  mutable kills : int;
+  mutable snapshots_created : int;
+  mutable restores : int;
+  mutable evicted : int;
+  mutable max_frontier : int;
+  mutable max_live_snapshots : int;
+  mutable instructions : int;
+  mem : Mem.Mem_metrics.t;
+}
+
+let create () =
+  { guesses = 0; extensions_pushed = 0; extensions_evaluated = 0; fails = 0;
+    exits = 0; kills = 0; snapshots_created = 0; restores = 0; evicted = 0;
+    max_frontier = 0; max_live_snapshots = 0; instructions = 0;
+    mem = Mem.Mem_metrics.create () }
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>guesses=%d pushed=%d evaluated=%d fails=%d exits=%d kills=%d@ \
+     snapshots=%d restores=%d evicted=%d max_frontier=%d max_live=%d@ \
+     instructions=%d@ %a@]"
+    t.guesses t.extensions_pushed t.extensions_evaluated t.fails t.exits
+    t.kills t.snapshots_created t.restores t.evicted t.max_frontier
+    t.max_live_snapshots t.instructions Mem.Mem_metrics.pp t.mem

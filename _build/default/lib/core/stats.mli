@@ -1,0 +1,21 @@
+(** Exploration statistics: search events plus the memory-subsystem events
+    accumulated while exploring.  One record per {!Explorer.run}. *)
+
+type t = {
+  mutable guesses : int;               (** [sys_guess] calls served *)
+  mutable extensions_pushed : int;
+  mutable extensions_evaluated : int;
+  mutable fails : int;                 (** [sys_guess_fail] calls *)
+  mutable exits : int;                 (** paths that terminated via exit *)
+  mutable kills : int;                 (** paths killed (fault / fuel) *)
+  mutable snapshots_created : int;
+  mutable restores : int;
+  mutable evicted : int;               (** dropped by memory-bounded strategies *)
+  mutable max_frontier : int;
+  mutable max_live_snapshots : int;
+  mutable instructions : int;          (** guest instructions retired *)
+  mem : Mem.Mem_metrics.t;             (** memory events during the run *)
+}
+
+val create : unit -> t
+val pp : Format.formatter -> t -> unit

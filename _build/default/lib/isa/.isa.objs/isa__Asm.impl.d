@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Buffer Encode Format Hashtbl Insn Int64 List Reg String

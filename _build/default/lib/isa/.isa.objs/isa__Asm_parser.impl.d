@@ -1,0 +1,1 @@
+lib/isa/asm_parser.ml: Asm Buffer Char Format Insn List Reg Scanf String

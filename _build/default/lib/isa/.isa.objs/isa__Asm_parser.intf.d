@@ -1,0 +1,1 @@
+lib/isa/asm_parser.mli: Asm

@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Char Encode Format Insn List String

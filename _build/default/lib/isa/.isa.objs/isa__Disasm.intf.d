@@ -1,0 +1,1 @@
+lib/isa/disasm.mli: Format Insn

@@ -1,0 +1,1 @@
+lib/isa/encode.ml: Buffer Char Insn Int64 List Reg

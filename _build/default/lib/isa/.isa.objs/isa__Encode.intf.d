@@ -1,0 +1,1 @@
+lib/isa/encode.mli: Buffer Insn

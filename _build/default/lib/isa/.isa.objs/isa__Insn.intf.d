@@ -1,0 +1,1 @@
+lib/isa/insn.mli: Format Reg

@@ -1,0 +1,1 @@
+lib/isa/reg.ml: Array Format List Printf String

@@ -1,0 +1,169 @@
+exception Error of string
+
+let errorf fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+type item =
+  | Label of string
+  | Ins of Insn.t
+  | Jmp_l of string
+  | Jcc_l of Insn.cond * string
+  | Call_l of string
+  | Mov_l of Reg.t * string
+  | Bytes of string
+  | Zeros of int
+  | Align of int
+
+type image = {
+  origin : int;
+  code : string;
+  entry : int;
+  symbols : (string * int) list;
+}
+
+(* Sizes of label-referencing pseudo-instructions are those of their
+   resolved forms; the fixed-width immediate encoding keeps them
+   target-independent, which is what makes two passes sufficient. *)
+let item_size pc = function
+  | Label _ -> 0
+  | Ins insn -> Encode.size insn
+  | Jmp_l _ -> Encode.size (Insn.Jmp 0)
+  | Jcc_l (c, _) -> Encode.size (Insn.Jcc (c, 0))
+  | Call_l _ -> Encode.size (Insn.Call 0)
+  | Mov_l (r, _) -> Encode.size (Insn.Mov (r, Insn.Imm 0))
+  | Bytes s -> String.length s
+  | Zeros n ->
+    if n < 0 then errorf "zeros: negative size %d" n;
+    n
+  | Align n ->
+    if n <= 0 || n land (n - 1) <> 0 then errorf "align: %d not a power of two" n;
+    (n - (pc land (n - 1))) land (n - 1)
+
+let assemble ?(origin = 0x1000) ?entry items =
+  (* Pass 1: label addresses. *)
+  let labels = Hashtbl.create 64 in
+  let pc = ref origin in
+  List.iter
+    (fun item ->
+      (match item with
+      | Label name ->
+        if Hashtbl.mem labels name then errorf "duplicate label %S" name;
+        Hashtbl.replace labels name !pc
+      | Ins _ | Jmp_l _ | Jcc_l _ | Call_l _ | Mov_l _ | Bytes _ | Zeros _ | Align _ -> ());
+      pc := !pc + item_size !pc item)
+    items;
+  let resolve name =
+    match Hashtbl.find_opt labels name with
+    | Some addr -> addr
+    | None -> errorf "undefined label %S" name
+  in
+  (* Pass 2: emit. *)
+  let buf = Buffer.create 1024 in
+  let pc = ref origin in
+  List.iter
+    (fun item ->
+      let sz = item_size !pc item in
+      (match item with
+      | Label _ -> ()
+      | Ins insn -> Encode.encode buf insn
+      | Jmp_l l -> Encode.encode buf (Insn.Jmp (resolve l))
+      | Jcc_l (c, l) -> Encode.encode buf (Insn.Jcc (c, resolve l))
+      | Call_l l -> Encode.encode buf (Insn.Call (resolve l))
+      | Mov_l (r, l) -> Encode.encode buf (Insn.Mov (r, Insn.Imm (resolve l)))
+      | Bytes s -> Buffer.add_string buf s
+      | Zeros n -> Buffer.add_string buf (String.make n '\000')
+      | Align _ -> Buffer.add_string buf (String.make sz '\000'));
+      pc := !pc + sz)
+    items;
+  let entry =
+    match entry with None -> origin | Some name -> resolve name
+  in
+  { origin;
+    code = Buffer.contents buf;
+    entry;
+    symbols = Hashtbl.fold (fun name addr acc -> (name, addr) :: acc) labels [] }
+
+(* Directives *)
+
+let label name = Label name
+
+let label_name = function
+  | Label name -> Some name
+  | Ins _ | Jmp_l _ | Jcc_l _ | Call_l _ | Mov_l _ | Bytes _ | Zeros _ | Align _ ->
+    None
+let bytes s = Bytes s
+let zeros n = Zeros n
+
+let qword v =
+  let b = Buffer.create 8 in
+  Buffer.add_int64_le b (Int64.of_int v);
+  Bytes (Buffer.contents b)
+
+let align n = Align n
+let insn x = Ins x
+
+(* Instructions *)
+
+let nop = Ins Insn.Nop
+let hlt = Ins Insn.Hlt
+let syscall = Ins Insn.Syscall
+let ret = Ins Insn.Ret
+let mov reg op = Ins (Insn.Mov (reg, op))
+let movl reg l = Mov_l (reg, l)
+let lea reg m = Ins (Insn.Lea (reg, m))
+let ld reg m = Ins (Insn.Ld (Insn.Q, reg, m))
+let ldb reg m = Ins (Insn.Ld (Insn.B, reg, m))
+let st m reg = Ins (Insn.St (Insn.Q, m, reg))
+let stb m reg = Ins (Insn.St (Insn.B, m, reg))
+let sti m v = Ins (Insn.Sti (Insn.Q, m, v))
+let stib m v = Ins (Insn.Sti (Insn.B, m, v))
+
+let binop op reg operand = Ins (Insn.Bin (op, reg, operand))
+
+let add reg op = binop Insn.Add reg op
+let sub reg op = binop Insn.Sub reg op
+let imul reg op = binop Insn.Imul reg op
+let div reg op = binop Insn.Div reg op
+let rem reg op = binop Insn.Rem reg op
+let and_ reg op = binop Insn.And reg op
+let or_ reg op = binop Insn.Or reg op
+let xor reg op = binop Insn.Xor reg op
+let shl reg op = binop Insn.Shl reg op
+let shr reg op = binop Insn.Shr reg op
+let sar reg op = binop Insn.Sar reg op
+
+let neg reg = Ins (Insn.Un (Insn.Neg, reg))
+let not_ reg = Ins (Insn.Un (Insn.Not, reg))
+let inc reg = Ins (Insn.Un (Insn.Inc, reg))
+let dec reg = Ins (Insn.Un (Insn.Dec, reg))
+
+let cmp reg op = Ins (Insn.Cmp (reg, op))
+let test reg op = Ins (Insn.Test (reg, op))
+
+let jmp l = Jmp_l l
+let jcc c l = Jcc_l (c, l)
+let je l = jcc Insn.E l
+let jne l = jcc Insn.NE l
+let jl l = jcc Insn.L l
+let jle l = jcc Insn.LE l
+let jg l = jcc Insn.G l
+let jge l = jcc Insn.GE l
+let jb l = jcc Insn.B l
+let jbe l = jcc Insn.BE l
+let ja l = jcc Insn.A l
+let jae l = jcc Insn.AE l
+let js l = jcc Insn.S l
+let jns l = jcc Insn.NS l
+
+let call l = Call_l l
+let push op = Ins (Insn.Push op)
+let pop reg = Ins (Insn.Pop reg)
+let setcc c reg = Ins (Insn.Setcc (c, reg))
+
+(* Operand sugar *)
+
+let r reg = Insn.Reg reg
+let i v = Insn.Imm v
+let ( @+ ) base disp = Insn.mem ~base ~disp ()
+let idx base index = Insn.mem ~base ~index ()
+let idxd base index disp = Insn.mem ~base ~index ~disp ()
+let abs disp = Insn.mem ~disp ()

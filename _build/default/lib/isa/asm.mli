@@ -1,0 +1,101 @@
+(** Two-pass assembler for VX64 with an OCaml eDSL front-end.
+
+    Programs are lists of {!item}s mixing instructions, labels and data
+    directives; [assemble] resolves labels and produces a binary image ready
+    to be mapped into a guest address space.  All workload generators in
+    [lib/workloads] emit this representation. *)
+
+exception Error of string
+
+type item
+
+type image = {
+  origin : int;            (** address the code must be mapped at *)
+  code : string;           (** raw bytes (instructions and data) *)
+  entry : int;             (** initial instruction pointer *)
+  symbols : (string * int) list;
+}
+
+val assemble : ?origin:int -> ?entry:string -> item list -> image
+(** [assemble items] lays the items out starting at [origin] (default
+    [0x1000]) and resolves label references.  [entry] names the start label
+    (default: the image origin).
+    @raise Error on duplicate or undefined labels, or bad directives. *)
+
+(** {1 Directives} *)
+
+val label : string -> item
+
+(** [label_name item] is [Some name] when the item is a label definition. *)
+val label_name : item -> string option
+val bytes : string -> item
+val zeros : int -> item
+val qword : int -> item
+val align : int -> item
+val insn : Insn.t -> item
+
+(** {1 Instructions} *)
+
+val nop : item
+val hlt : item
+val syscall : item
+val ret : item
+val mov : Reg.t -> Insn.operand -> item
+val movl : Reg.t -> string -> item
+(** Load the address of a label. *)
+
+val lea : Reg.t -> Insn.mem -> item
+val ld : Reg.t -> Insn.mem -> item
+val ldb : Reg.t -> Insn.mem -> item
+val st : Insn.mem -> Reg.t -> item
+val stb : Insn.mem -> Reg.t -> item
+val sti : Insn.mem -> int -> item
+val stib : Insn.mem -> int -> item
+val add : Reg.t -> Insn.operand -> item
+val sub : Reg.t -> Insn.operand -> item
+val imul : Reg.t -> Insn.operand -> item
+val div : Reg.t -> Insn.operand -> item
+val rem : Reg.t -> Insn.operand -> item
+val and_ : Reg.t -> Insn.operand -> item
+val or_ : Reg.t -> Insn.operand -> item
+val xor : Reg.t -> Insn.operand -> item
+val shl : Reg.t -> Insn.operand -> item
+val shr : Reg.t -> Insn.operand -> item
+val sar : Reg.t -> Insn.operand -> item
+val neg : Reg.t -> item
+val not_ : Reg.t -> item
+val inc : Reg.t -> item
+val dec : Reg.t -> item
+val cmp : Reg.t -> Insn.operand -> item
+val test : Reg.t -> Insn.operand -> item
+val jmp : string -> item
+val je : string -> item
+val jne : string -> item
+val jl : string -> item
+val jle : string -> item
+val jg : string -> item
+val jge : string -> item
+val jb : string -> item
+val jbe : string -> item
+val ja : string -> item
+val jae : string -> item
+val js : string -> item
+val jns : string -> item
+val jcc : Insn.cond -> string -> item
+val call : string -> item
+val push : Insn.operand -> item
+val pop : Reg.t -> item
+val setcc : Insn.cond -> Reg.t -> item
+
+(** {1 Operand sugar} *)
+
+val r : Reg.t -> Insn.operand
+val i : int -> Insn.operand
+val ( @+ ) : Reg.t -> int -> Insn.mem
+(** [base @+ disp]. *)
+
+val idx : Reg.t -> Reg.t * int -> Insn.mem
+(** [idx base (index, scale)]. *)
+
+val idxd : Reg.t -> Reg.t * int -> int -> Insn.mem
+val abs : int -> Insn.mem

@@ -1,0 +1,332 @@
+exception Parse_error of { line : int; message : string }
+
+let fail line fmt =
+  Format.kasprintf (fun message -> raise (Parse_error { line; message })) fmt
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+  || c = '_'
+
+let is_ident s =
+  s <> "" && (not (s.[0] >= '0' && s.[0] <= '9')) && String.for_all is_ident_char s
+
+(* Strip a comment (';' or '#') that is not inside a double-quoted string. *)
+let strip_comment line =
+  let len = String.length line in
+  let rec scan i in_string =
+    if i >= len then line
+    else
+      match line.[i] with
+      | '"' -> scan (i + 1) (not in_string)
+      | '\\' when in_string && i + 1 < len -> scan (i + 2) in_string
+      | (';' | '#') when not in_string -> String.sub line 0 i
+      | _ -> scan (i + 1) in_string
+  in
+  scan 0 false
+
+let split_operands s =
+  (* commas never appear inside brackets or strings in this dialect, but a
+     char literal ',' must not split *)
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let len = String.length s in
+  let rec scan i in_char in_string =
+    if i >= len then parts := Buffer.contents buf :: !parts
+    else
+      match s.[i] with
+      | '\'' when not in_string ->
+        Buffer.add_char buf '\'';
+        scan (i + 1) (not in_char) in_string
+      | '"' when not in_char ->
+        Buffer.add_char buf '"';
+        scan (i + 1) in_char (not in_string)
+      | ',' when (not in_char) && not in_string ->
+        parts := Buffer.contents buf :: !parts;
+        Buffer.clear buf;
+        scan (i + 1) false false
+      | c ->
+        Buffer.add_char buf c;
+        scan (i + 1) in_char in_string
+  in
+  if String.trim s = "" then []
+  else begin
+    scan 0 false false;
+    List.rev_map String.trim !parts
+  end
+
+let parse_int line s =
+  let s = String.trim s in
+  if String.length s >= 3 && s.[0] = '\'' && s.[String.length s - 1] = '\'' then begin
+    let inner = String.sub s 1 (String.length s - 2) in
+    match Scanf.unescaped inner with
+    | u when String.length u = 1 -> Char.code u.[0]
+    | _ -> fail line "bad character literal %s" s
+    | exception Scanf.Scan_failure _ -> fail line "bad character literal %s" s
+  end
+  else
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> fail line "bad integer %S" s
+
+type operand_ast =
+  | O_reg of Reg.t
+  | O_imm of int
+  | O_mem of Insn.mem
+  | O_label of string
+
+let parse_mem line inner =
+  (* terms separated by + or - (the sign applies to displacement terms) *)
+  let base = ref None in
+  let index = ref None in
+  let disp = ref 0 in
+  let len = String.length inner in
+  let pos = ref 0 in
+  let sign = ref 1 in
+  let term_buf = Buffer.create 8 in
+  let flush_term () =
+    let term = String.trim (Buffer.contents term_buf) in
+    Buffer.clear term_buf;
+    if term = "" then fail line "empty term in memory operand";
+    match String.index_opt term '*' with
+    | Some star ->
+      let rname = String.trim (String.sub term 0 star) in
+      let scale =
+        parse_int line (String.sub term (star + 1) (String.length term - star - 1))
+      in
+      (match Reg.of_name rname with
+      | Some reg ->
+        if !index <> None then fail line "two index registers";
+        if !sign < 0 then fail line "negative index term";
+        if not (List.mem scale [ 1; 2; 4; 8 ]) then fail line "bad scale %d" scale;
+        index := Some (reg, scale)
+      | None -> fail line "unknown register %S" rname)
+    | None -> (
+      match Reg.of_name term with
+      | Some reg ->
+        if !sign < 0 then fail line "cannot subtract a register";
+        if !base = None then base := Some reg
+        else if !index = None then index := Some (reg, 1)
+        else fail line "too many registers in memory operand"
+      | None -> disp := !disp + (!sign * parse_int line term))
+  in
+  while !pos < len do
+    (match inner.[!pos] with
+    | '+' ->
+      flush_term ();
+      sign := 1
+    | '-' when Buffer.length term_buf > 0 ->
+      flush_term ();
+      sign := -1
+    | c -> Buffer.add_char term_buf c);
+    incr pos
+  done;
+  flush_term ();
+  { Insn.base = !base; index = !index; disp = !disp }
+
+let parse_operand line s =
+  let s = String.trim s in
+  if s = "" then fail line "empty operand"
+  else if s.[0] = '[' then
+    if s.[String.length s - 1] <> ']' then fail line "unterminated memory operand"
+    else O_mem (parse_mem line (String.sub s 1 (String.length s - 2)))
+  else
+    match Reg.of_name s with
+    | Some reg -> O_reg reg
+    | None ->
+      if is_ident s then O_label s
+      else O_imm (parse_int line s)
+
+let cond_of_suffix = function
+  | "e" -> Some Insn.E
+  | "ne" -> Some Insn.NE
+  | "l" -> Some Insn.L
+  | "le" -> Some Insn.LE
+  | "g" -> Some Insn.G
+  | "ge" -> Some Insn.GE
+  | "b" -> Some Insn.B
+  | "be" -> Some Insn.BE
+  | "a" -> Some Insn.A
+  | "ae" -> Some Insn.AE
+  | "s" -> Some Insn.S
+  | "ns" -> Some Insn.NS
+  | _ -> None
+
+let binop_of_name = function
+  | "add" -> Some Insn.Add
+  | "sub" -> Some Insn.Sub
+  | "imul" -> Some Insn.Imul
+  | "div" -> Some Insn.Div
+  | "rem" -> Some Insn.Rem
+  | "and" -> Some Insn.And
+  | "or" -> Some Insn.Or
+  | "xor" -> Some Insn.Xor
+  | "shl" -> Some Insn.Shl
+  | "shr" -> Some Insn.Shr
+  | "sar" -> Some Insn.Sar
+  | _ -> None
+
+let unop_of_name = function
+  | "neg" -> Some Insn.Neg
+  | "not" -> Some Insn.Not
+  | "inc" -> Some Insn.Inc
+  | "dec" -> Some Insn.Dec
+  | _ -> None
+
+let reg_operand line = function
+  | O_reg reg -> reg
+  | O_imm _ | O_mem _ | O_label _ -> fail line "expected a register"
+
+let mem_operand line = function
+  | O_mem m -> m
+  | O_reg _ | O_imm _ | O_label _ -> fail line "expected a memory operand"
+
+let ri_operand line = function
+  | O_reg reg -> Insn.Reg reg
+  | O_imm v -> Insn.Imm v
+  | O_mem _ | O_label _ -> fail line "expected a register or immediate"
+
+let label_operand line = function
+  | O_label l -> l
+  | O_reg _ | O_imm _ | O_mem _ -> fail line "expected a label"
+
+let parse_instruction line mnemonic operands =
+  let ops = List.map (parse_operand line) operands in
+  let arity n =
+    if List.length ops <> n then
+      fail line "%s expects %d operand(s), got %d" mnemonic n (List.length ops)
+  in
+  let op1 () = arity 1; List.nth ops 0 in
+  let op2 () = arity 2; (List.nth ops 0, List.nth ops 1) in
+  match mnemonic with
+  | "nop" -> arity 0; Asm.nop
+  | "hlt" -> arity 0; Asm.hlt
+  | "syscall" -> arity 0; Asm.syscall
+  | "ret" -> arity 0; Asm.ret
+  | "mov" -> (
+    let dst, src = op2 () in
+    let dst = reg_operand line dst in
+    match src with
+    | O_label l -> Asm.movl dst l
+    | src -> Asm.mov dst (ri_operand line src))
+  | "lea" ->
+    let dst, src = op2 () in
+    Asm.lea (reg_operand line dst) (mem_operand line src)
+  | "ld" ->
+    let dst, src = op2 () in
+    Asm.ld (reg_operand line dst) (mem_operand line src)
+  | "ldb" ->
+    let dst, src = op2 () in
+    Asm.ldb (reg_operand line dst) (mem_operand line src)
+  | "st" ->
+    let dst, src = op2 () in
+    Asm.st (mem_operand line dst) (reg_operand line src)
+  | "stb" ->
+    let dst, src = op2 () in
+    Asm.stb (mem_operand line dst) (reg_operand line src)
+  | "sti" -> (
+    let dst, src = op2 () in
+    match src with
+    | O_imm v -> Asm.sti (mem_operand line dst) v
+    | _ -> fail line "sti expects an immediate source")
+  | "stib" -> (
+    let dst, src = op2 () in
+    match src with
+    | O_imm v -> Asm.stib (mem_operand line dst) v
+    | _ -> fail line "stib expects an immediate source")
+  | "cmp" ->
+    let a, b = op2 () in
+    Asm.cmp (reg_operand line a) (ri_operand line b)
+  | "test" ->
+    let a, b = op2 () in
+    Asm.test (reg_operand line a) (ri_operand line b)
+  | "jmp" -> Asm.jmp (label_operand line (op1 ()))
+  | "call" -> Asm.call (label_operand line (op1 ()))
+  | "push" -> Asm.push (ri_operand line (op1 ()))
+  | "pop" -> Asm.pop (reg_operand line (op1 ()))
+  | _ -> (
+    match binop_of_name mnemonic with
+    | Some op ->
+      let a, b = op2 () in
+      Asm.insn (Insn.Bin (op, reg_operand line a, ri_operand line b))
+    | None -> (
+      match unop_of_name mnemonic with
+      | Some op -> Asm.insn (Insn.Un (op, reg_operand line (op1 ())))
+      | None ->
+        if String.length mnemonic > 1 && mnemonic.[0] = 'j' then
+          match cond_of_suffix (String.sub mnemonic 1 (String.length mnemonic - 1)) with
+          | Some c -> Asm.jcc c (label_operand line (op1 ()))
+          | None -> fail line "unknown mnemonic %S" mnemonic
+        else if String.length mnemonic > 3 && String.sub mnemonic 0 3 = "set" then
+          match cond_of_suffix (String.sub mnemonic 3 (String.length mnemonic - 3)) with
+          | Some c -> Asm.setcc c (reg_operand line (op1 ()))
+          | None -> fail line "unknown mnemonic %S" mnemonic
+        else fail line "unknown mnemonic %S" mnemonic))
+
+let parse_directive line name rest =
+  match name with
+  | ".align" -> Asm.align (parse_int line rest)
+  | ".qword" -> Asm.qword (parse_int line rest)
+  | ".zeros" -> Asm.zeros (parse_int line rest)
+  | ".byte" -> (
+    let rest = String.trim rest in
+    if String.length rest >= 2 && rest.[0] = '"' && rest.[String.length rest - 1] = '"'
+    then
+      match Scanf.unescaped (String.sub rest 1 (String.length rest - 2)) with
+      | s -> Asm.bytes s
+      | exception Scanf.Scan_failure _ -> fail line "bad string literal"
+    else Asm.bytes (String.make 1 (Char.chr (parse_int line rest land 0xff))))
+  | _ -> fail line "unknown directive %S" name
+
+let parse text =
+  let items = ref [] in
+  let emit item = items := item :: !items in
+  List.iteri
+    (fun idx raw ->
+      let line = idx + 1 in
+      let rec handle s =
+        let s = String.trim (strip_comment s) in
+        if s = "" then ()
+        else
+          match String.index_opt s ':' with
+          | Some colon
+            when is_ident (String.sub s 0 colon)
+                 && not (String.contains (String.sub s 0 colon) ' ') ->
+            emit (Asm.label (String.sub s 0 colon));
+            handle (String.sub s (colon + 1) (String.length s - colon - 1))
+          | Some _ | None ->
+            if s.[0] = '.' then begin
+              match String.index_opt s ' ' with
+              | None -> fail line "directive %S needs an argument" s
+              | Some sp ->
+                emit
+                  (parse_directive line (String.sub s 0 sp)
+                     (String.sub s (sp + 1) (String.length s - sp - 1)))
+            end
+            else begin
+              let mnemonic, rest =
+                match String.index_opt s ' ' with
+                | None -> s, ""
+                | Some sp ->
+                  ( String.sub s 0 sp,
+                    String.sub s (sp + 1) (String.length s - sp - 1) )
+              in
+              emit
+                (parse_instruction line (String.lowercase_ascii mnemonic)
+                   (split_operands rest))
+            end
+      in
+      handle raw)
+    (String.split_on_char '\n' text);
+  List.rev !items
+
+let assemble_text ?origin ?entry text =
+  let items = parse text in
+  let entry =
+    match entry with
+    | Some _ -> entry
+    | None ->
+      if List.exists (fun item -> Asm.label_name item = Some "main") items then
+        Some "main"
+      else None
+  in
+  Asm.assemble ?origin ?entry items

@@ -1,0 +1,38 @@
+(** Textual assembly for VX64.
+
+    A small, line-oriented dialect mirroring the eDSL in {!Asm}:
+
+    {v
+    ; comments run to end of line (# also works)
+    main:                       ; labels end with ':'
+        mov   rdi, 0
+        mov   rax, 5            ; brk
+        syscall
+        ld    rbx, [rax+8]      ; base + displacement
+        stb   [r8+rcx*1], rdx   ; base + index*scale
+        sti   [rax], 42         ; store immediate (quad)
+        cmp   rbx, 10
+        jl    main
+        push  rbp
+        call  fn
+        hlt
+    .align 4096
+    data:
+    .byte  "raw bytes\n"        ; OCaml-style escapes
+    .qword 123456
+    .zeros 64
+    v}
+
+    Mnemonics are the eDSL names ([ld]/[ldb], [st]/[stb], [sti]/[stib],
+    [j<cc>], [set<cc>]); immediates are decimal or 0x-hex, optionally
+    negative; character literals like ['a'] are accepted where an
+    immediate is. *)
+
+exception Parse_error of { line : int; message : string }
+
+val parse : string -> Asm.item list
+(** @raise Parse_error with a 1-based line number on malformed input. *)
+
+val assemble_text : ?origin:int -> ?entry:string -> string -> Asm.image
+(** [parse] then {!Asm.assemble}; if [entry] is omitted and a [main] label
+    exists, it is used. *)

@@ -1,0 +1,20 @@
+let disassemble ?(max_insns = max_int) ~code ~origin () =
+  let len = String.length code in
+  let fetch addr =
+    let off = addr - origin in
+    if off < 0 || off >= len then raise (Encode.Invalid_opcode { addr; opcode = -1 })
+    else Char.code code.[off]
+  in
+  let rec sweep addr count acc =
+    if count >= max_insns || addr - origin >= len then List.rev acc
+    else
+      match Encode.decode ~fetch addr with
+      | insn, sz -> sweep (addr + sz) (count + 1) ((addr, insn) :: acc)
+      | exception Encode.Invalid_opcode _ -> List.rev acc
+  in
+  sweep origin 0 []
+
+let pp_listing fmt listing =
+  List.iter
+    (fun (addr, insn) -> Format.fprintf fmt "%08x  %a@." addr Insn.pp insn)
+    listing

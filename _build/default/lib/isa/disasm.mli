@@ -1,0 +1,9 @@
+(** Linear-sweep disassembler, for debugging guest images and for the
+    symbolic executor's instruction statistics. *)
+
+val disassemble : ?max_insns:int -> code:string -> origin:int -> unit -> (int * Insn.t) list
+(** Decode instructions starting at the beginning of [code] until the first
+    byte that does not decode (data sections typically stop the sweep).
+    Returns (address, instruction) pairs. *)
+
+val pp_listing : Format.formatter -> (int * Insn.t) list -> unit

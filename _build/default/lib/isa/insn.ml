@@ -1,0 +1,107 @@
+type binop =
+  | Add | Sub | Imul | Div | Rem
+  | And | Or | Xor | Shl | Shr | Sar
+
+type unop = Neg | Not | Inc | Dec
+
+type cond =
+  | E | NE
+  | L | LE | G | GE
+  | B | BE | A | AE
+  | S | NS
+
+type width = B | Q
+
+type mem = {
+  base : Reg.t option;
+  index : (Reg.t * int) option;
+  disp : int;
+}
+
+type operand = Reg of Reg.t | Imm of int
+
+type t =
+  | Nop
+  | Hlt
+  | Syscall
+  | Ret
+  | Mov of Reg.t * operand
+  | Lea of Reg.t * mem
+  | Ld of width * Reg.t * mem
+  | St of width * mem * Reg.t
+  | Sti of width * mem * int
+  | Bin of binop * Reg.t * operand
+  | Un of unop * Reg.t
+  | Cmp of Reg.t * operand
+  | Test of Reg.t * operand
+  | Jmp of int
+  | Jcc of cond * int
+  | Call of int
+  | Push of operand
+  | Pop of Reg.t
+  | Setcc of cond * Reg.t
+
+let mem ?base ?index ?(disp = 0) () = { base; index; disp }
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Imul -> "imul" | Div -> "div" | Rem -> "rem"
+  | And -> "and" | Or -> "or" | Xor -> "xor" | Shl -> "shl" | Shr -> "shr"
+  | Sar -> "sar"
+
+let unop_name = function Neg -> "neg" | Not -> "not" | Inc -> "inc" | Dec -> "dec"
+
+let cond_name = function
+  | E -> "e" | NE -> "ne" | L -> "l" | LE -> "le" | G -> "g" | GE -> "ge"
+  | B -> "b" | BE -> "be" | A -> "a" | AE -> "ae" | S -> "s" | NS -> "ns"
+
+let pp_binop fmt op = Format.pp_print_string fmt (binop_name op)
+let pp_cond fmt c = Format.pp_print_string fmt (cond_name c)
+
+let pp_mem fmt { base; index; disp } =
+  Format.pp_print_char fmt '[';
+  let printed = ref false in
+  (match base with
+  | Some b ->
+    Reg.pp fmt b;
+    printed := true
+  | None -> ());
+  (match index with
+  | Some (r, scale) ->
+    if !printed then Format.pp_print_char fmt '+';
+    Format.fprintf fmt "%a*%d" Reg.pp r scale;
+    printed := true
+  | None -> ());
+  if disp <> 0 || not !printed then begin
+    if !printed && disp >= 0 then Format.pp_print_char fmt '+';
+    Format.pp_print_int fmt disp
+  end;
+  Format.pp_print_char fmt ']'
+
+let pp_operand fmt = function
+  | Reg r -> Reg.pp fmt r
+  | Imm i -> Format.pp_print_int fmt i
+
+let width_suffix = function B -> "b" | Q -> "q"
+
+let pp fmt = function
+  | Nop -> Format.pp_print_string fmt "nop"
+  | Hlt -> Format.pp_print_string fmt "hlt"
+  | Syscall -> Format.pp_print_string fmt "syscall"
+  | Ret -> Format.pp_print_string fmt "ret"
+  | Mov (r, o) -> Format.fprintf fmt "mov %a, %a" Reg.pp r pp_operand o
+  | Lea (r, m) -> Format.fprintf fmt "lea %a, %a" Reg.pp r pp_mem m
+  | Ld (w, r, m) -> Format.fprintf fmt "ld%s %a, %a" (width_suffix w) Reg.pp r pp_mem m
+  | St (w, m, r) -> Format.fprintf fmt "st%s %a, %a" (width_suffix w) pp_mem m Reg.pp r
+  | Sti (w, m, i) -> Format.fprintf fmt "st%s %a, %d" (width_suffix w) pp_mem m i
+  | Bin (op, r, o) -> Format.fprintf fmt "%s %a, %a" (binop_name op) Reg.pp r pp_operand o
+  | Un (op, r) -> Format.fprintf fmt "%s %a" (unop_name op) Reg.pp r
+  | Cmp (r, o) -> Format.fprintf fmt "cmp %a, %a" Reg.pp r pp_operand o
+  | Test (r, o) -> Format.fprintf fmt "test %a, %a" Reg.pp r pp_operand o
+  | Jmp a -> Format.fprintf fmt "jmp 0x%x" a
+  | Jcc (c, a) -> Format.fprintf fmt "j%s 0x%x" (cond_name c) a
+  | Call a -> Format.fprintf fmt "call 0x%x" a
+  | Push o -> Format.fprintf fmt "push %a" pp_operand o
+  | Pop r -> Format.fprintf fmt "pop %a" Reg.pp r
+  | Setcc (c, r) -> Format.fprintf fmt "set%s %a" (cond_name c) Reg.pp r
+
+let to_string i = Format.asprintf "%a" pp i

@@ -1,0 +1,65 @@
+(** The VX64 instruction set.
+
+    A small x86-flavoured 64-bit register machine, rich enough to compile
+    real search programs by hand or from generators: register/immediate
+    moves, base+scaled-index addressing, ALU ops, compare-and-branch, a call
+    stack, and [Syscall] as the only gateway to the libOS.
+
+    Deviations from x86 semantics, chosen for a clean simulation and
+    documented once here:
+    - words are OCaml native ints (63-bit two's complement); memory cells
+      are still 8 bytes wide, little-endian;
+    - [Cmp]/[Test] set the full flag set; other ALU operations set only the
+      zero and sign flags;
+    - division by zero is a vmexit fault, not a CPU exception vector. *)
+
+type binop =
+  | Add | Sub | Imul | Div | Rem
+  | And | Or | Xor | Shl | Shr | Sar
+
+type unop = Neg | Not | Inc | Dec
+
+type cond =
+  | E | NE            (* equal / not equal *)
+  | L | LE | G | GE   (* signed *)
+  | B | BE | A | AE   (* unsigned *)
+  | S | NS            (* sign of last ALU/compare result *)
+
+type width = B | Q
+(** Byte and 64-bit accesses. *)
+
+type mem = {
+  base : Reg.t option;
+  index : (Reg.t * int) option;  (** register and scale (1, 2, 4 or 8) *)
+  disp : int;
+}
+
+type operand = Reg of Reg.t | Imm of int
+
+type t =
+  | Nop
+  | Hlt                       (** exit; [rdi] is the status by convention *)
+  | Syscall
+  | Ret
+  | Mov of Reg.t * operand
+  | Lea of Reg.t * mem
+  | Ld of width * Reg.t * mem (** load: byte loads zero-extend *)
+  | St of width * mem * Reg.t
+  | Sti of width * mem * int  (** store immediate *)
+  | Bin of binop * Reg.t * operand
+  | Un of unop * Reg.t
+  | Cmp of Reg.t * operand
+  | Test of Reg.t * operand
+  | Jmp of int
+  | Jcc of cond * int
+  | Call of int
+  | Push of operand
+  | Pop of Reg.t
+  | Setcc of cond * Reg.t     (** 1 if condition holds else 0 *)
+
+val mem : ?base:Reg.t -> ?index:Reg.t * int -> ?disp:int -> unit -> mem
+
+val pp_binop : Format.formatter -> binop -> unit
+val pp_cond : Format.formatter -> cond -> unit
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

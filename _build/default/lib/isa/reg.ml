@@ -1,0 +1,44 @@
+type t = int
+
+let count = 16
+
+let rax = 0
+let rcx = 1
+let rdx = 2
+let rbx = 3
+let rsp = 4
+let rbp = 5
+let rsi = 6
+let rdi = 7
+let r8 = 8
+let r9 = 9
+let r10 = 10
+let r11 = 11
+let r12 = 12
+let r13 = 13
+let r14 = 14
+let r15 = 15
+
+let names =
+  [| "rax"; "rcx"; "rdx"; "rbx"; "rsp"; "rbp"; "rsi"; "rdi";
+     "r8"; "r9"; "r10"; "r11"; "r12"; "r13"; "r14"; "r15" |]
+
+let of_int i =
+  if i < 0 || i >= count then invalid_arg (Printf.sprintf "Reg.of_int: %d" i);
+  i
+
+let to_int r = r
+
+let name r = names.(r)
+
+let of_name s =
+  let rec scan i =
+    if i >= count then None
+    else if String.equal names.(i) s then Some i
+    else scan (i + 1)
+  in
+  scan 0
+
+let pp fmt r = Format.pp_print_string fmt (name r)
+
+let all = List.init count (fun i -> i)

@@ -1,0 +1,35 @@
+(** VX64 general-purpose registers.
+
+    Sixteen 64-bit registers with x86-64 names.  By ABI convention: [rsp] is
+    the stack pointer, [rax] carries syscall numbers and return values,
+    [rdi]/[rsi]/[rdx] carry syscall and call arguments. *)
+
+type t = private int
+
+val count : int
+
+val rax : t
+val rcx : t
+val rdx : t
+val rbx : t
+val rsp : t
+val rbp : t
+val rsi : t
+val rdi : t
+val r8 : t
+val r9 : t
+val r10 : t
+val r11 : t
+val r12 : t
+val r13 : t
+val r14 : t
+val r15 : t
+
+val of_int : int -> t
+(** @raise Invalid_argument outside [0, 15]. *)
+
+val to_int : t -> int
+val name : t -> string
+val of_name : string -> t option
+val pp : Format.formatter -> t -> unit
+val all : t list

@@ -1,0 +1,1 @@
+lib/mem/addr_space.ml: Array Bytes Char Hashtbl Int64 List Mem_metrics Page Phys_mem Stdx String

@@ -1,0 +1,1 @@
+lib/mem/addr_space.mli: Bytes Mem_metrics Phys_mem Stdx

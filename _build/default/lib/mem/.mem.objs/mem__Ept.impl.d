@@ -1,0 +1,1 @@
+lib/mem/ept.ml: Addr_space Array Bytes Char Hashtbl Int64 List Mem_metrics Page Phys_mem String

@@ -1,0 +1,1 @@
+lib/mem/ept.mli: Bytes Mem_metrics Phys_mem

@@ -1,0 +1,1 @@
+lib/mem/mem_metrics.mli: Format

@@ -1,0 +1,1 @@
+lib/mem/phys_mem.ml: Bytes Hashtbl Mem_metrics Page

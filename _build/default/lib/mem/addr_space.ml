@@ -1,0 +1,251 @@
+module Ptmap = Stdx.Ptmap
+
+type access = Read | Write
+
+exception Page_fault of { addr : int; access : access }
+
+(* Direct-mapped TLB.  Entries cache vpn -> frame for the current page map;
+   they stay valid across stores (COW updates the entry in place) and are
+   flushed wholesale on snapshot capture and restore. *)
+let tlb_bits = 8
+let tlb_size = 1 lsl tlb_bits
+let tlb_mask = tlb_size - 1
+
+(* Frames with this owner are explicitly shared: never COW'd, excluded
+   from snapshots (they live in [shared], not in the snapshot map). *)
+let shared_owner = -1
+
+type t = {
+  phys : Phys_mem.t;
+  metrics : Mem_metrics.t;
+  mutable map : Phys_mem.frame Ptmap.t;
+  mutable gen : int;
+  tlb_vpn : int array;                     (* -1 = invalid *)
+  mutable tlb_frame : Phys_mem.frame array;
+  mutable next_snap_id : int;
+}
+
+type snapshot = { snap_id : int; snap_map : Phys_mem.frame Ptmap.t }
+
+let create phys =
+  let zero = Phys_mem.zero_frame phys in
+  { phys;
+    metrics = Phys_mem.metrics phys;
+    map = Ptmap.empty;
+    gen = Phys_mem.fresh_generation phys;
+    tlb_vpn = Array.make tlb_size (-1);
+    tlb_frame = Array.make tlb_size zero;
+    next_snap_id = 0 }
+
+let phys t = t.phys
+let metrics t = t.metrics
+let generation t = t.gen
+
+let tlb_flush t =
+  Array.fill t.tlb_vpn 0 tlb_size (-1);
+  t.metrics.tlb_flushes <- t.metrics.tlb_flushes + 1
+
+let tlb_invalidate t vpn =
+  let i = vpn land tlb_mask in
+  if t.tlb_vpn.(i) = vpn then t.tlb_vpn.(i) <- -1
+
+(* Look up the frame backing [vpn]; raises [Page_fault] when unmapped. *)
+let lookup t vpn access addr =
+  let i = vpn land tlb_mask in
+  if t.tlb_vpn.(i) = vpn then begin
+    t.metrics.tlb_hits <- t.metrics.tlb_hits + 1;
+    t.tlb_frame.(i)
+  end
+  else begin
+    t.metrics.tlb_misses <- t.metrics.tlb_misses + 1;
+    t.metrics.pt_walks <- t.metrics.pt_walks + 1;
+    let resolved =
+      match Phys_mem.shared_page t.phys ~vpn with
+      | Some _ as hit -> hit
+      | None -> Ptmap.find_opt vpn t.map
+    in
+    match resolved with
+    | None -> raise (Page_fault { addr; access })
+    | Some f ->
+      t.tlb_vpn.(i) <- vpn;
+      t.tlb_frame.(i) <- f;
+      f
+  end
+
+(* The COW fault path: the frame belongs to an older generation (a snapshot
+   may still reference it), so service the write by copying it.  A write to
+   the shared zero frame materialises a fresh zero page instead. *)
+let cow t vpn (f : Phys_mem.frame) =
+  let zero = Phys_mem.zero_frame t.phys in
+  let f' =
+    if f == zero then begin
+      t.metrics.zero_fills <- t.metrics.zero_fills + 1;
+      Phys_mem.alloc t.phys ~owner:t.gen
+    end
+    else begin
+      t.metrics.cow_faults <- t.metrics.cow_faults + 1;
+      Phys_mem.alloc_copy t.phys ~owner:t.gen f
+    end
+  in
+  t.map <- Ptmap.add vpn f' t.map;
+  let i = vpn land tlb_mask in
+  if t.tlb_vpn.(i) = vpn then t.tlb_frame.(i) <- f';
+  f'
+
+let writable_frame t vpn addr =
+  let f = lookup t vpn Write addr in
+  if f.Phys_mem.owner = t.gen || f.Phys_mem.owner = shared_owner then f
+  else cow t vpn f
+
+(* {1 Mapping} *)
+
+let map_zero t ~vpn =
+  t.map <- Ptmap.add vpn (Phys_mem.zero_frame t.phys) t.map;
+  tlb_invalidate t vpn
+
+let map_data t ~vpn data =
+  let len = String.length data in
+  if len > Page.size then invalid_arg "Addr_space.map_data: more than a page";
+  let f = Phys_mem.alloc t.phys ~owner:t.gen in
+  Bytes.blit_string data 0 f.Phys_mem.bytes 0 len;
+  t.map <- Ptmap.add vpn f t.map;
+  tlb_invalidate t vpn
+
+let map_shared t ~vpn =
+  match Phys_mem.shared_page t.phys ~vpn with
+  | Some _ ->
+    (* already shared system-wide; just drop any private shadow *)
+    t.map <- Ptmap.remove vpn t.map;
+    tlb_invalidate t vpn
+  | None ->
+    let f = Phys_mem.alloc t.phys ~owner:shared_owner in
+    (match Ptmap.find_opt vpn t.map with
+    | Some (existing : Phys_mem.frame) ->
+      Bytes.blit existing.bytes 0 f.Phys_mem.bytes 0 Page.size;
+      t.map <- Ptmap.remove vpn t.map
+    | None -> ());
+    Phys_mem.set_shared_page t.phys ~vpn f;
+    tlb_invalidate t vpn
+
+let is_shared t ~vpn = Phys_mem.shared_page t.phys ~vpn <> None
+
+let unmap t ~vpn =
+  t.map <- Ptmap.remove vpn t.map;
+  Phys_mem.clear_shared_page t.phys ~vpn;
+  tlb_invalidate t vpn
+
+let is_mapped t ~vpn = Ptmap.mem vpn t.map || is_shared t ~vpn
+
+let mapped_pages t = Ptmap.cardinal t.map + Phys_mem.shared_page_count t.phys
+
+let mapped_vpns t =
+  let from_map = Ptmap.fold (fun vpn _ acc -> vpn :: acc) t.map [] in
+  List.sort_uniq compare (Phys_mem.shared_vpns t.phys @ from_map)
+
+(* {1 Access} *)
+
+let read_u8 t addr =
+  let f = lookup t (Page.vpn_of_addr addr) Read addr in
+  Char.code (Bytes.unsafe_get f.Phys_mem.bytes (Page.offset_of_addr addr))
+
+let write_u8 t addr v =
+  let f = writable_frame t (Page.vpn_of_addr addr) addr in
+  Bytes.unsafe_set f.Phys_mem.bytes (Page.offset_of_addr addr) (Char.unsafe_chr (v land 0xff))
+
+let read_u64 t addr =
+  let off = Page.offset_of_addr addr in
+  if off <= Page.size - 8 then begin
+    let f = lookup t (Page.vpn_of_addr addr) Read addr in
+    Int64.to_int (Bytes.get_int64_le f.Phys_mem.bytes off)
+  end
+  else begin
+    (* Crosses a page boundary: assemble byte by byte. *)
+    let v = ref 0 in
+    for i = 7 downto 0 do
+      v := (!v lsl 8) lor read_u8 t (addr + i)
+    done;
+    !v
+  end
+
+let write_u64 t addr v =
+  let off = Page.offset_of_addr addr in
+  if off <= Page.size - 8 then begin
+    let f = writable_frame t (Page.vpn_of_addr addr) addr in
+    Bytes.set_int64_le f.Phys_mem.bytes off (Int64.of_int v)
+  end
+  else
+    for i = 0 to 7 do
+      write_u8 t (addr + i) ((v lsr (8 * i)) land 0xff)
+    done
+
+let read_bytes t ~addr ~len =
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let off = Page.offset_of_addr a in
+    let chunk = min (len - !pos) (Page.size - off) in
+    let f = lookup t (Page.vpn_of_addr a) Read a in
+    Bytes.blit f.Phys_mem.bytes off out !pos chunk;
+    pos := !pos + chunk
+  done;
+  out
+
+let write_bytes t ~addr data =
+  let len = String.length data in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let off = Page.offset_of_addr a in
+    let chunk = min (len - !pos) (Page.size - off) in
+    let f = writable_frame t (Page.vpn_of_addr a) a in
+    Bytes.blit_string data !pos f.Phys_mem.bytes off chunk;
+    pos := !pos + chunk
+  done
+
+(* {1 Snapshots} *)
+
+let seal t =
+  tlb_flush t;
+  t.gen <- Phys_mem.fresh_generation t.phys
+
+let snapshot t =
+  t.metrics.snapshots <- t.metrics.snapshots + 1;
+  tlb_flush t;
+  let s = { snap_id = t.next_snap_id; snap_map = t.map } in
+  t.next_snap_id <- t.next_snap_id + 1;
+  (* From now on every frame in [s] belongs to a retired generation, so the
+     next store to any of them COWs.  Capture itself copies nothing. *)
+  t.gen <- Phys_mem.fresh_generation t.phys;
+  s
+
+let restore t s =
+  t.metrics.restores <- t.metrics.restores + 1;
+  tlb_flush t;
+  t.map <- s.snap_map;
+  t.gen <- Phys_mem.fresh_generation t.phys
+
+let snapshot_id s = s.snap_id
+let snapshot_pages s = Ptmap.cardinal s.snap_map
+
+let distinct_frames snaps =
+  let seen = Hashtbl.create 256 in
+  List.iter
+    (fun s ->
+      Ptmap.iter (fun _ (f : Phys_mem.frame) -> Hashtbl.replace seen f.id ()) s.snap_map)
+    snaps;
+  Hashtbl.length seen
+
+let delta_pages a b =
+  let frame_eq (x : Phys_mem.frame) (y : Phys_mem.frame) = x == y in
+  List.length (Ptmap.sym_diff frame_eq a.snap_map b.snap_map)
+
+let snapshot_map_for_debug s = s.snap_map
+
+let immutable_frame t ~addr =
+  match Ptmap.find_opt (Page.vpn_of_addr addr) t.map with
+  | Some (f : Phys_mem.frame) when f.owner <> t.gen && f.owner <> shared_owner ->
+    Some (f.id, f.bytes)
+  | Some _ | None -> None
+
+let reading_frame t addr = lookup t (Page.vpn_of_addr addr) Read addr

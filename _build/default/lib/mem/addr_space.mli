@@ -1,0 +1,105 @@
+(** The production address-space backend: a persistent page map with
+    generation-based copy-on-write.
+
+    This module is the OCaml analogue of the paper's virtual-memory
+    integration.  The page map (virtual page number -> frame) is a persistent
+    Patricia trie, so a {e lightweight immutable snapshot} is captured in
+    O(1) by grabbing the trie root and bumping the current generation.
+    Stores check the owning generation of the target frame: a mismatch is a
+    simulated COW page fault, serviced by copying exactly one 4 KiB frame —
+    the same event the paper's nested-page-table implementation takes in
+    hardware.  A direct-mapped TLB sits in front of the trie and is flushed
+    on snapshot capture and restore, mirroring the hardware cost model. *)
+
+type access = Read | Write
+
+exception Page_fault of { addr : int; access : access }
+(** Raised on access to an unmapped page; the libOS interposes on it. *)
+
+type t
+
+type snapshot
+(** An immutable logical copy of the entire address space.  Holding one
+    keeps its frames alive; dropping the last reference lets the GC reclaim
+    them. *)
+
+val create : Phys_mem.t -> t
+val phys : t -> Phys_mem.t
+val metrics : t -> Mem_metrics.t
+
+(** {1 Mapping} *)
+
+val map_zero : t -> vpn:int -> unit
+(** Map a page as demand-zero (shared zero frame; first store COWs). *)
+
+val map_shared : t -> vpn:int -> unit
+(** Map a page as {e explicitly shared}: it is excluded from snapshots —
+    writes hit the same frame on every path and survive restores.  This is
+    the paper's "explicit sharing mechanisms between lightweight
+    snapshots" (§3.1); the libOS exposes it as [sys_share].  Remapping or
+    unmapping the page removes the sharing. *)
+
+val is_shared : t -> vpn:int -> bool
+
+val map_data : t -> vpn:int -> string -> unit
+(** Map a page initialised with up to {!Page.size} bytes of data. *)
+
+val unmap : t -> vpn:int -> unit
+val is_mapped : t -> vpn:int -> bool
+val mapped_pages : t -> int
+
+val mapped_vpns : t -> int list
+(** Every mapped virtual page number (used by eager-copy baselines that
+    must duplicate the whole address space). *)
+
+(** {1 Access (byte-addressed, little-endian)} *)
+
+val read_u8 : t -> int -> int
+val write_u8 : t -> int -> int -> unit
+val read_u64 : t -> int -> int
+(** Note: the simulated machine's words are OCaml native ints (63-bit); the
+    memory cell is still 8 bytes wide. *)
+
+val write_u64 : t -> int -> int -> unit
+val read_bytes : t -> addr:int -> len:int -> Bytes.t
+val write_bytes : t -> addr:int -> string -> unit
+
+(** {1 Snapshots} *)
+
+val seal : t -> unit
+(** Retire the current generation without capturing a snapshot: every
+    currently-mapped frame becomes immutable-until-COW.  The libOS seals
+    the address space after loading an image, mirroring how exec(2) maps
+    text and data copy-on-write from the file — which also makes code
+    pages eligible for the decoded-instruction cache from the first
+    instruction. *)
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+val snapshot_id : snapshot -> int
+val snapshot_pages : snapshot -> int
+
+val distinct_frames : snapshot list -> int
+(** Number of physical frames backing the union of the given snapshots —
+    the space-accounting measure behind the paper's "space-efficient parent
+    relationship" claim (shared pages are counted once). *)
+
+val delta_pages : snapshot -> snapshot -> int
+(** Pages whose backing frame differs between two snapshots; proportional to
+    COW activity between them, not to address-space size. *)
+
+val generation : t -> int
+val snapshot_map_for_debug : snapshot -> Phys_mem.frame Stdx.Ptmap.t
+
+val reading_frame : t -> int -> Phys_mem.frame
+(** TLB-backed resolution of the frame backing a byte address (the fetch
+    path of the interpreter).  A frame whose [owner] is not the current
+    {!generation} is immutable until COW'd, which callers may exploit for
+    caching. @raise Page_fault when unmapped. *)
+
+val immutable_frame : t -> addr:int -> (int * Bytes.t) option
+(** [Some (frame_id, bytes)] when the page backing [addr] is owned by a
+    retired generation and therefore can never change in place (any write
+    COWs it into a fresh frame with a fresh id).  This is what makes
+    decoded-instruction caches sound: a cache keyed by frame id needs no
+    invalidation.  [None] while the frame is still writable in place. *)

@@ -1,0 +1,31 @@
+(** Event counters for the memory subsystem.
+
+    Every quantitative claim in the paper is ultimately about these events —
+    COW faults, pages copied, snapshot captures/restores — so they are
+    counted at the point where they happen and surfaced by the benches. *)
+
+type t = {
+  mutable cow_faults : int;       (** writes that had to copy a page *)
+  mutable zero_fills : int;       (** demand-zero pages materialised *)
+  mutable pages_copied : int;     (** page-sized copies, COW or eager *)
+  mutable bytes_copied : int;
+  mutable frames_allocated : int;
+  mutable snapshots : int;        (** snapshot captures *)
+  mutable restores : int;
+  mutable tlb_hits : int;
+  mutable tlb_misses : int;
+  mutable tlb_flushes : int;
+  mutable pt_walks : int;         (** page-table / trie lookups on TLB miss *)
+  mutable pt_node_copies : int;   (** EPT backend: page-table pages COW'd *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val add : t -> t -> unit
+(** [add acc x] accumulates [x] into [acc]. *)
+
+val copy : t -> t
+val diff : t -> t -> t
+(** [diff after before] is the per-field difference. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,9 @@
+let shift = 12
+let size = 1 lsl shift
+let offset_mask = size - 1
+let vpn_of_addr addr = addr lsr shift
+let addr_of_vpn vpn = vpn lsl shift
+let offset_of_addr addr = addr land offset_mask
+let round_up n = (n + size - 1) land lnot offset_mask
+let round_down n = n land lnot offset_mask
+let is_aligned n = n land offset_mask = 0

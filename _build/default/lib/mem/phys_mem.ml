@@ -1,0 +1,50 @@
+type frame = { id : int; bytes : Bytes.t; mutable owner : int }
+
+type t = {
+  mutable next_frame : int;
+  mutable next_gen : int;
+  zero : frame;
+  metrics : Mem_metrics.t;
+  shared_pages : (int, frame) Hashtbl.t;
+      (* explicitly-shared frames by vpn: system-global so that every
+         address space over this physical memory sees the same page *)
+}
+
+(* Generation 0 is reserved: it owns the zero frame and nothing else, so no
+   live address space can ever write the zero frame in place. *)
+let zero_generation = 0
+
+let create () =
+  let zero = { id = 0; bytes = Bytes.make Page.size '\000'; owner = zero_generation } in
+  { next_frame = 1; next_gen = 1; zero; metrics = Mem_metrics.create ();
+    shared_pages = Hashtbl.create 8 }
+
+let metrics t = t.metrics
+
+let zero_frame t = t.zero
+
+let alloc t ~owner =
+  let f = { id = t.next_frame; bytes = Bytes.make Page.size '\000'; owner } in
+  t.next_frame <- t.next_frame + 1;
+  t.metrics.frames_allocated <- t.metrics.frames_allocated + 1;
+  f
+
+let alloc_copy t ~owner src =
+  let f = alloc t ~owner in
+  Bytes.blit src.bytes 0 f.bytes 0 Page.size;
+  t.metrics.pages_copied <- t.metrics.pages_copied + 1;
+  t.metrics.bytes_copied <- t.metrics.bytes_copied + Page.size;
+  f
+
+let frames_allocated t = t.next_frame - 1
+
+let shared_page t ~vpn = Hashtbl.find_opt t.shared_pages vpn
+let set_shared_page t ~vpn frame = Hashtbl.replace t.shared_pages vpn frame
+let clear_shared_page t ~vpn = Hashtbl.remove t.shared_pages vpn
+let shared_page_count t = Hashtbl.length t.shared_pages
+let shared_vpns t = Hashtbl.fold (fun vpn _ acc -> vpn :: acc) t.shared_pages []
+
+let fresh_generation t =
+  let g = t.next_gen in
+  t.next_gen <- t.next_gen + 1;
+  g

@@ -1,0 +1,49 @@
+(** Simulated physical memory: a frame allocator with generation ownership.
+
+    A frame is one 4 KiB page of backing store plus the id of the
+    address-space *generation* that owns it.  Ownership drives copy-on-write:
+    a store through a mapping whose frame belongs to an older generation must
+    first copy the frame (see {!Addr_space}).  Frames unreachable from any
+    live snapshot are reclaimed by the OCaml GC, standing in for the
+    refcounted physical-page free list a real libOS would keep. *)
+
+type frame = private {
+  id : int;                 (** unique stamp, used for space accounting *)
+  bytes : Bytes.t;          (** always {!Page.size} bytes *)
+  mutable owner : int;      (** generation allowed to write in place *)
+}
+
+type t
+
+val create : unit -> t
+
+val metrics : t -> Mem_metrics.t
+
+val zero_frame : t -> frame
+(** The shared all-zeroes frame backing demand-zero mappings.  Its owner is a
+    reserved generation that never matches a live one, so the first store
+    always COWs it. *)
+
+val alloc : t -> owner:int -> frame
+(** A fresh zero-filled frame owned by [owner]. *)
+
+val alloc_copy : t -> owner:int -> frame -> frame
+(** A fresh frame owned by [owner] whose contents copy the given frame; this
+    is the COW-fault service path and is counted in the metrics. *)
+
+val frames_allocated : t -> int
+
+val shared_page : t -> vpn:int -> frame option
+(** Explicitly-shared frames are registered system-globally so that every
+    address space over this physical memory resolves the same frame — how
+    §3.1's "explicit sharing mechanisms" stay coherent across parallel
+    workers. *)
+
+val set_shared_page : t -> vpn:int -> frame -> unit
+val clear_shared_page : t -> vpn:int -> unit
+val shared_page_count : t -> int
+val shared_vpns : t -> int list
+
+val fresh_generation : t -> int
+(** Monotonically increasing generation ids; generation 0 is reserved for
+    the zero frame. *)

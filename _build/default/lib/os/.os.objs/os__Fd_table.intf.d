@@ -1,0 +1,1 @@
+lib/os/fd_table.mli:

@@ -1,0 +1,1 @@
+lib/os/libos.ml: Array Buffer Bytes Char Fd_table Format Isa List Mem Option String Sys_abi Vcpu Vfs

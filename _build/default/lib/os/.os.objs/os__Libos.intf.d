@@ -1,0 +1,1 @@
+lib/os/libos.mli: Format Isa Mem Vcpu

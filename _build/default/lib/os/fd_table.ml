@@ -1,0 +1,25 @@
+module Ptmap = Stdx.Ptmap
+
+type desc = { path : string; offset : int; flags : int }
+
+type t = { descs : desc Ptmap.t; next : int }
+
+let initial = { descs = Ptmap.empty; next = 3 }
+
+let alloc t desc =
+  (* Reuse the lowest free descriptor >= 3, like POSIX. *)
+  let rec first_free fd = if Ptmap.mem fd t.descs then first_free (fd + 1) else fd in
+  let fd = first_free 3 in
+  { descs = Ptmap.add fd desc t.descs; next = max t.next (fd + 1) }, fd
+
+let find t fd = Ptmap.find_opt fd t.descs
+
+let set t fd desc = { t with descs = Ptmap.add fd desc t.descs }
+
+let close t fd =
+  if Ptmap.mem fd t.descs then Some { t with descs = Ptmap.remove fd t.descs }
+  else None
+
+let is_std fd = fd >= 0 && fd <= 2
+
+let open_count t = Ptmap.cardinal t.descs

@@ -1,0 +1,26 @@
+(** Persistent file-descriptor tables.
+
+    Like the VFS, descriptor state (including seek offsets) is a persistent
+    value so that it is captured by snapshots and diverges per extension:
+    two extensions reading the same descriptor each see their own offset, as
+    the paper's isolation requirement demands. *)
+
+type desc = {
+  path : string;
+  offset : int;
+  flags : int;  (** the open(2) flags the descriptor was created with *)
+}
+
+type t
+
+val initial : t
+(** Descriptors 0, 1, 2 reserved for stdin/stdout/stderr. *)
+
+val alloc : t -> desc -> t * int
+val find : t -> int -> desc option
+val set : t -> int -> desc -> t
+val close : t -> int -> t option
+(** [None] if the descriptor is not open. *)
+
+val is_std : int -> bool
+val open_count : t -> int

@@ -1,0 +1,65 @@
+let sys_exit = 0
+let sys_write = 1
+let sys_read = 2
+let sys_open = 3
+let sys_close = 4
+let sys_brk = 5
+let sys_guess = 6
+let sys_guess_fail = 7
+let sys_guess_strategy = 8
+let sys_guess_hint = 9
+let sys_lseek = 10
+let sys_unlink = 11
+let sys_vtime = 12
+let sys_timeout = 13
+let sys_share = 14
+let sys_socket = 20
+let sys_ioctl = 21
+
+let strategy_dfs = 0
+let strategy_bfs = 1
+let strategy_astar = 2
+let strategy_sma = 3
+let strategy_random = 4
+
+let o_rdonly = 0
+let o_wronly = 1
+let o_rdwr = 2
+let o_accmode = 3
+let o_creat = 0x40
+let o_trunc = 0x200
+let o_append = 0x400
+
+let seek_set = 0
+let seek_cur = 1
+let seek_end = 2
+
+let enoent = 2
+let ebadf = 9
+let efault = 14
+let einval = 22
+let enomem = 12
+let enotsup = 95
+let enosys = 38
+let emfile = 24
+
+let name_of_syscall n =
+  match n with
+  | 0 -> "exit"
+  | 1 -> "write"
+  | 2 -> "read"
+  | 3 -> "open"
+  | 4 -> "close"
+  | 5 -> "brk"
+  | 6 -> "guess"
+  | 7 -> "guess_fail"
+  | 8 -> "guess_strategy"
+  | 9 -> "guess_hint"
+  | 10 -> "lseek"
+  | 11 -> "unlink"
+  | 12 -> "vtime"
+  | 13 -> "timeout"
+  | 14 -> "share"
+  | 20 -> "socket"
+  | 21 -> "ioctl"
+  | _ -> Printf.sprintf "sys_%d" n

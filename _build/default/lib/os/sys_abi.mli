@@ -1,0 +1,79 @@
+(** The guest/libOS system-call ABI.
+
+    Syscall number in [rax], arguments in [rdi], [rsi], [rdx]; the result
+    (or negated errno) comes back in [rax].  Calls 6-9 are the paper's new
+    backtracking system calls (§3.1): [guess], [guess_fail],
+    [guess_strategy] and the heuristic-distance extension used by A*. *)
+
+(** {1 Syscall numbers} *)
+
+val sys_exit : int
+val sys_write : int
+val sys_read : int
+val sys_open : int
+val sys_close : int
+val sys_brk : int
+val sys_guess : int
+val sys_guess_fail : int
+val sys_guess_strategy : int
+val sys_guess_hint : int
+val sys_lseek : int
+val sys_unlink : int
+val sys_vtime : int
+(** Virtual time: instructions retired by this vCPU (deterministic). *)
+
+val sys_timeout : int
+(** [sys_timeout(n)]: bound every subsequent extension evaluation to [n]
+    guest instructions (0 clears the bound).  The paper's "control
+    execution timeouts" API (§3.1); the bound is part of the snapshotted
+    OS state, so it is inherited by descendants and rolled back with
+    restores. *)
+
+val sys_share : int
+(** [sys_share(addr, len)]: make the pages covering [addr, addr+len)
+    explicitly shared — excluded from snapshots, so writes are visible
+    across all extensions and survive backtracking.  The paper's "explicit
+    sharing mechanisms between lightweight snapshots" (§3.1). *)
+
+val sys_socket : int
+(** Always refused with ENOTSUP: the paper's soundness rule (§5) interposes
+    only on reversible operations; sockets reach external peers. *)
+
+val sys_ioctl : int
+
+(** {1 Search-strategy identifiers for [sys_guess_strategy]} *)
+
+val strategy_dfs : int
+val strategy_bfs : int
+val strategy_astar : int
+val strategy_sma : int
+val strategy_random : int
+
+(** {1 Open flags (subset of POSIX)} *)
+
+val o_rdonly : int
+val o_wronly : int
+val o_rdwr : int
+val o_accmode : int
+val o_creat : int
+val o_trunc : int
+val o_append : int
+
+(** {1 lseek whence} *)
+
+val seek_set : int
+val seek_cur : int
+val seek_end : int
+
+(** {1 Errnos (returned negated)} *)
+
+val enoent : int
+val ebadf : int
+val efault : int
+val einval : int
+val enomem : int
+val enotsup : int
+val enosys : int
+val emfile : int
+
+val name_of_syscall : int -> string

@@ -1,0 +1,36 @@
+module Smap = Map.Make (String)
+
+type t = string Smap.t
+
+let empty = Smap.empty
+let add t ~path content = Smap.add path content t
+let find t ~path = Smap.find_opt path t
+let exists t ~path = Smap.mem path t
+let remove t ~path = Smap.remove path t
+let file_count t = Smap.cardinal t
+let paths t = Smap.fold (fun p _ acc -> p :: acc) t []
+
+let write_at t ~path ~offset data =
+  let current = Option.value (find t ~path) ~default:"" in
+  let cur_len = String.length current in
+  let data_len = String.length data in
+  let buf = Buffer.create (max cur_len (offset + data_len)) in
+  Buffer.add_string buf (String.sub current 0 (min offset cur_len));
+  if offset > cur_len then Buffer.add_string buf (String.make (offset - cur_len) '\000');
+  Buffer.add_string buf data;
+  if cur_len > offset + data_len then
+    Buffer.add_string buf
+      (String.sub current (offset + data_len) (cur_len - offset - data_len));
+  add t ~path (Buffer.contents buf)
+
+let read_at t ~path ~offset ~len =
+  match find t ~path with
+  | None -> None
+  | Some content ->
+    let cur_len = String.length content in
+    if offset >= cur_len then Some ""
+    else Some (String.sub content offset (min len (cur_len - offset)))
+
+let size t ~path = Option.map String.length (find t ~path)
+
+let equal a b = Smap.equal String.equal a b

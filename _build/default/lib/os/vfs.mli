@@ -1,0 +1,27 @@
+(** A persistent in-memory filesystem.
+
+    The paper's snapshot definition includes "a logical copy of open disk
+    files"; making the whole filesystem a persistent value means capturing
+    that copy is O(1) — a snapshot simply keeps the old root.  Only regular
+    files exist; paths under [/dev] and [/proc] are refused by the libOS per
+    the paper's soundness rule. *)
+
+type t
+
+val empty : t
+val add : t -> path:string -> string -> t
+val find : t -> path:string -> string option
+val exists : t -> path:string -> bool
+val remove : t -> path:string -> t
+val file_count : t -> int
+val paths : t -> string list
+
+val write_at : t -> path:string -> offset:int -> string -> t
+(** Write (creating the file if needed), zero-filling any gap between the
+    current end of file and [offset]. *)
+
+val read_at : t -> path:string -> offset:int -> len:int -> string option
+(** [None] if the file does not exist; short reads at end of file. *)
+
+val size : t -> path:string -> int option
+val equal : t -> t -> bool

@@ -1,0 +1,1 @@
+lib/prolog/machine.ml: Array Buffer Hashtbl List Option Stdx String Term

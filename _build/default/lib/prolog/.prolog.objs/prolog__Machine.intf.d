@@ -1,0 +1,1 @@
+lib/prolog/machine.mli: Term

@@ -1,0 +1,1 @@
+lib/prolog/parser.ml: Array Buffer Format List Machine String Term

@@ -1,0 +1,1 @@
+lib/prolog/parser.mli: Machine Term

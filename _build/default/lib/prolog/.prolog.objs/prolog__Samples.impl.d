@@ -1,0 +1,1 @@
+lib/prolog/samples.ml: Array Char List Machine String Term

@@ -1,0 +1,1 @@
+lib/prolog/samples.mli: Machine

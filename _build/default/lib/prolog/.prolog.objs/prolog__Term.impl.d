@@ -1,0 +1,1 @@
+lib/prolog/term.ml: Array Format List Option

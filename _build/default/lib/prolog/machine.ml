@@ -1,0 +1,283 @@
+module Vec = Stdx.Vec
+
+type clause = {
+  nvars : int;
+  head : Term.cterm;
+  body : Term.cterm list;
+}
+
+type db = (string * int, clause list) Hashtbl.t
+
+let functor_of = function
+  | Term.CAtom a -> a, 0
+  | Term.CCompound (f, args) -> f, Array.length args
+  | Term.CInt _ | Term.CVar _ -> invalid_arg "Prolog: clause head must be callable"
+
+let db_of_clauses clauses =
+  let db : db = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      let key = functor_of c.head in
+      let existing = Option.value (Hashtbl.find_opt db key) ~default:[] in
+      Hashtbl.replace db key (existing @ [ c ]))
+    clauses;
+  db
+
+type stats = {
+  mutable unifications : int;
+  mutable backtracks : int;
+  mutable trail_writes : int;
+  mutable choice_points : int;
+}
+
+exception Stop
+exception Cut_signal of int
+exception Eval_error of string
+
+let output_buf = Buffer.create 256
+let last_output () = Buffer.contents output_buf
+
+let solve ?(limit = max_int) (db : db) ~goal ~nvars ~on_solution =
+  let stats = { unifications = 0; backtracks = 0; trail_writes = 0; choice_points = 0 } in
+  Buffer.clear output_buf;
+  let trail : Term.binding ref Vec.t = Vec.create ~dummy:(ref (Term.Unbound 0)) () in
+  let mark () = Vec.length trail in
+  let undo_to m =
+    while Vec.length trail > m do
+      match Vec.pop trail with
+      | Some r ->
+        (match !r with
+        | Term.Bound _ ->
+          (* recover the variable id lost by binding: ids are cosmetic, 0 ok *)
+          r := Term.Unbound 0
+        | Term.Unbound _ -> ())
+      | None -> ()
+    done
+  in
+  let bind r t =
+    stats.trail_writes <- stats.trail_writes + 1;
+    ignore (Vec.push trail r);
+    r := Term.Bound t
+  in
+  let rec unify a b =
+    stats.unifications <- stats.unifications + 1;
+    let a = Term.deref a and b = Term.deref b in
+    match a, b with
+    | Term.Var ra, Term.Var rb -> if ra == rb then true else (bind ra b; true)
+    | Term.Var r, t | t, Term.Var r ->
+      bind r t;
+      true
+    | Term.Atom x, Term.Atom y -> String.equal x y
+    | Term.Int x, Term.Int y -> x = y
+    | Term.Compound (f, xs), Term.Compound (g, ys) ->
+      String.equal f g
+      && Array.length xs = Array.length ys
+      &&
+      let rec go k = k >= Array.length xs || (unify xs.(k) ys.(k) && go (k + 1)) in
+      go 0
+    | (Term.Atom _ | Term.Int _ | Term.Compound _), _ -> false
+  in
+  let rec eval_arith t =
+    match Term.deref t with
+    | Term.Int i -> i
+    | Term.Compound ("+", [| a; b |]) -> eval_arith a + eval_arith b
+    | Term.Compound ("-", [| a; b |]) -> eval_arith a - eval_arith b
+    | Term.Compound ("*", [| a; b |]) -> eval_arith a * eval_arith b
+    | Term.Compound ("//", [| a; b |]) ->
+      let d = eval_arith b in
+      if d = 0 then raise (Eval_error "zero divisor") else eval_arith a / d
+    | Term.Compound ("mod", [| a; b |]) ->
+      let d = eval_arith b in
+      if d = 0 then raise (Eval_error "zero divisor") else eval_arith a mod d
+    | Term.Compound ("-", [| a |]) -> -eval_arith a
+    | Term.Compound ("abs", [| a |]) -> abs (eval_arith a)
+    | Term.Compound ("max", [| a; b |]) -> max (eval_arith a) (eval_arith b)
+    | Term.Compound ("min", [| a; b |]) -> min (eval_arith a) (eval_arith b)
+    | t -> raise (Eval_error (Term.to_string t))
+  in
+  let cut_counter = ref 0 in
+  (* [prove goals barrier sk]: try to prove the conjunction; [sk] is the
+     success continuation, ordinary return means failure.  [barrier] is the
+     cut barrier of the clause body these goals belong to. *)
+  let rec prove goals barrier sk =
+    match goals with
+    | [] -> sk ()
+    | g :: rest -> (
+      let continue_ () = prove rest barrier sk in
+      match Term.deref g with
+      | Term.Atom "true" -> continue_ ()
+      | Term.Atom "fail" | Term.Atom "false" -> ()
+      | Term.Atom "!" ->
+        continue_ ();
+        raise (Cut_signal barrier)
+      | Term.Atom "nl" ->
+        Buffer.add_char output_buf '\n';
+        continue_ ()
+      | Term.Compound (",", [| a; b |]) -> prove (a :: b :: rest) barrier sk
+      | Term.Compound (";", [| a; b |]) ->
+        let m = mark () in
+        prove (a :: rest) barrier sk;
+        undo_to m;
+        stats.backtracks <- stats.backtracks + 1;
+        prove (b :: rest) barrier sk
+      | Term.Compound ("=", [| a; b |]) ->
+        let m = mark () in
+        if unify a b then continue_ ();
+        undo_to m
+      | Term.Compound ("is", [| lhs; rhs |]) -> (
+        match eval_arith rhs with
+        | v ->
+          let m = mark () in
+          if unify lhs (Term.Int v) then continue_ ();
+          undo_to m
+        | exception Eval_error _ -> ())
+      | Term.Compound (("=:=" | "=\\=" | "<" | "=<" | ">" | ">=") as op, [| a; b |]) -> (
+        match eval_arith a, eval_arith b with
+        | x, y ->
+          let holds =
+            match op with
+            | "=:=" -> x = y
+            | "=\\=" -> x <> y
+            | "<" -> x < y
+            | "=<" -> x <= y
+            | ">" -> x > y
+            | ">=" -> x >= y
+            | _ -> assert false
+          in
+          if holds then continue_ ()
+        | exception Eval_error _ -> ())
+      | Term.Compound ("findall", [| template; inner; result |]) -> (
+        let m = mark () in
+        let acc = ref [] in
+        incr cut_counter;
+        (try prove [ inner ] !cut_counter (fun () -> acc := Term.copy template :: !acc)
+         with Cut_signal _ -> ());
+        undo_to m;
+        let collected = Term.list_of (List.rev !acc) in
+        let m2 = mark () in
+        if unify result collected then continue_ ();
+        undo_to m2)
+      | Term.Compound ("once", [| inner |]) -> (
+        let m = mark () in
+        let exception First in
+        incr cut_counter;
+        match prove [ inner ] !cut_counter (fun () -> raise First) with
+        | () -> undo_to m  (* no solution: fail *)
+        | exception First ->
+          continue_ ();
+          undo_to m
+        | exception Cut_signal _ -> undo_to m)
+      | Term.Compound ("\\+", [| inner |]) -> (
+        let m = mark () in
+        let exception Found in
+        match
+          incr cut_counter;
+          prove [ inner ] !cut_counter (fun () -> raise Found)
+        with
+        | () ->
+          undo_to m;
+          continue_ ()
+        | exception Found -> undo_to m
+        | exception Cut_signal _ -> undo_to m)
+      | Term.Compound ("between", [| lo; hi; x |]) -> (
+        match eval_arith lo, eval_arith hi with
+        | l, h -> (
+          match Term.deref x with
+          | Term.Int v -> if v >= l && v <= h then continue_ ()
+          | Term.Var _ ->
+            let m = mark () in
+            (try
+               for v = l to h do
+                 stats.choice_points <- stats.choice_points + 1;
+                 if stats.choice_points > limit then raise Stop;
+                 if unify x (Term.Int v) then continue_ ();
+                 undo_to m;
+                 stats.backtracks <- stats.backtracks + 1
+               done
+             with Stop -> raise Stop)
+          | Term.Atom _ | Term.Compound _ -> ())
+        | exception Eval_error _ -> ())
+      | Term.Compound ("var", [| x |]) -> (
+        match Term.deref x with
+        | Term.Var _ -> continue_ ()
+        | Term.Atom _ | Term.Int _ | Term.Compound _ -> ())
+      | Term.Compound ("nonvar", [| x |]) -> (
+        match Term.deref x with
+        | Term.Var _ -> ()
+        | Term.Atom _ | Term.Int _ | Term.Compound _ -> continue_ ())
+      | Term.Compound ("writeln", [| x |]) ->
+        Buffer.add_string output_buf (Term.to_string x);
+        Buffer.add_char output_buf '\n';
+        continue_ ()
+      | Term.Compound ("write", [| x |]) ->
+        Buffer.add_string output_buf (Term.to_string x);
+        continue_ ()
+      | (Term.Atom _ | Term.Compound _) as callable -> call callable rest barrier sk
+      | Term.Int _ | Term.Var _ -> invalid_arg "Prolog: non-callable goal")
+  and call goal rest _barrier sk =
+    let key =
+      match goal with
+      | Term.Atom a -> a, 0
+      | Term.Compound (f, args) -> f, Array.length args
+      | Term.Int _ | Term.Var _ -> assert false
+    in
+    let clauses = Option.value (Hashtbl.find_opt db key) ~default:[] in
+    (* First-argument indexing: when the call's first argument is bound to
+       a principal functor, clauses whose head cannot unify with it are
+       skipped without a choice point (the standard WAM-style filter). *)
+    let clauses =
+      match goal with
+      | Term.Compound (_, args) when Array.length args > 0 -> (
+        match Term.deref args.(0) with
+        | Term.Var _ -> clauses
+        | bound ->
+          let head_compatible clause =
+            match clause.head with
+            | Term.CCompound (_, head_args) when Array.length head_args > 0 -> (
+              match head_args.(0), bound with
+              | Term.CVar _, _ -> true
+              | Term.CAtom a, Term.Atom b -> String.equal a b
+              | Term.CInt a, Term.Int b -> a = b
+              | Term.CCompound (f, xs), Term.Compound (g, ys) ->
+                String.equal f g && Array.length xs = Array.length ys
+              | (Term.CAtom _ | Term.CInt _ | Term.CCompound _), _ -> false)
+            | Term.CAtom _ | Term.CInt _ | Term.CVar _ | Term.CCompound _ -> true
+          in
+          List.filter head_compatible clauses)
+      | Term.Atom _ | Term.Compound _ | Term.Int _ | Term.Var _ -> clauses
+    in
+    incr cut_counter;
+    let my_barrier = !cut_counter in
+    let m0 = mark () in
+    match
+      List.iter
+        (fun clause ->
+          stats.choice_points <- stats.choice_points + 1;
+          if stats.choice_points > limit then raise Stop;
+          let m = mark () in
+          let terms =
+            Term.instantiate_all ~nvars:clause.nvars (clause.head :: clause.body)
+          in
+          match terms with
+          | head :: body ->
+            if unify goal head then
+              prove body my_barrier (fun () -> prove rest _barrier sk);
+            undo_to m;
+            stats.backtracks <- stats.backtracks + 1
+          | [] -> assert false)
+        clauses
+    with
+    | () -> ()
+    | exception Cut_signal id when id = my_barrier -> undo_to m0
+  in
+  let goal_terms = Term.instantiate_all ~nvars (goal :: List.init nvars (fun k -> Term.CVar k)) in
+  match goal_terms with
+  | g :: vars ->
+    let vars = Array.of_list vars in
+    incr cut_counter;
+    (try prove [ g ] !cut_counter (fun () -> if not (on_solution vars) then raise Stop)
+     with
+    | Stop -> ()
+    | Cut_signal _ -> ());
+    stats
+  | [] -> assert false

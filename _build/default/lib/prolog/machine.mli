@@ -1,0 +1,45 @@
+(** The Prolog engine: unification with a trail, SLD resolution with
+    chronological backtracking and WAM-style first-argument indexing, cut,
+    and the arithmetic builtins needed by classic programs.  This is the software backtracking machine §5
+    compares the prototype against ("a Prolog implementation running on
+    XSB"); every choice point costs a trail mark and every backtrack
+    unwinds bindings one by one — the bookkeeping the paper's snapshots
+    replace with page-table work. *)
+
+type clause = {
+  nvars : int;          (** template variables in head and body *)
+  head : Term.cterm;
+  body : Term.cterm list;
+}
+
+type db
+
+val db_of_clauses : clause list -> db
+(** Clauses are tried in list order, grouped by head functor/arity. *)
+
+type stats = {
+  mutable unifications : int;
+  mutable backtracks : int;
+  mutable trail_writes : int;
+  mutable choice_points : int;
+}
+
+val solve :
+  ?limit:int ->
+  db ->
+  goal:Term.cterm ->
+  nvars:int ->
+  on_solution:(Term.t array -> bool) ->
+  stats
+(** Prove [goal] (a template over [nvars] variables).  [on_solution]
+    receives the instantiated template variables and returns [true] to
+    continue searching for more answers.  [limit] bounds choice points.
+
+    Builtins: [true/0], [fail/0], [,/2] via clause bodies, [;/2], [=/2],
+    [is/2] (with [+ - * // mod abs max min]), comparisons
+    [=:= =\= < =< > >=], [!/0], [\+/1], [once/1], [findall/3],
+    [between/3], [var/1], [nonvar/1], [writeln/1], [write/1] and [nl/0]
+    (output captured; see {!last_output}). *)
+
+val last_output : unit -> string
+(** Text written by [write]/[writeln] during the most recent [solve]. *)

@@ -1,0 +1,300 @@
+exception Error of { line : int; message : string }
+
+let fail line fmt = Format.kasprintf (fun message -> raise (Error { line; message })) fmt
+
+(* {1 Lexer} *)
+
+type token =
+  | T_atom of string
+  | T_var of string
+  | T_int of int
+  | T_punct of string   (* ( ) [ ] | , . and operators *)
+
+type lexed = { token : token; at_line : int }
+
+let is_lower c = c >= 'a' && c <= 'z'
+let is_upper c = (c >= 'A' && c <= 'Z') || c = '_'
+let is_digit c = c >= '0' && c <= '9'
+let is_ident c = is_lower c || is_upper c || is_digit c
+
+let symbol_chars = "+-*/\\=<>:~?@#&^."
+
+let lex text =
+  let out = ref [] in
+  let line = ref 1 in
+  let len = String.length text in
+  let pos = ref 0 in
+  let peek k = if !pos + k < len then Some text.[!pos + k] else None in
+  let emit token = out := { token; at_line = !line } :: !out in
+  while !pos < len do
+    let c = text.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if c = '%' then begin
+      while !pos < len && text.[!pos] <> '\n' do
+        incr pos
+      done
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      while !pos < len && is_digit text.[!pos] do
+        incr pos
+      done;
+      emit (T_int (int_of_string (String.sub text start (!pos - start))))
+    end
+    else if is_lower c then begin
+      let start = !pos in
+      while !pos < len && is_ident text.[!pos] do
+        incr pos
+      done;
+      emit (T_atom (String.sub text start (!pos - start)))
+    end
+    else if is_upper c then begin
+      let start = !pos in
+      while !pos < len && is_ident text.[!pos] do
+        incr pos
+      done;
+      emit (T_var (String.sub text start (!pos - start)))
+    end
+    else if c = '\'' then begin
+      incr pos;
+      let buf = Buffer.create 8 in
+      let rec scan () =
+        if !pos >= len then fail !line "unterminated quoted atom"
+        else if text.[!pos] = '\'' then incr pos
+        else begin
+          Buffer.add_char buf text.[!pos];
+          incr pos;
+          scan ()
+        end
+      in
+      scan ();
+      emit (T_atom (Buffer.contents buf))
+    end
+    else if c = '(' || c = ')' || c = '[' || c = ']' || c = '|' || c = ','
+            || c = '!' || c = ';' then begin
+      emit (T_punct (String.make 1 c));
+      incr pos
+    end
+    else if String.contains symbol_chars c then begin
+      (* longest run of symbol characters, but a '.' followed by layout or
+         end of input is the clause terminator *)
+      if c = '.'
+         && (match peek 1 with
+            | None -> true
+            | Some (' ' | '\t' | '\n' | '\r' | '%') -> true
+            | Some _ -> false)
+      then begin
+        emit (T_punct ".");
+        incr pos
+      end
+      else begin
+        let start = !pos in
+        while !pos < len && String.contains symbol_chars text.[!pos] do
+          incr pos
+        done;
+        emit (T_punct (String.sub text start (!pos - start)))
+      end
+    end
+    else fail !line "unexpected character %C" c
+  done;
+  List.rev !out
+
+(* {1 Pratt parser over cterm} *)
+
+type state = {
+  mutable tokens : lexed list;
+  mutable vars : (string * int) list;  (* name -> template index *)
+  mutable next_var : int;
+  mutable last_line : int;
+}
+
+let current st =
+  match st.tokens with
+  | [] -> None
+  | { token; at_line } :: _ ->
+    st.last_line <- at_line;
+    Some token
+
+let advance st =
+  match st.tokens with [] -> () | _ :: rest -> st.tokens <- rest
+
+let expect st punct =
+  match current st with
+  | Some (T_punct p) when p = punct -> advance st
+  | _ -> fail st.last_line "expected %S" punct
+
+let fresh_var st name =
+  if name = "_" then begin
+    let idx = st.next_var in
+    st.next_var <- idx + 1;
+    idx
+  end
+  else
+    match List.assoc_opt name st.vars with
+    | Some idx -> idx
+    | None ->
+      let idx = st.next_var in
+      st.next_var <- idx + 1;
+      st.vars <- (name, idx) :: st.vars;
+      idx
+
+let infix_ops =
+  (* name, precedence, right-associative *)
+  [ ":-", 1200, false; ";", 1100, true; ",", 1000, true;
+    "=", 700, false; "\\=", 700, false; "is", 700, false;
+    "<", 700, false; "=<", 700, false; ">", 700, false; ">=", 700, false;
+    "=:=", 700, false; "=\\=", 700, false;
+    "+", 500, false; "-", 500, false;
+    "*", 400, false; "//", 400, false; "mod", 400, false ]
+
+let lookup_infix name = List.find_opt (fun (n, _, _) -> n = name) infix_ops
+
+let rec parse_term st max_prec =
+  let left = parse_primary st in
+  parse_infix st left max_prec
+
+and parse_infix st left max_prec =
+  match current st with
+  | Some (T_punct p) | Some (T_atom p) -> (
+    match lookup_infix p with
+    | Some (name, prec, right_assoc) when prec <= max_prec ->
+      advance st;
+      let right = parse_term st (if right_assoc then prec else prec - 1) in
+      parse_infix st (Term.cc name [ left; right ]) max_prec
+    | Some _ | None -> left)
+  | Some (T_var _ | T_int _) | None -> left
+
+and parse_primary st =
+  match current st with
+  | None -> fail st.last_line "unexpected end of input"
+  | Some (T_int v) ->
+    advance st;
+    Term.ci v
+  | Some (T_var name) ->
+    advance st;
+    Term.cv (fresh_var st name)
+  | Some (T_punct "(") ->
+    advance st;
+    let t = parse_term st 1200 in
+    expect st ")";
+    t
+  | Some (T_punct "[") ->
+    advance st;
+    parse_list st
+  | Some (T_punct "!") ->
+    advance st;
+    Term.ca "!"
+  | Some (T_punct "-") ->
+    (* negative numeric literal or arithmetic negation *)
+    advance st;
+    (match current st with
+    | Some (T_int v) ->
+      advance st;
+      Term.ci (-v)
+    | _ -> Term.cc "-" [ parse_term st 200 ])
+  | Some (T_punct "\\+") ->
+    advance st;
+    Term.cc "\\+" [ parse_term st 900 ]
+  | Some (T_atom name) -> (
+    advance st;
+    match current st with
+    | Some (T_punct "(") ->
+      advance st;
+      let args = parse_args st in
+      expect st ")";
+      Term.cc name args
+    | _ -> Term.ca name)
+  | Some (T_punct p) -> fail st.last_line "unexpected %S" p
+
+and parse_args st =
+  (* arguments bind tighter than the ',' operator *)
+  let first = parse_term st 999 in
+  match current st with
+  | Some (T_punct ",") ->
+    advance st;
+    first :: parse_args st
+  | _ -> [ first ]
+
+and parse_list st =
+  match current st with
+  | Some (T_punct "]") ->
+    advance st;
+    Term.ca "[]"
+  | _ ->
+    let rec elements () =
+      let head = parse_term st 999 in
+      match current st with
+      | Some (T_punct ",") ->
+        advance st;
+        let tail = elements () in
+        Term.cc "." [ head; tail ]
+      | Some (T_punct "|") ->
+        advance st;
+        let tail = parse_term st 999 in
+        expect st "]";
+        Term.cc "." [ head; tail ]
+      | Some (T_punct "]") ->
+        advance st;
+        Term.cc "." [ head; Term.ca "[]" ]
+      | _ -> fail st.last_line "expected ',', '|' or ']' in list"
+    in
+    elements ()
+
+(* {1 Clause and program parsing} *)
+
+(* body terms: flatten ','-conjunctions into goal lists *)
+let rec flatten_conj term =
+  match term with
+  | Term.CCompound (",", [| a; b |]) -> flatten_conj a @ flatten_conj b
+  | t -> [ t ]
+
+let clause_of_term st term =
+  match term with
+  | Term.CCompound (":-", [| head; body |]) ->
+    { Machine.nvars = st.next_var; head; body = flatten_conj body }
+  | head -> { Machine.nvars = st.next_var; head; body = [] }
+
+let parse_program text =
+  let tokens = lex text in
+  let clauses = ref [] in
+  let st = ref { tokens; vars = []; next_var = 0; last_line = 1 } in
+  while (!st).tokens <> [] do
+    let term = parse_term !st 1200 in
+    expect !st ".";
+    clauses := clause_of_term !st term :: !clauses;
+    (* fresh variable scope per clause *)
+    st := { !st with vars = []; next_var = 0 }
+  done;
+  List.rev !clauses
+
+type query = {
+  goal : Term.cterm;
+  nvars : int;
+  var_names : (int * string) list;
+}
+
+let parse_query text =
+  let st = { tokens = lex text; vars = []; next_var = 0; last_line = 1 } in
+  let goal = parse_term st 1200 in
+  (match current st with
+  | Some (T_punct ".") -> advance st
+  | Some _ -> fail st.last_line "trailing tokens after query"
+  | None -> ());
+  (match current st with
+  | None -> ()
+  | Some _ -> fail st.last_line "trailing tokens after query");
+  { goal;
+    nvars = st.next_var;
+    var_names = List.map (fun (name, idx) -> idx, name) st.vars }
+
+let run_query ?limit db query ~on_solution =
+  Machine.solve ?limit db ~goal:query.goal ~nvars:query.nvars
+    ~on_solution:(fun vars ->
+      let bindings =
+        List.rev_map (fun (idx, name) -> name, vars.(idx)) query.var_names
+      in
+      on_solution bindings)

@@ -1,0 +1,34 @@
+(** A parser for the Prolog subset the engine executes.
+
+    Supported syntax: facts and rules ([head :- body.]), conjunction [,],
+    disjunction [;], cut [!], negation [\+], unification [=], arithmetic
+    [is] with [+ - * // mod] and comparisons [< =< > >= =:= =\=], lists
+    [[a, b | T]], integers, atoms (lowercase or single-quoted), variables
+    (capitalised or [_]), and [%]-to-end-of-line comments.
+
+    Operator precedences follow ISO: [:-] 1200, [;] 1100, [,] 1000,
+    comparisons and [is] 700, additive 500, multiplicative 400, [\+] 900
+    prefix, [-] prefix for negative literals. *)
+
+exception Error of { line : int; message : string }
+
+val parse_program : string -> Machine.clause list
+(** Parse clauses terminated by ['.'].
+    @raise Error with a 1-based line number. *)
+
+type query = {
+  goal : Term.cterm;
+  nvars : int;
+  var_names : (int * string) list;  (** template index -> source name *)
+}
+
+val parse_query : string -> query
+(** Parse one goal term (a trailing ['.'] is optional). *)
+
+val run_query :
+  ?limit:int ->
+  Machine.db ->
+  query ->
+  on_solution:((string * Term.t) list -> bool) ->
+  Machine.stats
+(** Solve the query, reporting named variable bindings per solution. *)

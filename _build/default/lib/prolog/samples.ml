@@ -1,0 +1,100 @@
+open Term
+
+let cl nvars head body = { Machine.nvars; head; body }
+
+(* append([], L, L).
+   append([H|T], L, [H|R]) :- append(T, L, R). *)
+let list_clauses =
+  [ cl 1 (cc "append" [ ca "[]"; cv 0; cv 0 ]) [];
+    cl 4
+      (cc "append" [ clist_tl [ cv 0 ] (cv 1); cv 2; clist_tl [ cv 0 ] (cv 3) ])
+      [ cc "append" [ cv 1; cv 2; cv 3 ] ];
+    (* member(X, [X|_]).  member(X, [_|T]) :- member(X, T). *)
+    cl 2 (cc "member" [ cv 0; clist_tl [ cv 0 ] (cv 1) ]) [];
+    cl 3
+      (cc "member" [ cv 0; clist_tl [ cv 1 ] (cv 2) ])
+      [ cc "member" [ cv 0; cv 2 ] ];
+    (* select(X, [X|T], T).  select(X, [H|T], [H|R]) :- select(X, T, R). *)
+    cl 2 (cc "select" [ cv 0; clist_tl [ cv 0 ] (cv 1); cv 1 ]) [];
+    cl 4
+      (cc "select" [ cv 0; clist_tl [ cv 1 ] (cv 2); clist_tl [ cv 1 ] (cv 3) ])
+      [ cc "select" [ cv 0; cv 2; cv 3 ] ];
+    (* numlist(L, H, []) :- L > H, !.
+       numlist(L, H, [L|T]) :- L =< H, L1 is L + 1, numlist(L1, H, T). *)
+    cl 2 (cc "numlist" [ cv 0; cv 1; ca "[]" ]) [ cc ">" [ cv 0; cv 1 ]; ca "!" ];
+    cl 4
+      (cc "numlist" [ cv 0; cv 1; clist_tl [ cv 0 ] (cv 2) ])
+      [ cc "=<" [ cv 0; cv 1 ];
+        cc "is" [ cv 3; cc "+" [ cv 0; ci 1 ] ];
+        cc "numlist" [ cv 3; cv 1; cv 2 ] ];
+    (* length([], 0).  length([_|T], N) :- length(T, M), N is M + 1. *)
+    cl 0 (cc "length" [ ca "[]"; ci 0 ]) [];
+    cl 4
+      (cc "length" [ clist_tl [ cv 0 ] (cv 1); cv 2 ])
+      [ cc "length" [ cv 1; cv 3 ]; cc "is" [ cv 2; cc "+" [ cv 3; ci 1 ] ] ] ]
+
+(* queens(N, Qs) :- numlist(1, N, Ns), place(Ns, [], Qs).
+   place([], Qs, Qs).
+   place(Unplaced, Safe, Qs) :-
+       select(Q, Unplaced, Rest),
+       no_attack(Safe, Q, 1),
+       place(Rest, [Q|Safe], Qs).
+   no_attack([], _, _).
+   no_attack([Y|Ys], Q, D) :-
+       Q =\= Y + D, Q =\= Y - D, D1 is D + 1, no_attack(Ys, Q, D1). *)
+let queens_clauses =
+  [ cl 3
+      (cc "queens" [ cv 0; cv 1 ])
+      [ cc "numlist" [ ci 1; cv 0; cv 2 ]; cc "place" [ cv 2; ca "[]"; cv 1 ] ];
+    cl 1 (cc "place" [ ca "[]"; cv 0; cv 0 ]) [];
+    cl 5
+      (cc "place" [ cv 0; cv 1; cv 2 ])
+      [ cc "select" [ cv 3; cv 0; cv 4 ];
+        cc "no_attack" [ cv 1; cv 3; ci 1 ];
+        cc "place" [ cv 4; clist_tl [ cv 3 ] (cv 1); cv 2 ] ];
+    cl 2 (cc "no_attack" [ ca "[]"; cv 0; cv 1 ]) [];
+    cl 5
+      (cc "no_attack" [ clist_tl [ cv 0 ] (cv 1); cv 2; cv 3 ])
+      [ cc "=\\=" [ cv 2; cc "+" [ cv 0; cv 3 ] ];
+        cc "=\\=" [ cv 2; cc "-" [ cv 0; cv 3 ] ];
+        cc "is" [ cv 4; cc "+" [ cv 3; ci 1 ] ];
+        cc "no_attack" [ cv 1; cv 2; cv 4 ] ] ]
+
+let full_db = Machine.db_of_clauses (list_clauses @ queens_clauses)
+
+let count_queens n =
+  let count = ref 0 in
+  let stats =
+    Machine.solve full_db
+      ~goal:(cc "queens" [ ci n; cv 0 ])
+      ~nvars:1
+      ~on_solution:(fun _ ->
+        incr count;
+        true)
+  in
+  !count, stats
+
+let solve_queens_boards n =
+  let boards = ref [] in
+  let _ =
+    Machine.solve full_db
+      ~goal:(cc "queens" [ ci n; cv 0 ])
+      ~nvars:1
+      ~on_solution:(fun vars ->
+        (match Term.to_list vars.(0) with
+        | Some items ->
+          (* the program builds Qs with the last-placed queen first; queen
+             values are rows (1-based) listed per column from last to
+             first *)
+          let rows =
+            List.filter_map (function Term.Int i -> Some (i - 1) | _ -> None) items
+          in
+          let cols = List.rev rows in
+          boards :=
+            String.init (List.length cols) (fun c ->
+                Char.chr (Char.code '0' + List.nth cols c))
+            :: !boards
+        | None -> ());
+        true)
+  in
+  List.rev !boards

@@ -1,0 +1,18 @@
+(** Canned Prolog programs: the n-queens program used as E1's Prolog
+    baseline, plus the list-processing predicates the tests exercise. *)
+
+val list_clauses : Machine.clause list
+(** [append/3], [member/2], [select/3], [numlist/3], [length/2]. *)
+
+val queens_clauses : Machine.clause list
+(** The classic [select]-based n-queens (placements as permutations with a
+    diagonal-attack check), over {!list_clauses}. *)
+
+val full_db : Machine.db
+
+val count_queens : int -> int * Machine.stats
+(** Number of n-queens solutions found by the Prolog engine. *)
+
+val solve_queens_boards : int -> string list
+(** Solutions as digit strings in the guest program's format (column ->
+    row, 0-based), for cross-checking against the VX64 guest. *)

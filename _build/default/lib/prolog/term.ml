@@ -1,0 +1,112 @@
+type t =
+  | Atom of string
+  | Int of int
+  | Var of binding ref
+  | Compound of string * t array
+
+and binding = Unbound of int | Bound of t
+
+type cterm =
+  | CAtom of string
+  | CInt of int
+  | CVar of int
+  | CCompound of string * cterm array
+
+let var_counter = ref 0
+
+let fresh_var () =
+  incr var_counter;
+  Var (ref (Unbound !var_counter))
+
+let rec deref t =
+  match t with
+  | Var { contents = Bound inner } -> deref inner
+  | Var { contents = Unbound _ } | Atom _ | Int _ | Compound _ -> t
+
+let instantiate ~nvars template =
+  let vars = Array.init nvars (fun _ -> fresh_var ()) in
+  let rec go = function
+    | CAtom a -> Atom a
+    | CInt i -> Int i
+    | CVar k -> vars.(k)
+    | CCompound (f, args) -> Compound (f, Array.map go args)
+  in
+  go template
+
+let instantiate_all ~nvars templates =
+  let vars = Array.init nvars (fun _ -> fresh_var ()) in
+  let rec go = function
+    | CAtom a -> Atom a
+    | CInt i -> Int i
+    | CVar k -> vars.(k)
+    | CCompound (f, args) -> Compound (f, Array.map go args)
+  in
+  List.map go templates
+
+let nil = Atom "[]"
+let cons h t = Compound (".", [| h; t |])
+let list_of items = List.fold_right cons items nil
+
+let rec to_list t =
+  match deref t with
+  | Atom "[]" -> Some []
+  | Compound (".", [| h; tl |]) ->
+    Option.map (fun rest -> deref h :: rest) (to_list tl)
+  | Atom _ | Int _ | Var _ | Compound _ -> None
+
+let ca a = CAtom a
+let ci i = CInt i
+let cv k = CVar k
+let cc f args = CCompound (f, Array.of_list args)
+let clist items = List.fold_right (fun h t -> cc "." [ h; t ]) items (ca "[]")
+let clist_tl items tail = List.fold_right (fun h t -> cc "." [ h; t ]) items tail
+
+let copy t =
+  let mapping : (binding ref * t) list ref = ref [] in
+  let rec go t =
+    match deref t with
+    | Atom _ | Int _ -> deref t
+    | Var r -> (
+      match List.assq_opt r !mapping with
+      | Some fresh -> fresh
+      | None ->
+        let fresh = fresh_var () in
+        mapping := (r, fresh) :: !mapping;
+        fresh)
+    | Compound (f, args) -> Compound (f, Array.map go args)
+  in
+  go t
+
+let rec pp fmt t =
+  match deref t with
+  | Atom a -> Format.pp_print_string fmt a
+  | Int i -> Format.pp_print_int fmt i
+  | Var { contents = Unbound id } -> Format.fprintf fmt "_G%d" id
+  | Var { contents = Bound _ } -> assert false
+  | Compound (".", [| _; _ |]) as l -> pp_list fmt l
+  | Compound (f, args) ->
+    Format.fprintf fmt "%s(" f;
+    Array.iteri
+      (fun k arg ->
+        if k > 0 then Format.pp_print_string fmt ", ";
+        pp fmt arg)
+      args;
+    Format.pp_print_string fmt ")"
+
+and pp_list fmt l =
+  Format.pp_print_char fmt '[';
+  let rec go first t =
+    match deref t with
+    | Atom "[]" -> ()
+    | Compound (".", [| h; tl |]) ->
+      if not first then Format.pp_print_string fmt ", ";
+      pp fmt h;
+      go false tl
+    | other ->
+      Format.pp_print_char fmt '|';
+      pp fmt other
+  in
+  go true l;
+  Format.pp_print_char fmt ']'
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,51 @@
+(** Prolog terms with mutable variable bindings (structure sharing).
+
+    Clause templates ({!cterm}) use numbered variables and are instantiated
+    with fresh mutable variables at each use, the standard interpreter
+    design whose trail-based backtracking is E1's software comparator. *)
+
+type t =
+  | Atom of string
+  | Int of int
+  | Var of binding ref
+  | Compound of string * t array
+
+and binding = Unbound of int | Bound of t
+
+(** Clause template representation (closed, immutable). *)
+type cterm =
+  | CAtom of string
+  | CInt of int
+  | CVar of int
+  | CCompound of string * cterm array
+
+val fresh_var : unit -> t
+val deref : t -> t
+(** Follow bound-variable chains to the representative term. *)
+
+val instantiate : nvars:int -> cterm -> t
+val instantiate_all : nvars:int -> cterm list -> t list
+
+(** {1 List helpers} *)
+
+val nil : t
+val cons : t -> t -> t
+val list_of : t list -> t
+val to_list : t -> t list option
+(** [None] if the term is not a proper list. *)
+
+(** {1 Template construction sugar} *)
+
+val ca : string -> cterm
+val ci : int -> cterm
+val cv : int -> cterm
+val cc : string -> cterm list -> cterm
+val clist : cterm list -> cterm
+val clist_tl : cterm list -> cterm -> cterm
+
+val copy : t -> t
+(** Deep copy with fresh variables for the unbound ones (preserving
+    sharing), as [findall/3] needs to capture solutions. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

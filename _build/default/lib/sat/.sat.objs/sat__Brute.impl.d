@@ -1,0 +1,1 @@
+lib/sat/brute.ml: Array List

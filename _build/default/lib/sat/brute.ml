@@ -1,0 +1,43 @@
+let eval assignment clauses =
+  List.for_all
+    (List.exists (fun l ->
+         if l > 0 then assignment.(l) else not assignment.(-l)))
+    clauses
+
+let iter_assignments ~num_vars f =
+  if num_vars > 24 then invalid_arg "Sat.Brute: too many variables";
+  let assignment = Array.make (num_vars + 1) false in
+  let stop = ref false in
+  let total = 1 lsl num_vars in
+  let mask = ref 0 in
+  while (not !stop) && !mask < total do
+    for v = 1 to num_vars do
+      assignment.(v) <- !mask land (1 lsl (v - 1)) <> 0
+    done;
+    if f assignment then stop := true;
+    incr mask
+  done
+
+let satisfiable ~num_vars clauses =
+  let found = ref false in
+  iter_assignments ~num_vars (fun a ->
+      if eval a clauses then found := true;
+      !found);
+  !found
+
+let count_models ~num_vars clauses =
+  let count = ref 0 in
+  iter_assignments ~num_vars (fun a ->
+      if eval a clauses then incr count;
+      false);
+  !count
+
+let find_model ~num_vars clauses =
+  let result = ref None in
+  iter_assignments ~num_vars (fun a ->
+      if eval a clauses then begin
+        result := Some (Array.copy a);
+        true
+      end
+      else false);
+  !result

@@ -1,0 +1,9 @@
+(** Exhaustive reference solver for cross-checking {!Solver} on small
+    instances (tests and property checks only). *)
+
+val satisfiable : num_vars:int -> int list list -> bool
+
+val count_models : num_vars:int -> int list list -> int
+
+val find_model : num_vars:int -> int list list -> bool array option
+(** Index 1..num_vars; index 0 unused. *)

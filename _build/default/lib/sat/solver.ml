@@ -1,0 +1,525 @@
+(* CDCL in the MiniSat lineage.  Internal literal encoding: variable v >= 1
+   becomes 2v (positive) / 2v+1 (negated); [lit lxor 1] is negation. *)
+
+module Vec = Stdx.Vec
+
+type outcome = Sat | Unsat | Unknown
+
+type stats = {
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable learned : int;
+  mutable restarts : int;
+  mutable max_var : int;
+}
+
+type clause = { lits : int array; learnt : bool }
+
+type t = {
+  mutable nvars : int;
+  clauses : clause Vec.t;
+  mutable watches : int Vec.t array;    (* indexed by lit *)
+  mutable assigns : int array;          (* by var: 0 undef, 1 true, -1 false *)
+  mutable var_level : int array;
+  mutable var_reason : int array;       (* clause index or -1 *)
+  mutable activity : float array;
+  mutable polarity : bool array;        (* saved phase *)
+  mutable seen : bool array;
+  trail : int Vec.t;                    (* lits in assignment order *)
+  trail_lim : int Vec.t;
+  mutable qhead : int;
+  mutable var_inc : float;
+  mutable ok : bool;                    (* false once UNSAT at level 0 *)
+  mutable guards : int list;            (* push/pop frame guard variables *)
+  mutable all_guards : Stdx.Intset.t;   (* every guard ever created *)
+  stats : stats;
+  order : int Vec.t;                    (* binary max-heap of vars *)
+  mutable heap_pos : int array;         (* var -> index in order, -1 if absent *)
+}
+
+let lit_of_dimacs l =
+  if l = 0 then invalid_arg "Sat.Solver: literal 0";
+  if l > 0 then 2 * l else (2 * -l) + 1
+
+let var_of_lit lit = lit lsr 1
+let lit_sign lit = lit land 1 = 1 (* true = negated *)
+
+let create () =
+  { nvars = 0;
+    clauses = Vec.create ~dummy:{ lits = [||]; learnt = false } ();
+    watches = Array.init 4 (fun _ -> Vec.create ~dummy:(-1) ());
+    assigns = Array.make 2 0;
+    var_level = Array.make 2 0;
+    var_reason = Array.make 2 (-1);
+    activity = Array.make 2 0.0;
+    polarity = Array.make 2 false;
+    seen = Array.make 2 false;
+    trail = Vec.create ~dummy:0 ();
+    trail_lim = Vec.create ~dummy:0 ();
+    qhead = 0;
+    var_inc = 1.0;
+    ok = true;
+    guards = [];
+    all_guards = Stdx.Intset.empty;
+    stats =
+      { conflicts = 0; decisions = 0; propagations = 0; learned = 0;
+        restarts = 0; max_var = 0 };
+    order = Vec.create ~dummy:0 ();
+    heap_pos = Array.make 2 (-1) }
+
+(* {1 Order heap (max-activity)} *)
+
+let heap_less t a b = t.activity.(a) > t.activity.(b)
+
+let heap_swap t i j =
+  let a = Vec.get t.order i and b = Vec.get t.order j in
+  Vec.set t.order i b;
+  Vec.set t.order j a;
+  t.heap_pos.(a) <- j;
+  t.heap_pos.(b) <- i
+
+let rec heap_up t i =
+  if i > 0 then begin
+    let p = (i - 1) / 2 in
+    if heap_less t (Vec.get t.order i) (Vec.get t.order p) then begin
+      heap_swap t i p;
+      heap_up t p
+    end
+  end
+
+let rec heap_down t i =
+  let n = Vec.length t.order in
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let best = ref i in
+  if l < n && heap_less t (Vec.get t.order l) (Vec.get t.order !best) then best := l;
+  if r < n && heap_less t (Vec.get t.order r) (Vec.get t.order !best) then best := r;
+  if !best <> i then begin
+    heap_swap t i !best;
+    heap_down t !best
+  end
+
+let heap_insert t v =
+  if t.heap_pos.(v) < 0 then begin
+    let i = Vec.push t.order v in
+    t.heap_pos.(v) <- i;
+    heap_up t i
+  end
+
+let heap_pop t =
+  match Vec.length t.order with
+  | 0 -> None
+  | n ->
+    let top = Vec.get t.order 0 in
+    let last = Vec.get t.order (n - 1) in
+    ignore (Vec.pop t.order);
+    t.heap_pos.(top) <- -1;
+    if n > 1 then begin
+      Vec.set t.order 0 last;
+      t.heap_pos.(last) <- 0;
+      heap_down t 0
+    end;
+    Some top
+
+let heap_rescore t v = if t.heap_pos.(v) >= 0 then heap_up t t.heap_pos.(v)
+
+(* {1 Variables} *)
+
+let grow_array arr n fill =
+  let len = Array.length arr in
+  if n < len then arr
+  else begin
+    let out = Array.make (max n (2 * len)) fill in
+    Array.blit arr 0 out 0 len;
+    out
+  end
+
+let ensure_var t v =
+  if v > t.nvars then begin
+    let n = v + 1 in
+    t.assigns <- grow_array t.assigns n 0;
+    t.var_level <- grow_array t.var_level n 0;
+    t.var_reason <- grow_array t.var_reason n (-1);
+    t.activity <- grow_array t.activity n 0.0;
+    t.polarity <- grow_array t.polarity n false;
+    t.seen <- grow_array t.seen n false;
+    t.heap_pos <- grow_array t.heap_pos n (-1);
+    if Array.length t.watches < 2 * n + 2 then begin
+      let old = t.watches in
+      let out = Array.init (max (2 * n + 2) (2 * Array.length old))
+          (fun i -> if i < Array.length old then old.(i) else Vec.create ~dummy:(-1) ())
+      in
+      t.watches <- out
+    end;
+    for u = t.nvars + 1 to v do
+      heap_insert t u
+    done;
+    t.nvars <- v;
+    t.stats.max_var <- max t.stats.max_var v
+  end
+
+let lit_value t lit =
+  let v = t.assigns.(var_of_lit lit) in
+  if v = 0 then 0 else if lit_sign lit then -v else v
+
+let decision_level t = Vec.length t.trail_lim
+
+(* {1 Assignment} *)
+
+let enqueue t lit reason =
+  let v = var_of_lit lit in
+  t.assigns.(v) <- (if lit_sign lit then -1 else 1);
+  t.var_level.(v) <- decision_level t;
+  t.var_reason.(v) <- reason;
+  ignore (Vec.push t.trail lit)
+
+let bump_var t v =
+  t.activity.(v) <- t.activity.(v) +. t.var_inc;
+  if t.activity.(v) > 1e100 then begin
+    for u = 1 to t.nvars do
+      t.activity.(u) <- t.activity.(u) *. 1e-100
+    done;
+    t.var_inc <- t.var_inc *. 1e-100
+  end;
+  heap_rescore t v
+
+let decay_activity t = t.var_inc <- t.var_inc /. 0.95
+
+(* {1 Watched-literal propagation} *)
+
+let watch t lit ci = ignore (Vec.push t.watches.(lit) ci)
+
+let attach_clause t ci =
+  let c = Vec.get t.clauses ci in
+  (* watch the negations: when a watched literal becomes false we visit *)
+  watch t (c.lits.(0) lxor 1) ci;
+  watch t (c.lits.(1) lxor 1) ci
+
+(* Propagate everything on the trail; returns the conflicting clause id or
+   -1.  The watch lists are maintained MiniSat-style with in-place
+   compaction. *)
+let propagate t =
+  let conflict = ref (-1) in
+  while !conflict < 0 && t.qhead < Vec.length t.trail do
+    let lit = Vec.get t.trail t.qhead in
+    t.qhead <- t.qhead + 1;
+    t.stats.propagations <- t.stats.propagations + 1;
+    let ws = t.watches.(lit) in
+    let n = Vec.length ws in
+    let keep = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let ci = Vec.get ws !i in
+      incr i;
+      if !conflict >= 0 then begin
+        Vec.set ws !keep ci;
+        incr keep
+      end
+      else begin
+        let c = Vec.get t.clauses ci in
+        let lits = c.lits in
+        (* normalise: false watched literal at position 1 *)
+        let falsified = lit lxor 1 in
+        if lits.(0) = falsified then begin
+          lits.(0) <- lits.(1);
+          lits.(1) <- falsified
+        end;
+        if lit_value t lits.(0) = 1 then begin
+          (* satisfied; keep watching *)
+          Vec.set ws !keep ci;
+          incr keep
+        end
+        else begin
+          (* look for a new literal to watch *)
+          let len = Array.length lits in
+          let found = ref false in
+          let k = ref 2 in
+          while (not !found) && !k < len do
+            if lit_value t lits.(!k) <> -1 then begin
+              let l = lits.(!k) in
+              lits.(!k) <- lits.(1);
+              lits.(1) <- l;
+              watch t (l lxor 1) ci;
+              found := true
+            end;
+            incr k
+          done;
+          if !found then ()
+          else begin
+            (* unit or conflict *)
+            Vec.set ws !keep ci;
+            incr keep;
+            if lit_value t lits.(0) = -1 then conflict := ci
+            else enqueue t lits.(0) ci
+          end
+        end
+      end
+    done;
+    Vec.truncate ws !keep
+  done;
+  !conflict
+
+(* {1 Backtracking} *)
+
+let cancel_until t level =
+  if decision_level t > level then begin
+    let bound = Vec.get t.trail_lim level in
+    for pos = Vec.length t.trail - 1 downto bound do
+      let lit = Vec.get t.trail pos in
+      let v = var_of_lit lit in
+      t.polarity.(v) <- not (lit_sign lit);
+      t.assigns.(v) <- 0;
+      t.var_reason.(v) <- -1;
+      heap_insert t v
+    done;
+    Vec.truncate t.trail bound;
+    Vec.truncate t.trail_lim level;
+    t.qhead <- Vec.length t.trail
+  end
+
+(* {1 Conflict analysis (first UIP)} *)
+
+let analyze t confl =
+  let learnt = ref [] in
+  let path = ref 0 in
+  let p = ref (-1) in
+  let index = ref (Vec.length t.trail - 1) in
+  let confl = ref confl in
+  let continue_ = ref true in
+  let btlevel = ref 0 in
+  while !continue_ do
+    let c = Vec.get t.clauses !confl in
+    let start = if !p < 0 then 0 else 1 in
+    for j = start to Array.length c.lits - 1 do
+      let q = c.lits.(j) in
+      let v = var_of_lit q in
+      if (not t.seen.(v)) && t.var_level.(v) > 0 then begin
+        t.seen.(v) <- true;
+        bump_var t v;
+        if t.var_level.(v) >= decision_level t then incr path
+        else begin
+          learnt := q :: !learnt;
+          btlevel := max !btlevel t.var_level.(v)
+        end
+      end
+    done;
+    (* walk the trail back to the next marked literal *)
+    let rec next_seen i =
+      let lit = Vec.get t.trail i in
+      if t.seen.(var_of_lit lit) then i else next_seen (i - 1)
+    in
+    index := next_seen !index;
+    let lit = Vec.get t.trail !index in
+    let v = var_of_lit lit in
+    t.seen.(v) <- false;
+    decr path;
+    p := lit;
+    if !path = 0 then continue_ := false
+    else begin
+      confl := t.var_reason.(v);
+      index := !index - 1
+    end
+  done;
+  let learnt = (!p lxor 1) :: !learnt in
+  List.iter (fun q -> t.seen.(var_of_lit q) <- false) (List.tl learnt);
+  learnt, !btlevel
+
+let record_learnt t learnt btlevel =
+  match learnt with
+  | [] -> assert false
+  | [ unit_lit ] ->
+    cancel_until t 0;
+    enqueue t unit_lit (-1)
+  | asserting :: _ ->
+    cancel_until t btlevel;
+    let lits = Array.of_list learnt in
+    let ci = Vec.push t.clauses { lits; learnt = true } in
+    (* position 1 must hold a literal from the backjump level for correct
+       watching: find the highest-level literal among the rest *)
+    let best = ref 1 in
+    for j = 2 to Array.length lits - 1 do
+      if t.var_level.(var_of_lit lits.(j)) > t.var_level.(var_of_lit lits.(!best)) then
+        best := j
+    done;
+    let tmp = lits.(1) in
+    lits.(1) <- lits.(!best);
+    lits.(!best) <- tmp;
+    attach_clause t ci;
+    t.stats.learned <- t.stats.learned + 1;
+    enqueue t asserting ci
+
+(* {1 Clause addition} *)
+
+let add_internal t lits =
+  if t.ok then begin
+    cancel_until t 0;
+    (* simplify: dedupe, drop false literals, detect tautology/satisfied *)
+    let lits = List.sort_uniq compare lits in
+    let tautology =
+      List.exists (fun l -> List.mem (l lxor 1) lits) lits
+    in
+    let satisfied = List.exists (fun l -> lit_value t l = 1) lits in
+    if tautology || satisfied then ()
+    else begin
+      let lits = List.filter (fun l -> lit_value t l <> -1) lits in
+      match lits with
+      | [] -> t.ok <- false
+      | [ l ] ->
+        enqueue t l (-1);
+        if propagate t >= 0 then t.ok <- false
+      | _ :: _ :: _ ->
+        let ci = Vec.push t.clauses { lits = Array.of_list lits; learnt = false } in
+        attach_clause t ci
+    end
+  end
+
+let add_clause_lits t dimacs_lits =
+  let lits =
+    List.map
+      (fun l ->
+        ensure_var t (abs l);
+        lit_of_dimacs l)
+      dimacs_lits
+  in
+  lits
+
+(* Frame guards: a clause added inside push/pop frames carries the negated
+   guard literal of every open frame, and solving assumes the guards. *)
+let add_clause t dimacs_lits =
+  let lits = add_clause_lits t dimacs_lits in
+  let guarded =
+    List.fold_left (fun acc g -> lit_of_dimacs (-g) :: acc) lits t.guards
+  in
+  add_internal t guarded
+
+let add_cnf t cnf = List.iter (add_clause t) cnf
+
+let push t =
+  let g = t.nvars + 1 in
+  ensure_var t g;
+  t.guards <- g :: t.guards;
+  t.all_guards <- Stdx.Intset.add g t.all_guards
+
+let pop t =
+  match t.guards with
+  | [] -> invalid_arg "Sat.Solver.pop: no open frame"
+  | g :: rest ->
+    t.guards <- rest;
+    (* permanently disable the frame's clauses *)
+    add_internal t [ lit_of_dimacs (-g) ]
+
+let frames t = List.length t.guards
+
+(* {1 Search} *)
+
+(* The Luby restart sequence 1 1 2 1 1 2 4 ...; [nth] is 1-based. *)
+let rec luby_nth i =
+  let rec find_k k = if 1 lsl k >= i + 1 then k else find_k (k + 1) in
+  let k = find_k 1 in
+  if i = (1 lsl k) - 1 then 1 lsl (k - 1)
+  else luby_nth (i - (1 lsl (k - 1)) + 1)
+
+let luby i = luby_nth (i + 1)
+
+let pick_branch t =
+  let rec go () =
+    match heap_pop t with
+    | None -> None
+    | Some v ->
+      if t.assigns.(v) = 0 then Some v else go ()
+  in
+  go ()
+
+let solve ?(assumptions = []) ?(max_conflicts = max_int) t =
+  if not t.ok then Unsat
+  else begin
+    let assumption_lits =
+      List.map
+        (fun l ->
+          ensure_var t (abs l);
+          lit_of_dimacs l)
+        assumptions
+      @ List.rev_map (fun g -> lit_of_dimacs g) t.guards
+    in
+    cancel_until t 0;
+    let budget = ref max_conflicts in
+    let restart_count = ref 0 in
+    let result = ref None in
+    (match propagate t with
+    | -1 -> ()
+    | _ ->
+      t.ok <- false;
+      result := Some Unsat);
+    while !result = None do
+      let conflict_limit = 64 * luby !restart_count in
+      let conflicts_here = ref 0 in
+      let restart = ref false in
+      while !result = None && not !restart do
+        match propagate t with
+        | ci when ci >= 0 ->
+          t.stats.conflicts <- t.stats.conflicts + 1;
+          incr conflicts_here;
+          decr budget;
+          if decision_level t = 0 then begin
+            t.ok <- false;
+            result := Some Unsat
+          end
+          else begin
+            let learnt, btlevel = analyze t ci in
+            record_learnt t learnt btlevel;
+            decay_activity t;
+            if !budget <= 0 then result := Some Unknown
+            else if !conflicts_here >= conflict_limit then restart := true
+          end
+        | _ -> (
+          (* no conflict: take pending assumptions, then decide *)
+          let next_assumption =
+            List.find_opt (fun l -> lit_value t l <> 1) assumption_lits
+          in
+          match next_assumption with
+          | Some l when lit_value t l = -1 ->
+            (* assumption contradicted: UNSAT under assumptions *)
+            result := Some Unsat
+          | Some l ->
+            ignore (Vec.push t.trail_lim (Vec.length t.trail));
+            enqueue t l (-1)
+          | None -> (
+            match pick_branch t with
+            | None -> result := Some Sat
+            | Some v ->
+              t.stats.decisions <- t.stats.decisions + 1;
+              ignore (Vec.push t.trail_lim (Vec.length t.trail));
+              let lit = if t.polarity.(v) then 2 * v else (2 * v) + 1 in
+              enqueue t lit (-1)))
+      done;
+      if !restart then begin
+        t.stats.restarts <- t.stats.restarts + 1;
+        incr restart_count;
+        (* keep assumptions? simplest: restart to level 0; assumptions are
+           re-taken because they are re-checked each decision round *)
+        cancel_until t 0
+      end
+    done;
+    (match !result with
+    | Some Sat -> ()
+    | Some (Unsat | Unknown) | None -> cancel_until t 0);
+    match !result with Some r -> r | None -> Unknown
+  end
+
+let value t v =
+  if v < 1 || v > t.nvars then None
+  else
+    match t.assigns.(v) with 1 -> Some true | -1 -> Some false | _ -> None
+
+let model t =
+  let out = ref [] in
+  for v = t.nvars downto 1 do
+    if not (Stdx.Intset.mem v t.all_guards) then
+      match value t v with
+      | Some b -> out := (v, b) :: !out
+      | None -> ()
+  done;
+  !out
+
+let stats t = t.stats
+let num_vars t = t.nvars

@@ -1,0 +1,55 @@
+(** CDCL SAT solver: two-watched-literal propagation, VSIDS decisions,
+    first-UIP clause learning, phase saving and Luby restarts.
+
+    Stands in for the paper's §2 incremental solver (Z3): [push]/[pop]
+    frames make [solve] incremental, so solving [p] and then [p ∧ q] reuses
+    everything learned about [p] — the behaviour E4 compares against
+    solving from scratch and against snapshot-based incrementality.
+
+    Clauses are lists of DIMACS literals (positive = variable, negative =
+    negation, never 0).  Variables are created on demand. *)
+
+type t
+
+type outcome =
+  | Sat
+  | Unsat
+  | Unknown  (** conflict budget exhausted *)
+
+type stats = {
+  mutable conflicts : int;
+  mutable decisions : int;
+  mutable propagations : int;
+  mutable learned : int;
+  mutable restarts : int;
+  mutable max_var : int;
+}
+
+val create : unit -> t
+
+val add_clause : t -> int list -> unit
+(** Add a clause in the current frame.  Adding the empty clause (or a
+    clause that simplifies to it) makes the solver permanently UNSAT. *)
+
+val add_cnf : t -> int list list -> unit
+
+val solve : ?assumptions:int list -> ?max_conflicts:int -> t -> outcome
+
+val value : t -> int -> bool option
+(** Model value of a variable after [Sat]; [None] if the variable never
+    occurred or was left unconstrained. *)
+
+val model : t -> (int * bool) list
+(** All assigned variables after [Sat]. *)
+
+val push : t -> unit
+(** Open a removable clause frame. *)
+
+val pop : t -> unit
+(** Discard the most recent frame's clauses (learned consequences that
+    depend on them are disabled through the frame guard).
+    @raise Invalid_argument if no frame is open. *)
+
+val frames : t -> int
+val stats : t -> stats
+val num_vars : t -> int

@@ -1,0 +1,1 @@
+lib/search/frontier.ml: Float List Printf Queue Stdx

@@ -1,0 +1,1 @@
+lib/search/frontier.mli:

@@ -1,0 +1,153 @@
+module Pheap = Stdx.Pheap
+module Prng = Stdx.Prng
+
+type meta = { depth : int; hint : int }
+
+type 'a t = {
+  name : string;
+  push_batch : (meta * 'a) list -> unit;
+  pop : unit -> 'a option;
+  length : unit -> int;
+  evicted : unit -> 'a list;
+}
+
+let no_evictions () = []
+
+let dfs () =
+  let stack = ref [] in
+  { name = "dfs";
+    push_batch =
+      (fun batch ->
+        (* Prepend keeping batch order, so extension 0 pops first. *)
+        stack := List.fold_right (fun (_, x) acc -> x :: acc) batch !stack);
+    pop =
+      (fun () ->
+        match !stack with
+        | [] -> None
+        | x :: rest ->
+          stack := rest;
+          Some x);
+    length = (fun () -> List.length !stack);
+    evicted = no_evictions }
+
+let bfs () =
+  let q = Queue.create () in
+  { name = "bfs";
+    push_batch = (fun batch -> List.iter (fun (_, x) -> Queue.add x q) batch);
+    pop = (fun () -> Queue.take_opt q);
+    length = (fun () -> Queue.length q);
+    evicted = no_evictions }
+
+let heap_based ~name ~score () =
+  let heap = ref Pheap.empty in
+  { name;
+    push_batch =
+      (fun batch ->
+        List.iter (fun (m, x) -> heap := Pheap.insert ~prio:(score m) x !heap) batch);
+    pop =
+      (fun () ->
+        match Pheap.delete_min !heap with
+        | None -> None
+        | Some ((_, x), rest) ->
+          heap := rest;
+          Some x);
+    length = (fun () -> Pheap.size !heap);
+    evicted = no_evictions }
+
+let best_first ~name ~score () = heap_based ~name ~score ()
+
+let astar () =
+  heap_based ~name:"astar" ~score:(fun m -> Float.of_int (m.depth + m.hint)) ()
+
+(* Best-first with a hard capacity: the worst entries are evicted and
+   reported so the scheduler can release their snapshots. *)
+let bounded_best ~name ~score ~capacity () =
+  if capacity <= 0 then invalid_arg ("Frontier." ^ name ^ ": capacity must be positive");
+  let heap = ref Pheap.empty in
+  let dropped = ref [] in
+  { name;
+    push_batch =
+      (fun batch ->
+        List.iter
+          (fun (m, x) ->
+            heap := Pheap.insert ~prio:(score m) x !heap;
+            if Pheap.size !heap > capacity then
+              match Pheap.delete_max !heap with
+              | None -> ()
+              | Some ((_, worst), rest) ->
+                heap := rest;
+                dropped := worst :: !dropped)
+          batch);
+    pop =
+      (fun () ->
+        match Pheap.delete_min !heap with
+        | None -> None
+        | Some ((_, x), rest) ->
+          heap := rest;
+          Some x);
+    length = (fun () -> Pheap.size !heap);
+    evicted =
+      (fun () ->
+        let d = !dropped in
+        dropped := [];
+        d) }
+
+let sma ~capacity () =
+  bounded_best
+    ~name:(Printf.sprintf "sma(%d)" capacity)
+    ~score:(fun m -> Float.of_int (m.depth + m.hint))
+    ~capacity ()
+
+let wastar ~weight () =
+  if weight < 0.0 then invalid_arg "Frontier.wastar: negative weight";
+  heap_based
+    ~name:(Printf.sprintf "wastar(%.1f)" weight)
+    ~score:(fun m -> Float.of_int m.depth +. (weight *. Float.of_int m.hint))
+    ()
+
+let beam ~width () =
+  bounded_best
+    ~name:(Printf.sprintf "beam(%d)" width)
+    ~score:(fun m -> Float.of_int m.hint)
+    ~capacity:width ()
+
+let dfs_bounded ~max_depth () =
+  if max_depth < 0 then invalid_arg "Frontier.dfs_bounded: negative bound";
+  let stack = ref [] in
+  let dropped = ref [] in
+  { name = Printf.sprintf "dfs<=%d" max_depth;
+    push_batch =
+      (fun batch ->
+        let keep, drop = List.partition (fun (m, _) -> m.depth <= max_depth) batch in
+        dropped := List.rev_append (List.map snd drop) !dropped;
+        stack := List.fold_right (fun (_, x) acc -> x :: acc) keep !stack);
+    pop =
+      (fun () ->
+        match !stack with
+        | [] -> None
+        | x :: rest ->
+          stack := rest;
+          Some x);
+    length = (fun () -> List.length !stack);
+    evicted =
+      (fun () ->
+        let d = !dropped in
+        dropped := [];
+        d) }
+
+let random ~seed () =
+  let rng = Prng.create ~seed in
+  let heap = ref Pheap.empty in
+  { name = "random";
+    push_batch =
+      (fun batch ->
+        List.iter (fun (_, x) -> heap := Pheap.insert ~prio:(Prng.float rng 1.0) x !heap) batch);
+    pop =
+      (fun () ->
+        match Pheap.delete_min !heap with
+        | None -> None
+        | Some ((_, x), rest) ->
+          heap := rest;
+          Some x);
+    length = (fun () -> Pheap.size !heap);
+    evicted = no_evictions }

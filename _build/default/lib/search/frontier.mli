@@ -1,0 +1,59 @@
+(** Search-strategy frontiers.
+
+    The paper separates the search strategy from partial candidates and
+    extensions (§3.1): the strategy is a policy that schedules the next
+    unevaluated extension.  A frontier is that policy's working set.  The
+    scheduler pushes each guess's extensions as one batch (in extension-
+    number order) and pops whatever the strategy says comes next.
+
+    All built-in strategies are deterministic: DFS and BFS by construction,
+    best-first ones by FIFO tie-breaking, and the random strategy by an
+    explicit seed. *)
+
+type meta = {
+  depth : int;  (** guesses taken from the root to this extension *)
+  hint : int;   (** guest-provided heuristic distance ([sys_guess_hint]) *)
+}
+
+type 'a t = {
+  name : string;
+  push_batch : (meta * 'a) list -> unit;
+  pop : unit -> 'a option;
+  length : unit -> int;
+  evicted : unit -> 'a list;
+      (** extensions dropped by a memory-bounded strategy since the last
+          call (the caller must release their snapshots) *)
+}
+
+val dfs : unit -> 'a t
+(** Depth-first: a batch's extension 0 is explored before its siblings. *)
+
+val bfs : unit -> 'a t
+(** Breadth-first: strict FIFO over batches. *)
+
+val astar : unit -> 'a t
+(** Best-first on [f = depth + hint]; ties broken FIFO. *)
+
+val sma : capacity:int -> unit -> 'a t
+(** Memory-bounded A*: as {!astar} but the frontier never holds more than
+    [capacity] extensions; the worst (highest [f]) entries are evicted and
+    reported via [evicted].  A simplification of SM-A* (no backed-up
+    values), which the paper lists as a target strategy. *)
+
+val random : seed:int -> unit -> 'a t
+(** Uniformly random exploration order (deterministic in [seed]). *)
+
+val best_first : name:string -> score:(meta -> float) -> unit -> 'a t
+(** Custom best-first strategy: lower score pops first. *)
+
+val wastar : weight:float -> unit -> 'a t
+(** Weighted A*: best-first on [f = depth + weight * hint].  Weights above
+    1 trade optimality for greediness. *)
+
+val beam : width:int -> unit -> 'a t
+(** Greedy beam search: best-first on the hint alone, never holding more
+    than [width] extensions (the worst are evicted and reported). *)
+
+val dfs_bounded : max_depth:int -> unit -> 'a t
+(** Depth-first with a depth bound: extensions deeper than [max_depth] are
+    refused at push time and reported via [evicted]. *)

@@ -1,0 +1,1 @@
+lib/smt/dl.ml: Array

@@ -1,0 +1,1 @@
+lib/smt/formula.ml: Hashtbl List

@@ -1,0 +1,1 @@
+lib/smt/smt_solver.ml: Array Dl Formula Hashtbl List Sat

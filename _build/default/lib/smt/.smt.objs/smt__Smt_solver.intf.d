@@ -1,0 +1,1 @@
+lib/smt/smt_solver.mli: Formula Sat

@@ -1,0 +1,58 @@
+type constr = { x : int; y : int; c : int; tag : int }
+
+type verdict =
+  | Consistent of int array
+  | Conflict of int list
+
+(* Constraint x - y <= c is the edge y -> x with weight c; any potential
+   function d with d.(x) <= d.(y) + c for every edge is a model.  A negative
+   cycle is exactly an inconsistent subset. *)
+let check ~num_vars constrs =
+  let n = num_vars + 1 in
+  let edges = Array.of_list constrs in
+  let dist = Array.make n 0 in
+  (* Start all-zeros (a virtual source connected to every node with weight
+     0); V rounds of relaxation; a relaxation in round V exposes a cycle. *)
+  let pred = Array.make n (-1) in   (* index into edges *)
+  let changed = ref true in
+  let round = ref 0 in
+  let offending = ref (-1) in
+  while !changed && !offending < 0 && !round <= n do
+    changed := false;
+    Array.iteri
+      (fun ei e ->
+        if dist.(e.y) + e.c < dist.(e.x) then begin
+          dist.(e.x) <- dist.(e.y) + e.c;
+          pred.(e.x) <- ei;
+          changed := true;
+          if !round = n then offending := ei
+        end)
+      edges;
+    incr round
+  done;
+  if !offending < 0 then begin
+    (* normalise so the zero constant sits at 0 *)
+    let base = dist.(0) in
+    Consistent (Array.map (fun d -> d - base) dist)
+  end
+  else begin
+    (* Walk the predecessor graph backward n times from the offending
+       edge's head; because that head's label needs >= n relaxations, the
+       walk necessarily enters a cycle, which is the inconsistent core. *)
+    let v = ref edges.(!offending).x in
+    for _ = 1 to n do
+      assert (pred.(!v) >= 0);
+      v := edges.(pred.(!v)).y
+    done;
+    let start = !v in
+    let tags = ref [] in
+    let cur = ref start in
+    let continue_ = ref true in
+    while !continue_ do
+      let edge = edges.(pred.(!cur)) in
+      tags := edge.tag :: !tags;
+      cur := edge.y;
+      if !cur = start then continue_ := false
+    done;
+    Conflict !tags
+  end

@@ -1,0 +1,23 @@
+(** The difference-logic theory solver: conjunctions of constraints
+    [x - y <= c] over integer variables, decided by negative-cycle
+    detection (Bellman-Ford) on the constraint graph.
+
+    Variable 0 is the distinguished zero constant, so absolute bounds are
+    expressible as [x - 0 <= c] and [0 - x <= -c]. *)
+
+type constr = {
+  x : int;
+  y : int;
+  c : int;   (** x - y <= c *)
+  tag : int; (** caller's identifier, reported back in conflicts *)
+}
+
+type verdict =
+  | Consistent of int array
+      (** a satisfying integer model, indexed by variable (model.(0) = 0) *)
+  | Conflict of int list
+      (** tags of a minimal inconsistent subset (a negative cycle) *)
+
+val check : num_vars:int -> constr list -> verdict
+(** [num_vars] counts variables excluding the zero constant; variables are
+    [0..num_vars] with 0 the constant. *)

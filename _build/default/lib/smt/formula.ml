@@ -1,0 +1,82 @@
+type t =
+  | True
+  | False
+  | Atom of { x : int; y : int; c : int }
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Imp of t * t
+  | Iff of t * t
+
+let le x y c = Atom { x; y; c }
+let lt x y = Atom { x; y; c = -1 }
+let leq x y = Atom { x; y; c = 0 }
+let eq x y = And [ leq x y; leq y x ]
+let eq_const x c = And [ le x 0 c; le 0 x (-c) ]
+let le_const x c = le x 0 c
+let ge_const x c = le 0 x (-c)
+let neq x y = Or [ lt x y; lt y x ]
+
+type encoded = {
+  clauses : int list list;
+  atoms : (int * (int * int * int)) list;
+  top : int;
+  next_var : int;
+}
+
+let tseitin ?(first_var = 1) formula =
+  let next = ref first_var in
+  let fresh () =
+    let v = !next in
+    incr next;
+    v
+  in
+  let atom_table : (int * int * int, int) Hashtbl.t = Hashtbl.create 64 in
+  let clauses = ref [] in
+  let emit c = clauses := c :: !clauses in
+  (* Returns a literal equivalent to the subformula. *)
+  let rec enc f =
+    match f with
+    | True ->
+      let v = fresh () in
+      emit [ v ];
+      v
+    | False ->
+      let v = fresh () in
+      emit [ -v ];
+      v
+    | Atom { x; y; c } -> (
+      match Hashtbl.find_opt atom_table (x, y, c) with
+      | Some v -> v
+      | None ->
+        let v = fresh () in
+        Hashtbl.replace atom_table (x, y, c) v;
+        v)
+    | Not g -> -enc g
+    | And gs ->
+      let v = fresh () in
+      let lits = List.map enc gs in
+      List.iter (fun l -> emit [ -v; l ]) lits;
+      emit (v :: List.map (fun l -> -l) lits);
+      v
+    | Or gs ->
+      let v = fresh () in
+      let lits = List.map enc gs in
+      List.iter (fun l -> emit [ v; -l ]) lits;
+      emit (-v :: lits);
+      v
+    | Imp (a, b) -> enc (Or [ Not a; b ])
+    | Iff (a, b) ->
+      let la = enc a and lb = enc b in
+      let v = fresh () in
+      emit [ -v; -la; lb ];
+      emit [ -v; la; -lb ];
+      emit [ v; la; lb ];
+      emit [ v; -la; -lb ];
+      v
+  in
+  let top = enc formula in
+  { clauses = List.rev !clauses;
+    atoms = Hashtbl.fold (fun (x, y, c) v acc -> (v, (x, y, c)) :: acc) atom_table [];
+    top;
+    next_var = !next }

@@ -1,0 +1,43 @@
+(** Quantifier-free difference-logic formulas and their Tseitin encoding.
+
+    Atoms are [x - y <= c] over integer variables ([Smt] variable 0 is the
+    zero constant).  The usual comparisons are derived forms: [x < y] is
+    [x - y <= -1], [x = y] is the conjunction of two inequalities, etc. *)
+
+type t =
+  | True
+  | False
+  | Atom of { x : int; y : int; c : int }  (** x - y <= c *)
+  | Not of t
+  | And of t list
+  | Or of t list
+  | Imp of t * t
+  | Iff of t * t
+
+(** {1 Sugar} *)
+
+val le : int -> int -> int -> t
+(** [le x y c] is [x - y <= c]. *)
+
+val lt : int -> int -> t
+val leq : int -> int -> t
+val eq : int -> int -> t
+val eq_const : int -> int -> t
+(** [eq_const x c] constrains x to the constant c. *)
+
+val le_const : int -> int -> t
+val ge_const : int -> int -> t
+val neq : int -> int -> t
+
+type encoded = {
+  clauses : int list list;          (** CNF over SAT variables *)
+  atoms : (int * (int * int * int)) list;
+      (** SAT variable -> (x, y, c); positive polarity means the atom holds *)
+  top : int;                        (** SAT literal asserting the formula *)
+  next_var : int;                   (** first unused SAT variable *)
+}
+
+val tseitin : ?first_var:int -> t -> encoded
+(** Encode to equisatisfiable CNF.  Atom variables are allocated first,
+    then definition variables; [first_var] lets callers compose multiple
+    encodings into one solver. *)

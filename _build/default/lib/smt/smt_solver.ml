@@ -1,0 +1,88 @@
+type outcome =
+  | Sat of (int -> int)
+  | Unsat
+  | Unknown
+
+type t = {
+  sat : Sat.Solver.t;
+  mutable atoms : (int * (int * int * int)) list;  (* SAT var -> atom *)
+  mutable atom_of_triple : (int * int * int, int) Hashtbl.t;
+  mutable next_var : int;
+  mutable max_int_var : int;
+  mutable last_rounds : int;
+}
+
+let create () =
+  { sat = Sat.Solver.create ();
+    atoms = [];
+    atom_of_triple = Hashtbl.create 64;
+    next_var = 1;
+    max_int_var = 0;
+    last_rounds = 0 }
+
+let assert_formula t formula =
+  let enc = Formula.tseitin ~first_var:t.next_var formula in
+  t.next_var <- enc.Formula.next_var;
+  (* Merge atom tables: tseitin may re-create atoms already known; unify by
+     adding equivalence clauses. *)
+  List.iter
+    (fun (v, triple) ->
+      match Hashtbl.find_opt t.atom_of_triple triple with
+      | None ->
+        Hashtbl.replace t.atom_of_triple triple v;
+        t.atoms <- (v, triple) :: t.atoms;
+        let x, y, _ = triple in
+        t.max_int_var <- max t.max_int_var (max x y)
+      | Some v0 ->
+        Sat.Solver.add_clause t.sat [ -v0; v ];
+        Sat.Solver.add_clause t.sat [ v0; -v ])
+    enc.Formula.atoms;
+  Sat.Solver.add_cnf t.sat enc.Formula.clauses;
+  Sat.Solver.add_clause t.sat [ enc.Formula.top ]
+
+let push t = Sat.Solver.push t.sat
+let pop t = Sat.Solver.pop t.sat
+
+(* One theory check of the boolean model; [Ok model] or [Error blocking]. *)
+let validate t =
+  let constrs = ref [] in
+  List.iter
+    (fun (v, (x, y, c)) ->
+      match Sat.Solver.value t.sat v with
+      | Some true -> constrs := { Dl.x; y; c; tag = v } :: !constrs
+      | Some false ->
+        (* not (x - y <= c)  <=>  y - x <= -c-1 *)
+        constrs := { Dl.x = y; y = x; c = -c - 1; tag = -v } :: !constrs
+      | None -> ())
+    t.atoms;
+  match Dl.check ~num_vars:t.max_int_var !constrs with
+  | Dl.Consistent model -> Ok model
+  | Dl.Conflict tags -> Error (List.map (fun tag -> -tag) tags)
+
+let solve ?(max_rounds = 10_000) t =
+  let rec refine round =
+    if round >= max_rounds then Unknown
+    else
+      match Sat.Solver.solve t.sat with
+      | Sat.Solver.Unsat -> Unsat
+      | Sat.Solver.Unknown -> Unknown
+      | Sat.Solver.Sat -> (
+        match validate t with
+        | Ok model ->
+          t.last_rounds <- round + 1;
+          Sat
+            (fun v ->
+              if v = 0 then 0
+              else if v <= t.max_int_var then model.(v)
+              else 0)
+        | Error blocking ->
+          Sat.Solver.add_clause t.sat blocking;
+          refine (round + 1))
+  in
+  t.last_rounds <- 0;
+  let result = refine 0 in
+  (match result with Sat _ -> () | Unsat | Unknown -> t.last_rounds <- max t.last_rounds 1);
+  result
+
+let theory_rounds t = t.last_rounds
+let sat_solver t = t.sat

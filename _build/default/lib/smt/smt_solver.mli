@@ -1,0 +1,32 @@
+(** Lazy DPLL(T) for integer difference logic: a CDCL boolean skeleton
+    ({!Sat.Solver}) with theory validation by negative-cycle detection
+    ({!Dl}); theory conflicts come back as blocking clauses (the classic
+    lemmas-on-demand loop).
+
+    Incrementality mirrors the SAT solver's push/pop frames, so the E4
+    experiment can compare warm (push q) vs cold (re-encode p ∧ q) solving
+    for the SMT fragment as well. *)
+
+type t
+
+type outcome =
+  | Sat of (int -> int)
+      (** integer model: variable -> value (variable 0 maps to 0) *)
+  | Unsat
+  | Unknown
+
+val create : unit -> t
+
+val assert_formula : t -> Formula.t -> unit
+(** Assert in the current frame. *)
+
+val solve : ?max_rounds:int -> t -> outcome
+(** [max_rounds] bounds theory-refinement iterations (default 10_000). *)
+
+val push : t -> unit
+val pop : t -> unit
+
+val theory_rounds : t -> int
+(** Refinement iterations used by the last [solve]. *)
+
+val sat_solver : t -> Sat.Solver.t

@@ -1,0 +1,1 @@
+lib/stdx/intset.mli:

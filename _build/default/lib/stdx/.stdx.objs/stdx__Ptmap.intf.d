@@ -1,0 +1,1 @@
+lib/stdx/ptmap.mli: Format

@@ -1,0 +1,1 @@
+lib/stdx/vec.ml: Array List Printf

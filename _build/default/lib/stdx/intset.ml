@@ -1,0 +1,15 @@
+type t = unit Ptmap.t
+
+let empty = Ptmap.empty
+let is_empty = Ptmap.is_empty
+let mem = Ptmap.mem
+let add k t = Ptmap.add k () t
+let remove = Ptmap.remove
+let cardinal = Ptmap.cardinal
+let union a b = Ptmap.union (fun _ () () -> ()) a b
+let iter f t = Ptmap.iter (fun k () -> f k) t
+let fold f t acc = Ptmap.fold (fun k () acc -> f k acc) t acc
+let elements t = List.rev (fold (fun k acc -> k :: acc) t [])
+let of_list l = List.fold_left (fun t k -> add k t) empty l
+let equal a b = Ptmap.equal (fun () () -> true) a b
+let subset a b = Ptmap.for_all (fun k () -> mem k b) a

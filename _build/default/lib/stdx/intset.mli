@@ -1,0 +1,17 @@
+(** Persistent sets of integers, a thin veneer over {!Ptmap}. *)
+
+type t
+
+val empty : t
+val is_empty : t -> bool
+val mem : int -> t -> bool
+val add : int -> t -> t
+val remove : int -> t -> t
+val cardinal : t -> int
+val union : t -> t -> t
+val iter : (int -> unit) -> t -> unit
+val fold : (int -> 'b -> 'b) -> t -> 'b -> 'b
+val elements : t -> int list
+val of_list : int list -> t
+val equal : t -> t -> bool
+val subset : t -> t -> bool

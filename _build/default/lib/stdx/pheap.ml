@@ -1,0 +1,89 @@
+(* Pairing heap with an insertion sequence number for deterministic FIFO
+   tie-breaking. *)
+
+type 'a node = { prio : float; seq : int; value : 'a; kids : 'a node list }
+
+type 'a t = { root : 'a node option; size : int; next_seq : int }
+
+let empty = { root = None; size = 0; next_seq = 0 }
+
+let is_empty t = t.root = None
+
+let node_lt a b = a.prio < b.prio || (a.prio = b.prio && a.seq < b.seq)
+
+let meld a b =
+  if node_lt a b then { a with kids = b :: a.kids }
+  else { b with kids = a :: b.kids }
+
+let insert ~prio value t =
+  let n = { prio; seq = t.next_seq; value; kids = [] } in
+  let root = match t.root with None -> n | Some r -> meld r n in
+  { root = Some root; size = t.size + 1; next_seq = t.next_seq + 1 }
+
+let find_min t =
+  match t.root with None -> None | Some r -> Some (r.prio, r.value)
+
+let rec merge_pairs = function
+  | [] -> None
+  | [ n ] -> Some n
+  | a :: b :: rest -> (
+    let ab = meld a b in
+    match merge_pairs rest with None -> Some ab | Some r -> Some (meld ab r))
+
+let delete_min t =
+  match t.root with
+  | None -> None
+  | Some r ->
+    let rest = { root = merge_pairs r.kids; size = t.size - 1; next_seq = t.next_seq } in
+    Some ((r.prio, r.value), rest)
+
+let merge a b =
+  match a.root, b.root with
+  | None, _ -> { b with next_seq = max a.next_seq b.next_seq }
+  | _, None -> { a with next_seq = max a.next_seq b.next_seq }
+  | Some x, Some y ->
+    { root = Some (meld x y);
+      size = a.size + b.size;
+      next_seq = max a.next_seq b.next_seq }
+
+let size t = t.size
+
+let rec fold_node f n acc =
+  let acc = f n.prio n.value acc in
+  List.fold_left (fun acc k -> fold_node f k acc) acc n.kids
+
+let fold f t acc = match t.root with None -> acc | Some r -> fold_node f r acc
+
+let to_sorted_list t =
+  let rec drain t acc =
+    match delete_min t with
+    | None -> List.rev acc
+    | Some (entry, rest) -> drain rest (entry :: acc)
+  in
+  drain t []
+
+(* Linear-time removal of the worst entry: rebuild the heap without the
+   latest-sequenced maximal-priority node. *)
+let delete_max t =
+  match t.root with
+  | None -> None
+  | Some _ ->
+    let worst =
+      fold
+        (fun prio v acc ->
+          match acc with
+          | Some (p, _) when p >= prio -> acc
+          | Some _ | None -> Some (prio, v))
+        t None
+    in
+    (match worst with
+    | None -> None
+    | Some (wp, wv) ->
+      let rebuilt =
+        fold
+          (fun prio v (dropped, h) ->
+            if (not dropped) && prio = wp && v == wv then true, h
+            else dropped, insert ~prio v h)
+          t (false, empty)
+      in
+      Some ((wp, wv), snd rebuilt))

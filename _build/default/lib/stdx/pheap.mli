@@ -1,0 +1,24 @@
+(** Persistent pairing heaps, used by the A* / SM-A* frontiers.
+
+    Elements carry an explicit priority; ties are broken by insertion order
+    (FIFO), which keeps strategy schedules deterministic. *)
+
+type 'a t
+
+val empty : 'a t
+val is_empty : 'a t -> bool
+
+val insert : prio:float -> 'a -> 'a t -> 'a t
+
+val find_min : 'a t -> (float * 'a) option
+val delete_min : 'a t -> ((float * 'a) * 'a t) option
+
+val merge : 'a t -> 'a t -> 'a t
+val size : 'a t -> int
+val to_sorted_list : 'a t -> (float * 'a) list
+
+val delete_max : 'a t -> ((float * 'a) * 'a t) option
+(** Remove the entry with the largest priority (linear scan; used by SM-A*'s
+    worst-leaf eviction, where heaps stay bounded by the memory limit). *)
+
+val fold : (float -> 'a -> 'b -> 'b) -> 'a t -> 'b -> 'b

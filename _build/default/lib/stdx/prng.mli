@@ -1,0 +1,22 @@
+(** Deterministic pseudo-random numbers (SplitMix64).
+
+    Benchmarks and workload generators must be reproducible run to run, so
+    nothing in this repository uses [Stdlib.Random]; every consumer owns a
+    [Prng.t] seeded explicitly. *)
+
+type t
+
+val create : seed:int -> t
+val copy : t -> t
+
+val next : t -> int
+(** 62 uniformly random bits (non-negative). *)
+
+val int : t -> int -> int
+(** [int t bound] draws uniformly from [0, bound); [bound] must be > 0. *)
+
+val bool : t -> bool
+val float : t -> float -> float
+val shuffle : t -> 'a array -> unit
+val pick : t -> 'a array -> 'a
+(** @raise Invalid_argument on an empty array. *)

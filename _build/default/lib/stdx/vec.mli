@@ -1,0 +1,23 @@
+(** Growable arrays (amortised O(1) push), used for clause arenas, frame
+    tables and instruction buffers. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** [dummy] fills unused capacity; it is never observable. *)
+
+val length : 'a t -> int
+val get : 'a t -> int -> 'a
+val set : 'a t -> int -> 'a -> unit
+val push : 'a t -> 'a -> int
+(** Appends and returns the index of the new element. *)
+
+val pop : 'a t -> 'a option
+val clear : 'a t -> unit
+val truncate : 'a t -> int -> unit
+val iter : ('a -> unit) -> 'a t -> unit
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+val fold : ('b -> 'a -> 'b) -> 'b -> 'a t -> 'b
+val to_list : 'a t -> 'a list
+val to_array : 'a t -> 'a array
+val last : 'a t -> 'a option

@@ -1,0 +1,1 @@
+lib/symex/cons.ml: Array Expr Format Hashtbl Isa List Stdx

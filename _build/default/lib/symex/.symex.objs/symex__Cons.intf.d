@@ -1,0 +1,1 @@
+lib/symex/cons.mli: Expr Format Isa

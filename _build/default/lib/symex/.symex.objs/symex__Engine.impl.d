@@ -1,0 +1,1 @@
+lib/symex/engine.ml: Array Bytes Char Cons Expr Float Hashtbl Isa List Mem Os Printf Search Stdx String

@@ -1,0 +1,1 @@
+lib/symex/engine.mli: Cons Isa Mem

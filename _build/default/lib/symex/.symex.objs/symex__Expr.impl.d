@@ -1,0 +1,1 @@
+lib/symex/expr.ml: Format Isa Option Stdx

@@ -1,0 +1,1 @@
+lib/symex/expr.mli: Format Isa Stdx

@@ -1,0 +1,87 @@
+type t = {
+  cond : Isa.Insn.cond;
+  a : Expr.t;
+  b : Expr.t;
+  expect : bool;
+}
+
+let make ~cond ~a ~b ~expect = { cond; a; b; expect }
+
+let negate c = { c with expect = not c.expect }
+
+let holds_under ~env c =
+  match Expr.eval ~env c.a, Expr.eval ~env c.b with
+  | Some x, Some y -> Some (Expr.cond_holds c.cond x y = c.expect)
+  | (None, _ | _, None) -> None
+
+let vars constraints =
+  let set =
+    List.fold_left
+      (fun acc c -> Stdx.Intset.union acc (Stdx.Intset.union (Expr.vars c.a) (Expr.vars c.b)))
+      Stdx.Intset.empty constraints
+  in
+  Stdx.Intset.elements set
+
+type solve_result =
+  | Model of (int * int) list
+  | Unsat
+  | Budget_exceeded
+
+exception Out_of_budget
+
+(* Depth-first labeling over the constraint variables.  [watch] maps each
+   variable to the constraints whose variable set it completes last (by
+   labeling order), so every constraint is checked exactly once, as early
+   as possible. *)
+let solve ?(budget = 200_000) constraints =
+  let var_list = vars constraints in
+  match var_list with
+  | [] ->
+    (* fully concrete: evaluate directly *)
+    let env _ = 0 in
+    if List.for_all (fun c -> holds_under ~env c = Some true) constraints then Model []
+    else Unsat
+  | _ ->
+    let order = Array.of_list var_list in
+    let rank = Hashtbl.create 16 in
+    Array.iteri (fun idx v -> Hashtbl.replace rank v idx) order;
+    let n = Array.length order in
+    let checks = Array.make n [] in
+    List.iter
+      (fun c ->
+        let deepest =
+          Stdx.Intset.fold
+            (fun v acc -> max acc (Hashtbl.find rank v))
+            (Stdx.Intset.union (Expr.vars c.a) (Expr.vars c.b))
+            0
+        in
+        checks.(deepest) <- c :: checks.(deepest))
+      constraints;
+    let values = Array.make n 0 in
+    let env v = values.(Hashtbl.find rank v) in
+    let nodes = ref 0 in
+    let exception Found in
+    let rec assign idx =
+      if idx = n then raise Found
+      else
+        for value = 0 to 255 do
+          incr nodes;
+          if !nodes > budget then raise Out_of_budget;
+          values.(idx) <- value;
+          let ok =
+            List.for_all (fun c -> holds_under ~env c = Some true) checks.(idx)
+          in
+          if ok then assign (idx + 1)
+        done
+    in
+    (try
+       assign 0;
+       Unsat
+     with
+    | Found -> Model (List.init n (fun idx -> order.(idx), values.(idx)))
+    | Out_of_budget -> Budget_exceeded)
+
+let pp fmt c =
+  Format.fprintf fmt "%s(%a %a %a)"
+    (if c.expect then "" else "not ")
+    Expr.pp c.a Isa.Insn.pp_cond c.cond Expr.pp c.b

@@ -1,0 +1,34 @@
+(** Path constraints and their bounded-domain solver.
+
+    A constraint records the outcome of one symbolic comparison: [cond]
+    compared [a] with [b] and the path requires the result to be [expect].
+    Satisfiability is decided by depth-first labeling of the symbolic input
+    bytes (domain [0, 255]) with constraint propagation: a constraint is
+    checked the moment all of its variables are assigned.  For the
+    byte-oriented targets this engine runs, labeling with pruning is exact
+    and fast; the node budget keeps adversarial paths from exploding. *)
+
+type t = {
+  cond : Isa.Insn.cond;
+  a : Expr.t;
+  b : Expr.t;
+  expect : bool;
+}
+
+val make : cond:Isa.Insn.cond -> a:Expr.t -> b:Expr.t -> expect:bool -> t
+val negate : t -> t
+val holds_under : env:(int -> int) -> t -> bool option
+(** [None] if evaluation is undefined under [env] (division by zero etc.). *)
+
+val vars : t list -> int list
+(** Sorted variable ids occurring in the constraints. *)
+
+type solve_result =
+  | Model of (int * int) list  (** variable -> byte value *)
+  | Unsat
+  | Budget_exceeded
+
+val solve : ?budget:int -> t list -> solve_result
+(** [budget] bounds labeling nodes (default 200_000). *)
+
+val pp : Format.formatter -> t -> unit

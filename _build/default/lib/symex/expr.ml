@@ -1,0 +1,95 @@
+type binop = Isa.Insn.binop
+
+type t =
+  | Const of int
+  | Sym of int
+  | Bin of binop * t * t
+  | Neg of t
+  | Not of t
+
+let const c = Const c
+let sym v = Sym v
+
+let apply_binop (op : binop) a b =
+  match op with
+  | Add -> Some (a + b)
+  | Sub -> Some (a - b)
+  | Imul -> Some (a * b)
+  | Div -> if b = 0 then None else Some (a / b)
+  | Rem -> if b = 0 then None else Some (a mod b)
+  | And -> Some (a land b)
+  | Or -> Some (a lor b)
+  | Xor -> Some (a lxor b)
+  | Shl -> if b < 0 || b > 62 then None else Some (a lsl b)
+  | Shr -> if b < 0 || b > 62 then None else Some (a lsr b)
+  | Sar -> if b < 0 || b > 62 then None else Some (a asr b)
+
+let bin op a b =
+  match a, b with
+  | Const x, Const y -> (
+    match apply_binop op x y with
+    | Some v -> Const v
+    | None -> Bin (op, a, b))
+  | (Const 0, e | e, Const 0) when op = Isa.Insn.Add -> e
+  | e, Const 0 when op = Isa.Insn.Sub -> e
+  | (Const 0, _ | _, Const 0) when op = Isa.Insn.Imul -> Const 0
+  | (Const 1, e | e, Const 1) when op = Isa.Insn.Imul -> e
+  | _, _ -> Bin (op, a, b)
+
+let is_concrete = function Const _ -> true | Sym _ | Bin _ | Neg _ | Not _ -> false
+
+let to_concrete = function Const c -> Some c | Sym _ | Bin _ | Neg _ | Not _ -> None
+
+let rec vars = function
+  | Const _ -> Stdx.Intset.empty
+  | Sym v -> Stdx.Intset.add v Stdx.Intset.empty
+  | Bin (_, a, b) -> Stdx.Intset.union (vars a) (vars b)
+  | Neg e | Not e -> vars e
+
+let rec eval ~env = function
+  | Const c -> Some c
+  | Sym v -> Some (env v)
+  | Neg e -> Option.map (fun x -> -x) (eval ~env e)
+  | Not e -> Option.map lnot (eval ~env e)
+  | Bin (op, a, b) -> (
+    match eval ~env a, eval ~env b with
+    | Some x, Some y -> apply_binop op x y
+    | (None, _ | _, None) -> None)
+
+let rec subst_eval ~env = function
+  | Const c -> Const c
+  | Sym v -> (match env v with Some x -> Const x | None -> Sym v)
+  | Neg e -> (
+    match subst_eval ~env e with Const x -> Const (-x) | e' -> Neg e')
+  | Not e -> (
+    match subst_eval ~env e with Const x -> Const (lnot x) | e' -> Not e')
+  | Bin (op, a, b) -> bin op (subst_eval ~env a) (subst_eval ~env b)
+
+let rec size = function
+  | Const _ | Sym _ -> 1
+  | Neg e | Not e -> 1 + size e
+  | Bin (_, a, b) -> 1 + size a + size b
+
+let rec pp fmt = function
+  | Const c -> Format.pp_print_int fmt c
+  | Sym v -> Format.fprintf fmt "s%d" v
+  | Neg e -> Format.fprintf fmt "-(%a)" pp e
+  | Not e -> Format.fprintf fmt "~(%a)" pp e
+  | Bin (op, a, b) -> Format.fprintf fmt "(%a %a %a)" pp a Isa.Insn.pp_binop op pp b
+
+let unsigned_lt a b = a lxor min_int < b lxor min_int
+
+let cond_holds (c : Isa.Insn.cond) a b =
+  match c with
+  | E -> a = b
+  | NE -> a <> b
+  | L -> a < b
+  | LE -> a <= b
+  | G -> a > b
+  | GE -> a >= b
+  | B -> unsigned_lt a b
+  | BE -> unsigned_lt a b || a = b
+  | A -> not (unsigned_lt a b || a = b)
+  | AE -> not (unsigned_lt a b)
+  | S -> a - b < 0
+  | NS -> a - b >= 0

@@ -1,0 +1,38 @@
+(** Symbolic word expressions over the VX64 machine.
+
+    Symbolic variables are the bytes of symbolic input (domain [0, 255]);
+    all arithmetic follows the interpreter's native-int semantics so that a
+    path replayed with a solved model reproduces the symbolic run. *)
+
+type binop = Isa.Insn.binop
+
+type t =
+  | Const of int
+  | Sym of int            (** symbolic input byte, by variable id *)
+  | Bin of binop * t * t
+  | Neg of t
+  | Not of t
+
+val const : int -> t
+val sym : int -> t
+val bin : binop -> t -> t -> t
+(** Constant-folds when both sides are constants (division by zero is left
+    symbolic for the evaluator to refuse). *)
+
+val is_concrete : t -> bool
+val to_concrete : t -> int option
+val vars : t -> Stdx.Intset.t
+
+val eval : env:(int -> int) -> t -> int option
+(** Evaluate under an assignment of variables; [None] on division by zero
+    or an out-of-range shift (the path is infeasible at that point). *)
+
+val subst_eval : env:(int -> int option) -> t -> t
+(** Partial evaluation: replaces assigned variables and folds. *)
+
+val size : t -> int
+val pp : Format.formatter -> t -> unit
+
+val cond_holds : Isa.Insn.cond -> int -> int -> bool
+(** Shared comparison semantics: does [cond] hold for compared values
+    (a, b)?  Matches {!Vcpu.Interp}'s flag encoding of [Cmp]. *)

@@ -1,0 +1,1 @@
+lib/vcpu/cpu.ml: Array Format Isa List

@@ -1,0 +1,1 @@
+lib/vcpu/cpu.mli: Format Isa

@@ -1,0 +1,1 @@
+lib/vcpu/interp.ml: Array Bytes Cpu Format Hashtbl Isa Mem

@@ -1,0 +1,1 @@
+lib/vcpu/interp.mli: Cpu Format Mem

@@ -1,0 +1,66 @@
+type flags = {
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable lt_s : bool;
+  mutable lt_u : bool;
+}
+
+type t = {
+  regs : int array;
+  mutable rip : int;
+  flags : flags;
+  mutable retired : int;
+}
+
+type saved = { s_regs : int array; s_rip : int; s_flags : bool * bool * bool * bool }
+
+let create ~entry =
+  { regs = Array.make Isa.Reg.count 0;
+    rip = entry;
+    flags = { zf = false; sf = false; lt_s = false; lt_u = false };
+    retired = 0 }
+
+let get t reg = t.regs.(Isa.Reg.to_int reg)
+
+let set t reg v = t.regs.(Isa.Reg.to_int reg) <- v
+
+let save t =
+  { s_regs = Array.copy t.regs;
+    s_rip = t.rip;
+    s_flags = (t.flags.zf, t.flags.sf, t.flags.lt_s, t.flags.lt_u) }
+
+let load t s =
+  Array.blit s.s_regs 0 t.regs 0 Isa.Reg.count;
+  t.rip <- s.s_rip;
+  let zf, sf, lt_s, lt_u = s.s_flags in
+  t.flags.zf <- zf;
+  t.flags.sf <- sf;
+  t.flags.lt_s <- lt_s;
+  t.flags.lt_u <- lt_u
+
+let saved_rip s = s.s_rip
+
+let eval_cond t (c : Isa.Insn.cond) =
+  let f = t.flags in
+  match c with
+  | E -> f.zf
+  | NE -> not f.zf
+  | L -> f.lt_s
+  | GE -> not f.lt_s
+  | LE -> f.lt_s || f.zf
+  | G -> not (f.lt_s || f.zf)
+  | B -> f.lt_u
+  | AE -> not f.lt_u
+  | BE -> f.lt_u || f.zf
+  | A -> not (f.lt_u || f.zf)
+  | S -> f.sf
+  | NS -> not f.sf
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>rip=0x%x retired=%d@ " t.rip t.retired;
+  List.iter
+    (fun reg ->
+      Format.fprintf fmt "%s=%d " (Isa.Reg.name reg) (get t reg))
+    Isa.Reg.all;
+  Format.fprintf fmt "@ zf=%b sf=%b lt_s=%b lt_u=%b@]" t.flags.zf t.flags.sf
+    t.flags.lt_s t.flags.lt_u

@@ -1,0 +1,32 @@
+(** VX64 CPU state: sixteen general-purpose registers, the instruction
+    pointer, and flags.
+
+    [save]/[load] implement the register-file half of the paper's snapshot
+    definition: a partial candidate is "a copy of the register file and an
+    immutable logical copy of the entire address space". *)
+
+type flags = {
+  mutable zf : bool;   (** zero *)
+  mutable sf : bool;   (** sign of last result *)
+  mutable lt_s : bool; (** last compare: signed less-than *)
+  mutable lt_u : bool; (** last compare: unsigned less-than *)
+}
+
+type t = {
+  regs : int array;
+  mutable rip : int;
+  flags : flags;
+  mutable retired : int;  (** instructions executed on this vCPU *)
+}
+
+type saved
+(** An immutable register-file copy. *)
+
+val create : entry:int -> t
+val get : t -> Isa.Reg.t -> int
+val set : t -> Isa.Reg.t -> int -> unit
+val save : t -> saved
+val load : t -> saved -> unit
+val saved_rip : saved -> int
+val eval_cond : t -> Isa.Insn.cond -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,283 @@
+module As = Mem.Addr_space
+
+type fault =
+  | Page_fault of { rip : int; addr : int; access : As.access }
+  | Div_by_zero of { rip : int }
+  | Invalid_opcode of { rip : int; opcode : int }
+  | Bad_shift of { rip : int; count : int }
+
+type vmexit =
+  | Syscall
+  | Halt
+  | Fault of fault
+  | Out_of_fuel
+
+exception Exit_run of vmexit
+
+(* Unsigned comparison of native ints (flip the sign bit). *)
+let unsigned_lt a b = a lxor min_int < b lxor min_int
+
+let effective_addr (cpu : Cpu.t) (m : Isa.Insn.mem) =
+  let base = match m.base with None -> 0 | Some r -> Cpu.get cpu r in
+  let index =
+    match m.index with None -> 0 | Some (r, scale) -> Cpu.get cpu r * scale
+  in
+  base + index + m.disp
+
+let operand_value cpu = function
+  | Isa.Insn.Reg r -> Cpu.get cpu r
+  | Isa.Insn.Imm v -> v
+
+let set_zs (cpu : Cpu.t) v =
+  cpu.flags.zf <- v = 0;
+  cpu.flags.sf <- v < 0
+
+(* Execute one decoded instruction whose size is [sz]; returns an exit or
+   unit.  [cpu.rip] still points at the instruction on entry.  All helpers
+   are top-level so the hot loop allocates nothing per instruction. *)
+let[@inline] retire_at (cpu : Cpu.t) addr =
+  cpu.rip <- addr;
+  cpu.retired <- cpu.retired + 1
+
+let[@inline] push_word (cpu : Cpu.t) aspace v =
+  let sp = Cpu.get cpu Isa.Reg.rsp - 8 in
+  As.write_u64 aspace sp v;
+  Cpu.set cpu Isa.Reg.rsp sp
+
+let[@inline] pop_word (cpu : Cpu.t) aspace =
+  let sp = Cpu.get cpu Isa.Reg.rsp in
+  let v = As.read_u64 aspace sp in
+  Cpu.set cpu Isa.Reg.rsp (sp + 8);
+  v
+
+let exec (cpu : Cpu.t) aspace insn sz : vmexit option =
+  let open Isa.Insn in
+  let next = cpu.rip + sz in
+  match insn with
+  | Nop ->
+    retire_at cpu next;
+    None
+  | Hlt ->
+    cpu.retired <- cpu.retired + 1;
+    Some Halt
+  | Syscall ->
+    (* rip advances first so the libOS can resume the guest after serving
+       the call (or restart a guess from a snapshot taken here). *)
+    retire_at cpu next;
+    Some Syscall
+  | Ret ->
+    let target = pop_word cpu aspace in
+    retire_at cpu target;
+    None
+  | Mov (r, op) ->
+    Cpu.set cpu r (operand_value cpu op);
+    retire_at cpu next;
+    None
+  | Lea (r, m) ->
+    Cpu.set cpu r (effective_addr cpu m);
+    retire_at cpu next;
+    None
+  | Ld (Q, r, m) ->
+    Cpu.set cpu r (As.read_u64 aspace (effective_addr cpu m));
+    retire_at cpu next;
+    None
+  | Ld (B, r, m) ->
+    Cpu.set cpu r (As.read_u8 aspace (effective_addr cpu m));
+    retire_at cpu next;
+    None
+  | St (Q, m, r) ->
+    As.write_u64 aspace (effective_addr cpu m) (Cpu.get cpu r);
+    retire_at cpu next;
+    None
+  | St (B, m, r) ->
+    As.write_u8 aspace (effective_addr cpu m) (Cpu.get cpu r);
+    retire_at cpu next;
+    None
+  | Sti (Q, m, v) ->
+    As.write_u64 aspace (effective_addr cpu m) v;
+    retire_at cpu next;
+    None
+  | Sti (B, m, v) ->
+    As.write_u8 aspace (effective_addr cpu m) v;
+    retire_at cpu next;
+    None
+  | Bin (op, r, operand) ->
+    let a = Cpu.get cpu r in
+    let b = operand_value cpu operand in
+    let v =
+      match op with
+      | Add -> a + b
+      | Sub -> a - b
+      | Imul -> a * b
+      | Div ->
+        if b = 0 then raise (Exit_run (Fault (Div_by_zero { rip = cpu.rip })));
+        a / b
+      | Rem ->
+        if b = 0 then raise (Exit_run (Fault (Div_by_zero { rip = cpu.rip })));
+        a mod b
+      | And -> a land b
+      | Or -> a lor b
+      | Xor -> a lxor b
+      | Shl | Shr | Sar ->
+        if b < 0 || b > 62 then
+          raise (Exit_run (Fault (Bad_shift { rip = cpu.rip; count = b })));
+        (match op with
+        | Shl -> a lsl b
+        | Shr -> a lsr b
+        | Sar -> a asr b
+        | Add | Sub | Imul | Div | Rem | And | Or | Xor -> assert false)
+    in
+    Cpu.set cpu r v;
+    set_zs cpu v;
+    retire_at cpu next;
+    None
+  | Un (op, r) ->
+    let a = Cpu.get cpu r in
+    let v =
+      match op with Neg -> -a | Not -> lnot a | Inc -> a + 1 | Dec -> a - 1
+    in
+    Cpu.set cpu r v;
+    set_zs cpu v;
+    retire_at cpu next;
+    None
+  | Cmp (r, operand) ->
+    let a = Cpu.get cpu r in
+    let b = operand_value cpu operand in
+    cpu.flags.zf <- a = b;
+    cpu.flags.sf <- a - b < 0;
+    cpu.flags.lt_s <- a < b;
+    cpu.flags.lt_u <- unsigned_lt a b;
+    retire_at cpu next;
+    None
+  | Test (r, operand) ->
+    let v = Cpu.get cpu r land operand_value cpu operand in
+    cpu.flags.zf <- v = 0;
+    cpu.flags.sf <- v < 0;
+    cpu.flags.lt_s <- false;
+    cpu.flags.lt_u <- false;
+    retire_at cpu next;
+    None
+  | Jmp target ->
+    retire_at cpu target;
+    None
+  | Jcc (c, target) ->
+    retire_at cpu (if Cpu.eval_cond cpu c then target else next);
+    None
+  | Call target ->
+    push_word cpu aspace next;
+    retire_at cpu target;
+    None
+  | Push op ->
+    push_word cpu aspace (operand_value cpu op);
+    retire_at cpu next;
+    None
+  | Pop r ->
+    Cpu.set cpu r (pop_word cpu aspace);
+    retire_at cpu next;
+    None
+  | Setcc (c, r) ->
+    Cpu.set cpu r (if Cpu.eval_cond cpu c then 1 else 0);
+    retire_at cpu next;
+    None
+
+(* Decoded instructions are memoised per immutable frame: Addr_space
+   guarantees that a frame owned by a retired generation never changes in
+   place (writes COW into a fresh frame with a fresh id), so per-frame
+   decode arrays never need invalidation.  The cache keeps the last-used
+   frame's array in a hot slot — guest code is typically one or two frames.
+   Instructions close to the page edge (they may cross it) always take the
+   slow path. *)
+let max_insn_bytes = 24
+
+type icache = {
+  mutable hot_fid : int;
+  mutable hot_arr : (Isa.Insn.t * int) option array;
+  frames : (int, (Isa.Insn.t * int) option array) Hashtbl.t;
+}
+
+let create_icache () =
+  { hot_fid = -1; hot_arr = [||]; frames = Hashtbl.create 16 }
+
+let decode_at ?icache (cpu : Cpu.t) aspace rip =
+  let slow () =
+    let fetch addr = As.read_u8 aspace addr in
+    Isa.Encode.decode ~fetch rip
+  in
+  ignore cpu;
+  match icache with
+  | None -> slow ()
+  | Some cache ->
+    let offset = Mem.Page.offset_of_addr rip in
+    if offset > Mem.Page.size - max_insn_bytes then slow ()
+    else begin
+      let frame = As.reading_frame aspace rip in
+      if frame.Mem.Phys_mem.owner = As.generation aspace then slow ()
+      else begin
+        if cache.hot_fid <> frame.Mem.Phys_mem.id then begin
+          let arr =
+            match Hashtbl.find_opt cache.frames frame.Mem.Phys_mem.id with
+            | Some arr -> arr
+            | None ->
+              let arr = Array.make Mem.Page.size None in
+              Hashtbl.replace cache.frames frame.Mem.Phys_mem.id arr;
+              arr
+          in
+          cache.hot_fid <- frame.Mem.Phys_mem.id;
+          cache.hot_arr <- arr
+        end;
+        match Array.unsafe_get cache.hot_arr offset with
+        | Some decoded -> decoded
+        | None ->
+          let bytes = frame.Mem.Phys_mem.bytes in
+          let fetch addr = Bytes.get_uint8 bytes (offset + (addr - rip)) in
+          let decoded = Isa.Encode.decode ~fetch rip in
+          cache.hot_arr.(offset) <- Some decoded;
+          decoded
+      end
+    end
+
+let step_inner ?icache (cpu : Cpu.t) aspace =
+  let rip = cpu.rip in
+  match decode_at ?icache cpu aspace rip with
+  | exception As.Page_fault { addr; access } ->
+    Some (Fault (Page_fault { rip; addr; access }))
+  | exception Isa.Encode.Invalid_opcode { addr = _; opcode } ->
+    Some (Fault (Invalid_opcode { rip; opcode }))
+  | insn, sz -> (
+    match exec cpu aspace insn sz with
+    | result -> result
+    | exception As.Page_fault { addr; access } ->
+      cpu.rip <- rip;
+      (* faults leave rip at the faulting instruction *)
+      Some (Fault (Page_fault { rip; addr; access }))
+    | exception Exit_run e ->
+      cpu.rip <- rip;
+      Some e)
+
+let step cpu aspace = step_inner cpu aspace
+
+let run ?icache cpu aspace ~fuel =
+  let rec loop remaining =
+    if remaining <= 0 then Out_of_fuel
+    else
+      match step_inner ?icache cpu aspace with
+      | None -> loop (remaining - 1)
+      | Some e -> e
+  in
+  loop fuel
+
+let pp_fault fmt = function
+  | Page_fault { rip; addr; access } ->
+    Format.fprintf fmt "page fault at rip=0x%x addr=0x%x (%s)" rip addr
+      (match access with As.Read -> "read" | As.Write -> "write")
+  | Div_by_zero { rip } -> Format.fprintf fmt "division by zero at rip=0x%x" rip
+  | Invalid_opcode { rip; opcode } ->
+    Format.fprintf fmt "invalid opcode 0x%x at rip=0x%x" opcode rip
+  | Bad_shift { rip; count } ->
+    Format.fprintf fmt "shift count %d out of range at rip=0x%x" count rip
+
+let pp_vmexit fmt = function
+  | Syscall -> Format.pp_print_string fmt "syscall"
+  | Halt -> Format.pp_print_string fmt "halt"
+  | Fault f -> Format.fprintf fmt "fault: %a" pp_fault f
+  | Out_of_fuel -> Format.pp_print_string fmt "out of fuel"

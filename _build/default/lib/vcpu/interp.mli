@@ -1,0 +1,39 @@
+(** The VX64 interpreter: fetch, decode and execute from guest memory until
+    a vmexit.
+
+    This stands in for VT-x non-root execution: the guest runs unobserved
+    until it traps — a syscall, a halt, a fault, or fuel exhaustion — and
+    control returns to the libOS with the full CPU state available for
+    inspection, exactly the boundary Figure 2 of the paper draws between
+    ring 3 and the ring-0 libOS. *)
+
+type fault =
+  | Page_fault of { rip : int; addr : int; access : Mem.Addr_space.access }
+  | Div_by_zero of { rip : int }
+  | Invalid_opcode of { rip : int; opcode : int }
+  | Bad_shift of { rip : int; count : int }
+
+type vmexit =
+  | Syscall      (** [rip] already advanced past the [syscall] instruction *)
+  | Halt         (** [hlt]; by convention [rdi] holds the exit status *)
+  | Fault of fault
+  | Out_of_fuel  (** instruction budget exhausted; resumable *)
+
+type icache
+(** Decoded-instruction cache, one per machine: per-frame decode arrays
+    keyed by frame id.  Sound with no invalidation because entries are only
+    created for frames that are owned by a retired generation — such frames
+    can never change in place (writes COW them into fresh frames). *)
+
+val create_icache : unit -> icache
+
+val run : ?icache:icache -> Cpu.t -> Mem.Addr_space.t -> fuel:int -> vmexit
+(** Execute at most [fuel] instructions.  The CPU state is mutated in place;
+    on [Fault] the instruction pointer still addresses the faulting
+    instruction. *)
+
+val step : Cpu.t -> Mem.Addr_space.t -> vmexit option
+(** Execute one instruction; [None] means it retired without a vmexit. *)
+
+val pp_fault : Format.formatter -> fault -> unit
+val pp_vmexit : Format.formatter -> vmexit -> unit

@@ -1,0 +1,1 @@
+lib/workloads/cnf_gen.ml: Array Buffer List Printf Stdx String

@@ -1,0 +1,1 @@
+lib/workloads/cnf_gen.mli:

@@ -1,0 +1,1 @@
+lib/workloads/coloring.ml: Array Bytes Char Isa List Os Stdx String Wl_common

@@ -1,0 +1,1 @@
+lib/workloads/counting.ml: Isa Os Wl_common

@@ -1,0 +1,1 @@
+lib/workloads/grid.ml: Array Isa List Os Queue Stdx String Wl_common

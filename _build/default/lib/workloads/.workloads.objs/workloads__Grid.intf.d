@@ -1,0 +1,1 @@
+lib/workloads/grid.mli: Isa

@@ -1,0 +1,1 @@
+lib/workloads/guest_dpll.ml: Buffer Char Int64 Isa List Os Stdlib Wl_common

@@ -1,0 +1,1 @@
+lib/workloads/guest_dpll.mli: Isa

@@ -1,0 +1,1 @@
+lib/workloads/locality.ml: Array Bytes Char Isa Os Wl_common

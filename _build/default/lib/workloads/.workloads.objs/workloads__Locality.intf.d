@@ -1,0 +1,1 @@
+lib/workloads/locality.mli: Isa

@@ -1,0 +1,1 @@
+lib/workloads/log_repair.ml: Buffer Bytes Int64 Isa List Os String Wl_common

@@ -1,0 +1,1 @@
+lib/workloads/log_repair.mli: Isa

@@ -1,0 +1,1 @@
+lib/workloads/nqueens.ml: Array Char Isa List Os String Wl_common

@@ -1,0 +1,1 @@
+lib/workloads/nqueens.mli: Isa

@@ -1,0 +1,1 @@
+lib/workloads/subset_sum.ml: Array Bytes Char Isa List Os Wl_common

@@ -1,0 +1,1 @@
+lib/workloads/subset_sum.mli: Isa

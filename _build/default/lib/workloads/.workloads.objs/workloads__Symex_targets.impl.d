@@ -1,0 +1,1 @@
+lib/workloads/symex_targets.ml: Char Fun Isa List Os Printf String Wl_common

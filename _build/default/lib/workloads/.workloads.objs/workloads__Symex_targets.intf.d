@@ -1,0 +1,1 @@
+lib/workloads/symex_targets.mli: Isa

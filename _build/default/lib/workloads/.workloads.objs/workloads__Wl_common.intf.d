@@ -1,0 +1,1 @@
+lib/workloads/wl_common.mli: Isa

@@ -1,0 +1,100 @@
+module Prng = Stdx.Prng
+
+type cnf = {
+  num_vars : int;
+  clauses : int list list;
+}
+
+let random_clause rng ~num_vars ~width =
+  let rec draw acc =
+    if List.length acc = width then acc
+    else begin
+      let v = 1 + Prng.int rng num_vars in
+      if List.exists (fun l -> abs l = v) acc then draw acc
+      else
+        let lit = if Prng.bool rng then v else -v in
+        draw (lit :: acc)
+    end
+  in
+  draw []
+
+let random_3sat ~num_vars ~num_clauses ~seed =
+  if num_vars < 3 then invalid_arg "Cnf_gen.random_3sat: need at least 3 variables";
+  let rng = Prng.create ~seed in
+  { num_vars;
+    clauses = List.init num_clauses (fun _ -> random_clause rng ~num_vars ~width:3) }
+
+let planted ~num_vars ~num_clauses ~seed =
+  if num_vars < 3 then invalid_arg "Cnf_gen.planted: need at least 3 variables";
+  let rng = Prng.create ~seed in
+  let hidden = Array.init (num_vars + 1) (fun _ -> Prng.bool rng) in
+  let satisfied clause =
+    List.exists (fun l -> if l > 0 then hidden.(l) else not hidden.(-l)) clause
+  in
+  let rec clause () =
+    let c = random_clause rng ~num_vars ~width:3 in
+    if satisfied c then c else clause ()
+  in
+  { num_vars; clauses = List.init num_clauses (fun _ -> clause ()) }
+
+(* Variable p_{i,j}: pigeon i (0..holes) sits in hole j (0..holes-1). *)
+let pigeonhole ~holes =
+  if holes < 1 then invalid_arg "Cnf_gen.pigeonhole";
+  let pigeons = holes + 1 in
+  let var i j = (i * holes) + j + 1 in
+  let placement =
+    List.init pigeons (fun i -> List.init holes (fun j -> var i j))
+  in
+  let conflicts = ref [] in
+  for j = 0 to holes - 1 do
+    for i1 = 0 to pigeons - 1 do
+      for i2 = i1 + 1 to pigeons - 1 do
+        conflicts := [ -var i1 j; -var i2 j ] :: !conflicts
+      done
+    done
+  done;
+  { num_vars = pigeons * holes; clauses = placement @ !conflicts }
+
+let increments ~num_vars ~count ~width ~seed =
+  let rng = Prng.create ~seed in
+  List.init count (fun _ ->
+      List.init width (fun _ -> random_clause rng ~num_vars ~width:3))
+
+let to_dimacs { num_vars; clauses } =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf
+    (Printf.sprintf "p cnf %d %d\n" num_vars (List.length clauses));
+  List.iter
+    (fun clause ->
+      List.iter (fun l -> Buffer.add_string buf (string_of_int l ^ " ")) clause;
+      Buffer.add_string buf "0\n")
+    clauses;
+  Buffer.contents buf
+
+let of_dimacs text =
+  let lines = String.split_on_char '\n' text in
+  let num_vars = ref 0 in
+  let clauses = ref [] in
+  let pending = ref [] in
+  List.iter
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = 'c' then ()
+      else if line.[0] = 'p' then begin
+        match String.split_on_char ' ' line |> List.filter (fun s -> s <> "") with
+        | [ "p"; "cnf"; nv; _nc ] -> num_vars := int_of_string nv
+        | _ -> failwith "Cnf_gen.of_dimacs: malformed problem line"
+      end
+      else
+        String.split_on_char ' ' line
+        |> List.filter (fun s -> s <> "")
+        |> List.iter (fun tok ->
+               match int_of_string_opt tok with
+               | None -> failwith (Printf.sprintf "Cnf_gen.of_dimacs: bad token %S" tok)
+               | Some 0 ->
+                 clauses := List.rev !pending :: !clauses;
+                 pending := []
+               | Some l -> pending := l :: !pending))
+    lines;
+  if !pending <> [] then failwith "Cnf_gen.of_dimacs: clause not terminated by 0";
+  { num_vars = !num_vars; clauses = List.rev !clauses }

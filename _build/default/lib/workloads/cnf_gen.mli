@@ -1,0 +1,27 @@
+(** CNF formula generators for the solver experiments (E4).
+
+    Clauses are lists of non-zero literals in DIMACS convention: positive
+    integer = variable, negative = its negation. *)
+
+type cnf = {
+  num_vars : int;
+  clauses : int list list;
+}
+
+val random_3sat : num_vars:int -> num_clauses:int -> seed:int -> cnf
+(** Uniform random 3-SAT (distinct variables within each clause). *)
+
+val planted : num_vars:int -> num_clauses:int -> seed:int -> cnf
+(** Random 3-SAT guaranteed satisfiable: every clause is checked against a
+    hidden planted assignment. *)
+
+val pigeonhole : holes:int -> cnf
+(** PHP(holes+1, holes): unsatisfiable, classically hard for resolution. *)
+
+val increments : num_vars:int -> count:int -> width:int -> seed:int -> int list list list
+(** [count] batches of incremental clauses (each batch [width] random
+    clauses over the same variable range), for the p, p∧q, p∧q∧r… chain. *)
+
+val to_dimacs : cnf -> string
+val of_dimacs : string -> cnf
+(** @raise Failure on malformed input. *)

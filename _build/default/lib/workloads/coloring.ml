@@ -1,0 +1,136 @@
+open Isa.Asm
+module R = Isa.Reg
+module Abi = Os.Sys_abi
+
+type graph = {
+  vertices : int;
+  edges : (int * int) list;
+}
+
+let adjacency g =
+  let n = g.vertices in
+  let m = Bytes.make (n * n) '\000' in
+  List.iter
+    (fun (u, v) ->
+      if u < 0 || u >= n || v < 0 || v >= n then invalid_arg "Coloring: edge out of range";
+      Bytes.set m ((u * n) + v) '\001';
+      Bytes.set m ((v * n) + u) '\001')
+    g.edges;
+  Bytes.to_string m
+
+(* Guest registers:
+     rbx vertex v, rcx colour guessed for v, r10 neighbour u,
+     r8/r9 array scratch, rdx loads. *)
+let program ?(all_solutions = true) g ~k =
+  let n = g.vertices in
+  if n < 1 || n > 32 then invalid_arg "Coloring.program: 1..32 vertices";
+  if k < 1 || k > 9 then invalid_arg "Coloring.program: 1..9 colours";
+  let body =
+    [ label "main" ]
+    @ Wl_common.sys_guess_strategy ~strategy:Abi.strategy_dfs
+    @ [ cmp R.rax (i 0); je "done_"; mov R.rbx (i 0) ]
+    @ [ label "vertex"; cmp R.rbx (i n); jge "print_" ]
+    @ Wl_common.sys_guess_imm ~n:k
+    @ [ mov R.rcx (r R.rax); mov R.r10 (i 0) ]
+    @ [ label "check";
+        cmp R.r10 (r R.rbx);
+        jge "place";
+        (* adjacent and same colour? *)
+        mov R.r9 (r R.rbx);
+        imul R.r9 (i n);
+        add R.r9 (r R.r10);
+        movl R.r8 "adj";
+        ldb R.rdx (idx R.r8 (R.r9, 1));
+        test R.rdx (r R.rdx);
+        je "next_u";
+        movl R.r8 "colour";
+        ldb R.rdx (idx R.r8 (R.r10, 1));
+        cmp R.rdx (r R.rcx);
+        je "conflict";
+        label "next_u";
+        inc R.r10;
+        jmp "check";
+        label "conflict" ]
+    @ Wl_common.sys_guess_fail
+    @ [ label "place";
+        movl R.r8 "colour";
+        stb (idx R.r8 (R.rbx, 1)) R.rcx;
+        inc R.rbx;
+        jmp "vertex" ]
+    (* print one digit per vertex *)
+    @ [ label "print_"; mov R.rbx (i 0) ]
+    @ [ label "ploop";
+        cmp R.rbx (i n);
+        jge "pdone";
+        movl R.r8 "colour";
+        ldb R.rcx (idx R.r8 (R.rbx, 1));
+        add R.rcx (i (Char.code '0'));
+        movl R.r8 "buf";
+        stb (idx R.r8 (R.rbx, 1)) R.rcx;
+        inc R.rbx;
+        jmp "ploop";
+        label "pdone";
+        movl R.r8 "buf";
+        stib (Isa.Insn.mem ~base:R.r8 ~disp:n ()) 10 ]
+    @ Wl_common.write_label ~buf:"buf" ~len:(n + 1)
+    @ (if all_solutions then Wl_common.sys_guess_fail else Wl_common.sys_exit ~status:0)
+    @ [ label "done_" ]
+    @ Wl_common.sys_exit ~status:0
+    @ [ align 4096;
+        label "adj"; bytes (adjacency g);
+        label "colour"; zeros n;
+        label "buf"; zeros (n + 2) ]
+  in
+  assemble ~entry:"main" body
+
+let host_count g ~k =
+  let n = g.vertices in
+  let adj = adjacency g in
+  let colour = Array.make n (-1) in
+  let count = ref 0 in
+  let rec place v =
+    if v = n then incr count
+    else
+      for c = 0 to k - 1 do
+        let ok = ref true in
+        for u = 0 to v - 1 do
+          if adj.[(v * n) + u] <> '\000' && colour.(u) = c then ok := false
+        done;
+        if !ok then begin
+          colour.(v) <- c;
+          place (v + 1);
+          colour.(v) <- -1
+        end
+      done
+  in
+  place 0;
+  !count
+
+let cycle n =
+  { vertices = n; edges = List.init n (fun v -> v, (v + 1) mod n) }
+
+let complete n =
+  let edges = ref [] in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v) :: !edges
+    done
+  done;
+  { vertices = n; edges = !edges }
+
+let petersen =
+  { vertices = 10;
+    edges =
+      [ 0, 1; 1, 2; 2, 3; 3, 4; 4, 0;       (* outer pentagon *)
+        5, 7; 7, 9; 9, 6; 6, 8; 8, 5;       (* inner pentagram *)
+        0, 5; 1, 6; 2, 7; 3, 8; 4, 9 ] }
+
+let random_graph ~vertices ~edge_probability ~seed =
+  let rng = Stdx.Prng.create ~seed in
+  let edges = ref [] in
+  for u = 0 to vertices - 1 do
+    for v = u + 1 to vertices - 1 do
+      if Stdx.Prng.float rng 1.0 < edge_probability then edges := (u, v) :: !edges
+    done
+  done;
+  { vertices; edges = !edges }

@@ -1,0 +1,22 @@
+(** Graph k-colouring via [sys_guess] — a second "single path to solution"
+    program in the paper's style (example and test workload).
+
+    The guest guesses a colour per vertex, fails on any conflicting edge,
+    prints the colouring as one digit per vertex, and then either fails (to
+    enumerate all colourings) or exits. *)
+
+type graph = {
+  vertices : int;
+  edges : (int * int) list;
+}
+
+val program : ?all_solutions:bool -> graph -> k:int -> Isa.Asm.image
+
+val host_count : graph -> k:int -> int
+(** Hand-coded colouring counter (reference). *)
+
+val cycle : int -> graph
+val complete : int -> graph
+val petersen : graph
+
+val random_graph : vertices:int -> edge_probability:float -> seed:int -> graph

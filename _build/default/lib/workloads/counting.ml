@@ -1,0 +1,22 @@
+open Isa.Asm
+module R = Isa.Reg
+module Abi = Os.Sys_abi
+
+let program ~depth ~branch =
+  if depth < 1 || branch < 1 then invalid_arg "Counting.program";
+  let body =
+    [ label "main" ]
+    @ Wl_common.sys_guess_strategy ~strategy:Abi.strategy_dfs
+    @ [ cmp R.rax (i 0); je "done_"; mov R.r12 (i depth) ]
+    @ [ label "step"; cmp R.r12 (i 0); jle "leaf" ]
+    @ Wl_common.sys_guess_imm ~n:branch
+    @ [ dec R.r12; jmp "step"; label "leaf" ]
+    @ Wl_common.sys_guess_fail
+    @ [ label "done_" ]
+    @ Wl_common.sys_exit ~status:0
+  in
+  assemble ~entry:"main" body
+
+let leaves ~depth ~branch =
+  let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+  pow branch depth

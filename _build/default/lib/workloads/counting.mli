@@ -1,0 +1,9 @@
+(** A bare guess tree: [branch]^[depth] paths with nothing but the guesses
+    themselves.  Measures the raw per-extension overhead of system-level
+    backtracking (snapshot + schedule + restore round trip). *)
+
+val program : depth:int -> branch:int -> Isa.Asm.image
+(** Every leaf fails; after exhaustion the guest exits 0.  The number of
+    [Fail] terminals is exactly [branch]^[depth]. *)
+
+val leaves : depth:int -> branch:int -> int

@@ -1,0 +1,147 @@
+open Isa.Asm
+module R = Isa.Reg
+module Abi = Os.Sys_abi
+
+type maze = string array
+
+let dims maze =
+  let h = Array.length maze in
+  if h = 0 then invalid_arg "Grid: empty maze";
+  let w = String.length maze.(0) in
+  Array.iter (fun row -> if String.length row <> w then invalid_arg "Grid: ragged maze") maze;
+  w, h
+
+(* Guest registers:
+     r12 x, r13 y, r14 steps, r15 cells base (walls at "walls", visited at
+     "visited"), rbx scratch index, rcx direction. *)
+let program maze =
+  let w, h = dims maze in
+  if maze.(0).[0] = '#' || maze.(h - 1).[w - 1] = '#' then
+    invalid_arg "Grid.program: start or goal is a wall";
+  let walls =
+    String.concat ""
+      (Array.to_list (Array.map (String.map (fun c -> if c = '#' then '\001' else '\000')) maze))
+  in
+  let gx = w - 1 and gy = h - 1 in
+  let body =
+    [ label "main" ]
+    @ Wl_common.sys_guess_strategy ~strategy:Abi.strategy_astar
+    @ [ cmp R.rax (i 0);
+        je "unreachable";
+        mov R.r12 (i 0);
+        mov R.r13 (i 0);
+        mov R.r14 (i 0);
+        (* mark the start cell visited *)
+        movl R.r15 "visited";
+        stib (Isa.Insn.mem ~base:R.r15 ()) 1 ]
+    @ [ label "walk";
+        (* at goal? *)
+        cmp R.r12 (i gx);
+        jne "not_goal";
+        cmp R.r13 (i gy);
+        jne "not_goal";
+        mov R.rdi (r R.r14) ]
+    @ Wl_common.syscall3 ~number:Abi.sys_exit
+    @ [ label "not_goal";
+        (* hint = |gx - x| + |gy - y| *)
+        mov R.rdi (i gx);
+        sub R.rdi (r R.r12);
+        jns "dx_ok";
+        neg R.rdi;
+        label "dx_ok";
+        mov R.rcx (i gy);
+        sub R.rcx (r R.r13);
+        jns "dy_ok";
+        neg R.rcx;
+        label "dy_ok";
+        add R.rdi (r R.rcx) ]
+    @ Wl_common.sys_guess_hint_reg
+    @ Wl_common.sys_guess_imm ~n:4
+    @ [ mov R.rcx (r R.rax);
+        (* r10 = nx, r11 = ny *)
+        mov R.r10 (r R.r12);
+        mov R.r11 (r R.r13);
+        cmp R.rcx (i 0);
+        jne "try1";
+        inc R.r10;
+        jmp "moved";
+        label "try1";
+        cmp R.rcx (i 1);
+        jne "try2";
+        inc R.r11;
+        jmp "moved";
+        label "try2";
+        cmp R.rcx (i 2);
+        jne "try3";
+        dec R.r10;
+        jmp "moved";
+        label "try3";
+        dec R.r11;
+        label "moved";
+        (* bounds *)
+        cmp R.r10 (i 0);
+        jl "blocked";
+        cmp R.r10 (i w);
+        jge "blocked";
+        cmp R.r11 (i 0);
+        jl "blocked";
+        cmp R.r11 (i h);
+        jge "blocked";
+        (* rbx = ny * w + nx *)
+        mov R.rbx (r R.r11);
+        imul R.rbx (i w);
+        add R.rbx (r R.r10);
+        movl R.r15 "walls";
+        ldb R.rdx (idx R.r15 (R.rbx, 1));
+        test R.rdx (r R.rdx);
+        jne "blocked";
+        movl R.r15 "visited";
+        ldb R.rdx (idx R.r15 (R.rbx, 1));
+        test R.rdx (r R.rdx);
+        jne "blocked";
+        stib (idx R.r15 (R.rbx, 1)) 1;
+        mov R.r12 (r R.r10);
+        mov R.r13 (r R.r11);
+        inc R.r14;
+        jmp "walk";
+        label "blocked" ]
+    @ Wl_common.sys_guess_fail
+    @ [ label "unreachable" ]
+    @ Wl_common.sys_exit ~status:255
+    @ [ align 4096; label "walls"; bytes walls; label "visited"; zeros (w * h) ]
+  in
+  assemble ~entry:"main" body
+
+let generate ~width ~height ~wall_density ~seed =
+  let rng = Stdx.Prng.create ~seed in
+  Array.init height (fun y ->
+      String.init width (fun x ->
+          if (x = 0 && y = 0) || (x = width - 1 && y = height - 1) then '.'
+          else if Stdx.Prng.float rng 1.0 < wall_density then '#'
+          else '.'))
+
+let host_shortest maze =
+  let w, h = dims maze in
+  let dist = Array.make (w * h) (-1) in
+  let q = Queue.create () in
+  if maze.(0).[0] = '#' then None
+  else begin
+    dist.(0) <- 0;
+    Queue.add (0, 0) q;
+    let result = ref None in
+    while !result = None && not (Queue.is_empty q) do
+      let x, y = Queue.take q in
+      if x = w - 1 && y = h - 1 then result := Some dist.((y * w) + x)
+      else
+        List.iter
+          (fun (nx, ny) ->
+            if nx >= 0 && nx < w && ny >= 0 && ny < h
+               && maze.(ny).[nx] <> '#'
+               && dist.((ny * w) + nx) < 0 then begin
+              dist.((ny * w) + nx) <- dist.((y * w) + x) + 1;
+              Queue.add (nx, ny) q
+            end)
+          [ x + 1, y; x, y + 1; x - 1, y; x, y - 1 ]
+    done;
+    !result
+  end

@@ -1,0 +1,21 @@
+(** Grid path-finding: the strategy-comparison workload (E6).
+
+    The guest walks a maze from the top-left to the bottom-right corner.
+    Each step sends the Manhattan distance to the goal via
+    [sys_guess_hint], then guesses one of four directions; walls, bounds
+    and already-visited cells fail.  Reaching the goal exits with the path
+    length as the status, so running under [`First_exit] compares what DFS,
+    BFS, A* and SM-A* each find and how many extensions they expand. *)
+
+type maze = string array
+(** Rows of ['.'] (free) and ['#'] (wall); rectangular, start [(0,0)] and
+    goal [(w-1,h-1)] must be free. *)
+
+val program : maze -> Isa.Asm.image
+
+val generate : width:int -> height:int -> wall_density:float -> seed:int -> maze
+(** Random maze that is guaranteed to keep start and goal free (possibly
+    disconnected; the guest then exits 255 after exhausting the scope). *)
+
+val host_shortest : maze -> int option
+(** BFS reference: optimal path length (steps), [None] if unreachable. *)

@@ -1,0 +1,278 @@
+open Isa.Asm
+module R = Isa.Reg
+module Abi = Os.Sys_abi
+
+let exit_sat = 10 (* after consuming all increments *)
+let exit_unsat = 20
+let exit_done = 10
+
+let qwords values = List.map qword values
+
+(* Register conventions inside the guest solver:
+     propagate: rbx clause index, rcx literal cursor, r14 clause end,
+                r10 satisfied flag, r11 unassigned count, r12 last
+                unassigned literal, r13 changed flag, rdx literal,
+                r9 |literal| / loop bounds, r8 array base
+     main loop: r15 decision variable / increment counter *)
+let program ?(max_clauses = 4096) ?(max_lits = 16384) ~num_vars clauses =
+  if num_vars < 1 || num_vars > 4000 then invalid_arg "Guest_dpll: num_vars";
+  let initial_lits = List.concat clauses in
+  if List.length clauses > max_clauses then invalid_arg "Guest_dpll: too many clauses";
+  if List.length initial_lits > max_lits then invalid_arg "Guest_dpll: too many literals";
+  List.iter
+    (fun l ->
+      if l = 0 || Stdlib.abs l > num_vars then
+        invalid_arg "Guest_dpll: literal out of range")
+    initial_lits;
+  let offsets =
+    (* clause_off[i] = start of clause i in lits; clause_off[nclauses] = top *)
+    let rec go acc pos = function
+      | [] -> List.rev (pos :: acc)
+      | c :: rest -> go (pos :: acc) (pos + List.length c) rest
+    in
+    go [] 0 clauses
+  in
+  let nclauses = List.length clauses in
+  let read8 buf =
+    [ mov R.rdi (i 0); movl R.rsi buf; mov R.rdx (i 8) ]
+    @ Wl_common.syscall3 ~number:Abi.sys_read
+  in
+  let body =
+    [ label "main" ]
+    @ Wl_common.sys_guess_strategy ~strategy:Abi.strategy_dfs
+    @ [ cmp R.rax (i 0); je "unsat_exit" ]
+    @ [ label "solver_loop";
+        call "propagate";
+        cmp R.rax (i 0);
+        jne "conflict_";
+        call "pick_var";
+        cmp R.rax (i 0);
+        je "sat_";
+        mov R.r15 (r R.rax) ]
+    @ Wl_common.sys_guess_imm ~n:2
+    @ [ (* assign[r15] = guess + 1   (1 = true, 2 = false) *)
+        mov R.rcx (r R.rax);
+        inc R.rcx;
+        movl R.r8 "assign";
+        stb (idx R.r8 (R.r15, 1)) R.rcx;
+        jmp "solver_loop";
+        label "conflict_" ]
+    @ Wl_common.sys_guess_fail
+    @ [ label "sat_"; call "print_sat" ]
+    (* publish the solved state as a partial candidate, then pull the next
+       increment from stdin *)
+    @ Wl_common.sys_guess_imm ~n:1
+    @ [ call "read_increment"; cmp R.rax (i 0); je "done_exit"; jmp "solver_loop" ]
+    @ [ label "unsat_exit" ]
+    @ Wl_common.write_label ~buf:"unsat_msg" ~len:6
+    @ Wl_common.sys_exit ~status:exit_unsat
+    @ [ label "done_exit" ]
+    @ Wl_common.sys_exit ~status:exit_done
+    (* ---- propagate: rax = 1 on conflict, 0 at fixpoint ---- *)
+    @ [ label "propagate";
+        label "prop_restart";
+        mov R.r13 (i 0);
+        mov R.rbx (i 0);
+        label "prop_clause_loop";
+        movl R.r8 "nclauses";
+        ld R.r9 (R.r8 @+ 0);
+        cmp R.rbx (r R.r9);
+        jge "prop_done_pass";
+        movl R.r8 "clause_off";
+        ld R.rcx (idx R.r8 (R.rbx, 8));
+        ld R.r14 (idxd R.r8 (R.rbx, 8) 8);
+        mov R.r10 (i 0);
+        mov R.r11 (i 0);
+        mov R.r12 (i 0);
+        label "prop_lit_loop";
+        cmp R.rcx (r R.r14);
+        jge "prop_clause_eval";
+        movl R.r8 "lits";
+        ld R.rdx (idx R.r8 (R.rcx, 8));
+        mov R.r9 (r R.rdx);
+        cmp R.r9 (i 0);
+        jge "prop_abs_ok";
+        neg R.r9;
+        label "prop_abs_ok";
+        movl R.r8 "assign";
+        ldb R.rax (idx R.r8 (R.r9, 1));
+        cmp R.rax (i 0);
+        jne "prop_assigned";
+        inc R.r11;
+        mov R.r12 (r R.rdx);
+        jmp "prop_next_lit";
+        label "prop_assigned";
+        cmp R.rax (i 1);
+        jne "prop_check_false";
+        cmp R.rdx (i 0);
+        jg "prop_sat";
+        jmp "prop_next_lit";
+        label "prop_check_false";
+        cmp R.rdx (i 0);
+        jl "prop_sat";
+        label "prop_next_lit";
+        inc R.rcx;
+        jmp "prop_lit_loop";
+        label "prop_sat";
+        mov R.r10 (i 1);
+        label "prop_clause_eval";
+        cmp R.r10 (i 1);
+        je "prop_next_clause";
+        cmp R.r11 (i 0);
+        jne "prop_not_conflict";
+        mov R.rax (i 1);
+        ret;
+        label "prop_not_conflict";
+        cmp R.r11 (i 1);
+        jne "prop_next_clause";
+        mov R.r9 (r R.r12);
+        cmp R.r9 (i 0);
+        jge "prop_unit_pos";
+        neg R.r9;
+        movl R.r8 "assign";
+        stib (idx R.r8 (R.r9, 1)) 2;
+        jmp "prop_unit_done";
+        label "prop_unit_pos";
+        movl R.r8 "assign";
+        stib (idx R.r8 (R.r9, 1)) 1;
+        label "prop_unit_done";
+        mov R.r13 (i 1);
+        label "prop_next_clause";
+        inc R.rbx;
+        jmp "prop_clause_loop";
+        label "prop_done_pass";
+        cmp R.r13 (i 0);
+        jne "prop_restart";
+        mov R.rax (i 0);
+        ret ]
+    (* ---- pick_var: rax = first unassigned variable, or 0 ---- *)
+    @ [ label "pick_var";
+        movl R.r8 "nvars";
+        ld R.r9 (R.r8 @+ 0);
+        mov R.rax (i 1);
+        label "pick_loop";
+        cmp R.rax (r R.r9);
+        jg "pick_none";
+        movl R.r8 "assign";
+        ldb R.rcx (idx R.r8 (R.rax, 1));
+        cmp R.rcx (i 0);
+        je "pick_found";
+        inc R.rax;
+        jmp "pick_loop";
+        label "pick_none";
+        mov R.rax (i 0);
+        label "pick_found";
+        ret ]
+    (* ---- print_sat: "SAT\n" + 0/1 per variable + newline ---- *)
+    @ [ label "print_sat" ]
+    @ Wl_common.write_label ~buf:"sat_msg" ~len:4
+    @ [ movl R.r8 "nvars";
+        ld R.r9 (R.r8 @+ 0);
+        mov R.rbx (i 1);
+        label "ps_loop";
+        cmp R.rbx (r R.r9);
+        jg "ps_done";
+        movl R.r8 "assign";
+        ldb R.rcx (idx R.r8 (R.rbx, 1));
+        cmp R.rcx (i 1);
+        je "ps_one";
+        mov R.rcx (i (Char.code '0'));
+        jmp "ps_store";
+        label "ps_one";
+        mov R.rcx (i (Char.code '1'));
+        label "ps_store";
+        movl R.r8 "outbuf";
+        stb (idxd R.r8 (R.rbx, 1) (-1)) R.rcx;
+        inc R.rbx;
+        jmp "ps_loop";
+        label "ps_done";
+        movl R.r8 "outbuf";
+        add R.r8 (r R.r9);
+        stib (R.r8 @+ 0) 10;
+        mov R.rdi (i 1);
+        movl R.rsi "outbuf";
+        mov R.rdx (r R.r9);
+        inc R.rdx ]
+    @ Wl_common.syscall3 ~number:Abi.sys_write
+    @ [ ret ]
+    (* ---- read_increment: rax = 1 if clauses were appended, 0 on EOF ---- *)
+    @ [ label "read_increment" ]
+    @ read8 "inbuf"
+    @ [ cmp R.rax (i 8);
+        jl "ri_eof";
+        movl R.r8 "inbuf";
+        ld R.r15 (R.r8 @+ 0);
+        cmp R.r15 (i 0);
+        jle "ri_eof";
+        label "ri_clause_loop";
+        cmp R.r15 (i 0);
+        je "ri_done" ]
+    @ read8 "inbuf"
+    @ [ cmp R.rax (i 8);
+        jl "ri_eof";
+        movl R.r8 "inbuf";
+        ld R.r14 (R.r8 @+ 0);
+        movl R.r8 "nclauses";
+        ld R.r9 (R.r8 @+ 0);
+        movl R.r8 "clause_off";
+        ld R.rbx (idx R.r8 (R.r9, 8));
+        label "ri_lit_loop";
+        cmp R.r14 (i 0);
+        je "ri_clause_done" ]
+    @ read8 "inbuf"
+    @ [ cmp R.rax (i 8);
+        jl "ri_eof";
+        movl R.r8 "inbuf";
+        ld R.rdx (R.r8 @+ 0);
+        movl R.r8 "lits";
+        st (idx R.r8 (R.rbx, 8)) R.rdx;
+        inc R.rbx;
+        dec R.r14;
+        jmp "ri_lit_loop";
+        label "ri_clause_done";
+        movl R.r8 "nclauses";
+        ld R.r9 (R.r8 @+ 0);
+        inc R.r9;
+        st (R.r8 @+ 0) R.r9;
+        movl R.r8 "clause_off";
+        st (idx R.r8 (R.r9, 8)) R.rbx;
+        dec R.r15;
+        jmp "ri_clause_loop";
+        label "ri_done";
+        mov R.rax (i 1);
+        ret;
+        label "ri_eof";
+        mov R.rax (i 0);
+        ret ]
+    (* ---- data ---- *)
+    @ [ align 4096;
+        label "sat_msg"; bytes "SAT\n";
+        label "unsat_msg"; bytes "UNSAT\n";
+        align 8;
+        label "nvars" ] @ [ qword num_vars ]
+    @ [ label "nclauses" ] @ [ qword nclauses ]
+    @ [ label "clause_off" ]
+    @ qwords offsets
+    @ [ zeros (8 * (max_clauses + 1 - List.length offsets)) ]
+    @ [ label "lits" ]
+    @ qwords initial_lits
+    @ [ zeros (8 * (max_lits - List.length initial_lits)) ]
+    @ [ label "inbuf"; zeros 8;
+        label "outbuf"; zeros (num_vars + 2);
+        label "assign"; zeros (num_vars + 1) ]
+  in
+  assemble ~entry:"main" body
+
+let encode_increments increments =
+  let buf = Buffer.create 256 in
+  let q v = Buffer.add_int64_le buf (Int64.of_int v) in
+  List.iter
+    (fun clauses ->
+      q (List.length clauses);
+      List.iter
+        (fun clause ->
+          q (List.length clause);
+          List.iter q clause)
+        clauses)
+    increments;
+  Buffer.contents buf

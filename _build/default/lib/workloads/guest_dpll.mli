@@ -1,0 +1,26 @@
+(** A DPLL SAT solver written in guest assembly, branching with
+    [sys_guess(2)] — the paper's "simple single path to solution program"
+    (§1): it contains no backtracking logic at all, only unit propagation,
+    a decision heuristic and [sys_guess_fail] on conflict.
+
+    After finding a model it prints ["SAT\n"] plus the assignment, then
+    calls [sys_guess(1)] to {e publish the solved state as a partial
+    candidate} and reads incremental clauses from stdin — which is exactly
+    the multi-path incremental solver service of §3.2: resume the published
+    reference with different increments and each resume solves p ∧ q from
+    p's intact solver state.  Exhausting the search space prints
+    ["UNSAT\n"] and exits 20; running out of increments exits 10. *)
+
+val program :
+  ?max_clauses:int -> ?max_lits:int -> num_vars:int -> int list list -> Isa.Asm.image
+(** Embed the initial CNF (DIMACS literal convention).  [num_vars] is the
+    variable budget including variables only mentioned by later
+    increments. *)
+
+val encode_increments : int list list list -> string
+(** Binary stdin encoding of a list of increments, each a list of clauses:
+    the guest consumes one increment per SAT/yield cycle. *)
+
+val exit_sat : int
+val exit_unsat : int
+val exit_done : int

@@ -1,0 +1,231 @@
+open Isa.Asm
+module R = Isa.Reg
+module Abi = Os.Sys_abi
+
+type params = {
+  depth : int;
+  branch : int;
+  touch_pages : int;
+  work : int;
+  arena_pages : int;
+}
+
+let page_size = 4096
+
+(* Guest registers:
+     r15  arena base
+     r12  remaining depth
+     r13  branch taken at this step
+     r10  page loop counter / work loop counter
+     r11  touched address *)
+let program p =
+  if p.depth <= 0 || p.branch <= 0 then invalid_arg "Locality.program: empty tree";
+  if p.touch_pages > p.arena_pages then
+    invalid_arg "Locality.program: touch_pages exceeds arena";
+  if p.branch > 64 then
+    invalid_arg "Locality.program: branch factor above 64 overruns the page stride";
+  let body =
+    (* arena = brk(0); brk(arena + arena_pages * page) *)
+    [ label "main"; mov R.rdi (i 0) ]
+    @ Wl_common.syscall3 ~number:Abi.sys_brk
+    @ [ mov R.r15 (r R.rax);
+        mov R.rdi (r R.rax);
+        add R.rdi (i (p.arena_pages * page_size)) ]
+    @ Wl_common.syscall3 ~number:Abi.sys_brk
+    @ Wl_common.sys_guess_strategy ~strategy:Abi.strategy_dfs
+    @ [ cmp R.rax (i 0); je "done_"; mov R.r12 (i p.depth) ]
+    @ [ label "step"; cmp R.r12 (i 0); jle "leaf" ]
+    @ Wl_common.sys_guess_imm ~n:p.branch
+    @ [ mov R.r13 (r R.rax) ]
+    @ (if p.touch_pages = 0 then []
+       else
+         [ mov R.r10 (i 0);
+           label "touch";
+           cmp R.r10 (i p.touch_pages);
+           jge "touched";
+           (* r11 = arena + r10*4096 + r13*64 *)
+           mov R.r11 (r R.r10);
+           shl R.r11 (i 12);
+           add R.r11 (r R.r15);
+           mov R.r9 (r R.r13);
+           shl R.r9 (i 6);
+           add R.r11 (r R.r9);
+           ld R.r9 (R.r11 @+ 0);
+           inc R.r9;
+           st (R.r11 @+ 0) R.r9;
+           inc R.r10;
+           jmp "touch";
+           label "touched" ])
+    @ (if p.work = 0 then []
+       else
+         [ mov R.r10 (i p.work);
+           mov R.r9 (i 1);
+           label "work";
+           imul R.r9 (i 1103515245);
+           add R.r9 (i 12345);
+           and_ R.r9 (i 0x3FFFFFFF);
+           dec R.r10;
+           jne "work" ])
+    @ [ dec R.r12; jmp "step" ]
+    @ [ label "leaf" ]
+    @ Wl_common.sys_guess_fail
+    @ [ label "done_" ]
+    @ Wl_common.sys_exit ~status:0
+  in
+  assemble ~entry:"main" body
+
+(* Hand-coded guest: same tree, same writes, same work loop, but an
+   explicit undo log on the guest stack instead of snapshots.
+
+   step(rdi = remaining depth):
+     rdi depth, r13 branch index, r10 loop counter, r11 touched address,
+     r9 scratch value. *)
+let program_handcoded p =
+  if p.depth <= 0 || p.branch <= 0 then invalid_arg "Locality.program_handcoded";
+  if p.touch_pages > p.arena_pages then
+    invalid_arg "Locality.program_handcoded: touch_pages exceeds arena";
+  if p.branch > 64 then invalid_arg "Locality.program_handcoded: branch above 64";
+  (* r11 = arena + r10*4096 + r13*64 *)
+  let compute_addr =
+    [ mov R.r11 (r R.r10);
+      shl R.r11 (i 12);
+      add R.r11 (r R.r15);
+      mov R.r9 (r R.r13);
+      shl R.r9 (i 6);
+      add R.r11 (r R.r9) ]
+  in
+  let body =
+    [ label "main"; mov R.rdi (i 0) ]
+    @ Wl_common.syscall3 ~number:Abi.sys_brk
+    @ [ mov R.r15 (r R.rax);
+        mov R.rdi (r R.rax);
+        add R.rdi (i (p.arena_pages * page_size)) ]
+    @ Wl_common.syscall3 ~number:Abi.sys_brk
+    @ [ mov R.rdi (i p.depth); call "step" ]
+    @ [ movl R.r8 "leaves"; ld R.rdi (R.r8 @+ 0); and_ R.rdi (i 0xff) ]
+    @ Wl_common.syscall3 ~number:Abi.sys_exit
+    @ [ label "step";
+        cmp R.rdi (i 0);
+        jg "explore";
+        (* leaf: count it *)
+        movl R.r8 "leaves";
+        ld R.r9 (R.r8 @+ 0);
+        inc R.r9;
+        st (R.r8 @+ 0) R.r9;
+        ret;
+        label "explore";
+        mov R.r13 (i 0);
+        label "branch_loop";
+        cmp R.r13 (i p.branch);
+        jge "branches_done" ]
+    (* apply phase: record old cell values on the stack, then overwrite *)
+    @ (if p.touch_pages = 0 then []
+       else
+         [ mov R.r10 (i 0); label "apply"; cmp R.r10 (i p.touch_pages); jge "applied" ]
+         @ compute_addr
+         @ [ ld R.r9 (R.r11 @+ 0);
+             push (r R.r9);
+             inc R.r9;
+             st (R.r11 @+ 0) R.r9;
+             inc R.r10;
+             jmp "apply";
+             label "applied" ])
+    @ (if p.work = 0 then []
+       else
+         [ mov R.r10 (i p.work);
+           mov R.r9 (i 1);
+           label "work";
+           imul R.r9 (i 1103515245);
+           add R.r9 (i 12345);
+           and_ R.r9 (i 0x3FFFFFFF);
+           dec R.r10;
+           jne "work" ])
+    @ [ push (r R.rdi); push (r R.r13); dec R.rdi; call "step"; pop R.r13; pop R.rdi ]
+    (* undo phase: pop in reverse order *)
+    @ (if p.touch_pages = 0 then []
+       else
+         [ mov R.r10 (i (p.touch_pages - 1));
+           label "undo";
+           cmp R.r10 (i 0);
+           jl "undone" ]
+         @ compute_addr
+         @ [ pop R.r9;
+             st (R.r11 @+ 0) R.r9;
+             dec R.r10;
+             jmp "undo";
+             label "undone" ])
+    @ [ inc R.r13; jmp "branch_loop"; label "branches_done"; ret ]
+    @ [ align 4096; label "leaves"; qword 0 ]
+  in
+  assemble ~entry:"main" body
+
+type host_stats = {
+  paths : int;
+  steps : int;
+  bytes_copied : int;
+  cells_undone : int;
+}
+
+(* The same pseudo-random ALU churn as the guest's work loop. *)
+let do_work w =
+  let acc = ref 1 in
+  for _ = 1 to w do
+    acc := (!acc * 1103515245 + 12345) land 0x3FFFFFFF
+  done;
+  !acc
+
+let host_undo p =
+  let arena = Bytes.make (p.arena_pages * page_size) '\000' in
+  let paths = ref 0 in
+  let steps = ref 0 in
+  let cells_undone = ref 0 in
+  let rec explore depth =
+    if depth = 0 then incr paths
+    else
+      for b = 0 to p.branch - 1 do
+        incr steps;
+        (* write phase, recording old cell values *)
+        let undo = Array.make p.touch_pages (0, '\000') in
+        for k = 0 to p.touch_pages - 1 do
+          let off = (k * page_size) + (b * 64) in
+          undo.(k) <- (off, Bytes.get arena off);
+          Bytes.set arena off (Char.chr ((Char.code (Bytes.get arena off) + 1) land 0xff))
+        done;
+        ignore (do_work p.work);
+        explore (depth - 1);
+        (* undo phase *)
+        for k = p.touch_pages - 1 downto 0 do
+          let off, old = undo.(k) in
+          Bytes.set arena off old;
+          incr cells_undone
+        done
+      done
+  in
+  explore p.depth;
+  { paths = !paths; steps = !steps; bytes_copied = 0; cells_undone = !cells_undone }
+
+let host_eager p =
+  let paths = ref 0 in
+  let steps = ref 0 in
+  let bytes_copied = ref 0 in
+  let rec explore arena depth =
+    if depth = 0 then incr paths
+    else
+      for b = 0 to p.branch - 1 do
+        incr steps;
+        let copy = Bytes.copy arena in
+        bytes_copied := !bytes_copied + Bytes.length copy;
+        for k = 0 to p.touch_pages - 1 do
+          let off = (k * page_size) + (b * 64) in
+          Bytes.set copy off (Char.chr ((Char.code (Bytes.get copy off) + 1) land 0xff))
+        done;
+        ignore (do_work p.work);
+        explore copy (depth - 1)
+      done
+  in
+  explore (Bytes.make (p.arena_pages * page_size) '\000') p.depth;
+  { paths = !paths; steps = !steps; bytes_copied = !bytes_copied; cells_undone = 0 }
+
+let expected_paths p =
+  let rec pow b e = if e = 0 then 1 else b * pow b (e - 1) in
+  pow p.branch p.depth

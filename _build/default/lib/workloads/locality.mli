@@ -1,0 +1,45 @@
+(** The §5 "problem granularity and memory locality" workload (E3).
+
+    A synthetic search tree of [branch]^[depth] paths.  Each extension step
+    touches [touch_pages] distinct pages of a [arena_pages]-page arena and
+    executes [work] ALU instructions, then guesses again; every leaf fails,
+    so the whole tree is explored.  Sweeping [work] (instructions per step)
+    and [touch_pages] (page-level locality) maps out when system-level
+    backtracking wins over the two hand-coded regimes. *)
+
+type params = {
+  depth : int;
+  branch : int;
+  touch_pages : int;
+  work : int;        (** ALU loop iterations per extension step *)
+  arena_pages : int;
+}
+
+val program : params -> Isa.Asm.image
+(** Guest implementation; the arena is allocated with [brk]. *)
+
+val program_handcoded : params -> Isa.Asm.image
+(** The same search implemented {e inside the guest} with hand-coded
+    backtracking: an explicit undo log on the guest stack, no [sys_guess].
+    Running both programs on the same interpreter isolates exactly the cost
+    the paper discusses in §5 — system-level snapshots vs hand-coded undo
+    logic — from everything else.  Exits with the leaf count (mod 256); the
+    "leaves" symbol holds the full count. *)
+
+type host_stats = {
+  paths : int;           (** leaves reached *)
+  steps : int;           (** extension steps executed *)
+  bytes_copied : int;    (** state copied for isolation *)
+  cells_undone : int;    (** undo-log entries replayed *)
+}
+
+val host_undo : params -> host_stats
+(** Hand-coded backtracking with an undo log: records the [touch_pages]
+    overwritten cells at each step and restores them on return — the
+    "hand-coded logic on a stack" §5 expects to win at trivial step sizes. *)
+
+val host_eager : params -> host_stats
+(** Fork-style eager state copy: duplicates the whole arena at every step —
+    what a naive fork-based implementation (§3) pays. *)
+
+val expected_paths : params -> int

@@ -1,0 +1,124 @@
+open Isa.Asm
+module R = Isa.Reg
+module Abi = Os.Sys_abi
+
+type spec = {
+  records : int list;
+  corrupted : int list;
+  candidates : int list;
+}
+
+let journal_path = "/journal"
+let repaired_path = "/repaired"
+
+let qword_string v =
+  let b = Buffer.create 8 in
+  Buffer.add_int64_le b (Int64.of_int v);
+  Buffer.contents b
+
+let make_journal spec =
+  let header = List.fold_left ( + ) 0 spec.records in
+  let body =
+    List.mapi
+      (fun idx v -> qword_string (if List.mem idx spec.corrupted then -1 else v))
+      spec.records
+  in
+  String.concat "" (qword_string header :: body)
+
+let decode_journal content =
+  let n = String.length content / 8 in
+  List.init n (fun k ->
+      Int64.to_int (Bytes.get_int64_le (Bytes.of_string content) (k * 8)))
+
+(* Guest registers:
+     r15 expected sum, r14 running sum, r13 record index, rbx fd,
+     r8 record slot address, rdx record value, r9 candidate base. *)
+let program ?(all_solutions = true) spec =
+  let n = List.length spec.records in
+  let k = List.length spec.candidates in
+  if n < 1 || n > 64 then invalid_arg "Log_repair.program: 1..64 records";
+  if k < 1 || k > 64 then invalid_arg "Log_repair.program: 1..64 candidates";
+  let body =
+    [ label "main" ]
+    @ Wl_common.sys_guess_strategy ~strategy:Abi.strategy_dfs
+    @ [ cmp R.rax (i 0); je "exhausted" ]
+    (* open the journal *)
+    @ [ movl R.rdi "jpath"; mov R.rsi (i Abi.o_rdonly) ]
+    @ Wl_common.syscall3 ~number:Abi.sys_open
+    @ [ cmp R.rax (i 0); jl "io_error"; mov R.rbx (r R.rax) ]
+    (* header *)
+    @ [ mov R.rdi (r R.rbx); movl R.rsi "buf"; mov R.rdx (i 8) ]
+    @ Wl_common.syscall3 ~number:Abi.sys_read
+    @ [ movl R.r8 "buf"; ld R.r15 (R.r8 @+ 0); mov R.r14 (i 0); mov R.r13 (i 0) ]
+    (* record loop *)
+    @ [ label "rec_loop"; cmp R.r13 (i n); jge "verify";
+        movl R.r8 "buf";
+        lea R.r8 (idxd R.r8 (R.r13, 8) 8);
+        mov R.rdi (r R.rbx);
+        mov R.rsi (r R.r8);
+        mov R.rdx (i 8) ]
+    @ Wl_common.syscall3 ~number:Abi.sys_read
+    @ [ ld R.rdx (R.r8 @+ 0); cmp R.rdx (i (-1)); jne "not_corrupt" ]
+    (* corrupted: guess a replacement from the candidate table *)
+    @ Wl_common.sys_guess_imm ~n:k
+    @ [ movl R.r9 "cands";
+        ld R.rdx (idx R.r9 (R.rax, 8));
+        st (R.r8 @+ 0) R.rdx;
+        label "not_corrupt";
+        add R.r14 (r R.rdx);
+        inc R.r13;
+        jmp "rec_loop" ]
+    (* checksum *)
+    @ [ label "verify";
+        mov R.rdi (r R.rbx) ]
+    @ Wl_common.syscall3 ~number:Abi.sys_close
+    @ [ cmp R.r14 (r R.r15); jne "bad" ]
+    (* success: persist the repaired journal, announce, keep searching *)
+    @ [ movl R.rdi "rpath";
+        mov R.rsi (i (Abi.o_wronly lor Abi.o_creat lor Abi.o_trunc)) ]
+    @ Wl_common.syscall3 ~number:Abi.sys_open
+    @ [ cmp R.rax (i 0); jl "io_error"; mov R.rbx (r R.rax);
+        mov R.rdi (r R.rbx);
+        movl R.rsi "buf";
+        mov R.rdx (i (8 * (n + 1))) ]
+    @ Wl_common.syscall3 ~number:Abi.sys_write
+    @ [ mov R.rdi (r R.rbx) ]
+    @ Wl_common.syscall3 ~number:Abi.sys_close
+    @ Wl_common.write_label ~buf:"msg" ~len:9
+    @ (if all_solutions then Wl_common.sys_guess_fail
+       else Wl_common.sys_exit ~status:0)
+    @ [ label "bad" ]
+    @ Wl_common.sys_guess_fail
+    @ [ label "io_error" ]
+    @ Wl_common.sys_exit ~status:66
+    @ [ label "exhausted" ]
+    @ Wl_common.sys_exit ~status:0
+    @ [ align 4096;
+        label "msg"; bytes "REPAIRED\n";
+        label "jpath"; bytes (journal_path ^ "\000");
+        label "rpath"; bytes (repaired_path ^ "\000");
+        align 8; label "cands" ]
+    @ List.map qword spec.candidates
+    @ [ label "buf"; zeros (8 * (n + 2)) ]
+  in
+  assemble ~entry:"main" body
+
+let host_repairs spec =
+  let expected = List.fold_left ( + ) 0 spec.records in
+  let base_sum =
+    List.fold_left ( + ) 0
+      (List.filteri (fun idx _ -> not (List.mem idx spec.corrupted)) spec.records)
+  in
+  let slots = List.length spec.corrupted in
+  let out = ref [] in
+  let rec go chosen sum remaining =
+    if remaining = 0 then begin
+      if sum = expected then out := List.rev chosen :: !out
+    end
+    else
+      List.iter
+        (fun c -> go (c :: chosen) (sum + c) (remaining - 1))
+        spec.candidates
+  in
+  go [] base_sum slots;
+  List.rev !out

@@ -1,0 +1,38 @@
+(** Journal repair: a file-system-checker-flavoured workload (§2 of the
+    paper motivates system-level backtracking with exactly this kind of
+    tool — S2E was used to build "a tester for file system code").
+
+    A journal file holds a header (the expected sum of all records) and N
+    record qwords; corrupted records read as -1.  The guest scans the
+    journal, guesses a replacement from a candidate table for every
+    corrupted record, verifies the checksum at the end, and on success
+    writes the repaired journal to a second file and prints "REPAIRED".
+    Failed repair attempts leave no trace — their file writes are rolled
+    back with the snapshot, which is the point of the demo. *)
+
+type spec = {
+  records : int list;       (** true record values *)
+  corrupted : int list;     (** indices replaced by the -1 sentinel *)
+  candidates : int list;    (** replacement table the guest guesses from *)
+}
+
+val journal_path : string
+val repaired_path : string
+
+val make_journal : spec -> string
+(** Journal file contents: header qword then record qwords with the
+    corrupted ones replaced by -1. *)
+
+val program : ?all_solutions:bool -> spec -> Isa.Asm.image
+(** With [all_solutions] (default): prints "REPAIRED" and fails to search
+    for more repairs, so the number of "REPAIRED" lines counts the valid
+    combinations (the repaired file itself is rolled back with each
+    failing path).  With [~all_solutions:false] the guest exits 0 on the
+    first successful repair, leaving the repaired file in the VFS. *)
+
+val host_repairs : spec -> int list list
+(** Reference: every candidate assignment (one value per corrupted record,
+    in index order) whose sum matches the header. *)
+
+val decode_journal : string -> int list
+(** Parse a journal file body back into header :: records. *)

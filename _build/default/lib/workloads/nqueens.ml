@@ -1,0 +1,137 @@
+open Isa.Asm
+module R = Isa.Reg
+module Abi = Os.Sys_abi
+
+(* Register use in the guest:
+     rbx  current column c
+     rcx  guessed row r
+     r8   scratch array base
+     r9   diagonal index
+     rdx  scratch load target *)
+let program ~n =
+  if n < 2 || n > 9 then invalid_arg "Nqueens.program: n must be in [2, 9]";
+  let items =
+    [ label "main" ]
+    @ Wl_common.sys_guess_strategy ~strategy:Abi.strategy_dfs
+    @ [ cmp R.rax (i 0); je "done_"; call "nqueens" ]
+    @ Wl_common.sys_guess_fail
+    @ [ label "done_" ]
+    @ Wl_common.sys_exit ~status:0
+    (* void nqueens(void) *)
+    @ [ label "nqueens"; mov R.rbx (i 0) ]
+    @ [ label "col_loop"; cmp R.rbx (i n); jge "print_" ]
+    @ Wl_common.sys_guess_imm ~n
+    @ [ mov R.rcx (r R.rax);
+        (* row[r] taken? *)
+        movl R.r8 "row";
+        ldb R.rdx (idx R.r8 (R.rcx, 1));
+        test R.rdx (r R.rdx);
+        jne "conflict";
+        (* ld[r+c] taken? *)
+        mov R.r9 (r R.rcx);
+        add R.r9 (r R.rbx);
+        movl R.r8 "ld_diag";
+        ldb R.rdx (idx R.r8 (R.r9, 1));
+        test R.rdx (r R.rdx);
+        jne "conflict";
+        (* rd[n+r-c] taken? *)
+        mov R.r9 (r R.rcx);
+        sub R.r9 (r R.rbx);
+        add R.r9 (i n);
+        movl R.r8 "rd_diag";
+        ldb R.rdx (idx R.r8 (R.r9, 1));
+        test R.rdx (r R.rdx);
+        jne "conflict";
+        (* place the queen *)
+        movl R.r8 "col";
+        stb (idx R.r8 (R.rbx, 1)) R.rcx;
+        movl R.r8 "row";
+        stib (idx R.r8 (R.rcx, 1)) 1;
+        mov R.r9 (r R.rcx);
+        add R.r9 (r R.rbx);
+        movl R.r8 "ld_diag";
+        stib (idx R.r8 (R.r9, 1)) 1;
+        mov R.r9 (r R.rcx);
+        sub R.r9 (r R.rbx);
+        add R.r9 (i n);
+        movl R.r8 "rd_diag";
+        stib (idx R.r8 (R.r9, 1)) 1;
+        inc R.rbx;
+        jmp "col_loop";
+        label "conflict" ]
+    @ Wl_common.sys_guess_fail
+    (* print the board as one digit per column plus newline *)
+    @ [ label "print_"; mov R.rbx (i 0) ]
+    @ [ label "ploop";
+        cmp R.rbx (i n);
+        jge "pdone";
+        movl R.r8 "col";
+        ldb R.rcx (idx R.r8 (R.rbx, 1));
+        add R.rcx (i (Char.code '0'));
+        movl R.r8 "board_buf";
+        stb (idx R.r8 (R.rbx, 1)) R.rcx;
+        inc R.rbx;
+        jmp "ploop";
+        label "pdone";
+        movl R.r8 "board_buf";
+        stib (Isa.Insn.mem ~base:R.r8 ~disp:n ()) 10 ]
+    @ Wl_common.write_label ~buf:"board_buf" ~len:(n + 1)
+    @ [ ret ]
+    (* data *)
+    @ [ align 4096;
+        label "row"; zeros n;
+        label "ld_diag"; zeros (2 * n);
+        label "rd_diag"; zeros (2 * n);
+        label "col"; zeros n;
+        label "board_buf"; zeros (n + 2) ]
+  in
+  assemble ~entry:"main" items
+
+let expected_solutions = function
+  | 1 -> 1
+  | 2 | 3 -> 0
+  | 4 -> 2
+  | 5 -> 10
+  | 6 -> 4
+  | 7 -> 40
+  | 8 -> 92
+  | 9 -> 352
+  | 10 -> 724
+  | _ -> invalid_arg "Nqueens.expected_solutions: tabulated for n in [1, 10]"
+
+(* Hand-coded baseline: the §5 "hand-coding the backtracking logic on a
+   stack" comparator.  Same pruning arrays as the guest, undone on return
+   instead of snapshotted. *)
+let host_search n ~on_solution =
+  let row = Array.make n false in
+  let ld = Array.make (2 * n) false in
+  let rd = Array.make (2 * n) false in
+  let col = Array.make n 0 in
+  let rec place c =
+    if c = n then on_solution col
+    else
+      for rr = 0 to n - 1 do
+        if (not row.(rr)) && (not ld.(rr + c)) && not rd.(n + rr - c) then begin
+          row.(rr) <- true;
+          ld.(rr + c) <- true;
+          rd.(n + rr - c) <- true;
+          col.(c) <- rr;
+          place (c + 1);
+          row.(rr) <- false;
+          ld.(rr + c) <- false;
+          rd.(n + rr - c) <- false
+        end
+      done
+  in
+  place 0
+
+let host_count n =
+  let count = ref 0 in
+  host_search n ~on_solution:(fun _ -> incr count);
+  !count
+
+let host_boards n =
+  let boards = ref [] in
+  host_search n ~on_solution:(fun col ->
+      boards := String.init n (fun c -> Char.chr (Char.code '0' + col.(c))) :: !boards);
+  List.rev !boards

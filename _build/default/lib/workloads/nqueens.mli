@@ -1,0 +1,22 @@
+(** The paper's running example (Figure 1): n-queens with system-level
+    backtracking, plus the hand-coded baseline it is measured against.
+
+    The guest program is a faithful port of the paper's C listing: DFS
+    strategy, one [sys_guess(N)] per column, [sys_guess_fail] on conflict,
+    print the board, then fail again to enumerate every answer. *)
+
+val program : n:int -> Isa.Asm.image
+(** All-solutions guest program for an [n]x[n] board (2 <= n <= 9; one
+    digit per column in the printed board). *)
+
+val expected_solutions : int -> int
+(** Known solution counts for n = 1..10 (0 where the board has none). *)
+
+val host_count : int -> int
+(** Hand-coded OCaml backtracker (undo-on-return arrays), counting all
+    solutions — the "best implemented by hand-coding the backtracking logic
+    on a stack" baseline of §5. *)
+
+val host_boards : int -> string list
+(** Same backtracker, producing boards in the guest's output format (one
+    digit per column, the row index of the queen). *)

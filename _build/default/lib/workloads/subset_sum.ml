@@ -1,0 +1,72 @@
+open Isa.Asm
+module R = Isa.Reg
+module Abi = Os.Sys_abi
+
+(* Guest registers:
+     rbx item index, r12 running sum, r8/r9 scratch, rcx guess. *)
+let program ?(all_solutions = false) ~target values =
+  if List.exists (fun v -> v < 0) values then
+    invalid_arg "Subset_sum.program: negative values break pruning";
+  let n = List.length values in
+  if n < 1 || n > 63 then invalid_arg "Subset_sum.program: 1..63 values";
+  let body =
+    [ label "main" ]
+    @ Wl_common.sys_guess_strategy ~strategy:Abi.strategy_dfs
+    @ [ cmp R.rax (i 0); je "exhausted"; mov R.rbx (i 0); mov R.r12 (i 0) ]
+    @ [ label "item"; cmp R.rbx (i n); jge "check_total" ]
+    @ Wl_common.sys_guess_imm ~n:2
+    @ [ mov R.rcx (r R.rax);
+        (* record the mask digit *)
+        add R.rcx (i (Char.code '0'));
+        movl R.r8 "mask";
+        stb (idx R.r8 (R.rbx, 1)) R.rcx;
+        sub R.rcx (i (Char.code '0'));
+        test R.rcx (r R.rcx);
+        je "skip";
+        (* include values[rbx] *)
+        movl R.r8 "values";
+        ld R.r9 (idx R.r8 (R.rbx, 8));
+        add R.r12 (r R.r9);
+        (* prune on overshoot *)
+        cmp R.r12 (i target);
+        jg "prune";
+        label "skip";
+        inc R.rbx;
+        jmp "item";
+        label "prune" ]
+    @ Wl_common.sys_guess_fail
+    @ [ label "check_total"; cmp R.r12 (i target); jne "miss" ]
+    @ [ movl R.r8 "mask";
+        stib (Isa.Insn.mem ~base:R.r8 ~disp:n ()) 10 ]
+    @ Wl_common.write_label ~buf:"mask" ~len:(n + 1)
+    @ (if all_solutions then Wl_common.sys_guess_fail else Wl_common.sys_exit ~status:0)
+    @ [ label "miss" ]
+    @ Wl_common.sys_guess_fail
+    @ [ label "exhausted" ]
+    @ Wl_common.sys_exit ~status:1
+    @ [ align 4096; label "values" ]
+    @ List.map qword values
+    @ [ label "mask"; zeros (n + 2) ]
+  in
+  assemble ~entry:"main" body
+
+let host_solutions ~values ~target =
+  let vals = Array.of_list values in
+  let n = Array.length vals in
+  let mask = Bytes.make n '0' in
+  let out = ref [] in
+  let rec go idx sum =
+    if sum > target then ()
+    else if idx = n then begin
+      if sum = target then out := Bytes.to_string mask :: !out
+    end
+    else begin
+      Bytes.set mask idx '0';
+      go (idx + 1) sum;
+      Bytes.set mask idx '1';
+      go (idx + 1) (sum + vals.(idx));
+      Bytes.set mask idx '0'
+    end
+  in
+  go 0 0;
+  List.rev !out

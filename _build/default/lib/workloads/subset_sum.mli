@@ -1,0 +1,11 @@
+(** Subset-sum / knapsack-style search: include-or-exclude guesses with
+    sum-overshoot pruning.  Used by the examples and as a First_exit
+    workload (the guest exits as soon as it finds a subset hitting the
+    target). *)
+
+val program : ?all_solutions:bool -> target:int -> int list -> Isa.Asm.image
+(** Prints the chosen subset as a 0/1 mask (one char per value) on success.
+    Values must be non-negative (pruning relies on monotone sums). *)
+
+val host_solutions : values:int list -> target:int -> string list
+(** Reference enumeration, masks in the guest's format and order. *)

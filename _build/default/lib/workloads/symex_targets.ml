@@ -1,0 +1,135 @@
+open Isa.Asm
+module R = Isa.Reg
+module Abi = Os.Sys_abi
+
+let read_bytes ~buf ~len =
+  [ mov R.rdi (i 0); movl R.rsi buf; mov R.rdx (i len) ]
+  @ Wl_common.syscall3 ~number:Abi.sys_read
+
+(* Reads [depth] bytes; byte k >= 128 takes the "high" branch.  A counter
+   of high branches rides in r12; all-high exits 42. *)
+let branch_tree ~depth =
+  if depth < 1 || depth > 16 then invalid_arg "Symex_targets.branch_tree";
+  let per_level k =
+    [ movl R.r8 "input";
+      ldb R.rcx (Isa.Insn.mem ~base:R.r8 ~disp:k ());
+      cmp R.rcx (i 128);
+      jl (Printf.sprintf "low_%d" k);
+      inc R.r12;
+      (* record the decision in memory so diverging paths dirty state and
+         the forking mechanisms have real pages to isolate *)
+      movl R.r9 "trace";
+      stib (Isa.Insn.mem ~base:R.r9 ~disp:k ()) 1;
+      label (Printf.sprintf "low_%d" k) ]
+  in
+  let body =
+    [ label "main"; mov R.r12 (i 0) ]
+    @ read_bytes ~buf:"input" ~len:depth
+    @ List.concat_map per_level (List.init depth Fun.id)
+    @ [ cmp R.r12 (i depth); jne "benign" ]
+    @ Wl_common.sys_exit ~status:42
+    @ [ label "benign" ]
+    @ Wl_common.sys_exit ~status:0
+    @ [ align 4096; label "input"; zeros 16; align 4096; label "trace"; zeros 16 ]
+  in
+  assemble ~entry:"main" body
+
+let password_key = "s3cr"
+
+let password =
+  let body =
+    [ label "main" ]
+    @ read_bytes ~buf:"input" ~len:4
+    @ List.concat_map
+        (fun k ->
+          [ movl R.r8 "input";
+            ldb R.rcx (Isa.Insn.mem ~base:R.r8 ~disp:k ());
+            cmp R.rcx (i (Char.code password_key.[k]));
+            jne "reject" ])
+        [ 0; 1; 2; 3 ]
+    @ Wl_common.sys_exit ~status:1
+    @ [ label "reject" ]
+    @ Wl_common.sys_exit ~status:0
+    @ [ align 4096; label "input"; zeros 8 ]
+  in
+  assemble ~entry:"main" body
+
+(* classifies s = a + b into [0,100), [100,300), [300,512) twice (two
+   reads), writing 'L'/'M'/'H' per classification *)
+let classifier =
+  let classify tag =
+    [ movl R.r8 "input";
+      ldb R.rcx (Isa.Insn.mem ~base:R.r8 ())
+    ]
+    @ [ ldb R.rdx (Isa.Insn.mem ~base:R.r8 ~disp:1 ());
+        add R.rcx (r R.rdx);
+        cmp R.rcx (i 100);
+        jl (tag ^ "_low");
+        cmp R.rcx (i 300);
+        jl (tag ^ "_mid");
+        movl R.r9 "chr_h";
+        jmp (tag ^ "_emit");
+        label (tag ^ "_low");
+        movl R.r9 "chr_l";
+        jmp (tag ^ "_emit");
+        label (tag ^ "_mid");
+        movl R.r9 "chr_m";
+        label (tag ^ "_emit");
+        mov R.rdi (i 1);
+        mov R.rsi (r R.r9);
+        mov R.rdx (i 1) ]
+    @ Wl_common.syscall3 ~number:Abi.sys_write
+  in
+  let body =
+    [ label "main" ]
+    @ read_bytes ~buf:"input" ~len:2
+    @ classify "c1"
+    @ Wl_common.sys_exit ~status:0
+    @ [ align 4096;
+        label "input"; zeros 8;
+        label "chr_l"; bytes "L";
+        label "chr_m"; bytes "M";
+        label "chr_h"; bytes "H" ]
+  in
+  assemble ~entry:"main" body
+
+let abs_diff =
+  let body =
+    [ label "main" ]
+    @ read_bytes ~buf:"input" ~len:2
+    @ [ movl R.r8 "input";
+        ldb R.rcx (Isa.Insn.mem ~base:R.r8 ());
+        ldb R.rdx (Isa.Insn.mem ~base:R.r8 ~disp:1 ());
+        sub R.rcx (r R.rdx);
+        cmp R.rcx (i 0);
+        jge "positive";
+        neg R.rcx;
+        label "positive";
+        cmp R.rcx (i 100);
+        jne "benign" ]
+    @ Wl_common.sys_exit ~status:7
+    @ [ label "benign" ]
+    @ Wl_common.sys_exit ~status:0
+    @ [ align 4096; label "input"; zeros 8 ]
+  in
+  assemble ~entry:"main" body
+
+(* table[i] = 3i + 5; the in-bounds branch loads through a symbolic index *)
+let lookup_table =
+  let table = String.init 16 (fun k -> Char.chr ((3 * k) + 5)) in
+  let body =
+    [ label "main" ]
+    @ read_bytes ~buf:"input" ~len:1
+    @ [ movl R.r8 "input";
+        ldb R.rcx (Isa.Insn.mem ~base:R.r8 ());
+        cmp R.rcx (i 16);
+        jae "out_of_bounds";
+        movl R.r9 "table";
+        ldb R.rdi (idx R.r9 (R.rcx, 1));   (* symbolic address *)
+        add R.rdi (i 100) ]
+    @ Wl_common.syscall3 ~number:Abi.sys_exit
+    @ [ label "out_of_bounds" ]
+    @ Wl_common.sys_exit ~status:0
+    @ [ align 4096; label "input"; zeros 8; label "table"; bytes table ]
+  in
+  assemble ~entry:"main" body

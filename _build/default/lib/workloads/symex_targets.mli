@@ -1,0 +1,31 @@
+(** Guest binaries for the symbolic executor (E5): programs that read
+    symbolic bytes from stdin and branch on them, in the KLEE/S2E demo
+    tradition.  Each documents its exact path count so tests can assert
+    exhaustive exploration. *)
+
+val branch_tree : depth:int -> Isa.Asm.image
+(** Reads [depth] bytes; each byte picks a branch ([< 128] or [>= 128]).
+    Exactly [2^depth] feasible paths; the all-high leaf exits 42 (the
+    "bug"), every other leaf exits 0. *)
+
+val password : Isa.Asm.image
+(** Reads 4 bytes and compares them to a hardcoded key byte by byte with
+    early exit: 5 feasible paths; exit 1 on the full match (the bug),
+    exit 0 otherwise. *)
+
+val password_key : string
+
+val classifier : Isa.Asm.image
+(** Reads 2 bytes a, b and classifies a+b into three ranges, writing one
+    byte of output per class; 3-way branching twice over (6 paths).  Used
+    to check path outputs are properly contained per path. *)
+
+val abs_diff : Isa.Asm.image
+(** Reads 2 bytes, computes |a-b| via a conditional, exits 7 when the
+    difference is exactly 100 (4 feasible paths). *)
+
+val lookup_table : Isa.Asm.image
+(** Reads 1 byte and, if it is below 16, loads [table[i]] — a load whose
+    address is symbolic, exercising the executor's KLEE-style address
+    concretisation (the index is pinned to one model value; exhaustive
+    per-entry coverage is traded away, as in KLEE). *)

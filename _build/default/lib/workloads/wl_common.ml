@@ -1,0 +1,25 @@
+open Isa.Asm
+module R = Isa.Reg
+module Abi = Os.Sys_abi
+
+let syscall3 ~number = [ mov R.rax (i number); syscall ]
+
+let sys_exit ~status = mov R.rdi (i status) :: syscall3 ~number:Abi.sys_exit
+
+let sys_guess_strategy ~strategy =
+  mov R.rdi (i strategy) :: syscall3 ~number:Abi.sys_guess_strategy
+
+let sys_guess_imm ~n = mov R.rdi (i n) :: syscall3 ~number:Abi.sys_guess
+
+let sys_guess_fail = syscall3 ~number:Abi.sys_guess_fail
+
+let sys_guess_hint_reg = syscall3 ~number:Abi.sys_guess_hint
+
+let write_label ~buf ~len =
+  [ mov R.rdi (i 1); movl R.rsi buf; mov R.rdx (i len) ]
+  @ syscall3 ~number:Abi.sys_write
+
+let print_newline_at ~buf =
+  [ movl R.rsi buf; insn (Isa.Insn.Sti (Isa.Insn.B, Isa.Insn.mem ~base:R.rsi (), 10)) ]
+  @ [ mov R.rdi (i 1); mov R.rdx (i 1) ]
+  @ syscall3 ~number:Abi.sys_write

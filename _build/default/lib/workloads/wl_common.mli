@@ -1,0 +1,22 @@
+(** Shared assembly idioms for the guest workload generators. *)
+
+val syscall3 : number:int -> Isa.Asm.item list
+(** Emit [mov rax, number; syscall] — arguments must already be in
+    rdi/rsi/rdx. *)
+
+val sys_exit : status:int -> Isa.Asm.item list
+val sys_guess_strategy : strategy:int -> Isa.Asm.item list
+(** Leaves the 0/1 exploration flag in [rax]. *)
+
+val sys_guess_imm : n:int -> Isa.Asm.item list
+(** Guess over [n] extensions; result in [rax]. *)
+
+val sys_guess_fail : Isa.Asm.item list
+val sys_guess_hint_reg : Isa.Asm.item list
+(** Hint distance must already be in [rdi]. *)
+
+val write_label : buf:string -> len:int -> Isa.Asm.item list
+(** write(1, buf_label, len). *)
+
+val print_newline_at : buf:string -> Isa.Asm.item list
+(** Store '\n' at [buf] and write 1 byte — clobbers rdi/rsi/rdx/rax. *)

@@ -1,0 +1,1 @@
+test/test_asm_parser.ml: Alcotest Char Isa List Mem Option Os Printf String

@@ -1,0 +1,1 @@
+test/test_ckpt.ml: Alcotest Char Ckpt Mem String

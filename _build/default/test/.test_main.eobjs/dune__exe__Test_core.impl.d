@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Char Core Isa List Mem Os Printf QCheck2 QCheck_alcotest String Vcpu Workloads

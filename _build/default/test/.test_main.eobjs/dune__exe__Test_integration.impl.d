@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Core Isa List Mem Os Prolog QCheck2 QCheck_alcotest Sat String Symex Workloads

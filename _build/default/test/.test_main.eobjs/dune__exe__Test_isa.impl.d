@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Buffer Char Isa List QCheck2 QCheck_alcotest String

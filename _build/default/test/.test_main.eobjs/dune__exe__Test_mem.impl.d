@@ -1,0 +1,1 @@
+test/test_mem.ml: Alcotest Bytes Char Fun Hashtbl List Mem QCheck2 QCheck_alcotest

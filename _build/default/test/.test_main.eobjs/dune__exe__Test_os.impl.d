@@ -1,0 +1,1 @@
+test/test_os.ml: Alcotest Char Isa Mem Option Os Vcpu Workloads

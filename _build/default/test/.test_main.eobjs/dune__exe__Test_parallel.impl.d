@@ -1,0 +1,1 @@
+test/test_parallel.ml: Alcotest Array Core Isa List Os Printf String Workloads

@@ -1,0 +1,1 @@
+test/test_prolog.ml: Alcotest Array List Printf Prolog Workloads

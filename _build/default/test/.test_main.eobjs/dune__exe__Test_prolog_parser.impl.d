@@ -1,0 +1,1 @@
+test/test_prolog_parser.ml: Alcotest List Printf Prolog String Workloads

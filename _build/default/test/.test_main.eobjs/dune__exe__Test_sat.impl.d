@@ -1,0 +1,1 @@
+test/test_sat.ml: Alcotest Format List Option Printf QCheck2 QCheck_alcotest Sat Workloads

@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Float Fun List Printf Search

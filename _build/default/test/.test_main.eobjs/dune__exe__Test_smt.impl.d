@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Array List QCheck2 QCheck_alcotest Smt

@@ -1,0 +1,1 @@
+test/test_stdx.ml: Alcotest Array Fun Hashtbl List Option QCheck2 QCheck_alcotest Stdx

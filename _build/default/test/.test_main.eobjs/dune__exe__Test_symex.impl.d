@@ -1,0 +1,1 @@
+test/test_symex.ml: Alcotest Char Isa List Mem Option Os Printf QCheck2 QCheck_alcotest Stdx String Symex Workloads

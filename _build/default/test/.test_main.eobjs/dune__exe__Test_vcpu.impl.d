@@ -1,0 +1,1 @@
+test/test_vcpu.ml: Alcotest Isa Mem String Vcpu

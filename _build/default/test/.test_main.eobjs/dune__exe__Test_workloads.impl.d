@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Bytes Core Int64 List Mem Os Printf QCheck2 QCheck_alcotest Sat String Workloads

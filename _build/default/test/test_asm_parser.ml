@@ -1,0 +1,177 @@
+(* The textual assembler: parse -> assemble -> run, plus error reporting. *)
+
+module P = Isa.Asm_parser
+module Insn = Isa.Insn
+module Libos = Os.Libos
+
+let check = Alcotest.check
+
+let run_text ?stdin text =
+  let image = P.assemble_text text in
+  let machine = Libos.boot (Mem.Phys_mem.create ()) image in
+  Option.iter (Libos.set_stdin machine) stdin;
+  match Libos.run machine ~fuel:10_000_000 with
+  | Libos.Exited { status } -> status, Libos.stdout_text machine
+  | other -> Alcotest.failf "unexpected stop: %a" Libos.pp_stop other
+
+let parses_to text expected =
+  let image = P.assemble_text text in
+  let listing =
+    List.map snd
+      (Isa.Disasm.disassemble ~code:image.Isa.Asm.code ~origin:image.Isa.Asm.origin ())
+  in
+  check (Alcotest.list (Alcotest.testable Insn.pp ( = ))) text expected listing
+
+let basic_instructions () =
+  parses_to "nop\nhlt"
+    [ Insn.Nop; Insn.Hlt ];
+  parses_to "mov rax, 42\nmov rbx, rax\nhlt"
+    [ Insn.Mov (Isa.Reg.rax, Insn.Imm 42);
+      Insn.Mov (Isa.Reg.rbx, Insn.Reg Isa.Reg.rax);
+      Insn.Hlt ];
+  parses_to "add r10, -7\nshl r10, 3\nneg r10\nhlt"
+    [ Insn.Bin (Insn.Add, Isa.Reg.r10, Insn.Imm (-7));
+      Insn.Bin (Insn.Shl, Isa.Reg.r10, Insn.Imm 3);
+      Insn.Un (Insn.Neg, Isa.Reg.r10);
+      Insn.Hlt ]
+
+let memory_operands () =
+  parses_to "ld rax, [rbx]\nhlt"
+    [ Insn.Ld (Insn.Q, Isa.Reg.rax, Insn.mem ~base:Isa.Reg.rbx ()); Insn.Hlt ];
+  parses_to "ldb rcx, [rbx+16]\nhlt"
+    [ Insn.Ld (Insn.B, Isa.Reg.rcx, Insn.mem ~base:Isa.Reg.rbx ~disp:16 ()); Insn.Hlt ];
+  parses_to "st [r8+rcx*8-4], rdx\nhlt"
+    [ Insn.St
+        (Insn.Q, Insn.mem ~base:Isa.Reg.r8 ~index:(Isa.Reg.rcx, 8) ~disp:(-4) (),
+         Isa.Reg.rdx);
+      Insn.Hlt ];
+  parses_to "sti [rax], 99\nstib [rax+1], 'x'\nhlt"
+    [ Insn.Sti (Insn.Q, Insn.mem ~base:Isa.Reg.rax (), 99);
+      Insn.Sti (Insn.B, Insn.mem ~base:Isa.Reg.rax ~disp:1 (), Char.code 'x');
+      Insn.Hlt ]
+
+let hex_and_char_literals () =
+  parses_to "mov rax, 0x1f\ncmp rax, 'a'\nhlt"
+    [ Insn.Mov (Isa.Reg.rax, Insn.Imm 31);
+      Insn.Cmp (Isa.Reg.rax, Insn.Imm 97);
+      Insn.Hlt ]
+
+let labels_and_jumps () =
+  let image =
+    P.assemble_text "main:\n  jmp end\nmid:\n  nop\nend:\n  hlt\n"
+  in
+  check Alcotest.int "entry picks main" image.Isa.Asm.origin image.Isa.Asm.entry;
+  match
+    List.map snd
+      (Isa.Disasm.disassemble ~code:image.Isa.Asm.code ~origin:image.Isa.Asm.origin ())
+  with
+  | [ Insn.Jmp target; Insn.Nop; Insn.Hlt ] ->
+    check Alcotest.int "jmp target" (List.assoc "end" image.Isa.Asm.symbols) target
+  | _ -> Alcotest.fail "unexpected listing"
+
+let label_same_line () =
+  parses_to "start: nop\nhlt" [ Insn.Nop; Insn.Hlt ]
+
+let conditional_family () =
+  parses_to "cmp rax, 1\njle out\nsetge rbx\nout: hlt"
+    [ Insn.Cmp (Isa.Reg.rax, Insn.Imm 1);
+      Insn.Jcc (Insn.LE, 0x1000 + 10 + 10 + 3);
+      Insn.Setcc (Insn.GE, Isa.Reg.rbx);
+      Insn.Hlt ]
+
+let comments_ignored () =
+  parses_to "; leading comment\nnop ; trailing\n# hash comment\nhlt # end"
+    [ Insn.Nop; Insn.Hlt ]
+
+let data_directives () =
+  let image =
+    P.assemble_text
+      "main: hlt\n.align 16\ndata:\n.byte \"AB\\n\"\n.qword 513\n.zeros 3\n"
+  in
+  let data = List.assoc "data" image.Isa.Asm.symbols - image.Isa.Asm.origin in
+  check Alcotest.string "string bytes" "AB\n"
+    (String.sub image.Isa.Asm.code data 3);
+  check Alcotest.int "qword lo" 1 (Char.code image.Isa.Asm.code.[data + 3]);
+  check Alcotest.int "qword hi" 2 (Char.code image.Isa.Asm.code.[data + 4])
+
+let end_to_end_program () =
+  (* sum 1..10 into rdi and exit with it *)
+  let status, _ =
+    run_text
+      {|
+main:
+    mov rcx, 10
+    mov rdi, 0
+loop:
+    add rdi, rcx
+    dec rcx
+    jne loop
+    mov rax, 0        ; sys_exit
+    syscall
+|}
+  in
+  check Alcotest.int "sum" 55 status
+
+let end_to_end_hello () =
+  let status, out =
+    run_text
+      {|
+main:
+    mov rdi, 1
+    mov rsi, msg
+    mov rdx, 6
+    mov rax, 1
+    syscall
+    mov rdi, 0
+    mov rax, 0
+    syscall
+.align 8
+msg:
+.byte "hello\n"
+|}
+  in
+  (* "mov rsi, msg" resolves the label as an address *)
+  check Alcotest.int "exit" 0 status;
+  check Alcotest.string "stdout" "hello\n" out
+
+let error_reporting () =
+  let expect_error ~line text =
+    match P.parse text with
+    | _ -> Alcotest.failf "expected parse error for %S" text
+    | exception P.Parse_error { line = reported; _ } ->
+      check Alcotest.int (Printf.sprintf "line for %S" text) line reported
+  in
+  expect_error ~line:1 "frobnicate rax";
+  expect_error ~line:2 "nop\nmov rax";
+  expect_error ~line:1 "ld rax, [rbx+rcx*3]";
+  expect_error ~line:1 "ld rax, [qux]";
+  expect_error ~line:3 "nop\nnop\njxx somewhere";
+  expect_error ~line:1 ".align";
+  expect_error ~line:1 "mov 5, rax"
+
+let roundtrip_with_edsl () =
+  (* the guest n-queens program printed... simpler: text and eDSL produce
+     identical images for an equivalent program *)
+  let text = "main:\n  mov rdi, 3\n  cmp rdi, 3\n  je done\n  nop\ndone:\n  hlt\n" in
+  let from_text = P.assemble_text text in
+  let from_edsl =
+    let open Isa.Asm in
+    assemble ~entry:"main"
+      [ label "main"; mov Isa.Reg.rdi (i 3); cmp Isa.Reg.rdi (i 3); je "done";
+        nop; label "done"; hlt ]
+  in
+  check Alcotest.string "identical code" from_edsl.Isa.Asm.code from_text.Isa.Asm.code
+
+let tests =
+  [ Alcotest.test_case "basic instructions" `Quick basic_instructions;
+    Alcotest.test_case "memory operands" `Quick memory_operands;
+    Alcotest.test_case "hex and char literals" `Quick hex_and_char_literals;
+    Alcotest.test_case "labels and jumps" `Quick labels_and_jumps;
+    Alcotest.test_case "label on same line" `Quick label_same_line;
+    Alcotest.test_case "conditional family" `Quick conditional_family;
+    Alcotest.test_case "comments ignored" `Quick comments_ignored;
+    Alcotest.test_case "data directives" `Quick data_directives;
+    Alcotest.test_case "end-to-end program" `Quick end_to_end_program;
+    Alcotest.test_case "end-to-end hello" `Quick end_to_end_hello;
+    Alcotest.test_case "error reporting" `Quick error_reporting;
+    Alcotest.test_case "roundtrip with eDSL" `Quick roundtrip_with_edsl ]

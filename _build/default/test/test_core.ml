@@ -1,0 +1,533 @@
+(* The paper's contribution: snapshots, the explorer protocol, the
+   externally-driven service, and the replay ablation. *)
+
+module Explorer = Core.Explorer
+module Snapshot = Core.Snapshot
+module Service = Core.Service
+module Native_bt = Core.Native_bt
+module Libos = Os.Libos
+module Abi = Os.Sys_abi
+module R = Isa.Reg
+module Wl_common = Workloads.Wl_common
+open Isa.Asm
+
+let check = Alcotest.check
+
+let transcript_lines (r : Explorer.result) =
+  List.filter (fun l -> l <> "") (String.split_on_char '\n' r.Explorer.transcript)
+
+let completed (r : Explorer.result) =
+  match r.Explorer.outcome with
+  | Explorer.Completed s -> s
+  | Explorer.Stopped_first_exit _ -> Alcotest.fail "unexpected first-exit stop"
+  | Explorer.Aborted m -> Alcotest.failf "aborted: %s" m
+
+(* {1 Explorer protocol} *)
+
+let nqueens_all_sizes () =
+  List.iter
+    (fun n ->
+      let r = Explorer.run_image (Workloads.Nqueens.program ~n) in
+      check Alcotest.int "exit status" 0 (completed r);
+      check Alcotest.int
+        (Printf.sprintf "solutions for n=%d" n)
+        (Workloads.Nqueens.expected_solutions n)
+        (List.length (transcript_lines r)))
+    [ 2; 3; 4; 5; 6 ]
+
+let nqueens_boards_match_host () =
+  let r = Explorer.run_image (Workloads.Nqueens.program ~n:6) in
+  check (Alcotest.list Alcotest.string) "same boards, same DFS order"
+    (Workloads.Nqueens.host_boards 6) (transcript_lines r)
+
+let counting_tree_exact () =
+  let r = Explorer.run_image (Workloads.Counting.program ~depth:4 ~branch:3) in
+  check Alcotest.int "every leaf failed" 81 r.Explorer.stats.Core.Stats.fails;
+  (* interior guesses: (3^4 - 1) / 2 = 40 *)
+  check Alcotest.int "interior guesses" 40 r.Explorer.stats.Core.Stats.guesses;
+  check Alcotest.int "extensions = 3 * guesses" 120
+    r.Explorer.stats.Core.Stats.extensions_pushed
+
+let strategy_scope_returns_zero_after_exhaustion () =
+  (* Figure 1's protocol: the if-block runs with rax=1, and after the scope
+     is exhausted the program continues with rax=0 and exits 77. *)
+  let image =
+    assemble ~entry:"main"
+      ([ label "main" ]
+      @ Wl_common.sys_guess_strategy ~strategy:Abi.strategy_dfs
+      @ [ cmp R.rax (i 0); je "after" ]
+      @ Wl_common.sys_guess_imm ~n:2
+      @ Wl_common.sys_guess_fail
+      @ [ label "after" ]
+      @ Wl_common.sys_exit ~status:77)
+  in
+  let r = Explorer.run_image image in
+  check Alcotest.int "continues after scope" 77 (completed r);
+  check Alcotest.int "two extensions" 2 r.Explorer.stats.Core.Stats.extensions_evaluated
+
+let guess_outside_scope_aborts () =
+  let image =
+    assemble ~entry:"main" ([ label "main" ] @ Wl_common.sys_guess_imm ~n:2 @ [ hlt ])
+  in
+  let r = Explorer.run_image image in
+  match r.Explorer.outcome with
+  | Explorer.Aborted msg ->
+    check Alcotest.bool "mentions scope" true
+      (String.length msg > 0 && String.lowercase_ascii msg <> "")
+  | _ -> Alcotest.fail "expected abort"
+
+let first_exit_mode_stops () =
+  let values = [ 1; 2; 4; 8; 16 ] in
+  let image = Workloads.Subset_sum.program ~target:21 values in
+  let r = Explorer.run_image ~mode:`First_exit image in
+  match r.Explorer.outcome with
+  | Explorer.Stopped_first_exit 0 ->
+    check (Alcotest.list Alcotest.string) "first mask" [ "10101" ] (transcript_lines r)
+  | _ -> Alcotest.fail "expected first-exit"
+
+let all_solutions_subset_sum () =
+  let values = [ 3; 34; 4; 12; 5; 2 ] in
+  let r =
+    Explorer.run_image (Workloads.Subset_sum.program ~all_solutions:true ~target:9 values)
+  in
+  check (Alcotest.list Alcotest.string) "masks match host"
+    (Workloads.Subset_sum.host_solutions ~values ~target:9)
+    (transcript_lines r)
+
+let coloring_counts () =
+  List.iter
+    (fun (g, k) ->
+      let r = Explorer.run_image (Workloads.Coloring.program g ~k) in
+      check Alcotest.int "colourings" (Workloads.Coloring.host_count g ~k)
+        (List.length (transcript_lines r)))
+    [ Workloads.Coloring.cycle 5, 3;
+      Workloads.Coloring.complete 4, 4;
+      Workloads.Coloring.petersen, 3 ]
+
+let output_survives_backtracking () =
+  (* a guest that prints then fails; Prolog-style stdout must keep both *)
+  let image =
+    assemble ~entry:"main"
+      ([ label "main" ]
+      @ Wl_common.sys_guess_strategy ~strategy:Abi.strategy_dfs
+      @ [ cmp R.rax (i 0); je "after" ]
+      @ Wl_common.sys_guess_imm ~n:2
+      @ [ (* print 'A' + extension number *)
+          mov R.rcx (r R.rax);
+          add R.rcx (i (Char.code 'A'));
+          movl R.r8 "buf";
+          stb (R.r8 @+ 0) R.rcx ]
+      @ Wl_common.write_label ~buf:"buf" ~len:1
+      @ Wl_common.sys_guess_fail
+      @ [ label "after" ]
+      @ Wl_common.sys_exit ~status:0
+      @ [ label "buf"; zeros 1 ])
+  in
+  let r = Explorer.run_image image in
+  check Alcotest.string "both paths' output survives" "AB" r.Explorer.transcript;
+  let outputs = List.map (fun t -> t.Explorer.output) r.Explorer.terminals in
+  check (Alcotest.list Alcotest.string) "attributed per path" [ "A"; "B" ] outputs
+
+let file_writes_are_contained () =
+  (* each extension writes its own content to the same file; the surviving
+     (exhausted) state must see the pre-scope file *)
+  let image =
+    assemble ~entry:"main"
+      ([ label "main" ]
+      @ Wl_common.sys_guess_strategy ~strategy:Abi.strategy_dfs
+      @ [ cmp R.rax (i 0); je "after" ]
+      @ Wl_common.sys_guess_imm ~n:3
+      @ [ (* write extension number into /shared *)
+          movl R.rdi "path";
+          mov R.rsi (i (Abi.o_wronly lor Abi.o_creat lor Abi.o_trunc)) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_open
+      @ [ mov R.rbx (r R.rax);
+          mov R.rdi (r R.rbx);
+          movl R.rsi "digit";
+          mov R.rdx (i 1) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_write
+      @ Wl_common.sys_guess_fail
+      @ [ label "after" ]
+      @ Wl_common.sys_exit ~status:0
+      @ [ label "path"; bytes "/shared\000"; label "digit"; bytes "x" ])
+  in
+  let phys = Mem.Phys_mem.create () in
+  let machine = Libos.boot phys image in
+  Libos.add_file machine ~path:"/shared" "original";
+  let r = Explorer.run machine in
+  check Alcotest.int "completed" 0 (completed r);
+  check (Alcotest.option Alcotest.string) "file effects rolled back"
+    (Some "original") (Libos.read_file machine ~path:"/shared")
+
+let killed_path_does_not_stop_search () =
+  (* extension 0 dereferences a wild pointer; extensions 1 and 2 print *)
+  let image =
+    assemble ~entry:"main"
+      ([ label "main" ]
+      @ Wl_common.sys_guess_strategy ~strategy:Abi.strategy_dfs
+      @ [ cmp R.rax (i 0); je "after" ]
+      @ Wl_common.sys_guess_imm ~n:2
+      @ [ cmp R.rax (i 0); jne "ok";
+          mov R.rcx (i 0x7000000);
+          ld R.rdx (R.rcx @+ 0);   (* fault *)
+          label "ok" ]
+      @ Wl_common.write_label ~buf:"msg" ~len:1
+      @ Wl_common.sys_guess_fail
+      @ [ label "after" ]
+      @ Wl_common.sys_exit ~status:0
+      @ [ label "msg"; bytes "k" ])
+  in
+  let r = Explorer.run_image image in
+  check Alcotest.int "completed" 0 (completed r);
+  check Alcotest.int "one kill" 1 r.Explorer.stats.Core.Stats.kills;
+  check Alcotest.string "survivor printed" "k" r.Explorer.transcript
+
+let hint_drives_astar () =
+  (* two arms: the guest hints arm 1 as closer; A* must evaluate it first *)
+  let image =
+    assemble ~entry:"main"
+      ([ label "main" ]
+      @ Wl_common.sys_guess_strategy ~strategy:Abi.strategy_astar
+      @ [ cmp R.rax (i 0); je "after" ]
+      @ [ mov R.rdi (i 5) ]
+      @ Wl_common.sys_guess_hint_reg
+      @ Wl_common.sys_guess_imm ~n:2
+      @ [ cmp R.rax (i 0); je "deep" ]
+      (* arm 1: cheap exit *)
+      @ Wl_common.sys_exit ~status:11
+      (* arm 0: would exit 22 *)
+      @ [ label "deep" ]
+      @ Wl_common.sys_exit ~status:22
+      @ [ label "after" ]
+      @ Wl_common.sys_exit ~status:0)
+  in
+  let r = Explorer.run_image ~mode:`First_exit image in
+  (* both extensions share the same hint; FIFO tie-break picks ext 0.  Run
+     under DFS and A*: both deterministic, exercising the hint plumbing. *)
+  match r.Explorer.outcome with
+  | Explorer.Stopped_first_exit s -> check Alcotest.int "deterministic pick" 22 s
+  | _ -> Alcotest.fail "expected first exit"
+
+let max_extensions_aborts () =
+  let image = Workloads.Counting.program ~depth:30 ~branch:2 in
+  let r = Explorer.run_image ~max_extensions:1000 image in
+  match r.Explorer.outcome with
+  | Explorer.Aborted _ -> ()
+  | _ -> Alcotest.fail "expected budget abort"
+
+let shared_page_survives_backtracking () =
+  (* the guest shares a page, then every leaf of a 2^3 guess tree
+     increments a counter in it; after exhaustion the guest exits with the
+     counter value — only possible because the page escapes snapshots *)
+  let image =
+    assemble ~entry:"main"
+      ([ label "main";
+         (* allocate a heap page and share it *)
+         mov R.rdi (i 0) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_brk
+      @ [ mov R.r15 (r R.rax); mov R.rdi (r R.rax); add R.rdi (i 4096) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_brk
+      @ [ mov R.rdi (r R.r15); mov R.rsi (i 8) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_share
+      @ Wl_common.sys_guess_strategy ~strategy:Abi.strategy_dfs
+      @ [ cmp R.rax (i 0); je "after"; mov R.r12 (i 3) ]
+      @ [ label "step"; cmp R.r12 (i 0); jle "leaf" ]
+      @ Wl_common.sys_guess_imm ~n:2
+      @ [ dec R.r12; jmp "step"; label "leaf";
+          ld R.rcx (R.r15 @+ 0); inc R.rcx; st (R.r15 @+ 0) R.rcx ]
+      @ Wl_common.sys_guess_fail
+      @ [ label "after"; ld R.rdi (R.r15 @+ 0) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_exit)
+  in
+  let r = Explorer.run_image image in
+  check Alcotest.int "all 8 leaves counted across paths" 8 (completed r)
+
+let timeout_kills_runaway_extension () =
+  (* extension 0 spins forever; the guest-set timeout bounds it and the
+     search continues to extension 1 *)
+  let image =
+    assemble ~entry:"main"
+      ([ label "main"; mov R.rdi (i 20000) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_timeout
+      @ Wl_common.sys_guess_strategy ~strategy:Abi.strategy_dfs
+      @ [ cmp R.rax (i 0); je "after" ]
+      @ Wl_common.sys_guess_imm ~n:2
+      @ [ cmp R.rax (i 0); jne "good"; label "spin"; jmp "spin"; label "good" ]
+      @ Wl_common.sys_exit ~status:5
+      @ [ label "after" ]
+      @ Wl_common.sys_exit ~status:7)
+  in
+  let r = Explorer.run_image image in
+  check Alcotest.int "scope exhausted normally" 7 (completed r);
+  check Alcotest.int "runaway killed" 1 r.Explorer.stats.Core.Stats.kills;
+  check Alcotest.int "survivor exited" 1 r.Explorer.stats.Core.Stats.exits
+
+let beam_strategy_runs () =
+  let maze = Workloads.Grid.generate ~width:7 ~height:7 ~wall_density:0.2 ~seed:3 in
+  let r =
+    Explorer.run_image ~mode:`First_exit ~strategy_override:(`Beam 32)
+      (Workloads.Grid.program maze)
+  in
+  match r.Explorer.outcome, Workloads.Grid.host_shortest maze with
+  | Explorer.Stopped_first_exit len, Some opt ->
+    check Alcotest.bool "reaches goal" true (len >= opt)
+  | Explorer.Completed 255, None -> ()
+  | _ -> Alcotest.fail "unexpected outcome"
+
+let dfs_bounded_prunes_depth () =
+  (* a 2^6 counting tree explored with bound 3 only reaches 2^3 leaves...
+     bound refuses deeper extensions, so fails happen only at depth <= 3 *)
+  let image = Workloads.Counting.program ~depth:6 ~branch:2 in
+  let r = Explorer.run_image ~strategy_override:(`Dfs_bounded 3) image in
+  check Alcotest.int "completed" 0 (completed r);
+  check Alcotest.bool "pruned extensions reported" true
+    (r.Explorer.stats.Core.Stats.evicted > 0);
+  check Alcotest.int "no leaf reached" 0 r.Explorer.stats.Core.Stats.fails
+
+(* {1 Snapshot tree properties} *)
+
+let snapshot_parent_chain () =
+  let image = Workloads.Counting.program ~depth:3 ~branch:2 in
+  let phys = Mem.Phys_mem.create () in
+  let machine = Libos.boot phys image in
+  (* drive manually: take the strategy stop then three guesses deep *)
+  (match Libos.run machine ~fuel:100000 with
+  | Libos.Guess_strategy _ -> Vcpu.Cpu.set machine.Libos.cpu R.rax 1
+  | other -> Alcotest.failf "unexpected %a" Libos.pp_stop other);
+  let root = Snapshot.capture ~depth:0 machine in
+  let rec descend parent depth =
+    if depth = 3 then parent
+    else
+      match Libos.run machine ~fuel:100000 with
+      | Libos.Guess _ ->
+        let snap = Snapshot.capture ~parent ~depth machine in
+        Vcpu.Cpu.set machine.Libos.cpu R.rax 0;
+        descend snap (depth + 1)
+      | other -> Alcotest.failf "unexpected %a" Libos.pp_stop other
+  in
+  let leaf = descend root 0 in
+  check Alcotest.int "lineage length" 4 (List.length (Snapshot.lineage leaf));
+  check Alcotest.int "root is last"
+    root.Snapshot.id
+    (List.nth (Snapshot.lineage leaf) 3).Snapshot.id
+
+(* {1 Service} *)
+
+let service_resume_is_repeatable () =
+  let image = Workloads.Counting.program ~depth:2 ~branch:2 in
+  let svc, outcome = Service.boot image in
+  match outcome with
+  | Service.Ready { candidate; arity; _ } ->
+    check Alcotest.int "arity" 2 arity;
+    (* resuming the same candidate twice must give identical outcomes *)
+    let a = Service.resume svc candidate ~choice:0 () in
+    let b = Service.resume svc candidate ~choice:0 () in
+    (match a, b with
+    | Service.Ready { arity = a1; _ }, Service.Ready { arity = a2; _ } ->
+      check Alcotest.int "same arity" a1 a2
+    | _ -> Alcotest.fail "expected two ready outcomes");
+    check Alcotest.bool "candidates accumulate" true (Service.live_candidates svc >= 3)
+  | _ -> Alcotest.fail "expected a choice point"
+
+let service_distinct_branches () =
+  (* guest prints the chosen extension; two resumes of one candidate must
+     produce their own outputs *)
+  let image =
+    assemble ~entry:"main"
+      ([ label "main" ]
+      @ Wl_common.sys_guess_imm ~n:2
+      @ [ mov R.rcx (r R.rax);
+          add R.rcx (i (Char.code '0'));
+          movl R.r8 "buf";
+          stb (R.r8 @+ 0) R.rcx ]
+      @ Wl_common.write_label ~buf:"buf" ~len:1
+      @ Wl_common.sys_exit ~status:0
+      @ [ label "buf"; zeros 1 ])
+  in
+  let svc, outcome = Service.boot image in
+  match outcome with
+  | Service.Ready { candidate; _ } ->
+    (match Service.resume svc candidate ~choice:0 () with
+    | Service.Finished { output; _ } -> check Alcotest.string "branch 0" "0" output
+    | _ -> Alcotest.fail "expected finish");
+    (match Service.resume svc candidate ~choice:1 () with
+    | Service.Finished { output; _ } -> check Alcotest.string "branch 1" "1" output
+    | _ -> Alcotest.fail "expected finish")
+  | _ -> Alcotest.fail "expected a choice point"
+
+let service_guest_dpll_increments () =
+  (* solve p, then p ∧ q for a q that flips a model bit *)
+  let clauses = [ [ 1; 2 ]; [ -1; 2 ] ] in
+  let image = Workloads.Guest_dpll.program ~num_vars:2 clauses in
+  let svc, outcome = Service.boot image in
+  (* drive DFS externally: always choice 0, backtracking manually *)
+  let rec to_yield outcome stack =
+    match outcome with
+    | Service.Ready { candidate; arity = 1; output } -> Some (candidate, output)
+    | Service.Ready { candidate; arity; _ } ->
+      to_yield (Service.resume svc candidate ~choice:0 ())
+        ((candidate, 1, arity) :: stack)
+    | Service.Failed _ -> (
+      match stack with
+      | [] -> None
+      | (c, k, a) :: rest ->
+        to_yield (Service.resume svc c ~choice:k ())
+          (if k + 1 < a then (c, k + 1, a) :: rest else rest))
+    | Service.Finished _ | Service.Crashed _ -> None
+  in
+  match to_yield outcome [] with
+  | None -> Alcotest.fail "p unsolved"
+  | Some (p_ref, output) ->
+    check Alcotest.bool "solved p" true
+      (String.length output >= 4 && String.sub output 0 4 = "SAT\n");
+    let q = Workloads.Guest_dpll.encode_increments [ [ [ -2; 1 ] ] ] in
+    (match to_yield (Service.resume svc p_ref ~choice:0 ~stdin:q ()) [] with
+    | Some (_, output2) ->
+      check Alcotest.bool "solved p and q" true
+        (String.length output2 >= 4 && String.sub output2 0 4 = "SAT\n")
+    | None -> Alcotest.fail "p ∧ q should be satisfiable")
+
+let service_release () =
+  let svc, outcome = Service.boot (Workloads.Counting.program ~depth:2 ~branch:2) in
+  match outcome with
+  | Service.Ready { candidate; _ } ->
+    let before = Service.live_candidates svc in
+    Service.release svc candidate;
+    check Alcotest.int "one fewer live" (before - 1) (Service.live_candidates svc);
+    Alcotest.check_raises "resume after release"
+      (Invalid_argument "Service: unknown candidate reference 0") (fun () ->
+        ignore (Service.resume svc candidate ~choice:0 ()))
+  | _ -> Alcotest.fail "expected a choice point"
+
+(* {1 Native replay ablation} *)
+
+let native_bt_enumerates () =
+  let result =
+    Native_bt.run_all (fun ctx ->
+        let a = Native_bt.guess ctx 2 in
+        let b = Native_bt.guess ctx 3 in
+        (a, b))
+  in
+  check Alcotest.int "all paths" 6 (List.length result.Native_bt.solutions);
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.int))
+    "DFS order"
+    [ 0, 0; 0, 1; 0, 2; 1, 0; 1, 1; 1, 2 ]
+    result.Native_bt.solutions
+
+let native_bt_fail_prunes () =
+  let result =
+    Native_bt.run_all (fun ctx ->
+        let a = Native_bt.guess ctx 3 in
+        if a = 1 then Native_bt.fail ctx else a)
+  in
+  check (Alcotest.list Alcotest.int) "pruned" [ 0; 2 ] result.Native_bt.solutions
+
+let native_bt_replay_cost () =
+  (* replay-based restoration re-executes prefixes: decisions_replayed
+     grows with the square-ish of the tree, unlike snapshots *)
+  let result =
+    Native_bt.run_all (fun ctx ->
+        let rec go depth acc =
+          if depth = 0 then acc
+          else go (depth - 1) ((2 * acc) + Native_bt.guess ctx 2)
+        in
+        go 6 0)
+  in
+  check Alcotest.int "paths" 64 (List.length result.Native_bt.solutions);
+  check Alcotest.bool "replays happened" true (result.Native_bt.replays >= 64);
+  check Alcotest.bool "prefix re-execution cost" true
+    (result.Native_bt.decisions_replayed > 64)
+
+let native_bt_nqueens_matches () =
+  let count n =
+    let solutions = ref 0 in
+    let result =
+      Native_bt.run_all (fun ctx ->
+          let row = Array.make n false in
+          let ld = Array.make (2 * n) false in
+          let rd = Array.make (2 * n) false in
+          for c = 0 to n - 1 do
+            let r = Native_bt.guess ctx n in
+            if row.(r) || ld.(r + c) || rd.(n + r - c) then Native_bt.fail ctx;
+            row.(r) <- true;
+            ld.(r + c) <- true;
+            rd.(n + r - c) <- true
+          done)
+    in
+    solutions := List.length result.Native_bt.solutions;
+    !solutions
+  in
+  check Alcotest.int "native replay queens 6" (Workloads.Nqueens.expected_solutions 6)
+    (count 6)
+
+let qtest ?(count = 60) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let counting_tree_invariants =
+  (* for any (depth, branch): fails = B^D, guesses = (B^D - 1)/(B - 1),
+     pushed = B * guesses, evaluated = pushed — parametric correctness of
+     the whole scheduler *)
+  qtest "explorer node counts on random trees"
+    QCheck2.Gen.(pair (int_range 1 5) (int_range 1 4))
+    (fun (depth, branch) ->
+      let r = Explorer.run_image (Workloads.Counting.program ~depth ~branch) in
+      let leaves = Workloads.Counting.leaves ~depth ~branch in
+      let interior =
+        if branch = 1 then depth else (leaves - 1) / (branch - 1)
+      in
+      let s = r.Explorer.stats in
+      (match r.Explorer.outcome with Explorer.Completed 0 -> true | _ -> false)
+      && s.Core.Stats.fails = leaves
+      && s.Core.Stats.guesses = interior
+      && s.Core.Stats.extensions_pushed = branch * interior
+      && s.Core.Stats.extensions_evaluated = branch * interior)
+
+let parallel_counts_match_sequential =
+  qtest ~count:20 "parallel explorer matches sequential counts"
+    QCheck2.Gen.(triple (int_range 1 4) (int_range 1 3) (int_range 1 6))
+    (fun (depth, branch, workers) ->
+      let image = Workloads.Counting.program ~depth ~branch in
+      let seq = Explorer.run_image image in
+      let par =
+        Core.Parallel.run
+          ~config:{ Core.Parallel.default_config with workers; quantum = 700 }
+          image
+      in
+      seq.Explorer.stats.Core.Stats.fails = par.Core.Parallel.stats.Core.Stats.fails
+      && seq.Explorer.stats.Core.Stats.guesses
+         = par.Core.Parallel.stats.Core.Stats.guesses)
+
+let tests =
+  [ Alcotest.test_case "nqueens all sizes" `Quick nqueens_all_sizes;
+    Alcotest.test_case "nqueens boards match host" `Quick nqueens_boards_match_host;
+    Alcotest.test_case "counting tree exact" `Quick counting_tree_exact;
+    Alcotest.test_case "scope returns 0 after exhaustion" `Quick
+      strategy_scope_returns_zero_after_exhaustion;
+    Alcotest.test_case "guess outside scope aborts" `Quick guess_outside_scope_aborts;
+    Alcotest.test_case "first-exit mode" `Quick first_exit_mode_stops;
+    Alcotest.test_case "all-solutions subset sum" `Quick all_solutions_subset_sum;
+    Alcotest.test_case "coloring counts" `Quick coloring_counts;
+    Alcotest.test_case "stdout survives backtracking" `Quick output_survives_backtracking;
+    Alcotest.test_case "file writes contained" `Quick file_writes_are_contained;
+    Alcotest.test_case "killed path does not stop search" `Quick
+      killed_path_does_not_stop_search;
+    Alcotest.test_case "hint plumbing" `Quick hint_drives_astar;
+    Alcotest.test_case "extension budget aborts" `Quick max_extensions_aborts;
+    Alcotest.test_case "shared page survives backtracking" `Quick
+      shared_page_survives_backtracking;
+    Alcotest.test_case "timeout kills runaway extension" `Quick
+      timeout_kills_runaway_extension;
+    Alcotest.test_case "beam strategy" `Quick beam_strategy_runs;
+    Alcotest.test_case "bounded dfs prunes" `Quick dfs_bounded_prunes_depth;
+    Alcotest.test_case "snapshot parent chain" `Quick snapshot_parent_chain;
+    Alcotest.test_case "service resume repeatable" `Quick service_resume_is_repeatable;
+    Alcotest.test_case "service distinct branches" `Quick service_distinct_branches;
+    Alcotest.test_case "service incremental dpll" `Quick service_guest_dpll_increments;
+    Alcotest.test_case "service release" `Quick service_release;
+    Alcotest.test_case "native replay enumerates" `Quick native_bt_enumerates;
+    Alcotest.test_case "native replay fail prunes" `Quick native_bt_fail_prunes;
+    Alcotest.test_case "native replay cost" `Quick native_bt_replay_cost;
+    Alcotest.test_case "native replay queens" `Quick native_bt_nqueens_matches;
+    counting_tree_invariants;
+    parallel_counts_match_sequential ]

@@ -1,0 +1,21 @@
+(* Aggregate test runner: one suite per library. *)
+
+let () =
+  Alcotest.run "lwsnap"
+    [ "stdx", Test_stdx.tests;
+      "mem", Test_mem.tests;
+      "isa", Test_isa.tests;
+      "asm-parser", Test_asm_parser.tests;
+      "vcpu", Test_vcpu.tests;
+      "os", Test_os.tests;
+      "search", Test_search.tests;
+      "core", Test_core.tests;
+      "parallel", Test_parallel.tests;
+      "sat", Test_sat.tests;
+      "smt", Test_smt.tests;
+      "symex", Test_symex.tests;
+      "prolog", Test_prolog.tests;
+      "prolog-parser", Test_prolog_parser.tests;
+      "ckpt", Test_ckpt.tests;
+      "workloads", Test_workloads.tests;
+      "integration", Test_integration.tests ]

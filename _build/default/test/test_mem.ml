@@ -1,0 +1,322 @@
+(* The memory substrate: COW address spaces, snapshots, the radix (EPT)
+   backend, and their equivalence. *)
+
+module As = Mem.Addr_space
+module Ept = Mem.Ept
+module Page = Mem.Page
+module Phys = Mem.Phys_mem
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let fresh () = As.create (Phys.create ())
+
+let page_geometry () =
+  check Alcotest.int "size" 4096 Page.size;
+  check Alcotest.int "vpn" 2 (Page.vpn_of_addr 8192);
+  check Alcotest.int "offset" 17 (Page.offset_of_addr (8192 + 17));
+  check Alcotest.int "round_up" 4096 (Page.round_up 1);
+  check Alcotest.int "round_up aligned" 4096 (Page.round_up 4096);
+  check Alcotest.int "round_down" 4096 (Page.round_down 5000);
+  check Alcotest.bool "aligned" true (Page.is_aligned 8192)
+
+let rw_roundtrip () =
+  let t = fresh () in
+  As.map_zero t ~vpn:1;
+  As.write_u8 t 4096 0xAB;
+  check Alcotest.int "u8" 0xAB (As.read_u8 t 4096);
+  As.write_u64 t 4104 0x1234_5678_9ABC;
+  check Alcotest.int "u64" 0x1234_5678_9ABC (As.read_u64 t 4104);
+  As.write_u64 t 4104 (-42);
+  check Alcotest.int "negative u64" (-42) (As.read_u64 t 4104)
+
+let cross_page_access () =
+  let t = fresh () in
+  As.map_zero t ~vpn:1;
+  As.map_zero t ~vpn:2;
+  let addr = 8192 - 3 in
+  As.write_u64 t addr 0x1122_3344_5566;
+  check Alcotest.int "crossing u64" 0x1122_3344_5566 (As.read_u64 t addr);
+  As.write_bytes t ~addr:(8192 - 2) "hello";
+  check Alcotest.string "crossing bytes" "hello"
+    (Bytes.to_string (As.read_bytes t ~addr:(8192 - 2) ~len:5))
+
+let unmapped_faults () =
+  let t = fresh () in
+  (match As.read_u8 t 4096 with
+  | _ -> Alcotest.fail "expected fault"
+  | exception As.Page_fault { addr; access = As.Read } ->
+    check Alcotest.int "fault addr" 4096 addr
+  | exception As.Page_fault _ -> Alcotest.fail "wrong access kind");
+  match As.write_u8 t 4096 1 with
+  | () -> Alcotest.fail "expected write fault"
+  | exception As.Page_fault { access = As.Write; _ } -> ()
+  | exception As.Page_fault _ -> Alcotest.fail "wrong access kind"
+
+let map_data_contents () =
+  let t = fresh () in
+  As.map_data t ~vpn:3 "content here";
+  check Alcotest.string "data" "content here"
+    (Bytes.to_string (As.read_bytes t ~addr:(3 * 4096) ~len:12));
+  check Alcotest.int "zero filled tail" 0 (As.read_u8 t ((3 * 4096) + 100));
+  As.unmap t ~vpn:3;
+  check Alcotest.bool "unmapped" false (As.is_mapped t ~vpn:3)
+
+let snapshot_immutable () =
+  let t = fresh () in
+  As.map_zero t ~vpn:0;
+  As.write_u64 t 0 111;
+  let snap = As.snapshot t in
+  As.write_u64 t 0 222;
+  As.write_u64 t 8 333;
+  check Alcotest.int "current sees new" 222 (As.read_u64 t 0);
+  As.restore t snap;
+  check Alcotest.int "snapshot preserved" 111 (As.read_u64 t 0);
+  check Alcotest.int "snapshot preserved 2" 0 (As.read_u64 t 8)
+
+let snapshot_tree () =
+  let t = fresh () in
+  As.map_zero t ~vpn:0;
+  As.write_u8 t 0 1;
+  let root = As.snapshot t in
+  As.write_u8 t 0 2;
+  let left = As.snapshot t in
+  As.restore t root;
+  As.write_u8 t 0 3;
+  let right = As.snapshot t in
+  As.restore t left;
+  check Alcotest.int "left" 2 (As.read_u8 t 0);
+  As.restore t right;
+  check Alcotest.int "right" 3 (As.read_u8 t 0);
+  As.restore t root;
+  check Alcotest.int "root" 1 (As.read_u8 t 0)
+
+let snapshot_zero_cost () =
+  let phys = Phys.create () in
+  let t = As.create phys in
+  for vpn = 0 to 63 do
+    As.map_zero t ~vpn
+  done;
+  As.write_u64 t 0 7;
+  let before = (Phys.metrics phys).Mem.Mem_metrics.pages_copied in
+  let _snapshots = List.init 100 (fun _ -> As.snapshot t) in
+  let after = (Phys.metrics phys).Mem.Mem_metrics.pages_copied in
+  check Alcotest.int "capture copies nothing" before after
+
+let cow_accounting () =
+  let phys = Phys.create () in
+  let t = As.create phys in
+  As.map_data t ~vpn:0 "a";
+  As.map_data t ~vpn:1 "b";
+  let _snap = As.snapshot t in
+  let m0 = Mem.Mem_metrics.copy (Phys.metrics phys) in
+  As.write_u8 t 0 1;
+  As.write_u8 t 1 2;      (* same page: no second fault *)
+  As.write_u8 t 4096 3;   (* second page *)
+  let diff = Mem.Mem_metrics.diff (Phys.metrics phys) m0 in
+  check Alcotest.int "two COW faults" 2 diff.Mem.Mem_metrics.cow_faults;
+  check Alcotest.int "two pages copied" 2 diff.Mem.Mem_metrics.pages_copied
+
+let zero_page_sharing () =
+  let phys = Phys.create () in
+  let t = As.create phys in
+  for vpn = 0 to 999 do
+    As.map_zero t ~vpn
+  done;
+  check Alcotest.int "no frames for zero pages" 0 (Phys.frames_allocated phys);
+  As.write_u8 t 0 1;
+  check Alcotest.int "one frame after write" 1 (Phys.frames_allocated phys);
+  let m = Phys.metrics phys in
+  check Alcotest.int "counted as zero fill" 1 m.Mem.Mem_metrics.zero_fills
+
+let distinct_frames_sharing () =
+  let t = fresh () in
+  for vpn = 0 to 9 do
+    As.map_data t ~vpn "x"
+  done;
+  let a = As.snapshot t in
+  As.write_u8 t 0 1;
+  let b = As.snapshot t in
+  check Alcotest.int "a alone" 10 (As.distinct_frames [ a ]);
+  check Alcotest.int "shared pages counted once" 11 (As.distinct_frames [ a; b ]);
+  check Alcotest.int "delta" 1 (As.delta_pages a b)
+
+let restore_then_diverge () =
+  let t = fresh () in
+  As.map_zero t ~vpn:0;
+  let snap = As.snapshot t in
+  As.restore t snap;
+  As.write_u8 t 0 9;
+  As.restore t snap;
+  check Alcotest.int "snapshot still intact" 0 (As.read_u8 t 0)
+
+let shared_pages_survive_restores () =
+  let t = fresh () in
+  As.map_zero t ~vpn:0;
+  As.map_shared t ~vpn:5;
+  let shared_addr = 5 * 4096 in
+  As.write_u64 t shared_addr 1;
+  let snap = As.snapshot t in
+  As.write_u64 t shared_addr 2;
+  As.write_u64 t 0 99;
+  As.restore t snap;
+  check Alcotest.int "private rolled back" 0 (As.read_u64 t 0);
+  check Alcotest.int "shared survives" 2 (As.read_u64 t shared_addr);
+  check Alcotest.bool "reported shared" true (As.is_shared t ~vpn:5);
+  check Alcotest.bool "not shared" false (As.is_shared t ~vpn:0)
+
+let shared_pages_never_cow () =
+  let phys = Phys.create () in
+  let t = As.create phys in
+  As.map_shared t ~vpn:0;
+  let m0 = Mem.Mem_metrics.copy (Phys.metrics phys) in
+  for round = 1 to 10 do
+    let _ = As.snapshot t in
+    As.write_u64 t 0 round
+  done;
+  let diff = Mem.Mem_metrics.diff (Phys.metrics phys) m0 in
+  check Alcotest.int "no COW on shared writes" 0 diff.Mem.Mem_metrics.cow_faults;
+  check Alcotest.int "accumulated" 10 (As.read_u64 t 0)
+
+let shared_preserves_content () =
+  let t = fresh () in
+  As.map_data t ~vpn:3 "precious";
+  As.map_shared t ~vpn:3;
+  check Alcotest.string "content carried over" "precious"
+    (Bytes.to_string (As.read_bytes t ~addr:(3 * 4096) ~len:8));
+  As.unmap t ~vpn:3;
+  check Alcotest.bool "unmap clears sharing" false (As.is_shared t ~vpn:3)
+
+(* {1 EPT backend} *)
+
+let ept_fresh () = Ept.create (Phys.create ())
+
+let ept_basic () =
+  let t = ept_fresh () in
+  Ept.map_zero t ~vpn:5;
+  Ept.write_u64 t (5 * 4096) 77;
+  check Alcotest.int "u64" 77 (Ept.read_u64 t (5 * 4096));
+  check Alcotest.int "mapped" 1 (Ept.mapped_pages t);
+  Ept.unmap t ~vpn:5;
+  check Alcotest.bool "unmapped" false (Ept.is_mapped t ~vpn:5)
+
+let ept_snapshot_pt_cow () =
+  let phys = Phys.create () in
+  let t = Ept.create phys in
+  Ept.map_data t ~vpn:0 "x";
+  let snap = Ept.snapshot t in
+  let m0 = Mem.Mem_metrics.copy (Phys.metrics phys) in
+  Ept.write_u8 t 0 9;
+  let diff = Mem.Mem_metrics.diff (Phys.metrics phys) m0 in
+  (* first post-snapshot write path-copies the table: root + 3 levels *)
+  check Alcotest.int "page-table nodes copied" Ept.levels diff.Mem.Mem_metrics.pt_node_copies;
+  check Alcotest.int "one data COW" 1 diff.Mem.Mem_metrics.cow_faults;
+  Ept.restore t snap;
+  check Alcotest.int "snapshot intact" (Char.code 'x') (Ept.read_u8 t 0)
+
+let ept_deep_vpn () =
+  let t = ept_fresh () in
+  (* exercise all four radix levels: a vpn needing high-level indices *)
+  let vpn = (3 lsl 27) lor (5 lsl 18) lor (7 lsl 9) lor 11 in
+  Ept.map_zero t ~vpn;
+  Ept.write_u8 t (Page.addr_of_vpn vpn) 123;
+  check Alcotest.int "deep page" 123 (Ept.read_u8 t (Page.addr_of_vpn vpn));
+  check Alcotest.bool "not a neighbour" false (Ept.is_mapped t ~vpn:(vpn + 1))
+
+(* random operation script applied to both backends must agree *)
+type op =
+  | Map of int
+  | Unmap of int
+  | Write of int * int
+  | Snapshot
+  | Restore of int
+
+let op_gen =
+  QCheck2.Gen.(
+    oneof
+      [ map (fun v -> Map (v land 15)) small_int;
+        map (fun v -> Unmap (v land 15)) small_int;
+        map2 (fun v x -> Write (v land 15, x land 0xff)) small_int small_int;
+        return Snapshot;
+        map (fun k -> Restore k) small_int ])
+
+let backends_agree =
+  qtest ~count:100 "Addr_space and Ept agree on random scripts"
+    (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 60) op_gen)
+    (fun script ->
+      let a = fresh () in
+      let e = ept_fresh () in
+      let a_snaps = ref [] and e_snaps = ref [] in
+      let agree = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | Map vpn ->
+            As.map_zero a ~vpn;
+            Ept.map_zero e ~vpn
+          | Unmap vpn ->
+            As.unmap a ~vpn;
+            Ept.unmap e ~vpn
+          | Write (vpn, v) ->
+            let addr = Page.addr_of_vpn vpn + (v mod 64) in
+            let ra = try As.write_u8 a addr v; `Ok with As.Page_fault _ -> `Fault in
+            let re = try Ept.write_u8 e addr v; `Ok with As.Page_fault _ -> `Fault in
+            if ra <> re then agree := false
+          | Snapshot ->
+            a_snaps := As.snapshot a :: !a_snaps;
+            e_snaps := Ept.snapshot e :: !e_snaps
+          | Restore k -> (
+            match !a_snaps, !e_snaps with
+            | [], [] -> ()
+            | sa, se ->
+              let k = k mod List.length sa in
+              As.restore a (List.nth sa k);
+              Ept.restore e (List.nth se k)))
+        script;
+      (* compare all 16 pages' first bytes *)
+      !agree
+      && List.for_all
+           (fun vpn ->
+             let addr = Page.addr_of_vpn vpn in
+             let ra = try `V (As.read_u8 a addr) with As.Page_fault _ -> `F in
+             let re = try `V (Ept.read_u8 e addr) with As.Page_fault _ -> `F in
+             ra = re)
+           (List.init 16 Fun.id))
+
+let write_read_model =
+  qtest ~count:100 "reads return last write (byte model)"
+    QCheck2.Gen.(list_size (int_range 1 100) (pair (int_range 0 8191) (int_range 0 255)))
+    (fun writes ->
+      let t = fresh () in
+      As.map_zero t ~vpn:0;
+      As.map_zero t ~vpn:1;
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun (addr, v) ->
+          Hashtbl.replace model addr v;
+          As.write_u8 t addr v)
+        writes;
+      Hashtbl.fold (fun addr v acc -> acc && As.read_u8 t addr = v) model true)
+
+let tests =
+  [ Alcotest.test_case "page geometry" `Quick page_geometry;
+    Alcotest.test_case "read/write roundtrip" `Quick rw_roundtrip;
+    Alcotest.test_case "cross-page access" `Quick cross_page_access;
+    Alcotest.test_case "unmapped faults" `Quick unmapped_faults;
+    Alcotest.test_case "map_data contents" `Quick map_data_contents;
+    Alcotest.test_case "snapshot immutability" `Quick snapshot_immutable;
+    Alcotest.test_case "snapshot tree" `Quick snapshot_tree;
+    Alcotest.test_case "snapshot capture is O(1) copies" `Quick snapshot_zero_cost;
+    Alcotest.test_case "COW accounting" `Quick cow_accounting;
+    Alcotest.test_case "zero-page sharing" `Quick zero_page_sharing;
+    Alcotest.test_case "distinct frames sharing" `Quick distinct_frames_sharing;
+    Alcotest.test_case "restore then diverge" `Quick restore_then_diverge;
+    Alcotest.test_case "shared pages survive restores" `Quick shared_pages_survive_restores;
+    Alcotest.test_case "shared pages never COW" `Quick shared_pages_never_cow;
+    Alcotest.test_case "shared preserves content" `Quick shared_preserves_content;
+    Alcotest.test_case "ept basic" `Quick ept_basic;
+    Alcotest.test_case "ept page-table COW" `Quick ept_snapshot_pt_cow;
+    Alcotest.test_case "ept deep vpn" `Quick ept_deep_vpn;
+    backends_agree;
+    write_read_model ]

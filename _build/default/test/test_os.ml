@@ -1,0 +1,308 @@
+(* The libOS: VFS, fd tables, syscalls, demand paging, containment. *)
+
+module Vfs = Os.Vfs
+module Fd = Os.Fd_table
+module Libos = Os.Libos
+module Abi = Os.Sys_abi
+module R = Isa.Reg
+module Wl_common = Workloads.Wl_common
+open Isa.Asm
+
+let check = Alcotest.check
+
+(* {1 Vfs} *)
+
+let vfs_persistence () =
+  let v0 = Vfs.empty in
+  let v1 = Vfs.add v0 ~path:"/a" "hello" in
+  let v2 = Vfs.write_at v1 ~path:"/a" ~offset:5 " world" in
+  check (Alcotest.option Alcotest.string) "v1 unchanged" (Some "hello")
+    (Vfs.find v1 ~path:"/a");
+  check (Alcotest.option Alcotest.string) "v2 extended" (Some "hello world")
+    (Vfs.find v2 ~path:"/a");
+  check Alcotest.bool "v0 still empty" false (Vfs.exists v0 ~path:"/a")
+
+let vfs_write_gap () =
+  let v = Vfs.write_at Vfs.empty ~path:"/f" ~offset:4 "data" in
+  check (Alcotest.option Alcotest.string) "zero-filled gap" (Some "\000\000\000\000data")
+    (Vfs.find v ~path:"/f")
+
+let vfs_overwrite_middle () =
+  let v = Vfs.add Vfs.empty ~path:"/f" "abcdefgh" in
+  let v = Vfs.write_at v ~path:"/f" ~offset:2 "XY" in
+  check (Alcotest.option Alcotest.string) "middle" (Some "abXYefgh") (Vfs.find v ~path:"/f")
+
+let vfs_read_at () =
+  let v = Vfs.add Vfs.empty ~path:"/f" "0123456789" in
+  check (Alcotest.option Alcotest.string) "window" (Some "345")
+    (Vfs.read_at v ~path:"/f" ~offset:3 ~len:3);
+  check (Alcotest.option Alcotest.string) "short read" (Some "89")
+    (Vfs.read_at v ~path:"/f" ~offset:8 ~len:100);
+  check (Alcotest.option Alcotest.string) "past eof" (Some "")
+    (Vfs.read_at v ~path:"/f" ~offset:50 ~len:4);
+  check (Alcotest.option Alcotest.string) "missing" None
+    (Vfs.read_at v ~path:"/nope" ~offset:0 ~len:1)
+
+(* {1 Fd_table} *)
+
+let fd_alloc_reuse () =
+  let t = Fd.initial in
+  let t, fd1 = Fd.alloc t { Fd.path = "/a"; offset = 0; flags = 0 } in
+  let t, fd2 = Fd.alloc t { Fd.path = "/b"; offset = 0; flags = 0 } in
+  check Alcotest.int "first fd" 3 fd1;
+  check Alcotest.int "second fd" 4 fd2;
+  let t = Option.get (Fd.close t fd1) in
+  let t, fd3 = Fd.alloc t { Fd.path = "/c"; offset = 0; flags = 0 } in
+  check Alcotest.int "lowest free reused" 3 fd3;
+  check Alcotest.int "open count" 2 (Fd.open_count t);
+  check Alcotest.bool "close unknown" true (Fd.close t 77 = None)
+
+(* {1 Libos guests} *)
+
+let boot items =
+  let image = assemble ~entry:"main" items in
+  Libos.boot (Mem.Phys_mem.create ()) image
+
+let stop_testable = Alcotest.testable Libos.pp_stop ( = )
+
+let run m = Libos.run m ~fuel:10_000_000
+
+let exit_code_of = function
+  | Libos.Exited { status } -> status
+  | other -> Alcotest.failf "expected exit, got %a" Libos.pp_stop other
+
+let hello_stdout () =
+  let m =
+    boot
+      ([ label "main" ]
+      @ Wl_common.write_label ~buf:"msg" ~len:6
+      @ Wl_common.sys_exit ~status:0
+      @ [ label "msg"; bytes "hello\n" ])
+  in
+  check Alcotest.int "exit 0" 0 (exit_code_of (run m));
+  check Alcotest.string "stdout" "hello\n" (Libos.stdout_text m)
+
+let brk_grows_heap () =
+  let m =
+    boot
+      ([ label "main"; mov R.rdi (i 0) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_brk
+      @ [ mov R.r15 (r R.rax);          (* heap base *)
+          mov R.rdi (r R.rax);
+          add R.rdi (i 8192) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_brk
+      @ [ (* write at base and base+8191 *)
+          sti (R.r15 @+ 0) 42;
+          mov R.rcx (r R.r15);
+          add R.rcx (i 8191);
+          mov R.rdx (i 7);
+          stb (R.rcx @+ 0) R.rdx;
+          ldb R.rdi (R.rcx @+ 0) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_exit)
+  in
+  check Alcotest.int "wrote across heap" 7 (exit_code_of (run m));
+  check Alcotest.int "brk value" (Libos.default_layout.Libos.heap_base + 8192)
+    (Libos.brk_value m)
+
+let heap_oob_kills () =
+  let m =
+    boot
+      ([ label "main"; mov R.rdi (i 0) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_brk
+      @ [ add R.rax (i 100000); sti (R.rax @+ 0) 1; hlt ])
+  in
+  match run m with
+  | Libos.Killed (Libos.Fault (Vcpu.Interp.Page_fault _)) -> ()
+  | other -> Alcotest.failf "expected kill, got %a" Libos.pp_stop other
+
+let stack_demand_paging () =
+  (* recurse deep enough to need several stack pages *)
+  let m =
+    boot
+      [ label "main";
+        mov R.rdi (i 2000);
+        call "rec";
+        mov R.rdi (i 0);
+        mov R.rax (i 0);
+        syscall;
+        label "rec";
+        test R.rdi (r R.rdi);
+        je "base";
+        push (r R.rdi);
+        dec R.rdi;
+        call "rec";
+        pop R.rdi;
+        ret;
+        label "base";
+        ret ]
+  in
+  check Alcotest.int "deep recursion ok" 0 (exit_code_of (run m));
+  check Alcotest.bool "several stack pages demand-mapped" true
+    (m.Libos.counters.Libos.demand_pages >= 4)
+
+let file_roundtrip () =
+  (* open for write, write, close, open for read, read back, exit len *)
+  let m =
+    boot
+      ([ label "main";
+         movl R.rdi "path";
+         mov R.rsi (i (Abi.o_wronly lor Abi.o_creat)) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_open
+      @ [ mov R.rbx (r R.rax);       (* fd *)
+          mov R.rdi (r R.rbx);
+          movl R.rsi "payload";
+          mov R.rdx (i 9) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_write
+      @ [ mov R.rdi (r R.rbx) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_close
+      @ [ movl R.rdi "path"; mov R.rsi (i Abi.o_rdonly) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_open
+      @ [ mov R.rbx (r R.rax);
+          mov R.rdi (r R.rbx);
+          movl R.rsi "buf";
+          mov R.rdx (i 64) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_read
+      @ [ mov R.rdi (r R.rax) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_exit
+      @ [ label "path"; bytes "/tmp/out\000";
+          label "payload"; bytes "some data";
+          label "buf"; zeros 64 ])
+  in
+  check Alcotest.int "read back 9 bytes" 9 (exit_code_of (run m));
+  check (Alcotest.option Alcotest.string) "file content" (Some "some data")
+    (Libos.read_file m ~path:"/tmp/out")
+
+let open_missing_enoent () =
+  let m =
+    boot
+      ([ label "main"; movl R.rdi "path"; mov R.rsi (i Abi.o_rdonly) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_open
+      @ [ neg R.rax; mov R.rdi (r R.rax) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_exit
+      @ [ label "path"; bytes "/missing\000" ])
+  in
+  check Alcotest.int "ENOENT" Abi.enoent (exit_code_of (run m))
+
+let device_refused () =
+  let m =
+    boot
+      ([ label "main"; movl R.rdi "path"; mov R.rsi (i Abi.o_rdonly) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_open
+      @ [ neg R.rax; mov R.rdi (r R.rax) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_exit
+      @ [ label "path"; bytes "/dev/mem\000" ])
+  in
+  check Alcotest.int "ENOTSUP per soundness rule" Abi.enotsup (exit_code_of (run m));
+  check Alcotest.int "counted as denied" 1 m.Libos.counters.Libos.denied
+
+let socket_refused () =
+  let m =
+    boot
+      ([ label "main" ]
+      @ Wl_common.syscall3 ~number:Abi.sys_socket
+      @ [ neg R.rax; mov R.rdi (r R.rax) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_exit)
+  in
+  check Alcotest.int "socket ENOTSUP" Abi.enotsup (exit_code_of (run m))
+
+let unknown_syscall_enosys () =
+  let m =
+    boot
+      ([ label "main"; mov R.rax (i 31); insn Isa.Insn.Syscall;
+         neg R.rax; mov R.rdi (r R.rax) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_exit)
+  in
+  check Alcotest.int "ENOSYS" Abi.enosys (exit_code_of (run m))
+
+let stdin_read () =
+  let m =
+    boot
+      ([ label "main"; mov R.rdi (i 0); movl R.rsi "buf"; mov R.rdx (i 5) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_read
+      @ [ mov R.rbx (r R.rax);      (* bytes read *)
+          movl R.rsi "buf";
+          ldb R.rdi (R.rsi @+ 0);
+          add R.rdi (r R.rbx) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_exit
+      @ [ label "buf"; zeros 8 ])
+  in
+  Libos.set_stdin m "AB";
+  (* reads 2 bytes; first is 'A' = 65; exit status 65 + 2 *)
+  check Alcotest.int "stdin consumed" 67 (exit_code_of (run m))
+
+let lseek_positions () =
+  let m =
+    boot
+      ([ label "main"; movl R.rdi "path"; mov R.rsi (i Abi.o_rdonly) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_open
+      @ [ mov R.rbx (r R.rax);
+          mov R.rdi (r R.rbx);
+          mov R.rsi (i (-2));
+          mov R.rdx (i Abi.seek_end) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_lseek
+      @ [ mov R.rdi (r R.rbx); movl R.rsi "buf"; mov R.rdx (i 8) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_read
+      @ [ movl R.rsi "buf"; ldb R.rdi (R.rsi @+ 0) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_exit
+      @ [ label "path"; bytes "/data\000"; label "buf"; zeros 8 ])
+  in
+  Libos.add_file m ~path:"/data" "wxyz";
+  (* seek to end-2, read: first byte is 'y' = 121 *)
+  check Alcotest.int "seek_end" (Char.code 'y') (exit_code_of (run m))
+
+let os_state_snapshot_restores_files () =
+  let m =
+    boot ([ label "main" ] @ Wl_common.sys_exit ~status:0)
+  in
+  Libos.add_file m ~path:"/f" "one";
+  let saved = Libos.os_capture m in
+  Libos.add_file m ~path:"/f" "two";
+  Libos.set_stdin m "leftover";
+  check (Alcotest.option Alcotest.string) "mutated" (Some "two")
+    (Libos.read_file m ~path:"/f");
+  Libos.os_restore m saved;
+  check (Alcotest.option Alcotest.string) "restored" (Some "one")
+    (Libos.read_file m ~path:"/f")
+
+let unlink_file () =
+  let m =
+    boot
+      ([ label "main"; movl R.rdi "path" ]
+      @ Wl_common.syscall3 ~number:Abi.sys_unlink
+      @ [ mov R.rdi (r R.rax) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_exit
+      @ [ label "path"; bytes "/gone\000" ])
+  in
+  Libos.add_file m ~path:"/gone" "x";
+  check Alcotest.int "unlink ok" 0 (exit_code_of (run m));
+  check (Alcotest.option Alcotest.string) "removed" None (Libos.read_file m ~path:"/gone")
+
+let guess_stops_surface () =
+  let m =
+    boot
+      ([ label "main" ]
+      @ Wl_common.sys_guess_strategy ~strategy:Abi.strategy_dfs
+      @ [ hlt ])
+  in
+  check stop_testable "strategy surfaces" (Libos.Guess_strategy { strategy = 0 }) (run m)
+
+let tests =
+  [ Alcotest.test_case "vfs persistence" `Quick vfs_persistence;
+    Alcotest.test_case "vfs write gap" `Quick vfs_write_gap;
+    Alcotest.test_case "vfs overwrite middle" `Quick vfs_overwrite_middle;
+    Alcotest.test_case "vfs read_at" `Quick vfs_read_at;
+    Alcotest.test_case "fd alloc/reuse" `Quick fd_alloc_reuse;
+    Alcotest.test_case "hello stdout" `Quick hello_stdout;
+    Alcotest.test_case "brk grows heap" `Quick brk_grows_heap;
+    Alcotest.test_case "heap out-of-bounds kills" `Quick heap_oob_kills;
+    Alcotest.test_case "stack demand paging" `Quick stack_demand_paging;
+    Alcotest.test_case "file roundtrip" `Quick file_roundtrip;
+    Alcotest.test_case "open missing ENOENT" `Quick open_missing_enoent;
+    Alcotest.test_case "device refused" `Quick device_refused;
+    Alcotest.test_case "socket refused" `Quick socket_refused;
+    Alcotest.test_case "unknown syscall ENOSYS" `Quick unknown_syscall_enosys;
+    Alcotest.test_case "stdin read" `Quick stdin_read;
+    Alcotest.test_case "lseek positions" `Quick lseek_positions;
+    Alcotest.test_case "os snapshot restores files" `Quick os_state_snapshot_restores_files;
+    Alcotest.test_case "unlink" `Quick unlink_file;
+    Alcotest.test_case "guess stops surface" `Quick guess_stops_surface ]

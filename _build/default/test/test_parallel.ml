@@ -1,0 +1,158 @@
+(* The parallel explorer: same answers as the sequential scheduler, real
+   makespan scaling, cross-worker isolation and sharing. *)
+
+module Parallel = Core.Parallel
+module Explorer = Core.Explorer
+module Abi = Os.Sys_abi
+module R = Isa.Reg
+module Wl_common = Workloads.Wl_common
+open Isa.Asm
+
+let check = Alcotest.check
+
+let config ?(workers = 4) ?(quantum = 2000) () =
+  { Parallel.default_config with Parallel.workers; quantum }
+
+let solutions (r : Parallel.result) =
+  List.sort compare
+    (List.filter (fun l -> l <> "") (String.split_on_char '\n' r.Parallel.transcript))
+
+let completed (r : Parallel.result) =
+  match r.Parallel.outcome with
+  | Explorer.Completed s -> s
+  | Explorer.Stopped_first_exit _ -> Alcotest.fail "unexpected first-exit"
+  | Explorer.Aborted m -> Alcotest.failf "aborted: %s" m
+
+let same_solutions_any_worker_count () =
+  let expected = List.sort compare (Workloads.Nqueens.host_boards 6) in
+  List.iter
+    (fun workers ->
+      let r = Parallel.run ~config:(config ~workers ()) (Workloads.Nqueens.program ~n:6) in
+      check Alcotest.int "completed" 0 (completed r);
+      check (Alcotest.list Alcotest.string)
+        (Printf.sprintf "solutions with %d workers" workers)
+        expected (solutions r))
+    [ 1; 2; 3; 8 ]
+
+let counting_tree_all_leaves () =
+  let r =
+    Parallel.run ~config:(config ~workers:4 ())
+      (Workloads.Counting.program ~depth:5 ~branch:3)
+  in
+  check Alcotest.int "completed" 0 (completed r);
+  check Alcotest.int "all leaves" 243 r.Parallel.stats.Core.Stats.fails;
+  check Alcotest.int "all guesses" 121 r.Parallel.stats.Core.Stats.guesses
+
+let makespan_shrinks_with_workers () =
+  let rounds workers =
+    let p =
+      { Workloads.Locality.depth = 4; branch = 2; touch_pages = 1; work = 500;
+        arena_pages = 4 }
+    in
+    let r =
+      Parallel.run ~config:(config ~workers ~quantum:1000 ())
+        (Workloads.Locality.program p)
+    in
+    check Alcotest.int "leaves" 16 r.Parallel.stats.Core.Stats.fails;
+    r.Parallel.rounds
+  in
+  let r1 = rounds 1 and r4 = rounds 4 in
+  check Alcotest.bool
+    (Printf.sprintf "4 workers at least 2x faster (%d vs %d rounds)" r1 r4)
+    true
+    (r4 * 2 <= r1)
+
+let total_work_is_worker_independent () =
+  let instructions workers =
+    let r =
+      Parallel.run ~config:(config ~workers ()) (Workloads.Counting.program ~depth:6 ~branch:2)
+    in
+    r.Parallel.instructions
+  in
+  check Alcotest.int "no duplicated exploration" (instructions 1) (instructions 5)
+
+let first_exit_mode () =
+  let image = Workloads.Subset_sum.program ~target:21 [ 1; 2; 4; 8; 16 ] in
+  let cfg = { (config ~workers:4 ()) with Parallel.mode = `First_exit } in
+  let r = Parallel.run ~config:cfg image in
+  match r.Parallel.outcome with
+  | Explorer.Stopped_first_exit 0 -> ()
+  | _ -> Alcotest.fail "expected first exit"
+
+let shared_counter_across_workers () =
+  (* every leaf of a 2^4 tree increments a shared page; with 4 workers the
+     increments come from different virtual CPUs but land in one frame *)
+  let image =
+    assemble ~entry:"main"
+      ([ label "main"; mov R.rdi (i 0) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_brk
+      @ [ mov R.r15 (r R.rax); mov R.rdi (r R.rax); add R.rdi (i 4096) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_brk
+      @ [ mov R.rdi (r R.r15); mov R.rsi (i 8) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_share
+      @ Wl_common.sys_guess_strategy ~strategy:Abi.strategy_dfs
+      @ [ cmp R.rax (i 0); je "after"; mov R.r12 (i 4) ]
+      @ [ label "step"; cmp R.r12 (i 0); jle "leaf" ]
+      @ Wl_common.sys_guess_imm ~n:2
+      @ [ dec R.r12; jmp "step"; label "leaf";
+          ld R.rcx (R.r15 @+ 0); inc R.rcx; st (R.r15 @+ 0) R.rcx ]
+      @ Wl_common.sys_guess_fail
+      @ [ label "after"; ld R.rdi (R.r15 @+ 0) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_exit)
+  in
+  let r = Parallel.run ~config:(config ~workers:4 ~quantum:500 ()) image in
+  check Alcotest.int "16 leaves counted across 4 workers" 16 (completed r)
+
+let isolation_between_workers () =
+  (* each path writes a distinct byte to its private data page then checks
+     it; corruption from a sibling worker would exit non-zero *)
+  let image =
+    assemble ~entry:"main"
+      ([ label "main" ]
+      @ Wl_common.sys_guess_strategy ~strategy:Abi.strategy_dfs
+      @ [ cmp R.rax (i 0); je "after" ]
+      @ Wl_common.sys_guess_imm ~n:8
+      @ [ mov R.rcx (r R.rax);
+          movl R.r8 "slot";
+          st (R.r8 @+ 0) R.rcx;
+          (* spin a little so siblings interleave *)
+          mov R.r10 (i 500);
+          label "spin";
+          dec R.r10;
+          jne "spin";
+          ld R.rdx (R.r8 @+ 0);
+          cmp R.rdx (r R.rcx);
+          jne "corrupt" ]
+      @ Wl_common.sys_guess_fail
+      @ [ label "corrupt" ]
+      @ Wl_common.sys_exit ~status:99
+      @ [ label "after" ]
+      @ Wl_common.sys_exit ~status:0
+      @ [ align 4096; label "slot"; zeros 8 ])
+  in
+  let r = Parallel.run ~config:(config ~workers:8 ~quantum:100 ()) image in
+  check Alcotest.int "no cross-worker corruption" 0 (completed r);
+  check Alcotest.int "no path saw corruption" 0 r.Parallel.stats.Core.Stats.exits
+
+let busy_rounds_reported () =
+  let r =
+    Parallel.run ~config:(config ~workers:3 ())
+      (Workloads.Counting.program ~depth:4 ~branch:2)
+  in
+  check Alcotest.int "per-worker rows" 3 (Array.length r.Parallel.busy_rounds);
+  Array.iter
+    (fun b -> check Alcotest.bool "bounded by makespan" true (b <= r.Parallel.rounds))
+    r.Parallel.busy_rounds
+
+let tests =
+  [ Alcotest.test_case "same solutions for any worker count" `Quick
+      same_solutions_any_worker_count;
+    Alcotest.test_case "counting tree all leaves" `Quick counting_tree_all_leaves;
+    Alcotest.test_case "makespan shrinks" `Quick makespan_shrinks_with_workers;
+    Alcotest.test_case "total work independent of workers" `Quick
+      total_work_is_worker_independent;
+    Alcotest.test_case "first exit mode" `Quick first_exit_mode;
+    Alcotest.test_case "shared counter across workers" `Quick
+      shared_counter_across_workers;
+    Alcotest.test_case "isolation between workers" `Quick isolation_between_workers;
+    Alcotest.test_case "busy rounds reported" `Quick busy_rounds_reported ]

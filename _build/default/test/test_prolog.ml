@@ -1,0 +1,321 @@
+(* The Prolog engine: unification, lists, arithmetic, control, n-queens. *)
+
+module T = Prolog.Term
+module M = Prolog.Machine
+open T
+
+let check = Alcotest.check
+
+let cl nvars head body = { M.nvars; head; body }
+
+let solve_all ?(extra = []) ~goal ~nvars () =
+  let db = M.db_of_clauses (Prolog.Samples.list_clauses @ extra) in
+  let solutions = ref [] in
+  let _ =
+    M.solve db ~goal ~nvars ~on_solution:(fun vars ->
+        solutions := Array.map T.to_string vars :: !solutions;
+        true)
+  in
+  List.rev !solutions
+
+let count_solutions ?(extra = []) ~goal ~nvars () =
+  List.length (solve_all ~extra ~goal ~nvars ())
+
+let append_forward () =
+  (* append([1,2], [3], X) *)
+  let goal = cc "append" [ clist [ ci 1; ci 2 ]; clist [ ci 3 ]; cv 0 ] in
+  check
+    (Alcotest.list (Alcotest.array Alcotest.string))
+    "append" [ [| "[1, 2, 3]" |] ]
+    (solve_all ~goal ~nvars:1 ())
+
+let append_backward () =
+  (* append(X, Y, [1,2,3]) has 4 splits *)
+  let goal = cc "append" [ cv 0; cv 1; clist [ ci 1; ci 2; ci 3 ] ] in
+  check Alcotest.int "4 splits" 4 (count_solutions ~goal ~nvars:2 ())
+
+let member_enumerates () =
+  let goal = cc "member" [ cv 0; clist [ ci 7; ci 8; ci 9 ] ] in
+  check
+    (Alcotest.list (Alcotest.array Alcotest.string))
+    "members in order"
+    [ [| "7" |]; [| "8" |]; [| "9" |] ]
+    (solve_all ~goal ~nvars:1 ())
+
+let select_removes () =
+  let goal = cc "select" [ ci 2; clist [ ci 1; ci 2; ci 3 ]; cv 0 ] in
+  check
+    (Alcotest.list (Alcotest.array Alcotest.string))
+    "selection" [ [| "[1, 3]" |] ]
+    (solve_all ~goal ~nvars:1 ())
+
+let numlist_builds () =
+  let goal = cc "numlist" [ ci 1; ci 5; cv 0 ] in
+  check
+    (Alcotest.list (Alcotest.array Alcotest.string))
+    "range" [ [| "[1, 2, 3, 4, 5]" |] ]
+    (solve_all ~goal ~nvars:1 ())
+
+let length_works () =
+  let goal = cc "length" [ clist [ ci 1; ci 1; ci 1 ]; cv 0 ] in
+  check
+    (Alcotest.list (Alcotest.array Alcotest.string))
+    "length" [ [| "3" |] ]
+    (solve_all ~goal ~nvars:1 ())
+
+let arithmetic_is () =
+  let goal =
+    cc "is" [ cv 0; cc "+" [ cc "*" [ ci 6; ci 7 ]; cc "mod" [ ci 10; ci 3 ] ] ]
+  in
+  check
+    (Alcotest.list (Alcotest.array Alcotest.string))
+    "6*7 + 10 mod 3" [ [| "43" |] ]
+    (solve_all ~goal ~nvars:1 ())
+
+let comparison_guards () =
+  check Alcotest.int "5 < 7 holds" 1
+    (count_solutions ~goal:(cc "<" [ ci 5; ci 7 ]) ~nvars:0 ());
+  check Alcotest.int "7 < 5 fails" 0
+    (count_solutions ~goal:(cc "<" [ ci 7; ci 5 ]) ~nvars:0 ());
+  check Alcotest.int "eval on both sides" 1
+    (count_solutions ~goal:(cc "=:=" [ cc "+" [ ci 2; ci 2 ]; ci 4 ]) ~nvars:0 ())
+
+let unification_occurs () =
+  (* X = f(Y), Y = 3 ==> X = f(3) *)
+  let goal =
+    cc ","
+      [ cc "=" [ cv 0; cc "f" [ cv 1 ] ]; cc "=" [ cv 1; ci 3 ] ]
+  in
+  check
+    (Alcotest.list (Alcotest.array Alcotest.string))
+    "structure sharing" [ [| "f(3)"; "3" |] ]
+    (solve_all ~goal ~nvars:2 ())
+
+let disjunction () =
+  let goal = cc ";" [ cc "=" [ cv 0; ci 1 ]; cc "=" [ cv 0; ci 2 ] ] in
+  check Alcotest.int "both branches" 2 (count_solutions ~goal ~nvars:1 ())
+
+let cut_prunes () =
+  (* p(1). p(2).  q(X) :- p(X), !.  q/1 must yield exactly one answer *)
+  let extra =
+    [ cl 0 (cc "p" [ ci 1 ]) [];
+      cl 0 (cc "p" [ ci 2 ]) [];
+      cl 1 (cc "q" [ cv 0 ]) [ cc "p" [ cv 0 ]; ca "!" ] ]
+  in
+  check Alcotest.int "cut commits" 1
+    (count_solutions ~extra ~goal:(cc "q" [ cv 0 ]) ~nvars:1 ());
+  check Alcotest.int "p itself has two" 2
+    (count_solutions ~extra ~goal:(cc "p" [ cv 0 ]) ~nvars:1 ())
+
+let cut_is_local_to_predicate () =
+  (* r :- q(_), fail.  r :- true.  The cut inside q must not cut r's
+     clauses. *)
+  let extra =
+    [ cl 0 (cc "p" [ ci 1 ]) [];
+      cl 1 (cc "q" [ cv 0 ]) [ cc "p" [ cv 0 ]; ca "!" ];
+      cl 1 (ca "r") [ cc "q" [ cv 0 ]; ca "fail" ];
+      cl 0 (ca "r") [ ca "true" ] ]
+  in
+  check Alcotest.int "second r clause reached" 1
+    (count_solutions ~extra ~goal:(ca "r") ~nvars:0 ())
+
+let negation_as_failure () =
+  let extra = [ cl 0 (cc "p" [ ci 1 ]) [] ] in
+  check Alcotest.int "\\+ p(2) holds" 1
+    (count_solutions ~extra ~goal:(cc "\\+" [ cc "p" [ ci 2 ] ]) ~nvars:0 ());
+  check Alcotest.int "\\+ p(1) fails" 0
+    (count_solutions ~extra ~goal:(cc "\\+" [ cc "p" [ ci 1 ] ]) ~nvars:0 ())
+
+let between_enumerates () =
+  check Alcotest.int "between 1 and 10" 10
+    (count_solutions ~goal:(cc "between" [ ci 1; ci 10; cv 0 ]) ~nvars:1 ());
+  check Alcotest.int "membership check" 1
+    (count_solutions ~goal:(cc "between" [ ci 1; ci 10; ci 5 ]) ~nvars:0 ());
+  check Alcotest.int "out of range" 0
+    (count_solutions ~goal:(cc "between" [ ci 1; ci 10; ci 50 ]) ~nvars:0 ())
+
+let var_nonvar () =
+  check Alcotest.int "var on fresh" 1
+    (count_solutions ~goal:(cc "var" [ cv 0 ]) ~nvars:1 ());
+  check Alcotest.int "nonvar on int" 1
+    (count_solutions ~goal:(cc "nonvar" [ ci 3 ]) ~nvars:0 ())
+
+let writeln_captures () =
+  let db = M.db_of_clauses Prolog.Samples.list_clauses in
+  let _ =
+    M.solve db
+      ~goal:(cc "," [ cc "writeln" [ ci 42 ]; cc "writeln" [ ca "done" ] ])
+      ~nvars:0
+      ~on_solution:(fun _ -> true)
+  in
+  check Alcotest.string "captured output" "42\ndone\n" (M.last_output ())
+
+let queens_counts () =
+  List.iter
+    (fun n ->
+      let count, _ = Prolog.Samples.count_queens n in
+      check Alcotest.int
+        (Printf.sprintf "queens %d" n)
+        (Workloads.Nqueens.expected_solutions n)
+        count)
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let queens_boards_match_guest () =
+  check
+    (Alcotest.list Alcotest.string)
+    "prolog and guest agree on the solution set"
+    (List.sort compare (Workloads.Nqueens.host_boards 6))
+    (List.sort compare (Prolog.Samples.solve_queens_boards 6))
+
+let solution_limit () =
+  let db = M.db_of_clauses Prolog.Samples.list_clauses in
+  let seen = ref 0 in
+  let _ =
+    M.solve db
+      ~goal:(cc "between" [ ci 1; ci 1000; cv 0 ])
+      ~nvars:1
+      ~on_solution:(fun _ ->
+        incr seen;
+        !seen < 5)
+  in
+  check Alcotest.int "stopped by on_solution" 5 !seen
+
+let choice_point_limit () =
+  let db = M.db_of_clauses Prolog.Samples.list_clauses in
+  let stats =
+    M.solve db ~limit:50
+      ~goal:(cc "between" [ ci 1; ci 100000; cv 0 ])
+      ~nvars:1
+      ~on_solution:(fun _ -> false)
+  in
+  ignore stats;
+  check Alcotest.bool "bounded" true (stats.M.choice_points <= 51)
+
+let trail_undoes_bindings () =
+  (* member(X, [1,2]) , X =:= 2: the first binding must be undone *)
+  let goal =
+    cc "," [ cc "member" [ cv 0; clist [ ci 1; ci 2 ] ]; cc "=:=" [ cv 0; ci 2 ] ]
+  in
+  check
+    (Alcotest.list (Alcotest.array Alcotest.string))
+    "backtracked into second member" [ [| "2" |] ]
+    (solve_all ~goal ~nvars:1 ())
+
+let findall_collects () =
+  let goal =
+    cc "findall"
+      [ cv 0; cc "member" [ cv 0; clist [ ci 3; ci 1; ci 2 ] ]; cv 1 ]
+  in
+  check
+    (Alcotest.list (Alcotest.array Alcotest.string))
+    "ordered collection"
+    [ [| "_G0"; "[3, 1, 2]" |] ]
+    (List.map
+       (fun arr -> [| "_G0"; arr.(1) |])
+       (solve_all ~goal ~nvars:2 ()))
+
+let findall_empty () =
+  let goal = cc "findall" [ cv 0; cc "member" [ cv 0; ca "[]" ]; cv 1 ] in
+  let sols = solve_all ~goal ~nvars:2 () in
+  check Alcotest.int "succeeds once" 1 (List.length sols);
+  check Alcotest.string "empty list" "[]" (List.hd sols).(1)
+
+let findall_does_not_leak_bindings () =
+  (* X stays unbound after findall over member(X, ...) *)
+  let goal =
+    cc ","
+      [ cc "findall" [ cv 0; cc "member" [ cv 0; clist [ ci 1 ] ]; cv 1 ];
+        cc "var" [ cv 0 ] ]
+  in
+  check Alcotest.int "X unbound afterwards" 1 (count_solutions ~goal ~nvars:2 ())
+
+let findall_with_template () =
+  (* findall(p(X), member(X, [1,2]), L) -> L = [p(1), p(2)] *)
+  let goal =
+    cc "findall"
+      [ cc "p" [ cv 0 ]; cc "member" [ cv 0; clist [ ci 1; ci 2 ] ]; cv 1 ]
+  in
+  let sols = solve_all ~goal ~nvars:2 () in
+  check Alcotest.string "templated" "[p(1), p(2)]" (List.hd sols).(1)
+
+let once_commits () =
+  let goal = cc "once" [ cc "member" [ cv 0; clist [ ci 9; ci 8 ] ] ] in
+  let sols = solve_all ~goal ~nvars:1 () in
+  check Alcotest.int "single solution" 1 (List.length sols);
+  check Alcotest.string "first kept" "9" (List.hd sols).(0)
+
+let once_fails_when_goal_fails () =
+  check Alcotest.int "once(fail) fails" 0
+    (count_solutions ~goal:(cc "once" [ ca "fail" ]) ~nvars:0 ())
+
+let first_arg_indexing_preserves_semantics () =
+  (* clauses with mixed first-arg principals: atoms, ints, compounds, vars *)
+  let extra =
+    [ cl 0 (cc "kind" [ ca "apple"; ca "fruit" ]) [];
+      cl 0 (cc "kind" [ ci 7; ca "number" ]) [];
+      cl 1 (cc "kind" [ cc "box" [ cv 0 ]; ca "container" ]) [];
+      cl 1 (cc "kind" [ cv 0; ca "anything" ]) [] ]
+  in
+  let answers goal =
+    List.map (fun arr -> arr.(0)) (solve_all ~extra ~goal ~nvars:1 ())
+  in
+  check (Alcotest.list Alcotest.string) "atom key"
+    [ "fruit"; "anything" ]
+    (answers (cc "kind" [ ca "apple"; cv 0 ]));
+  check (Alcotest.list Alcotest.string) "int key"
+    [ "number"; "anything" ]
+    (answers (cc "kind" [ ci 7; cv 0 ]));
+  check (Alcotest.list Alcotest.string) "compound key"
+    [ "container"; "anything" ]
+    (answers (cc "kind" [ cc "box" [ ci 1 ]; cv 0 ]));
+  check (Alcotest.list Alcotest.string) "no match falls to var clause"
+    [ "anything" ]
+    (answers (cc "kind" [ ca "rock"; cv 0 ]));
+  (* unbound first argument must still try every clause *)
+  check Alcotest.int "unbound key tries all" 4
+    (count_solutions ~extra ~goal:(cc "kind" [ cv 0; cv 1 ]) ~nvars:2 ())
+
+let indexing_reduces_choice_points () =
+  let extra =
+    List.init 50 (fun k -> cl 0 (cc "big" [ ci k; ci (k * k) ]) [])
+  in
+  let db = M.db_of_clauses extra in
+  let stats =
+    M.solve db ~goal:(cc "big" [ ci 49; cv 0 ]) ~nvars:1
+      ~on_solution:(fun _ -> true)
+  in
+  check Alcotest.bool "skipped incompatible clauses" true
+    (stats.M.choice_points <= 2)
+
+let tests =
+  [ Alcotest.test_case "append forward" `Quick append_forward;
+    Alcotest.test_case "append backward" `Quick append_backward;
+    Alcotest.test_case "member enumerates" `Quick member_enumerates;
+    Alcotest.test_case "select removes" `Quick select_removes;
+    Alcotest.test_case "numlist" `Quick numlist_builds;
+    Alcotest.test_case "length" `Quick length_works;
+    Alcotest.test_case "arithmetic is/2" `Quick arithmetic_is;
+    Alcotest.test_case "comparisons" `Quick comparison_guards;
+    Alcotest.test_case "unification sharing" `Quick unification_occurs;
+    Alcotest.test_case "disjunction" `Quick disjunction;
+    Alcotest.test_case "cut prunes" `Quick cut_prunes;
+    Alcotest.test_case "cut is predicate-local" `Quick cut_is_local_to_predicate;
+    Alcotest.test_case "negation as failure" `Quick negation_as_failure;
+    Alcotest.test_case "between" `Quick between_enumerates;
+    Alcotest.test_case "var/nonvar" `Quick var_nonvar;
+    Alcotest.test_case "writeln captures" `Quick writeln_captures;
+    Alcotest.test_case "queens counts" `Quick queens_counts;
+    Alcotest.test_case "queens boards match guest" `Quick queens_boards_match_guest;
+    Alcotest.test_case "solution limit" `Quick solution_limit;
+    Alcotest.test_case "choice point limit" `Quick choice_point_limit;
+    Alcotest.test_case "trail undoes bindings" `Quick trail_undoes_bindings;
+    Alcotest.test_case "findall collects" `Quick findall_collects;
+    Alcotest.test_case "findall empty" `Quick findall_empty;
+    Alcotest.test_case "findall does not leak" `Quick findall_does_not_leak_bindings;
+    Alcotest.test_case "findall template" `Quick findall_with_template;
+    Alcotest.test_case "once commits" `Quick once_commits;
+    Alcotest.test_case "once fails" `Quick once_fails_when_goal_fails;
+    Alcotest.test_case "first-arg indexing semantics" `Quick
+      first_arg_indexing_preserves_semantics;
+    Alcotest.test_case "indexing reduces choice points" `Quick
+      indexing_reduces_choice_points ]

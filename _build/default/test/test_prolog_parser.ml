@@ -1,0 +1,134 @@
+(* The Prolog reader: lexing, operator precedence, clauses, queries. *)
+
+module P = Prolog.Parser
+module M = Prolog.Machine
+module T = Prolog.Term
+
+let check = Alcotest.check
+
+let solve_strings ?(program = "") query =
+  let db =
+    M.db_of_clauses (Prolog.Samples.list_clauses @ P.parse_program program)
+  in
+  let out = ref [] in
+  let _ =
+    P.run_query db (P.parse_query query) ~on_solution:(fun bindings ->
+        out :=
+          String.concat " "
+            (List.map (fun (name, t) -> name ^ "=" ^ T.to_string t) bindings)
+          :: !out;
+        true)
+  in
+  List.rev !out
+
+let facts_and_rules () =
+  let program = "parent(tom, bob). parent(bob, ann).\n\
+                 grandparent(X, Z) :- parent(X, Y), parent(Y, Z)." in
+  check (Alcotest.list Alcotest.string) "grandparent" [ "X=tom Z=ann" ]
+    (solve_strings ~program "grandparent(X, Z)")
+
+let lists_parse () =
+  check (Alcotest.list Alcotest.string) "append"
+    [ "X=[1, 2, 3, 4]" ]
+    (solve_strings "append([1, 2], [3, 4], X)");
+  check (Alcotest.list Alcotest.string) "pipe tail"
+    [ "H=1 T=[2, 3]" ]
+    (solve_strings "[H | T] = [1, 2, 3]");
+  check (Alcotest.list Alcotest.string) "empty list" [ "X=[]" ]
+    (solve_strings "X = []")
+
+let arithmetic_precedence () =
+  (* 2 + 3 * 4 - 1 = 13 under standard precedences *)
+  check (Alcotest.list Alcotest.string) "precedence" [ "X=13" ]
+    (solve_strings "X is 2 + 3 * 4 - 1");
+  check (Alcotest.list Alcotest.string) "left assoc" [ "X=1" ]
+    (solve_strings "X is 10 - 6 - 3");
+  check (Alcotest.list Alcotest.string) "parens" [ "X=28" ]
+    (solve_strings "X is (2 + 5) * 4");
+  check (Alcotest.list Alcotest.string) "negative literal" [ "X=-3" ]
+    (solve_strings "X is -3");
+  check (Alcotest.list Alcotest.string) "mod and div" [ "X=3 Y=2" ]
+    (solve_strings "X is 7 mod 4, Y is 7 // 3")
+
+let comparison_operators () =
+  check Alcotest.int "=< passes" 1 (List.length (solve_strings "3 =< 3"));
+  check Alcotest.int "=\\= passes" 1 (List.length (solve_strings "3 =\\= 4"));
+  check Alcotest.int "< fails" 0 (List.length (solve_strings "5 < 4"))
+
+let cut_and_negation () =
+  let program = "first(X, [X | _]) :- !.\nfirst(X, [_ | T]) :- first(X, T)." in
+  check (Alcotest.list Alcotest.string) "cut commits" [ "X=a" ]
+    (solve_strings ~program "first(X, [a, b, c])");
+  check Alcotest.int "negation holds" 1
+    (List.length (solve_strings "\\+ member(5, [1, 2, 3])"));
+  check Alcotest.int "negation fails" 0
+    (List.length (solve_strings "\\+ member(2, [1, 2, 3])"))
+
+let disjunction_parses () =
+  check Alcotest.int "both branches" 2
+    (List.length (solve_strings "(X = 1 ; X = 2)"))
+
+let quoted_atoms_and_comments () =
+  let program = "likes('Bob Smith', cheese). % a comment\n" in
+  check (Alcotest.list Alcotest.string) "quoted atom" [ "W=cheese" ]
+    (solve_strings ~program "likes('Bob Smith', W)")
+
+let underscore_is_fresh () =
+  (* each _ is a distinct variable: both must match *)
+  let program = "pair(1, 2)." in
+  check Alcotest.int "wildcards" 1
+    (List.length (solve_strings ~program "pair(_, _)"))
+
+let queens_from_source () =
+  let program =
+    {|
+queens(N, Qs) :- numlist(1, N, Ns), place(Ns, [], Qs).
+place([], Qs, Qs).
+place(Unplaced, Safe, Qs) :-
+    select(Q, Unplaced, Rest),
+    no_attack(Safe, Q, 1),
+    place(Rest, [Q | Safe], Qs).
+no_attack([], _, _).
+no_attack([Y | Ys], Q, D) :-
+    Q =\= Y + D, Q =\= Y - D, D1 is D + 1, no_attack(Ys, Q, D1).
+|}
+  in
+  let count = List.length (solve_strings ~program "queens(6, Qs)") in
+  check Alcotest.int "parsed queens agrees" (Workloads.Nqueens.expected_solutions 6) count
+
+let error_positions () =
+  let expect_error ~line text =
+    match P.parse_program text with
+    | _ -> Alcotest.failf "expected error for %S" text
+    | exception P.Error { line = reported; _ } ->
+      check Alcotest.int (Printf.sprintf "line of %S" text) line reported
+  in
+  expect_error ~line:1 "foo(X";
+  expect_error ~line:2 "ok(1).\nbad(X) :- ]";
+  expect_error ~line:1 "'unterminated";
+  expect_error ~line:1 "foo(X) :- $bad."
+
+let clause_missing_dot () =
+  match P.parse_program "a(1)" with
+  | _ -> Alcotest.fail "expected error"
+  | exception P.Error _ -> ()
+
+let var_names_reported () =
+  let q = P.parse_query "append(Xs, Ys, [1])" in
+  check (Alcotest.list Alcotest.string) "names"
+    [ "Xs"; "Ys" ]
+    (List.sort compare (List.map snd q.P.var_names))
+
+let tests =
+  [ Alcotest.test_case "facts and rules" `Quick facts_and_rules;
+    Alcotest.test_case "lists" `Quick lists_parse;
+    Alcotest.test_case "arithmetic precedence" `Quick arithmetic_precedence;
+    Alcotest.test_case "comparisons" `Quick comparison_operators;
+    Alcotest.test_case "cut and negation" `Quick cut_and_negation;
+    Alcotest.test_case "disjunction" `Quick disjunction_parses;
+    Alcotest.test_case "quoted atoms and comments" `Quick quoted_atoms_and_comments;
+    Alcotest.test_case "underscore fresh" `Quick underscore_is_fresh;
+    Alcotest.test_case "queens from source" `Quick queens_from_source;
+    Alcotest.test_case "error positions" `Quick error_positions;
+    Alcotest.test_case "missing dot" `Quick clause_missing_dot;
+    Alcotest.test_case "query var names" `Quick var_names_reported ]

@@ -1,0 +1,193 @@
+(* The CDCL solver: correctness against brute force, learning behaviour,
+   incrementality. *)
+
+module S = Sat.Solver
+module Brute = Sat.Brute
+module Cnf = Workloads.Cnf_gen
+
+let check = Alcotest.check
+let qtest ?(count = 300) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let outcome_testable =
+  Alcotest.testable
+    (fun fmt -> function
+      | S.Sat -> Format.pp_print_string fmt "sat"
+      | S.Unsat -> Format.pp_print_string fmt "unsat"
+      | S.Unknown -> Format.pp_print_string fmt "unknown")
+    ( = )
+
+let solve_clauses clauses =
+  let s = S.create () in
+  S.add_cnf s clauses;
+  S.solve s
+
+let model_satisfies s clauses =
+  let value v = Option.value (S.value s v) ~default:false in
+  List.for_all (List.exists (fun l -> if l > 0 then value l else not (value (-l)))) clauses
+
+let empty_problem_sat () =
+  check outcome_testable "no clauses" S.Sat (solve_clauses [])
+
+let empty_clause_unsat () =
+  check outcome_testable "empty clause" S.Unsat (solve_clauses [ [] ])
+
+let unit_propagation_chain () =
+  let s = S.create () in
+  S.add_cnf s [ [ 1 ]; [ -1; 2 ]; [ -2; 3 ]; [ -3; 4 ] ];
+  check outcome_testable "sat" S.Sat (S.solve s);
+  List.iter
+    (fun v -> check (Alcotest.option Alcotest.bool) "forced true" (Some true) (S.value s v))
+    [ 1; 2; 3; 4 ];
+  check Alcotest.int "no decisions needed" 0 (S.stats s).S.decisions
+
+let contradictory_units () =
+  check outcome_testable "x and not x" S.Unsat (solve_clauses [ [ 5 ]; [ -5 ] ])
+
+let tautologies_ignored () =
+  let s = S.create () in
+  S.add_clause s [ 1; -1 ];
+  S.add_clause s [ 2 ];
+  check outcome_testable "sat" S.Sat (S.solve s);
+  check (Alcotest.option Alcotest.bool) "2 true" (Some true) (S.value s 2)
+
+let duplicate_literals () =
+  let s = S.create () in
+  S.add_clause s [ 3; 3; 3 ];
+  check outcome_testable "sat" S.Sat (S.solve s);
+  check (Alcotest.option Alcotest.bool) "forced" (Some true) (S.value s 3)
+
+let pigeonhole_unsat () =
+  List.iter
+    (fun holes ->
+      let cnf = Cnf.pigeonhole ~holes in
+      check outcome_testable
+        (Printf.sprintf "php(%d,%d)" (holes + 1) holes)
+        S.Unsat (solve_clauses cnf.Cnf.clauses))
+    [ 2; 3; 4; 5 ]
+
+let php_learns_clauses () =
+  let cnf = Cnf.pigeonhole ~holes:5 in
+  let s = S.create () in
+  S.add_cnf s cnf.Cnf.clauses;
+  ignore (S.solve s);
+  check Alcotest.bool "learning happened" true ((S.stats s).S.learned > 10);
+  check Alcotest.bool "conflicts counted" true ((S.stats s).S.conflicts > 10)
+
+let planted_always_sat () =
+  for seed = 1 to 20 do
+    let cnf = Cnf.planted ~num_vars:60 ~num_clauses:240 ~seed in
+    let s = S.create () in
+    S.add_cnf s cnf.Cnf.clauses;
+    check outcome_testable "planted sat" S.Sat (S.solve s);
+    check Alcotest.bool "model valid" true (model_satisfies s cnf.Cnf.clauses)
+  done
+
+let agrees_with_brute_force =
+  qtest ~count:250 "CDCL agrees with brute force on random 3-SAT"
+    QCheck2.Gen.(pair (int_range 1 100000) (int_range 10 45))
+    (fun (seed, num_clauses) ->
+      let cnf = Cnf.random_3sat ~num_vars:9 ~num_clauses ~seed in
+      let s = S.create () in
+      S.add_cnf s cnf.Cnf.clauses;
+      match S.solve s with
+      | S.Sat -> model_satisfies s cnf.Cnf.clauses
+      | S.Unsat -> not (Brute.satisfiable ~num_vars:9 cnf.Cnf.clauses)
+      | S.Unknown -> false)
+
+let assumptions_restrict () =
+  let s = S.create () in
+  S.add_cnf s [ [ 1; 2 ] ];
+  check outcome_testable "sat alone" S.Sat (S.solve s);
+  check outcome_testable "sat under -1" S.Sat (S.solve ~assumptions:[ -1 ] s);
+  check (Alcotest.option Alcotest.bool) "2 forced" (Some true) (S.value s 2);
+  check outcome_testable "unsat under both negated" S.Unsat
+    (S.solve ~assumptions:[ -1; -2 ] s);
+  (* assumptions are not permanent *)
+  check outcome_testable "sat again" S.Sat (S.solve s)
+
+let push_pop_frames () =
+  let s = S.create () in
+  S.add_cnf s [ [ 1; 2 ]; [ -1; 2 ] ];
+  check outcome_testable "base sat" S.Sat (S.solve s);
+  S.push s;
+  S.add_clause s [ -2 ];
+  check Alcotest.int "one frame" 1 (S.frames s);
+  check outcome_testable "frame makes it unsat" S.Unsat (S.solve s);
+  S.pop s;
+  check Alcotest.int "no frames" 0 (S.frames s);
+  check outcome_testable "pop restores sat" S.Sat (S.solve s)
+
+let nested_push_pop () =
+  let s = S.create () in
+  S.add_clause s [ 1; 2; 3 ];
+  S.push s;
+  S.add_clause s [ -1 ];
+  S.push s;
+  S.add_clause s [ -2 ];
+  S.push s;
+  S.add_clause s [ -3 ];
+  check outcome_testable "deep unsat" S.Unsat (S.solve s);
+  S.pop s;
+  check outcome_testable "level 2 sat" S.Sat (S.solve s);
+  check (Alcotest.option Alcotest.bool) "3 forced" (Some true) (S.value s 3);
+  S.pop s;
+  S.pop s;
+  check outcome_testable "base sat" S.Sat (S.solve s)
+
+let pop_without_push () =
+  let s = S.create () in
+  Alcotest.check_raises "no frame" (Invalid_argument "Sat.Solver.pop: no open frame")
+    (fun () -> S.pop s)
+
+let incremental_matches_scratch =
+  qtest ~count:100 "push+solve equals from-scratch solve"
+    QCheck2.Gen.(pair (int_range 1 100000) (int_range 1 100000))
+    (fun (seed_p, seed_q) ->
+      let p = Cnf.random_3sat ~num_vars:8 ~num_clauses:20 ~seed:seed_p in
+      let q = Cnf.random_3sat ~num_vars:8 ~num_clauses:8 ~seed:seed_q in
+      let incremental =
+        let s = S.create () in
+        S.add_cnf s p.Cnf.clauses;
+        ignore (S.solve s);
+        S.push s;
+        S.add_cnf s q.Cnf.clauses;
+        S.solve s
+      in
+      let scratch = solve_clauses (p.Cnf.clauses @ q.Cnf.clauses) in
+      incremental = scratch)
+
+let model_excludes_guards () =
+  let s = S.create () in
+  S.add_clause s [ 1 ];
+  S.push s;
+  S.add_clause s [ 2 ];
+  check outcome_testable "sat" S.Sat (S.solve s);
+  let vars = List.map fst (S.model s) in
+  check Alcotest.bool "only user variables" true
+    (List.for_all (fun v -> v = 1 || v = 2) vars)
+
+let conflict_budget () =
+  let cnf = Cnf.pigeonhole ~holes:7 in
+  let s = S.create () in
+  S.add_cnf s cnf.Cnf.clauses;
+  check outcome_testable "budget exhausted" S.Unknown (S.solve ~max_conflicts:5 s)
+
+let tests =
+  [ Alcotest.test_case "empty problem" `Quick empty_problem_sat;
+    Alcotest.test_case "empty clause" `Quick empty_clause_unsat;
+    Alcotest.test_case "unit propagation chain" `Quick unit_propagation_chain;
+    Alcotest.test_case "contradictory units" `Quick contradictory_units;
+    Alcotest.test_case "tautologies ignored" `Quick tautologies_ignored;
+    Alcotest.test_case "duplicate literals" `Quick duplicate_literals;
+    Alcotest.test_case "pigeonhole unsat" `Quick pigeonhole_unsat;
+    Alcotest.test_case "php learns clauses" `Quick php_learns_clauses;
+    Alcotest.test_case "planted instances sat" `Quick planted_always_sat;
+    agrees_with_brute_force;
+    Alcotest.test_case "assumptions" `Quick assumptions_restrict;
+    Alcotest.test_case "push/pop frames" `Quick push_pop_frames;
+    Alcotest.test_case "nested push/pop" `Quick nested_push_pop;
+    Alcotest.test_case "pop without push" `Quick pop_without_push;
+    incremental_matches_scratch;
+    Alcotest.test_case "model excludes guards" `Quick model_excludes_guards;
+    Alcotest.test_case "conflict budget" `Quick conflict_budget ]

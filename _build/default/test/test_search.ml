@@ -1,0 +1,121 @@
+(* Search-strategy frontiers: scheduling orders, bounds, eviction. *)
+
+module F = Search.Frontier
+
+let check = Alcotest.check
+
+let meta ?(depth = 0) ?(hint = 0) () = { F.depth; hint }
+
+let push_all f entries = f.F.push_batch entries
+
+let drain f =
+  let rec go acc =
+    match f.F.pop () with None -> List.rev acc | Some x -> go (x :: acc)
+  in
+  go []
+
+let dfs_explores_first_extension_first () =
+  let f = F.dfs () in
+  push_all f [ meta (), "a0"; meta (), "a1"; meta (), "a2" ];
+  check (Alcotest.option Alcotest.string) "extension 0 first" (Some "a0") (f.F.pop ());
+  (* children pushed during a0 are explored before a1 *)
+  push_all f [ meta ~depth:1 (), "b0"; meta ~depth:1 (), "b1" ];
+  check (Alcotest.list Alcotest.string) "depth first order" [ "b0"; "b1"; "a1"; "a2" ]
+    (drain f)
+
+let bfs_is_fifo () =
+  let f = F.bfs () in
+  push_all f [ meta (), "a0"; meta (), "a1" ];
+  check (Alcotest.option Alcotest.string) "first in" (Some "a0") (f.F.pop ());
+  push_all f [ meta ~depth:1 (), "b0" ];
+  check (Alcotest.list Alcotest.string) "level order" [ "a1"; "b0" ] (drain f)
+
+let astar_orders_by_f () =
+  let f = F.astar () in
+  push_all f
+    [ meta ~depth:5 ~hint:10 (), "f15";
+      meta ~depth:1 ~hint:2 (), "f3";
+      meta ~depth:2 ~hint:2 (), "f4";
+      meta ~depth:0 ~hint:3 (), "f3b" ];
+  check (Alcotest.list Alcotest.string) "ascending f, FIFO ties"
+    [ "f3"; "f3b"; "f4"; "f15" ] (drain f)
+
+let sma_bounds_memory () =
+  let f = F.sma ~capacity:3 () in
+  push_all f
+    (List.init 10 (fun k -> meta ~depth:0 ~hint:k (), Printf.sprintf "h%d" k));
+  check Alcotest.bool "bounded" true (f.F.length () <= 3);
+  let evicted = f.F.evicted () in
+  check Alcotest.int "evictions reported" 7 (List.length evicted);
+  check (Alcotest.list Alcotest.string) "evictions drained" [] (f.F.evicted ());
+  (* the best survive *)
+  check (Alcotest.list Alcotest.string) "best kept" [ "h0"; "h1"; "h2" ] (drain f)
+
+let random_is_seed_deterministic () =
+  let mk seed =
+    let f = F.random ~seed () in
+    push_all f (List.init 20 (fun k -> meta (), k));
+    drain f
+  in
+  check (Alcotest.list Alcotest.int) "same seed same order" (mk 5) (mk 5);
+  check Alcotest.bool "different seed differs" true (mk 5 <> mk 6)
+
+let random_is_permutation () =
+  let f = F.random ~seed:11 () in
+  push_all f (List.init 50 (fun k -> meta (), k));
+  check (Alcotest.list Alcotest.int) "permutation" (List.init 50 Fun.id)
+    (List.sort compare (drain f))
+
+let best_first_custom_score () =
+  let f = F.best_first ~name:"depth-desc" ~score:(fun m -> -.Float.of_int m.F.depth) () in
+  push_all f [ meta ~depth:1 (), "d1"; meta ~depth:9 (), "d9"; meta ~depth:4 (), "d4" ];
+  check (Alcotest.list Alcotest.string) "deepest first" [ "d9"; "d4"; "d1" ] (drain f)
+
+let wastar_greediness () =
+  (* weight 0 = uniform-cost (depth only); large weight = greedy on hint *)
+  let f = F.wastar ~weight:10.0 () in
+  push_all f
+    [ meta ~depth:9 ~hint:0 (), "deep-close"; meta ~depth:0 ~hint:5 (), "shallow-far" ];
+  check (Alcotest.option Alcotest.string) "greedy prefers small hint"
+    (Some "deep-close") (f.F.pop ());
+  let f0 = F.wastar ~weight:0.0 () in
+  push_all f0
+    [ meta ~depth:9 ~hint:0 (), "deep"; meta ~depth:0 ~hint:5 (), "shallow" ];
+  check (Alcotest.option Alcotest.string) "weight 0 prefers shallow"
+    (Some "shallow") (f0.F.pop ())
+
+let beam_keeps_best_hints () =
+  let f = F.beam ~width:2 () in
+  push_all f
+    (List.map (fun h -> meta ~hint:h (), Printf.sprintf "h%d" h) [ 5; 1; 9; 3 ]);
+  check Alcotest.int "bounded" 2 (f.F.length ());
+  check Alcotest.int "evicted two" 2 (List.length (f.F.evicted ()));
+  check (Alcotest.list Alcotest.string) "best hints kept" [ "h1"; "h3" ] (drain f)
+
+let dfs_bounded_refuses_deep () =
+  let f = F.dfs_bounded ~max_depth:2 () in
+  push_all f
+    [ meta ~depth:1 (), "d1"; meta ~depth:2 (), "d2"; meta ~depth:3 (), "d3" ];
+  check (Alcotest.list Alcotest.string) "deep refused" [ "d3" ]
+    (f.F.evicted ());
+  check (Alcotest.list Alcotest.string) "shallow kept in order" [ "d1"; "d2" ] (drain f)
+
+let empty_pops_none () =
+  List.iter
+    (fun f ->
+      check Alcotest.bool (f.F.name ^ " empty") true (f.F.pop () = None);
+      check Alcotest.int (f.F.name ^ " length") 0 (f.F.length ()))
+    [ F.dfs (); F.bfs (); F.astar (); F.sma ~capacity:4 (); F.random ~seed:1 () ]
+
+let tests =
+  [ Alcotest.test_case "dfs order" `Quick dfs_explores_first_extension_first;
+    Alcotest.test_case "bfs fifo" `Quick bfs_is_fifo;
+    Alcotest.test_case "astar orders by depth+hint" `Quick astar_orders_by_f;
+    Alcotest.test_case "sma bounds memory" `Quick sma_bounds_memory;
+    Alcotest.test_case "random deterministic by seed" `Quick random_is_seed_deterministic;
+    Alcotest.test_case "random is a permutation" `Quick random_is_permutation;
+    Alcotest.test_case "custom best-first" `Quick best_first_custom_score;
+    Alcotest.test_case "weighted A*" `Quick wastar_greediness;
+    Alcotest.test_case "beam search" `Quick beam_keeps_best_hints;
+    Alcotest.test_case "bounded dfs" `Quick dfs_bounded_refuses_deep;
+    Alcotest.test_case "empty frontiers" `Quick empty_pops_none ]

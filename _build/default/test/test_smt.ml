@@ -1,0 +1,199 @@
+(* Difference logic and the lazy DPLL(T) loop. *)
+
+module Dl = Smt.Dl
+module F = Smt.Formula
+module SS = Smt.Smt_solver
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let outcome_name = function
+  | SS.Sat _ -> "sat"
+  | SS.Unsat -> "unsat"
+  | SS.Unknown -> "unknown"
+
+let solve_formula f =
+  let t = SS.create () in
+  SS.assert_formula t f;
+  SS.solve t
+
+(* {1 Dl} *)
+
+let dl_consistent_model () =
+  (* x1 - x2 <= -1 (x1 < x2), x2 - x3 <= 0 *)
+  let cs =
+    [ { Dl.x = 1; y = 2; c = -1; tag = 1 }; { Dl.x = 2; y = 3; c = 0; tag = 2 } ]
+  in
+  match Dl.check ~num_vars:3 cs with
+  | Dl.Consistent m ->
+    check Alcotest.bool "x1 < x2" true (m.(1) < m.(2));
+    check Alcotest.bool "x2 <= x3" true (m.(2) <= m.(3));
+    check Alcotest.int "zero fixed" 0 m.(0)
+  | Dl.Conflict _ -> Alcotest.fail "should be consistent"
+
+let dl_negative_cycle () =
+  (* x < y, y < z, z < x *)
+  let cs =
+    [ { Dl.x = 1; y = 2; c = -1; tag = 10 };
+      { Dl.x = 2; y = 3; c = -1; tag = 20 };
+      { Dl.x = 3; y = 1; c = -1; tag = 30 } ]
+  in
+  match Dl.check ~num_vars:3 cs with
+  | Dl.Conflict tags ->
+    check (Alcotest.list Alcotest.int) "whole cycle" [ 10; 20; 30 ]
+      (List.sort compare tags)
+  | Dl.Consistent _ -> Alcotest.fail "should conflict"
+
+let dl_zero_cycle_ok () =
+  (* x <= y and y <= x: consistent (zero-weight cycle) *)
+  let cs =
+    [ { Dl.x = 1; y = 2; c = 0; tag = 1 }; { Dl.x = 2; y = 1; c = 0; tag = 2 } ]
+  in
+  match Dl.check ~num_vars:2 cs with
+  | Dl.Consistent m -> check Alcotest.int "equal" m.(1) m.(2)
+  | Dl.Conflict _ -> Alcotest.fail "zero cycle is fine"
+
+let dl_empty () =
+  match Dl.check ~num_vars:4 [] with
+  | Dl.Consistent _ -> ()
+  | Dl.Conflict _ -> Alcotest.fail "empty must be consistent"
+
+let dl_models_satisfy =
+  qtest ~count:300 "Bellman-Ford models satisfy every constraint"
+    QCheck2.Gen.(
+      list_size (int_range 1 20)
+        (triple (int_range 0 5) (int_range 0 5) (int_range (-8) 8)))
+    (fun triples ->
+      let cs = List.mapi (fun tag (x, y, c) -> { Dl.x; y; c; tag }) triples in
+      match Dl.check ~num_vars:5 cs with
+      | Dl.Consistent m -> List.for_all (fun e -> m.(e.Dl.x) - m.(e.Dl.y) <= e.Dl.c) cs
+      | Dl.Conflict tags ->
+        (* the reported core must itself be inconsistent *)
+        let core = List.filter (fun e -> List.mem e.Dl.tag tags) cs in
+        (match Dl.check ~num_vars:5 core with
+        | Dl.Conflict _ -> true
+        | Dl.Consistent _ -> false))
+
+(* {1 Formula / solver} *)
+
+let basic_sat_model () =
+  let f = F.And [ F.lt 1 2; F.leq 2 3; F.eq_const 1 10; F.le_const 3 20 ] in
+  match solve_formula f with
+  | SS.Sat m ->
+    check Alcotest.int "x1 pinned" 10 (m 1);
+    check Alcotest.bool "ordering" true (m 1 < m 2 && m 2 <= m 3 && m 3 <= 20)
+  | other -> Alcotest.failf "expected sat, got %s" (outcome_name other)
+
+let cycle_unsat () =
+  check Alcotest.string "lt cycle" "unsat"
+    (outcome_name (solve_formula (F.And [ F.lt 1 2; F.lt 2 3; F.lt 3 1 ])))
+
+let disjunction_needs_theory_rounds () =
+  let t = SS.create () in
+  SS.assert_formula t (F.And [ F.Or [ F.lt 1 2; F.lt 2 1 ]; F.eq 1 2 ]);
+  check Alcotest.string "unsat" "unsat" (outcome_name (SS.solve t));
+  check Alcotest.bool "took refinement rounds" true (SS.theory_rounds t >= 1)
+
+let boolean_structure () =
+  (* (a -> b) && a && !b is unsat, where a,b are atoms *)
+  let a = F.lt 1 2 and b = F.lt 3 4 in
+  check Alcotest.string "implication chain" "unsat"
+    (outcome_name (solve_formula (F.And [ F.Imp (a, b); a; F.Not b ])));
+  check Alcotest.string "iff" "sat"
+    (outcome_name (solve_formula (F.Iff (a, b))))
+
+let neq_works () =
+  check Alcotest.string "x != x" "unsat" (outcome_name (solve_formula (F.neq 1 1)));
+  match solve_formula (F.And [ F.neq 1 2; F.eq_const 1 5 ]) with
+  | SS.Sat m -> check Alcotest.bool "differs" true (m 1 <> m 2)
+  | other -> Alcotest.failf "expected sat, got %s" (outcome_name other)
+
+let push_pop_incremental () =
+  let t = SS.create () in
+  SS.assert_formula t (F.And [ F.lt 1 2; F.lt 2 3 ]);
+  check Alcotest.string "base" "sat" (outcome_name (SS.solve t));
+  SS.push t;
+  SS.assert_formula t (F.lt 3 1);
+  check Alcotest.string "pushed" "unsat" (outcome_name (SS.solve t));
+  SS.pop t;
+  check Alcotest.string "popped" "sat" (outcome_name (SS.solve t))
+
+let true_false_literals () =
+  check Alcotest.string "true" "sat" (outcome_name (solve_formula F.True));
+  check Alcotest.string "false" "unsat" (outcome_name (solve_formula F.False));
+  check Alcotest.string "not false" "sat" (outcome_name (solve_formula (F.Not F.False)))
+
+(* random small formulas cross-checked against brute-force enumeration of
+   integer assignments in a small box *)
+let random_formula_gen =
+  let open QCheck2.Gen in
+  let atom = map3 (fun x y c -> F.Atom { x; y; c }) (int_range 0 3) (int_range 0 3)
+      (int_range (-4) 4)
+  in
+  let rec fgen depth =
+    if depth = 0 then atom
+    else
+      oneof
+        [ atom;
+          map (fun f -> F.Not f) (fgen (depth - 1));
+          map2 (fun a b -> F.And [ a; b ]) (fgen (depth - 1)) (fgen (depth - 1));
+          map2 (fun a b -> F.Or [ a; b ]) (fgen (depth - 1)) (fgen (depth - 1)) ]
+  in
+  fgen 3
+
+let rec eval_formula env = function
+  | F.True -> true
+  | F.False -> false
+  | F.Atom { x; y; c } -> env.(x) - env.(y) <= c
+  | F.Not f -> not (eval_formula env f)
+  | F.And fs -> List.for_all (eval_formula env) fs
+  | F.Or fs -> List.exists (eval_formula env) fs
+  | F.Imp (a, b) -> (not (eval_formula env a)) || eval_formula env b
+  | F.Iff (a, b) -> eval_formula env a = eval_formula env b
+
+let brute_sat f =
+  (* vars 0..3, but variable 0 is the zero constant; difference logic is
+     shift-invariant and path lengths are bounded by 3 vars x |c| <= 4, so
+     searching offsets in [-15,15] for vars 1..3 with env.(0) = 0 is
+     exhaustive for these formulas *)
+  let env = Array.make 4 0 in
+  let found = ref false in
+  for a = -15 to 15 do
+    for b = -15 to 15 do
+      for c = -15 to 15 do
+        if not !found then begin
+          env.(1) <- a;
+          env.(2) <- b;
+          env.(3) <- c;
+          if eval_formula env f then found := true
+        end
+      done
+    done
+  done;
+  !found
+
+let agrees_with_brute =
+  qtest ~count:150 "DPLL(T) agrees with bounded brute force" random_formula_gen
+    (fun f ->
+      match solve_formula f with
+      | SS.Sat m ->
+        let env = Array.init 4 (fun v -> if v = 0 then 0 else m v) in
+        eval_formula env f
+      | SS.Unsat -> not (brute_sat f)
+      | SS.Unknown -> false)
+
+let tests =
+  [ Alcotest.test_case "dl consistent model" `Quick dl_consistent_model;
+    Alcotest.test_case "dl negative cycle" `Quick dl_negative_cycle;
+    Alcotest.test_case "dl zero cycle ok" `Quick dl_zero_cycle_ok;
+    Alcotest.test_case "dl empty" `Quick dl_empty;
+    dl_models_satisfy;
+    Alcotest.test_case "basic sat model" `Quick basic_sat_model;
+    Alcotest.test_case "cycle unsat" `Quick cycle_unsat;
+    Alcotest.test_case "theory refinement" `Quick disjunction_needs_theory_rounds;
+    Alcotest.test_case "boolean structure" `Quick boolean_structure;
+    Alcotest.test_case "neq" `Quick neq_works;
+    Alcotest.test_case "push/pop" `Quick push_pop_incremental;
+    Alcotest.test_case "true/false" `Quick true_false_literals;
+    agrees_with_brute ]

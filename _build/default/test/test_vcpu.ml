@@ -1,0 +1,250 @@
+(* The interpreter: programs, flags, stack discipline, faults, fuel. *)
+
+module As = Mem.Addr_space
+module Cpu = Vcpu.Cpu
+module Interp = Vcpu.Interp
+module R = Isa.Reg
+open Isa.Asm
+
+let check = Alcotest.check
+
+(* Assemble, load at the default origin, return (cpu, aspace). *)
+let load items =
+  let image = assemble ~entry:"main" items in
+  let aspace = As.create (Mem.Phys_mem.create ()) in
+  let len = String.length image.code in
+  let pages = (len + 4095) / 4096 in
+  for p = 0 to pages - 1 do
+    let off = p * 4096 in
+    As.map_data aspace ~vpn:(Mem.Page.vpn_of_addr (image.origin + off))
+      (String.sub image.code off (min 4096 (len - off)))
+  done;
+  (* a stack page *)
+  for vpn = 100 to 103 do
+    As.map_zero aspace ~vpn
+  done;
+  let cpu = Cpu.create ~entry:image.entry in
+  Cpu.set cpu R.rsp (104 * 4096);
+  cpu, aspace
+
+let run_to_halt items =
+  let cpu, aspace = load items in
+  match Interp.run cpu aspace ~fuel:1_000_000 with
+  | Interp.Halt -> cpu, aspace
+  | other -> Alcotest.failf "expected halt, got %a" Interp.pp_vmexit other
+
+let exit_testable = Alcotest.testable Interp.pp_vmexit ( = )
+
+let arithmetic () =
+  let cpu, _ =
+    run_to_halt
+      [ label "main";
+        mov R.rax (i 10);
+        add R.rax (i 32);        (* 42 *)
+        mov R.rbx (r R.rax);
+        imul R.rbx (i 10);       (* 420 *)
+        mov R.rcx (r R.rbx);
+        div R.rcx (i 42);        (* 10 *)
+        mov R.rdx (r R.rbx);
+        rem R.rdx (i 100);       (* 20 *)
+        mov R.rsi (i 0b1100);
+        and_ R.rsi (i 0b1010);   (* 0b1000 *)
+        mov R.rdi (i 1);
+        shl R.rdi (i 10);        (* 1024 *)
+        neg R.rdi;               (* -1024 *)
+        hlt ]
+  in
+  check Alcotest.int "add" 42 (Cpu.get cpu R.rax);
+  check Alcotest.int "imul" 420 (Cpu.get cpu R.rbx);
+  check Alcotest.int "div" 10 (Cpu.get cpu R.rcx);
+  check Alcotest.int "rem" 20 (Cpu.get cpu R.rdx);
+  check Alcotest.int "and" 0b1000 (Cpu.get cpu R.rsi);
+  check Alcotest.int "neg shl" (-1024) (Cpu.get cpu R.rdi)
+
+let fibonacci () =
+  (* iterative fib(20) = 6765 *)
+  let cpu, _ =
+    run_to_halt
+      [ label "main";
+        mov R.rax (i 0);
+        mov R.rbx (i 1);
+        mov R.rcx (i 20);
+        label "loop_";
+        test R.rcx (r R.rcx);
+        je "done_";
+        mov R.rdx (r R.rbx);
+        add R.rbx (r R.rax);
+        mov R.rax (r R.rdx);
+        dec R.rcx;
+        jmp "loop_";
+        label "done_";
+        hlt ]
+  in
+  check Alcotest.int "fib 20" 6765 (Cpu.get cpu R.rax)
+
+let recursion_factorial () =
+  (* recursive factorial via the stack: fact(10) = 3628800 *)
+  let cpu, _ =
+    run_to_halt
+      [ label "main";
+        mov R.rdi (i 10);
+        call "fact";
+        hlt;
+        label "fact";
+        cmp R.rdi (i 1);
+        jg "recurse";
+        mov R.rax (i 1);
+        ret;
+        label "recurse";
+        push (r R.rdi);
+        dec R.rdi;
+        call "fact";
+        pop R.rdi;
+        imul R.rax (r R.rdi);
+        ret ]
+  in
+  check Alcotest.int "fact 10" 3628800 (Cpu.get cpu R.rax)
+
+let memory_and_lea () =
+  let cpu, _ =
+    run_to_halt
+      [ label "main";
+        movl R.r8 "table";
+        (* table[3] = 7 (byte); then read back with scaled index *)
+        mov R.rcx (i 3);
+        mov R.rdx (i 7);
+        stb (idx R.r8 (R.rcx, 1)) R.rdx;
+        ldb R.rax (Isa.Insn.mem ~base:R.r8 ~disp:3 ());
+        (* lea: rbx = r8 + rcx*8 + 16 *)
+        lea R.rbx (idxd R.r8 (R.rcx, 8) 16);
+        sub R.rbx (r R.r8);
+        (* qword store/load *)
+        sti (R.r8 @+ 8) 123456;
+        ld R.rdx (R.r8 @+ 8);
+        hlt;
+        label "table";
+        zeros 64 ]
+  in
+  check Alcotest.int "byte store/load" 7 (Cpu.get cpu R.rax);
+  check Alcotest.int "lea arithmetic" 40 (Cpu.get cpu R.rbx);
+  check Alcotest.int "qword" 123456 (Cpu.get cpu R.rdx)
+
+let conditions () =
+  (* setcc across the cond space, signed and unsigned *)
+  let cpu, _ =
+    run_to_halt
+      [ label "main";
+        mov R.rax (i (-5));
+        cmp R.rax (i 3);
+        setcc Isa.Insn.L R.rbx;   (* -5 < 3 signed: 1 *)
+        setcc Isa.Insn.B R.rcx;   (* -5 < 3 unsigned: 0 (huge vs 3) *)
+        setcc Isa.Insn.NE R.rdx;  (* 1 *)
+        mov R.rsi (i 7);
+        cmp R.rsi (i 7);
+        setcc Isa.Insn.E R.rdi;   (* 1 *)
+        setcc Isa.Insn.GE R.r8;   (* 1 *)
+        setcc Isa.Insn.A R.r9;    (* 0 *)
+        hlt ]
+  in
+  check Alcotest.int "signed less" 1 (Cpu.get cpu R.rbx);
+  check Alcotest.int "unsigned not-less" 0 (Cpu.get cpu R.rcx);
+  check Alcotest.int "ne" 1 (Cpu.get cpu R.rdx);
+  check Alcotest.int "eq" 1 (Cpu.get cpu R.rdi);
+  check Alcotest.int "ge" 1 (Cpu.get cpu R.r8);
+  check Alcotest.int "above(eq) = 0" 0 (Cpu.get cpu R.r9)
+
+let alu_flags () =
+  (* dec to zero sets zf; sub below zero sets sf *)
+  let cpu, _ =
+    run_to_halt
+      [ label "main";
+        mov R.rax (i 1);
+        dec R.rax;
+        setcc Isa.Insn.E R.rbx;  (* zf from dec *)
+        sub R.rax (i 5);
+        setcc Isa.Insn.S R.rcx;  (* sf from sub *)
+        hlt ]
+  in
+  check Alcotest.int "zf after dec" 1 (Cpu.get cpu R.rbx);
+  check Alcotest.int "sf after sub" 1 (Cpu.get cpu R.rcx)
+
+let div_by_zero_faults () =
+  let cpu, aspace =
+    load [ label "main"; mov R.rax (i 1); mov R.rbx (i 0); div R.rax (r R.rbx); hlt ]
+  in
+  match Interp.run cpu aspace ~fuel:100 with
+  | Interp.Fault (Interp.Div_by_zero _) -> ()
+  | other -> Alcotest.failf "expected div fault, got %a" Interp.pp_vmexit other
+
+let bad_shift_faults () =
+  let cpu, aspace =
+    load [ label "main"; mov R.rax (i 1); shl R.rax (i 63); hlt ]
+  in
+  match Interp.run cpu aspace ~fuel:100 with
+  | Interp.Fault (Interp.Bad_shift { count = 63; _ }) -> ()
+  | other -> Alcotest.failf "expected shift fault, got %a" Interp.pp_vmexit other
+
+let page_fault_reports_rip () =
+  let cpu, aspace =
+    load [ label "main"; mov R.rax (i 0x900000); ld R.rbx (R.rax @+ 0); hlt ]
+  in
+  match Interp.run cpu aspace ~fuel:100 with
+  | Interp.Fault (Interp.Page_fault { rip; addr; access = As.Read }) ->
+    check Alcotest.int "fault addr" 0x900000 addr;
+    check Alcotest.int "rip at faulting insn" rip cpu.Cpu.rip
+  | other -> Alcotest.failf "expected page fault, got %a" Interp.pp_vmexit other
+
+let fuel_is_resumable () =
+  let cpu, aspace =
+    load
+      [ label "main";
+        mov R.rax (i 0);
+        label "spin";
+        inc R.rax;
+        cmp R.rax (i 1000);
+        jl "spin";
+        hlt ]
+  in
+  (* run in tiny fuel slices; must still converge to the same answer *)
+  let rec drive () =
+    match Interp.run cpu aspace ~fuel:17 with
+    | Interp.Out_of_fuel -> drive ()
+    | Interp.Halt -> ()
+    | other -> Alcotest.failf "unexpected %a" Interp.pp_vmexit other
+  in
+  drive ();
+  check Alcotest.int "converged" 1000 (Cpu.get cpu R.rax)
+
+let syscall_advances_rip () =
+  let cpu, aspace = load [ label "main"; syscall; hlt ] in
+  check exit_testable "syscall exit" Interp.Syscall (Interp.run cpu aspace ~fuel:10);
+  (* resuming must execute the hlt, not the syscall again *)
+  check exit_testable "resume hits hlt" Interp.Halt (Interp.run cpu aspace ~fuel:10)
+
+let save_load_roundtrip () =
+  let cpu, _ = run_to_halt [ label "main"; mov R.rax (i 11); hlt ] in
+  let saved = Cpu.save cpu in
+  Cpu.set cpu R.rax 99;
+  cpu.Cpu.rip <- 0;
+  Cpu.load cpu saved;
+  check Alcotest.int "rax restored" 11 (Cpu.get cpu R.rax);
+  check Alcotest.int "rip restored" (Cpu.saved_rip saved) cpu.Cpu.rip
+
+let retired_counts () =
+  let cpu, _ = run_to_halt [ label "main"; nop; nop; nop; hlt ] in
+  check Alcotest.int "retired" 4 cpu.Cpu.retired
+
+let tests =
+  [ Alcotest.test_case "arithmetic" `Quick arithmetic;
+    Alcotest.test_case "fibonacci loop" `Quick fibonacci;
+    Alcotest.test_case "recursive factorial" `Quick recursion_factorial;
+    Alcotest.test_case "memory and lea" `Quick memory_and_lea;
+    Alcotest.test_case "conditions" `Quick conditions;
+    Alcotest.test_case "ALU flags" `Quick alu_flags;
+    Alcotest.test_case "div by zero faults" `Quick div_by_zero_faults;
+    Alcotest.test_case "bad shift faults" `Quick bad_shift_faults;
+    Alcotest.test_case "page fault reports rip" `Quick page_fault_reports_rip;
+    Alcotest.test_case "fuel is resumable" `Quick fuel_is_resumable;
+    Alcotest.test_case "syscall advances rip" `Quick syscall_advances_rip;
+    Alcotest.test_case "save/load roundtrip" `Quick save_load_roundtrip;
+    Alcotest.test_case "retired counts" `Quick retired_counts ]

@@ -1,0 +1,229 @@
+(* Workload generators: CNF families, DIMACS, guest programs, host
+   baselines. *)
+
+module Cnf = Workloads.Cnf_gen
+module Loc = Workloads.Locality
+
+let check = Alcotest.check
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck2.Test.make ~count ~name gen prop)
+
+let random_3sat_shape () =
+  let cnf = Cnf.random_3sat ~num_vars:20 ~num_clauses:50 ~seed:1 in
+  check Alcotest.int "clause count" 50 (List.length cnf.Cnf.clauses);
+  List.iter
+    (fun clause ->
+      check Alcotest.int "width 3" 3 (List.length clause);
+      let vars = List.map abs clause in
+      check Alcotest.int "distinct vars" 3 (List.length (List.sort_uniq compare vars));
+      List.iter
+        (fun l -> check Alcotest.bool "in range" true (abs l >= 1 && abs l <= 20))
+        clause)
+    cnf.Cnf.clauses
+
+let random_3sat_deterministic () =
+  let a = Cnf.random_3sat ~num_vars:10 ~num_clauses:20 ~seed:7 in
+  let b = Cnf.random_3sat ~num_vars:10 ~num_clauses:20 ~seed:7 in
+  check Alcotest.bool "same seed" true (a.Cnf.clauses = b.Cnf.clauses);
+  let c = Cnf.random_3sat ~num_vars:10 ~num_clauses:20 ~seed:8 in
+  check Alcotest.bool "different seed" true (a.Cnf.clauses <> c.Cnf.clauses)
+
+let planted_is_satisfiable =
+  qtest ~count:50 "planted formulas are satisfiable"
+    QCheck2.Gen.(int_range 1 1_000_000)
+    (fun seed ->
+      let cnf = Cnf.planted ~num_vars:8 ~num_clauses:40 ~seed in
+      Sat.Brute.satisfiable ~num_vars:8 cnf.Cnf.clauses)
+
+let pigeonhole_shape () =
+  let cnf = Cnf.pigeonhole ~holes:3 in
+  check Alcotest.int "vars" 12 cnf.Cnf.num_vars;
+  (* 4 placement clauses + 3 * C(4,2) conflicts *)
+  check Alcotest.int "clauses" (4 + (3 * 6)) (List.length cnf.Cnf.clauses);
+  check Alcotest.bool "unsat" false (Sat.Brute.satisfiable ~num_vars:12 cnf.Cnf.clauses)
+
+let dimacs_roundtrip =
+  qtest ~count:100 "DIMACS print/parse roundtrip"
+    QCheck2.Gen.(pair (int_range 1 1_000_000) (int_range 1 30))
+    (fun (seed, num_clauses) ->
+      let cnf = Cnf.random_3sat ~num_vars:12 ~num_clauses ~seed in
+      let back = Cnf.of_dimacs (Cnf.to_dimacs cnf) in
+      back.Cnf.num_vars = cnf.Cnf.num_vars && back.Cnf.clauses = cnf.Cnf.clauses)
+
+let dimacs_rejects_garbage () =
+  Alcotest.check_raises "unterminated clause"
+    (Failure "Cnf_gen.of_dimacs: clause not terminated by 0") (fun () ->
+      ignore (Cnf.of_dimacs "p cnf 2 1\n1 2\n"));
+  Alcotest.check_raises "bad token" (Failure "Cnf_gen.of_dimacs: bad token \"xyz\"")
+    (fun () -> ignore (Cnf.of_dimacs "p cnf 1 1\nxyz 0\n"))
+
+let locality_hosts_agree () =
+  let p = { Loc.depth = 3; branch = 2; touch_pages = 2; work = 10; arena_pages = 4 } in
+  let undo = Loc.host_undo p in
+  let eager = Loc.host_eager p in
+  check Alcotest.int "same paths" undo.Loc.paths eager.Loc.paths;
+  check Alcotest.int "expected paths" (Loc.expected_paths p) undo.Loc.paths;
+  check Alcotest.int "same steps" undo.Loc.steps eager.Loc.steps;
+  check Alcotest.int "undo copies nothing" 0 undo.Loc.bytes_copied;
+  check Alcotest.int "eager copies arena per step"
+    (eager.Loc.steps * p.Loc.arena_pages * 4096)
+    eager.Loc.bytes_copied;
+  check Alcotest.int "undo log entries"
+    (undo.Loc.steps * p.Loc.touch_pages)
+    undo.Loc.cells_undone
+
+let locality_guest_matches_host () =
+  let p = { Loc.depth = 3; branch = 2; touch_pages = 2; work = 5; arena_pages = 4 } in
+  let r = Core.Explorer.run_image (Loc.program p) in
+  check Alcotest.int "guest path count = host"
+    (Loc.host_undo p).Loc.paths
+    r.Core.Explorer.stats.Core.Stats.fails
+
+let grid_host_shortest () =
+  let open_maze = [| "..."; "..."; "..." |] in
+  check (Alcotest.option Alcotest.int) "manhattan" (Some 4)
+    (Workloads.Grid.host_shortest open_maze);
+  let blocked = [| ".#"; "#." |] in
+  check (Alcotest.option Alcotest.int) "disconnected" None
+    (Workloads.Grid.host_shortest blocked);
+  let corridor = [| "..."; "##."; "..." |] in
+  check (Alcotest.option Alcotest.int) "forced detour" (Some 4)
+    (Workloads.Grid.host_shortest corridor)
+
+let grid_generate_keeps_endpoints () =
+  for seed = 1 to 20 do
+    let maze = Workloads.Grid.generate ~width:6 ~height:5 ~wall_density:0.9 ~seed in
+    check Alcotest.int "height" 5 (Array.length maze);
+    check Alcotest.int "width" 6 (String.length maze.(0));
+    check Alcotest.bool "start free" true (maze.(0).[0] = '.');
+    check Alcotest.bool "goal free" true (maze.(4).[5] = '.')
+  done
+
+let nqueens_host_counts () =
+  List.iter
+    (fun n ->
+      check Alcotest.int
+        (Printf.sprintf "host count %d" n)
+        (Workloads.Nqueens.expected_solutions n)
+        (Workloads.Nqueens.host_count n))
+    [ 4; 5; 6; 7; 8 ]
+
+let subset_host_reference () =
+  let sols = Workloads.Subset_sum.host_solutions ~values:[ 1; 2; 3 ] ~target:3 in
+  check (Alcotest.list Alcotest.string) "both subsets" [ "001"; "110" ] sols
+
+let coloring_refs () =
+  check Alcotest.int "triangle 2-colourings" 0
+    (Workloads.Coloring.host_count (Workloads.Coloring.complete 3) ~k:2);
+  check Alcotest.int "triangle 3-colourings" 6
+    (Workloads.Coloring.host_count (Workloads.Coloring.complete 3) ~k:3);
+  (* even cycle with 2 colours: exactly 2 *)
+  check Alcotest.int "C4 2-colourings" 2
+    (Workloads.Coloring.host_count (Workloads.Coloring.cycle 4) ~k:2);
+  check Alcotest.int "odd cycle 2-colourings" 0
+    (Workloads.Coloring.host_count (Workloads.Coloring.cycle 5) ~k:2)
+
+let increments_shape () =
+  let incs = Cnf.increments ~num_vars:10 ~count:4 ~width:2 ~seed:3 in
+  check Alcotest.int "batches" 4 (List.length incs);
+  List.iter (fun batch -> check Alcotest.int "width" 2 (List.length batch)) incs
+
+let guest_dpll_encoding () =
+  let s = Workloads.Guest_dpll.encode_increments [ [ [ 1; -2 ] ]; [ [ 3 ] ] ] in
+  (* (1 clause)(len 2)(1)(-2) + (1 clause)(len 1)(3) = 7 qwords *)
+  check Alcotest.int "length" (7 * 8) (String.length s);
+  check Alcotest.int "first qword is clause count" 1
+    (Int64.to_int (Bytes.get_int64_le (Bytes.of_string s) 0))
+
+let log_repair_roundtrip () =
+  let spec =
+    { Workloads.Log_repair.records = [ 7; 9; 11 ];
+      corrupted = [ 0; 2 ];
+      candidates = [ 7; 11; 13 ] }
+  in
+  let journal = Workloads.Log_repair.make_journal spec in
+  check Alcotest.int "journal size" (8 * 4) (String.length journal);
+  (match Workloads.Log_repair.decode_journal journal with
+  | [ header; a; b; c ] ->
+    check Alcotest.int "header is true sum" 27 header;
+    check Alcotest.int "corrupted sentinel" (-1) a;
+    check Alcotest.int "intact record" 9 b;
+    check Alcotest.int "corrupted sentinel 2" (-1) c
+  | _ -> Alcotest.fail "unexpected journal shape");
+  (* host reference: pairs from {7,11,13} summing to 27 - 9 = 18: (7,11), (11,7) *)
+  check
+    (Alcotest.list (Alcotest.list Alcotest.int))
+    "host repairs" [ [ 7; 11 ]; [ 11; 7 ] ]
+    (Workloads.Log_repair.host_repairs spec)
+
+let log_repair_guest_agrees () =
+  let spec =
+    { Workloads.Log_repair.records = [ 7; 9; 11 ];
+      corrupted = [ 0; 2 ];
+      candidates = [ 7; 11; 13 ] }
+  in
+  let journal = Workloads.Log_repair.make_journal spec in
+  let r =
+    Core.Explorer.run_image
+      ~files:[ Workloads.Log_repair.journal_path, journal ]
+      (Workloads.Log_repair.program spec)
+  in
+  let repaired =
+    List.length
+      (List.filter (( = ) "REPAIRED")
+         (String.split_on_char '\n' r.Core.Explorer.transcript))
+  in
+  check Alcotest.int "guest finds both repairs" 2 repaired
+
+let log_repair_persists_first () =
+  let spec =
+    { Workloads.Log_repair.records = [ 5; 5 ];
+      corrupted = [ 1 ];
+      candidates = [ 3; 5 ] }
+  in
+  let journal = Workloads.Log_repair.make_journal spec in
+  let machine =
+    Os.Libos.boot (Mem.Phys_mem.create ())
+      (Workloads.Log_repair.program ~all_solutions:false spec)
+  in
+  Os.Libos.add_file machine ~path:Workloads.Log_repair.journal_path journal;
+  let r = Core.Explorer.run ~mode:`First_exit machine in
+  (match r.Core.Explorer.outcome with
+  | Core.Explorer.Stopped_first_exit 0 -> ()
+  | _ -> Alcotest.fail "expected successful repair");
+  match Os.Libos.read_file machine ~path:Workloads.Log_repair.repaired_path with
+  | Some content ->
+    check (Alcotest.list Alcotest.int) "repaired journal" [ 10; 5; 5 ]
+      (Workloads.Log_repair.decode_journal content)
+  | None -> Alcotest.fail "repaired file missing"
+
+let program_validation () =
+  Alcotest.check_raises "nqueens bounds"
+    (Invalid_argument "Nqueens.program: n must be in [2, 9]") (fun () ->
+      ignore (Workloads.Nqueens.program ~n:12));
+  Alcotest.check_raises "locality arena"
+    (Invalid_argument "Locality.program: touch_pages exceeds arena") (fun () ->
+      ignore
+        (Loc.program
+           { Loc.depth = 1; branch = 1; touch_pages = 5; work = 0; arena_pages = 2 }))
+
+let tests =
+  [ Alcotest.test_case "random 3sat shape" `Quick random_3sat_shape;
+    Alcotest.test_case "random 3sat deterministic" `Quick random_3sat_deterministic;
+    planted_is_satisfiable;
+    Alcotest.test_case "pigeonhole shape" `Quick pigeonhole_shape;
+    dimacs_roundtrip;
+    Alcotest.test_case "dimacs rejects garbage" `Quick dimacs_rejects_garbage;
+    Alcotest.test_case "locality hosts agree" `Quick locality_hosts_agree;
+    Alcotest.test_case "locality guest matches host" `Quick locality_guest_matches_host;
+    Alcotest.test_case "grid host shortest" `Quick grid_host_shortest;
+    Alcotest.test_case "grid generate endpoints" `Quick grid_generate_keeps_endpoints;
+    Alcotest.test_case "nqueens host counts" `Quick nqueens_host_counts;
+    Alcotest.test_case "subset host reference" `Quick subset_host_reference;
+    Alcotest.test_case "coloring references" `Quick coloring_refs;
+    Alcotest.test_case "increments shape" `Quick increments_shape;
+    Alcotest.test_case "guest dpll encoding" `Quick guest_dpll_encoding;
+    Alcotest.test_case "log repair roundtrip" `Quick log_repair_roundtrip;
+    Alcotest.test_case "log repair guest agrees" `Quick log_repair_guest_agrees;
+    Alcotest.test_case "log repair persists first" `Quick log_repair_persists_first;
+    Alcotest.test_case "program validation" `Quick program_validation ]
