@@ -585,6 +585,83 @@ let e10 () =
     jobs
 
 (* ------------------------------------------------------------------ *)
+(* E11: true multicore exploration (OCaml 5 domains)                  *)
+(* ------------------------------------------------------------------ *)
+
+let e11 () =
+  U.header "E11  true multicore exploration: OCaml 5 domains"
+    (Printf.sprintf
+       "The `Domains backend of Core.Parallel runs one OCaml domain per \
+        worker, each owning a private physical memory; extensions travel \
+        between domains as portable page deltas through a mutex-protected \
+        work queue.  Wall-clock speedup requires real cores: this host \
+        reports %d (Domain.recommended_domain_count), so on a 1-core host \
+        the curve is flat and only correctness is exercised.  'match' \
+        checks the terminal multiset (fails/exits and solution lines) \
+        against the cooperative backend."
+       (Domain.recommended_domain_count ()));
+  let row = U.row_format [ 8; 8; 9; 9; 8; 12; 6; 20 ] in
+  row
+    [ "workload"; "domains"; "ms"; "speedup"; "eff."; "fails/exits"; "match";
+      "items/domain" ];
+  let solution_lines transcript =
+    List.sort compare
+      (List.filter (fun l -> l <> "") (String.split_on_char '\n' transcript))
+  in
+  let dpll_image =
+    let cnf =
+      Workloads.Cnf_gen.planted
+        ~num_vars:(if !quick then 12 else 18)
+        ~num_clauses:(if !quick then 36 else 60)
+        ~seed:7
+    in
+    Workloads.Guest_dpll.program ~num_vars:cnf.Workloads.Cnf_gen.num_vars
+      cnf.Workloads.Cnf_gen.clauses
+  in
+  let jobs =
+    [ "queens", Workloads.Nqueens.program ~n:(if !quick then 6 else 7);
+      "dpll", dpll_image ]
+  in
+  List.iter
+    (fun (name, image) ->
+      let reference =
+        Core.Parallel.run
+          ~config:{ Core.Parallel.default_config with Core.Parallel.workers = 4 }
+          image
+      in
+      let signature (r : Core.Parallel.result) =
+        ( r.Core.Parallel.stats.Core.Stats.fails,
+          r.Core.Parallel.stats.Core.Stats.exits,
+          solution_lines r.Core.Parallel.transcript )
+      in
+      let base_ms = ref 0.0 in
+      List.iter
+        (fun domains ->
+          let config =
+            { Core.Parallel.default_config with
+              Core.Parallel.workers = domains;
+              backend = `Domains }
+          in
+          let ms, r = U.time_once_ms (fun () -> Core.Parallel.run ~config image) in
+          (match r.Core.Parallel.outcome with
+          | Explorer.Completed _ -> ()
+          | Explorer.Stopped_first_exit _ | Explorer.Aborted _ ->
+            failwith "E11: unexpected outcome");
+          if domains = 1 then base_ms := ms;
+          let speedup = !base_ms /. ms in
+          row
+            [ name; U.fint domains; U.fms ms; U.fratio speedup;
+              Printf.sprintf "%.0f%%" (100.0 *. speedup /. Float.of_int domains);
+              Printf.sprintf "%d/%d" r.Core.Parallel.stats.Core.Stats.fails
+                r.Core.Parallel.stats.Core.Stats.exits;
+              (if signature r = signature reference then "yes" else "NO");
+              String.concat "/"
+                (Array.to_list (Array.map string_of_int r.Core.Parallel.busy_rounds))
+            ])
+        [ 1; 2; 4; 8 ])
+    jobs
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -626,7 +703,7 @@ let micro () =
 
 let experiments =
   [ "E1", e1; "E2", e2; "E3", e3; "E4", e4; "E5", e5; "E6", e6; "E7", e7;
-    "E8", e8; "E9", e9; "E10", e10; "MICRO", micro ]
+    "E8", e8; "E9", e9; "E10", e10; "E11", e11; "MICRO", micro ]
 
 let () =
   let only = ref [] in

@@ -65,6 +65,7 @@ let reason_to_string r = Format.asprintf "%a" Libos.pp_reason r
 let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
     ?(max_extensions = max_int) ?strategy_override (machine : Libos.t) =
   let stats = Stats.create () in
+  let ids = Snapshot.ids () in
   let mem_before = Mem.Mem_metrics.copy (Mem.Addr_space.metrics machine.aspace) in
   let retired_before = machine.cpu.Cpu.retired in
   let transcript = Buffer.create 256 in
@@ -157,7 +158,7 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
           (* The root must observe 0 when restored after exhaustion, and 1
              on the exploring path right now. *)
           Cpu.set machine.cpu Reg.rax 0;
-          let root = Snapshot.capture ~depth:0 machine in
+          let root = Snapshot.capture ~ids ~depth:0 machine in
           stats.snapshots_created <- stats.snapshots_created + 1;
           scope := Some { root; frontier = make_frontier strat };
           current_snap := Some root;
@@ -177,7 +178,7 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
         end
         else begin
           let snap =
-            Snapshot.capture ?parent:!current_snap ~depth:!current_depth machine
+            Snapshot.capture ~ids ?parent:!current_snap ~depth:!current_depth machine
           in
           stats.guesses <- stats.guesses + 1;
           stats.snapshots_created <- stats.snapshots_created + 1;

@@ -1,7 +1,10 @@
 module Libos = Os.Libos
 module Cpu = Vcpu.Cpu
 module Reg = Isa.Reg
+module As = Mem.Addr_space
 module Frontier = Search.Frontier
+
+type backend = [ `Cooperative | `Domains ]
 
 type config = {
   workers : int;
@@ -9,6 +12,7 @@ type config = {
   strategy : Explorer.strategy;
   mode : [ `Run_to_completion | `First_exit ];
   max_extensions : int;
+  backend : backend;
 }
 
 let default_config =
@@ -16,7 +20,8 @@ let default_config =
     quantum = 20_000;
     strategy = `Dfs;
     mode = `Run_to_completion;
-    max_extensions = max_int }
+    max_extensions = max_int;
+    backend = `Cooperative }
 
 type result = {
   outcome : Explorer.outcome;
@@ -28,6 +33,23 @@ type result = {
   stats : Stats.t;
 }
 
+exception Abort of string
+exception Done of Explorer.outcome
+
+(* Resolve the strategy exactly like the cooperative scheduler: the guest's
+   id wins while the config keeps the default. *)
+let resolve_strategy config id =
+  match config.strategy with
+  | `Dfs -> (
+    match Explorer.strategy_of_id id with
+    | Some s -> s
+    | None -> raise (Abort (Printf.sprintf "unknown strategy id %d" id)))
+  | other -> other
+
+(* ------------------------------------------------------------------ *)
+(* Cooperative backend: deterministic round-robin over one Phys_mem.  *)
+(* ------------------------------------------------------------------ *)
+
 type worker = {
   machine : Libos.t;
   mutable busy : bool;
@@ -37,11 +59,8 @@ type worker = {
   mutable snap : Snapshot.t option;  (* candidate this path descends from *)
 }
 
-exception Abort of string
-exception Done of Explorer.outcome
-
-let run ?(config = default_config) (image : Isa.Asm.image) =
-  if config.workers < 1 then invalid_arg "Parallel.run: need at least one worker";
+let run_cooperative ~(config : config) (image : Isa.Asm.image) =
+  let ids = Snapshot.ids () in
   let phys = Mem.Phys_mem.create () in
   let stats = Stats.create () in
   let mem_before = Mem.Mem_metrics.copy (Mem.Phys_mem.metrics phys) in
@@ -76,24 +95,35 @@ let run ?(config = default_config) (image : Isa.Asm.image) =
     terminals := { Explorer.kind; output; depth } :: !terminals
   in
 
+  (* Same extent accounting as [Explorer.run]'s [track_extents]: live
+     snapshots are the frontier plus the lineages of every busy path. *)
+  let track_extents frontier =
+    let frontier_len = frontier.Frontier.length () in
+    stats.Stats.max_frontier <- max stats.Stats.max_frontier frontier_len;
+    let lineage =
+      Array.fold_left
+        (fun acc w ->
+          if not w.busy then acc
+          else
+            match w.snap with
+            | None -> acc
+            | Some s -> acc + List.length (Snapshot.lineage s))
+        0 workers
+    in
+    stats.Stats.max_live_snapshots <-
+      max stats.Stats.max_live_snapshots (frontier_len + lineage)
+  in
+
   let w0 = workers.(0) in
 
   (* Phase 1: worker 0 runs alone up to sys_guess_strategy. *)
   let to_scope () =
     match Libos.run w0.machine ~fuel:max_int with
     | Libos.Guess_strategy { strategy = id } ->
-      let strat =
-        match config.strategy with
-        | `Dfs -> (
-          (* honour the guest's id when the config keeps the default *)
-          match Explorer.strategy_of_id id with
-          | Some s -> s
-          | None -> raise (Abort (Printf.sprintf "unknown strategy id %d" id)))
-        | other -> other
-      in
+      let strat = resolve_strategy config id in
       ignore (harvest w0);
       Cpu.set w0.machine.Libos.cpu Reg.rax 0;
-      let root = Snapshot.capture ~depth:0 w0.machine in
+      let root = Snapshot.capture ~ids ~depth:0 w0.machine in
       stats.Stats.snapshots_created <- stats.Stats.snapshots_created + 1;
       Cpu.set w0.machine.Libos.cpu Reg.rax 1;
       root, Explorer.make_frontier strat
@@ -135,7 +165,7 @@ let run ?(config = default_config) (image : Isa.Asm.image) =
         pop_into frontier w
       end
       else begin
-        let snap = Snapshot.capture ?parent:w.snap ~depth:w.depth w.machine in
+        let snap = Snapshot.capture ~ids ?parent:w.snap ~depth:w.depth w.machine in
         stats.Stats.guesses <- stats.Stats.guesses + 1;
         stats.Stats.snapshots_created <- stats.Stats.snapshots_created + 1;
         let meta = { Frontier.depth = w.depth + 1; hint = w.pending_hint } in
@@ -143,8 +173,7 @@ let run ?(config = default_config) (image : Isa.Asm.image) =
         frontier.Frontier.push_batch
           (List.init n (fun index -> meta, { Ext.snap; index; meta }));
         stats.Stats.extensions_pushed <- stats.Stats.extensions_pushed + n;
-        stats.Stats.max_frontier <-
-          max stats.Stats.max_frontier (frontier.Frontier.length ());
+        track_extents frontier;
         if stats.Stats.extensions_pushed > config.max_extensions then
           raise (Abort "extension budget exhausted");
         w.busy <- false;
@@ -234,3 +263,411 @@ let run ?(config = default_config) (image : Isa.Asm.image) =
     busy_rounds;
     instructions = stats.Stats.instructions;
     stats }
+
+(* ------------------------------------------------------------------ *)
+(* Domains backend: one OCaml 5 domain per worker, each with a        *)
+(* domain-private Phys_mem.  Snapshots never cross domains; work      *)
+(* items carry a portable, delta-encoded copy of the machine state.   *)
+(* ------------------------------------------------------------------ *)
+
+(* A portable machine state: immutable strings and persistent values only,
+   safe to hand to another domain through the work-queue mutex.  Pages are
+   encoded as a delta against the scope root, so the item costs O(pages
+   the path dirtied), not O(address-space size) — the same property the
+   snapshot encoding has locally. *)
+type pstate = {
+  p_regs : Cpu.saved;
+  p_os : Libos.os_state;
+  p_pages : (int * string) list;  (* vpn, contents; differs from the root *)
+  p_unmapped : int list;          (* mapped at the root, unmapped here *)
+}
+
+type item = {
+  it_state : pstate;
+  it_index : int;
+  it_meta : Frontier.meta;
+  it_origin : int;  (* producing domain *)
+  it_serial : int;  (* producer-local capture serial: the fast-path key *)
+}
+
+(* The full root state, replicated once into every domain at startup. *)
+type root_state = {
+  r_pages : (int * string) list;
+  r_shared : (int * string) list;  (* explicitly shared pages (sys_share) *)
+  r_regs : Cpu.saved;
+  r_os : Libos.os_state;
+}
+
+(* State shared by all worker domains.  The queue provides the
+   happens-before edges for everything an item references. *)
+type shared = {
+  queue : item Work_queue.t;
+  outcome_cell : Explorer.outcome option Atomic.t;
+  sh_ids : Snapshot.ids;
+  sh_quantum : int;
+  sh_mode : [ `Run_to_completion | `First_exit ];
+  sh_max_extensions : int;
+}
+
+let make_item_frontier : Explorer.strategy -> item Frontier.t option = function
+  | `Dfs -> Some (Frontier.dfs ())
+  | `Bfs -> Some (Frontier.bfs ())
+  | `Astar -> Some (Frontier.astar ())
+  | `Sma capacity -> Some (Frontier.sma ~capacity ())
+  | `Wastar weight -> Some (Frontier.wastar ~weight ())
+  | `Beam width -> Some (Frontier.beam ~width ())
+  | `Dfs_bounded max_depth -> Some (Frontier.dfs_bounded ~max_depth ())
+  | `Random seed -> Some (Frontier.random ~seed ())
+  | `Custom _ -> None
+
+let page_string aspace vpn =
+  Bytes.to_string
+    (As.read_bytes aspace ~addr:(Mem.Page.addr_of_vpn vpn) ~len:Mem.Page.size)
+
+let serialize_root (m : Libos.t) =
+  let vpns = As.mapped_vpns m.Libos.aspace in
+  let shared, priv = List.partition (fun vpn -> As.is_shared m.Libos.aspace ~vpn) vpns in
+  { r_pages = List.map (fun vpn -> vpn, page_string m.Libos.aspace vpn) priv;
+    r_shared = List.map (fun vpn -> vpn, page_string m.Libos.aspace vpn) shared;
+    r_regs = Cpu.save m.Libos.cpu;
+    r_os = Libos.os_capture m }
+
+(* Boot a fresh machine on a domain-private Phys_mem and rebuild the root
+   state in it.  The caller then captures a local root snapshot, which
+   retires the generation — so the rebuilt pages are immutable-until-COW
+   and the decode cache works exactly as on domain 0. *)
+let rehydrate_root image (root : root_state) =
+  let phys = Mem.Phys_mem.create () in
+  let m = Libos.boot phys image in
+  let aspace = m.Libos.aspace in
+  List.iter (fun vpn -> As.unmap aspace ~vpn) (As.mapped_vpns aspace);
+  List.iter (fun (vpn, data) -> As.map_data aspace ~vpn data) root.r_pages;
+  List.iter
+    (fun (vpn, data) ->
+      As.map_data aspace ~vpn data;
+      As.map_shared aspace ~vpn)
+    root.r_shared;
+  Cpu.load m.Libos.cpu root.r_regs;
+  Libos.os_restore m root.r_os;
+  phys, m
+
+(* Delta-encode a freshly captured snapshot against this domain's root.
+   [sym_diff] prunes physically-equal subtrees, so the cost is O(pages the
+   path dirtied); code and untouched data never show up.  Frames inside a
+   captured snapshot belong to retired generations and are never written in
+   place, so copying their bytes here is race-free by construction. *)
+let delta_pstate ~(root : Snapshot.t) (snap : Snapshot.t) =
+  let base = As.snapshot_map_for_debug root.Snapshot.mem in
+  let cur = As.snapshot_map_for_debug snap.Snapshot.mem in
+  let diff = Stdx.Ptmap.sym_diff (fun a b -> a == b) base cur in
+  List.fold_left
+    (fun st (vpn, _, now) ->
+      match (now : Mem.Phys_mem.frame option) with
+      | Some f -> { st with p_pages = (vpn, Bytes.to_string f.Mem.Phys_mem.bytes) :: st.p_pages }
+      | None -> { st with p_unmapped = vpn :: st.p_unmapped })
+    { p_regs = snap.Snapshot.regs;
+      p_os = snap.Snapshot.os;
+      p_pages = [];
+      p_unmapped = [] }
+    diff
+
+(* Rebuild a foreign item's state on this domain's machine: restore the
+   local root, then apply the delta. *)
+let apply_item (m : Libos.t) ~(root : Snapshot.t) (it : item) =
+  Snapshot.restore m root;
+  List.iter (fun vpn -> As.unmap m.Libos.aspace ~vpn) it.it_state.p_unmapped;
+  List.iter
+    (fun (vpn, data) -> As.map_data m.Libos.aspace ~vpn data)
+    it.it_state.p_pages;
+  Cpu.load m.Libos.cpu it.it_state.p_regs;
+  Libos.os_restore m it.it_state.p_os
+
+(* The per-domain evaluation loop.  [entry] is [`Root] for the domain that
+   natively carries the scope's root path (counted by the queue's
+   [initial_paths]), [`Take] for domains that start by pulling work. *)
+let eval_domain sh ~dom ~(machine : Libos.t) ~(d_root : Snapshot.t)
+    ~(st : Stats.t) ~buf ~terminals ~items ~entry =
+  let marker = ref (Libos.stdout_chunks machine) in
+  let depth = ref 0 in
+  let pending_hint = ref 0 in
+  let cur_snap : Snapshot.t option ref = ref None in
+  let next_serial = ref 0 in
+  (* Producer-local fast path: items this domain pushed and later pops
+     itself restore the original snapshot instead of rehydrating. *)
+  let cache : (int, Snapshot.t) Hashtbl.t = Hashtbl.create 64 in
+
+  let harvest () =
+    let cur = Libos.stdout_chunks machine in
+    let rec collect acc l =
+      if l == !marker then acc
+      else match l with [] -> acc | chunk :: rest -> collect (chunk :: acc) rest
+    in
+    let chunks = collect [] cur in
+    marker := cur;
+    let text = String.concat "" chunks in
+    Buffer.add_string buf text;
+    text
+  in
+  let record kind output =
+    terminals := { Explorer.kind; output; depth = !depth } :: !terminals
+  in
+  let set_outcome o =
+    ignore (Atomic.compare_and_set sh.outcome_cell None (Some o))
+  in
+  let abort msg =
+    set_outcome (Explorer.Aborted msg);
+    Work_queue.stop sh.queue
+  in
+  let track_live () =
+    let frontier_len = Work_queue.length sh.queue in
+    let lineage =
+      match !cur_snap with
+      | Some s -> List.length (Snapshot.lineage s)
+      | None -> !depth + 1  (* foreign path: its lineage lives elsewhere *)
+    in
+    st.Stats.max_live_snapshots <-
+      max st.Stats.max_live_snapshots (frontier_len + lineage)
+  in
+
+  let rec consume () =
+    match Work_queue.take sh.queue with
+    | None -> ()
+    | Some it ->
+      incr items;
+      st.Stats.extensions_evaluated <- st.Stats.extensions_evaluated + 1;
+      st.Stats.restores <- st.Stats.restores + 1;
+      (match
+         if it.it_origin = dom then Hashtbl.find_opt cache it.it_serial else None
+       with
+      | Some snap ->
+        Snapshot.restore machine snap;
+        cur_snap := Some snap
+      | None ->
+        apply_item machine ~root:d_root it;
+        cur_snap := None);
+      marker := Libos.stdout_chunks machine;
+      Cpu.set machine.Libos.cpu Reg.rax it.it_index;
+      depth := it.it_meta.Frontier.depth;
+      path ()
+  and finish_and_next () =
+    Work_queue.finish_path sh.queue;
+    consume ()
+  and path () =
+    match Libos.run machine ~fuel:sh.sh_quantum with
+    | Libos.Killed Libos.Fuel_exhausted ->
+      (* quantum expired: the stop-flag check is what lets first-exit and
+         aborts interrupt long-running sibling paths *)
+      if Work_queue.stopped sh.queue then () else path ()
+    | Libos.Guess { n } ->
+      ignore (harvest ());
+      if n <= 0 then begin
+        st.Stats.fails <- st.Stats.fails + 1;
+        record Explorer.Fail "";
+        finish_and_next ()
+      end
+      else begin
+        let snap =
+          Snapshot.capture ~ids:sh.sh_ids ?parent:!cur_snap ~depth:!depth machine
+        in
+        st.Stats.guesses <- st.Stats.guesses + 1;
+        st.Stats.snapshots_created <- st.Stats.snapshots_created + 1;
+        let serial = !next_serial in
+        incr next_serial;
+        if Hashtbl.length cache > 4096 then Hashtbl.reset cache;
+        Hashtbl.replace cache serial snap;
+        let state = delta_pstate ~root:d_root snap in
+        let meta = { Frontier.depth = !depth + 1; hint = !pending_hint } in
+        pending_hint := 0;
+        Work_queue.push_batch sh.queue
+          (List.init n (fun index ->
+               ( meta,
+                 { it_state = state;
+                   it_index = index;
+                   it_meta = meta;
+                   it_origin = dom;
+                   it_serial = serial } )));
+        st.Stats.extensions_pushed <- st.Stats.extensions_pushed + n;
+        track_live ();
+        if Work_queue.pushed sh.queue > sh.sh_max_extensions then
+          abort "extension budget exhausted"
+        else finish_and_next ()
+      end
+    | Libos.Guess_fail ->
+      let output = harvest () in
+      st.Stats.fails <- st.Stats.fails + 1;
+      record Explorer.Fail output;
+      finish_and_next ()
+    | Libos.Guess_hint { dist } ->
+      pending_hint := dist;
+      Cpu.set machine.Libos.cpu Reg.rax 0;
+      path ()
+    | Libos.Guess_strategy _ -> abort "nested sys_guess_strategy"
+    | Libos.Exited { status } -> (
+      let output = harvest () in
+      st.Stats.exits <- st.Stats.exits + 1;
+      record (Explorer.Exit status) output;
+      match sh.sh_mode with
+      | `First_exit ->
+        set_outcome (Explorer.Stopped_first_exit status);
+        Work_queue.stop sh.queue
+      | `Run_to_completion -> finish_and_next ())
+    | Libos.Killed reason ->
+      let output = harvest () in
+      st.Stats.kills <- st.Stats.kills + 1;
+      record (Explorer.Path_killed (Format.asprintf "%a" Libos.pp_reason reason))
+        output;
+      finish_and_next ()
+  in
+  try
+    match entry with
+    | `Root ->
+      cur_snap := Some d_root;
+      depth := 0;
+      path ()
+    | `Take -> consume ()
+  with e ->
+    (* A crashed worker must not leave the others blocked in [take]. *)
+    abort (Printf.sprintf "worker %d: %s" dom (Printexc.to_string e))
+
+let run_domains ~(config : config) (image : Isa.Asm.image) =
+  let phys0 = Mem.Phys_mem.create () in
+  let stats = Stats.create () in
+  let mem_before = Mem.Mem_metrics.copy (Mem.Phys_mem.metrics phys0) in
+  let m0 = Libos.boot phys0 image in
+  let transcript = Buffer.create 256 in
+  let terminals0 = ref [] in
+  let busy_rounds = Array.make config.workers 0 in
+  let marker0 = ref (Libos.stdout_chunks m0) in
+  let harvest0 () =
+    let cur = Libos.stdout_chunks m0 in
+    let rec collect acc l =
+      if l == !marker0 then acc
+      else match l with [] -> acc | chunk :: rest -> collect (chunk :: acc) rest
+    in
+    let chunks = collect [] cur in
+    marker0 := cur;
+    Buffer.add_string transcript (String.concat "" chunks)
+  in
+  let worker_tail = ref [] in
+  let outcome =
+    try
+      (* Phase 1: domain 0 runs alone up to sys_guess_strategy. *)
+      let strat =
+        match Libos.run m0 ~fuel:max_int with
+        | Libos.Guess_strategy { strategy = id } -> resolve_strategy config id
+        | Libos.Exited { status } ->
+          harvest0 ();
+          raise (Done (Explorer.Completed status))
+        | Libos.Killed reason ->
+          raise (Abort (Format.asprintf "%a" Libos.pp_reason reason))
+        | Libos.Guess _ | Libos.Guess_fail | Libos.Guess_hint _ ->
+          raise (Abort "guess before sys_guess_strategy")
+      in
+      let frontier =
+        match make_item_frontier strat with
+        | Some f -> f
+        | None ->
+          raise (Abort "`Custom strategies require the `Cooperative backend")
+      in
+      harvest0 ();
+      (* The root must observe 0 when restored after exhaustion; serialize
+         it with 0 in rax so every domain's replica agrees. *)
+      Cpu.set m0.Libos.cpu Reg.rax 0;
+      let ids = Snapshot.ids () in
+      let root_state = serialize_root m0 in
+      let d_root0 = Snapshot.capture ~ids ~depth:0 m0 in
+      stats.Stats.snapshots_created <- stats.Stats.snapshots_created + 1;
+      Cpu.set m0.Libos.cpu Reg.rax 1;
+      let sh =
+        { queue = Work_queue.create ~initial_paths:1 frontier;
+          outcome_cell = Atomic.make None;
+          sh_ids = ids;
+          sh_quantum = config.quantum;
+          sh_mode = config.mode;
+          sh_max_extensions = config.max_extensions }
+      in
+      (* Phase 2: spawn the other domains; each rebuilds the root on a
+         private Phys_mem, then all pull from the shared queue. *)
+      let handles =
+        List.init (config.workers - 1) (fun i ->
+            let dom = i + 1 in
+            Domain.spawn (fun () ->
+                let st = Stats.create () in
+                let buf = Buffer.create 256 in
+                let terms = ref [] in
+                let items = ref 0 in
+                (try
+                   let phys, machine = rehydrate_root image root_state in
+                   let d_root = Snapshot.capture ~ids:sh.sh_ids ~depth:0 machine in
+                   st.Stats.snapshots_created <- st.Stats.snapshots_created + 1;
+                   eval_domain sh ~dom ~machine ~d_root ~st ~buf
+                     ~terminals:terms ~items ~entry:`Take;
+                   st.Stats.instructions <- machine.Libos.cpu.Cpu.retired;
+                   Mem.Mem_metrics.add st.Stats.mem (Mem.Phys_mem.metrics phys)
+                 with e ->
+                   ignore
+                     (Atomic.compare_and_set sh.outcome_cell None
+                        (Some
+                           (Explorer.Aborted
+                              (Printf.sprintf "worker %d: %s" dom
+                                 (Printexc.to_string e)))));
+                   Work_queue.stop sh.queue);
+                st, Buffer.contents buf, List.rev !terms, !items))
+      in
+      let items0 = ref 0 in
+      eval_domain sh ~dom:0 ~machine:m0 ~d_root:d_root0 ~st:stats
+        ~buf:transcript ~terminals:terminals0 ~items:items0 ~entry:`Root;
+      busy_rounds.(0) <- !items0;
+      let results = List.map Domain.join handles in
+      List.iteri
+        (fun i (st, tr, terms, items) ->
+          busy_rounds.(i + 1) <- items;
+          Stats.merge stats st;
+          Buffer.add_string transcript tr;
+          worker_tail := !worker_tail @ terms)
+        results;
+      stats.Stats.max_frontier <-
+        max stats.Stats.max_frontier (Work_queue.max_length sh.queue);
+      stats.Stats.evicted <- stats.Stats.evicted + Work_queue.evicted sh.queue;
+      match Atomic.get sh.outcome_cell with
+      | Some o -> o
+      | None ->
+        (* Scope exhausted: resume domain 0 from the root with rax = 0. *)
+        Snapshot.restore m0 d_root0;
+        marker0 := Libos.stdout_chunks m0;
+        stats.Stats.restores <- stats.Stats.restores + 1;
+        let rec drain () =
+          match Libos.run m0 ~fuel:max_int with
+          | Libos.Exited { status } ->
+            harvest0 ();
+            Explorer.Completed status
+          | Libos.Guess_strategy _ ->
+            raise (Abort "second sys_guess_strategy scope")
+          | Libos.Guess _ | Libos.Guess_fail -> raise (Abort "guess after scope")
+          | Libos.Guess_hint _ ->
+            Cpu.set m0.Libos.cpu Reg.rax 0;
+            drain ()
+          | Libos.Killed reason ->
+            raise (Abort (Format.asprintf "%a" Libos.pp_reason reason))
+        in
+        drain ()
+    with
+    | Done outcome -> outcome
+    | Abort message -> Explorer.Aborted message
+  in
+  stats.Stats.instructions <- stats.Stats.instructions + m0.Libos.cpu.Cpu.retired;
+  Mem.Mem_metrics.add stats.Stats.mem
+    (Mem.Mem_metrics.diff (Mem.Phys_mem.metrics phys0) mem_before);
+  { outcome;
+    transcript = Buffer.contents transcript;
+    terminals = List.rev !terminals0 @ !worker_tail;
+    rounds = 0;
+    busy_rounds;
+    instructions = stats.Stats.instructions;
+    stats }
+
+let run ?(config = default_config) (image : Isa.Asm.image) =
+  if config.workers < 1 then invalid_arg "Parallel.run: need at least one worker";
+  match config.backend with
+  | `Cooperative -> run_cooperative ~config image
+  | `Domains -> run_domains ~config image

@@ -1,46 +1,73 @@
-(** Multi-worker exploration — Figure 2's architecture, simulated.
+(** Multi-worker exploration — Figure 2's architecture, in two flavours.
 
     The paper's libOS runs one evaluation thread per hardware thread, all
-    scheduling extensions from a shared search graph.  Here each worker is
-    a full virtual CPU with its own address space and OS state, but all
-    workers allocate frames from one {!Mem.Phys_mem} — so a snapshot
-    captured by one worker can be restored by any other (the page map is
-    just frame references), and the generation discipline keeps their COW
-    invariants sound across workers: frames inside a captured snapshot
-    always belong to retired generations, so a worker restoring a sibling's
-    candidate can never observe, or race with, the in-place writes of the
-    worker that created it.  This is §3's "parallel depth-first-search
-    strategy [that] simply forks without waiting" made safe by isolation.
+    scheduling extensions from a shared search graph.  This module offers
+    two backends behind one configuration:
 
-    Execution is simulated round-robin: every busy worker runs a fixed
-    quantum of guest instructions per round, deterministically.  The round
-    count is the virtual makespan, so parallel speedup is measurable
-    without host threads. *)
+    {b [`Cooperative]} (the default) simulates that architecture
+    deterministically: each worker is a full virtual CPU with its own
+    address space and OS state, but all workers allocate frames from one
+    {!Mem.Phys_mem} — so a snapshot captured by one worker can be restored
+    by any other (the page map is just frame references), and the
+    generation discipline keeps their COW invariants sound across workers:
+    frames inside a captured snapshot always belong to retired generations,
+    so a worker restoring a sibling's candidate can never observe, or race
+    with, the in-place writes of the worker that created it.  Execution is
+    round-robin: every busy worker runs a fixed quantum of guest
+    instructions per round, deterministically.  The round count is the
+    virtual makespan, so parallel speedup is measurable without host
+    threads.
+
+    {b [`Domains]} is the true-multicore version: one OCaml 5 domain per
+    worker, each owning a {e domain-private} {!Mem.Phys_mem} and machine.
+    Generations are per-[Phys_mem], so snapshots and frames never cross
+    domains; instead each domain replicates the scope's root state once at
+    startup and work items travel through a mutex-protected
+    {!Work_queue} as {e portable extensions}: immutable page deltas
+    against the root plus saved registers and persistent OS state.  A
+    domain popping its own item restores the original snapshot (fast
+    path); popping a sibling's rebuilds the state as root + delta.  This
+    is §3's "parallel depth-first-search strategy [that] simply forks
+    without waiting", on real cores.  Two semantic deltas vs
+    [`Cooperative]: [sys_share] pages are replicated per domain (writes
+    after the scope opens stay domain-local), and [`Custom] strategies are
+    rejected (their frontiers are typed to in-heap extensions).  Path
+    completion order — and hence [terminals] order and, under
+    [`First_exit], {e which} exit wins — depends on OS scheduling. *)
+
+type backend = [ `Cooperative | `Domains ]
 
 type config = {
   workers : int;
-  quantum : int;      (** guest instructions per worker per round *)
+  quantum : int;
+      (** guest instructions per scheduling slice: a worker's round quantum
+          ([`Cooperative]) or its stop-flag polling interval ([`Domains]) *)
   strategy : Explorer.strategy;
   mode : [ `Run_to_completion | `First_exit ];
   max_extensions : int;
+  backend : backend;
 }
 
 val default_config : config
-(** 4 workers, 20k-instruction quantum, DFS, run to completion. *)
+(** 4 workers, 20k-instruction quantum, DFS, run to completion,
+    [`Cooperative]. *)
 
 type result = {
   outcome : Explorer.outcome;
   transcript : string;       (** all workers' stdout, in completion order *)
   terminals : Explorer.terminal list;
-  rounds : int;              (** virtual makespan *)
-  busy_rounds : int array;   (** per-worker rounds spent executing *)
+  rounds : int;              (** virtual makespan; 0 under [`Domains] *)
+  busy_rounds : int array;
+      (** per-worker rounds spent executing ([`Cooperative]) or extensions
+          evaluated ([`Domains]) — either way, the load-balance picture *)
   instructions : int;        (** total guest instructions, all workers *)
   stats : Stats.t;
 }
 
 val run : ?config:config -> Isa.Asm.image -> result
-(** Boot [workers] machines over shared physical memory and explore.  The
-    guest protocol is identical to {!Explorer}: worker 0 runs until
-    [sys_guess_strategy]; the scope's extensions are then evaluated by all
-    workers; when the frontier drains and every worker is idle, worker 0
-    resumes from the root with 0 in [rax]. *)
+(** Boot [workers] machines and explore.  The guest protocol is identical
+    to {!Explorer}: worker 0 runs until [sys_guess_strategy]; the scope's
+    extensions are then evaluated by all workers; when the frontier drains
+    and every worker is idle, worker 0 resumes from the root with 0 in
+    [rax].  Under [`Domains] the terminal set and final outcome match
+    [`Cooperative] for confluent guests; ordering may differ (see above). *)

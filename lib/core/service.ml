@@ -6,6 +6,7 @@ type ref_ = int
 
 type t = {
   machine : Libos.t;
+  ids : Snapshot.ids;
   table : (int, Snapshot.t) Hashtbl.t;
   mutable next_ref : int;
   mutable current : Snapshot.t option;
@@ -31,7 +32,7 @@ let harvest t =
 
 let publish t =
   let snap =
-    Snapshot.capture ?parent:t.current
+    Snapshot.capture ~ids:t.ids ?parent:t.current
       ~depth:(match t.current with None -> 0 | Some s -> s.Snapshot.depth + 1)
       t.machine
   in
@@ -66,6 +67,7 @@ let boot ?(fuel_per_step = 50_000_000) ?(files = []) ?stdin image =
   Option.iter (Libos.set_stdin machine) stdin;
   let t =
     { machine;
+      ids = Snapshot.ids ();
       table = Hashtbl.create 64;
       next_ref = 0;
       current = None;

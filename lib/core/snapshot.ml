@@ -9,11 +9,17 @@ type t = {
   depth : int;
 }
 
-let next_id = ref 0
+(* Snapshot ids are allocated per exploration run, not from a process-global
+   counter: two runs (possibly concurrent — the domains backend captures
+   from several domains at once) never share an allocator, and within a run
+   the counter is atomic so captures racing across domains still get
+   distinct ids. *)
+type ids = int Atomic.t
 
-let capture ?parent ~depth (machine : Os.Libos.t) =
-  let id = !next_id in
-  incr next_id;
+let ids () = Atomic.make 0
+
+let capture ~ids ?parent ~depth (machine : Os.Libos.t) =
+  let id = Atomic.fetch_and_add ids 1 in
   { id;
     regs = Vcpu.Cpu.save machine.cpu;
     mem = As.snapshot machine.aspace;

@@ -17,7 +17,15 @@ type t = private {
   depth : int;  (** guesses from the exploration root *)
 }
 
-val capture : ?parent:t -> depth:int -> Os.Libos.t -> t
+type ids
+(** A per-run snapshot-id allocator.  Every exploration run creates its
+    own ([Explorer.run], [Parallel.run], [Service.boot]), so concurrent
+    runs never share a counter; allocation is atomic, so captures racing
+    across domains within one run still get distinct ids. *)
+
+val ids : unit -> ids
+
+val capture : ids:ids -> ?parent:t -> depth:int -> Os.Libos.t -> t
 val restore : Os.Libos.t -> t -> unit
 
 val pages : t -> int

@@ -20,6 +20,23 @@ let create () =
     max_frontier = 0; max_live_snapshots = 0; instructions = 0;
     mem = Mem.Mem_metrics.create () }
 
+(* Fold [x] into [acc]: event counters add; extent peaks were observed
+   against the same shared frontier, so they combine by max. *)
+let merge acc x =
+  acc.guesses <- acc.guesses + x.guesses;
+  acc.extensions_pushed <- acc.extensions_pushed + x.extensions_pushed;
+  acc.extensions_evaluated <- acc.extensions_evaluated + x.extensions_evaluated;
+  acc.fails <- acc.fails + x.fails;
+  acc.exits <- acc.exits + x.exits;
+  acc.kills <- acc.kills + x.kills;
+  acc.snapshots_created <- acc.snapshots_created + x.snapshots_created;
+  acc.restores <- acc.restores + x.restores;
+  acc.evicted <- acc.evicted + x.evicted;
+  acc.max_frontier <- max acc.max_frontier x.max_frontier;
+  acc.max_live_snapshots <- max acc.max_live_snapshots x.max_live_snapshots;
+  acc.instructions <- acc.instructions + x.instructions;
+  Mem.Mem_metrics.add acc.mem x.mem
+
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>guesses=%d pushed=%d evaluated=%d fails=%d exits=%d kills=%d@ \

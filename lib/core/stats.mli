@@ -18,4 +18,11 @@ type t = {
 }
 
 val create : unit -> t
+
+val merge : t -> t -> unit
+(** [merge acc x] folds [x] into [acc]: event counters and memory metrics
+    add; [max_frontier]/[max_live_snapshots] combine by max (per-worker
+    peaks observed against one shared frontier).  The domains backend of
+    {!Parallel} merges each worker's private [t] at join. *)
+
 val pp : Format.formatter -> t -> unit

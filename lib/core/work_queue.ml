@@ -1,0 +1,73 @@
+module Frontier = Search.Frontier
+
+type 'a t = {
+  mutex : Mutex.t;
+  wakeup : Condition.t;
+  frontier : 'a Frontier.t;          (* guarded by [mutex] *)
+  mutable in_flight : int;
+  mutable stop_requested : bool;
+  mutable pushed : int;
+  mutable evicted : int;
+  mutable max_length : int;
+}
+
+let create ?(initial_paths = 0) frontier =
+  { mutex = Mutex.create ();
+    wakeup = Condition.create ();
+    frontier;
+    in_flight = initial_paths;
+    stop_requested = false;
+    pushed = 0;
+    evicted = 0;
+    max_length = 0 }
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let push_batch t batch =
+  locked t (fun () ->
+      t.frontier.Frontier.push_batch batch;
+      t.pushed <- t.pushed + List.length batch;
+      t.evicted <- t.evicted + List.length (t.frontier.Frontier.evicted ());
+      t.max_length <- max t.max_length (t.frontier.Frontier.length ());
+      Condition.broadcast t.wakeup)
+
+let take t =
+  locked t (fun () ->
+      let rec wait () =
+        if t.stop_requested then None
+        else
+          match t.frontier.Frontier.pop () with
+          | Some _ as item ->
+            t.in_flight <- t.in_flight + 1;
+            item
+          | None ->
+            if t.in_flight = 0 then begin
+              (* Global termination: nothing queued and nobody who could
+                 still push.  Wake every other waiter so they see it too. *)
+              Condition.broadcast t.wakeup;
+              None
+            end
+            else begin
+              Condition.wait t.wakeup t.mutex;
+              wait ()
+            end
+      in
+      wait ())
+
+let finish_path t =
+  locked t (fun () ->
+      t.in_flight <- t.in_flight - 1;
+      if t.in_flight = 0 then Condition.broadcast t.wakeup)
+
+let stop t =
+  locked t (fun () ->
+      t.stop_requested <- true;
+      Condition.broadcast t.wakeup)
+
+let stopped t = locked t (fun () -> t.stop_requested)
+let length t = locked t (fun () -> t.frontier.Frontier.length ())
+let pushed t = locked t (fun () -> t.pushed)
+let evicted t = locked t (fun () -> t.evicted)
+let max_length t = locked t (fun () -> t.max_length)

@@ -1,0 +1,51 @@
+(** A mutex-protected work-sharing wrapper around a strategy frontier.
+
+    This is the shared search graph of Figure 2 for the true-multicore
+    backend of {!Parallel}: worker domains push each guess's extensions as
+    one batch and block in {!take} until the strategy hands them the next
+    one.  The wrapper also implements distributed termination: it counts
+    {e paths in flight} (items taken but not yet finished), so {!take}
+    returns [None] exactly when the frontier is empty {e and} no worker is
+    still evaluating a path that could push more work.
+
+    All operations lock one mutex; the frontier itself stays the plain
+    sequential value from {!Search.Frontier}.  Contention is low by
+    construction — workers interact with the queue once per scheduling
+    event (a guess or a terminal), not per instruction. *)
+
+type 'a t
+
+val create : ?initial_paths:int -> 'a Search.Frontier.t -> 'a t
+(** Wrap a frontier.  [initial_paths] (default 0) pre-counts paths already
+    being evaluated before any {!take} — the parallel explorer starts with
+    1 for the root path its first worker carries natively. *)
+
+val push_batch : 'a t -> (Search.Frontier.meta * 'a) list -> unit
+
+val take : 'a t -> 'a option
+(** Pop the next extension, blocking while the frontier is empty but paths
+    are still in flight.  [None] means the search is over: the scope is
+    exhausted, or {!stop} was called.  A successful take counts the caller
+    as in flight until it calls {!finish_path}. *)
+
+val finish_path : 'a t -> unit
+(** The path taken earlier has been fully handled (its extensions, if any,
+    were pushed first).  Push-then-finish ordering matters: finishing first
+    could let the queue report termination while children are pending. *)
+
+val stop : 'a t -> unit
+(** Make every current and future {!take} return [None] (first-exit mode,
+    aborts). *)
+
+val stopped : 'a t -> bool
+
+val length : 'a t -> int
+
+val pushed : 'a t -> int
+(** Total extensions ever pushed. *)
+
+val evicted : 'a t -> int
+(** Extensions dropped by memory-bounded strategies. *)
+
+val max_length : 'a t -> int
+(** Peak frontier length. *)

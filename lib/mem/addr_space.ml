@@ -23,6 +23,13 @@ type t = {
   tlb_vpn : int array;                     (* -1 = invalid *)
   mutable tlb_frame : Phys_mem.frame array;
   mutable next_snap_id : int;
+  mutable shared_hidden : unit Ptmap.t;
+      (* shared vpns this address space has unmapped.  The registry in
+         [phys] is system-global, so an unmap must hide the page from this
+         space only — clearing the registry entry would destroy the page
+         for every other machine booted on the same physical memory.  Like
+         the registry itself, the hidden set sits outside the snapshot
+         discipline: restores do not roll it back. *)
 }
 
 type snapshot = { snap_id : int; snap_map : Phys_mem.frame Ptmap.t }
@@ -35,7 +42,8 @@ let create phys =
     gen = Phys_mem.fresh_generation phys;
     tlb_vpn = Array.make tlb_size (-1);
     tlb_frame = Array.make tlb_size zero;
-    next_snap_id = 0 }
+    next_snap_id = 0;
+    shared_hidden = Ptmap.empty }
 
 let phys t = t.phys
 let metrics t = t.metrics
@@ -49,6 +57,11 @@ let tlb_invalidate t vpn =
   let i = vpn land tlb_mask in
   if t.tlb_vpn.(i) = vpn then t.tlb_vpn.(i) <- -1
 
+(* The shared page backing [vpn] as seen by THIS address space. *)
+let shared_frame t vpn =
+  if Ptmap.mem vpn t.shared_hidden then None
+  else Phys_mem.shared_page t.phys ~vpn
+
 (* Look up the frame backing [vpn]; raises [Page_fault] when unmapped. *)
 let lookup t vpn access addr =
   let i = vpn land tlb_mask in
@@ -60,7 +73,7 @@ let lookup t vpn access addr =
     t.metrics.tlb_misses <- t.metrics.tlb_misses + 1;
     t.metrics.pt_walks <- t.metrics.pt_walks + 1;
     let resolved =
-      match Phys_mem.shared_page t.phys ~vpn with
+      match shared_frame t vpn with
       | Some _ as hit -> hit
       | None -> Ptmap.find_opt vpn t.map
     in
@@ -112,6 +125,7 @@ let map_data t ~vpn data =
   tlb_invalidate t vpn
 
 let map_shared t ~vpn =
+  t.shared_hidden <- Ptmap.remove vpn t.shared_hidden;
   match Phys_mem.shared_page t.phys ~vpn with
   | Some _ ->
     (* already shared system-wide; just drop any private shadow *)
@@ -127,20 +141,27 @@ let map_shared t ~vpn =
     Phys_mem.set_shared_page t.phys ~vpn f;
     tlb_invalidate t vpn
 
-let is_shared t ~vpn = Phys_mem.shared_page t.phys ~vpn <> None
+let is_shared t ~vpn = shared_frame t vpn <> None
 
 let unmap t ~vpn =
   t.map <- Ptmap.remove vpn t.map;
-  Phys_mem.clear_shared_page t.phys ~vpn;
+  (* A shared page is unmapped from this address space only: the registry
+     entry stays so sibling machines on the same [Phys_mem] keep it. *)
+  if Phys_mem.shared_page t.phys ~vpn <> None then
+    t.shared_hidden <- Ptmap.add vpn () t.shared_hidden;
   tlb_invalidate t vpn
 
 let is_mapped t ~vpn = Ptmap.mem vpn t.map || is_shared t ~vpn
 
-let mapped_pages t = Ptmap.cardinal t.map + Phys_mem.shared_page_count t.phys
+let visible_shared_vpns t =
+  List.filter (fun vpn -> not (Ptmap.mem vpn t.shared_hidden))
+    (Phys_mem.shared_vpns t.phys)
+
+let mapped_pages t = Ptmap.cardinal t.map + List.length (visible_shared_vpns t)
 
 let mapped_vpns t =
   let from_map = Ptmap.fold (fun vpn _ acc -> vpn :: acc) t.map [] in
-  List.sort_uniq compare (Phys_mem.shared_vpns t.phys @ from_map)
+  List.sort_uniq compare (visible_shared_vpns t @ from_map)
 
 (* {1 Access} *)
 

@@ -36,8 +36,12 @@ val map_shared : t -> vpn:int -> unit
 (** Map a page as {e explicitly shared}: it is excluded from snapshots —
     writes hit the same frame on every path and survive restores.  This is
     the paper's "explicit sharing mechanisms between lightweight
-    snapshots" (§3.1); the libOS exposes it as [sys_share].  Remapping or
-    unmapping the page removes the sharing. *)
+    snapshots" (§3.1); the libOS exposes it as [sys_share].  The sharing
+    registry lives in {!Phys_mem}, so every address space over the same
+    physical memory resolves the same frame.  Remapping or unmapping the
+    page removes the sharing {e for this address space only} — sibling
+    machines keep theirs.  Like the registry itself, that removal sits
+    outside the snapshot discipline and is not rolled back by restores. *)
 
 val is_shared : t -> vpn:int -> bool
 

@@ -15,10 +15,14 @@ let no_evictions () = []
 
 let dfs () =
   let stack = ref [] in
+  (* Explorers consult [length] on every push ([max_frontier] tracking), so
+     it must be O(1) — a [List.length] here makes deep searches quadratic. *)
+  let count = ref 0 in
   { name = "dfs";
     push_batch =
       (fun batch ->
         (* Prepend keeping batch order, so extension 0 pops first. *)
+        count := !count + List.length batch;
         stack := List.fold_right (fun (_, x) acc -> x :: acc) batch !stack);
     pop =
       (fun () ->
@@ -26,8 +30,9 @@ let dfs () =
         | [] -> None
         | x :: rest ->
           stack := rest;
+          decr count;
           Some x);
-    length = (fun () -> List.length !stack);
+    length = (fun () -> !count);
     evicted = no_evictions }
 
 let bfs () =
@@ -114,12 +119,14 @@ let beam ~width () =
 let dfs_bounded ~max_depth () =
   if max_depth < 0 then invalid_arg "Frontier.dfs_bounded: negative bound";
   let stack = ref [] in
+  let count = ref 0 in
   let dropped = ref [] in
   { name = Printf.sprintf "dfs<=%d" max_depth;
     push_batch =
       (fun batch ->
         let keep, drop = List.partition (fun (m, _) -> m.depth <= max_depth) batch in
         dropped := List.rev_append (List.map snd drop) !dropped;
+        count := !count + List.length keep;
         stack := List.fold_right (fun (_, x) acc -> x :: acc) keep !stack);
     pop =
       (fun () ->
@@ -127,8 +134,9 @@ let dfs_bounded ~max_depth () =
         | [] -> None
         | x :: rest ->
           stack := rest;
+          decr count;
           Some x);
-    length = (fun () -> List.length !stack);
+    length = (fun () -> !count);
     evicted =
       (fun () ->
         let d = !dropped in

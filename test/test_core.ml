@@ -294,13 +294,14 @@ let snapshot_parent_chain () =
   (match Libos.run machine ~fuel:100000 with
   | Libos.Guess_strategy _ -> Vcpu.Cpu.set machine.Libos.cpu R.rax 1
   | other -> Alcotest.failf "unexpected %a" Libos.pp_stop other);
-  let root = Snapshot.capture ~depth:0 machine in
+  let ids = Snapshot.ids () in
+  let root = Snapshot.capture ~ids ~depth:0 machine in
   let rec descend parent depth =
     if depth = 3 then parent
     else
       match Libos.run machine ~fuel:100000 with
       | Libos.Guess _ ->
-        let snap = Snapshot.capture ~parent ~depth machine in
+        let snap = Snapshot.capture ~ids ~parent ~depth machine in
         Vcpu.Cpu.set machine.Libos.cpu R.rax 0;
         descend snap (depth + 1)
       | other -> Alcotest.failf "unexpected %a" Libos.pp_stop other
@@ -310,6 +311,37 @@ let snapshot_parent_chain () =
   check Alcotest.int "root is last"
     root.Snapshot.id
     (List.nth (Snapshot.lineage leaf) 3).Snapshot.id
+
+let snapshot_ids_are_per_run () =
+  (* Regression: snapshot ids came from one global counter, so two
+     simultaneous runs shared (and raced on) the sequence.  Each allocator
+     must start from 0 independently. *)
+  let image = Workloads.Counting.program ~depth:2 ~branch:2 in
+  let boot () = Libos.boot (Mem.Phys_mem.create ()) image in
+  let m1 = boot () and m2 = boot () in
+  let ids1 = Snapshot.ids () and ids2 = Snapshot.ids () in
+  let s1 = Snapshot.capture ~ids:ids1 ~depth:0 m1 in
+  let s1' = Snapshot.capture ~ids:ids1 ~depth:0 m1 in
+  let s2 = Snapshot.capture ~ids:ids2 ~depth:0 m2 in
+  check Alcotest.int "run 1 starts at 0" 0 s1.Snapshot.id;
+  check Alcotest.int "run 1 continues" 1 s1'.Snapshot.id;
+  check Alcotest.int "run 2 starts at 0 too" 0 s2.Snapshot.id
+
+let snapshot_ids_atomic_across_domains () =
+  (* One run's captures racing across two domains must still allocate
+     distinct, dense ids. *)
+  let image = Workloads.Counting.program ~depth:2 ~branch:2 in
+  let ids = Snapshot.ids () in
+  let captures () =
+    let m = Libos.boot (Mem.Phys_mem.create ()) image in
+    List.init 200 (fun _ -> (Snapshot.capture ~ids ~depth:0 m).Snapshot.id)
+  in
+  let d = Domain.spawn captures in
+  let mine = captures () in
+  let theirs = Domain.join d in
+  let all = List.sort_uniq compare (mine @ theirs) in
+  check Alcotest.int "distinct ids" 400 (List.length all);
+  check Alcotest.int "dense from 0" 399 (List.nth all 399)
 
 (* {1 Service} *)
 
@@ -521,6 +553,9 @@ let tests =
     Alcotest.test_case "beam strategy" `Quick beam_strategy_runs;
     Alcotest.test_case "bounded dfs prunes" `Quick dfs_bounded_prunes_depth;
     Alcotest.test_case "snapshot parent chain" `Quick snapshot_parent_chain;
+    Alcotest.test_case "snapshot ids are per-run" `Quick snapshot_ids_are_per_run;
+    Alcotest.test_case "snapshot ids atomic across domains" `Quick
+      snapshot_ids_atomic_across_domains;
     Alcotest.test_case "service resume repeatable" `Quick service_resume_is_repeatable;
     Alcotest.test_case "service distinct branches" `Quick service_distinct_branches;
     Alcotest.test_case "service incremental dpll" `Quick service_guest_dpll_increments;

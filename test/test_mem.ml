@@ -63,6 +63,61 @@ let map_data_contents () =
   As.unmap t ~vpn:3;
   check Alcotest.bool "unmapped" false (As.is_mapped t ~vpn:3)
 
+let u64_boundary_paths_agree () =
+  (* write_u64/read_u64 take a fast aligned path when the 8 bytes fit the
+     page and a byte-assembled path when they straddle the boundary; the
+     two must agree for every split. *)
+  let t = fresh () in
+  As.map_zero t ~vpn:1;
+  As.map_zero t ~vpn:2;
+  let v = 0x0123_4567_89AB_CDEF in
+  for k = 0 to 8 do
+    let addr = 8192 - k in
+    As.write_u64 t addr v;
+    check Alcotest.int (Printf.sprintf "read back, %d bytes before boundary" k)
+      v (As.read_u64 t addr);
+    let assembled = ref 0 in
+    for i = 7 downto 0 do
+      assembled := (!assembled lsl 8) lor As.read_u8 t (addr + i)
+    done;
+    check Alcotest.int (Printf.sprintf "bytes agree, %d before boundary" k)
+      v !assembled
+  done
+
+let u64_crossing_into_unmapped_faults () =
+  let t = fresh () in
+  As.map_zero t ~vpn:1;
+  (* vpn 2 unmapped: an access straddling into it must fault, not wrap *)
+  (match As.read_u64 t (8192 - 4) with
+  | _ -> Alcotest.fail "expected read fault"
+  | exception As.Page_fault { access = As.Read; _ } -> ());
+  match As.write_u64 t (8192 - 4) 0x1234_5678 with
+  | () -> Alcotest.fail "expected write fault"
+  | exception As.Page_fault { access = As.Write; _ } -> ()
+
+let shared_page_unmap_is_local () =
+  (* Two machines over one Phys_mem: A unmapping its shared page must not
+     destroy the page for B.  Regression: unmap used to clear the global
+     registry entry, killing the mapping for every sibling machine. *)
+  let phys = Phys.create () in
+  let a = As.create phys and b = As.create phys in
+  As.map_shared a ~vpn:5;
+  As.write_u64 a (5 * 4096) 42;
+  check Alcotest.bool "B sees the shared page" true (As.is_shared b ~vpn:5);
+  check Alcotest.int "B reads through" 42 (As.read_u64 b (5 * 4096));
+  As.unmap a ~vpn:5;
+  check Alcotest.bool "A lost it" false (As.is_mapped a ~vpn:5);
+  check Alcotest.bool "B keeps it" true (As.is_mapped b ~vpn:5);
+  check Alcotest.int "B still reads 42" 42 (As.read_u64 b (5 * 4096));
+  As.write_u64 b (5 * 4096) 43;
+  check Alcotest.int "B still writes through" 43 (As.read_u64 b (5 * 4096));
+  (match As.read_u8 a (5 * 4096) with
+  | _ -> Alcotest.fail "A must fault after its unmap"
+  | exception As.Page_fault _ -> ());
+  (* remapping brings A back to the same system-wide frame *)
+  As.map_shared a ~vpn:5;
+  check Alcotest.int "A rejoins the sharing" 43 (As.read_u64 a (5 * 4096))
+
 let snapshot_immutable () =
   let t = fresh () in
   As.map_zero t ~vpn:0;
@@ -305,6 +360,11 @@ let tests =
     Alcotest.test_case "cross-page access" `Quick cross_page_access;
     Alcotest.test_case "unmapped faults" `Quick unmapped_faults;
     Alcotest.test_case "map_data contents" `Quick map_data_contents;
+    Alcotest.test_case "u64 boundary paths agree" `Quick u64_boundary_paths_agree;
+    Alcotest.test_case "u64 crossing into unmapped faults" `Quick
+      u64_crossing_into_unmapped_faults;
+    Alcotest.test_case "shared-page unmap is per-machine" `Quick
+      shared_page_unmap_is_local;
     Alcotest.test_case "snapshot immutability" `Quick snapshot_immutable;
     Alcotest.test_case "snapshot tree" `Quick snapshot_tree;
     Alcotest.test_case "snapshot capture is O(1) copies" `Quick snapshot_zero_cost;

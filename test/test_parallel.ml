@@ -144,6 +144,101 @@ let busy_rounds_reported () =
     (fun b -> check Alcotest.bool "bounded by makespan" true (b <= r.Parallel.rounds))
     r.Parallel.busy_rounds
 
+(* {1 Domains backend} *)
+
+let dconfig ?(workers = 4) ?(quantum = 2000) () =
+  { Parallel.default_config with Parallel.workers; quantum; backend = `Domains }
+
+let domains_same_solutions () =
+  let expected = List.sort compare (Workloads.Nqueens.host_boards 6) in
+  List.iter
+    (fun workers ->
+      let r =
+        Parallel.run ~config:(dconfig ~workers ()) (Workloads.Nqueens.program ~n:6)
+      in
+      check Alcotest.int "completed" 0 (completed r);
+      check (Alcotest.list Alcotest.string)
+        (Printf.sprintf "solutions with %d domains" workers)
+        expected (solutions r))
+    [ 1; 2; 4 ]
+
+let domains_counting_tree_all_leaves () =
+  let r =
+    Parallel.run ~config:(dconfig ~workers:4 ())
+      (Workloads.Counting.program ~depth:5 ~branch:3)
+  in
+  check Alcotest.int "completed" 0 (completed r);
+  check Alcotest.int "all leaves" 243 r.Parallel.stats.Core.Stats.fails;
+  check Alcotest.int "all guesses" 121 r.Parallel.stats.Core.Stats.guesses;
+  check Alcotest.int "every extension evaluated once" 363
+    r.Parallel.stats.Core.Stats.extensions_evaluated;
+  check Alcotest.int "work split across domains" 363
+    (Array.fold_left ( + ) 0 r.Parallel.busy_rounds)
+
+let domains_first_exit () =
+  let image = Workloads.Subset_sum.program ~target:21 [ 1; 2; 4; 8; 16 ] in
+  let cfg = { (dconfig ~workers:4 ()) with Parallel.mode = `First_exit } in
+  let r = Parallel.run ~config:cfg image in
+  match r.Parallel.outcome with
+  | Explorer.Stopped_first_exit 0 -> ()
+  | Explorer.Stopped_first_exit s -> Alcotest.failf "first exit with status %d" s
+  | Explorer.Completed _ -> Alcotest.fail "expected first-exit stop"
+  | Explorer.Aborted m -> Alcotest.failf "aborted: %s" m
+
+let per_path_output_attribution () =
+  (* four paths each print a distinct digit then fail: the transcript holds
+     all four, and each fail terminal is attributed exactly its own digit —
+     under both backends (regression for per-worker harvest markers) *)
+  let image =
+    assemble ~entry:"main"
+      ([ label "main" ]
+      @ Wl_common.sys_guess_strategy ~strategy:Abi.strategy_dfs
+      @ [ cmp R.rax (i 0); je "after" ]
+      @ Wl_common.sys_guess_imm ~n:4
+      @ [ mov R.rcx (r R.rax);
+          add R.rcx (i 48);  (* '0' + extension index *)
+          movl R.r8 "slot";
+          st (R.r8 @+ 0) R.rcx ]
+      @ Wl_common.write_label ~buf:"slot" ~len:1
+      @ Wl_common.sys_guess_fail
+      @ [ label "after" ]
+      @ Wl_common.sys_exit ~status:0
+      @ [ align 4096; label "slot"; zeros 8 ])
+  in
+  List.iter
+    (fun backend ->
+      let cfg = { (config ~workers:3 ~quantum:200 ()) with Parallel.backend } in
+      let r = Parallel.run ~config:cfg image in
+      check Alcotest.int "completed" 0 (completed r);
+      let outputs =
+        List.filter_map
+          (fun (t : Explorer.terminal) ->
+            match t.Explorer.kind with
+            | Explorer.Fail when t.Explorer.output <> "" -> Some t.Explorer.output
+            | _ -> None)
+          r.Parallel.terminals
+      in
+      check (Alcotest.list Alcotest.string) "each path owns its digit"
+        [ "0"; "1"; "2"; "3" ]
+        (List.sort compare outputs);
+      check (Alcotest.list Alcotest.string) "transcript is the four digits"
+        [ "0"; "1"; "2"; "3" ]
+        (List.sort compare
+           (List.init
+              (String.length r.Parallel.transcript)
+              (fun i -> String.make 1 r.Parallel.transcript.[i]))))
+    [ `Cooperative; `Domains ]
+
+let max_live_snapshots_tracked () =
+  (* regression: the cooperative scheduler never updated max_live_snapshots *)
+  let r = Parallel.run ~config:(config ~workers:4 ()) (Workloads.Nqueens.program ~n:5) in
+  check Alcotest.int "completed" 0 (completed r);
+  check Alcotest.bool "live-snapshot extent tracked" true
+    (r.Parallel.stats.Core.Stats.max_live_snapshots > 0);
+  check Alcotest.bool "extent covers the frontier" true
+    (r.Parallel.stats.Core.Stats.max_live_snapshots
+    >= r.Parallel.stats.Core.Stats.max_frontier)
+
 let tests =
   [ Alcotest.test_case "same solutions for any worker count" `Quick
       same_solutions_any_worker_count;
@@ -155,4 +250,12 @@ let tests =
     Alcotest.test_case "shared counter across workers" `Quick
       shared_counter_across_workers;
     Alcotest.test_case "isolation between workers" `Quick isolation_between_workers;
-    Alcotest.test_case "busy rounds reported" `Quick busy_rounds_reported ]
+    Alcotest.test_case "busy rounds reported" `Quick busy_rounds_reported;
+    Alcotest.test_case "domains: same solutions" `Quick domains_same_solutions;
+    Alcotest.test_case "domains: counting tree all leaves" `Quick
+      domains_counting_tree_all_leaves;
+    Alcotest.test_case "domains: first exit mode" `Quick domains_first_exit;
+    Alcotest.test_case "per-path output attribution" `Quick
+      per_path_output_attribution;
+    Alcotest.test_case "max live snapshots tracked" `Quick
+      max_live_snapshots_tracked ]

@@ -107,6 +107,28 @@ let empty_pops_none () =
       check Alcotest.int (f.F.name ^ " length") 0 (f.F.length ()))
     [ F.dfs (); F.bfs (); F.astar (); F.sma ~capacity:4 (); F.random ~seed:1 () ]
 
+let length_is_constant_time () =
+  (* The explorers consult [length] on every push (max_frontier tracking).
+     Regression: dfs/dfs_bounded computed it with [List.length] on the live
+     stack, making an n-push search quadratic; 100k pushes took seconds.
+     With the O(1) counter this loop is a few milliseconds, so a generous
+     CPU-time bound keeps the test robust while still failing the
+     quadratic implementation. *)
+  List.iter
+    (fun f ->
+      let t0 = Sys.time () in
+      for i = 1 to 100_000 do
+        push_all f [ (meta (), i) ];
+        ignore (f.F.length ())
+      done;
+      check Alcotest.int (f.F.name ^ " length") 100_000 (f.F.length ());
+      let elapsed = Sys.time () -. t0 in
+      check Alcotest.bool
+        (Printf.sprintf "%s: 100k pushes with length lookups in %.2fs" f.F.name
+           elapsed)
+        true (elapsed < 2.0))
+    [ F.dfs (); F.dfs_bounded ~max_depth:10 () ]
+
 let tests =
   [ Alcotest.test_case "dfs order" `Quick dfs_explores_first_extension_first;
     Alcotest.test_case "bfs fifo" `Quick bfs_is_fifo;
@@ -118,4 +140,5 @@ let tests =
     Alcotest.test_case "weighted A*" `Quick wastar_greediness;
     Alcotest.test_case "beam search" `Quick beam_keeps_best_hints;
     Alcotest.test_case "bounded dfs" `Quick dfs_bounded_refuses_deep;
-    Alcotest.test_case "empty frontiers" `Quick empty_pops_none ]
+    Alcotest.test_case "empty frontiers" `Quick empty_pops_none;
+    Alcotest.test_case "length is O(1)" `Quick length_is_constant_time ]
