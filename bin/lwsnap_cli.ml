@@ -1,5 +1,5 @@
 (* lwsnap: drive the lightweight-snapshot backtracking system from the
-   command line.  Subcommands: run, solve, symex, prolog, disasm. *)
+   command line.  Subcommands: run, solve, symex, prolog, disasm, fuzz. *)
 
 open Cmdliner
 
@@ -272,6 +272,94 @@ let disasm_cmd =
   Cmd.v (Cmd.info "disasm" ~doc:"Disassemble a workload image.")
     Term.(const action $ workload $ size_arg ~default:6)
 
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 42
+         & info [ "seed" ] ~docv:"N" ~doc:"Base seed; program $(i,i) uses seed N+i.")
+  in
+  let budget =
+    Arg.(value & opt int 200
+         & info [ "budget" ] ~docv:"K" ~doc:"Number of random programs to check.")
+  in
+  let depth =
+    Arg.(value & opt int 3
+         & info [ "depth" ] ~docv:"D" ~doc:"Guess-tree depth bound.")
+  in
+  let fanout =
+    Arg.(value & opt int 3
+         & info [ "fanout" ] ~docv:"F" ~doc:"Extensions per sys_guess.")
+  in
+  let ckpt_every =
+    Arg.(value & opt int 1
+         & info [ "ckpt-every" ] ~docv:"K"
+             ~doc:"Checkpoint round-trip every K-th scheduler stop.")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE.s"
+             ~doc:"Where to write a shrunk counterexample (default \
+                   fuzz-counterexample-seed<N>.s).")
+  in
+  let render_only =
+    Arg.(value & flag
+         & info [ "render" ]
+             ~doc:"Print the generated program for --seed and exit without \
+                   running the oracle (for inspecting reproducers).")
+  in
+  let action seed budget depth fanout ckpt_every out render_only =
+    let cfg = { Fuzz.Gen_prog.default_cfg with max_depth = depth; max_fanout = fanout } in
+    if render_only then begin
+      print_string (Fuzz.Gen_prog.render (Fuzz.Gen_prog.generate ~cfg seed));
+      0
+    end
+    else
+    let rec check i =
+      if i >= budget then begin
+        Printf.printf
+          "fuzz: %d programs, 5 pipelines each (icache-off, ckpt-roundtrip, \
+           parallel-coop, parallel-domains, ept-replay vs the baseline): \
+           no divergences\n"
+          budget;
+        0
+      end
+      else begin
+        let prog = Fuzz.Gen_prog.generate ~cfg (seed + i) in
+        match Fuzz.Oracle.check_prog ~ckpt_every prog with
+        | None ->
+          if (i + 1) mod 50 = 0 then
+            Printf.printf "fuzz: %d/%d programs ok\n%!" (i + 1) budget;
+          check (i + 1)
+        | Some d ->
+          Printf.printf "fuzz: seed %d diverges on %s: %s\n%!" (seed + i)
+            d.Fuzz.Oracle.pipeline d.Fuzz.Oracle.detail;
+          let still_diverges p =
+            match Fuzz.Oracle.check_prog ~ckpt_every p with
+            | Some d' -> d'.Fuzz.Oracle.pipeline = d.Fuzz.Oracle.pipeline
+            | None -> false
+          in
+          let small = Fuzz.Shrink.minimise ~still_diverges prog in
+          let path =
+            match out with
+            | Some p -> p
+            | None -> Printf.sprintf "fuzz-counterexample-seed%d.s" (seed + i)
+          in
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (Fuzz.Gen_prog.render small));
+          Printf.printf
+            "fuzz: shrunk reproducer (%d -> %d nodes+stmts) written to %s\n"
+            (Fuzz.Gen_prog.size prog) (Fuzz.Gen_prog.size small) path;
+          1
+      end
+    in
+    check 0
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential fuzzing: random guests cross-checked over every \
+             execution pipeline.")
+    Term.(const action $ seed $ budget $ depth $ fanout $ ckpt_every $ out
+          $ render_only)
+
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
   let info =
@@ -279,4 +367,5 @@ let () =
       ~doc:"Lightweight snapshots and system-level backtracking."
   in
   exit (Cmd.eval' (Cmd.group ~default info
-                     [ run_cmd; solve_cmd; symex_cmd; prolog_cmd; disasm_cmd ]))
+                     [ run_cmd; solve_cmd; symex_cmd; prolog_cmd; disasm_cmd;
+                       fuzz_cmd ]))

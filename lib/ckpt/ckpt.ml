@@ -1,6 +1,13 @@
 module As = Mem.Addr_space
 
-type full = { pages : (int * string) list; bytes : int }
+type full = {
+  pages : (int * string) list;
+  dead : int list;
+      (* vpns unmapped since the previous checkpoint in a chain; a delta
+         must record them or a restore resurrects pages from older deltas
+         (found by the differential fuzzer).  Always [] for full captures. *)
+  bytes : int;
+}
 
 let copy_pages aspace vpns =
   List.map
@@ -12,7 +19,7 @@ let copy_pages aspace vpns =
 
 let full_capture aspace =
   let pages = copy_pages aspace (As.mapped_vpns aspace) in
-  { pages; bytes = List.length pages * Mem.Page.size }
+  { pages; dead = []; bytes = List.length pages * Mem.Page.size }
 
 let full_restore aspace full =
   List.iter (fun vpn -> As.unmap aspace ~vpn) (As.mapped_vpns aspace);
@@ -44,10 +51,11 @@ let incr_capture chain aspace =
            (As.snapshot_map_for_debug prev)
            (As.snapshot_map_for_debug mark))
   in
-  let live = List.filter (fun vpn -> As.is_mapped aspace ~vpn) dirty_vpns in
+  let live, dead = List.partition (fun vpn -> As.is_mapped aspace ~vpn) dirty_vpns in
   let pages = copy_pages aspace live in
   chain.marks <- mark :: chain.marks;
-  chain.states <- { pages; bytes = List.length pages * Mem.Page.size } :: chain.states
+  chain.states <-
+    { pages; dead; bytes = List.length pages * Mem.Page.size } :: chain.states
 
 let incr_count chain = List.length chain.states
 
@@ -59,8 +67,10 @@ let incr_restore aspace chain ~index =
   List.iter (fun vpn -> As.unmap aspace ~vpn) (As.mapped_vpns aspace);
   List.iteri
     (fun k state ->
-      if k <= index then
-        List.iter (fun (vpn, data) -> As.map_data aspace ~vpn data) state.pages)
+      if k <= index then begin
+        List.iter (fun (vpn, data) -> As.map_data aspace ~vpn data) state.pages;
+        List.iter (fun vpn -> As.unmap aspace ~vpn) state.dead
+      end)
     ordered
 
 let incr_bytes chain = List.fold_left (fun acc s -> acc + s.bytes) 0 chain.states

@@ -63,7 +63,7 @@ let strategy_of_id id : strategy option =
 let reason_to_string r = Format.asprintf "%a" Libos.pp_reason r
 
 let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
-    ?(max_extensions = max_int) ?strategy_override (machine : Libos.t) =
+    ?(max_extensions = max_int) ?strategy_override ?on_stop (machine : Libos.t) =
   let stats = Stats.create () in
   let ids = Snapshot.ids () in
   let mem_before = Mem.Mem_metrics.copy (Mem.Addr_space.metrics machine.aspace) in
@@ -141,7 +141,9 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
   in
 
   let rec loop () =
-    match Libos.run machine ~fuel:fuel_per_step with
+    let stop = Libos.run machine ~fuel:fuel_per_step in
+    (match on_stop with None -> () | Some f -> f machine stop);
+    match stop with
     | Libos.Guess_strategy { strategy } -> (
       match !scope with
       | Some _ -> finish (Aborted "nested sys_guess_strategy")

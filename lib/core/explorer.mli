@@ -70,13 +70,17 @@ val run :
   ?fuel_per_step:int ->
   ?max_extensions:int ->
   ?strategy_override:strategy ->
+  ?on_stop:(Os.Libos.t -> Os.Libos.stop -> unit) ->
   Os.Libos.t ->
   result
 (** Drive a booted machine to completion.  [fuel_per_step] bounds guest
     instructions between scheduler events (default 50M); [max_extensions]
     aborts runaway searches; [strategy_override] ignores the id passed to
     [sys_guess_strategy] and forces the given strategy — how the E6 bench
-    runs one program under many strategies. *)
+    runs one program under many strategies.  [on_stop] observes every
+    scheduler-visible stop before it is dispatched; the fuzz oracle uses it
+    to exercise checkpoint round-trips at real scheduling points, so it may
+    mutate the machine as long as the visible state is unchanged. *)
 
 val run_image :
   ?mode:mode ->

@@ -1,0 +1,326 @@
+module Abi = Os.Sys_abi
+
+type cfg = {
+  max_depth : int;
+  max_fanout : int;
+  max_stmts : int;
+}
+
+let default_cfg = { max_depth = 3; max_fanout = 3; max_stmts = 5 }
+
+type stmt = { lines : string list }
+
+type node = { pre : stmt list; kind : kind }
+
+and kind =
+  | Guess of node list
+  | Fail
+  | Exit of int
+
+type prog = {
+  seed : int;
+  strategy : int;
+  helpers : (string * string list) list;
+  tree : node;
+  exit_status : int;
+}
+
+(* Writable data layout: [arena] must come first so random displacements
+   (bounded by [arena_size]) can never clobber the hexdig table, the print
+   buffer or the scratch-file name behind it. *)
+let arena_size = 3 * 4096
+
+(* Registers the statement generator owns.  rax/rdi/rsi/rdx/rcx are the
+   syscall and helper scratch set, r15 holds the arena base, r12 the
+   scratch-file descriptor, r14 is print_hex-internal. *)
+let scratch = [| "rbx"; "rbp"; "r8"; "r9"; "r10"; "r11"; "r13" |]
+
+let pick st arr = arr.(Random.State.int st (Array.length arr))
+let reg st = pick st scratch
+
+(* A mix of small, page-scale, large and negative immediates. *)
+let imm st =
+  match Random.State.int st 5 with
+  | 0 -> Random.State.int st 16
+  | 1 -> Random.State.int st 8192 - 4096
+  | 2 -> Random.State.int st 0x3fff_ffff
+  | 3 -> -Random.State.int st 0x1_0000
+  | _ -> (Random.State.int st 256 * 0x0101_0101) + Random.State.int st 97
+
+(* An arena displacement leaving [room] bytes before the end; every third
+   draw sits astride a page boundary to exercise crossing accesses. *)
+let arena_disp st ~room =
+  if Random.State.int st 3 = 0 then
+    let page = (1 + Random.State.int st 2) * 4096 in
+    let d = page - room + Random.State.int st (2 * room) in
+    max 0 (min (arena_size - room) d)
+  else Random.State.int st (arena_size - room + 1)
+
+let conds = [| "e"; "ne"; "l"; "le"; "g"; "ge"; "b"; "be"; "a"; "ae"; "s"; "ns" |]
+
+let ins fmt = Printf.ksprintf (fun s -> "    " ^ s) fmt
+
+let gen_simple st =
+  match Random.State.int st 4 with
+  | 0 -> [ ins "mov   %s, %d" (reg st) (imm st) ]
+  | 1 ->
+    let op = pick st [| "add"; "sub"; "imul"; "and"; "or"; "xor" |] in
+    let rhs = if Random.State.bool st then reg st else string_of_int (imm st) in
+    [ ins "%-5s %s, %s" op (reg st) rhs ]
+  | 2 ->
+    let op = pick st [| "shl"; "shr"; "sar" |] in
+    [ ins "%-5s %s, %d" op (reg st) (Random.State.int st 63) ]
+  | _ -> [ ins "%-5s %s" (pick st [| "neg"; "not"; "inc"; "dec" |]) (reg st) ]
+
+let gen_stmt st ~label_counter ~n_helpers =
+  let fresh_label () =
+    incr label_counter;
+    Printf.sprintf "l%d" !label_counter
+  in
+  let lines =
+    match Random.State.int st 13 with
+    | 0 | 1 -> gen_simple st
+    | 2 ->
+      (* non-zero immediate divisor: quotient/remainder without faults *)
+      let op = if Random.State.bool st then "div" else "rem" in
+      [ ins "%-5s %s, %d" op (reg st) (1 + Random.State.int st 1000) ]
+    | 3 ->
+      (* store to the arena, sometimes astride a page boundary *)
+      let byte = Random.State.bool st in
+      let room = if byte then 1 else 8 in
+      let m = Printf.sprintf "[r15+%d]" (arena_disp st ~room) in
+      if Random.State.bool st then
+        [ ins "%-5s %s, %s" (if byte then "stb" else "st") m (reg st) ]
+      else
+        [ ins "%-5s %s, %d" (if byte then "stib" else "sti") m (imm st) ]
+    | 4 ->
+      let byte = Random.State.bool st in
+      let room = if byte then 1 else 8 in
+      [ ins "%-5s %s, [r15+%d]" (if byte then "ldb" else "ld") (reg st)
+          (arena_disp st ~room) ]
+    | 5 ->
+      (* base+index*scale+disp addressing *)
+      let idx = reg st and dst = reg st in
+      let scale = pick st [| 1; 2; 4; 8 |] in
+      let disp = arena_disp st ~room:(8 + (8 * scale)) in
+      [ ins "mov   %s, %d" idx (Random.State.int st 8);
+        ins "st    [r15+%s*%d+%d], %s" idx scale disp dst;
+        ins "ld    %s, [r15+%s*%d+%d]" dst idx scale disp ]
+    | 6 ->
+      (* brk dance: query, grow two pages, touch them, shrink back *)
+      let a = reg st and b = reg st in
+      [ ins "mov   rdi, 0";
+        ins "mov   rax, %d" Abi.sys_brk;
+        ins "syscall";
+        ins "mov   %s, rax" a;
+        ins "mov   rdi, rax";
+        ins "add   rdi, 8192";
+        ins "mov   rax, %d" Abi.sys_brk;
+        ins "syscall";
+        ins "sti   [rax-16], %d" (imm st);
+        ins "ld    %s, [rax-16]" b;
+        ins "mov   rdi, %s" a;
+        ins "mov   rax, %d" Abi.sys_brk;
+        ins "syscall" ]
+    | 7 ->
+      (* write a slice of the arena into the scratch file *)
+      [ ins "mov   rdi, r12";
+        ins "mov   rsi, r15";
+        ins "add   rsi, %d" (arena_disp st ~room:64);
+        ins "mov   rdx, %d" (1 + Random.State.int st 64);
+        ins "mov   rax, %d" Abi.sys_write;
+        ins "syscall" ]
+    | 8 ->
+      (* seek (possibly past EOF) and read back into the arena *)
+      let dst = reg st in
+      [ ins "mov   rdi, r12";
+        ins "mov   rsi, %d" (Random.State.int st 96);
+        ins "mov   rdx, %d" Abi.seek_set;
+        ins "mov   rax, %d" Abi.sys_lseek;
+        ins "syscall";
+        ins "mov   rdi, r12";
+        ins "mov   rsi, r15";
+        ins "add   rsi, %d" (arena_disp st ~room:64);
+        ins "mov   rdx, %d" (1 + Random.State.int st 64);
+        ins "mov   rax, %d" Abi.sys_read;
+        ins "syscall";
+        ins "mov   %s, rax" dst ]
+    | 9 ->
+      (* flag-dependent forward branch over a couple of statements *)
+      let l = fresh_label () in
+      let body = List.concat [ gen_simple st; gen_simple st ] in
+      [ ins "cmp   %s, %d" (reg st) (imm st);
+        ins "j%-4s %s" (pick st conds) l ]
+      @ body
+      @ [ l ^ ":" ]
+    | 10 -> [ ins "call  fn%d" (Random.State.int st n_helpers) ]
+    | 11 ->
+      let a = reg st and b = reg st in
+      [ ins "push  %s" a ] @ gen_simple st @ [ ins "pop   %s" b ]
+    | _ ->
+      (* print a live register; also exercises sys_guess_hint *)
+      if Random.State.int st 4 = 0 then
+        [ ins "mov   rdi, %d" (Random.State.int st 100);
+          ins "mov   rax, %d" Abi.sys_guess_hint;
+          ins "syscall" ]
+      else [ ins "mov   rdi, %s" (reg st); ins "call  print_hex" ]
+  in
+  { lines }
+
+let gen_helpers st =
+  let n = 1 + Random.State.int st 3 in
+  List.init n (fun i ->
+      let body =
+        List.concat (List.init (1 + Random.State.int st 3) (fun _ -> gen_simple st))
+      in
+      (Printf.sprintf "fn%d" i, body @ [ ins "ret" ]))
+
+let rec gen_node st cfg ~label_counter ~n_helpers ~depth =
+  let n_stmts = Random.State.int st (cfg.max_stmts + 1) in
+  let pre = List.init n_stmts (fun _ -> gen_stmt st ~label_counter ~n_helpers) in
+  let kind =
+    if depth >= cfg.max_depth || Random.State.int st 10 < 3 then
+      if Random.State.bool st then Fail else Exit (Random.State.int st 4)
+    else
+      let k = 1 + Random.State.int st cfg.max_fanout in
+      Guess
+        (List.init k (fun _ ->
+             gen_node st cfg ~label_counter ~n_helpers ~depth:(depth + 1)))
+  in
+  { pre; kind }
+
+let generate ?(cfg = default_cfg) seed =
+  let st = Random.State.make [| 0x15a9; seed |] in
+  let helpers = gen_helpers st in
+  let n_helpers = List.length helpers in
+  let label_counter = ref 0 in
+  let strategy =
+    if Random.State.bool st then Abi.strategy_dfs else Abi.strategy_bfs
+  in
+  (* The root always guesses, so every program actually backtracks. *)
+  let k = 1 + Random.State.int st cfg.max_fanout in
+  let children =
+    List.init k (fun _ -> gen_node st cfg ~label_counter ~n_helpers ~depth:1)
+  in
+  let pre =
+    List.init
+      (Random.State.int st (cfg.max_stmts + 1))
+      (fun _ -> gen_stmt st ~label_counter ~n_helpers)
+  in
+  { seed;
+    strategy;
+    helpers;
+    tree = { pre; kind = Guess children };
+    exit_status = Random.State.int st 4 }
+
+let print_hex_lines =
+  [ "; print_hex: write rdi as 16 hex digits plus newline to stdout.";
+    "print_hex:";
+    ins "mov   r14, buf";
+    ins "mov   rcx, 15";
+    "ph_loop:";
+    ins "mov   rax, rdi";
+    ins "and   rax, 15";
+    ins "mov   rsi, hexdig";
+    ins "add   rsi, rax";
+    ins "ldb   rax, [rsi]";
+    ins "stb   [r14+rcx*1], rax";
+    ins "shr   rdi, 4";
+    ins "dec   rcx";
+    ins "jns   ph_loop";
+    ins "stib  [r14+16], 10";
+    ins "mov   rdi, 1";
+    ins "mov   rsi, r14";
+    ins "mov   rdx, 17";
+    ins "mov   rax, %d" Abi.sys_write;
+    ins "syscall";
+    ins "ret" ]
+
+let render p =
+  let b = Buffer.create 4096 in
+  let out line = Buffer.add_string b line; Buffer.add_char b '\n' in
+  let node_counter = ref 0 in
+  let fresh_node () =
+    let id = !node_counter in
+    incr node_counter;
+    Printf.sprintf "node%d" id
+  in
+  out (Printf.sprintf "; generated by Fuzz.Gen_prog, seed %d" p.seed);
+  out "main:";
+  out (ins "mov   r15, arena");
+  out (ins "mov   rdi, fname");
+  out (ins "mov   rsi, %d" (Abi.o_creat lor Abi.o_rdwr));
+  out (ins "mov   rax, %d" Abi.sys_open);
+  out (ins "syscall");
+  out (ins "mov   r12, rax");
+  out (ins "mov   rdi, %d" p.strategy);
+  out (ins "mov   rax, %d" Abi.sys_guess_strategy);
+  out (ins "syscall");
+  out (ins "cmp   rax, 0");
+  out (ins "je    finish");
+  let rec emit_node label { pre; kind } =
+    out (label ^ ":");
+    List.iter (fun s -> List.iter out s.lines) pre;
+    match kind with
+    | Fail ->
+      out (ins "mov   rdi, r8");
+      out (ins "call  print_hex");
+      out (ins "mov   rax, %d" Abi.sys_guess_fail);
+      out (ins "syscall")
+    | Exit status ->
+      out (ins "mov   rdi, rbx");
+      out (ins "call  print_hex");
+      out (ins "mov   rdi, r9");
+      out (ins "call  print_hex");
+      out (ins "mov   rdi, %d" status);
+      out (ins "mov   rax, %d" Abi.sys_exit);
+      out (ins "syscall")
+    | Guess children ->
+      let n = List.length children in
+      out (ins "mov   rdi, %d" n);
+      out (ins "mov   rax, %d" Abi.sys_guess);
+      out (ins "syscall");
+      let labels = List.map (fun _ -> fresh_node ()) children in
+      List.iteri
+        (fun i l -> if i < n - 1 then begin
+            out (ins "cmp   rax, %d" i);
+            out (ins "je    %s" l)
+          end)
+        labels;
+      out (ins "jmp   %s" (List.nth labels (n - 1)));
+      List.iter2 emit_node labels children
+  in
+  emit_node (fresh_node ()) p.tree;
+  out "finish:";
+  out (ins "mov   rdi, %d" p.exit_status);
+  out (ins "mov   rax, %d" Abi.sys_exit);
+  out (ins "syscall");
+  out "";
+  List.iter
+    (fun (name, body) ->
+      out (name ^ ":");
+      List.iter out body;
+      out "")
+    p.helpers;
+  List.iter out print_hex_lines;
+  out "";
+  out ".align 4096";
+  out "arena:";
+  out (Printf.sprintf ".zeros %d" arena_size);
+  out "hexdig:";
+  out ".byte \"0123456789abcdef\"";
+  out "buf:";
+  out ".zeros 32";
+  out "fname:";
+  out ".byte \"scratch.dat\"";
+  out ".zeros 1";
+  Buffer.contents b
+
+let size p =
+  let rec node_size { pre; kind } =
+    1 + List.length pre
+    + match kind with
+      | Guess children -> List.fold_left (fun a n -> a + node_size n) 0 children
+      | Fail | Exit _ -> 0
+  in
+  node_size p.tree

@@ -1,0 +1,64 @@
+(** Seeded random well-formed VX64 guest programs.
+
+    Every generated program is a complete backtracking guest: it opens a
+    scratch file, opens an exploration scope ([sys_guess_strategy] with a
+    random DFS/BFS id), walks a statically generated guess tree whose
+    nodes mix straight-line computation, memory traffic, syscalls and
+    control flow, and exits cleanly once the scope is exhausted.  The
+    programs honour the repo's layout discipline — writable data sits
+    behind an [.align 4096] so code pages stay immutable for the decoded
+    instruction cache — and stay within the subset whose semantics are
+    identical across every execution pipeline (no [sys_share], no
+    [sys_timeout], no stdin), so the differential {!Oracle} can demand
+    exact agreement.
+
+    Statements exercised: register/immediate moves, the full ALU
+    (immediate-only shift counts and non-zero divisors, so no faults),
+    byte and quad loads/stores with base+index*scale+disp addressing
+    including page-crossing accesses, [push]/[pop], [call]/[ret] into
+    generated helper functions, flag-dependent forward branches over every
+    condition code, [brk] grow/touch/shrink dances, VFS write/lseek/read
+    round-trips through the scratch file, [sys_guess_hint], and
+    hex-printing of live registers so path state surfaces in stdout.
+
+    Generation is a pure function of the seed: the same seed and config
+    always produce byte-identical programs. *)
+
+type cfg = {
+  max_depth : int;   (** guess-tree depth bound *)
+  max_fanout : int;  (** extensions per [sys_guess] (at least 1 taken) *)
+  max_stmts : int;   (** straight-line statements per tree node *)
+}
+
+val default_cfg : cfg
+(** depth 3, fanout 3, 5 statements per node. *)
+
+type stmt
+(** One self-contained logical statement (one or more assembly lines; any
+    internal branch labels are globally unique, so statements can be
+    deleted or reordered freely by the shrinker). *)
+
+type node = { pre : stmt list; kind : kind }
+
+and kind =
+  | Guess of node list  (** [sys_guess] over the children *)
+  | Fail                (** print a register digest, then [sys_guess_fail] *)
+  | Exit of int         (** print register digests, then [sys_exit] *)
+
+type prog = {
+  seed : int;
+  strategy : int;  (** {!Os.Sys_abi.strategy_dfs} or [strategy_bfs] *)
+  helpers : (string * string list) list;  (** callable leaf functions *)
+  tree : node;
+  exit_status : int;  (** status of the final exit after exhaustion *)
+}
+
+val generate : ?cfg:cfg -> int -> prog
+(** [generate seed] builds a program from the given seed. *)
+
+val render : prog -> string
+(** The program as [.s] text accepted by {!Isa.Asm_parser.assemble_text};
+    re-rendering an edited tree (see {!Shrink}) is always well-formed. *)
+
+val size : prog -> int
+(** Nodes plus statements — the measure the shrinker minimises. *)

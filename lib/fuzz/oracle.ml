@@ -1,0 +1,290 @@
+module As = Mem.Addr_space
+module Libos = Os.Libos
+module Explorer = Core.Explorer
+module Parallel = Core.Parallel
+
+type divergence = { pipeline : string; detail : string }
+
+(* A pipeline's observable behaviour, flattened for comparison. *)
+type run = {
+  outcome : string;
+  transcript : string;
+  terminals : (string * string * int) list;  (* kind, output, depth *)
+  instructions : int;
+  regs : int list;  (* all 16 GPRs, then rip *)
+  mem_digest : int;
+}
+
+let kind_to_string = function
+  | Explorer.Exit n -> Printf.sprintf "exit(%d)" n
+  | Explorer.Fail -> "fail"
+  | Explorer.Path_killed r -> "killed: " ^ r
+
+let outcome_to_string = function
+  | Explorer.Completed n -> Printf.sprintf "completed(%d)" n
+  | Explorer.Stopped_first_exit n -> Printf.sprintf "first-exit(%d)" n
+  | Explorer.Aborted s -> "aborted: " ^ s
+
+(* FNV-1a folded into OCaml's 63-bit int range. *)
+let fnv_string h s =
+  String.fold_left
+    (fun h c -> (h lxor Char.code c) * 0x100000001b3 land max_int)
+    h s
+
+let fnv_int h v = fnv_string h (string_of_int v)
+
+let page_string aspace vpn =
+  Bytes.to_string
+    (As.read_bytes aspace ~addr:(vpn * Mem.Page.size) ~len:Mem.Page.size)
+
+let aspace_digest aspace =
+  List.fold_left
+    (fun h vpn -> fnv_string (fnv_int h vpn) (page_string aspace vpn))
+    0xbf29ce484222325  (* FNV offset basis, truncated to the int range *)
+    (List.sort compare (As.mapped_vpns aspace))
+
+let machine_run (machine : Libos.t) (r : Explorer.result) =
+  let cpu = machine.Libos.cpu in
+  { outcome = outcome_to_string r.Explorer.outcome;
+    transcript = r.Explorer.transcript;
+    terminals =
+      List.map
+        (fun (t : Explorer.terminal) ->
+          (kind_to_string t.kind, t.output, t.depth))
+        r.Explorer.terminals;
+    instructions = r.Explorer.stats.Core.Stats.instructions;
+    regs = Array.to_list cpu.Vcpu.Cpu.regs @ [ cpu.Vcpu.Cpu.rip ];
+    mem_digest = aspace_digest machine.Libos.aspace }
+
+let parallel_run (r : Parallel.result) =
+  { outcome = outcome_to_string r.Parallel.outcome;
+    transcript = r.Parallel.transcript;
+    terminals =
+      List.map
+        (fun (t : Explorer.terminal) ->
+          (kind_to_string t.kind, t.output, t.depth))
+        r.Parallel.terminals;
+    instructions = r.Parallel.instructions;
+    regs = [];
+    mem_digest = 0 }
+
+(* {1 Comparison} *)
+
+let terminal_to_string (kind, output, depth) =
+  Printf.sprintf "%s depth=%d output=%S" kind depth output
+
+let diff_list name to_string xs ys =
+  if List.length xs <> List.length ys then
+    Some
+      (Printf.sprintf "%s count: %d vs %d" name (List.length xs)
+         (List.length ys))
+  else
+    List.find_map
+      (fun (i, (x, y)) ->
+        if x = y then None
+        else
+          Some
+            (Printf.sprintf "%s[%d]: %s vs %s" name i (to_string x)
+               (to_string y)))
+      (List.mapi (fun i p -> (i, p)) (List.combine xs ys))
+
+(* Exact agreement: deterministic pipelines must be indistinguishable. *)
+let compare_exact pipeline (a : run) (b : run) =
+  let check =
+    if a.outcome <> b.outcome then
+      Some (Printf.sprintf "outcome: %s vs %s" a.outcome b.outcome)
+    else if a.transcript <> b.transcript then
+      Some
+        (Printf.sprintf "transcript: %S vs %S" a.transcript b.transcript)
+    else
+      match diff_list "terminal" terminal_to_string a.terminals b.terminals with
+      | Some _ as d -> d
+      | None ->
+        if a.instructions <> b.instructions then
+          Some
+            (Printf.sprintf "instructions retired: %d vs %d" a.instructions
+               b.instructions)
+        else
+          match diff_list "reg" string_of_int a.regs b.regs with
+          | Some _ as d -> d
+          | None ->
+            if a.mem_digest <> b.mem_digest then
+              Some
+                (Printf.sprintf "memory digest: %x vs %x" a.mem_digest
+                   b.mem_digest)
+            else None
+  in
+  Option.map (fun detail -> { pipeline; detail }) check
+
+(* Multiset agreement: parallel backends complete paths in
+   schedule-dependent order, so sort terminals and transcript lines. *)
+let compare_multiset pipeline (a : run) (b : run) =
+  let lines s = List.sort compare (String.split_on_char '\n' s) in
+  let check =
+    if a.outcome <> b.outcome then
+      Some (Printf.sprintf "outcome: %s vs %s" a.outcome b.outcome)
+    else
+      match
+        diff_list "sorted terminal" terminal_to_string
+          (List.sort compare a.terminals)
+          (List.sort compare b.terminals)
+      with
+      | Some _ as d -> d
+      | None ->
+        diff_list "sorted transcript line"
+          (Printf.sprintf "%S")
+          (lines a.transcript) (lines b.transcript)
+  in
+  Option.map (fun detail -> { pipeline; detail }) check
+
+(* {1 Pipelines} *)
+
+let boot image ~icache =
+  let phys = Mem.Phys_mem.create () in
+  Libos.boot ~icache phys image
+
+let explorer_pipeline ?on_stop ~icache image =
+  let machine = boot image ~icache in
+  let r = Explorer.run ?on_stop machine in
+  machine_run machine r
+
+(* Checkpoint round-trips at scheduler stops: a full eager
+   capture/restore plus an incremental-chain capture and restore of the
+   newest state.  If Ckpt is faithful these are invisible. *)
+(* The chain is rebased every few checkpoints: [incr_restore ~index]
+   replays every delta up to [index], so an unbounded chain would make the
+   k-th checkpoint cost O(k) page maps — quadratic over a long exploration
+   (the first cut of this hook spent >90% of the whole oracle's runtime
+   here).  Short chains keep the round trip honest and the cost linear. *)
+let ckpt_chain_limit = 8
+
+let ckpt_on_stop every =
+  let stops = ref 0 in
+  let chain = ref None in
+  fun (m : Libos.t) (_ : Libos.stop) ->
+    incr stops;
+    if !stops mod every = 0 then begin
+      let full = Ckpt.full_capture m.Libos.aspace in
+      Ckpt.full_restore m.Libos.aspace full;
+      match !chain with
+      | Some c when Ckpt.incr_count c < ckpt_chain_limit ->
+        Ckpt.incr_capture c m.Libos.aspace;
+        Ckpt.incr_restore m.Libos.aspace c ~index:(Ckpt.incr_count c - 1)
+      | _ -> chain := Some (Ckpt.incr_start m.Libos.aspace)
+    end
+
+let parallel_pipeline ~backend image =
+  let config = { Parallel.default_config with backend } in
+  parallel_run (Parallel.run ~config image)
+
+(* Replay the baseline's Addr_space operation trace against the Ept radix
+   page table and compare final memory images page by page. *)
+let ept_replay ~initial_pages ~ops ~(final : Libos.t) =
+  let phys = Mem.Phys_mem.create () in
+  let ept = Mem.Ept.create phys in
+  List.iter (fun (vpn, data) -> Mem.Ept.map_data ept ~vpn data) initial_pages;
+  let snaps = Hashtbl.create 64 in
+  List.iter
+    (fun (op : As.trace_op) ->
+      match op with
+      | T_map_zero vpn -> Mem.Ept.map_zero ept ~vpn
+      | T_map_data (vpn, data) -> Mem.Ept.map_data ept ~vpn data
+      | T_map_shared _ ->
+        (* generated guests never use sys_share (its semantics are
+           deliberately backend-specific); nothing to replay *)
+        ()
+      | T_unmap vpn -> Mem.Ept.unmap ept ~vpn
+      | T_write_u8 (addr, v) -> Mem.Ept.write_u8 ept addr v
+      | T_write_u64 (addr, v) -> Mem.Ept.write_u64 ept addr v
+      | T_write_bytes (addr, data) -> Mem.Ept.write_bytes ept ~addr data
+      | T_seal -> ()  (* generation bookkeeping; no observable content *)
+      | T_snapshot id -> Hashtbl.replace snaps id (Mem.Ept.snapshot ept)
+      | T_restore id -> Mem.Ept.restore ept (Hashtbl.find snaps id))
+    ops;
+  let aspace = final.Libos.aspace in
+  let vpns = List.sort compare (As.mapped_vpns aspace) in
+  let mismatch =
+    List.find_map
+      (fun vpn ->
+        if not (Mem.Ept.is_mapped ept ~vpn) then
+          Some (Printf.sprintf "vpn %#x mapped in Addr_space, not in Ept" vpn)
+        else
+          let a = page_string aspace vpn in
+          let b =
+            Bytes.to_string
+              (Mem.Ept.read_bytes ept ~addr:(vpn * Mem.Page.size)
+                 ~len:Mem.Page.size)
+          in
+          if a <> b then Some (Printf.sprintf "vpn %#x contents differ" vpn)
+          else None)
+      vpns
+  in
+  let mismatch =
+    match mismatch with
+    | Some _ -> mismatch
+    | None ->
+      if Mem.Ept.mapped_pages ept <> List.length vpns then
+        Some
+          (Printf.sprintf "page count: %d in Addr_space vs %d in Ept"
+             (List.length vpns) (Mem.Ept.mapped_pages ept))
+      else None
+  in
+  Option.map (fun detail -> { pipeline = "ept-replay"; detail }) mismatch
+
+(* {1 Entry points} *)
+
+let first_some checks =
+  List.fold_left
+    (fun acc check -> match acc with Some _ -> acc | None -> check ())
+    None checks
+
+let check_image ?(ckpt_every = 1) image =
+  (* Baseline: explorer with icache, tracing every Addr_space op. *)
+  let machine = boot image ~icache:true in
+  let initial_pages =
+    List.map
+      (fun vpn -> (vpn, page_string machine.Libos.aspace vpn))
+      (As.mapped_vpns machine.Libos.aspace)
+  in
+  let ops = ref [] in
+  As.set_trace machine.Libos.aspace (Some (fun op -> ops := op :: !ops));
+  let base_result = Explorer.run machine in
+  As.set_trace machine.Libos.aspace None;
+  let base = machine_run machine base_result in
+  let ops = List.rev !ops in
+  first_some
+    [ (fun () ->
+        compare_exact "icache-off" base
+          (explorer_pipeline ~icache:false image));
+      (fun () ->
+        compare_exact "ckpt-roundtrip" base
+          (explorer_pipeline ~icache:true
+             ~on_stop:(ckpt_on_stop ckpt_every) image));
+      (fun () ->
+        compare_multiset "parallel-coop" base
+          (parallel_pipeline ~backend:`Cooperative image));
+      (fun () ->
+        compare_multiset "parallel-domains" base
+          (parallel_pipeline ~backend:`Domains image));
+      (fun () -> ept_replay ~initial_pages ~ops ~final:machine) ]
+
+let check_text ?ckpt_every text =
+  check_image ?ckpt_every (Isa.Asm_parser.assemble_text text)
+
+let check_prog ?ckpt_every prog =
+  check_text ?ckpt_every (Gen_prog.render prog)
+
+type report = {
+  programs : int;
+  failures : (Gen_prog.prog * divergence) list;
+}
+
+let run_budget ?cfg ?ckpt_every ~seed ~budget () =
+  let failures = ref [] in
+  for i = 0 to budget - 1 do
+    let prog = Gen_prog.generate ?cfg (seed + i) in
+    match check_prog ?ckpt_every prog with
+    | None -> ()
+    | Some d -> failures := (prog, d) :: !failures
+  done;
+  { programs = budget; failures = List.rev !failures }

@@ -1,0 +1,49 @@
+(** The differential oracle: one guest program, every execution pipeline.
+
+    All pipelines promise the same semantics — that is the paper's
+    transparency claim (§3) — so the oracle runs a program through each
+    and demands they agree:
+
+    + {b baseline}: {!Core.Explorer} with the decoded-instruction cache,
+      recording the address-space operation trace (see
+      {!Mem.Addr_space.set_trace});
+    + {b icache-off}: the same explorer with the decode cache disabled —
+      must match the baseline {e exactly} (outcome, transcript, ordered
+      terminals, retired instruction count, final registers, memory
+      digest);
+    + {b ckpt-roundtrip}: the explorer again, but an [on_stop] hook
+      performs an eager {!Ckpt} full-checkpoint capture/restore (plus an
+      incremental-chain round-trip) at every k-th scheduler stop — a
+      faithful checkpoint implementation is invisible, so this too must
+      match exactly;
+    + {b parallel-coop} / {b parallel-domains}: {!Core.Parallel} with 4
+      workers on each backend.  Path completion order is
+      schedule-dependent, so these are compared as multisets: same
+      outcome, same terminal multiset, same transcript line multiset;
+    + {b ept-replay}: the baseline's operation trace replayed against the
+      {!Mem.Ept} radix-page-table backend; the final memory images must
+      be page-for-page identical.
+
+    Generated guests avoid the documented semantic deltas between
+    backends (no [sys_share], no stdin, no [sys_timeout]), which is what
+    entitles the oracle to demand agreement. *)
+
+type divergence = { pipeline : string; detail : string }
+
+val check_text : ?ckpt_every:int -> string -> divergence option
+(** Assemble the [.s] text and cross-check all pipelines; [None] means
+    they all agree.  [ckpt_every] (default 1) is the k in
+    "checkpoint round-trip every k-th scheduler stop".
+    @raise Isa.Asm_parser.Parse_error on unparseable input. *)
+
+val check_prog : ?ckpt_every:int -> Gen_prog.prog -> divergence option
+
+type report = {
+  programs : int;  (** programs checked *)
+  failures : (Gen_prog.prog * divergence) list;
+}
+
+val run_budget :
+  ?cfg:Gen_prog.cfg -> ?ckpt_every:int -> seed:int -> budget:int -> unit ->
+  report
+(** Generate and check [budget] programs seeded [seed], [seed+1], ... *)

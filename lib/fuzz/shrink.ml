@@ -1,0 +1,59 @@
+let remove_i i l = List.filteri (fun j _ -> j <> i) l
+let replace_i i x l = List.mapi (fun j y -> if j = i then x else y) l
+
+(* All one-step reductions of a node, anywhere in its subtree. *)
+let rec node_reductions (n : Gen_prog.node) : Gen_prog.node list =
+  let collapse =
+    match n.Gen_prog.kind with
+    | Gen_prog.Guess children ->
+      children
+      @ (if List.length children > 1 then
+           List.mapi
+             (fun i _ -> { n with Gen_prog.kind = Gen_prog.Guess (remove_i i children) })
+             children
+         else [])
+    | Gen_prog.Fail | Gen_prog.Exit _ -> []
+  in
+  let to_leaf =
+    match n.Gen_prog.kind with
+    | Gen_prog.Fail -> []
+    | Gen_prog.Guess _ | Gen_prog.Exit _ ->
+      [ { n with Gen_prog.kind = Gen_prog.Fail } ]
+  in
+  let in_children =
+    match n.Gen_prog.kind with
+    | Gen_prog.Guess children ->
+      List.concat
+        (List.mapi
+           (fun i c ->
+             List.map
+               (fun c' -> { n with Gen_prog.kind = Gen_prog.Guess (replace_i i c' children) })
+               (node_reductions c))
+           children)
+    | Gen_prog.Fail | Gen_prog.Exit _ -> []
+  in
+  let drop_stmt =
+    List.mapi (fun i _ -> { n with Gen_prog.pre = remove_i i n.Gen_prog.pre }) n.Gen_prog.pre
+  in
+  collapse @ to_leaf @ in_children @ drop_stmt
+
+let minimise ?(max_attempts = 300) ~still_diverges (prog : Gen_prog.prog) =
+  let attempts = ref 0 in
+  let rec go prog =
+    let candidates =
+      List.map (fun t -> { prog with Gen_prog.tree = t }) (node_reductions prog.Gen_prog.tree)
+      (* most aggressive reductions first *)
+      |> List.sort (fun a b -> compare (Gen_prog.size a) (Gen_prog.size b))
+    in
+    let rec try_candidates = function
+      | [] -> prog
+      | c :: rest ->
+        if !attempts >= max_attempts then prog
+        else begin
+          incr attempts;
+          if still_diverges c then go c else try_candidates rest
+        end
+    in
+    try_candidates candidates
+  in
+  go prog

@@ -1,0 +1,16 @@
+(** Minimise a diverging program while the divergence persists.
+
+    Greedy reduction over the {!Gen_prog} tree: collapse a guess node to
+    one of its children, drop a child, replace a subtree with a bare
+    [sys_guess_fail] leaf, or delete a straight-line statement.  Each
+    candidate is re-rendered and re-checked; statements carry their own
+    unique labels, so every candidate assembles.  The result is a local
+    minimum — no single remaining edit preserves the divergence (or the
+    attempt budget ran out). *)
+
+val minimise :
+  ?max_attempts:int ->
+  still_diverges:(Gen_prog.prog -> bool) ->
+  Gen_prog.prog ->
+  Gen_prog.prog
+(** [max_attempts] bounds oracle re-runs (default 300). *)

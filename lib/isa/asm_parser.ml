@@ -269,11 +269,12 @@ let parse_directive line name rest =
   | ".zeros" -> Asm.zeros (parse_int line rest)
   | ".byte" -> (
     let rest = String.trim rest in
-    if String.length rest >= 2 && rest.[0] = '"' && rest.[String.length rest - 1] = '"'
-    then
-      match Scanf.unescaped (String.sub rest 1 (String.length rest - 2)) with
-      | s -> Asm.bytes s
-      | exception Scanf.Scan_failure _ -> fail line "bad string literal"
+    if String.length rest >= 1 && rest.[0] = '"' then
+      if String.length rest >= 2 && rest.[String.length rest - 1] = '"' then
+        match Scanf.unescaped (String.sub rest 1 (String.length rest - 2)) with
+        | s -> Asm.bytes s
+        | exception Scanf.Scan_failure _ -> fail line "bad string literal"
+      else fail line "unterminated string literal"
     else Asm.bytes (String.make 1 (Char.chr (parse_int line rest land 0xff))))
   | _ -> fail line "unknown directive %S" name
 

@@ -15,6 +15,18 @@ let tlb_mask = tlb_size - 1
    from snapshots (they live in [shared], not in the snapshot map). *)
 let shared_owner = -1
 
+type trace_op =
+  | T_map_zero of int
+  | T_map_data of int * string
+  | T_map_shared of int
+  | T_unmap of int
+  | T_write_u8 of int * int
+  | T_write_u64 of int * int
+  | T_write_bytes of int * string
+  | T_seal
+  | T_snapshot of int
+  | T_restore of int
+
 type t = {
   phys : Phys_mem.t;
   metrics : Mem_metrics.t;
@@ -23,6 +35,10 @@ type t = {
   tlb_vpn : int array;                     (* -1 = invalid *)
   mutable tlb_frame : Phys_mem.frame array;
   mutable next_snap_id : int;
+  mutable seen_share_epoch : int;
+      (* the sharing-registry epoch this space last observed; a mismatch in
+         [lookup] means a sibling machine changed the registry since our
+         TLB entries were filled, so they must be shot down before use *)
   mutable shared_hidden : unit Ptmap.t;
       (* shared vpns this address space has unmapped.  The registry in
          [phys] is system-global, so an unmap must hide the page from this
@@ -30,6 +46,8 @@ type t = {
          for every other machine booted on the same physical memory.  Like
          the registry itself, the hidden set sits outside the snapshot
          discipline: restores do not roll it back. *)
+  mutable trace : (trace_op -> unit) option;
+      (* operation recorder for differential replay; [None] in production *)
 }
 
 type snapshot = { snap_id : int; snap_map : Phys_mem.frame Ptmap.t }
@@ -43,7 +61,14 @@ let create phys =
     tlb_vpn = Array.make tlb_size (-1);
     tlb_frame = Array.make tlb_size zero;
     next_snap_id = 0;
-    shared_hidden = Ptmap.empty }
+    seen_share_epoch = Phys_mem.share_epoch phys;
+    shared_hidden = Ptmap.empty;
+    trace = None }
+
+let set_trace t sink = t.trace <- sink
+
+let record t op =
+  match t.trace with None -> () | Some sink -> sink op
 
 let phys t = t.phys
 let metrics t = t.metrics
@@ -62,8 +87,17 @@ let shared_frame t vpn =
   if Ptmap.mem vpn t.shared_hidden then None
   else Phys_mem.shared_page t.phys ~vpn
 
-(* Look up the frame backing [vpn]; raises [Page_fault] when unmapped. *)
+(* Look up the frame backing [vpn]; raises [Page_fault] when unmapped.
+   The epoch check is the simulated TLB shootdown: the sharing registry is
+   system-global, so a sibling machine mapping (or tearing down) a shared
+   page must invalidate OUR cached translations too, or a vpn we had
+   translated privately would keep resolving to the stale private frame. *)
 let lookup t vpn access addr =
+  let epoch = Phys_mem.share_epoch t.phys in
+  if t.seen_share_epoch <> epoch then begin
+    tlb_flush t;
+    t.seen_share_epoch <- epoch
+  end;
   let i = vpn land tlb_mask in
   if t.tlb_vpn.(i) = vpn then begin
     t.metrics.tlb_hits <- t.metrics.tlb_hits + 1;
@@ -114,7 +148,8 @@ let writable_frame t vpn addr =
 
 let map_zero t ~vpn =
   t.map <- Ptmap.add vpn (Phys_mem.zero_frame t.phys) t.map;
-  tlb_invalidate t vpn
+  tlb_invalidate t vpn;
+  record t (T_map_zero vpn)
 
 let map_data t ~vpn data =
   let len = String.length data in
@@ -122,9 +157,11 @@ let map_data t ~vpn data =
   let f = Phys_mem.alloc t.phys ~owner:t.gen in
   Bytes.blit_string data 0 f.Phys_mem.bytes 0 len;
   t.map <- Ptmap.add vpn f t.map;
-  tlb_invalidate t vpn
+  tlb_invalidate t vpn;
+  record t (T_map_data (vpn, data))
 
 let map_shared t ~vpn =
+  record t (T_map_shared vpn);
   t.shared_hidden <- Ptmap.remove vpn t.shared_hidden;
   match Phys_mem.shared_page t.phys ~vpn with
   | Some _ ->
@@ -149,7 +186,8 @@ let unmap t ~vpn =
      entry stays so sibling machines on the same [Phys_mem] keep it. *)
   if Phys_mem.shared_page t.phys ~vpn <> None then
     t.shared_hidden <- Ptmap.add vpn () t.shared_hidden;
-  tlb_invalidate t vpn
+  tlb_invalidate t vpn;
+  record t (T_unmap vpn)
 
 let is_mapped t ~vpn = Ptmap.mem vpn t.map || is_shared t ~vpn
 
@@ -171,7 +209,8 @@ let read_u8 t addr =
 
 let write_u8 t addr v =
   let f = writable_frame t (Page.vpn_of_addr addr) addr in
-  Bytes.unsafe_set f.Phys_mem.bytes (Page.offset_of_addr addr) (Char.unsafe_chr (v land 0xff))
+  Bytes.unsafe_set f.Phys_mem.bytes (Page.offset_of_addr addr) (Char.unsafe_chr (v land 0xff));
+  record t (T_write_u8 (addr, v land 0xff))
 
 let read_u64 t addr =
   let off = Page.offset_of_addr addr in
@@ -192,9 +231,12 @@ let write_u64 t addr v =
   let off = Page.offset_of_addr addr in
   if off <= Page.size - 8 then begin
     let f = writable_frame t (Page.vpn_of_addr addr) addr in
-    Bytes.set_int64_le f.Phys_mem.bytes off (Int64.of_int v)
+    Bytes.set_int64_le f.Phys_mem.bytes off (Int64.of_int v);
+    record t (T_write_u64 (addr, v))
   end
   else
+    (* the per-byte writes record themselves, so a partial write that
+       faults midway leaves a byte-exact trace prefix *)
     for i = 0 to 7 do
       write_u8 t (addr + i) ((v lsr (8 * i)) land 0xff)
     done
@@ -221,6 +263,9 @@ let write_bytes t ~addr data =
     let chunk = min (len - !pos) (Page.size - off) in
     let f = writable_frame t (Page.vpn_of_addr a) a in
     Bytes.blit_string data !pos f.Phys_mem.bytes off chunk;
+    (match t.trace with
+    | None -> ()
+    | Some sink -> sink (T_write_bytes (a, String.sub data !pos chunk)));
     pos := !pos + chunk
   done
 
@@ -228,7 +273,8 @@ let write_bytes t ~addr data =
 
 let seal t =
   tlb_flush t;
-  t.gen <- Phys_mem.fresh_generation t.phys
+  t.gen <- Phys_mem.fresh_generation t.phys;
+  record t T_seal
 
 let snapshot t =
   t.metrics.snapshots <- t.metrics.snapshots + 1;
@@ -238,13 +284,15 @@ let snapshot t =
   (* From now on every frame in [s] belongs to a retired generation, so the
      next store to any of them COWs.  Capture itself copies nothing. *)
   t.gen <- Phys_mem.fresh_generation t.phys;
+  record t (T_snapshot s.snap_id);
   s
 
 let restore t s =
   t.metrics.restores <- t.metrics.restores + 1;
   tlb_flush t;
   t.map <- s.snap_map;
-  t.gen <- Phys_mem.fresh_generation t.phys
+  t.gen <- Phys_mem.fresh_generation t.phys;
+  record t (T_restore s.snap_id)
 
 let snapshot_id s = s.snap_id
 let snapshot_pages s = Ptmap.cardinal s.snap_map

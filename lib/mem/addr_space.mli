@@ -95,6 +95,32 @@ val delta_pages : snapshot -> snapshot -> int
 val generation : t -> int
 val snapshot_map_for_debug : snapshot -> Phys_mem.frame Stdx.Ptmap.t
 
+(** {1 Operation tracing}
+
+    A recorder for the state-changing operations applied to this address
+    space, rich enough to replay the same trace against another MMU backend
+    ({!Ept}) and compare the resulting memory images — the mechanism behind
+    the differential-fuzzing oracle and the E8-style equivalence checks.
+    Reads are not recorded.  With no sink installed the cost is one branch
+    per mutating operation. *)
+
+type trace_op =
+  | T_map_zero of int                (** vpn *)
+  | T_map_data of int * string       (** vpn, initial contents *)
+  | T_map_shared of int              (** vpn *)
+  | T_unmap of int                   (** vpn *)
+  | T_write_u8 of int * int          (** addr, value *)
+  | T_write_u64 of int * int         (** addr, value *)
+  | T_write_bytes of int * string    (** addr, data *)
+  | T_seal
+  | T_snapshot of int                (** the captured snapshot's id *)
+  | T_restore of int                 (** id of the snapshot restored *)
+
+val set_trace : t -> (trace_op -> unit) option -> unit
+(** Install (or remove) the trace sink.  Each mutating operation is
+    reported exactly once, after it succeeds — an operation that raises
+    {!Page_fault} records nothing. *)
+
 val reading_frame : t -> int -> Phys_mem.frame
 (** TLB-backed resolution of the frame backing a byte address (the fetch
     path of the interpreter).  A frame whose [owner] is not the current

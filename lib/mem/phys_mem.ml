@@ -8,6 +8,12 @@ type t = {
   shared_pages : (int, frame) Hashtbl.t;
       (* explicitly-shared frames by vpn: system-global so that every
          address space over this physical memory sees the same page *)
+  mutable share_epoch : int;
+      (* bumped on every registry change; address spaces compare it against
+         the epoch they last observed and flush their TLB on mismatch — the
+         simulation's stand-in for a cross-CPU TLB shootdown, without which
+         a machine that cached a private translation would keep reading its
+         stale frame after a sibling shares the same vpn *)
 }
 
 (* Generation 0 is reserved: it owns the zero frame and nothing else, so no
@@ -17,7 +23,7 @@ let zero_generation = 0
 let create () =
   let zero = { id = 0; bytes = Bytes.make Page.size '\000'; owner = zero_generation } in
   { next_frame = 1; next_gen = 1; zero; metrics = Mem_metrics.create ();
-    shared_pages = Hashtbl.create 8 }
+    shared_pages = Hashtbl.create 8; share_epoch = 0 }
 
 let metrics t = t.metrics
 
@@ -39,8 +45,15 @@ let alloc_copy t ~owner src =
 let frames_allocated t = t.next_frame - 1
 
 let shared_page t ~vpn = Hashtbl.find_opt t.shared_pages vpn
-let set_shared_page t ~vpn frame = Hashtbl.replace t.shared_pages vpn frame
-let clear_shared_page t ~vpn = Hashtbl.remove t.shared_pages vpn
+let set_shared_page t ~vpn frame =
+  Hashtbl.replace t.shared_pages vpn frame;
+  t.share_epoch <- t.share_epoch + 1
+
+let clear_shared_page t ~vpn =
+  Hashtbl.remove t.shared_pages vpn;
+  t.share_epoch <- t.share_epoch + 1
+
+let share_epoch t = t.share_epoch
 let shared_page_count t = Hashtbl.length t.shared_pages
 let shared_vpns t = Hashtbl.fold (fun vpn _ acc -> vpn :: acc) t.shared_pages []
 

@@ -44,6 +44,13 @@ val clear_shared_page : t -> vpn:int -> unit
 val shared_page_count : t -> int
 val shared_vpns : t -> int list
 
+val share_epoch : t -> int
+(** Bumped on every sharing-registry change.  Address spaces flush their
+    TLB when the epoch moves past the one they last observed — the
+    simulated TLB shootdown that keeps sibling machines coherent when one
+    of them shares (or tears down) a page the others had translated
+    privately. *)
+
 val fresh_generation : t -> int
 (** Monotonically increasing generation ids; generation 0 is reserved for
     the zero frame. *)

@@ -44,7 +44,7 @@ type t = {
   cpu : Cpu.t;
   layout : layout;
   counters : counters;
-  icache : Interp.icache;
+  icache : Interp.icache option;
   mutable os : os_state;
 }
 
@@ -63,7 +63,7 @@ let initial_os =
     stdin_pos = 0;
     timeout = 0 }
 
-let boot ?(layout = default_layout) phys (image : Isa.Asm.image) =
+let boot ?(layout = default_layout) ?(icache = true) phys (image : Isa.Asm.image) =
   if not (Mem.Page.is_aligned image.origin) then
     invalid_arg "Libos.boot: image origin not page-aligned";
   if image.origin + String.length image.code > layout.heap_base then
@@ -86,7 +86,7 @@ let boot ?(layout = default_layout) phys (image : Isa.Asm.image) =
     cpu;
     layout;
     counters = { syscall_count = Array.make 32 0; demand_pages = 0; denied = 0 };
-    icache = Interp.create_icache ();
+    icache = (if icache then Some (Interp.create_icache ()) else None);
     os = { initial_os with brk = layout.heap_base } }
 
 (* {1 OS state} *)
@@ -155,16 +155,29 @@ let do_brk t requested =
   else begin
     let old_top = Mem.Page.round_up os.brk in
     let new_top = Mem.Page.round_up requested in
-    if new_top > old_top then
-      (* Grow: map demand-zero pages.  Sharing the zero frame means nothing
-         is allocated until the guest writes. *)
-      for vpn = Mem.Page.vpn_of_addr old_top to Mem.Page.vpn_of_addr (new_top - 1) do
-        As.map_zero t.aspace ~vpn
-      done
-    else if new_top < old_top then
-      for vpn = Mem.Page.vpn_of_addr new_top to Mem.Page.vpn_of_addr (old_top - 1) do
-        As.unmap t.aspace ~vpn
-      done;
+    (* Growing just moves the bound: [service_page_fault] demand-zeroes
+       anything below [brk] on first touch, so no page-table entries are
+       created until the guest writes.  Mapping the range here looks
+       equivalent but costs one trie insert per page — a guest asking for a
+       gigabyte of heap would stall the host on ~250k inserts and bloat
+       every later snapshot walk (found by the differential fuzzer, whose
+       generated guests pass garbage to brk). *)
+    if new_top < old_top then begin
+      (* Shrinking must still drop frames eagerly — memory above the new
+         break is gone, and re-extending reads back zeroes.  Only touch
+         pages that were actually materialised; for a huge retreat, walking
+         the mapped set beats walking the address range. *)
+      let lo = Mem.Page.vpn_of_addr new_top in
+      let hi = Mem.Page.vpn_of_addr (old_top - 1) in
+      if hi - lo > 256 then
+        List.iter
+          (fun vpn -> if vpn >= lo && vpn <= hi then As.unmap t.aspace ~vpn)
+          (As.mapped_vpns t.aspace)
+      else
+        for vpn = lo to hi do
+          if As.is_mapped t.aspace ~vpn then As.unmap t.aspace ~vpn
+        done
+    end;
     t.os <- { os with brk = requested };
     requested
   end
@@ -324,7 +337,7 @@ let run t ~fuel =
     if remaining <= 0 then Killed Fuel_exhausted
     else begin
       let retired_before = cpu.Cpu.retired in
-      let exit = Interp.run ~icache:t.icache cpu t.aspace ~fuel:remaining in
+      let exit = Interp.run ?icache:t.icache cpu t.aspace ~fuel:remaining in
       let used = max 1 (cpu.Cpu.retired - retired_before) in
       let remaining = remaining - used in
       match exit with

@@ -48,15 +48,19 @@ type t = {
   cpu : Vcpu.Cpu.t;
   layout : layout;
   counters : counters;
-  icache : Vcpu.Interp.icache;  (** shared decoded-instruction cache *)
+  icache : Vcpu.Interp.icache option;
+      (** shared decoded-instruction cache; [None] runs every fetch through
+          the decoder (the E9 ablation and the fuzz oracle's icache-off
+          pipeline — retired counts and semantics must not change) *)
   mutable os : os_state;
 }
 
 val default_layout : layout
 
-val boot : ?layout:layout -> Mem.Phys_mem.t -> Isa.Asm.image -> t
+val boot : ?layout:layout -> ?icache:bool -> Mem.Phys_mem.t -> Isa.Asm.image -> t
 (** Map the image's code/data pages, point [rsp] at the stack top and the
-    break at [heap_base].
+    break at [heap_base].  [icache] (default true) enables the decoded
+    instruction cache.
     @raise Invalid_argument if the image overlaps the heap. *)
 
 val run : t -> fuel:int -> stop

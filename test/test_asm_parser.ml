@@ -147,7 +147,30 @@ let error_reporting () =
   expect_error ~line:1 "ld rax, [qux]";
   expect_error ~line:3 "nop\nnop\njxx somewhere";
   expect_error ~line:1 ".align";
-  expect_error ~line:1 "mov 5, rax"
+  expect_error ~line:1 "mov 5, rax";
+  (* unterminated string literals must report the directive's own line,
+     not fall through to the integer parser's message *)
+  expect_error ~line:1 {|.byte "unterminated|};
+  expect_error ~line:2 "nop\n.byte \"no closing quote";
+  expect_error ~line:4 "main:\n    nop\n    hlt\n.byte \"oops\nlater:";
+  (* bad operands after a good mnemonic still name the offending line *)
+  expect_error ~line:2 "nop\nmov rax, [rbx+";
+  expect_error ~line:3 "nop\nnop\nadd notareg, 1"
+
+let unterminated_string_message () =
+  let mentions_unterminated s =
+    let n = String.length s and pat = "unterminated" in
+    let pl = String.length pat in
+    let rec scan i = i + pl <= n && (String.sub s i pl = pat || scan (i + 1)) in
+    scan 0
+  in
+  match P.parse {|.byte "dangling|} with
+  | _ -> Alcotest.fail "expected parse error"
+  | exception P.Parse_error { message; _ } ->
+    check Alcotest.bool
+      (Printf.sprintf "message mentions the string literal: %S" message)
+      true
+      (mentions_unterminated message)
 
 let roundtrip_with_edsl () =
   (* the guest n-queens program printed... simpler: text and eDSL produce
@@ -174,4 +197,6 @@ let tests =
     Alcotest.test_case "end-to-end program" `Quick end_to_end_program;
     Alcotest.test_case "end-to-end hello" `Quick end_to_end_hello;
     Alcotest.test_case "error reporting" `Quick error_reporting;
+    Alcotest.test_case "unterminated string message" `Quick
+      unterminated_string_message;
     Alcotest.test_case "roundtrip with eDSL" `Quick roundtrip_with_edsl ]

@@ -1,0 +1,107 @@
+(* The differential fuzzing oracle: generation, the fixed-seed smoke run,
+   the encode/disasm roundtrip over generated code, and the shrinker. *)
+
+let check = Alcotest.check
+
+let small_cfg = { Fuzz.Gen_prog.max_depth = 2; max_fanout = 2; max_stmts = 3 }
+
+let generation_is_deterministic () =
+  let a = Fuzz.Gen_prog.render (Fuzz.Gen_prog.generate 7) in
+  let b = Fuzz.Gen_prog.render (Fuzz.Gen_prog.generate 7) in
+  check Alcotest.string "same seed, same program" a b;
+  let c = Fuzz.Gen_prog.render (Fuzz.Gen_prog.generate 8) in
+  check Alcotest.bool "different seed, different program" true (a <> c)
+
+let generated_programs_assemble () =
+  for seed = 0 to 19 do
+    let text = Fuzz.Gen_prog.render (Fuzz.Gen_prog.generate seed) in
+    match Isa.Asm_parser.assemble_text text with
+    | (_ : Isa.Asm.image) -> ()
+    | exception Isa.Asm_parser.Parse_error { line; message } ->
+      Alcotest.failf "seed %d: parse error at line %d: %s" seed line message
+    | exception Isa.Asm.Error message ->
+      Alcotest.failf "seed %d: assembly error: %s" seed message
+  done
+
+(* The acceptance smoke run: a handful of programs through all five
+   pipeline comparisons.  Small budget and tree so the suite stays fast;
+   the CLI (and CI's fuzz-smoke job) runs the full budget. *)
+let oracle_smoke () =
+  let r = Fuzz.Oracle.run_budget ~cfg:small_cfg ~seed:42 ~budget:4 () in
+  (match r.Fuzz.Oracle.failures with
+  | [] -> ()
+  | (prog, d) :: _ ->
+    Alcotest.failf "seed %d diverges on %s: %s\nprogram:\n%s"
+      prog.Fuzz.Gen_prog.seed d.Fuzz.Oracle.pipeline d.Fuzz.Oracle.detail
+      (Fuzz.Gen_prog.render prog));
+  check Alcotest.int "programs checked" 4 r.Fuzz.Oracle.programs
+
+let oracle_smoke_default_cfg () =
+  match (Fuzz.Oracle.run_budget ~seed:1042 ~budget:1 ()).Fuzz.Oracle.failures with
+  | [] -> ()
+  | (prog, d) :: _ ->
+    Alcotest.failf "seed %d diverges on %s: %s" prog.Fuzz.Gen_prog.seed
+      d.Fuzz.Oracle.pipeline d.Fuzz.Oracle.detail
+
+(* Disassembling the code section of a generated image and re-encoding the
+   listing must reproduce the bytes exactly. *)
+let encode_disasm_roundtrip () =
+  for seed = 0 to 19 do
+    let text = Fuzz.Gen_prog.render (Fuzz.Gen_prog.generate seed) in
+    let image = Isa.Asm_parser.assemble_text text in
+    let listing =
+      Isa.Disasm.disassemble ~code:image.Isa.Asm.code
+        ~origin:image.Isa.Asm.origin ()
+    in
+    if listing = [] then Alcotest.failf "seed %d: empty listing" seed;
+    let reencoded = Isa.Encode.encode_to_string (List.map snd listing) in
+    let prefix = String.sub image.Isa.Asm.code 0 (String.length reencoded) in
+    if reencoded <> prefix then
+      Alcotest.failf "seed %d: re-encoded bytes differ from the image" seed
+  done
+
+(* Shrinking against a synthetic predicate: the minimiser must preserve
+   the predicate and reach a local minimum without ever producing an
+   unassemblable program. *)
+let shrinker_minimises () =
+  let has_exit p =
+    let rec node_has { Fuzz.Gen_prog.kind; _ } =
+      match kind with
+      | Fuzz.Gen_prog.Exit _ -> true
+      | Fuzz.Gen_prog.Fail -> false
+      | Fuzz.Gen_prog.Guess children -> List.exists node_has children
+    in
+    node_has p.Fuzz.Gen_prog.tree
+  in
+  let cfg = { small_cfg with Fuzz.Gen_prog.max_depth = 3 } in
+  let rec first_with_exit seed =
+    if seed > 100 then Alcotest.failf "no seed below 100 grew an exit leaf"
+    else
+      let p = Fuzz.Gen_prog.generate ~cfg seed in
+      if has_exit p && Fuzz.Gen_prog.size p > 3 then p else first_with_exit (seed + 1)
+  in
+  let prog = first_with_exit 0 in
+  let checked = ref 0 in
+  let still_diverges p =
+    incr checked;
+    ignore (Isa.Asm_parser.assemble_text (Fuzz.Gen_prog.render p));
+    has_exit p
+  in
+  let small = Fuzz.Shrink.minimise ~still_diverges prog in
+  check Alcotest.bool "predicate preserved" true (has_exit small);
+  check Alcotest.bool "actually shrank" true
+    (Fuzz.Gen_prog.size small < Fuzz.Gen_prog.size prog);
+  check Alcotest.bool "oracle consulted" true (!checked > 0);
+  (* a minimal exit-bearing tree is a single statement-free Exit leaf *)
+  check Alcotest.int "local minimum" 1 (Fuzz.Gen_prog.size small)
+
+let tests =
+  [ Alcotest.test_case "generation is deterministic" `Quick
+      generation_is_deterministic;
+    Alcotest.test_case "generated programs assemble" `Quick
+      generated_programs_assemble;
+    Alcotest.test_case "oracle smoke (fixed seeds)" `Quick oracle_smoke;
+    Alcotest.test_case "oracle smoke (default config)" `Quick
+      oracle_smoke_default_cfg;
+    Alcotest.test_case "encode/disasm roundtrip" `Quick encode_disasm_roundtrip;
+    Alcotest.test_case "shrinker minimises" `Quick shrinker_minimises ]

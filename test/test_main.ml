@@ -10,7 +10,9 @@ let () =
       "os", Test_os.tests;
       "search", Test_search.tests;
       "core", Test_core.tests;
+      "work-queue", Test_work_queue.tests;
       "parallel", Test_parallel.tests;
+      "fuzz", Test_fuzz.tests;
       "sat", Test_sat.tests;
       "smt", Test_smt.tests;
       "symex", Test_symex.tests;

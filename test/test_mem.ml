@@ -118,6 +118,26 @@ let shared_page_unmap_is_local () =
   As.map_shared a ~vpn:5;
   check Alcotest.int "A rejoins the sharing" 43 (As.read_u64 a (5 * 4096))
 
+let share_shoots_down_sibling_tlbs () =
+  (* Regression (found by [sharing_matches_model]): B translates vpn 3
+     privately, filling its TLB; A then shares the same vpn.  Without the
+     share-epoch shootdown B's next access hit the cached private frame
+     instead of the now-authoritative shared one. *)
+  let phys = Phys.create () in
+  let a = As.create phys and b = As.create phys in
+  As.map_data b ~vpn:3 "\007";
+  check Alcotest.int "B fills its TLB from the private frame" 7
+    (As.read_u8 b (3 * 4096));
+  As.map_shared a ~vpn:3;
+  As.write_u8 a (3 * 4096) 9;
+  check Alcotest.int "B's stale translation was shot down" 9
+    (As.read_u8 b (3 * 4096));
+  (* tearing the sharing down again must also invalidate B's (now shared)
+     translation, exposing the private frame underneath *)
+  Phys.clear_shared_page phys ~vpn:3;
+  check Alcotest.int "B falls back to its private frame" 7
+    (As.read_u8 b (3 * 4096))
+
 let snapshot_immutable () =
   let t = fresh () in
   As.map_zero t ~vpn:0;
@@ -282,8 +302,11 @@ let ept_deep_vpn () =
 (* random operation script applied to both backends must agree *)
 type op =
   | Map of int
+  | MapData of int * int
   | Unmap of int
   | Write of int * int
+  | WriteBytes of int * int  (* page-crossing multi-byte write *)
+  | Seal
   | Snapshot
   | Restore of int
 
@@ -291,8 +314,11 @@ let op_gen =
   QCheck2.Gen.(
     oneof
       [ map (fun v -> Map (v land 15)) small_int;
+        map2 (fun v x -> MapData (v land 15, x land 0xff)) small_int small_int;
         map (fun v -> Unmap (v land 15)) small_int;
         map2 (fun v x -> Write (v land 15, x land 0xff)) small_int small_int;
+        map2 (fun v x -> WriteBytes (v land 15, x land 0xff)) small_int small_int;
+        return Seal;
         return Snapshot;
         map (fun k -> Restore k) small_int ])
 
@@ -310,6 +336,10 @@ let backends_agree =
           | Map vpn ->
             As.map_zero a ~vpn;
             Ept.map_zero e ~vpn
+          | MapData (vpn, v) ->
+            let data = String.make 5 (Char.chr v) in
+            As.map_data a ~vpn data;
+            Ept.map_data e ~vpn data
           | Unmap vpn ->
             As.unmap a ~vpn;
             Ept.unmap e ~vpn
@@ -318,6 +348,22 @@ let backends_agree =
             let ra = try As.write_u8 a addr v; `Ok with As.Page_fault _ -> `Fault in
             let re = try Ept.write_u8 e addr v; `Ok with As.Page_fault _ -> `Fault in
             if ra <> re then agree := false
+          | WriteBytes (vpn, v) ->
+            (* straddles the page boundary; faults (possibly mid-write,
+               leaving a partial prefix) must match byte for byte *)
+            let addr = Page.addr_of_vpn vpn + Page.size - 5 in
+            let data = String.init 11 (fun i -> Char.chr ((v + i) land 0xff)) in
+            let ra =
+              try As.write_bytes a ~addr data; `Ok with As.Page_fault _ -> `Fault
+            in
+            let re =
+              try Ept.write_bytes e ~addr data; `Ok with As.Page_fault _ -> `Fault
+            in
+            if ra <> re then agree := false
+          | Seal ->
+            (* Addr_space-only generation retirement: observationally inert,
+               so equivalence with Ept must survive it *)
+            As.seal a
           | Snapshot ->
             a_snaps := As.snapshot a :: !a_snaps;
             e_snaps := Ept.snapshot e :: !e_snaps
@@ -329,15 +375,143 @@ let backends_agree =
               As.restore a (List.nth sa k);
               Ept.restore e (List.nth se k)))
         script;
-      (* compare all 16 pages' first bytes *)
+      (* compare first and last bytes of every reachable page (crossing
+         writes from vpn 15 can touch vpn 16) *)
       !agree
       && List.for_all
            (fun vpn ->
-             let addr = Page.addr_of_vpn vpn in
-             let ra = try `V (As.read_u8 a addr) with As.Page_fault _ -> `F in
-             let re = try `V (Ept.read_u8 e addr) with As.Page_fault _ -> `F in
-             ra = re)
-           (List.init 16 Fun.id))
+             List.for_all
+               (fun addr ->
+                 let ra = try `V (As.read_u8 a addr) with As.Page_fault _ -> `F in
+                 let re = try `V (Ept.read_u8 e addr) with As.Page_fault _ -> `F in
+                 ra = re)
+               [ Page.addr_of_vpn vpn; Page.addr_of_vpn vpn + Page.size - 1 ])
+           (List.init 17 Fun.id))
+
+(* Two address spaces on one Phys_mem, exercising explicit sharing,
+   unmap-of-shared locality (the PR 1 fix) and snapshot/restore
+   interleavings, against a first-byte reference model implementing the
+   documented semantics: shared pages resolve before private ones, an
+   unmap hides a shared page for that space only, and neither the
+   sharing registry nor the hidden set rolls back on restore. *)
+module Imap = Map.Make (Int)
+
+type shop =
+  | S_map_zero of int * int
+  | S_map_data of int * int * int
+  | S_map_shared of int * int
+  | S_unmap of int * int
+  | S_write of int * int * int
+  | S_snapshot of int
+  | S_restore of int * int
+
+let shop_gen =
+  QCheck2.Gen.(
+    let sp = int_range 0 1 and vp = int_range 0 7 in
+    oneof
+      [ map2 (fun s v -> S_map_zero (s, v)) sp vp;
+        map3 (fun s v b -> S_map_data (s, v, b land 0xff)) sp vp small_int;
+        map2 (fun s v -> S_map_shared (s, v)) sp vp;
+        map2 (fun s v -> S_unmap (s, v)) sp vp;
+        map3 (fun s v b -> S_write (s, v, b land 0xff)) sp vp small_int;
+        map (fun s -> S_snapshot s) sp;
+        map2 (fun s k -> S_restore (s, k land 7)) sp small_int ])
+
+let sharing_matches_model =
+  qtest ~count:150 "two machines + sharing agree with a reference model"
+    (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 80) shop_gen)
+    (fun script ->
+      let phys = Phys.create () in
+      let spaces = [| As.create phys; As.create phys |] in
+      let snaps = [| ref []; ref [] |] in
+      (* the model: per-space private first-byte maps and hidden sets, one
+         global shared-content table *)
+      let m_shared : (int, int ref) Hashtbl.t = Hashtbl.create 8 in
+      let m_priv = [| ref Imap.empty; ref Imap.empty |] in
+      let m_hidden = [| Hashtbl.create 8; Hashtbl.create 8 |] in
+      let m_snaps = [| ref []; ref [] |] in
+      let visible s vpn =
+        Hashtbl.mem m_shared vpn && not (Hashtbl.mem m_hidden.(s) vpn)
+      in
+      let agree = ref true in
+      List.iter
+        (fun op ->
+          match op with
+          | S_map_zero (s, vpn) ->
+            As.map_zero spaces.(s) ~vpn;
+            m_priv.(s) := Imap.add vpn 0 !(m_priv.(s))
+          | S_map_data (s, vpn, b) ->
+            As.map_data spaces.(s) ~vpn (String.make 3 (Char.chr b));
+            m_priv.(s) := Imap.add vpn b !(m_priv.(s))
+          | S_map_shared (s, vpn) ->
+            As.map_shared spaces.(s) ~vpn;
+            Hashtbl.remove m_hidden.(s) vpn;
+            if not (Hashtbl.mem m_shared vpn) then begin
+              let init =
+                match Imap.find_opt vpn !(m_priv.(s)) with
+                | Some v -> v
+                | None -> 0
+              in
+              Hashtbl.add m_shared vpn (ref init)
+            end;
+            m_priv.(s) := Imap.remove vpn !(m_priv.(s))
+          | S_unmap (s, vpn) ->
+            As.unmap spaces.(s) ~vpn;
+            m_priv.(s) := Imap.remove vpn !(m_priv.(s));
+            if Hashtbl.mem m_shared vpn then
+              Hashtbl.replace m_hidden.(s) vpn ()
+          | S_write (s, vpn, v) ->
+            let ra =
+              try
+                As.write_u8 spaces.(s) (Page.addr_of_vpn vpn) v;
+                `Ok
+              with As.Page_fault _ -> `Fault
+            in
+            let rm =
+              if visible s vpn then begin
+                Hashtbl.find m_shared vpn := v;
+                `Ok
+              end
+              else if Imap.mem vpn !(m_priv.(s)) then begin
+                m_priv.(s) := Imap.add vpn v !(m_priv.(s));
+                `Ok
+              end
+              else `Fault
+            in
+            if ra <> rm then agree := false
+          | S_snapshot s ->
+            snaps.(s) := As.snapshot spaces.(s) :: !(snaps.(s));
+            m_snaps.(s) := !(m_priv.(s)) :: !(m_snaps.(s))
+          | S_restore (s, k) -> (
+            match !(snaps.(s)) with
+            | [] -> ()
+            | real ->
+              let k = k mod List.length real in
+              As.restore spaces.(s) (List.nth real k);
+              m_priv.(s) := List.nth !(m_snaps.(s)) k))
+        script;
+      !agree
+      && List.for_all
+           (fun s ->
+             List.for_all
+               (fun vpn ->
+                 let real_read =
+                   try `V (As.read_u8 spaces.(s) (Page.addr_of_vpn vpn))
+                   with As.Page_fault _ -> `F
+                 in
+                 let model_read =
+                   if visible s vpn then `V !(Hashtbl.find m_shared vpn)
+                   else
+                     match Imap.find_opt vpn !(m_priv.(s)) with
+                     | Some v -> `V v
+                     | None -> `F
+                 in
+                 real_read = model_read
+                 && As.is_mapped spaces.(s) ~vpn
+                    = (visible s vpn || Imap.mem vpn !(m_priv.(s)))
+                 && As.is_shared spaces.(s) ~vpn = visible s vpn)
+               (List.init 8 Fun.id))
+           [ 0; 1 ])
 
 let write_read_model =
   qtest ~count:100 "reads return last write (byte model)"
@@ -365,6 +539,8 @@ let tests =
       u64_crossing_into_unmapped_faults;
     Alcotest.test_case "shared-page unmap is per-machine" `Quick
       shared_page_unmap_is_local;
+    Alcotest.test_case "sharing shoots down sibling TLBs" `Quick
+      share_shoots_down_sibling_tlbs;
     Alcotest.test_case "snapshot immutability" `Quick snapshot_immutable;
     Alcotest.test_case "snapshot tree" `Quick snapshot_tree;
     Alcotest.test_case "snapshot capture is O(1) copies" `Quick snapshot_zero_cost;
@@ -379,4 +555,5 @@ let tests =
     Alcotest.test_case "ept page-table COW" `Quick ept_snapshot_pt_cow;
     Alcotest.test_case "ept deep vpn" `Quick ept_deep_vpn;
     backends_agree;
+    sharing_matches_model;
     write_read_model ]

@@ -32,6 +32,45 @@ let vfs_overwrite_middle () =
   let v = Vfs.write_at v ~path:"/f" ~offset:2 "XY" in
   check (Alcotest.option Alcotest.string) "middle" (Some "abXYefgh") (Vfs.find v ~path:"/f")
 
+let vfs_write_gap_past_existing_eof () =
+  (* extending an EXISTING file through a hole: the gap between the old
+     end and the new write must read back as zeroes, not garbage *)
+  let v = Vfs.add Vfs.empty ~path:"/f" "abc" in
+  let v = Vfs.write_at v ~path:"/f" ~offset:6 "XY" in
+  check (Alcotest.option Alcotest.string) "old + hole + new"
+    (Some "abc\000\000\000XY") (Vfs.find v ~path:"/f");
+  check (Alcotest.option Alcotest.int) "size spans the hole" (Some 8)
+    (Vfs.size v ~path:"/f")
+
+let vfs_overwrite_at_offset_zero () =
+  let v = Vfs.add Vfs.empty ~path:"/f" "abcdefgh" in
+  let v = Vfs.write_at v ~path:"/f" ~offset:0 "XY" in
+  check (Alcotest.option Alcotest.string) "prefix replaced, tail kept"
+    (Some "XYcdefgh") (Vfs.find v ~path:"/f");
+  check (Alcotest.option Alcotest.int) "size unchanged" (Some 8)
+    (Vfs.size v ~path:"/f")
+
+let vfs_size_after_sparse_writes () =
+  (* size is governed by the furthest byte ever written, and shrinks for
+     nobody: a later write inside the hole must not truncate *)
+  let v = Vfs.write_at Vfs.empty ~path:"/f" ~offset:10 "Z" in
+  check (Alcotest.option Alcotest.int) "sparse size" (Some 11) (Vfs.size v ~path:"/f");
+  let v = Vfs.write_at v ~path:"/f" ~offset:2 "mid" in
+  check (Alcotest.option Alcotest.int) "interior write keeps size" (Some 11)
+    (Vfs.size v ~path:"/f");
+  check (Alcotest.option Alcotest.string) "hole still zero" (Some "\000\000")
+    (Vfs.read_at v ~path:"/f" ~offset:0 ~len:2);
+  check (Alcotest.option Alcotest.string) "tail intact" (Some "Z")
+    (Vfs.read_at v ~path:"/f" ~offset:10 ~len:5)
+
+let vfs_read_exactly_at_eof () =
+  let v = Vfs.add Vfs.empty ~path:"/f" "0123" in
+  (* offset = size: a zero-length read, not a fault and not None *)
+  check (Alcotest.option Alcotest.string) "at eof" (Some "")
+    (Vfs.read_at v ~path:"/f" ~offset:4 ~len:10);
+  check (Alcotest.option Alcotest.string) "last byte only" (Some "3")
+    (Vfs.read_at v ~path:"/f" ~offset:3 ~len:1)
+
 let vfs_read_at () =
   let v = Vfs.add Vfs.empty ~path:"/f" "0123456789" in
   check (Alcotest.option Alcotest.string) "window" (Some "345")
@@ -103,6 +142,40 @@ let brk_grows_heap () =
   check Alcotest.int "wrote across heap" 7 (exit_code_of (run m));
   check Alcotest.int "brk value" (Libos.default_layout.Libos.heap_base + 8192)
     (Libos.brk_value m)
+
+let brk_huge_is_lazy () =
+  (* Regression (found by the differential fuzzer): a gigabyte-scale brk
+     must only move the bound — mapping the range eagerly stalled the host
+     on ~250k page-table inserts.  Pages materialise on first touch; a
+     retreat below a touched page drops it again. *)
+  let gb = 1 lsl 30 in
+  let m =
+    boot
+      ([ label "main"; mov R.rdi (i 0) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_brk
+      @ [ mov R.r15 (r R.rax);          (* heap base *)
+          mov R.rdi (r R.rax);
+          add R.rdi (i gb) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_brk
+      @ [ (* touch one page deep inside the grown range *)
+          mov R.rcx (r R.r15);
+          add R.rcx (i (gb / 2));
+          sti (R.rcx @+ 0) 42;
+          (* retreat below the touched page, then re-extend over it *)
+          mov R.rdi (r R.r15);
+          add R.rdi (i 4096) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_brk
+      @ [ mov R.rdi (r R.r15); add R.rdi (i gb) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_brk
+      @ [ (* the re-extended page must read back as zero, not 42 *)
+          ld R.rdi (R.rcx @+ 0) ]
+      @ Wl_common.syscall3 ~number:Abi.sys_exit)
+  in
+  check Alcotest.int "re-extended heap reads zero" 0 (exit_code_of (run m));
+  check Alcotest.int "brk value" (Libos.default_layout.Libos.heap_base + gb)
+    (Libos.brk_value m);
+  check Alcotest.bool "page count stays small" true
+    (Mem.Addr_space.mapped_pages m.Libos.aspace < 64)
 
 let heap_oob_kills () =
   let m =
@@ -290,10 +363,18 @@ let tests =
   [ Alcotest.test_case "vfs persistence" `Quick vfs_persistence;
     Alcotest.test_case "vfs write gap" `Quick vfs_write_gap;
     Alcotest.test_case "vfs overwrite middle" `Quick vfs_overwrite_middle;
+    Alcotest.test_case "vfs write gap past existing eof" `Quick
+      vfs_write_gap_past_existing_eof;
+    Alcotest.test_case "vfs overwrite at offset zero" `Quick
+      vfs_overwrite_at_offset_zero;
+    Alcotest.test_case "vfs size after sparse writes" `Quick
+      vfs_size_after_sparse_writes;
+    Alcotest.test_case "vfs read exactly at eof" `Quick vfs_read_exactly_at_eof;
     Alcotest.test_case "vfs read_at" `Quick vfs_read_at;
     Alcotest.test_case "fd alloc/reuse" `Quick fd_alloc_reuse;
     Alcotest.test_case "hello stdout" `Quick hello_stdout;
     Alcotest.test_case "brk grows heap" `Quick brk_grows_heap;
+    Alcotest.test_case "huge brk is lazy" `Quick brk_huge_is_lazy;
     Alcotest.test_case "heap out-of-bounds kills" `Quick heap_oob_kills;
     Alcotest.test_case "stack demand paging" `Quick stack_demand_paging;
     Alcotest.test_case "file roundtrip" `Quick file_roundtrip;

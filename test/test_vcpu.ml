@@ -234,6 +234,69 @@ let retired_counts () =
   let cpu, _ = run_to_halt [ label "main"; nop; nop; nop; hlt ] in
   check Alcotest.int "retired" 4 cpu.Cpu.retired
 
+(* Decode-cache soundness: the same guest, icache on and off, must retire
+   the same instruction count into the same terminal state.  The address
+   space is sealed after load (as the libOS does) so cached runs actually
+   cache from the first fetch. *)
+let run_both items =
+  let exec with_icache =
+    let cpu, aspace = load items in
+    As.seal aspace;
+    let icache = if with_icache then Some (Interp.create_icache ()) else None in
+    let e = Interp.run ?icache cpu aspace ~fuel:1_000_000 in
+    e, cpu
+  in
+  let (e_on, cpu_on) = exec true and (e_off, cpu_off) = exec false in
+  check exit_testable "same vmexit" e_off e_on;
+  check Alcotest.int "same retired count" cpu_off.Cpu.retired cpu_on.Cpu.retired;
+  check Alcotest.int "same rip" cpu_off.Cpu.rip cpu_on.Cpu.rip;
+  List.iter
+    (fun reg ->
+      check Alcotest.int
+        (Printf.sprintf "same %s" (R.name reg))
+        (Cpu.get cpu_off reg) (Cpu.get cpu_on reg))
+    R.all
+
+let icache_sound_adjacent_data () =
+  (* writable data on the page right after the code page: the E9 layout
+     discipline.  The loop hammers the data page; code frames stay in
+     retired generations, so cached decode must stay byte-for-byte true. *)
+  run_both
+    [ label "main";
+      movl R.r8 "counter";
+      mov R.rax (i 0);
+      mov R.rcx (i 200);
+      label "loop_";
+      sti (R.r8 @+ 0) 0;
+      st (R.r8 @+ 0) R.rcx;
+      ld R.rbx (R.r8 @+ 0);
+      add R.rax (r R.rbx);
+      dec R.rcx;
+      jg "loop_";
+      hlt;
+      align 4096;
+      label "counter";
+      zeros 8 ]
+
+let icache_sound_same_page_data () =
+  (* data deliberately on the SAME page as the code: every store COWs the
+     sealed code frame, so cached entries for the old frame must not be
+     replayed for the fresh one.  Slower (the E9 cliff), never unsound. *)
+  run_both
+    [ label "main";
+      movl R.r8 "cell";
+      mov R.rax (i 0);
+      mov R.rcx (i 50);
+      label "loop_";
+      st (R.r8 @+ 0) R.rcx;
+      ld R.rbx (R.r8 @+ 0);
+      add R.rax (r R.rbx);
+      dec R.rcx;
+      jg "loop_";
+      hlt;
+      label "cell";
+      zeros 8 ]
+
 let tests =
   [ Alcotest.test_case "arithmetic" `Quick arithmetic;
     Alcotest.test_case "fibonacci loop" `Quick fibonacci;
@@ -247,4 +310,8 @@ let tests =
     Alcotest.test_case "fuel is resumable" `Quick fuel_is_resumable;
     Alcotest.test_case "syscall advances rip" `Quick syscall_advances_rip;
     Alcotest.test_case "save/load roundtrip" `Quick save_load_roundtrip;
-    Alcotest.test_case "retired counts" `Quick retired_counts ]
+    Alcotest.test_case "retired counts" `Quick retired_counts;
+    Alcotest.test_case "icache sound: adjacent data page" `Quick
+      icache_sound_adjacent_data;
+    Alcotest.test_case "icache sound: data on the code page" `Quick
+      icache_sound_same_page_data ]

@@ -1,0 +1,94 @@
+(* Core.Work_queue: the mutex-protected shared frontier behind the
+   Domains backend.  Distributed-termination ordering, stop semantics and
+   initial-path accounting under real contending domains. *)
+
+module Wq = Core.Work_queue
+module Frontier = Search.Frontier
+
+let check = Alcotest.check
+
+let meta depth = { Frontier.depth; hint = 0 }
+
+(* Four domains expand a synthetic binary tree through the queue.  Every
+   worker pushes children BEFORE finish_path, so the queue may never
+   report termination while work is pending; all domains must drain the
+   whole tree and exit their take loops. *)
+let push_then_finish_termination () =
+  let q = Wq.create (Frontier.dfs ()) in
+  Wq.push_batch q [ (meta 0, 0) ];
+  let max_depth = 7 in
+  let taken = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      match Wq.take q with
+      | None -> ()
+      | Some depth ->
+        Atomic.incr taken;
+        if depth < max_depth then
+          Wq.push_batch q [ (meta (depth + 1), depth + 1); (meta (depth + 1), depth + 1) ];
+        Wq.finish_path q;
+        loop ()
+    in
+    loop ()
+  in
+  let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+  List.iter Domain.join domains;
+  (* a complete binary tree of depth 7: 2^8 - 1 nodes *)
+  check Alcotest.int "every pushed path was taken exactly once" 255
+    (Atomic.get taken);
+  check Alcotest.int "frontier drained" 0 (Wq.length q);
+  check Alcotest.int "push accounting" 255 (Wq.pushed q);
+  check Alcotest.bool "not stopped" false (Wq.stopped q)
+
+(* take must block while paths are in flight (the frontier being empty is
+   not termination), and stop must wake every blocked taker. *)
+let stop_wakes_blocked_takers () =
+  let q = Wq.create ~initial_paths:1 (Frontier.dfs ()) in
+  let waiting = Atomic.make 0 in
+  let results = Array.make 3 (Some 0) in
+  let taker i () =
+    Atomic.incr waiting;
+    results.(i) <- Wq.take q
+  in
+  let domains = List.init 3 (fun i -> Domain.spawn (taker i)) in
+  (* let the takers reach the queue (and, in practice, block on it) *)
+  while Atomic.get waiting < 3 do
+    Domain.cpu_relax ()
+  done;
+  for _ = 0 to 100_000 do
+    Domain.cpu_relax ()
+  done;
+  check Alcotest.bool "not yet stopped" false (Wq.stopped q);
+  Wq.stop q;
+  List.iter Domain.join domains;
+  Array.iteri
+    (fun i r -> check Alcotest.bool (Printf.sprintf "taker %d woken" i) true (r = None))
+    results;
+  check Alcotest.bool "stopped" true (Wq.stopped q)
+
+(* initial_paths pre-counts the root path a worker carries natively: with
+   it, an empty frontier blocks takers until that path finishes; without
+   it, an empty frontier means immediate termination. *)
+let initial_paths_accounting () =
+  let q0 = Wq.create (Frontier.dfs ()) in
+  check Alcotest.bool "no initial paths: empty queue terminates" true
+    (Wq.take q0 = None);
+  let q = Wq.create ~initial_paths:1 (Frontier.dfs ()) in
+  let got = ref (Some (-1)) in
+  let taker = Domain.spawn (fun () -> got := Wq.take q) in
+  (* the implicit root path pushes one child, then finishes *)
+  Wq.push_batch q [ (meta 1, 7) ];
+  Wq.finish_path q;
+  Domain.join taker;
+  check Alcotest.bool "taker got the root's child" true (!got = Some 7);
+  (* that child is now in flight; finishing it ends the search *)
+  Wq.finish_path q;
+  check Alcotest.bool "drained and no paths in flight" true (Wq.take q = None)
+
+let tests =
+  [ Alcotest.test_case "push-then-finish termination, 4 domains" `Quick
+      push_then_finish_termination;
+    Alcotest.test_case "stop wakes blocked takers" `Quick
+      stop_wakes_blocked_takers;
+    Alcotest.test_case "initial_paths accounting" `Quick
+      initial_paths_accounting ]
