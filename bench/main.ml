@@ -701,9 +701,77 @@ let micro () =
 
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* E12: exploration under a frame budget (reclaim: evict + replay)    *)
+(* ------------------------------------------------------------------ *)
+
+let e12 () =
+  U.header "E12  frame-budgeted exploration: payload eviction + replay"
+    "Snapshots are cheap in time but not free in space: unbounded \
+     exploration holds every frontier snapshot's frames live at once \
+     (section 2's 'memory-management capabilities' concern).  Under a \
+     frame budget the reclaim store evicts snapshot payloads (deepest, \
+     least-recently-resumed first), keeping only an ancestor reference \
+     plus the choice path, and rebuilds an evicted snapshot by \
+     deterministic re-execution when the scheduler pops it - trading \
+     replayed instructions for bounded residency.  Every budgeted run \
+     must visit the same terminals in the same order as the unbounded \
+     one, and peak live frames must never exceed the budget.";
+  let row = U.row_format [ 10; 9; 10; 10; 8; 15; 8; 9 ] in
+  row
+    [ "budget"; "capacity"; "peak-live"; "evictions"; "replays";
+      "replay-instr"; "ms"; "slowdown" ];
+  let params =
+    { Workloads.Locality.depth = (if !quick then 3 else 4); branch = 3;
+      touch_pages = 3; work = (if !quick then 5 else 50); arena_pages = 16 }
+  in
+  let image = Workloads.Locality.program params in
+  let run capacity () =
+    let phys =
+      if capacity = 0 then Phys.create ~track_live:true ()
+      else Phys.create ~capacity ()
+    in
+    let r = Explorer.run (Os.Libos.boot phys image) in
+    phys, r
+  in
+  let base_ms, (phys0, base) = U.time_ms (run 0) in
+  let peak = Phys.peak_frames_live phys0 in
+  let base_terminals = List.length base.Explorer.terminals in
+  row
+    [ "unbounded"; "-"; U.fint peak; "0"; "0"; "0"; U.fms base_ms;
+      U.fratio 1.0 ];
+  List.iter
+    (fun (label, num, den) ->
+      let capacity = max 16 (peak * num / den) in
+      let ms, (phys, r) = U.time_ms (run capacity) in
+      (match r.Explorer.outcome with
+      | Explorer.Completed _ -> ()
+      | Explorer.Stopped_first_exit _ | Explorer.Aborted _ ->
+        failwith "E12: exploration did not complete under budget");
+      if List.length r.Explorer.terminals <> base_terminals then
+        failwith "E12: terminal count diverged under memory pressure";
+      if Phys.peak_frames_live phys > capacity then
+        failwith "E12: frame budget exceeded";
+      let s = r.Explorer.stats in
+      let replay_share =
+        Printf.sprintf "%d (%.0f%%)" s.Core.Stats.replayed_instructions
+          (100.0
+          *. Float.of_int s.Core.Stats.replayed_instructions
+          /. Float.of_int (max 1 s.Core.Stats.instructions))
+      in
+      row
+        [ label; U.fint capacity; U.fint (Phys.peak_frames_live phys);
+          U.fint s.Core.Stats.payload_evictions;
+          U.fint s.Core.Stats.replays; replay_share; U.fms ms;
+          U.fratio (ms /. base_ms) ])
+    [ "3/4 peak", 3, 4; "1/2 peak", 1, 2; "1/3 peak", 1, 3;
+      "1/4 peak", 1, 4 ]
+
+(* ------------------------------------------------------------------ *)
+
 let experiments =
   [ "E1", e1; "E2", e2; "E3", e3; "E4", e4; "E5", e5; "E6", e6; "E7", e7;
-    "E8", e8; "E9", e9; "E10", e10; "E11", e11; "MICRO", micro ]
+    "E8", e8; "E9", e9; "E10", e10; "E11", e11; "E12", e12; "MICRO", micro ]
 
 let () =
   let only = ref [] in

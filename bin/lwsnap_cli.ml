@@ -37,6 +37,21 @@ let strategy_arg =
 let first_arg =
   Arg.(value & flag & info [ "first" ] ~doc:"Stop at the first in-scope exit.")
 
+let fuel_arg =
+  Arg.(value & opt int 50_000_000
+       & info [ "fuel" ] ~docv:"N"
+           ~doc:"Guest instructions per scheduling step (default 50M).  A \
+                 path that exceeds it is killed and recorded as a \
+                 Path_killed terminal, so divergent guests die instead of \
+                 hanging the run.")
+
+let capacity_arg =
+  Arg.(value & opt int 0
+       & info [ "capacity" ] ~docv:"FRAMES"
+           ~doc:"Bound physical memory to FRAMES frames (0 = unbounded).  \
+                 Under pressure, snapshot payloads are evicted and rebuilt \
+                 by replay when scheduled.")
+
 let size_arg ~default =
   Arg.(value & opt int default & info [ "n" ] ~docv:"N" ~doc:"Problem size.")
 
@@ -73,7 +88,7 @@ let run_cmd =
                    subset) or a path to a .s assembly file (see \
                    examples/guess_three.s for the dialect).")
   in
-  let action workload n strategy first =
+  let action workload n strategy first fuel capacity =
     match build_image workload n with
     | Error msg ->
       prerr_endline msg;
@@ -81,7 +96,9 @@ let run_cmd =
     | Ok image ->
       let mode = if first then `First_exit else `Run_to_completion in
       let result =
-        Core.Explorer.run_image ~mode ?strategy_override:strategy image
+        Core.Explorer.run_image ~mode ~fuel_per_step:fuel
+          ?capacity:(if capacity > 0 then Some capacity else None)
+          ?strategy_override:strategy image
       in
       print_string result.Core.Explorer.transcript;
       (match result.Core.Explorer.outcome with
@@ -92,7 +109,8 @@ let run_cmd =
       0
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a guest search workload under the explorer.")
-    Term.(const action $ workload $ size_arg ~default:6 $ strategy_arg $ first_arg)
+    Term.(const action $ workload $ size_arg ~default:6 $ strategy_arg
+          $ first_arg $ fuel_arg $ capacity_arg)
 
 let solve_cmd =
   let file =
@@ -306,29 +324,64 @@ let fuzz_cmd =
              ~doc:"Print the generated program for --seed and exit without \
                    running the oracle (for inspecting reproducers).")
   in
-  let action seed budget depth fanout ckpt_every out render_only =
+  let faults =
+    Arg.(value & opt int 0
+         & info [ "faults" ] ~docv:"K"
+             ~doc:"Additionally run each program under K seeded \
+                   fault-injection plans (allocation failures, worker \
+                   crashes, fuel jitter) on the supervised parallel \
+                   backends; recovery must leave the terminal multiset \
+                   identical to the fault-free baseline.  A diverging plan \
+                   is written to fuzz-fault-plan-seed<N>.txt.")
+  in
+  let action seed budget depth fanout ckpt_every out render_only faults =
     let cfg = { Fuzz.Gen_prog.default_cfg with max_depth = depth; max_fanout = fanout } in
     if render_only then begin
       print_string (Fuzz.Gen_prog.render (Fuzz.Gen_prog.generate ~cfg seed));
       0
     end
     else
+    let check_faults i prog =
+      if faults <= 0 then 0
+      else
+        match Fuzz.Oracle.check_prog_faults ~seed:(seed + i) ~plans:faults prog with
+        | None -> 0
+        | Some (plan, d) ->
+          let path = Printf.sprintf "fuzz-fault-plan-seed%d.txt" (seed + i) in
+          Out_channel.with_open_text path (fun oc ->
+              Printf.fprintf oc
+                "# fault plan diverging on %s\n# %s\n%s\n# program:\n%s"
+                d.Fuzz.Oracle.pipeline d.Fuzz.Oracle.detail
+                (Inject.render plan)
+                (Fuzz.Gen_prog.render prog));
+          Printf.printf
+            "fuzz: seed %d under fault plan diverges on %s: %s\n\
+             fuzz: diverging plan written to %s\n%!"
+            (seed + i) d.Fuzz.Oracle.pipeline d.Fuzz.Oracle.detail path;
+          1
+    in
     let rec check i =
       if i >= budget then begin
         Printf.printf
           "fuzz: %d programs, 5 pipelines each (icache-off, ckpt-roundtrip, \
-           parallel-coop, parallel-domains, ept-replay vs the baseline): \
+           parallel-coop, parallel-domains, ept-replay vs the baseline)%s: \
            no divergences\n"
-          budget;
+          budget
+          (if faults > 0 then
+             Printf.sprintf " plus %d fault plans each" faults
+           else "");
         0
       end
       else begin
         let prog = Fuzz.Gen_prog.generate ~cfg (seed + i) in
         match Fuzz.Oracle.check_prog ~ckpt_every prog with
         | None ->
-          if (i + 1) mod 50 = 0 then
-            Printf.printf "fuzz: %d/%d programs ok\n%!" (i + 1) budget;
-          check (i + 1)
+          if check_faults i prog <> 0 then 1
+          else begin
+            if (i + 1) mod 50 = 0 then
+              Printf.printf "fuzz: %d/%d programs ok\n%!" (i + 1) budget;
+            check (i + 1)
+          end
         | Some d ->
           Printf.printf "fuzz: seed %d diverges on %s: %s\n%!" (seed + i)
             d.Fuzz.Oracle.pipeline d.Fuzz.Oracle.detail;
@@ -358,7 +411,7 @@ let fuzz_cmd =
        ~doc:"Differential fuzzing: random guests cross-checked over every \
              execution pipeline.")
     Term.(const action $ seed $ budget $ depth $ fanout $ ckpt_every $ out
-          $ render_only)
+          $ render_only $ faults)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -39,7 +39,8 @@ type result = {
 
 type mode = [ `Run_to_completion | `First_exit ]
 
-type scope = { root : Snapshot.t; frontier : Ext.t Frontier.t }
+type scope = { root : Snapshot.t; root_handle : Reclaim.handle option;
+               frontier : Ext.t Frontier.t }
 
 let make_frontier : strategy -> Ext.t Frontier.t = function
   | `Dfs -> Frontier.dfs ()
@@ -63,9 +64,9 @@ let strategy_of_id id : strategy option =
 let reason_to_string r = Format.asprintf "%a" Libos.pp_reason r
 
 let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
-    ?(max_extensions = max_int) ?strategy_override ?on_stop (machine : Libos.t) =
+    ?(max_extensions = max_int) ?(retry_budget = 3) ?strategy_override
+    ?on_stop (machine : Libos.t) =
   let stats = Stats.create () in
-  let ids = Snapshot.ids () in
   let mem_before = Mem.Mem_metrics.copy (Mem.Addr_space.metrics machine.aspace) in
   let retired_before = machine.cpu.Cpu.retired in
   let transcript = Buffer.create 256 in
@@ -75,6 +76,32 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
   let pending_hint = ref 0 in
   let current_depth = ref 0 in
   let current_snap : Snapshot.t option ref = ref None in
+
+  (* Memory-pressure integration: a bounded physical memory gets a reclaim
+     store, so snapshot payloads can be evicted when frames run out and
+     rebuilt by replay when their extension is finally scheduled. *)
+  let phys = Mem.Addr_space.phys machine.aspace in
+  let store =
+    if Mem.Phys_mem.capacity phys > 0 then begin
+      let st = Reclaim.create ~fuel_per_step machine in
+      Mem.Phys_mem.set_pressure_handler phys (Some (Reclaim.pressure_handler st));
+      Some st
+    end
+    else None
+  in
+  (* In reclaim mode, replays capture through the store's id allocator;
+     sharing it keeps snapshot ids unique across originals and rebuilds. *)
+  let ids =
+    match store with
+    | Some st -> Reclaim.snapshot_ids st
+    | None -> Snapshot.ids ()
+  in
+  (* The origin of the path being evaluated: the popped extension (or the
+     root path), plus the retry count supervision has spent on it. *)
+  let current_origin : Ext.t option ref = ref None in
+  let current_handle : Reclaim.handle option ref = ref None in
+  let current_choice = ref 1 in
+  let retries = ref 0 in
 
   (* Move stdout chunks produced since the last scheduling point into the
      global transcript; returns them as this path's attributed output. *)
@@ -100,33 +127,77 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
 
   let finish outcome =
     stats.instructions <- machine.cpu.Cpu.retired - retired_before;
-    Mem.Mem_metrics.add stats.mem
-      (Mem.Mem_metrics.diff (Mem.Addr_space.metrics machine.aspace) mem_before);
+    let mem_delta =
+      Mem.Mem_metrics.diff (Mem.Addr_space.metrics machine.aspace) mem_before
+    in
+    let mem_delta =
+      (* Replays re-execute work the original run already performed and
+         accounted; reporting it again would make eviction look like extra
+         guest progress. *)
+      match store with
+      | None -> mem_delta
+      | Some st ->
+        stats.instructions <-
+          stats.instructions - Reclaim.replayed_instructions st;
+        stats.payload_evictions <- Reclaim.evictions st;
+        stats.replays <- Reclaim.replays st;
+        stats.replayed_instructions <- Reclaim.replayed_instructions st;
+        Mem.Mem_metrics.diff mem_delta (Reclaim.suppressed_mem st)
+    in
+    Mem.Mem_metrics.add stats.mem mem_delta;
     { outcome;
       transcript = Buffer.contents transcript;
       terminals = List.rev !terminals;
       stats }
   in
 
+  let resolve (ext : Ext.t) =
+    match ext.payload with
+    | Ext.Snap s -> s
+    | Ext.Ref h -> (
+      match store with
+      | Some st -> Reclaim.get st h
+      | None -> invalid_arg "Explorer: managed extension without a store")
+  in
+
   (* Schedule the next extension; [`Continue] means the machine is ready to
      resume, [`Scope_done] that the scope was exhausted and the root
      restored (rax is 0 there, captured before it was set to 1). *)
-  let schedule sc =
+  let rec schedule sc =
     stats.evicted <- stats.evicted + List.length (sc.frontier.Frontier.evicted ());
     match sc.frontier.Frontier.pop () with
-    | Some (ext : Ext.t) ->
-      Snapshot.restore machine ext.snap;
-      marker := Libos.stdout_chunks machine;
-      Cpu.set machine.cpu Reg.rax ext.index;
-      current_depth := ext.meta.Frontier.depth;
-      current_snap := Some ext.snap;
-      stats.extensions_evaluated <- stats.extensions_evaluated + 1;
-      stats.restores <- stats.restores + 1
+    | Some (ext : Ext.t) -> (
+      match resolve ext with
+      | snap ->
+        Snapshot.restore machine snap;
+        marker := Libos.stdout_chunks machine;
+        Cpu.set machine.cpu Reg.rax ext.index;
+        current_depth := ext.meta.Frontier.depth;
+        current_snap := Some snap;
+        current_origin := Some ext;
+        current_handle :=
+          (match ext.payload with Ext.Ref h -> Some h | Ext.Snap _ -> None);
+        current_choice := ext.index;
+        retries := 0;
+        stats.extensions_evaluated <- stats.extensions_evaluated + 1;
+        stats.restores <- stats.restores + 1
+      | exception e ->
+        (* Reconstruction failed (e.g. genuinely out of frames): this path
+           dies; the search itself survives. *)
+        current_depth := ext.meta.Frontier.depth;
+        stats.kills <- stats.kills + 1;
+        record
+          (Path_killed
+             (Printf.sprintf "reconstruction failed: %s" (Printexc.to_string e)))
+          "";
+        schedule sc)
     | None ->
       Snapshot.restore machine sc.root;
       marker := Libos.stdout_chunks machine;
       current_depth := 0;
       current_snap := None;
+      current_origin := None;
+      retries := 0;
       stats.restores <- stats.restores + 1;
       scope := None
   in
@@ -135,13 +206,25 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
     let frontier_len = sc.frontier.Frontier.length () in
     stats.max_frontier <- max stats.max_frontier frontier_len;
     let lineage_len =
-      match !current_snap with None -> 0 | Some s -> List.length (Snapshot.lineage s)
+      match store with
+      | Some _ ->
+        (* managed captures carry no parent link (eviction must be able to
+           free ancestors), so count the path itself *)
+        !current_depth + 1
+      | None -> (
+        match !current_snap with
+        | None -> 0
+        | Some s -> List.length (Snapshot.lineage s))
     in
     stats.max_live_snapshots <- max stats.max_live_snapshots (frontier_len + lineage_len)
   in
 
   let rec loop () =
-    let stop = Libos.run machine ~fuel:fuel_per_step in
+    match
+      (try `Stop (Libos.run machine ~fuel:fuel_per_step) with e -> `Crash e)
+    with
+    | `Crash e -> crashed e
+    | `Stop stop ->
     (match on_stop with None -> () | Some f -> f machine stop);
     match stop with
     | Libos.Guess_strategy { strategy } -> (
@@ -162,9 +245,14 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
           Cpu.set machine.cpu Reg.rax 0;
           let root = Snapshot.capture ~ids ~depth:0 machine in
           stats.snapshots_created <- stats.snapshots_created + 1;
-          scope := Some { root; frontier = make_frontier strat };
+          let root_handle = Option.map (fun st -> Reclaim.add_root st root) store in
+          scope := Some { root; root_handle; frontier = make_frontier strat };
           current_snap := Some root;
           current_depth := 0;
+          current_origin := None;
+          current_handle := root_handle;
+          current_choice := 1;
+          retries := 0;
           Cpu.set machine.cpu Reg.rax 1;
           loop ()))
     | Libos.Guess { n } -> (
@@ -180,14 +268,29 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
         end
         else begin
           let snap =
-            Snapshot.capture ~ids ?parent:!current_snap ~depth:!current_depth machine
+            Snapshot.capture ~ids
+              ?parent:(if store = None then !current_snap else None)
+              ~depth:!current_depth machine
           in
           stats.guesses <- stats.guesses + 1;
           stats.snapshots_created <- stats.snapshots_created + 1;
+          let payload =
+            match store with
+            | None -> Ext.Snap snap
+            | Some st ->
+              let parent =
+                match !current_handle with
+                | Some h -> h
+                | None -> invalid_arg "Explorer: scope path without a handle"
+              in
+              Ext.Ref
+                (Reclaim.add st ~parent ~choice:!current_choice
+                   ~depth:!current_depth snap)
+          in
           let meta = { Frontier.depth = !current_depth + 1; hint = !pending_hint } in
           pending_hint := 0;
           let batch =
-            List.init n (fun index -> meta, { Ext.snap; index; meta })
+            List.init n (fun index -> meta, { Ext.payload; index; meta })
           in
           sc.frontier.Frontier.push_batch batch;
           stats.extensions_pushed <- stats.extensions_pushed + n;
@@ -233,13 +336,62 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
         record (Path_killed (reason_to_string reason)) output;
         schedule sc;
         loop ())
+
+  (* Supervision: an exception escaping guest evaluation (an injected
+     worker crash, a genuine out-of-frames) kills the attempt, not the
+     run.  The path's origin is re-scheduled under a bounded retry budget;
+     a path that keeps crashing is quarantined as [Path_killed]. *)
+  and crashed e =
+    match !scope with
+    | None ->
+      finish
+        (Aborted
+           (Printf.sprintf "crash outside a strategy scope: %s"
+              (Printexc.to_string e)))
+    | Some sc ->
+      if !retries < retry_budget - 1 then begin
+        incr retries;
+        stats.requeues <- stats.requeues + 1;
+        match
+          (try
+             `Ok
+               (match !current_origin with
+               | Some ext ->
+                 let snap = resolve ext in
+                 Snapshot.restore machine snap;
+                 marker := Libos.stdout_chunks machine;
+                 Cpu.set machine.cpu Reg.rax ext.index
+               | None ->
+                 (* the scope-opening path restarts from the root with the
+                    exploring value of rax *)
+                 Snapshot.restore machine sc.root;
+                 marker := Libos.stdout_chunks machine;
+                 Cpu.set machine.cpu Reg.rax 1)
+           with e' -> `Err e')
+        with
+        | `Ok () -> loop ()
+        | `Err e' -> quarantine sc e'
+      end
+      else quarantine sc e
+
+  and quarantine sc e =
+    stats.quarantined <- stats.quarantined + 1;
+    stats.kills <- stats.kills + 1;
+    record
+      (Path_killed
+         (Printf.sprintf "crash: %s (quarantined after %d attempts)"
+            (Printexc.to_string e) retry_budget))
+      "";
+    schedule sc;
+    loop ()
   in
   loop ()
 
-let run_image ?mode ?fuel_per_step ?max_extensions ?strategy_override
-    ?(files = []) ?stdin image =
-  let phys = Mem.Phys_mem.create () in
+let run_image ?mode ?fuel_per_step ?max_extensions ?retry_budget ?capacity
+    ?strategy_override ?(files = []) ?stdin image =
+  let phys = Mem.Phys_mem.create ?capacity () in
   let machine = Libos.boot phys image in
   List.iter (fun (path, content) -> Libos.add_file machine ~path content) files;
   Option.iter (Libos.set_stdin machine) stdin;
-  run ?mode ?fuel_per_step ?max_extensions ?strategy_override machine
+  run ?mode ?fuel_per_step ?max_extensions ?retry_budget ?strategy_override
+    machine

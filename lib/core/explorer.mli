@@ -69,6 +69,7 @@ val run :
   ?mode:mode ->
   ?fuel_per_step:int ->
   ?max_extensions:int ->
+  ?retry_budget:int ->
   ?strategy_override:strategy ->
   ?on_stop:(Os.Libos.t -> Os.Libos.stop -> unit) ->
   Os.Libos.t ->
@@ -80,15 +81,30 @@ val run :
     runs one program under many strategies.  [on_stop] observes every
     scheduler-visible stop before it is dispatched; the fuzz oracle uses it
     to exercise checkpoint round-trips at real scheduling points, so it may
-    mutate the machine as long as the visible state is unchanged. *)
+    mutate the machine as long as the visible state is unchanged.
+
+    Robustness: if the machine's physical memory is bounded
+    ({!Mem.Phys_mem.capacity} > 0), the run installs a {!Reclaim} store as
+    the pressure handler — snapshot payloads are evicted under frame
+    pressure and rebuilt by deterministic replay when scheduled, so
+    exploration completes within budgets smaller than its fault-free peak.
+    An exception escaping guest evaluation (an injected crash, a genuine
+    out-of-frames) is retried from the path's origin up to [retry_budget]
+    total attempts (default 3) before the path is quarantined as a
+    [Path_killed] terminal; the search itself is never aborted by a crash
+    inside a scope. *)
 
 val run_image :
   ?mode:mode ->
   ?fuel_per_step:int ->
   ?max_extensions:int ->
+  ?retry_budget:int ->
+  ?capacity:int ->
   ?strategy_override:strategy ->
   ?files:(string * string) list ->
   ?stdin:string ->
   Isa.Asm.image ->
   result
-(** Convenience: boot a fresh machine on fresh physical memory and [run]. *)
+(** Convenience: boot a fresh machine on fresh physical memory and [run].
+    [capacity] bounds the physical frame budget (enables reclaim; see
+    {!run}). *)

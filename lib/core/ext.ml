@@ -1,5 +1,9 @@
+type payload =
+  | Snap of Snapshot.t
+  | Ref of Reclaim.handle
+
 type t = {
-  snap : Snapshot.t;
+  payload : payload;
   index : int;
   meta : Search.Frontier.meta;
 }

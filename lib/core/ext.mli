@@ -2,8 +2,16 @@
     partial candidate and the extension number".  Deferred computation —
     nothing runs until a strategy schedules it. *)
 
+type payload =
+  | Snap of Snapshot.t
+      (** the parent partial candidate, held directly *)
+  | Ref of Reclaim.handle
+      (** the parent held through a {!Reclaim} store, so its snapshot can
+          be evicted under memory pressure and rebuilt by replay when the
+          extension is finally scheduled *)
+
 type t = {
-  snap : Snapshot.t;               (** the parent partial candidate *)
+  payload : payload;               (** the parent partial candidate *)
   index : int;                     (** the extension number *)
   meta : Search.Frontier.meta;
 }

@@ -13,6 +13,8 @@ type config = {
   mode : [ `Run_to_completion | `First_exit ];
   max_extensions : int;
   backend : backend;
+  retry_budget : int;
+  faults : Inject.plan option;
 }
 
 let default_config =
@@ -21,7 +23,9 @@ let default_config =
     strategy = `Dfs;
     mode = `Run_to_completion;
     max_extensions = max_int;
-    backend = `Cooperative }
+    backend = `Cooperative;
+    retry_budget = 3;
+    faults = None }
 
 type result = {
   outcome : Explorer.outcome;
@@ -46,6 +50,13 @@ let resolve_strategy config id =
     | None -> raise (Abort (Printf.sprintf "unknown strategy id %d" id)))
   | other -> other
 
+let arm_faults config =
+  match config.faults with Some p -> Inject.arm p | None -> Inject.none
+
+let quarantine_message e budget =
+  Printf.sprintf "crash: %s (quarantined after %d attempts)"
+    (Printexc.to_string e) budget
+
 (* ------------------------------------------------------------------ *)
 (* Cooperative backend: deterministic round-robin over one Phys_mem.  *)
 (* ------------------------------------------------------------------ *)
@@ -57,11 +68,16 @@ type worker = {
   mutable pending_hint : int;
   mutable depth : int;
   mutable snap : Snapshot.t option;  (* candidate this path descends from *)
+  mutable origin : Ext.t option;     (* the popped extension: restart point
+                                        for crash recovery (None = the
+                                        scope-opening root path) *)
+  mutable retries : int;
 }
 
 let run_cooperative ~(config : config) (image : Isa.Asm.image) =
   let ids = Snapshot.ids () in
   let phys = Mem.Phys_mem.create () in
+  let inj = arm_faults config in
   let stats = Stats.create () in
   let mem_before = Mem.Mem_metrics.copy (Mem.Phys_mem.metrics phys) in
   let workers =
@@ -72,7 +88,9 @@ let run_cooperative ~(config : config) (image : Isa.Asm.image) =
           marker = Libos.stdout_chunks machine;
           pending_hint = 0;
           depth = 0;
-          snap = None })
+          snap = None;
+          origin = None;
+          retries = 0 })
   in
   let transcript = Buffer.create 256 in
   let terminals = ref [] in
@@ -116,7 +134,8 @@ let run_cooperative ~(config : config) (image : Isa.Asm.image) =
 
   let w0 = workers.(0) in
 
-  (* Phase 1: worker 0 runs alone up to sys_guess_strategy. *)
+  (* Phase 1: worker 0 runs alone up to sys_guess_strategy.  Coordinator
+     phases are not supervised: no fault ticks, no alloc hook yet. *)
   let to_scope () =
     match Libos.run w0.machine ~fuel:max_int with
     | Libos.Guess_strategy { strategy = id } ->
@@ -136,18 +155,58 @@ let run_cooperative ~(config : config) (image : Isa.Asm.image) =
       raise (Abort "guess before sys_guess_strategy")
   in
 
+  let snap_of (ext : Ext.t) =
+    match ext.Ext.payload with
+    | Ext.Snap s -> s
+    | Ext.Ref _ -> raise (Abort "managed extension in the parallel scheduler")
+  in
+
   let pop_into frontier w =
     match frontier.Frontier.pop () with
     | None -> ()
     | Some (ext : Ext.t) ->
-      Snapshot.restore w.machine ext.Ext.snap;
+      let snap = snap_of ext in
+      Snapshot.restore w.machine snap;
       w.marker <- Libos.stdout_chunks w.machine;
       Cpu.set w.machine.Libos.cpu Reg.rax ext.Ext.index;
       w.depth <- ext.Ext.meta.Frontier.depth;
-      w.snap <- Some ext.Ext.snap;
+      w.snap <- Some snap;
+      w.origin <- Some ext;
+      w.retries <- 0;
       w.busy <- true;
       stats.Stats.extensions_evaluated <- stats.Stats.extensions_evaluated + 1;
       stats.Stats.restores <- stats.Stats.restores + 1
+  in
+
+  (* Supervision: an exception out of a worker's quantum (injected crash,
+     allocation failure) re-runs the path from its origin under a bounded
+     retry budget, then quarantines it.  Safe because a path segment has no
+     observable side effects before its terminal scheduling event. *)
+  let crashed frontier ~root w e =
+    if w.retries < config.retry_budget - 1 then begin
+      w.retries <- w.retries + 1;
+      stats.Stats.requeues <- stats.Stats.requeues + 1;
+      (match w.origin with
+      | Some ext ->
+        Snapshot.restore w.machine (snap_of ext);
+        Cpu.set w.machine.Libos.cpu Reg.rax ext.Ext.index;
+        w.depth <- ext.Ext.meta.Frontier.depth
+      | None ->
+        (* the scope-opening path restarts from the root, exploring *)
+        Snapshot.restore w.machine root;
+        Cpu.set w.machine.Libos.cpu Reg.rax 1;
+        w.depth <- 0);
+      w.marker <- Libos.stdout_chunks w.machine
+    end
+    else begin
+      stats.Stats.quarantined <- stats.Stats.quarantined + 1;
+      stats.Stats.kills <- stats.Stats.kills + 1;
+      record (Explorer.Path_killed (quarantine_message e config.retry_budget))
+        "" w.depth;
+      w.busy <- false;
+      w.retries <- 0;
+      pop_into frontier w
+    end
   in
 
   (* One scheduling event for a busy worker. *)
@@ -171,7 +230,8 @@ let run_cooperative ~(config : config) (image : Isa.Asm.image) =
         let meta = { Frontier.depth = w.depth + 1; hint = w.pending_hint } in
         w.pending_hint <- 0;
         frontier.Frontier.push_batch
-          (List.init n (fun index -> meta, { Ext.snap; index; meta }));
+          (List.init n (fun index ->
+               meta, { Ext.payload = Ext.Snap snap; index; meta }));
         stats.Stats.extensions_pushed <- stats.Stats.extensions_pushed + n;
         track_extents frontier;
         if stats.Stats.extensions_pushed > config.max_extensions then
@@ -212,6 +272,10 @@ let run_cooperative ~(config : config) (image : Isa.Asm.image) =
       let root, frontier = to_scope () in
       w0.busy <- true;
       w0.snap <- Some root;
+      w0.origin <- None;
+      (* Worker paths start here: arm the allocation fault for the shared
+         allocator and tick the stop clock from now on. *)
+      Mem.Phys_mem.set_alloc_fault phys (Inject.alloc_hook inj);
       (* Phase 2: round-robin quanta until the scope drains. *)
       let continue_ = ref true in
       while !continue_ do
@@ -225,12 +289,25 @@ let run_cooperative ~(config : config) (image : Isa.Asm.image) =
               busy_rounds.(idx) <- busy_rounds.(idx) + 1;
               stats.Stats.evicted <-
                 stats.Stats.evicted + List.length (frontier.Frontier.evicted ());
-              handle_stop frontier w (Libos.run w.machine ~fuel:config.quantum)
+              match
+                (try
+                   let stop =
+                     Libos.run w.machine
+                       ~fuel:(Inject.jitter inj ~base:config.quantum)
+                   in
+                   Inject.stop_tick inj;
+                   `Stop stop
+                 with e -> `Crash e)
+              with
+              | `Stop stop -> handle_stop frontier w stop
+              | `Crash e -> crashed frontier ~root w e
             end)
           workers;
         if (not !any_busy) && frontier.Frontier.length () = 0 then continue_ := false
       done;
-      (* Scope exhausted: resume worker 0 from the root with rax = 0. *)
+      (* Scope exhausted: resume worker 0 from the root with rax = 0.  The
+         drain phase is a coordinator phase again — unsupervised. *)
+      Mem.Phys_mem.set_alloc_fault phys None;
       Snapshot.restore w0.machine root;
       w0.marker <- Libos.stdout_chunks w0.machine;
       stats.Stats.restores <- stats.Stats.restores + 1;
@@ -288,6 +365,7 @@ type item = {
   it_meta : Frontier.meta;
   it_origin : int;  (* producing domain *)
   it_serial : int;  (* producer-local capture serial: the fast-path key *)
+  it_retries : int; (* crash-recovery attempts already spent on this item *)
 }
 
 (* The full root state, replicated once into every domain at startup. *)
@@ -307,6 +385,8 @@ type shared = {
   sh_quantum : int;
   sh_mode : [ `Run_to_completion | `First_exit ];
   sh_max_extensions : int;
+  sh_retry_budget : int;
+  sh_inj : Inject.t;  (* fire-state is atomic: shared by all domains *)
 }
 
 let make_item_frontier : Explorer.strategy -> item Frontier.t option = function
@@ -387,6 +467,7 @@ let apply_item (m : Libos.t) ~(root : Snapshot.t) (it : item) =
    [initial_paths]), [`Take] for domains that start by pulling work. *)
 let eval_domain sh ~dom ~(machine : Libos.t) ~(d_root : Snapshot.t)
     ~(st : Stats.t) ~buf ~terminals ~items ~entry =
+  let inj = sh.sh_inj in
   let marker = ref (Libos.stdout_chunks machine) in
   let depth = ref 0 in
   let pending_hint = ref 0 in
@@ -429,31 +510,30 @@ let eval_domain sh ~dom ~(machine : Libos.t) ~(d_root : Snapshot.t)
       max st.Stats.max_live_snapshots (frontier_len + lineage)
   in
 
-  let rec consume () =
-    match Work_queue.take sh.queue with
-    | None -> ()
-    | Some it ->
-      incr items;
-      st.Stats.extensions_evaluated <- st.Stats.extensions_evaluated + 1;
-      st.Stats.restores <- st.Stats.restores + 1;
-      (match
-         if it.it_origin = dom then Hashtbl.find_opt cache it.it_serial else None
-       with
-      | Some snap ->
-        Snapshot.restore machine snap;
-        cur_snap := Some snap
-      | None ->
-        apply_item machine ~root:d_root it;
-        cur_snap := None);
-      marker := Libos.stdout_chunks machine;
-      Cpu.set machine.Libos.cpu Reg.rax it.it_index;
-      depth := it.it_meta.Frontier.depth;
-      path ()
-  and finish_and_next () =
-    Work_queue.finish_path sh.queue;
-    consume ()
-  and path () =
-    match Libos.run machine ~fuel:sh.sh_quantum with
+  (* Put the machine in the item's entry state: restore (fast path) or
+     rebuild (root + delta), then deliver the extension number. *)
+  let prepare (it : item) =
+    (match
+       if it.it_origin = dom then Hashtbl.find_opt cache it.it_serial else None
+     with
+    | Some snap ->
+      Snapshot.restore machine snap;
+      cur_snap := Some snap
+    | None ->
+      apply_item machine ~root:d_root it;
+      cur_snap := None);
+    marker := Libos.stdout_chunks machine;
+    Cpu.set machine.Libos.cpu Reg.rax it.it_index;
+    depth := it.it_meta.Frontier.depth
+  in
+
+  (* Run the current path to its terminal scheduling event.  Returns
+     normally when the path is fully handled; the caller then retires it
+     from the queue ([finish_path]). *)
+  let rec path () =
+    let stop = Libos.run machine ~fuel:(Inject.jitter inj ~base:sh.sh_quantum) in
+    Inject.stop_tick inj;
+    match stop with
     | Libos.Killed Libos.Fuel_exhausted ->
       (* quantum expired: the stop-flag check is what lets first-exit and
          aborts interrupt long-running sibling paths *)
@@ -462,8 +542,7 @@ let eval_domain sh ~dom ~(machine : Libos.t) ~(d_root : Snapshot.t)
       ignore (harvest ());
       if n <= 0 then begin
         st.Stats.fails <- st.Stats.fails + 1;
-        record Explorer.Fail "";
-        finish_and_next ()
+        record Explorer.Fail ""
       end
       else begin
         let snap =
@@ -485,18 +564,17 @@ let eval_domain sh ~dom ~(machine : Libos.t) ~(d_root : Snapshot.t)
                    it_index = index;
                    it_meta = meta;
                    it_origin = dom;
-                   it_serial = serial } )));
+                   it_serial = serial;
+                   it_retries = 0 } )));
         st.Stats.extensions_pushed <- st.Stats.extensions_pushed + n;
         track_live ();
         if Work_queue.pushed sh.queue > sh.sh_max_extensions then
           abort "extension budget exhausted"
-        else finish_and_next ()
       end
     | Libos.Guess_fail ->
       let output = harvest () in
       st.Stats.fails <- st.Stats.fails + 1;
-      record Explorer.Fail output;
-      finish_and_next ()
+      record Explorer.Fail output
     | Libos.Guess_hint { dist } ->
       pending_hint := dist;
       Cpu.set machine.Libos.cpu Reg.rax 0;
@@ -510,27 +588,79 @@ let eval_domain sh ~dom ~(machine : Libos.t) ~(d_root : Snapshot.t)
       | `First_exit ->
         set_outcome (Explorer.Stopped_first_exit status);
         Work_queue.stop sh.queue
-      | `Run_to_completion -> finish_and_next ())
+      | `Run_to_completion -> ())
     | Libos.Killed reason ->
       let output = harvest () in
       st.Stats.kills <- st.Stats.kills + 1;
       record (Explorer.Path_killed (Format.asprintf "%a" Libos.pp_reason reason))
-        output;
-      finish_and_next ()
+        output
+  in
+
+  (* Supervision: a crash while preparing or evaluating [it] (injected, or
+     a failed allocation) requeues the item with its retry count bumped —
+     any domain can pick it up — until the budget is spent, then the item
+     is quarantined as a killed path.  Push-before-finish ordering keeps
+     the queue's termination count sound either way.  Safe because a path
+     has no observable side effects (harvest, record, push) before its
+     terminal scheduling event, and those all happen after the last
+     crash point. *)
+  let run_guarded (origin : item) =
+    (match (try `Ok (prepare origin; path ()) with e -> `Crash e) with
+    | `Ok () -> ()
+    | `Crash e ->
+      if origin.it_retries < sh.sh_retry_budget - 1 then begin
+        st.Stats.requeues <- st.Stats.requeues + 1;
+        Work_queue.push_batch sh.queue
+          [ (origin.it_meta, { origin with it_retries = origin.it_retries + 1 }) ]
+      end
+      else begin
+        st.Stats.quarantined <- st.Stats.quarantined + 1;
+        st.Stats.kills <- st.Stats.kills + 1;
+        depth := origin.it_meta.Frontier.depth;
+        record
+          (Explorer.Path_killed (quarantine_message e sh.sh_retry_budget))
+          ""
+      end);
+    Work_queue.finish_path sh.queue
+  in
+
+  let rec consume () =
+    match Work_queue.take sh.queue with
+    | None -> ()
+    | Some it ->
+      incr items;
+      st.Stats.extensions_evaluated <- st.Stats.extensions_evaluated + 1;
+      st.Stats.restores <- st.Stats.restores + 1;
+      run_guarded it;
+      consume ()
   in
   try
-    match entry with
+    (match entry with
     | `Root ->
-      cur_snap := Some d_root;
-      depth := 0;
-      path ()
-    | `Take -> consume ()
+      (* The scope-opening path, encoded as an item so crash recovery can
+         requeue it like any other: the root state plus an empty delta,
+         entered with 1 in rax (the exploring branch).  Serial -1 misses
+         every cache. *)
+      run_guarded
+        { it_state =
+            { p_regs = d_root.Snapshot.regs;
+              p_os = d_root.Snapshot.os;
+              p_pages = [];
+              p_unmapped = [] };
+          it_index = 1;
+          it_meta = { Frontier.depth = 0; hint = 0 };
+          it_origin = dom;
+          it_serial = -1;
+          it_retries = 0 }
+    | `Take -> ());
+    consume ()
   with e ->
-    (* A crashed worker must not leave the others blocked in [take]. *)
+    (* A crashed worker loop must not leave the others blocked in [take]. *)
     abort (Printf.sprintf "worker %d: %s" dom (Printexc.to_string e))
 
 let run_domains ~(config : config) (image : Isa.Asm.image) =
   let phys0 = Mem.Phys_mem.create () in
+  let inj = arm_faults config in
   let stats = Stats.create () in
   let mem_before = Mem.Mem_metrics.copy (Mem.Phys_mem.metrics phys0) in
   let m0 = Libos.boot phys0 image in
@@ -584,10 +714,14 @@ let run_domains ~(config : config) (image : Isa.Asm.image) =
           sh_ids = ids;
           sh_quantum = config.quantum;
           sh_mode = config.mode;
-          sh_max_extensions = config.max_extensions }
+          sh_max_extensions = config.max_extensions;
+          sh_retry_budget = config.retry_budget;
+          sh_inj = inj }
       in
       (* Phase 2: spawn the other domains; each rebuilds the root on a
-         private Phys_mem, then all pull from the shared queue. *)
+         private Phys_mem, then all pull from the shared queue.  The alloc
+         fault arms per-domain only once the replica stands — rehydration
+         failures would abort the run, not a path. *)
       let handles =
         List.init (config.workers - 1) (fun i ->
             let dom = i + 1 in
@@ -600,6 +734,7 @@ let run_domains ~(config : config) (image : Isa.Asm.image) =
                    let phys, machine = rehydrate_root image root_state in
                    let d_root = Snapshot.capture ~ids:sh.sh_ids ~depth:0 machine in
                    st.Stats.snapshots_created <- st.Stats.snapshots_created + 1;
+                   Mem.Phys_mem.set_alloc_fault phys (Inject.alloc_hook inj);
                    eval_domain sh ~dom ~machine ~d_root ~st ~buf
                      ~terminals:terms ~items ~entry:`Take;
                    st.Stats.instructions <- machine.Libos.cpu.Cpu.retired;
@@ -615,6 +750,7 @@ let run_domains ~(config : config) (image : Isa.Asm.image) =
                 st, Buffer.contents buf, List.rev !terms, !items))
       in
       let items0 = ref 0 in
+      Mem.Phys_mem.set_alloc_fault phys0 (Inject.alloc_hook inj);
       eval_domain sh ~dom:0 ~machine:m0 ~d_root:d_root0 ~st:stats
         ~buf:transcript ~terminals:terminals0 ~items:items0 ~entry:`Root;
       busy_rounds.(0) <- !items0;
@@ -632,7 +768,9 @@ let run_domains ~(config : config) (image : Isa.Asm.image) =
       match Atomic.get sh.outcome_cell with
       | Some o -> o
       | None ->
-        (* Scope exhausted: resume domain 0 from the root with rax = 0. *)
+        (* Scope exhausted: resume domain 0 from the root with rax = 0.
+           The drain is a coordinator phase — unsupervised. *)
+        Mem.Phys_mem.set_alloc_fault phys0 None;
         Snapshot.restore m0 d_root0;
         marker0 := Libos.stdout_chunks m0;
         stats.Stats.restores <- stats.Stats.restores + 1;

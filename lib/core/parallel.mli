@@ -46,11 +46,20 @@ type config = {
   mode : [ `Run_to_completion | `First_exit ];
   max_extensions : int;
   backend : backend;
+  retry_budget : int;
+      (** total evaluation attempts per path before a crashing path is
+          quarantined as [Path_killed] instead of aborting the run *)
+  faults : Inject.plan option;
+      (** deterministic fault injection: allocation failures, worker
+          crashes and fuel jitter, threaded through both backends.  Faults
+          fire only during worker-path evaluation — the coordinator phases
+          (reaching the scope, draining after it) are unsupervised, so a
+          recoverable plan can never abort the run. *)
 }
 
 val default_config : config
 (** 4 workers, 20k-instruction quantum, DFS, run to completion,
-    [`Cooperative]. *)
+    [`Cooperative], retry budget 3, no faults. *)
 
 type result = {
   outcome : Explorer.outcome;

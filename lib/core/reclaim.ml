@@ -1,0 +1,216 @@
+module Libos = Os.Libos
+module Cpu = Vcpu.Cpu
+module Reg = Isa.Reg
+
+exception Replay_diverged of string
+
+type handle = int
+
+(* The skeleton is permanent and tiny (a few ints per entry); only the
+   payload — the snapshot itself, whose page map pins physical frames — is
+   evictable.  Reconstruction needs nothing but the edge metadata: restore
+   the nearest materialised ancestor and re-execute each edge's choice. *)
+type entry = {
+  e_parent : handle option;
+  e_choice : int;              (* rax delivered when re-running the edge *)
+  e_stdin : string option;     (* stdin installed alongside (Service) *)
+  e_depth : int;
+  e_pinned : bool;             (* roots: always materialised *)
+  mutable e_payload : Snapshot.t option;
+  mutable e_last_used : int;
+  mutable e_released : bool;   (* dropped by the client; skeleton kept for
+                                  descendants' replays *)
+}
+
+type t = {
+  machine : Libos.t;
+  fuel : int;
+  ids : Snapshot.ids;
+  entries : (handle, entry) Hashtbl.t;
+  mutable next : int;
+  mutable clock : int;
+  mutable evictions : int;
+  mutable replays : int;
+  mutable replayed_instructions : int;
+  suppressed_mem : Mem.Mem_metrics.t;
+}
+
+let create ?(fuel_per_step = 50_000_000) (machine : Libos.t) =
+  { machine;
+    fuel = fuel_per_step;
+    ids = Snapshot.ids ();
+    entries = Hashtbl.create 64;
+    next = 0;
+    clock = 0;
+    evictions = 0;
+    replays = 0;
+    replayed_instructions = 0;
+    suppressed_mem = Mem.Mem_metrics.create () }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let entry t h =
+  match Hashtbl.find_opt t.entries h with
+  | Some e -> e
+  | None -> invalid_arg (Printf.sprintf "Reclaim: unknown reference %d" h)
+
+let fresh t e =
+  let h = t.next in
+  t.next <- h + 1;
+  Hashtbl.replace t.entries h e;
+  h
+
+let add_root t snap =
+  fresh t
+    { e_parent = None; e_choice = 0; e_stdin = None; e_depth = 0;
+      e_pinned = true; e_payload = Some snap; e_last_used = tick t;
+      e_released = false }
+
+let add t ~parent ~choice ?stdin ~depth snap =
+  ignore (entry t parent);
+  fresh t
+    { e_parent = Some parent; e_choice = choice; e_stdin = stdin;
+      e_depth = depth; e_pinned = false; e_payload = Some snap;
+      e_last_used = tick t; e_released = false }
+
+let depth t h = (entry t h).e_depth
+let is_materialised t h = (entry t h).e_payload <> None
+let is_released t h = (entry t h).e_released
+
+let release t h =
+  let e = entry t h in
+  e.e_released <- true;
+  if not e.e_pinned then e.e_payload <- None
+
+(* Re-execute the edges from [base] down the chain, capturing a fresh
+   payload at each hop.  Every hop deterministically re-runs guest code the
+   original run already executed, so its output and its costs are not new
+   information: stdout is discarded (the caller resets its harvest marker
+   after the restore that follows), and the instruction/memory-metric
+   deltas are accumulated here so drivers can subtract them from the
+   figures they report. *)
+let replay t base chain =
+  let m = t.machine in
+  let retired0 = m.Libos.cpu.Cpu.retired in
+  let mem0 = Mem.Mem_metrics.copy (Mem.Addr_space.metrics m.Libos.aspace) in
+  Snapshot.restore m base;
+  List.iter
+    (fun e ->
+      Cpu.set m.Libos.cpu Reg.rax e.e_choice;
+      Option.iter (Libos.set_stdin m) e.e_stdin;
+      let rec step () =
+        match Libos.run m ~fuel:t.fuel with
+        | Libos.Guess _ -> ()
+        | Libos.Guess_hint _ ->
+          Cpu.set m.Libos.cpu Reg.rax 0;
+          step ()
+        | Libos.Guess_strategy _ ->
+          Cpu.set m.Libos.cpu Reg.rax 1;
+          step ()
+        | (Libos.Guess_fail | Libos.Exited _ | Libos.Killed _) as stop ->
+          raise
+            (Replay_diverged
+               (Format.asprintf
+                  "replay reached %a where the original run published a \
+                   choice point" Libos.pp_stop stop))
+      in
+      step ();
+      t.replays <- t.replays + 1;
+      e.e_payload <- Some (Snapshot.capture ~ids:t.ids ~depth:e.e_depth m);
+      e.e_last_used <- tick t)
+    chain;
+  t.replayed_instructions <-
+    t.replayed_instructions + (m.Libos.cpu.Cpu.retired - retired0);
+  Mem.Mem_metrics.add t.suppressed_mem
+    (Mem.Mem_metrics.diff (Mem.Addr_space.metrics m.Libos.aspace) mem0)
+
+let get t h =
+  let e = entry t h in
+  if e.e_released then
+    invalid_arg (Printf.sprintf "Reclaim: reference %d was released" h);
+  e.e_last_used <- tick t;
+  match e.e_payload with
+  | Some s -> s
+  | None ->
+    (* Walk up to the nearest materialised ancestor, then replay down. *)
+    let rec up chain h' =
+      let e' = entry t h' in
+      match e'.e_payload with
+      | Some base -> base, chain
+      | None -> (
+        match e'.e_parent with
+        | Some p -> up (e' :: chain) p
+        | None ->
+          (* unreachable: roots are pinned and never evicted *)
+          invalid_arg "Reclaim: evicted entry with no materialised ancestor")
+    in
+    let base, chain = up [] h in
+    replay t base chain;
+    (match e.e_payload with
+    | Some s -> s
+    | None -> assert false)
+
+let evict t h =
+  let e = entry t h in
+  if e.e_pinned || e.e_payload = None then false
+  else begin
+    e.e_payload <- None;
+    t.evictions <- t.evictions + 1;
+    true
+  end
+
+(* Deepest first, then least-recently-resumed: deep payloads are cheap to
+   rebuild (their parents are shallower, hence evicted later) and cold
+   payloads are the least likely to be resumed soon. *)
+let evict_under_pressure t =
+  let victims =
+    Hashtbl.fold
+      (fun h e acc ->
+        if e.e_pinned || e.e_payload = None then acc
+        else (e.e_depth, e.e_last_used, h) :: acc)
+      t.entries []
+  in
+  let victims =
+    List.sort
+      (fun (d1, u1, _) (d2, u2, _) ->
+        match compare d2 d1 with 0 -> compare u1 u2 | c -> c)
+      victims
+  in
+  let target = max 1 (List.length victims / 2) in
+  let rec go n = function
+    | [] -> n
+    | _ when n >= target -> n
+    | (_, _, h) :: rest -> go (if evict t h then n + 1 else n) rest
+  in
+  if victims = [] then 0 else go 0 victims
+
+let evict_all t =
+  Hashtbl.fold (fun h _ acc -> h :: acc) t.entries []
+  |> List.fold_left (fun n h -> if evict t h then n + 1 else n) 0
+
+let pressure_handler t = fun () -> ignore (evict_under_pressure t)
+
+let snapshot_ids t = t.ids
+
+let materialised t =
+  Hashtbl.fold
+    (fun _ e acc ->
+      match e.e_payload with Some s -> s :: acc | None -> acc)
+    t.entries []
+
+let live_entries t =
+  Hashtbl.fold
+    (fun _ e n -> if e.e_released then n else n + 1)
+    t.entries 0
+
+let materialised_count t =
+  Hashtbl.fold
+    (fun _ e n -> if e.e_payload = None then n else n + 1)
+    t.entries 0
+
+let evictions t = t.evictions
+let replays t = t.replays
+let replayed_instructions t = t.replayed_instructions
+let suppressed_mem t = t.suppressed_mem

@@ -1,0 +1,94 @@
+(** Snapshot eviction with replay-based reconstruction (§5).
+
+    The paper argues snapshots stay viable at scale because the system can
+    {e discard} them under memory pressure and rebuild them later by
+    re-executing from an ancestor.  This module is that layer: a store of
+    published snapshots where each entry permanently keeps a skeleton —
+    [(parent handle, choice, stdin, depth)], a few words — while the
+    payload (the snapshot, whose page map pins physical frames) can be
+    evicted at any time.
+
+    {!get} on an evicted entry walks up to the nearest materialised
+    ancestor and deterministically re-executes each edge: restore the
+    ancestor, deliver the recorded choice in [rax] (and the recorded stdin,
+    if any), run to the next [sys_guess], capture.  Guest output produced
+    during replay is discarded (drivers reset their harvest marker after
+    the restore that follows a [get]) and the instruction / memory-metric
+    cost is accumulated separately ({!replayed_instructions},
+    {!suppressed_mem}) so drivers can report fault-free figures.
+
+    Roots are pinned: they are the replay base of last resort.  Released
+    entries drop their payload and refuse {!get}, but keep their skeleton
+    — a descendant's replay may pass through them. *)
+
+type handle = int
+
+exception Replay_diverged of string
+(** A replay reached a terminal where the original run published a choice
+    point — impossible for deterministic guests; indicates the machine
+    diverged (e.g. external state changed between capture and replay). *)
+
+type t
+
+val create : ?fuel_per_step:int -> Os.Libos.t -> t
+(** The machine is the replay vehicle: reconstruction restores and re-runs
+    on it.  Callers must treat machine state as clobbered across {!get}
+    (every driver restores a snapshot right after, so this is free). *)
+
+val add_root : t -> Snapshot.t -> handle
+(** Register a pinned root: never evicted, the base of every replay. *)
+
+val add :
+  t -> parent:handle -> choice:int -> ?stdin:string -> depth:int ->
+  Snapshot.t -> handle
+(** Register a snapshot captured at the first [sys_guess] reached after
+    restoring [parent] and delivering [choice] (and [stdin], if given). *)
+
+val get : t -> handle -> Snapshot.t
+(** The entry's snapshot, reconstructing it by replay if evicted.
+    @raise Invalid_argument on an unknown or released handle.
+    @raise Replay_diverged if re-execution does not reach a choice point. *)
+
+val depth : t -> handle -> int
+val is_materialised : t -> handle -> bool
+val is_released : t -> handle -> bool
+
+val release : t -> handle -> unit
+(** Drop the payload and refuse future {!get}s; the skeleton stays so
+    descendants can still replay through this entry. *)
+
+val evict : t -> handle -> bool
+(** Drop one payload; [false] if pinned or already evicted. *)
+
+val evict_all : t -> int
+(** Evict every evictable payload (testing / introspection); returns the
+    number evicted. *)
+
+val evict_under_pressure : t -> int
+(** The pressure policy: evict half the evictable payloads (at least one),
+    deepest first, least-recently-resumed first among equals.  Returns the
+    number evicted.  Safe to call from a {!Mem.Phys_mem} pressure handler:
+    it only drops references, never allocates or replays. *)
+
+val pressure_handler : t -> unit -> unit
+(** [evict_under_pressure] packaged for {!Mem.Phys_mem.set_pressure_handler}. *)
+
+val snapshot_ids : t -> Snapshot.ids
+(** The id allocator replays capture under; drivers that capture into the
+    store themselves must use it too, so ids stay unique per store. *)
+
+val materialised : t -> Snapshot.t list
+
+val live_entries : t -> int
+(** Entries not released. *)
+
+val materialised_count : t -> int
+
+val evictions : t -> int
+
+val replays : t -> int
+(** Edges re-executed. *)
+
+val replayed_instructions : t -> int
+val suppressed_mem : t -> Mem.Mem_metrics.t
+(** Memory-metric deltas incurred by replays, to subtract from reports. *)

@@ -2,14 +2,16 @@ module Libos = Os.Libos
 module Cpu = Vcpu.Cpu
 module Reg = Isa.Reg
 
-type ref_ = int
+type ref_ = Reclaim.handle
 
 type t = {
   machine : Libos.t;
-  ids : Snapshot.ids;
-  table : (int, Snapshot.t) Hashtbl.t;
-  mutable next_ref : int;
-  mutable current : Snapshot.t option;
+  store : Reclaim.t;
+  (* the resume edge that leads to the next publish: (parent, choice,
+     stdin).  [None] only before the first publish, whose snapshot is the
+     pinned replay root. *)
+  mutable pending : (ref_ * int * string option) option;
+  mutable depth_next : int;
   fuel_per_step : int;
   mutable marker : string list;
 }
@@ -32,15 +34,13 @@ let harvest t =
 
 let publish t =
   let snap =
-    Snapshot.capture ~ids:t.ids ?parent:t.current
-      ~depth:(match t.current with None -> 0 | Some s -> s.Snapshot.depth + 1)
+    Snapshot.capture ~ids:(Reclaim.snapshot_ids t.store) ~depth:t.depth_next
       t.machine
   in
-  let id = t.next_ref in
-  t.next_ref <- id + 1;
-  Hashtbl.replace t.table id snap;
-  t.current <- Some snap;
-  id
+  match t.pending with
+  | None -> Reclaim.add_root t.store snap
+  | Some (parent, choice, stdin) ->
+    Reclaim.add t.store ~parent ~choice ?stdin ~depth:t.depth_next snap
 
 let rec advance t =
   match Libos.run t.machine ~fuel:t.fuel_per_step with
@@ -60,43 +60,47 @@ let rec advance t =
     advance t
   | Libos.Killed reason -> Crashed (Format.asprintf "%a" Libos.pp_reason reason)
 
-let boot ?(fuel_per_step = 50_000_000) ?(files = []) ?stdin image =
-  let phys = Mem.Phys_mem.create () in
+let boot ?(fuel_per_step = 50_000_000) ?capacity ?(files = []) ?stdin image =
+  let phys = Mem.Phys_mem.create ?capacity () in
   let machine = Libos.boot phys image in
   List.iter (fun (path, content) -> Libos.add_file machine ~path content) files;
   Option.iter (Libos.set_stdin machine) stdin;
+  let store = Reclaim.create ~fuel_per_step machine in
+  if Mem.Phys_mem.capacity phys > 0 then
+    Mem.Phys_mem.set_pressure_handler phys
+      (Some (Reclaim.pressure_handler store));
   let t =
     { machine;
-      ids = Snapshot.ids ();
-      table = Hashtbl.create 64;
-      next_ref = 0;
-      current = None;
+      store;
+      pending = None;
+      depth_next = 0;
       fuel_per_step;
       marker = Libos.stdout_chunks machine }
   in
   t, advance t
 
-let find t r =
-  match Hashtbl.find_opt t.table r with
-  | Some snap -> snap
-  | None -> invalid_arg (Printf.sprintf "Service: unknown candidate reference %d" r)
-
 let resume t r ~choice ?stdin () =
-  let snap = find t r in
+  let snap = Reclaim.get t.store r in
   Snapshot.restore t.machine snap;
-  t.current <- Some snap;
+  t.pending <- Some (r, choice, stdin);
+  t.depth_next <- Reclaim.depth t.store r + 1;
   t.marker <- Libos.stdout_chunks t.machine;
   Cpu.set t.machine.cpu Reg.rax choice;
   Option.iter (Libos.set_stdin t.machine) stdin;
   advance t
 
-let release t r = Hashtbl.remove t.table r
+let release t r = Reclaim.release t.store r
 
-let depth t r = (find t r).Snapshot.depth
-let pages t r = Snapshot.pages (find t r)
-let live_candidates t = Hashtbl.length t.table
+let depth t r = Reclaim.depth t.store r
+let pages t r = Snapshot.pages (Reclaim.get t.store r)
+let live_candidates t = Reclaim.live_entries t.store
 
-let distinct_frames t =
-  Snapshot.distinct_frames (Hashtbl.fold (fun _ s acc -> s :: acc) t.table [])
+let distinct_frames t = Snapshot.distinct_frames (Reclaim.materialised t.store)
+
+let evict_all t = Reclaim.evict_all t.store
+
+let materialised_candidates t = Reclaim.materialised_count t.store
+let payload_evictions t = Reclaim.evictions t.store
+let replays t = Reclaim.replays t.store
 
 let machine t = t.machine

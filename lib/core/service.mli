@@ -9,7 +9,12 @@
     resumes {e any} published reference with a chosen extension number (and
     optionally fresh stdin for the guest to read its next request from).
     Solving [p] then [p ∧ q] incrementally is: resume the reference
-    obtained after solving [p]. *)
+    obtained after solving [p].
+
+    Candidates live in a {!Reclaim} store: under memory pressure (a
+    bounded physical memory, or an explicit {!evict_all}) their snapshot
+    payloads are discarded and rebuilt by deterministic replay on the next
+    resume — the immutability guarantee of {!resume} survives eviction. *)
 
 type t
 
@@ -25,27 +30,44 @@ type outcome =
 
 val boot :
   ?fuel_per_step:int ->
+  ?capacity:int ->
   ?files:(string * string) list ->
   ?stdin:string ->
   Isa.Asm.image ->
   t * outcome
-(** Boot the guest and run it to its first choice point (or completion). *)
+(** Boot the guest and run it to its first choice point (or completion).
+    [capacity] bounds the physical frame budget; under pressure the store
+    evicts candidate payloads rather than failing allocations. *)
 
 val resume : t -> ref_ -> choice:int -> ?stdin:string -> unit -> outcome
-(** Restore the candidate's snapshot, deliver [choice] as the guess result
-    (and replace the guest's stdin if given), and run to the next event.
-    A reference stays valid forever and can be resumed any number of
-    times — that is the immutability guarantee. *)
+(** Restore the candidate's snapshot (reconstructing it by replay if its
+    payload was evicted), deliver [choice] as the guess result (and replace
+    the guest's stdin if given), and run to the next event.  A reference
+    stays valid until released and can be resumed any number of times —
+    that is the immutability guarantee. *)
 
 val release : t -> ref_ -> unit
-(** Drop a published candidate: its snapshot becomes unreachable from the
-    service (frames are reclaimed once no other candidate shares them).
-    Resuming a released reference raises [Invalid_argument]. *)
+(** Drop a published candidate: its snapshot payload is discarded (frames
+    are reclaimed once no other candidate shares them), though a skeleton
+    remains so descendants can still replay through it.  Resuming a
+    released reference raises [Invalid_argument]. *)
 
 val depth : t -> ref_ -> int
+
 val pages : t -> ref_ -> int
+(** Pages in the candidate's snapshot (reconstructs if evicted). *)
+
 val live_candidates : t -> int
+(** Published candidates not yet released. *)
+
 val distinct_frames : t -> int
-(** Physical frames backing all published candidates together. *)
+(** Physical frames backing all {e materialised} candidates together. *)
+
+val evict_all : t -> int
+(** Evict every evictable candidate payload; returns the number evicted. *)
+
+val materialised_candidates : t -> int
+val payload_evictions : t -> int
+val replays : t -> int
 
 val machine : t -> Os.Libos.t

@@ -11,6 +11,11 @@ type t = {
   mutable max_frontier : int;
   mutable max_live_snapshots : int;
   mutable instructions : int;
+  mutable requeues : int;
+  mutable quarantined : int;
+  mutable payload_evictions : int;
+  mutable replays : int;
+  mutable replayed_instructions : int;
   mem : Mem.Mem_metrics.t;
 }
 
@@ -18,6 +23,8 @@ let create () =
   { guesses = 0; extensions_pushed = 0; extensions_evaluated = 0; fails = 0;
     exits = 0; kills = 0; snapshots_created = 0; restores = 0; evicted = 0;
     max_frontier = 0; max_live_snapshots = 0; instructions = 0;
+    requeues = 0; quarantined = 0; payload_evictions = 0; replays = 0;
+    replayed_instructions = 0;
     mem = Mem.Mem_metrics.create () }
 
 (* Fold [x] into [acc]: event counters add; extent peaks were observed
@@ -35,13 +42,21 @@ let merge acc x =
   acc.max_frontier <- max acc.max_frontier x.max_frontier;
   acc.max_live_snapshots <- max acc.max_live_snapshots x.max_live_snapshots;
   acc.instructions <- acc.instructions + x.instructions;
+  acc.requeues <- acc.requeues + x.requeues;
+  acc.quarantined <- acc.quarantined + x.quarantined;
+  acc.payload_evictions <- acc.payload_evictions + x.payload_evictions;
+  acc.replays <- acc.replays + x.replays;
+  acc.replayed_instructions <- acc.replayed_instructions + x.replayed_instructions;
   Mem.Mem_metrics.add acc.mem x.mem
 
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>guesses=%d pushed=%d evaluated=%d fails=%d exits=%d kills=%d@ \
      snapshots=%d restores=%d evicted=%d max_frontier=%d max_live=%d@ \
-     instructions=%d@ %a@]"
+     instructions=%d@ requeues=%d quarantined=%d payload_evictions=%d \
+     replays=%d replayed_instructions=%d@ %a@]"
     t.guesses t.extensions_pushed t.extensions_evaluated t.fails t.exits
     t.kills t.snapshots_created t.restores t.evicted t.max_frontier
-    t.max_live_snapshots t.instructions Mem.Mem_metrics.pp t.mem
+    t.max_live_snapshots t.instructions t.requeues t.quarantined
+    t.payload_evictions t.replays t.replayed_instructions
+    Mem.Mem_metrics.pp t.mem

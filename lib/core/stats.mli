@@ -14,6 +14,12 @@ type t = {
   mutable max_frontier : int;
   mutable max_live_snapshots : int;
   mutable instructions : int;          (** guest instructions retired *)
+  mutable requeues : int;              (** crashed paths rescheduled *)
+  mutable quarantined : int;           (** paths killed after the retry budget *)
+  mutable payload_evictions : int;     (** snapshot payloads dropped under pressure *)
+  mutable replays : int;               (** evicted payloads rebuilt by re-execution *)
+  mutable replayed_instructions : int; (** re-executed during those rebuilds;
+                                           already excluded from [instructions] *)
   mem : Mem.Mem_metrics.t;             (** memory events during the run *)
 }
 

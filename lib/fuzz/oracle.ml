@@ -268,6 +268,47 @@ let check_image ?(ckpt_every = 1) image =
           (parallel_pipeline ~backend:`Domains image));
       (fun () -> ept_replay ~initial_pages ~ops ~final:machine) ]
 
+(* {1 Fault mode}
+
+   A recoverable fault plan must be invisible at the multiset level: the
+   supervised backends requeue crashed paths and retry failed allocations,
+   so the terminal multiset and transcript-line multiset must equal the
+   fault-free baseline's.  The retry budget is sized so that a recoverable
+   plan can never quarantine a path: one worker-crash trigger plus one
+   per-allocator allocation failure per domain bounds the crashes any
+   single path can absorb. *)
+
+let check_plan ~base image plan =
+  let with_faults backend name =
+    let config =
+      { Parallel.default_config with
+        backend;
+        faults = Some plan;
+        retry_budget = Parallel.default_config.Parallel.workers + 3 }
+    in
+    compare_multiset name base (parallel_run (Parallel.run ~config image))
+  in
+  first_some
+    [ (fun () -> with_faults `Cooperative "faults-coop");
+      (fun () -> with_faults `Domains "faults-domains") ]
+
+let check_image_faults ?(seed = 0) ?(plans = 4) image =
+  let machine = boot image ~icache:true in
+  let base = machine_run machine (Explorer.run machine) in
+  let rec go i =
+    if i >= plans then None
+    else
+      let plan = Inject.generate ~seed:(seed + i) in
+      match check_plan ~base image plan with
+      | Some d -> Some (plan, d)
+      | None -> go (i + 1)
+  in
+  go 0
+
+let check_prog_faults ?seed ?plans prog =
+  check_image_faults ?seed ?plans
+    (Isa.Asm_parser.assemble_text (Gen_prog.render prog))
+
 let check_text ?ckpt_every text =
   check_image ?ckpt_every (Isa.Asm_parser.assemble_text text)
 

@@ -38,6 +38,19 @@ val check_text : ?ckpt_every:int -> string -> divergence option
 
 val check_prog : ?ckpt_every:int -> Gen_prog.prog -> divergence option
 
+val check_image_faults :
+  ?seed:int -> ?plans:int -> Isa.Asm.image -> (Inject.plan * divergence) option
+(** Fault-injection mode: generate [plans] (default 4) seeded fault plans
+    and run the supervised parallel backends under each.  Every plan is
+    recoverable by construction (faults fire once and only during
+    worker-path evaluation), so each run's outcome, terminal multiset and
+    transcript-line multiset must equal the fault-free baseline's — crash
+    recovery and allocation-failure retry must be semantically invisible.
+    Returns the first diverging plan. *)
+
+val check_prog_faults :
+  ?seed:int -> ?plans:int -> Gen_prog.prog -> (Inject.plan * divergence) option
+
 type report = {
   programs : int;  (** programs checked *)
   failures : (Gen_prog.prog * divergence) list;

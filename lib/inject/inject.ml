@@ -1,0 +1,104 @@
+type fault =
+  | Alloc_fail of int
+  | Worker_crash of int
+  | Fuel_jitter of int
+
+type plan = { seed : int; faults : fault list }
+
+exception Crash of string
+
+let fault_to_string = function
+  | Alloc_fail k -> Printf.sprintf "alloc-fail@frame:%d" k
+  | Worker_crash k -> Printf.sprintf "worker-crash@stop:%d" k
+  | Fuel_jitter seed -> Printf.sprintf "fuel-jitter:%d" seed
+
+let render { seed; faults } =
+  Printf.sprintf "plan seed=%d [%s]" seed
+    (String.concat "; " (List.map fault_to_string faults))
+
+(* An armed plan: the plan's triggers plus the mutable fire-state.  All
+   counters are atomic because the domains backend consults one armed plan
+   from every worker domain at once. *)
+type t = {
+  plan : plan;
+  stop_clock : int Atomic.t;     (* worker-path scheduler stops, globally *)
+  crash_stops : (int * bool Atomic.t) list;  (* k, already fired? *)
+  alloc_ks : int list;
+  jitter_seed : int option;
+  jitter_clock : int Atomic.t;
+}
+
+let arm plan =
+  { plan;
+    stop_clock = Atomic.make 0;
+    crash_stops =
+      List.filter_map
+        (function Worker_crash k -> Some (k, Atomic.make false) | _ -> None)
+        plan.faults;
+    alloc_ks =
+      List.filter_map
+        (function Alloc_fail k -> Some k | _ -> None)
+        plan.faults;
+    jitter_seed =
+      List.find_map
+        (function Fuel_jitter s -> Some s | _ -> None)
+        plan.faults;
+    jitter_clock = Atomic.make 0 }
+
+let none = arm { seed = 0; faults = [] }
+
+let plan t = t.plan
+let is_none t = t.plan.faults = []
+
+(* Each physical memory gets its own hook instance: frame ordinals are
+   per-allocator (the domains backend runs one per domain), so the
+   single-shot consumption must be too. *)
+let alloc_hook t =
+  if t.alloc_ks = [] then None
+  else begin
+    let pending = ref t.alloc_ks in
+    Some
+      (fun ordinal ->
+        if List.mem ordinal !pending then begin
+          pending := List.filter (fun k -> k <> ordinal) !pending;
+          true
+        end
+        else false)
+  end
+
+(* Called once per worker-path scheduler stop (coordinator phases don't
+   count).  Raises {!Crash} on the k-th stop, once per trigger. *)
+let stop_tick t =
+  if t.crash_stops <> [] then begin
+    let n = 1 + Atomic.fetch_and_add t.stop_clock 1 in
+    List.iter
+      (fun (k, fired) ->
+        if n = k && Atomic.compare_and_set fired false true then
+          raise (Crash (Printf.sprintf "injected worker crash at stop %d" k)))
+      t.crash_stops
+  end
+
+(* SplitMix64-style scramble of (seed, tick), folded to a small offset. *)
+let jitter t ~base =
+  match t.jitter_seed with
+  | None -> base
+  | Some seed ->
+    let n = Atomic.fetch_and_add t.jitter_clock 1 in
+    let z = ((seed * 0x1E3779B97F4A7C15) + n) land max_int in
+    let z = (z lxor (z lsr 30)) * 0x3F58476D1CE4E5B9 land max_int in
+    let span = max 1 (base / 2) in
+    max 1 (base - (span / 2) + (z mod span))
+
+let generate ~seed =
+  let rng = Stdx.Prng.create ~seed in
+  let faults = ref [] in
+  (* Always jitter fuel: it is semantics-neutral by design, so every plan
+     doubles as a scheduling-robustness probe. *)
+  faults := Fuel_jitter (Stdx.Prng.next rng land 0xFFFF) :: !faults;
+  let with_alloc = Stdx.Prng.bool rng in
+  if with_alloc then
+    faults := Alloc_fail (20 + Stdx.Prng.int rng 400) :: !faults;
+  (* Always at least one hard fault per plan. *)
+  if (not with_alloc) || Stdx.Prng.bool rng then
+    faults := Worker_crash (1 + Stdx.Prng.int rng 40) :: !faults;
+  { seed; faults = List.rev !faults }

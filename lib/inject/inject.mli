@@ -1,0 +1,57 @@
+(** Deterministic fault injection: seeded plans of faults threaded through
+    {!Mem.Phys_mem} (allocation failures) and [Core.Parallel] / the
+    explorer (worker crashes, fuel jitter).
+
+    A plan is pure data; {!arm} turns it into a one-use trigger set whose
+    fire-state is atomic, so one armed plan can be consulted from every
+    worker domain of a run at once.  All faults are {e recoverable} by
+    construction — an allocation failure fires once per allocator, a
+    worker crash fires once per trigger — so a supervised system must
+    complete the run with the same terminal multiset as a fault-free one;
+    that equivalence is what the fuzz oracle's fault mode asserts. *)
+
+type fault =
+  | Alloc_fail of int
+      (** the allocation of frame ordinal [k] fails (once per allocator) *)
+  | Worker_crash of int
+      (** the [k]-th worker-path scheduler stop raises {!Crash} (once) *)
+  | Fuel_jitter of int
+      (** deterministically perturb every scheduling quantum (seed) *)
+
+type plan = { seed : int; faults : fault list }
+
+exception Crash of string
+(** The simulated worker death raised by {!stop_tick}. *)
+
+type t
+(** An armed plan. *)
+
+val arm : plan -> t
+val none : t
+(** An inert armed plan: no faults, zero overhead beyond a list check. *)
+
+val plan : t -> plan
+val is_none : t -> bool
+
+val alloc_hook : t -> (int -> bool) option
+(** A fresh single-shot hook for one {!Mem.Phys_mem.set_alloc_fault}:
+    frame ordinals are per-allocator, so each allocator gets its own
+    consumption state. [None] when the plan injects no allocation
+    faults. *)
+
+val stop_tick : t -> unit
+(** Advance the global stop clock; raises {!Crash} on a triggering stop.
+    Only worker-path stops call this — coordinator phases (reaching the
+    strategy scope, draining after it) are not supervised. *)
+
+val jitter : t -> base:int -> int
+(** The scheduling quantum to use for the next stop: [base] when the plan
+    has no jitter fault, otherwise a deterministic value in
+    [[base/2, 3*base/2]] (always ≥ 1). *)
+
+val generate : seed:int -> plan
+(** A seeded random plan with at least one hard fault (allocation failure
+    or worker crash) plus fuel jitter. *)
+
+val fault_to_string : fault -> string
+val render : plan -> string

@@ -1,5 +1,7 @@
 type frame = { id : int; bytes : Bytes.t; mutable owner : int }
 
+exception Out_of_frames of { capacity : int; live : int }
+
 type t = {
   mutable next_frame : int;
   mutable next_gen : int;
@@ -14,25 +16,101 @@ type t = {
          simulation's stand-in for a cross-CPU TLB shootdown, without which
          a machine that cached a private translation would keep reading its
          stale frame after a sibling shares the same vpn *)
+  capacity : int;  (* 0 = unbounded *)
+  track_live : bool;
+  live : int Atomic.t;
+      (* frames allocated minus frames the GC has proven unreachable; the
+         finaliser on each frame is the simulation's refcounted free list *)
+  mutable peak_live : int;
+  mutable on_pressure : (unit -> unit) option;
+  mutable pressure_events : int;
+  mutable watermark_armed : bool;
+  mutable alloc_fault : (int -> bool) option;
 }
 
 (* Generation 0 is reserved: it owns the zero frame and nothing else, so no
    live address space can ever write the zero frame in place. *)
 let zero_generation = 0
 
-let create () =
+let create ?(capacity = 0) ?(track_live = false) () =
+  if capacity < 0 then invalid_arg "Phys_mem.create: negative capacity";
   let zero = { id = 0; bytes = Bytes.make Page.size '\000'; owner = zero_generation } in
   { next_frame = 1; next_gen = 1; zero; metrics = Mem_metrics.create ();
-    shared_pages = Hashtbl.create 8; share_epoch = 0 }
+    shared_pages = Hashtbl.create 8; share_epoch = 0;
+    capacity; track_live = track_live || capacity > 0;
+    live = Atomic.make 0; peak_live = 0;
+    on_pressure = None; pressure_events = 0; watermark_armed = true;
+    alloc_fault = None }
 
 let metrics t = t.metrics
 
 let zero_frame t = t.zero
 
+let capacity t = t.capacity
+let frames_live t = Atomic.get t.live
+let peak_frames_live t = t.peak_live
+let pressure_events t = t.pressure_events
+let set_pressure_handler t f = t.on_pressure <- f
+let set_alloc_fault t f = t.alloc_fault <- f
+
+(* Finalisers registered during one major cycle run as part of the next, so
+   a single [full_major] can leave just-dropped frames still counted; the
+   second pass makes "unreachable now" observable in [live]. *)
+let collect t =
+  Gc.full_major ();
+  Gc.full_major ();
+  ignore t
+
+(* Fire the pressure protocol: let the registered reclaimer shed payload
+   references, then collect so the freed frames actually leave [live]. *)
+let pressure t =
+  t.pressure_events <- t.pressure_events + 1;
+  (match t.on_pressure with Some f -> f () | None -> ());
+  collect t
+
+let high_watermark t = t.capacity - (t.capacity / 8)
+
+let ensure_frame_available t =
+  (match t.alloc_fault with
+  | Some fail when fail t.next_frame ->
+    (* Injected transient allocation failure: indistinguishable from a
+       momentarily exhausted free list, so callers exercise the same
+       recovery path a real out-of-frames condition takes. *)
+    raise (Out_of_frames { capacity = t.capacity; live = Atomic.get t.live })
+  | _ -> ());
+  if t.capacity > 0 then begin
+    let live = Atomic.get t.live in
+    if live >= t.capacity then begin
+      pressure t;
+      let live = Atomic.get t.live in
+      if live >= t.capacity then
+        raise (Out_of_frames { capacity = t.capacity; live })
+    end
+    else if live >= high_watermark t then begin
+      (* High-watermark crossing: reclaim early, and only once per
+         excursion above the mark, so steady state near the watermark does
+         not degenerate into a collection per allocation. *)
+      if t.watermark_armed then begin
+        t.watermark_armed <- false;
+        pressure t
+      end
+    end
+    else t.watermark_armed <- true
+  end
+
+let account_live t f =
+  if t.track_live then begin
+    let live = 1 + Atomic.fetch_and_add t.live 1 in
+    if live > t.peak_live then t.peak_live <- live;
+    Gc.finalise (fun (_ : frame) -> Atomic.decr t.live) f
+  end
+
 let alloc t ~owner =
+  ensure_frame_available t;
   let f = { id = t.next_frame; bytes = Bytes.make Page.size '\000'; owner } in
   t.next_frame <- t.next_frame + 1;
   t.metrics.frames_allocated <- t.metrics.frames_allocated + 1;
+  account_live t f;
   f
 
 let alloc_copy t ~owner src =

@@ -15,9 +15,53 @@ type frame = private {
 
 type t
 
-val create : unit -> t
+exception Out_of_frames of { capacity : int; live : int }
+(** Raised by {!alloc} when the frame capacity is exhausted and the
+    pressure protocol could not reclaim anything, or when an injected
+    allocation fault fires (see {!set_alloc_fault}).  Schedulers treat it
+    as a recoverable per-path failure, not a crash. *)
+
+val create : ?capacity:int -> ?track_live:bool -> unit -> t
+(** [capacity] (default 0 = unbounded) bounds the number of
+    simultaneously-live frames.  [track_live] (implied by a positive
+    capacity) enables live-frame accounting: every frame carries a GC
+    finaliser that decrements the live count when the frame becomes
+    unreachable — the simulation's stand-in for the refcounted free list a
+    real libOS would keep. *)
 
 val metrics : t -> Mem_metrics.t
+
+(** {1 Frame budget and memory pressure} *)
+
+val capacity : t -> int
+(** The configured frame capacity; 0 means unbounded. *)
+
+val frames_live : t -> int
+(** Frames allocated and not yet proven unreachable by the GC.  Only
+    meaningful when live tracking is enabled. *)
+
+val peak_frames_live : t -> int
+(** High-water mark of {!frames_live} — with a capacity set, never exceeds
+    it: allocation fails rather than overshoot. *)
+
+val pressure_events : t -> int
+(** Times the pressure protocol ran (watermark crossings plus hard
+    capacity hits). *)
+
+val set_pressure_handler : t -> (unit -> unit) option -> unit
+(** The reclaimer invoked under memory pressure: at the high watermark
+    (⅞ of capacity, once per excursion above it) and again before giving
+    up at the hard capacity limit.  The handler should drop references to
+    reclaimable frames (e.g. evict snapshot payloads); the allocator then
+    collects and re-checks.  Called from inside {!alloc}, so it must not
+    allocate frames itself. *)
+
+val set_alloc_fault : t -> (int -> bool) option -> unit
+(** Deterministic fault injection: the callback is consulted with the
+    would-be frame ordinal on every allocation attempt; returning [true]
+    makes that attempt raise {!Out_of_frames}.  A retried allocation
+    consults it again with the same ordinal, so single-shot plans must
+    consume their trigger. *)
 
 val zero_frame : t -> frame
 (** The shared all-zeroes frame backing demand-zero mappings.  Its owner is a

@@ -420,16 +420,134 @@ let service_guest_dpll_increments () =
     | None -> Alcotest.fail "p ∧ q should be satisfiable")
 
 let service_release () =
-  let svc, outcome = Service.boot (Workloads.Counting.program ~depth:2 ~branch:2) in
+  (* A workload whose steps dirty arena pages, so a child candidate owns
+     frames of its own and releasing it observably shrinks the footprint. *)
+  let svc, outcome =
+    Service.boot
+      (Workloads.Locality.program
+         { depth = 2; branch = 2; touch_pages = 2; work = 1; arena_pages = 8 })
+  in
   match outcome with
-  | Service.Ready { candidate; _ } ->
-    let before = Service.live_candidates svc in
-    Service.release svc candidate;
-    check Alcotest.int "one fewer live" (before - 1) (Service.live_candidates svc);
-    Alcotest.check_raises "resume after release"
-      (Invalid_argument "Service: unknown candidate reference 0") (fun () ->
-        ignore (Service.resume svc candidate ~choice:0 ()))
+  | Service.Ready { candidate; _ } -> (
+    (* Publish a child so releasing it observably drops frames while the
+       root candidate keeps the shared ones pinned. *)
+    match Service.resume svc candidate ~choice:0 () with
+    | Service.Ready { candidate = child; _ } ->
+      let live_before = Service.live_candidates svc in
+      let frames_before = Service.distinct_frames svc in
+      Service.release svc child;
+      check Alcotest.int "one fewer live" (live_before - 1)
+        (Service.live_candidates svc);
+      check Alcotest.bool "distinct frames drop" true
+        (Service.distinct_frames svc < frames_before);
+      Alcotest.check_raises "resume after release"
+        (Invalid_argument "Reclaim: reference 1 was released") (fun () ->
+          ignore (Service.resume svc child ~choice:0 ()));
+      (* The un-released sibling is untouched by the release. *)
+      (match Service.resume svc candidate ~choice:1 () with
+      | Service.Ready _ | Service.Finished _ | Service.Failed _ -> ()
+      | Service.Crashed msg -> Alcotest.fail ("sibling resume crashed: " ^ msg))
+    | _ -> Alcotest.fail "expected a child choice point")
   | _ -> Alcotest.fail "expected a choice point"
+
+(* {1 Reclaim: eviction and replay under memory pressure} *)
+
+let explorer_survives_memory_pressure () =
+  let image =
+    Workloads.Locality.program
+      { depth = 4; branch = 3; touch_pages = 3; work = 5; arena_pages = 16 }
+  in
+  (* Fault-free run on unbounded memory establishes the footprint. *)
+  let phys0 = Mem.Phys_mem.create ~track_live:true () in
+  let base = Explorer.run (Libos.boot phys0 image) in
+  let peak = Mem.Phys_mem.peak_frames_live phys0 in
+  let capacity = max 24 (peak / 3) in
+  check Alcotest.bool "budget is genuinely below the fault-free peak" true
+    (capacity < peak);
+  (* Same exploration under a frame budget the footprint does not fit. *)
+  let phys = Mem.Phys_mem.create ~capacity () in
+  let r = Explorer.run (Libos.boot phys image) in
+  check Alcotest.int "same exit status" (completed base) (completed r);
+  check (Alcotest.list Alcotest.string) "same transcript, same order"
+    (transcript_lines base) (transcript_lines r);
+  check Alcotest.int "same terminal count"
+    (List.length base.Explorer.terminals)
+    (List.length r.Explorer.terminals);
+  check Alcotest.bool "payloads were evicted" true
+    (r.Explorer.stats.Core.Stats.payload_evictions > 0);
+  check Alcotest.bool "evicted payloads were replayed" true
+    (r.Explorer.stats.Core.Stats.replays > 0);
+  check Alcotest.int "replay work is excluded from the instruction count"
+    base.Explorer.stats.Core.Stats.instructions
+    r.Explorer.stats.Core.Stats.instructions;
+  check Alcotest.bool "frame budget was respected" true
+    (Mem.Phys_mem.peak_frames_live phys <= capacity)
+
+let service_resume_survives_eviction () =
+  let svc, outcome =
+    Service.boot
+      (Workloads.Locality.program
+         { depth = 3; branch = 2; touch_pages = 2; work = 1; arena_pages = 8 })
+  in
+  match outcome with
+  | Service.Ready { candidate; _ } -> (
+    match Service.resume svc candidate ~choice:0 () with
+    | Service.Ready { candidate = child; arity; output } ->
+      (* Drop every materialised payload, then resume the child: the store
+         must rebuild it by replaying from the pinned root, and the resume
+         must be indistinguishable from the pre-eviction one. *)
+      let evicted = Service.evict_all svc in
+      check Alcotest.bool "something was evicted" true (evicted >= 1);
+      check Alcotest.int "only the pinned root stays materialised" 1
+        (Service.materialised_candidates svc);
+      (match Service.resume svc child ~choice:0 () with
+      | Service.Ready { arity = arity'; output = output'; _ } ->
+        check Alcotest.int "same arity after replay" arity arity';
+        check Alcotest.string "same output after replay" output output'
+      | Service.Finished _ | Service.Failed _ ->
+        Alcotest.fail "expected another choice point"
+      | Service.Crashed msg -> Alcotest.fail ("resume crashed: " ^ msg));
+      check Alcotest.bool "resume went through replay" true
+        (Service.replays svc >= 1)
+    | _ -> Alcotest.fail "expected a child choice point")
+  | _ -> Alcotest.fail "expected a choice point"
+
+let divergent_path_killed_by_fuel () =
+  (* Extension 1 spins forever; a finite [fuel_per_step] must kill that
+     path alone and let the rest of the search finish. *)
+  let image =
+    assemble ~entry:"main"
+      ([ label "main" ]
+      @ Wl_common.sys_guess_strategy ~strategy:Abi.strategy_dfs
+      @ [ cmp R.rax (i 0); je "after" ]
+      @ Wl_common.sys_guess_imm ~n:2
+      @ [ cmp R.rax (i 1); je "spin" ]
+      @ Wl_common.sys_exit ~status:3
+      @ [ label "spin"; jmp "spin"; label "after" ]
+      @ Wl_common.sys_exit ~status:0)
+  in
+  let r = Explorer.run_image ~fuel_per_step:5_000 image in
+  check Alcotest.int "search completes" 0 (completed r);
+  check Alcotest.int "one path killed" 1 r.Explorer.stats.Core.Stats.kills;
+  check Alcotest.bool "killed terminal names fuel" true
+    (List.exists
+       (fun t ->
+         match t.Explorer.kind with
+         | Explorer.Path_killed msg ->
+           (* substring check: the reason string mentions fuel *)
+           let lower = String.lowercase_ascii msg in
+           let has needle =
+             let n = String.length needle and l = String.length lower in
+             let rec go i = i + n <= l && (String.sub lower i n = needle || go (i + 1)) in
+             go 0
+           in
+           has "fuel"
+         | _ -> false)
+       r.Explorer.terminals);
+  check Alcotest.bool "surviving path recorded its exit" true
+    (List.exists
+       (fun t -> match t.Explorer.kind with Explorer.Exit 3 -> true | _ -> false)
+       r.Explorer.terminals)
 
 (* {1 Native replay ablation} *)
 
@@ -560,6 +678,12 @@ let tests =
     Alcotest.test_case "service distinct branches" `Quick service_distinct_branches;
     Alcotest.test_case "service incremental dpll" `Quick service_guest_dpll_increments;
     Alcotest.test_case "service release" `Quick service_release;
+    Alcotest.test_case "explorer survives memory pressure" `Quick
+      explorer_survives_memory_pressure;
+    Alcotest.test_case "service resume survives eviction" `Quick
+      service_resume_survives_eviction;
+    Alcotest.test_case "divergent path killed by fuel" `Quick
+      divergent_path_killed_by_fuel;
     Alcotest.test_case "native replay enumerates" `Quick native_bt_enumerates;
     Alcotest.test_case "native replay fail prunes" `Quick native_bt_fail_prunes;
     Alcotest.test_case "native replay cost" `Quick native_bt_replay_cost;

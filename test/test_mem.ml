@@ -528,6 +528,65 @@ let write_read_model =
         writes;
       Hashtbl.fold (fun addr v acc -> acc && As.read_u8 t addr = v) model true)
 
+(* --- Frame budget, memory pressure, allocation faults ---------------- *)
+
+let capacity_enforced () =
+  let phys = Phys.create ~capacity:8 () in
+  let held = ref [] in
+  for _ = 1 to 8 do held := Phys.alloc phys ~owner:1 :: !held done;
+  check Alcotest.int "live at capacity" 8 (Phys.frames_live phys);
+  (match Phys.alloc phys ~owner:1 with
+  | _ -> Alcotest.fail "alloc beyond capacity must fail"
+  | exception Phys.Out_of_frames { capacity; live } ->
+      check Alcotest.int "reported capacity" 8 capacity;
+      check Alcotest.int "reported live" 8 live);
+  check Alcotest.bool "pressure protocol ran" true (Phys.pressure_events phys >= 1);
+  check Alcotest.int "peak never overshoots" 8 (Phys.peak_frames_live phys);
+  ignore (Sys.opaque_identity !held)
+
+let pressure_handler_reclaims () =
+  let phys = Phys.create ~capacity:8 () in
+  let held = ref [] in
+  for _ = 1 to 8 do held := Phys.alloc phys ~owner:1 :: !held done;
+  (* The handler drops every held reference; the allocator's follow-up
+     collection must then free the frames and let the allocation through. *)
+  Phys.set_pressure_handler phys (Some (fun () -> held := []));
+  let f = Phys.alloc phys ~owner:1 in
+  check Alcotest.bool "alloc succeeds after reclaim" true (f.Phys.id > 0);
+  check Alcotest.bool "live dropped below capacity" true
+    (Phys.frames_live phys < 8);
+  check Alcotest.int "peak is the pre-reclaim high-water mark" 8
+    (Phys.peak_frames_live phys)
+
+let injected_alloc_fault_single_shot () =
+  let phys = Phys.create () in
+  let inj = Inject.arm { Inject.seed = 0; faults = [ Inject.Alloc_fail 3 ] } in
+  Phys.set_alloc_fault phys (Inject.alloc_hook inj);
+  let f1 = Phys.alloc phys ~owner:1 in
+  let f2 = Phys.alloc phys ~owner:1 in
+  check Alcotest.bool "ordinals below the trigger pass" true
+    (f1.Phys.id = 1 && f2.Phys.id = 2);
+  (match Phys.alloc phys ~owner:1 with
+  | _ -> Alcotest.fail "third allocation must hit the injected fault"
+  | exception Phys.Out_of_frames _ -> ());
+  (* The hook is single-shot: retrying the same ordinal succeeds, which is
+     exactly the recovery contract the supervised schedulers rely on. *)
+  let f3 = Phys.alloc phys ~owner:1 in
+  check Alcotest.int "retry re-presents the same ordinal" 3 f3.Phys.id;
+  let f4 = Phys.alloc phys ~owner:1 in
+  check Alcotest.int "subsequent allocations unaffected" 4 f4.Phys.id
+
+let untracked_by_default () =
+  let phys = Phys.create () in
+  let _f = Phys.alloc phys ~owner:1 in
+  check Alcotest.int "no live accounting without capacity" 0
+    (Phys.frames_live phys);
+  check Alcotest.int "no peak either" 0 (Phys.peak_frames_live phys);
+  let tracked = Phys.create ~track_live:true () in
+  let keep = Phys.alloc tracked ~owner:1 in
+  check Alcotest.int "opt-in tracking counts" 1 (Phys.frames_live tracked);
+  ignore (Sys.opaque_identity keep)
+
 let tests =
   [ Alcotest.test_case "page geometry" `Quick page_geometry;
     Alcotest.test_case "read/write roundtrip" `Quick rw_roundtrip;
@@ -554,6 +613,11 @@ let tests =
     Alcotest.test_case "ept basic" `Quick ept_basic;
     Alcotest.test_case "ept page-table COW" `Quick ept_snapshot_pt_cow;
     Alcotest.test_case "ept deep vpn" `Quick ept_deep_vpn;
+    Alcotest.test_case "frame capacity enforced" `Quick capacity_enforced;
+    Alcotest.test_case "pressure handler reclaims" `Quick pressure_handler_reclaims;
+    Alcotest.test_case "injected alloc fault is single-shot" `Quick
+      injected_alloc_fault_single_shot;
+    Alcotest.test_case "live tracking is opt-in" `Quick untracked_by_default;
     backends_agree;
     sharing_matches_model;
     write_read_model ]

@@ -239,9 +239,121 @@ let max_live_snapshots_tracked () =
     (r.Parallel.stats.Core.Stats.max_live_snapshots
     >= r.Parallel.stats.Core.Stats.max_frontier)
 
+(* {1 Supervision and fault injection} *)
+
+let fault_config ?(backend = `Cooperative) ?(retry_budget = 3) faults () =
+  { Parallel.default_config with
+    Parallel.workers = 4;
+    quantum = 2000;
+    backend;
+    retry_budget;
+    faults = Some { Inject.seed = 0; faults } }
+
+let coop_crash_recovery () =
+  let expected = List.sort compare (Workloads.Nqueens.host_boards 6) in
+  let r =
+    Parallel.run
+      ~config:(fault_config [ Inject.Worker_crash 5 ] ())
+      (Workloads.Nqueens.program ~n:6)
+  in
+  check Alcotest.int "completed" 0 (completed r);
+  check (Alcotest.list Alcotest.string) "all solutions despite the crash"
+    expected (solutions r);
+  check Alcotest.bool "the crash was retried" true
+    (r.Parallel.stats.Core.Stats.requeues >= 1);
+  check Alcotest.int "nothing quarantined" 0
+    r.Parallel.stats.Core.Stats.quarantined
+
+let domains_crash_recovery () =
+  let expected = List.sort compare (Workloads.Nqueens.host_boards 6) in
+  let r =
+    Parallel.run
+      ~config:(fault_config ~backend:`Domains [ Inject.Worker_crash 5 ] ())
+      (Workloads.Nqueens.program ~n:6)
+  in
+  check Alcotest.int "completed" 0 (completed r);
+  check (Alcotest.list Alcotest.string) "all solutions despite the crash"
+    expected (solutions r);
+  check Alcotest.bool "the crash was retried" true
+    (r.Parallel.stats.Core.Stats.requeues >= 1);
+  check Alcotest.int "nothing quarantined" 0
+    r.Parallel.stats.Core.Stats.quarantined
+
+let coop_alloc_failure_recovery () =
+  (* Several ordinals so at least one lands inside worker-path evaluation
+     regardless of how many frames boot consumed; each fires at most once
+     and the origin retry re-allocates successfully. *)
+  let faults = [ Inject.Alloc_fail 120; Alloc_fail 200; Alloc_fail 300 ] in
+  let expected = List.sort compare (Workloads.Nqueens.host_boards 6) in
+  let r =
+    Parallel.run ~config:(fault_config faults ()) (Workloads.Nqueens.program ~n:6)
+  in
+  check Alcotest.int "completed" 0 (completed r);
+  check (Alcotest.list Alcotest.string) "all solutions despite failed allocations"
+    expected (solutions r);
+  check Alcotest.int "nothing quarantined" 0
+    r.Parallel.stats.Core.Stats.quarantined
+
+let quarantine_after_budget () =
+  (* A retry budget of 1 turns the first crash into a quarantined path:
+     the run still completes, minus the killed subtree. *)
+  let expected = List.sort compare (Workloads.Nqueens.host_boards 6) in
+  let r =
+    Parallel.run
+      ~config:(fault_config ~retry_budget:1 [ Inject.Worker_crash 5 ] ())
+      (Workloads.Nqueens.program ~n:6)
+  in
+  check Alcotest.int "completed despite the quarantine" 0 (completed r);
+  check Alcotest.int "one path quarantined" 1
+    r.Parallel.stats.Core.Stats.quarantined;
+  check Alcotest.bool "quarantine recorded as a killed path" true
+    (List.exists
+       (fun (t : Explorer.terminal) ->
+         match t.Explorer.kind with
+         | Explorer.Path_killed m ->
+           String.length m >= 6 && String.sub m 0 6 = "crash:"
+         | _ -> false)
+       r.Parallel.terminals);
+  List.iter
+    (fun s ->
+      check Alcotest.bool "surviving solutions are genuine" true
+        (List.mem s expected))
+    (solutions r)
+
+let budget_abort_parity () =
+  (* All three scheduler backends must refuse a runaway search with the
+     same abort, so drivers can match on one string. *)
+  let image = Workloads.Counting.program ~depth:8 ~branch:3 in
+  let aborted = function
+    | Explorer.Aborted m -> m
+    | _ -> Alcotest.fail "expected an abort"
+  in
+  let expect = "extension budget exhausted" in
+  check Alcotest.string "explorer"
+    expect (aborted (Explorer.run_image ~max_extensions:20 image).Explorer.outcome);
+  check Alcotest.string "cooperative" expect
+    (aborted
+       (Parallel.run
+          ~config:{ (config ()) with Parallel.max_extensions = 20 }
+          image)
+       .Parallel.outcome);
+  check Alcotest.string "domains" expect
+    (aborted
+       (Parallel.run
+          ~config:{ (dconfig ()) with Parallel.max_extensions = 20 }
+          image)
+       .Parallel.outcome)
+
 let tests =
   [ Alcotest.test_case "same solutions for any worker count" `Quick
       same_solutions_any_worker_count;
+    Alcotest.test_case "coop: crash recovery" `Quick coop_crash_recovery;
+    Alcotest.test_case "domains: crash recovery" `Quick domains_crash_recovery;
+    Alcotest.test_case "coop: alloc failure recovery" `Quick
+      coop_alloc_failure_recovery;
+    Alcotest.test_case "quarantine after retry budget" `Quick
+      quarantine_after_budget;
+    Alcotest.test_case "budget abort parity" `Quick budget_abort_parity;
     Alcotest.test_case "counting tree all leaves" `Quick counting_tree_all_leaves;
     Alcotest.test_case "makespan shrinks" `Quick makespan_shrinks_with_workers;
     Alcotest.test_case "total work independent of workers" `Quick

@@ -51,6 +51,57 @@ let sma_bounds_memory () =
   (* the best survive *)
   check (Alcotest.list Alcotest.string) "best kept" [ "h0"; "h1"; "h2" ] (drain f)
 
+let zero_capacity_rejected () =
+  Alcotest.check_raises "sma capacity 0"
+    (Invalid_argument "Frontier.sma(0): capacity must be positive") (fun () ->
+      ignore (F.sma ~capacity:0 ()));
+  Alcotest.check_raises "beam width 0"
+    (Invalid_argument "Frontier.beam(0): capacity must be positive") (fun () ->
+      ignore (F.beam ~width:0 ()));
+  Alcotest.check_raises "sma negative capacity"
+    (Invalid_argument "Frontier.sma(-2): capacity must be positive") (fun () ->
+      ignore (F.sma ~capacity:(-2) ()))
+
+let capacity_one_keeps_single_best () =
+  let f = F.sma ~capacity:1 () in
+  push_all f
+    [ meta ~hint:4 (), "h4"; meta ~hint:1 (), "h1"; meta ~hint:3 (), "h3" ];
+  check Alcotest.int "never more than one held" 1 (f.F.length ());
+  check Alcotest.int "the other two evicted" 2 (List.length (f.F.evicted ()));
+  check (Alcotest.list Alcotest.string) "the best survives" [ "h1" ] (drain f)
+
+let beam_width_one_is_pure_greedy () =
+  let f = F.beam ~width:1 () in
+  push_all f
+    [ meta ~depth:9 ~hint:2 (), "deep-close"; meta ~depth:0 ~hint:7 (), "shallow-far" ];
+  check Alcotest.int "loser evicted" 1 (List.length (f.F.evicted ()));
+  (* the beam scores on the hint alone — depth must not matter *)
+  check (Alcotest.list Alcotest.string) "hint alone decides" [ "deep-close" ] (drain f)
+
+let eviction_conserves_entries () =
+  (* Every pushed extension leaves the frontier exactly once — popped or
+     reported via [evicted] — which is what lets the scheduler release the
+     snapshot behind each evicted extension without leaking or
+     double-releasing (the reclaim store's handles are freed on that
+     report). *)
+  let f = F.sma ~capacity:3 () in
+  let seen = Hashtbl.create 32 in
+  let note tag x =
+    if Hashtbl.mem seen x then Alcotest.failf "%s returned %s twice" tag x;
+    Hashtbl.replace seen x tag
+  in
+  List.iter
+    (fun batch ->
+      push_all f batch;
+      List.iter (note "evicted") (f.F.evicted ());
+      match f.F.pop () with Some x -> note "popped" x | None -> ())
+    [ List.init 5 (fun k -> meta ~hint:k (), Printf.sprintf "a%d" k);
+      List.init 5 (fun k -> meta ~hint:(9 - k) (), Printf.sprintf "b%d" k);
+      [] ];
+  List.iter (note "drained") (drain f);
+  List.iter (note "evicted") (f.F.evicted ());
+  check Alcotest.int "all ten accounted for exactly once" 10 (Hashtbl.length seen)
+
 let random_is_seed_deterministic () =
   let mk seed =
     let f = F.random ~seed () in
@@ -134,6 +185,12 @@ let tests =
     Alcotest.test_case "bfs fifo" `Quick bfs_is_fifo;
     Alcotest.test_case "astar orders by depth+hint" `Quick astar_orders_by_f;
     Alcotest.test_case "sma bounds memory" `Quick sma_bounds_memory;
+    Alcotest.test_case "zero capacity rejected" `Quick zero_capacity_rejected;
+    Alcotest.test_case "capacity one keeps single best" `Quick
+      capacity_one_keeps_single_best;
+    Alcotest.test_case "beam width one" `Quick beam_width_one_is_pure_greedy;
+    Alcotest.test_case "eviction conserves entries" `Quick
+      eviction_conserves_entries;
     Alcotest.test_case "random deterministic by seed" `Quick random_is_seed_deterministic;
     Alcotest.test_case "random is a permutation" `Quick random_is_permutation;
     Alcotest.test_case "custom best-first" `Quick best_first_custom_score;
