@@ -52,6 +52,29 @@ let fratio r = Printf.sprintf "%.2fx" r
 
 let fint = string_of_int
 
+(* {1 Machine-readable results} *)
+
+(* Write BENCH_<experiment>.json next to the working directory.  Schema
+   (version 1, documented in EXPERIMENTS.md): {experiment, quick,
+   schema_version, params, rows} where [params] holds experiment-level
+   settings and [rows] one object per printed table row, typically
+   including a "metrics" sub-object from [Obs.Metrics.to_json]. *)
+let emit_json ~experiment ~quick ~params rows =
+  let doc =
+    Obs.Json.Obj
+      [ "experiment", Obs.Json.Str experiment;
+        "quick", Obs.Json.Bool quick;
+        "schema_version", Obs.Json.Int 1;
+        "params", Obs.Json.Obj params;
+        "rows", Obs.Json.Arr rows ]
+  in
+  let path = Printf.sprintf "BENCH_%s.json" experiment in
+  let oc = open_out path in
+  output_string oc (Obs.Json.to_string doc);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "[machine-readable results written to %s]\n" path
+
 (* {1 Bechamel micro-benchmarks} *)
 
 let run_micro ~name tests =

@@ -1,7 +1,18 @@
 (* lwsnap: drive the lightweight-snapshot backtracking system from the
-   command line.  Subcommands: run, solve, symex, prolog, disasm, fuzz. *)
+   command line.  Subcommands: run, solve, symex, prolog, disasm, fuzz,
+   trace. *)
 
 open Cmdliner
+
+(* Drain the tracer into a Chrome trace_event file (Perfetto-loadable). *)
+let write_trace_file path =
+  let events = Obs.Trace.events () in
+  let dropped = Obs.Trace.dropped () in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc
+        (Obs.Export.chrome_json_string ~dropped events));
+  Printf.printf "[trace: %d events (%d dropped) written to %s]\n"
+    (List.length events) dropped path
 
 let strategy_conv =
   let parse = function
@@ -88,13 +99,20 @@ let run_cmd =
                    subset) or a path to a .s assembly file (see \
                    examples/guess_three.s for the dialect).")
   in
-  let action workload n strategy first fuel capacity =
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace" ] ~docv:"FILE"
+             ~doc:"Record a trace of the run and write it to FILE as Chrome \
+                   trace_event JSON (open in Perfetto or chrome://tracing).")
+  in
+  let action workload n strategy first fuel capacity trace_out =
     match build_image workload n with
     | Error msg ->
       prerr_endline msg;
       1
     | Ok image ->
       let mode = if first then `First_exit else `Run_to_completion in
+      (match trace_out with Some _ -> Obs.Trace.start () | None -> ());
       let result =
         Core.Explorer.run_image ~mode ~fuel_per_step:fuel
           ?capacity:(if capacity > 0 then Some capacity else None)
@@ -106,11 +124,96 @@ let run_cmd =
       | Core.Explorer.Stopped_first_exit s -> Printf.printf "[first exit, status %d]\n" s
       | Core.Explorer.Aborted m -> Printf.printf "[aborted: %s]\n" m);
       Format.printf "%a@." Core.Stats.pp result.Core.Explorer.stats;
+      (match trace_out with
+      | Some path ->
+        Obs.Trace.stop ();
+        write_trace_file path;
+        Obs.Trace.clear ()
+      | None -> ());
       0
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a guest search workload under the explorer.")
     Term.(const action $ workload $ size_arg ~default:6 $ strategy_arg
-          $ first_arg $ fuel_arg $ capacity_arg)
+          $ first_arg $ fuel_arg $ capacity_arg $ trace_out)
+
+let trace_cmd =
+  let workload =
+    Arg.(value & pos 0 string "nqueens"
+         & info [] ~docv:"WORKLOAD"
+             ~doc:"A built-in workload (nqueens, coloring, counting, grid, \
+                   subset) or a path to a .s assembly file.")
+  in
+  let format_arg =
+    Arg.(value
+         & opt
+             (enum
+                [ ("chrome", `Chrome); ("summary", `Summary);
+                  ("tree", `Tree_json); ("dot", `Tree_dot) ])
+             `Chrome
+         & info [ "format" ] ~docv:"FORMAT"
+             ~doc:"Output format: $(b,chrome) (trace_event JSON for \
+                   Perfetto), $(b,summary) (flat text aggregates), \
+                   $(b,tree) (snapshot tree as JSON with per-node cost), \
+                   $(b,dot) (snapshot tree as Graphviz).")
+  in
+  let out =
+    Arg.(value & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE"
+             ~doc:"Output file (default: trace.json / trace-tree.json / \
+                   trace-tree.dot by format; summary prints to stdout).")
+  in
+  let action workload n strategy first fuel capacity format out =
+    match build_image workload n with
+    | Error msg ->
+      prerr_endline msg;
+      1
+    | Ok image ->
+      let mode = if first then `First_exit else `Run_to_completion in
+      Obs.Trace.start ();
+      let result =
+        Core.Explorer.run_image ~mode ~fuel_per_step:fuel
+          ?capacity:(if capacity > 0 then Some capacity else None)
+          ?strategy_override:strategy image
+      in
+      Obs.Trace.stop ();
+      (match result.Core.Explorer.outcome with
+      | Core.Explorer.Completed s -> Printf.printf "[completed, status %d]\n" s
+      | Core.Explorer.Stopped_first_exit s ->
+        Printf.printf "[first exit, status %d]\n" s
+      | Core.Explorer.Aborted m -> Printf.printf "[aborted: %s]\n" m);
+      let events = Obs.Trace.events () in
+      let write path content what =
+        Out_channel.with_open_text path (fun oc ->
+            Out_channel.output_string oc content);
+        Printf.printf "[%s written to %s]\n" what path
+      in
+      (match format with
+      | `Chrome ->
+        write_trace_file (Option.value out ~default:"trace.json")
+      | `Summary -> (
+        let text = Obs.Export.summary events in
+        match out with
+        | None -> print_string text
+        | Some p -> write p text "trace summary")
+      | `Tree_json ->
+        write
+          (Option.value out ~default:"trace-tree.json")
+          (Obs.Json.to_string (Obs.Export.tree_json events))
+          "snapshot tree (JSON)"
+      | `Tree_dot ->
+        write
+          (Option.value out ~default:"trace-tree.dot")
+          (Obs.Export.tree_dot events)
+          "snapshot tree (DOT)");
+      Obs.Trace.clear ();
+      0
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:"Run a workload with tracing on and export the event stream \
+             (Chrome JSON, text summary, or annotated snapshot tree).")
+    Term.(const action $ workload $ size_arg ~default:6 $ strategy_arg
+          $ first_arg $ fuel_arg $ capacity_arg $ format_arg $ out)
 
 let solve_cmd =
   let file =
@@ -334,7 +437,29 @@ let fuzz_cmd =
                    identical to the fault-free baseline.  A diverging plan \
                    is written to fuzz-fault-plan-seed<N>.txt.")
   in
-  let action seed budget depth fanout ckpt_every out render_only faults =
+  let trace_flag =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"On divergence, re-run the shrunk counterexample (or the \
+                   diverging fault plans) with tracing on and write the \
+                   event stream next to the reproducer as \
+                   $(i,FILE).trace.json, so the failing pipeline's \
+                   behaviour is inspectable in Perfetto.")
+  in
+  let traced_rerun path f =
+    Obs.Trace.start ();
+    (try ignore (f ()) with _ -> ());
+    Obs.Trace.stop ();
+    let tpath = path ^ ".trace.json" in
+    let events = Obs.Trace.events () in
+    Out_channel.with_open_text tpath (fun oc ->
+        Out_channel.output_string oc
+          (Obs.Export.chrome_json_string ~dropped:(Obs.Trace.dropped ()) events));
+    Obs.Trace.clear ();
+    Printf.printf "fuzz: trace of the diverging run (%d events) written to %s\n"
+      (List.length events) tpath
+  in
+  let action seed budget depth fanout ckpt_every out render_only faults trace =
     let cfg = { Fuzz.Gen_prog.default_cfg with max_depth = depth; max_fanout = fanout } in
     if render_only then begin
       print_string (Fuzz.Gen_prog.render (Fuzz.Gen_prog.generate ~cfg seed));
@@ -358,6 +483,10 @@ let fuzz_cmd =
             "fuzz: seed %d under fault plan diverges on %s: %s\n\
              fuzz: diverging plan written to %s\n%!"
             (seed + i) d.Fuzz.Oracle.pipeline d.Fuzz.Oracle.detail path;
+          if trace then
+            traced_rerun path (fun () ->
+                Fuzz.Oracle.check_prog_faults ~seed:(seed + i) ~plans:faults
+                  prog);
           1
     in
     let rec check i =
@@ -401,6 +530,8 @@ let fuzz_cmd =
           Printf.printf
             "fuzz: shrunk reproducer (%d -> %d nodes+stmts) written to %s\n"
             (Fuzz.Gen_prog.size prog) (Fuzz.Gen_prog.size small) path;
+          if trace then
+            traced_rerun path (fun () -> Fuzz.Oracle.check_prog ~ckpt_every small);
           1
       end
     in
@@ -411,7 +542,7 @@ let fuzz_cmd =
        ~doc:"Differential fuzzing: random guests cross-checked over every \
              execution pipeline.")
     Term.(const action $ seed $ budget $ depth $ fanout $ ckpt_every $ out
-          $ render_only $ faults)
+          $ render_only $ faults $ trace_flag)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in
@@ -420,5 +551,5 @@ let () =
       ~doc:"Lightweight snapshots and system-level backtracking."
   in
   exit (Cmd.eval' (Cmd.group ~default info
-                     [ run_cmd; solve_cmd; symex_cmd; prolog_cmd; disasm_cmd;
-                       fuzz_cmd ]))
+                     [ run_cmd; trace_cmd; solve_cmd; symex_cmd; prolog_cmd;
+                       disasm_cmd; fuzz_cmd ]))

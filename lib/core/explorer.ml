@@ -126,6 +126,15 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
   in
 
   let finish outcome =
+    if Obs.Trace.enabled () then begin
+      (match Libos.icache_counts machine with
+      | Some (misses, slow) ->
+        Obs.Trace.counter Obs.Names.icache_misses misses;
+        Obs.Trace.counter Obs.Names.icache_slow slow
+      | None -> ());
+      Obs.Trace.counter Obs.Names.instructions
+        (machine.cpu.Cpu.retired - retired_before)
+    end;
     stats.instructions <- machine.cpu.Cpu.retired - retired_before;
     let mem_delta =
       Mem.Mem_metrics.diff (Mem.Addr_space.metrics machine.aspace) mem_before
@@ -204,6 +213,8 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
 
   let track_extents sc =
     let frontier_len = sc.frontier.Frontier.length () in
+    if Obs.Trace.enabled () then
+      Obs.Trace.counter Obs.Names.frontier_len frontier_len;
     stats.max_frontier <- max stats.max_frontier frontier_len;
     let lineage_len =
       match store with
@@ -220,9 +231,27 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
   in
 
   let rec loop () =
-    match
-      (try `Stop (Libos.run machine ~fuel:fuel_per_step) with e -> `Crash e)
-    with
+    let step =
+      if Obs.Trace.enabled () then begin
+        let sid =
+          match !current_snap with Some s -> s.Snapshot.id | None -> -1
+        in
+        let r0 = machine.cpu.Cpu.retired in
+        Obs.Trace.span_begin ~a:sid Obs.Names.explorer_eval;
+        let res =
+          try `Stop (Libos.run machine ~fuel:fuel_per_step) with e -> `Crash e
+        in
+        Obs.Trace.span_end ~a:sid
+          ~b:(machine.cpu.Cpu.retired - r0)
+          Obs.Names.explorer_eval;
+        (match res with
+        | `Stop stop -> Obs.Trace.instant (Libos.stop_trace_name stop)
+        | `Crash _ -> ());
+        res
+      end
+      else try `Stop (Libos.run machine ~fuel:fuel_per_step) with e -> `Crash e
+    in
+    match step with
     | `Crash e -> crashed e
     | `Stop stop ->
     (match on_stop with None -> () | Some f -> f machine stop);
@@ -352,6 +381,8 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
       if !retries < retry_budget - 1 then begin
         incr retries;
         stats.requeues <- stats.requeues + 1;
+        if Obs.Trace.enabled () then
+          Obs.Trace.instant ~a:!retries Obs.Names.sched_requeue;
         match
           (try
              `Ok
@@ -375,6 +406,7 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
       else quarantine sc e
 
   and quarantine sc e =
+    if Obs.Trace.enabled () then Obs.Trace.instant Obs.Names.sched_quarantine;
     stats.quarantined <- stats.quarantined + 1;
     stats.kills <- stats.kills + 1;
     record

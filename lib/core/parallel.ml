@@ -33,7 +33,6 @@ type result = {
   terminals : Explorer.terminal list;
   rounds : int;
   busy_rounds : int array;
-  instructions : int;
   stats : Stats.t;
 }
 
@@ -186,6 +185,8 @@ let run_cooperative ~(config : config) (image : Isa.Asm.image) =
     if w.retries < config.retry_budget - 1 then begin
       w.retries <- w.retries + 1;
       stats.Stats.requeues <- stats.Stats.requeues + 1;
+      if Obs.Trace.enabled () then
+        Obs.Trace.instant ~a:w.retries Obs.Names.sched_requeue;
       (match w.origin with
       | Some ext ->
         Snapshot.restore w.machine (snap_of ext);
@@ -199,6 +200,7 @@ let run_cooperative ~(config : config) (image : Isa.Asm.image) =
       w.marker <- Libos.stdout_chunks w.machine
     end
     else begin
+      if Obs.Trace.enabled () then Obs.Trace.instant Obs.Names.sched_quarantine;
       stats.Stats.quarantined <- stats.Stats.quarantined + 1;
       stats.Stats.kills <- stats.Stats.kills + 1;
       record (Explorer.Path_killed (quarantine_message e config.retry_budget))
@@ -292,8 +294,21 @@ let run_cooperative ~(config : config) (image : Isa.Asm.image) =
               match
                 (try
                    let stop =
-                     Libos.run w.machine
-                       ~fuel:(Inject.jitter inj ~base:config.quantum)
+                     if Obs.Trace.enabled () then begin
+                       let r0 = w.machine.Libos.cpu.Cpu.retired in
+                       Obs.Trace.span_begin ~a:idx Obs.Names.worker_eval;
+                       Fun.protect
+                         ~finally:(fun () ->
+                           Obs.Trace.span_end ~a:idx
+                             ~b:(w.machine.Libos.cpu.Cpu.retired - r0)
+                             Obs.Names.worker_eval)
+                         (fun () ->
+                           Libos.run w.machine
+                             ~fuel:(Inject.jitter inj ~base:config.quantum))
+                     end
+                     else
+                       Libos.run w.machine
+                         ~fuel:(Inject.jitter inj ~base:config.quantum)
                    in
                    Inject.stop_tick inj;
                    `Stop stop
@@ -338,7 +353,6 @@ let run_cooperative ~(config : config) (image : Isa.Asm.image) =
     terminals = List.rev !terminals;
     rounds = !rounds;
     busy_rounds;
-    instructions = stats.Stats.instructions;
     stats }
 
 (* ------------------------------------------------------------------ *)
@@ -520,6 +534,10 @@ let eval_domain sh ~dom ~(machine : Libos.t) ~(d_root : Snapshot.t)
       Snapshot.restore machine snap;
       cur_snap := Some snap
     | None ->
+      (* Rehydration: the work-stealing path — this domain rebuilds a
+         state another domain (or an evicted cache entry) produced. *)
+      if Obs.Trace.enabled () then
+        Obs.Trace.instant ~a:it.it_origin ~b:dom Obs.Names.queue_steal;
       apply_item machine ~root:d_root it;
       cur_snap := None);
     marker := Libos.stdout_chunks machine;
@@ -531,7 +549,20 @@ let eval_domain sh ~dom ~(machine : Libos.t) ~(d_root : Snapshot.t)
      normally when the path is fully handled; the caller then retires it
      from the queue ([finish_path]). *)
   let rec path () =
-    let stop = Libos.run machine ~fuel:(Inject.jitter inj ~base:sh.sh_quantum) in
+    let stop =
+      if Obs.Trace.enabled () then begin
+        let r0 = machine.Libos.cpu.Cpu.retired in
+        Obs.Trace.span_begin ~a:dom Obs.Names.worker_eval;
+        Fun.protect
+          ~finally:(fun () ->
+            Obs.Trace.span_end ~a:dom
+              ~b:(machine.Libos.cpu.Cpu.retired - r0)
+              Obs.Names.worker_eval)
+          (fun () ->
+            Libos.run machine ~fuel:(Inject.jitter inj ~base:sh.sh_quantum))
+      end
+      else Libos.run machine ~fuel:(Inject.jitter inj ~base:sh.sh_quantum)
+    in
     Inject.stop_tick inj;
     match stop with
     | Libos.Killed Libos.Fuel_exhausted ->
@@ -610,10 +641,14 @@ let eval_domain sh ~dom ~(machine : Libos.t) ~(d_root : Snapshot.t)
     | `Crash e ->
       if origin.it_retries < sh.sh_retry_budget - 1 then begin
         st.Stats.requeues <- st.Stats.requeues + 1;
+        if Obs.Trace.enabled () then
+          Obs.Trace.instant ~a:(origin.it_retries + 1) Obs.Names.sched_requeue;
         Work_queue.push_batch sh.queue
           [ (origin.it_meta, { origin with it_retries = origin.it_retries + 1 }) ]
       end
       else begin
+        if Obs.Trace.enabled () then
+          Obs.Trace.instant Obs.Names.sched_quarantine;
         st.Stats.quarantined <- st.Stats.quarantined + 1;
         st.Stats.kills <- st.Stats.kills + 1;
         depth := origin.it_meta.Frontier.depth;
@@ -634,7 +669,8 @@ let eval_domain sh ~dom ~(machine : Libos.t) ~(d_root : Snapshot.t)
       run_guarded it;
       consume ()
   in
-  try
+  if Obs.Trace.enabled () then Obs.Trace.span_begin ~a:dom Obs.Names.worker;
+  (try
     (match entry with
     | `Root ->
       (* The scope-opening path, encoded as an item so crash recovery can
@@ -656,7 +692,8 @@ let eval_domain sh ~dom ~(machine : Libos.t) ~(d_root : Snapshot.t)
     consume ()
   with e ->
     (* A crashed worker loop must not leave the others blocked in [take]. *)
-    abort (Printf.sprintf "worker %d: %s" dom (Printexc.to_string e))
+    abort (Printf.sprintf "worker %d: %s" dom (Printexc.to_string e)));
+  if Obs.Trace.enabled () then Obs.Trace.span_end ~a:dom Obs.Names.worker
 
 let run_domains ~(config : config) (image : Isa.Asm.image) =
   let phys0 = Mem.Phys_mem.create () in
@@ -801,7 +838,6 @@ let run_domains ~(config : config) (image : Isa.Asm.image) =
     terminals = List.rev !terminals0 @ !worker_tail;
     rounds = 0;
     busy_rounds;
-    instructions = stats.Stats.instructions;
     stats }
 
 let run ?(config = default_config) (image : Isa.Asm.image) =

@@ -68,8 +68,8 @@ type result = {
   rounds : int;              (** virtual makespan; 0 under [`Domains] *)
   busy_rounds : int array;
       (** per-worker rounds spent executing ([`Cooperative]) or extensions
-          evaluated ([`Domains]) — either way, the load-balance picture *)
-  instructions : int;        (** total guest instructions, all workers *)
+          evaluated ([`Domains]) — either way, the load-balance picture.
+          Total guest instructions live in [stats.instructions]. *)
   stats : Stats.t;
 }
 

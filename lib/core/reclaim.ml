@@ -93,6 +93,8 @@ let release t h =
    figures they report. *)
 let replay t base chain =
   let m = t.machine in
+  if Obs.Trace.enabled () then
+    Obs.Trace.span_begin ~a:(List.length chain) Obs.Names.reclaim_replay;
   let retired0 = m.Libos.cpu.Cpu.retired in
   let mem0 = Mem.Mem_metrics.copy (Mem.Addr_space.metrics m.Libos.aspace) in
   Snapshot.restore m base;
@@ -123,6 +125,10 @@ let replay t base chain =
     chain;
   t.replayed_instructions <-
     t.replayed_instructions + (m.Libos.cpu.Cpu.retired - retired0);
+  if Obs.Trace.enabled () then
+    Obs.Trace.span_end ~a:(List.length chain)
+      ~b:(m.Libos.cpu.Cpu.retired - retired0)
+      Obs.Names.reclaim_replay;
   Mem.Mem_metrics.add t.suppressed_mem
     (Mem.Mem_metrics.diff (Mem.Addr_space.metrics m.Libos.aspace) mem0)
 
@@ -158,6 +164,8 @@ let evict t h =
   else begin
     e.e_payload <- None;
     t.evictions <- t.evictions + 1;
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant ~a:h ~b:e.e_depth Obs.Names.reclaim_evict;
     true
   end
 

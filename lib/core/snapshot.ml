@@ -20,6 +20,10 @@ let ids () = Atomic.make 0
 
 let capture ~ids ?parent ~depth (machine : Os.Libos.t) =
   let id = Atomic.fetch_and_add ids 1 in
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant ~a:id
+      ~b:(match parent with Some p -> p.id | None -> -1)
+      Obs.Names.snap_capture;
   { id;
     regs = Vcpu.Cpu.save machine.cpu;
     mem = As.snapshot machine.aspace;
@@ -28,6 +32,8 @@ let capture ~ids ?parent ~depth (machine : Os.Libos.t) =
     depth }
 
 let restore (machine : Os.Libos.t) t =
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant ~a:t.id Obs.Names.snap_restore;
   Vcpu.Cpu.load machine.cpu t.regs;
   As.restore machine.aspace t.mem;
   Os.Libos.os_restore machine t.os

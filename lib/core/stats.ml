@@ -49,6 +49,44 @@ let merge acc x =
   acc.replayed_instructions <- acc.replayed_instructions + x.replayed_instructions;
   Mem.Mem_metrics.add acc.mem x.mem
 
+(* Publish into an Obs.Metrics registry: the canonical machine-readable
+   form (BENCH_E*.json, trace tooling).  Counter fields map to counters,
+   the two extent peaks to gauges combined by max — so publishing several
+   per-worker records into one registry agrees with [merge]ing them first
+   and publishing once. *)
+let publish t (reg : Obs.Metrics.t) =
+  let c name v = Obs.Metrics.incr reg ~by:v name in
+  c "explorer.guesses" t.guesses;
+  c "explorer.extensions_pushed" t.extensions_pushed;
+  c "explorer.extensions_evaluated" t.extensions_evaluated;
+  c "explorer.fails" t.fails;
+  c "explorer.exits" t.exits;
+  c "explorer.kills" t.kills;
+  c "explorer.snapshots_created" t.snapshots_created;
+  c "explorer.restores" t.restores;
+  c "explorer.evicted" t.evicted;
+  Obs.Metrics.gauge_max reg "explorer.max_frontier" t.max_frontier;
+  Obs.Metrics.gauge_max reg "explorer.max_live_snapshots" t.max_live_snapshots;
+  c "explorer.instructions" t.instructions;
+  c "explorer.requeues" t.requeues;
+  c "explorer.quarantined" t.quarantined;
+  c "explorer.payload_evictions" t.payload_evictions;
+  c "explorer.replays" t.replays;
+  c "explorer.replayed_instructions" t.replayed_instructions;
+  let m = t.mem in
+  c "mem.cow_faults" m.Mem.Mem_metrics.cow_faults;
+  c "mem.zero_fills" m.Mem.Mem_metrics.zero_fills;
+  c "mem.pages_copied" m.Mem.Mem_metrics.pages_copied;
+  c "mem.bytes_copied" m.Mem.Mem_metrics.bytes_copied;
+  c "mem.frames_allocated" m.Mem.Mem_metrics.frames_allocated;
+  c "mem.snapshots" m.Mem.Mem_metrics.snapshots;
+  c "mem.restores" m.Mem.Mem_metrics.restores;
+  c "mem.tlb_hits" m.Mem.Mem_metrics.tlb_hits;
+  c "mem.tlb_misses" m.Mem.Mem_metrics.tlb_misses;
+  c "mem.tlb_flushes" m.Mem.Mem_metrics.tlb_flushes;
+  c "mem.pt_walks" m.Mem.Mem_metrics.pt_walks;
+  c "mem.pt_node_copies" m.Mem.Mem_metrics.pt_node_copies
+
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>guesses=%d pushed=%d evaluated=%d fails=%d exits=%d kills=%d@ \

@@ -31,4 +31,11 @@ val merge : t -> t -> unit
     peaks observed against one shared frontier).  The domains backend of
     {!Parallel} merges each worker's private [t] at join. *)
 
+val publish : t -> Obs.Metrics.t -> unit
+(** Publish every field into a metrics registry ([explorer.*] and
+    [mem.*] names) — the canonical machine-readable form used by
+    [BENCH_E*.json].  Counter fields publish as counters, the extent
+    peaks as max-combined gauges, so publishing per-worker records into
+    one registry agrees with {!merge}-then-publish. *)
+
 val pp : Format.formatter -> t -> unit

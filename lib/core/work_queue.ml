@@ -30,7 +30,9 @@ let push_batch t batch =
       t.frontier.Frontier.push_batch batch;
       t.pushed <- t.pushed + List.length batch;
       t.evicted <- t.evicted + List.length (t.frontier.Frontier.evicted ());
-      t.max_length <- max t.max_length (t.frontier.Frontier.length ());
+      let len = t.frontier.Frontier.length () in
+      if Obs.Trace.enabled () then Obs.Trace.counter Obs.Names.queue_len len;
+      t.max_length <- max t.max_length len;
       Condition.broadcast t.wakeup)
 
 let take t =

@@ -64,7 +64,7 @@ let parallel_run (r : Parallel.result) =
         (fun (t : Explorer.terminal) ->
           (kind_to_string t.kind, t.output, t.depth))
         r.Parallel.terminals;
-    instructions = r.Parallel.instructions;
+    instructions = r.Parallel.stats.Core.Stats.instructions;
     regs = [];
     mem_digest = 0 }
 

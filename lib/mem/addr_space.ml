@@ -96,6 +96,7 @@ let lookup t vpn access addr =
   let epoch = Phys_mem.share_epoch t.phys in
   if t.seen_share_epoch <> epoch then begin
     tlb_flush t;
+    if Obs.Trace.enabled () then Obs.Trace.instant ~a:epoch Obs.Names.share_flush;
     t.seen_share_epoch <- epoch
   end;
   let i = vpn land tlb_mask in
@@ -127,10 +128,12 @@ let cow t vpn (f : Phys_mem.frame) =
   let f' =
     if f == zero then begin
       t.metrics.zero_fills <- t.metrics.zero_fills + 1;
+      if Obs.Trace.enabled () then Obs.Trace.instant ~a:vpn Obs.Names.zero_fill;
       Phys_mem.alloc t.phys ~owner:t.gen
     end
     else begin
       t.metrics.cow_faults <- t.metrics.cow_faults + 1;
+      if Obs.Trace.enabled () then Obs.Trace.instant ~a:vpn Obs.Names.cow_fault;
       Phys_mem.alloc_copy t.phys ~owner:t.gen f
     end
   in
@@ -149,6 +152,7 @@ let writable_frame t vpn addr =
 let map_zero t ~vpn =
   t.map <- Ptmap.add vpn (Phys_mem.zero_frame t.phys) t.map;
   tlb_invalidate t vpn;
+  if Obs.Trace.enabled () then Obs.Trace.instant ~a:vpn Obs.Names.map;
   record t (T_map_zero vpn)
 
 let map_data t ~vpn data =
@@ -158,9 +162,11 @@ let map_data t ~vpn data =
   Bytes.blit_string data 0 f.Phys_mem.bytes 0 len;
   t.map <- Ptmap.add vpn f t.map;
   tlb_invalidate t vpn;
+  if Obs.Trace.enabled () then Obs.Trace.instant ~a:vpn Obs.Names.map;
   record t (T_map_data (vpn, data))
 
 let map_shared t ~vpn =
+  if Obs.Trace.enabled () then Obs.Trace.instant ~a:vpn Obs.Names.map;
   record t (T_map_shared vpn);
   t.shared_hidden <- Ptmap.remove vpn t.shared_hidden;
   match Phys_mem.shared_page t.phys ~vpn with
@@ -187,6 +193,7 @@ let unmap t ~vpn =
   if Phys_mem.shared_page t.phys ~vpn <> None then
     t.shared_hidden <- Ptmap.add vpn () t.shared_hidden;
   tlb_invalidate t vpn;
+  if Obs.Trace.enabled () then Obs.Trace.instant ~a:vpn Obs.Names.unmap;
   record t (T_unmap vpn)
 
 let is_mapped t ~vpn = Ptmap.mem vpn t.map || is_shared t ~vpn

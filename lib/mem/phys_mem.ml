@@ -65,6 +65,8 @@ let collect t =
    references, then collect so the freed frames actually leave [live]. *)
 let pressure t =
   t.pressure_events <- t.pressure_events + 1;
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant ~a:(Atomic.get t.live) ~b:t.capacity Obs.Names.pressure;
   (match t.on_pressure with Some f -> f () | None -> ());
   collect t
 
@@ -83,8 +85,11 @@ let ensure_frame_available t =
     if live >= t.capacity then begin
       pressure t;
       let live = Atomic.get t.live in
-      if live >= t.capacity then
+      if live >= t.capacity then begin
+        if Obs.Trace.enabled () then
+          Obs.Trace.instant ~a:live ~b:t.capacity Obs.Names.out_of_frames;
         raise (Out_of_frames { capacity = t.capacity; live })
+      end
     end
     else if live >= high_watermark t then begin
       (* High-watermark crossing: reclaim early, and only once per

@@ -1,0 +1,23 @@
+(** Minimal JSON tree, printer and parser — enough for the Chrome trace
+    exporter, [BENCH_E*.json] emission and round-trip tests. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact (single-line) rendering with string escaping. *)
+
+val parse : string -> t
+(** Inverse of {!to_string}; also accepts ordinary interchange JSON
+    (whitespace, \uXXXX escapes, exponents).  @raise Parse_error. *)
+
+val member : string -> t -> t option
+(** [member k (Obj kvs)] is the value bound to [k], if any. *)

@@ -1,0 +1,48 @@
+(** Metrics registry: named counters, gauges and histograms.
+
+    All values are ints.  {!merge} is commutative and associative for
+    every kind — counters add, gauges combine by max, histograms add
+    bucket-wise — so per-domain registries combine in any order.
+    Binding a name to two different kinds raises [Invalid_argument]. *)
+
+type histogram = {
+  mutable h_count : int;
+  mutable h_sum : int;
+  h_buckets : int array;
+      (** log2 buckets: index 0 holds v <= 0, index i holds
+          2^(i-1) <= v < 2^i, capped at {!bucket_count} - 1 *)
+}
+
+type value = Counter of int | Gauge of int | Histogram of histogram
+type t
+
+val bucket_count : int
+
+val bucket_of : int -> int
+(** Histogram bucket index for a value. *)
+
+val bucket_lo : int -> int
+(** Inclusive lower bound of a bucket. *)
+
+val create : unit -> t
+val incr : t -> ?by:int -> string -> unit
+val gauge_set : t -> string -> int -> unit
+val gauge_max : t -> string -> int -> unit
+val observe : t -> string -> int -> unit
+
+val merge : into:t -> t -> unit
+(** Fold [src] into [into]; commutative and associative. *)
+
+val find : t -> string -> value option
+val get_counter : t -> string -> int
+(** 0 when absent. *)
+
+val get_gauge : t -> string -> int
+(** 0 when absent. *)
+
+val to_list : t -> (string * value) list
+(** Name-sorted. *)
+
+val equal : t -> t -> bool
+val to_json : t -> Json.t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,45 @@
+(* Canonical event names shared by instrumentation sites and exporters.
+
+   Keeping them in one module guarantees the strings are physically
+   shared (no per-event allocation at record sites) and that exporters
+   match the exact constants the producers used. *)
+
+(* memory layer *)
+let cow_fault = "mem.cow_fault"
+let zero_fill = "mem.zero_fill"
+let map = "mem.map"
+let unmap = "mem.unmap"
+let share_flush = "mem.share_flush"
+let pressure = "mem.pressure"
+let out_of_frames = "mem.out_of_frames"
+
+(* vcpu / decode cache (counter samples) *)
+let icache_misses = "vcpu.icache_misses"
+let icache_slow = "vcpu.icache_slow"
+
+(* scheduler stop reasons (instants) *)
+let stop_guess = "stop.guess"
+let stop_guess_fail = "stop.guess_fail"
+let stop_strategy = "stop.strategy"
+let stop_hint = "stop.hint"
+let stop_exit = "stop.exit"
+let stop_kill = "stop.kill"
+
+(* snapshot lifecycle (instants; a = snapshot id, b = parent id or -1) *)
+let snap_capture = "snap.capture"
+let snap_restore = "snap.restore"
+
+(* explorer / parallel *)
+let explorer_eval = "explorer.eval" (* span; a = snapshot id, b = instructions *)
+let worker = "worker" (* span; a = worker index *)
+let worker_eval = "worker.eval" (* span; a = worker index, b = instructions *)
+let frontier_len = "frontier.len" (* counter *)
+let queue_len = "queue.len" (* counter *)
+let queue_steal = "queue.steal" (* instant; a = origin domain, b = this domain *)
+let sched_requeue = "sched.requeue"
+let sched_quarantine = "sched.quarantine"
+let instructions = "explorer.instructions" (* counter *)
+
+(* reclaim *)
+let reclaim_evict = "reclaim.evict" (* instant; a = handle, b = depth *)
+let reclaim_replay = "reclaim.replay" (* span; a = chain length, b = instrs *)

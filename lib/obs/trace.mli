@@ -1,0 +1,55 @@
+(** Fixed-capacity, allocation-light ring-buffer tracer.
+
+    The disabled path costs one boolean load and a branch; record
+    functions take only immediate ints and static strings, so a guarded
+    call site allocates nothing when tracing is off.  Each domain
+    records into its own preallocated ring buffer (registered lazily
+    through domain-local storage); buffers are merged and stably sorted
+    by timestamp at export time, so the Domains backend traces safely.
+
+    [start]/[stop]/[clear] must be called from a quiescent point — no
+    other domain concurrently recording.  Recording itself is safe from
+    any number of domains. *)
+
+type kind = Span_begin | Span_end | Instant | Counter
+
+type view = {
+  v_kind : kind;
+  v_name : string;
+  v_ts : int;  (** microseconds since [start], monotone per domain *)
+  v_tid : int;  (** recording domain's id *)
+  v_a : int;  (** payload (counter value for [Counter]) *)
+  v_b : int;  (** payload *)
+}
+
+val start : ?capacity:int -> unit -> unit
+(** Enable tracing into fresh ring buffers of [capacity] events per
+    domain (default 65536, minimum 16).  Resets the timestamp epoch and
+    discards any events from a previous session. *)
+
+val stop : unit -> unit
+(** Disable recording; captured events stay readable via {!events}. *)
+
+val clear : unit -> unit
+(** Disable recording and discard all captured events. *)
+
+val enabled : unit -> bool
+
+val span_begin : ?a:int -> ?b:int -> string -> unit
+val span_end : ?a:int -> ?b:int -> string -> unit
+val instant : ?a:int -> ?b:int -> string -> unit
+
+val counter : string -> int -> unit
+(** [counter name v] records a counter sample; the value travels in
+    [v_a]. *)
+
+val recorded : unit -> int
+(** Total events recorded this session, including overwritten ones. *)
+
+val dropped : unit -> int
+(** Events lost to ring wraparound (oldest are overwritten first). *)
+
+val events : unit -> view list
+(** Merged view of all per-domain buffers, stably sorted by timestamp
+    (per-buffer order is preserved for equal timestamps).  Call after
+    {!stop} and after joining any recording domains. *)

@@ -330,6 +330,26 @@ let count_syscall t n =
   if n >= 0 && n < Array.length t.counters.syscall_count then
     t.counters.syscall_count.(n) <- t.counters.syscall_count.(n) + 1
 
+(* Trace-event names precomputed per syscall number so the record sites
+   allocate nothing ("sys.write", "sys.guess", ...). *)
+let sys_span_names = Array.init 32 (fun n -> "sys." ^ Sys_abi.name_of_syscall n)
+let sys_other_name = "sys.other"
+
+let sys_span_name number =
+  if number >= 0 && number < Array.length sys_span_names then
+    sys_span_names.(number)
+  else sys_other_name
+
+let stop_trace_name = function
+  | Guess _ -> Obs.Names.stop_guess
+  | Guess_fail -> Obs.Names.stop_guess_fail
+  | Guess_strategy _ -> Obs.Names.stop_strategy
+  | Guess_hint _ -> Obs.Names.stop_hint
+  | Exited _ -> Obs.Names.stop_exit
+  | Killed _ -> Obs.Names.stop_kill
+
+let icache_counts t = Option.map Interp.icache_counts t.icache
+
 let run t ~fuel =
   let cpu = t.cpu in
   let fuel = if t.os.timeout > 0 then min fuel t.os.timeout else fuel in
@@ -352,12 +372,19 @@ let run t ~fuel =
         let arg1 = Cpu.get cpu Reg.rsi in
         let arg2 = Cpu.get cpu Reg.rdx in
         count_syscall t number;
+        let traced = Obs.Trace.enabled () in
+        (* The guess family (and exit) suspend the guest rather than
+           return into it, so they trace as instants — the time until
+           resume belongs to the scheduler, not the syscall. *)
+        if traced && (number = Sys_abi.sys_exit || (number >= Sys_abi.sys_guess && number <= Sys_abi.sys_guess_hint))
+        then Obs.Trace.instant ~a:arg0 (sys_span_name number);
         if number = Sys_abi.sys_exit then Exited { status = arg0 }
         else if number = Sys_abi.sys_guess then Guess { n = arg0 }
         else if number = Sys_abi.sys_guess_fail then Guess_fail
         else if number = Sys_abi.sys_guess_strategy then Guess_strategy { strategy = arg0 }
         else if number = Sys_abi.sys_guess_hint then Guess_hint { dist = arg0 }
         else begin
+          if traced then Obs.Trace.span_begin ~a:arg0 (sys_span_name number);
           let result =
             if number = Sys_abi.sys_write then do_write t arg0 arg1 arg2
             else if number = Sys_abi.sys_read then do_read t arg0 arg1 arg2
@@ -384,6 +411,7 @@ let run t ~fuel =
               -Sys_abi.enosys
             end
           in
+          if traced then Obs.Trace.span_end ~b:result (sys_span_name number);
           Cpu.set cpu Reg.rax result;
           loop remaining
         end

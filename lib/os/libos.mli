@@ -68,6 +68,13 @@ val run : t -> fuel:int -> stop
     syscalls and demand paging internally.  [fuel] bounds retired guest
     instructions (approximately: faulted fetches count). *)
 
+val stop_trace_name : stop -> string
+(** The static [Obs.Names.stop_*] event name for a stop reason. *)
+
+val icache_counts : t -> (int * int) option
+(** Decode-cache [(misses, slow_decodes)]; [None] when booted with
+    [~icache:false].  See {!Vcpu.Interp.icache_counts}. *)
+
 (** {1 OS state} *)
 
 val os_capture : t -> os_state

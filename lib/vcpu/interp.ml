@@ -193,10 +193,17 @@ type icache = {
   mutable hot_fid : int;
   mutable hot_arr : (Isa.Insn.t * int) option array;
   frames : (int, (Isa.Insn.t * int) option array) Hashtbl.t;
+  (* Observability counters, kept off the per-instruction hit path: the
+     hit count is derivable as retired - misses - slow_decodes. *)
+  mutable misses : int; (* cacheable but not yet decoded into the cache *)
+  mutable slow_decodes : int; (* uncacheable: page edge or mutable frame *)
 }
 
 let create_icache () =
-  { hot_fid = -1; hot_arr = [||]; frames = Hashtbl.create 16 }
+  { hot_fid = -1; hot_arr = [||]; frames = Hashtbl.create 16;
+    misses = 0; slow_decodes = 0 }
+
+let icache_counts cache = (cache.misses, cache.slow_decodes)
 
 let decode_at ?icache (cpu : Cpu.t) aspace rip =
   let slow () =
@@ -208,10 +215,16 @@ let decode_at ?icache (cpu : Cpu.t) aspace rip =
   | None -> slow ()
   | Some cache ->
     let offset = Mem.Page.offset_of_addr rip in
-    if offset > Mem.Page.size - max_insn_bytes then slow ()
+    if offset > Mem.Page.size - max_insn_bytes then begin
+      cache.slow_decodes <- cache.slow_decodes + 1;
+      slow ()
+    end
     else begin
       let frame = As.reading_frame aspace rip in
-      if frame.Mem.Phys_mem.owner = As.generation aspace then slow ()
+      if frame.Mem.Phys_mem.owner = As.generation aspace then begin
+        cache.slow_decodes <- cache.slow_decodes + 1;
+        slow ()
+      end
       else begin
         if cache.hot_fid <> frame.Mem.Phys_mem.id then begin
           let arr =
@@ -228,6 +241,7 @@ let decode_at ?icache (cpu : Cpu.t) aspace rip =
         match Array.unsafe_get cache.hot_arr offset with
         | Some decoded -> decoded
         | None ->
+          cache.misses <- cache.misses + 1;
           let bytes = frame.Mem.Phys_mem.bytes in
           let fetch addr = Bytes.get_uint8 bytes (offset + (addr - rip)) in
           let decoded = Isa.Encode.decode ~fetch rip in

@@ -27,6 +27,12 @@ type icache
 
 val create_icache : unit -> icache
 
+val icache_counts : icache -> int * int
+(** [(misses, slow_decodes)]: cache fills of cacheable instructions, and
+    decodes that bypassed the cache (page-edge or current-generation
+    frame).  Cache hits are not counted on the hot path; derive them as
+    [retired - misses - slow_decodes]. *)
+
 val run : ?icache:icache -> Cpu.t -> Mem.Addr_space.t -> fuel:int -> vmexit
 (** Execute at most [fuel] instructions.  The CPU state is mutated in place;
     on [Fault] the instruction pointer still addresses the faulting

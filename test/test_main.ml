@@ -3,6 +3,7 @@
 let () =
   Alcotest.run "lwsnap"
     [ "stdx", Test_stdx.tests;
+      "obs", Test_obs.tests;
       "mem", Test_mem.tests;
       "isa", Test_isa.tests;
       "asm-parser", Test_asm_parser.tests;

@@ -67,7 +67,7 @@ let total_work_is_worker_independent () =
     let r =
       Parallel.run ~config:(config ~workers ()) (Workloads.Counting.program ~depth:6 ~branch:2)
     in
-    r.Parallel.instructions
+    r.Parallel.stats.Core.Stats.instructions
   in
   check Alcotest.int "no duplicated exploration" (instructions 1) (instructions 5)
 
