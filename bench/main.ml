@@ -77,8 +77,8 @@ let e1 () =
 (* E2: snapshot cost vs address-space size (§3, §4)                   *)
 (* ------------------------------------------------------------------ *)
 
-let dirty_aspace pages =
-  let phys = Phys.create () in
+let dirty_aspace ?recycle pages =
+  let phys = Phys.create ?recycle () in
   let t = As.create phys in
   for vpn = 0 to pages - 1 do
     As.map_zero t ~vpn;
@@ -91,58 +91,133 @@ let e2 () =
     "Claim: lightweight snapshots are created and restored \"with very high \
      frequency\"; naive fork has \"large performance overheads\".  COW \
      capture/restore must be flat in the address-space size; eager copies \
-     (fork-style clone, libckpt full checkpoint) must grow linearly.";
-  let row = U.row_format [ 6; 13; 13; 13; 13; 13; 13 ] in
-  row [ "pages"; "capture us"; "restore us"; "1st-wr us"; "clone ms";
-        "ckpt ms"; "incr(8d) ms" ];
+     (fork-style clone, libckpt full checkpoint) must grow linearly.  Each \
+     size runs twice: rec=off is the GC-only allocator, rec=on recycles \
+     released frames (explicit release + zero-fill elision), which must \
+     cut the bytes newly allocated per COW fault (B/fault).";
+  let row = U.row_format [ 6; 4; 11; 11; 11; 8; 11; 10; 10; 11 ] in
+  row [ "pages"; "rec"; "capture us"; "restore us"; "1st-wr us"; "B/fault";
+        "release us"; "clone ms"; "ckpt ms"; "incr(8d) ms" ];
   let sizes = if !quick then [ 64; 512 ] else [ 16; 64; 256; 1024; 4096 ] in
+  let json_rows = ref [] in
+  let bytes_per_fault = Hashtbl.create 8 in  (* (pages, recycle) -> float *)
   List.iter
     (fun pages ->
-      let phys, t = dirty_aspace pages in
-      let iters = 2000 in
-      let capture_ms, _ =
-        U.time_ms (fun () ->
-            for _ = 1 to iters do
-              ignore (As.snapshot t)
-            done)
-      in
-      let snap = As.snapshot t in
-      let restore_ms, _ =
-        U.time_ms (fun () ->
-            for _ = 1 to iters do
-              As.restore t snap
-            done)
-      in
-      (* first write after a snapshot: the COW fault service *)
-      let fault_iters = 500 in
-      let fault_ms, _ =
-        U.time_ms (fun () ->
-            for _ = 1 to fault_iters do
-              let s = As.snapshot t in
-              As.write_u64 t 0 1;
-              As.restore t s
-            done)
-      in
-      let clone_ms, _ = U.time_ms (fun () -> ignore (Ckpt.clone phys t)) in
-      let ckpt_ms, _ = U.time_ms (fun () -> ignore (Ckpt.full_capture t)) in
-      let chain = Ckpt.incr_start t in
-      let incr_ms, _ =
-        U.time_ms (fun () ->
-            (* dirty 8 pages, then take one incremental checkpoint *)
-            for k = 0 to 7 do
-              As.write_u64 t (Mem.Page.addr_of_vpn (k mod pages)) 9
-            done;
-            Ckpt.incr_capture chain t)
-      in
-      row
-        [ U.fint pages;
-          U.fus (capture_ms *. 1000.0 /. Float.of_int iters);
-          U.fus (restore_ms *. 1000.0 /. Float.of_int iters);
-          U.fus (fault_ms *. 1000.0 /. Float.of_int fault_iters);
-          U.fms clone_ms;
-          U.fms ckpt_ms;
-          U.fms incr_ms ])
-    sizes
+      List.iter
+        (fun recycle ->
+          let phys, t = dirty_aspace ~recycle pages in
+          let iters = 2000 in
+          let capture_ms, _ =
+            U.time_ms (fun () ->
+                for _ = 1 to iters do
+                  ignore (As.snapshot t)
+                done)
+          in
+          let snap = As.snapshot t in
+          let restore_ms, _ =
+            U.time_ms (fun () ->
+                for _ = 1 to iters do
+                  As.restore t snap
+                done)
+          in
+          (* First write after a snapshot: the COW fault service.  With
+             recycling, the segment's one private frame is discarded
+             before the restore drops it, so the next fault's buffer
+             comes from the free list — steady state allocates nothing. *)
+          let fault_iters = 500 in
+          let m0 = Mm.copy (As.metrics t) in
+          let fault_ms, _ =
+            U.time_ms (fun () ->
+                for _ = 1 to fault_iters do
+                  let s = As.snapshot t in
+                  As.write_u64 t 0 1;
+                  if recycle then ignore (As.discard_segment t ~base:s);
+                  As.restore t s
+                done)
+          in
+          let md = Mm.diff (As.metrics t) m0 in
+          let bpf =
+            Float.of_int
+              ((md.Mm.frames_allocated - md.Mm.frames_recycled)
+              * Mem.Page.size)
+            /. Float.of_int (max 1 md.Mm.cow_faults)
+          in
+          Hashtbl.replace bytes_per_fault (pages, recycle) bpf;
+          (* Explicit release lifecycle: parent snapshot, dirty 8 pages,
+             child snapshot, backtrack to the parent, release the child —
+             the delta frames feed the next iteration's faults. *)
+          let rel_iters = 200 in
+          let rel_ms, _ =
+            U.time_ms (fun () ->
+                for _ = 1 to rel_iters do
+                  let parent = As.snapshot t in
+                  for k = 0 to 7 do
+                    As.write_u64 t (Mem.Page.addr_of_vpn (k mod pages)) 7
+                  done;
+                  let child = As.snapshot t in
+                  As.restore t parent;
+                  ignore (As.release_snapshot ~phys ~parent child)
+                done)
+          in
+          let clone_ms, _ = U.time_ms (fun () -> ignore (Ckpt.clone phys t)) in
+          let ckpt_ms, _ = U.time_ms (fun () -> ignore (Ckpt.full_capture t)) in
+          let chain = Ckpt.incr_start t in
+          let incr_ms, _ =
+            U.time_ms (fun () ->
+                (* dirty 8 pages, then take one incremental checkpoint *)
+                for k = 0 to 7 do
+                  As.write_u64 t (Mem.Page.addr_of_vpn (k mod pages)) 9
+                done;
+                Ckpt.incr_capture chain t)
+          in
+          let total = Mm.diff (As.metrics t) m0 in
+          json_rows :=
+            Obs.Json.Obj
+              [ "pages", Obs.Json.Int pages;
+                "recycle", Obs.Json.Bool recycle;
+                "capture_us",
+                Obs.Json.Float (capture_ms *. 1000.0 /. Float.of_int iters);
+                "restore_us",
+                Obs.Json.Float (restore_ms *. 1000.0 /. Float.of_int iters);
+                "fault_us",
+                Obs.Json.Float (fault_ms *. 1000.0 /. Float.of_int fault_iters);
+                "bytes_per_fault", Obs.Json.Float bpf;
+                "release_us",
+                Obs.Json.Float (rel_ms *. 1000.0 /. Float.of_int rel_iters);
+                "clone_ms", Obs.Json.Float clone_ms;
+                "ckpt_ms", Obs.Json.Float ckpt_ms;
+                "incr_ms", Obs.Json.Float incr_ms;
+                "cow_faults", Obs.Json.Int total.Mm.cow_faults;
+                "frames_allocated", Obs.Json.Int total.Mm.frames_allocated;
+                "frames_recycled", Obs.Json.Int total.Mm.frames_recycled;
+                "frames_freed", Obs.Json.Int total.Mm.frames_freed;
+                "zero_fills_elided", Obs.Json.Int total.Mm.zero_fills_elided ]
+            :: !json_rows;
+          row
+            [ U.fint pages;
+              (if recycle then "on" else "off");
+              U.fus (capture_ms *. 1000.0 /. Float.of_int iters);
+              U.fus (restore_ms *. 1000.0 /. Float.of_int iters);
+              U.fus (fault_ms *. 1000.0 /. Float.of_int fault_iters);
+              Printf.sprintf "%.0f" bpf;
+              U.fus (rel_ms *. 1000.0 /. Float.of_int rel_iters);
+              U.fms clone_ms;
+              U.fms ckpt_ms;
+              U.fms incr_ms ])
+        [ false; true ])
+    sizes;
+  (* Acceptance: recycling must cut freshly-allocated bytes per COW fault
+     by at least 1.3x at every size (in practice it is >100x: steady state
+     recycles every buffer). *)
+  List.iter
+    (fun pages ->
+      let off = Hashtbl.find bytes_per_fault (pages, false) in
+      let on = Hashtbl.find bytes_per_fault (pages, true) in
+      assert (off >= 1.3 *. Float.max on 1.0))
+    sizes;
+  U.emit_json ~experiment:"E2" ~quick:!quick
+    ~params:[ "fault_iters", Obs.Json.Int 500; "release_iters", Obs.Json.Int 200 ]
+    (List.rev !json_rows)
 
 (* ------------------------------------------------------------------ *)
 (* E3: problem granularity and memory locality (§5)                   *)
@@ -155,8 +230,9 @@ let e3 () =
      the snapshot machinery.  Both programs run on the same interpreter — \
      the ratio isolates the state-management mechanism.  W = ALU ops per \
      step, K = pages written per step.";
-  let row = U.row_format [ 7; 4; 11; 11; 9; 11; 11 ] in
-  row [ "W"; "K"; "hand ms"; "syslvl ms"; "ratio"; "cow/step"; "instr/step" ];
+  let row = U.row_format [ 7; 4; 11; 11; 11; 9; 11; 11 ] in
+  row [ "W"; "K"; "hand ms"; "syslvl ms"; "norec ms"; "ratio"; "cow/step";
+        "instr/step" ];
   let base =
     { Workloads.Locality.depth = (if !quick then 3 else 4);
       branch = 3;
@@ -184,6 +260,15 @@ let e3 () =
       let sys_ms, result = U.time_ms (fun () -> Explorer.run_image sys_image) in
       let stats = result.Explorer.stats in
       assert (stats.Core.Stats.fails = Workloads.Locality.expected_paths p);
+      (* Frame recycling must be invisible to the exploration: the same
+         sweep with recycling off has to produce a bit-identical result. *)
+      let norec_ms, result_off =
+        U.time_ms (fun () -> Explorer.run_image ~recycle:false sys_image)
+      in
+      let stats_off = result_off.Explorer.stats in
+      assert (stats_off.Core.Stats.fails = stats.Core.Stats.fails);
+      assert (stats_off.Core.Stats.instructions = stats.Core.Stats.instructions);
+      assert (result_off.Explorer.transcript = result.Explorer.transcript);
       let steps = max 1 stats.Core.Stats.extensions_evaluated in
       let reg = Obs.Metrics.create () in
       Core.Stats.publish stats reg;
@@ -193,10 +278,19 @@ let e3 () =
             "touch_pages", Obs.Json.Int touch_pages;
             "hand_ms", Obs.Json.Float hand_ms;
             "syslvl_ms", Obs.Json.Float sys_ms;
+            "syslvl_norecycle_ms", Obs.Json.Float norec_ms;
+            "adopting_restores",
+            Obs.Json.Int stats.Core.Stats.adopting_restores;
+            "frames_recycled",
+            Obs.Json.Int stats.Core.Stats.mem.Mm.frames_recycled;
+            "frames_freed", Obs.Json.Int stats.Core.Stats.mem.Mm.frames_freed;
+            "zero_fills_elided",
+            Obs.Json.Int stats.Core.Stats.mem.Mm.zero_fills_elided;
             "metrics", Obs.Metrics.to_json reg ]
         :: !json_rows;
       row
         [ U.fint work; U.fint touch_pages; U.fms hand_ms; U.fms sys_ms;
+          U.fms norec_ms;
           U.fratio (sys_ms /. hand_ms);
           Printf.sprintf "%.2f"
             (Float.of_int stats.Core.Stats.mem.Mm.cow_faults /. Float.of_int steps);

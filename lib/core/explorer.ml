@@ -89,6 +89,15 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
     end
     else None
   in
+  (* Eager snapshot release runs only in the plain in-memory scheduler:
+     reclaim mode manages payload lifetime itself (see [Reclaim]), and a
+     non-recycling physical memory makes the whole discipline a no-op. *)
+  let recycle_snaps = store = None && Mem.Phys_mem.recycling phys in
+  (* The address-space epoch recorded right after the most recent restore
+     (or root capture): if it is still current when the path ends, nothing
+     captured the map in between and the segment's COW tail is private —
+     the precondition of [Addr_space.discard_segment]. *)
+  let segment_epoch = ref (-1) in
   (* In reclaim mode, replays capture through the store's id allocator;
      sharing it keeps snapshot ids unique across originals and rebuilds. *)
   let ids =
@@ -173,12 +182,64 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
      resume, [`Scope_done] that the scope was exhausted and the root
      restored (rax is 0 there, captured before it was set to 1). *)
   let rec schedule sc =
-    stats.evicted <- stats.evicted + List.length (sc.frontier.Frontier.evicted ());
+    let dropped = sc.frontier.Frontier.evicted () in
+    stats.evicted <- stats.evicted + List.length dropped;
+    (* An evicted extension will never be evaluated: give its ref back.
+       Safe even before restoring away — any snapshot on the running
+       path's lineage is pinned by a live child or the unreleased ref of
+       the path itself, so [try_free] cannot touch it. *)
+    if recycle_snaps then
+      List.iter
+        (fun (e : Ext.t) ->
+          match e.Ext.payload with
+          | Ext.Snap s -> Snapshot.release_ext ~phys s
+          | Ext.Ref _ -> ())
+        dropped;
+    let prev = !current_snap in
+    (* Free the finished segment's COW tail while the map still holds it,
+       then drop the finished path's ref on its origin, then restore.  The
+       discard must come first (it diffs against the live map); the origin
+       release must come before the next pop's [sole_extension] check, or
+       the previous sibling's still-held running ref (and its chain of
+       live descendants) would mask every last-extension restore and the
+       adopting fast path could never trigger.  Releasing before the
+       restore is sound: the freed deltas are unreachable from every live
+       snapshot, and nothing reads through the dangling map between the
+       release and the restore that replaces it. *)
+    let discard_prev () =
+      if recycle_snaps then
+        match prev with
+        | Some p when Mem.Addr_space.epoch machine.aspace = !segment_epoch ->
+          ignore
+            (Mem.Addr_space.discard_segment machine.aspace
+               ~base:p.Snapshot.mem)
+        | _ -> ()
+    in
+    let release_prev () =
+      if recycle_snaps then
+        match prev with
+        | Some p -> Snapshot.release_ext ~phys p
+        | None -> ()
+    in
     match sc.frontier.Frontier.pop () with
     | Some (ext : Ext.t) -> (
       match resolve ext with
       | snap ->
-        Snapshot.restore machine snap;
+        discard_prev ();
+        release_prev ();
+        if recycle_snaps && Snapshot.sole_extension snap then begin
+          (* Last restore of this snapshot: adopt its frames into the new
+             generation instead of COWing them all over again — the DFS
+             tail-child fast path.  [snap == prev] (the machine is parked
+             on the snapshot being re-popped, as between failing leaf
+             siblings) is fine: the popped extension's own ref kept
+             [try_free] away, and after this restore the snapshot is
+             never restored again. *)
+          Snapshot.restore_adopting machine snap;
+          stats.adopting_restores <- stats.adopting_restores + 1
+        end
+        else Snapshot.restore machine snap;
+        segment_epoch := Mem.Addr_space.epoch machine.aspace;
         marker := Libos.stdout_chunks machine;
         Cpu.set machine.cpu Reg.rax ext.index;
         current_depth := ext.meta.Frontier.depth;
@@ -201,7 +262,10 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
           "";
         schedule sc)
     | None ->
+      discard_prev ();
+      release_prev ();
       Snapshot.restore machine sc.root;
+      segment_epoch := Mem.Addr_space.epoch machine.aspace;
       marker := Libos.stdout_chunks machine;
       current_depth := 0;
       current_snap := None;
@@ -273,6 +337,10 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
              on the exploring path right now. *)
           Cpu.set machine.cpu Reg.rax 0;
           let root = Snapshot.capture ~ids ~depth:0 machine in
+          (* one ref for the scope-opening path itself, so the uniform
+             release-on-reschedule in [schedule] balances *)
+          if recycle_snaps then Snapshot.retain root;
+          segment_epoch := Mem.Addr_space.epoch machine.aspace;
           stats.snapshots_created <- stats.snapshots_created + 1;
           let root_handle = Option.map (fun st -> Reclaim.add_root st root) store in
           scope := Some { root; root_handle; frontier = make_frontier strat };
@@ -322,6 +390,7 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
             List.init n (fun index -> meta, { Ext.payload; index; meta })
           in
           sc.frontier.Frontier.push_batch batch;
+          if recycle_snaps then Snapshot.retain ~n snap;
           stats.extensions_pushed <- stats.extensions_pushed + n;
           track_extents sc;
           if stats.extensions_pushed > max_extensions then
@@ -378,11 +447,32 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
            (Printf.sprintf "crash outside a strategy scope: %s"
               (Printexc.to_string e)))
     | Some sc ->
-      if !retries < retry_budget - 1 then begin
+      let origin_adopted =
+        recycle_snaps
+        && (match !current_snap with
+           | Some s -> Snapshot.adopted s
+           | None -> false)
+      in
+      if origin_adopted then
+        (* The origin was restored adopting: its frames have changed in
+           place under the crashed attempt, so it cannot be restored
+           again.  Straight to quarantine, no retries. *)
+        quarantine sc e
+      else if !retries < retry_budget - 1 then begin
         incr retries;
         stats.requeues <- stats.requeues + 1;
         if Obs.Trace.enabled () then
           Obs.Trace.instant ~a:!retries Obs.Names.sched_requeue;
+        (* the crashed attempt's COW tail dies here; free it before the
+           re-restore if no capture froze it *)
+        if recycle_snaps then
+          (match !current_snap with
+          | Some p when Mem.Addr_space.epoch machine.aspace = !segment_epoch
+            ->
+            ignore
+              (Mem.Addr_space.discard_segment machine.aspace
+                 ~base:p.Snapshot.mem)
+          | _ -> ());
         match
           (try
              `Ok
@@ -400,7 +490,9 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
                  Cpu.set machine.cpu Reg.rax 1)
            with e' -> `Err e')
         with
-        | `Ok () -> loop ()
+        | `Ok () ->
+          segment_epoch := Mem.Addr_space.epoch machine.aspace;
+          loop ()
         | `Err e' -> quarantine sc e'
       end
       else quarantine sc e
@@ -420,8 +512,8 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
   loop ()
 
 let run_image ?mode ?fuel_per_step ?max_extensions ?retry_budget ?capacity
-    ?strategy_override ?(files = []) ?stdin image =
-  let phys = Mem.Phys_mem.create ?capacity () in
+    ?recycle ?poison ?strategy_override ?(files = []) ?stdin image =
+  let phys = Mem.Phys_mem.create ?capacity ?recycle ?poison () in
   let machine = Libos.boot phys image in
   List.iter (fun (path, content) -> Libos.add_file machine ~path content) files;
   Option.iter (Libos.set_stdin machine) stdin;

@@ -100,6 +100,8 @@ val run_image :
   ?max_extensions:int ->
   ?retry_budget:int ->
   ?capacity:int ->
+  ?recycle:bool ->
+  ?poison:bool ->
   ?strategy_override:strategy ->
   ?files:(string * string) list ->
   ?stdin:string ->
@@ -107,4 +109,10 @@ val run_image :
   result
 (** Convenience: boot a fresh machine on fresh physical memory and [run].
     [capacity] bounds the physical frame budget (enables reclaim; see
-    {!run}). *)
+    {!run}).  [recycle] (default true) controls eager frame reclamation:
+    dead snapshots are released to the allocator's free list as the search
+    retires them, and a snapshot's last restore adopts its frames instead
+    of COWing them again.  With [recycle:false] the run reproduces the
+    GC-only cost model exactly — results must be bit-identical either way.
+    [poison] fills freed buffers with a marker byte to shake out
+    use-after-free bugs in the release discipline (testing only). *)

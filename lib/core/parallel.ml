@@ -71,12 +71,19 @@ type worker = {
                                         for crash recovery (None = the
                                         scope-opening root path) *)
   mutable retries : int;
+  mutable epoch : int;               (* this worker's aspace epoch right
+                                        after its last restore; see
+                                        [Addr_space.discard_segment] *)
 }
 
 let run_cooperative ~(config : config) (image : Isa.Asm.image) =
   let ids = Snapshot.ids () in
   let phys = Mem.Phys_mem.create () in
   let inj = arm_faults config in
+  (* Eager snapshot release, as in [Explorer.run].  Disabled under fault
+     injection: chaos runs crash paths at arbitrary points and the extra
+     invariant surface buys nothing there. *)
+  let recycle_snaps = config.faults = None && Mem.Phys_mem.recycling phys in
   let stats = Stats.create () in
   let mem_before = Mem.Mem_metrics.copy (Mem.Phys_mem.metrics phys) in
   let workers =
@@ -89,7 +96,8 @@ let run_cooperative ~(config : config) (image : Isa.Asm.image) =
           depth = 0;
           snap = None;
           origin = None;
-          retries = 0 })
+          retries = 0;
+          epoch = -1 })
   in
   let transcript = Buffer.create 256 in
   let terminals = ref [] in
@@ -160,12 +168,35 @@ let run_cooperative ~(config : config) (image : Isa.Asm.image) =
     | Ext.Ref _ -> raise (Abort "managed extension in the parallel scheduler")
   in
 
+  (* End of a worker's path segment: free its COW tail (unless a capture
+     froze it) and give the origin's extension ref back.  The worker's map
+     dangles until its next restore; it is never read in between, even if
+     another worker recycles the freed buffers meanwhile. *)
+  let retire w =
+    if recycle_snaps then
+      match w.snap with
+      | None -> ()
+      | Some p ->
+        if As.epoch w.machine.Libos.aspace = w.epoch then
+          ignore
+            (As.discard_segment w.machine.Libos.aspace ~base:p.Snapshot.mem);
+        Snapshot.release_ext ~phys p
+  in
+
   let pop_into frontier w =
     match frontier.Frontier.pop () with
     | None -> ()
     | Some (ext : Ext.t) ->
       let snap = snap_of ext in
-      Snapshot.restore w.machine snap;
+      if recycle_snaps && Snapshot.sole_extension snap then begin
+        (* Last reference anywhere — running paths still hold their refs
+           until [retire], so [ext_refs = 1] really means no other worker
+           is on this snapshot.  Adopt its frames instead of re-COWing. *)
+        Snapshot.restore_adopting w.machine snap;
+        stats.Stats.adopting_restores <- stats.Stats.adopting_restores + 1
+      end
+      else Snapshot.restore w.machine snap;
+      w.epoch <- As.epoch w.machine.Libos.aspace;
       w.marker <- Libos.stdout_chunks w.machine;
       Cpu.set w.machine.Libos.cpu Reg.rax ext.Ext.index;
       w.depth <- ext.Ext.meta.Frontier.depth;
@@ -182,11 +213,22 @@ let run_cooperative ~(config : config) (image : Isa.Asm.image) =
      retry budget, then quarantines it.  Safe because a path segment has no
      observable side effects before its terminal scheduling event. *)
   let crashed frontier ~root w e =
-    if w.retries < config.retry_budget - 1 then begin
+    let origin_adopted =
+      recycle_snaps
+      && (match w.snap with Some s -> Snapshot.adopted s | None -> false)
+    in
+    if (not origin_adopted) && w.retries < config.retry_budget - 1 then begin
       w.retries <- w.retries + 1;
       stats.Stats.requeues <- stats.Stats.requeues + 1;
       if Obs.Trace.enabled () then
         Obs.Trace.instant ~a:w.retries Obs.Names.sched_requeue;
+      (* free the crashed attempt's COW tail before re-restoring *)
+      if recycle_snaps then
+        (match w.snap with
+        | Some p when As.epoch w.machine.Libos.aspace = w.epoch ->
+          ignore
+            (As.discard_segment w.machine.Libos.aspace ~base:p.Snapshot.mem)
+        | _ -> ());
       (match w.origin with
       | Some ext ->
         Snapshot.restore w.machine (snap_of ext);
@@ -197,6 +239,7 @@ let run_cooperative ~(config : config) (image : Isa.Asm.image) =
         Snapshot.restore w.machine root;
         Cpu.set w.machine.Libos.cpu Reg.rax 1;
         w.depth <- 0);
+      w.epoch <- As.epoch w.machine.Libos.aspace;
       w.marker <- Libos.stdout_chunks w.machine
     end
     else begin
@@ -205,6 +248,7 @@ let run_cooperative ~(config : config) (image : Isa.Asm.image) =
       stats.Stats.kills <- stats.Stats.kills + 1;
       record (Explorer.Path_killed (quarantine_message e config.retry_budget))
         "" w.depth;
+      retire w;
       w.busy <- false;
       w.retries <- 0;
       pop_into frontier w
@@ -222,6 +266,7 @@ let run_cooperative ~(config : config) (image : Isa.Asm.image) =
       if n <= 0 then begin
         stats.Stats.fails <- stats.Stats.fails + 1;
         record Explorer.Fail "" w.depth;
+        retire w;
         w.busy <- false;
         pop_into frontier w
       end
@@ -234,10 +279,12 @@ let run_cooperative ~(config : config) (image : Isa.Asm.image) =
         frontier.Frontier.push_batch
           (List.init n (fun index ->
                meta, { Ext.payload = Ext.Snap snap; index; meta }));
+        if recycle_snaps then Snapshot.retain ~n snap;
         stats.Stats.extensions_pushed <- stats.Stats.extensions_pushed + n;
         track_extents frontier;
         if stats.Stats.extensions_pushed > config.max_extensions then
           raise (Abort "extension budget exhausted");
+        retire w;
         w.busy <- false;
         pop_into frontier w
       end
@@ -245,6 +292,7 @@ let run_cooperative ~(config : config) (image : Isa.Asm.image) =
       let output = harvest w in
       stats.Stats.fails <- stats.Stats.fails + 1;
       record Explorer.Fail output w.depth;
+      retire w;
       w.busy <- false;
       pop_into frontier w
     | Libos.Guess_hint { dist } ->
@@ -258,6 +306,7 @@ let run_cooperative ~(config : config) (image : Isa.Asm.image) =
       (match config.mode with
       | `First_exit -> raise (Done (Explorer.Stopped_first_exit status))
       | `Run_to_completion -> ());
+      retire w;
       w.busy <- false;
       pop_into frontier w
     | Libos.Killed reason ->
@@ -265,6 +314,7 @@ let run_cooperative ~(config : config) (image : Isa.Asm.image) =
       stats.Stats.kills <- stats.Stats.kills + 1;
       record (Explorer.Path_killed (Format.asprintf "%a" Libos.pp_reason reason))
         output w.depth;
+      retire w;
       w.busy <- false;
       pop_into frontier w
   in
@@ -275,6 +325,9 @@ let run_cooperative ~(config : config) (image : Isa.Asm.image) =
       w0.busy <- true;
       w0.snap <- Some root;
       w0.origin <- None;
+      (* one ref for the scope-opening path, balancing its [retire] *)
+      if recycle_snaps then Snapshot.retain root;
+      w0.epoch <- As.epoch w0.machine.Libos.aspace;
       (* Worker paths start here: arm the allocation fault for the shared
          allocator and tick the stop clock from now on. *)
       Mem.Phys_mem.set_alloc_fault phys (Inject.alloc_hook inj);
@@ -289,8 +342,18 @@ let run_cooperative ~(config : config) (image : Isa.Asm.image) =
             if w.busy then begin
               any_busy := true;
               busy_rounds.(idx) <- busy_rounds.(idx) + 1;
-              stats.Stats.evicted <-
-                stats.Stats.evicted + List.length (frontier.Frontier.evicted ());
+              let dropped = frontier.Frontier.evicted () in
+              stats.Stats.evicted <- stats.Stats.evicted + List.length dropped;
+              (* evicted extensions will never run: give their refs back
+                 (any snapshot on a busy path's lineage stays pinned by a
+                 live child or the path's own unreleased ref) *)
+              if recycle_snaps then
+                List.iter
+                  (fun (e : Ext.t) ->
+                    match e.Ext.payload with
+                    | Ext.Snap s -> Snapshot.release_ext ~phys s
+                    | Ext.Ref _ -> ())
+                  dropped;
               match
                 (try
                    let stop =

@@ -20,6 +20,18 @@ type entry = {
   mutable e_last_used : int;
   mutable e_released : bool;   (* dropped by the client; skeleton kept for
                                   descendants' replays *)
+  (* Eager frame reclamation.  A released entry whose children are all dead
+     can return its payload's delta-vs-parent frames to the allocator
+     immediately instead of waiting for the GC — but only if the payload it
+     was captured from is still the parent's current materialisation.
+     Replay rebuilds payloads with fresh frames, so each materialisation
+     gets a serial and children record which one they were built on; a
+     delta against the wrong materialisation would free shared frames. *)
+  mutable e_children : int;
+  mutable e_dead_children : int;
+  mutable e_dead : bool;       (* released, and every child dead *)
+  mutable e_serial : int;      (* serial of the current materialisation *)
+  mutable e_built_on : int;    (* parent's serial this payload derives from *)
 }
 
 type t = {
@@ -29,6 +41,7 @@ type t = {
   entries : (handle, entry) Hashtbl.t;
   mutable next : int;
   mutable clock : int;
+  mutable serial_next : int;
   mutable evictions : int;
   mutable replays : int;
   mutable replayed_instructions : int;
@@ -42,6 +55,7 @@ let create ?(fuel_per_step = 50_000_000) (machine : Libos.t) =
     entries = Hashtbl.create 64;
     next = 0;
     clock = 0;
+    serial_next = 0;
     evictions = 0;
     replays = 0;
     replayed_instructions = 0;
@@ -62,27 +76,71 @@ let fresh t e =
   Hashtbl.replace t.entries h e;
   h
 
+let fresh_serial t =
+  let s = t.serial_next in
+  t.serial_next <- s + 1;
+  s
+
 let add_root t snap =
   fresh t
     { e_parent = None; e_choice = 0; e_stdin = None; e_depth = 0;
       e_pinned = true; e_payload = Some snap; e_last_used = tick t;
-      e_released = false }
+      e_released = false; e_children = 0; e_dead_children = 0;
+      e_dead = false; e_serial = fresh_serial t; e_built_on = -1 }
 
 let add t ~parent ~choice ?stdin ~depth snap =
-  ignore (entry t parent);
+  let p = entry t parent in
+  p.e_children <- p.e_children + 1;
   fresh t
     { e_parent = Some parent; e_choice = choice; e_stdin = stdin;
       e_depth = depth; e_pinned = false; e_payload = Some snap;
-      e_last_used = tick t; e_released = false }
+      e_last_used = tick t; e_released = false; e_children = 0;
+      e_dead_children = 0; e_dead = false; e_serial = fresh_serial t;
+      e_built_on = p.e_serial }
 
 let depth t h = (entry t h).e_depth
 let is_materialised t h = (entry t h).e_payload <> None
 let is_released t h = (entry t h).e_released
 
+(* [e] just became dead (released, every child dead).  Propagate upward:
+   an ancestor may have been waiting on this subtree.  Propagation only —
+   ancestors dropped their payloads when they were released, so there is
+   nothing left to free up there. *)
+let rec mark_dead t e =
+  if not e.e_dead then begin
+    e.e_dead <- true;
+    match e.e_parent with
+    | None -> ()
+    | Some p ->
+      let pe = entry t p in
+      pe.e_dead_children <- pe.e_dead_children + 1;
+      if pe.e_released && pe.e_dead_children = pe.e_children then
+        mark_dead t pe
+  end
+
 let release t h =
   let e = entry t h in
-  e.e_released <- true;
-  if not e.e_pinned then e.e_payload <- None
+  if not e.e_released then begin
+    e.e_released <- true;
+    if not e.e_pinned then begin
+      (* Instantly dead — no live descendants share this payload's frames —
+         so its delta against the parent payload is branch-private and can
+         feed the allocator's free list right now.  The serial check pins
+         both payloads to the materialisations the delta is valid for. *)
+      (match e.e_payload, e.e_parent with
+      | Some snap, Some p when e.e_dead_children = e.e_children -> (
+        let pe = entry t p in
+        match pe.e_payload with
+        | Some parent_snap when e.e_built_on = pe.e_serial ->
+          let phys = Mem.Addr_space.phys t.machine.Libos.aspace in
+          if Mem.Phys_mem.recycling phys then
+            ignore (Snapshot.free_delta ~phys ~parent:parent_snap snap)
+        | Some _ | None -> ())
+      | _ -> ());
+      e.e_payload <- None
+    end;
+    if e.e_dead_children = e.e_children then mark_dead t e
+  end
 
 (* Re-execute the edges from [base] down the chain, capturing a fresh
    payload at each hop.  Every hop deterministically re-runs guest code the
@@ -91,13 +149,14 @@ let release t h =
    after the restore that follows), and the instruction/memory-metric
    deltas are accumulated here so drivers can subtract them from the
    figures they report. *)
-let replay t base chain =
+let replay t base base_serial chain =
   let m = t.machine in
   if Obs.Trace.enabled () then
     Obs.Trace.span_begin ~a:(List.length chain) Obs.Names.reclaim_replay;
   let retired0 = m.Libos.cpu.Cpu.retired in
   let mem0 = Mem.Mem_metrics.copy (Mem.Addr_space.metrics m.Libos.aspace) in
   Snapshot.restore m base;
+  let prev_serial = ref base_serial in
   List.iter
     (fun e ->
       Cpu.set m.Libos.cpu Reg.rax e.e_choice;
@@ -121,6 +180,10 @@ let replay t base chain =
       step ();
       t.replays <- t.replays + 1;
       e.e_payload <- Some (Snapshot.capture ~ids:t.ids ~depth:e.e_depth m);
+      (* fresh frames, fresh materialisation: re-stamp the serial chain *)
+      e.e_serial <- fresh_serial t;
+      e.e_built_on <- !prev_serial;
+      prev_serial := e.e_serial;
       e.e_last_used <- tick t)
     chain;
   t.replayed_instructions <-
@@ -144,7 +207,7 @@ let get t h =
     let rec up chain h' =
       let e' = entry t h' in
       match e'.e_payload with
-      | Some base -> base, chain
+      | Some base -> base, e'.e_serial, chain
       | None -> (
         match e'.e_parent with
         | Some p -> up (e' :: chain) p
@@ -152,8 +215,8 @@ let get t h =
           (* unreachable: roots are pinned and never evicted *)
           invalid_arg "Reclaim: evicted entry with no materialised ancestor")
     in
-    let base, chain = up [] h in
-    replay t base chain;
+    let base, base_serial, chain = up [] h in
+    replay t base base_serial chain;
     (match e.e_payload with
     | Some s -> s
     | None -> assert false)

@@ -15,6 +15,13 @@ type t = private {
   os : Os.Libos.os_state;
   parent : t option;
   depth : int;  (** guesses from the exploration root *)
+  mutable ext_refs : int;
+      (** frontier extensions (plus pins) that may still restore this *)
+  mutable child_refs : int;
+      (** live children whose maps share this snapshot's frames *)
+  mutable freed : bool;    (** private frames returned to the allocator *)
+  mutable adopted : bool;  (** restored via {!restore_adopting}; must never
+                               be restored again *)
 }
 
 type ids
@@ -26,7 +33,46 @@ type ids
 val ids : unit -> ids
 
 val capture : ids:ids -> ?parent:t -> depth:int -> Os.Libos.t -> t
+(** Capturing with a parent also counts this snapshot in the parent's
+    [child_refs] — part of the release discipline below. *)
+
 val restore : Os.Libos.t -> t -> unit
+
+(** {1 Explicit release}
+
+    Schedulers that want allocation-free backtracking (rather than waiting
+    for the GC) maintain two reference counts per snapshot: [ext_refs],
+    raised by {!retain} once per frontier extension pushed and lowered by
+    {!release_ext} when that extension restores away (or is evicted
+    unexplored); and [child_refs], maintained by {!capture}.  When both
+    reach zero the snapshot is dead: its delta-vs-parent frames go back to
+    {!Mem.Phys_mem}'s free list, and death cascades to the parent if this
+    child was the last thing keeping it alive.  Roots are never freed.
+    The whole discipline is a no-op when the physical memory was created
+    with [recycle:false]. *)
+
+val retain : ?n:int -> t -> unit
+val release_ext : phys:Mem.Phys_mem.t -> t -> unit
+
+val sole_extension : t -> bool
+(** The snapshot is being restored for the last time: one extension ref
+    left, no live children, and a parent to compute the delta against —
+    the precondition for {!restore_adopting}. *)
+
+val restore_adopting : Os.Libos.t -> t -> unit
+(** Restore knowing this is the snapshot's last restore (see
+    {!sole_extension}): its delta-vs-parent frames are adopted into the
+    current generation and written in place instead of COW'd again.
+    Marks the snapshot {!adopted}; restoring it again afterwards would
+    observe the adopter's writes. *)
+
+val adopted : t -> bool
+
+val free_delta : phys:Mem.Phys_mem.t -> parent:t -> t -> int
+(** Directly free this snapshot's frames beyond [parent] (for stores that
+    track lineage outside the [parent] field, e.g. {!Reclaim}).  The
+    caller asserts the same death conditions as {!release_ext}.  Idempotent
+    via the [freed] flag; returns the number of frames freed. *)
 
 val pages : t -> int
 (** Logical pages mapped in the snapshot's address space. *)

@@ -7,6 +7,7 @@ type t = {
   mutable kills : int;
   mutable snapshots_created : int;
   mutable restores : int;
+  mutable adopting_restores : int;
   mutable evicted : int;
   mutable max_frontier : int;
   mutable max_live_snapshots : int;
@@ -21,7 +22,8 @@ type t = {
 
 let create () =
   { guesses = 0; extensions_pushed = 0; extensions_evaluated = 0; fails = 0;
-    exits = 0; kills = 0; snapshots_created = 0; restores = 0; evicted = 0;
+    exits = 0; kills = 0; snapshots_created = 0; restores = 0;
+    adopting_restores = 0; evicted = 0;
     max_frontier = 0; max_live_snapshots = 0; instructions = 0;
     requeues = 0; quarantined = 0; payload_evictions = 0; replays = 0;
     replayed_instructions = 0;
@@ -38,6 +40,7 @@ let merge acc x =
   acc.kills <- acc.kills + x.kills;
   acc.snapshots_created <- acc.snapshots_created + x.snapshots_created;
   acc.restores <- acc.restores + x.restores;
+  acc.adopting_restores <- acc.adopting_restores + x.adopting_restores;
   acc.evicted <- acc.evicted + x.evicted;
   acc.max_frontier <- max acc.max_frontier x.max_frontier;
   acc.max_live_snapshots <- max acc.max_live_snapshots x.max_live_snapshots;
@@ -64,6 +67,7 @@ let publish t (reg : Obs.Metrics.t) =
   c "explorer.kills" t.kills;
   c "explorer.snapshots_created" t.snapshots_created;
   c "explorer.restores" t.restores;
+  c "explorer.adopting_restores" t.adopting_restores;
   c "explorer.evicted" t.evicted;
   Obs.Metrics.gauge_max reg "explorer.max_frontier" t.max_frontier;
   Obs.Metrics.gauge_max reg "explorer.max_live_snapshots" t.max_live_snapshots;
@@ -85,16 +89,19 @@ let publish t (reg : Obs.Metrics.t) =
   c "mem.tlb_misses" m.Mem.Mem_metrics.tlb_misses;
   c "mem.tlb_flushes" m.Mem.Mem_metrics.tlb_flushes;
   c "mem.pt_walks" m.Mem.Mem_metrics.pt_walks;
-  c "mem.pt_node_copies" m.Mem.Mem_metrics.pt_node_copies
+  c "mem.pt_node_copies" m.Mem.Mem_metrics.pt_node_copies;
+  c "mem.frames_freed" m.Mem.Mem_metrics.frames_freed;
+  c "mem.frames_recycled" m.Mem.Mem_metrics.frames_recycled;
+  c "mem.zero_fills_elided" m.Mem.Mem_metrics.zero_fills_elided
 
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>guesses=%d pushed=%d evaluated=%d fails=%d exits=%d kills=%d@ \
-     snapshots=%d restores=%d evicted=%d max_frontier=%d max_live=%d@ \
-     instructions=%d@ requeues=%d quarantined=%d payload_evictions=%d \
-     replays=%d replayed_instructions=%d@ %a@]"
+     snapshots=%d restores=%d adopting=%d evicted=%d max_frontier=%d \
+     max_live=%d@ instructions=%d@ requeues=%d quarantined=%d \
+     payload_evictions=%d replays=%d replayed_instructions=%d@ %a@]"
     t.guesses t.extensions_pushed t.extensions_evaluated t.fails t.exits
-    t.kills t.snapshots_created t.restores t.evicted t.max_frontier
-    t.max_live_snapshots t.instructions t.requeues t.quarantined
-    t.payload_evictions t.replays t.replayed_instructions
+    t.kills t.snapshots_created t.restores t.adopting_restores t.evicted
+    t.max_frontier t.max_live_snapshots t.instructions t.requeues
+    t.quarantined t.payload_evictions t.replays t.replayed_instructions
     Mem.Mem_metrics.pp t.mem

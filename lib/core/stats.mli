@@ -10,6 +10,8 @@ type t = {
   mutable kills : int;                 (** paths killed (fault / fuel) *)
   mutable snapshots_created : int;
   mutable restores : int;
+  mutable adopting_restores : int;     (** last-reference restores that adopted
+                                           the snapshot's frames in place *)
   mutable evicted : int;               (** dropped by memory-bounded strategies *)
   mutable max_frontier : int;
   mutable max_live_snapshots : int;

@@ -139,12 +139,12 @@ let compare_multiset pipeline (a : run) (b : run) =
 
 (* {1 Pipelines} *)
 
-let boot image ~icache =
-  let phys = Mem.Phys_mem.create () in
+let boot ?recycle ?poison image ~icache =
+  let phys = Mem.Phys_mem.create ?recycle ?poison () in
   Libos.boot ~icache phys image
 
-let explorer_pipeline ?on_stop ~icache image =
-  let machine = boot image ~icache in
+let explorer_pipeline ?on_stop ?recycle ?poison ~icache image =
+  let machine = boot ?recycle ?poison image ~icache in
   let r = Explorer.run ?on_stop machine in
   machine_run machine r
 
@@ -239,8 +239,11 @@ let first_some checks =
     None checks
 
 let check_image ?(ckpt_every = 1) image =
-  (* Baseline: explorer with icache, tracing every Addr_space op. *)
-  let machine = boot image ~icache:true in
+  (* Baseline: explorer with icache, tracing every Addr_space op.  Frame
+     recycling off: the baseline keeps the GC-only seed cost model, so the
+     recycling pipeline below is checked against an allocator that never
+     reuses a buffer. *)
+  let machine = boot ~recycle:false image ~icache:true in
   let initial_pages =
     List.map
       (fun vpn -> (vpn, page_string machine.Libos.aspace vpn))
@@ -260,6 +263,12 @@ let check_image ?(ckpt_every = 1) image =
         compare_exact "ckpt-roundtrip" base
           (explorer_pipeline ~icache:true
              ~on_stop:(ckpt_on_stop ckpt_every) image));
+      (fun () ->
+        (* Eager release + adoption + buffer reuse, with freed buffers
+           poisoned: a frame released while a live path could still read
+           it diverges loudly instead of silently. *)
+        compare_exact "recycle" base
+          (explorer_pipeline ~icache:true ~recycle:true ~poison:true image));
       (fun () ->
         compare_multiset "parallel-coop" base
           (parallel_pipeline ~backend:`Cooperative image));

@@ -16,6 +16,12 @@
       incremental-chain round-trip) at every k-th scheduler stop — a
       faithful checkpoint implementation is invisible, so this too must
       match exactly;
+    + {b recycle}: the explorer with frame recycling on and freed
+      buffers poisoned, against a baseline that runs the GC-only
+      [recycle:false] allocator — eager frame reclamation, zero-fill
+      elision and adopting restores must be guest-invisible, and the
+      poison turns any premature free into a loud divergence; must match
+      exactly;
     + {b parallel-coop} / {b parallel-domains}: {!Core.Parallel} with 4
       workers on each backend.  Path completion order is
       schedule-dependent, so these are compared as multisets: same

@@ -48,6 +48,12 @@ type t = {
          discipline: restores do not roll it back. *)
   mutable trace : (trace_op -> unit) option;
       (* operation recorder for differential replay; [None] in production *)
+  mutable epoch : int;
+      (* bumped on every capture, restore and seal.  A caller that restored
+         a snapshot and sees the epoch unchanged knows no other map has
+         grabbed frames since: everything the map acquired in between is
+         private to the segment and safe to discard (see
+         [discard_segment]). *)
 }
 
 type snapshot = { snap_id : int; snap_map : Phys_mem.frame Ptmap.t }
@@ -63,7 +69,8 @@ let create phys =
     next_snap_id = 0;
     seen_share_epoch = Phys_mem.share_epoch phys;
     shared_hidden = Ptmap.empty;
-    trace = None }
+    trace = None;
+    epoch = 0 }
 
 let set_trace t sink = t.trace <- sink
 
@@ -73,6 +80,7 @@ let record t op =
 let phys t = t.phys
 let metrics t = t.metrics
 let generation t = t.gen
+let epoch t = t.epoch
 
 let tlb_flush t =
   Array.fill t.tlb_vpn 0 tlb_size (-1);
@@ -156,10 +164,9 @@ let map_zero t ~vpn =
   record t (T_map_zero vpn)
 
 let map_data t ~vpn data =
-  let len = String.length data in
-  if len > Page.size then invalid_arg "Addr_space.map_data: more than a page";
-  let f = Phys_mem.alloc t.phys ~owner:t.gen in
-  Bytes.blit_string data 0 f.Phys_mem.bytes 0 len;
+  if String.length data > Page.size then
+    invalid_arg "Addr_space.map_data: more than a page";
+  let f = Phys_mem.alloc_data t.phys ~owner:t.gen data in
   t.map <- Ptmap.add vpn f t.map;
   tlb_invalidate t vpn;
   if Obs.Trace.enabled () then Obs.Trace.instant ~a:vpn Obs.Names.map;
@@ -226,27 +233,23 @@ let read_u64 t addr =
     Int64.to_int (Bytes.get_int64_le f.Phys_mem.bytes off)
   end
   else begin
-    (* Crosses a page boundary: assemble byte by byte. *)
+    (* Crosses a page boundary: two per-page chunk reads — one translation
+       each, not one per byte.  [k] bytes come from the first page.  The
+       lookups probe in the order the old byte loop touched the pages
+       (high half first), so a fault lands on the same address. *)
+    let k = Page.size - off in
+    let vpn = Page.vpn_of_addr addr in
+    let f2 = lookup t (vpn + 1) Read (addr + 7) in
+    let f1 = lookup t vpn Read (addr + k - 1) in
     let v = ref 0 in
-    for i = 7 downto 0 do
-      v := (!v lsl 8) lor read_u8 t (addr + i)
+    for i = 7 downto k do
+      v := (!v lsl 8) lor Char.code (Bytes.unsafe_get f2.Phys_mem.bytes (i - k))
+    done;
+    for i = k - 1 downto 0 do
+      v := (!v lsl 8) lor Char.code (Bytes.unsafe_get f1.Phys_mem.bytes (off + i))
     done;
     !v
   end
-
-let write_u64 t addr v =
-  let off = Page.offset_of_addr addr in
-  if off <= Page.size - 8 then begin
-    let f = writable_frame t (Page.vpn_of_addr addr) addr in
-    Bytes.set_int64_le f.Phys_mem.bytes off (Int64.of_int v);
-    record t (T_write_u64 (addr, v))
-  end
-  else
-    (* the per-byte writes record themselves, so a partial write that
-       faults midway leaves a byte-exact trace prefix *)
-    for i = 0 to 7 do
-      write_u8 t (addr + i) ((v lsr (8 * i)) land 0xff)
-    done
 
 let read_bytes t ~addr ~len =
   let out = Bytes.create len in
@@ -276,11 +279,29 @@ let write_bytes t ~addr data =
     pos := !pos + chunk
   done
 
+let write_u64 t addr v =
+  let off = Page.offset_of_addr addr in
+  if off <= Page.size - 8 then begin
+    let f = writable_frame t (Page.vpn_of_addr addr) addr in
+    Bytes.set_int64_le f.Phys_mem.bytes off (Int64.of_int v);
+    record t (T_write_u64 (addr, v))
+  end
+  else begin
+    (* Crosses a page boundary: delegate to the chunked byte writer — at
+       most two translations and two COW checks instead of eight.  Each
+       chunk records itself, so a write that faults on the second page
+       still leaves a byte-exact trace prefix for the first. *)
+    let le = Bytes.create 8 in
+    Bytes.set_int64_le le 0 (Int64.of_int v);
+    write_bytes t ~addr (Bytes.unsafe_to_string le)
+  end
+
 (* {1 Snapshots} *)
 
 let seal t =
   tlb_flush t;
   t.gen <- Phys_mem.fresh_generation t.phys;
+  t.epoch <- t.epoch + 1;
   record t T_seal
 
 let snapshot t =
@@ -291,6 +312,7 @@ let snapshot t =
   (* From now on every frame in [s] belongs to a retired generation, so the
      next store to any of them COWs.  Capture itself copies nothing. *)
   t.gen <- Phys_mem.fresh_generation t.phys;
+  t.epoch <- t.epoch + 1;
   record t (T_snapshot s.snap_id);
   s
 
@@ -299,7 +321,84 @@ let restore t s =
   tlb_flush t;
   t.map <- s.snap_map;
   t.gen <- Phys_mem.fresh_generation t.phys;
+  t.epoch <- t.epoch + 1;
   record t (T_restore s.snap_id)
+
+(* {1 Explicit frame lifecycle}
+
+   All three entry points below free or adopt exactly the frames of a
+   *delta*: the pages whose backing differs between a base map and a later
+   map derived from it.  Under the generation discipline those frames were
+   allocated (COW'd or eagerly mapped) after the base's capture, on the one
+   execution path that leads from the base to the later map — private
+   frames enter a map at one vpn and are never re-mapped elsewhere, so no
+   other snapshot or address space can reach them.  The zero frame and
+   explicitly-shared frames never satisfy that (shared frames do not even
+   live in snapshot maps) and are skipped defensively. *)
+
+let frame_eq (x : Phys_mem.frame) (y : Phys_mem.frame) = x == y
+
+(* Free the now-side frames of [delta]: entries added or replaced relative
+   to the base.  Frames only present on the base side (unmapped later) stay
+   — the base still references them. *)
+let free_delta phys delta =
+  let zero = Phys_mem.zero_frame phys in
+  List.fold_left
+    (fun n (_vpn, _before, now) ->
+      match now with
+      | Some (f : Phys_mem.frame)
+        when f != zero && f.owner <> shared_owner && not f.freed ->
+        Phys_mem.free_frame phys f;
+        n + 1
+      | Some _ | None -> n)
+    0 delta
+
+(* Release a dead snapshot: return the frames it acquired since [parent] to
+   the allocator.  The caller asserts the snapshot left the frontier, every
+   descendant is already dead, and the current map was restored away — the
+   Snapshot/Explorer refcount discipline (see lib/core/snapshot.ml) is what
+   makes each of those checkable.  Takes the physical memory, not the
+   address space: releases happen after the machine restored away. *)
+let release_snapshot ~phys ~parent s =
+  let freed =
+    free_delta phys (Ptmap.sym_diff frame_eq parent.snap_map s.snap_map)
+  in
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant ~a:s.snap_id ~b:freed Obs.Names.snap_release;
+  freed
+
+(* Free what the current map acquired since [base] was restored — the COW
+   tail of a finished path segment that no capture ever froze.  Only sound
+   when the epoch is unchanged since that restore (no snapshot grabbed the
+   map in between) and when the caller restores another snapshot
+   immediately after, before any further access through the map. *)
+let discard_segment t ~base =
+  free_delta t.phys (Ptmap.sym_diff frame_eq base.snap_map t.map)
+
+(* Restore [s] knowing it is the last reference to its branch: the frames
+   it holds beyond [parent] become ours to write in place, instead of being
+   COW'd again one fault at a time — the DFS tail-child fast path.  After
+   this the snapshot must never be restored again (its frames will change
+   under it). *)
+let restore_adopt t ~parent s =
+  restore t s;
+  let gen = t.gen in
+  let adopted =
+    List.fold_left
+      (fun n (_vpn, _before, now) ->
+        match now with
+        | Some (f : Phys_mem.frame)
+          when f != Phys_mem.zero_frame t.phys
+               && f.owner <> shared_owner && not f.freed ->
+          Phys_mem.adopt_frame t.phys f ~owner:gen;
+          n + 1
+        | Some _ | None -> n)
+      0
+      (Ptmap.sym_diff frame_eq parent.snap_map s.snap_map)
+  in
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant ~a:adopted Obs.Names.frame_adopt;
+  adopted
 
 let snapshot_id s = s.snap_id
 let snapshot_pages s = Ptmap.cardinal s.snap_map

@@ -21,7 +21,8 @@ type t
 type snapshot
 (** An immutable logical copy of the entire address space.  Holding one
     keeps its frames alive; dropping the last reference lets the GC reclaim
-    them. *)
+    them — or, under the explicit lifecycle below, lets the owner return
+    them to the allocator's free list without waiting for a collection. *)
 
 val create : Phys_mem.t -> t
 val phys : t -> Phys_mem.t
@@ -94,6 +95,45 @@ val delta_pages : snapshot -> snapshot -> int
 
 val generation : t -> int
 val snapshot_map_for_debug : snapshot -> Phys_mem.frame Stdx.Ptmap.t
+
+(** {1 Explicit frame lifecycle}
+
+    The GC reclaims dead snapshots eventually; these entry points reclaim
+    them {e now}, feeding {!Phys_mem}'s buffer free list so the COW fault
+    path stops allocating in steady state.  All three operate on a
+    {e delta}: the frames a map acquired relative to a base it was derived
+    from.  Under the generation discipline those frames are private to the
+    one execution path between the two maps, which is what makes eager
+    reclamation sound — provided the caller really holds the last
+    reference (see the refcount discipline in [Core.Snapshot]). *)
+
+val epoch : t -> int
+(** Bumped on every [snapshot], [restore] and [seal].  A caller that
+    restored a base and observes the epoch unchanged knows no snapshot has
+    grabbed the map since, so everything acquired in between is segment-
+    private (the precondition of {!discard_segment}). *)
+
+val release_snapshot : phys:Phys_mem.t -> parent:snapshot -> snapshot -> int
+(** [release_snapshot ~phys ~parent s] returns the frames [s] acquired since
+    [parent] to the allocator and reports how many were freed.  Sound only
+    once [s] is dead: off the frontier, every descendant already released,
+    and the current map restored away from its branch.  The zero frame and
+    explicitly-shared frames are skipped; frames [parent] still references
+    (pages unmapped in [s]) are kept. *)
+
+val discard_segment : t -> base:snapshot -> int
+(** Free what the current map acquired since [base] was restored — the COW
+    tail of a finished path segment that no capture froze.  Requires
+    {!epoch} unchanged since that restore, and the caller must restore
+    another snapshot immediately after, before any access through the
+    now-dangling map. *)
+
+val restore_adopt : t -> parent:snapshot -> snapshot -> int
+(** Restore [s] and take ownership of the frames it holds beyond [parent]:
+    they join the new current generation and are written in place instead
+    of being COW'd again — the restore-last-reference (DFS tail-child)
+    fast path.  Returns the number of frames adopted.  [s] must never be
+    restored again afterwards: its pages change under it. *)
 
 (** {1 Operation tracing}
 

@@ -125,11 +125,9 @@ let set_leaf t vpn entry =
 let map_zero t ~vpn = set_leaf t vpn (Frame (Phys_mem.zero_frame t.phys))
 
 let map_data t ~vpn data =
-  let len = String.length data in
-  if len > Page.size then invalid_arg "Ept.map_data: more than a page";
-  let f = Phys_mem.alloc t.phys ~owner:t.gen in
-  Bytes.blit_string data 0 f.Phys_mem.bytes 0 len;
-  set_leaf t vpn (Frame f)
+  if String.length data > Page.size then
+    invalid_arg "Ept.map_data: more than a page";
+  set_leaf t vpn (Frame (Phys_mem.alloc_data t.phys ~owner:t.gen data))
 
 let unmap t ~vpn = set_leaf t vpn Empty
 

@@ -11,18 +11,23 @@ type t = {
   mutable tlb_flushes : int;
   mutable pt_walks : int;
   mutable pt_node_copies : int;
+  mutable frames_freed : int;
+  mutable frames_recycled : int;
+  mutable zero_fills_elided : int;
 }
 
 let create () =
   { cow_faults = 0; zero_fills = 0; pages_copied = 0; bytes_copied = 0;
     frames_allocated = 0; snapshots = 0; restores = 0; tlb_hits = 0;
-    tlb_misses = 0; tlb_flushes = 0; pt_walks = 0; pt_node_copies = 0 }
+    tlb_misses = 0; tlb_flushes = 0; pt_walks = 0; pt_node_copies = 0;
+    frames_freed = 0; frames_recycled = 0; zero_fills_elided = 0 }
 
 let reset t =
   t.cow_faults <- 0; t.zero_fills <- 0; t.pages_copied <- 0;
   t.bytes_copied <- 0; t.frames_allocated <- 0; t.snapshots <- 0;
   t.restores <- 0; t.tlb_hits <- 0; t.tlb_misses <- 0; t.tlb_flushes <- 0;
-  t.pt_walks <- 0; t.pt_node_copies <- 0
+  t.pt_walks <- 0; t.pt_node_copies <- 0;
+  t.frames_freed <- 0; t.frames_recycled <- 0; t.zero_fills_elided <- 0
 
 let add acc x =
   acc.cow_faults <- acc.cow_faults + x.cow_faults;
@@ -36,7 +41,10 @@ let add acc x =
   acc.tlb_misses <- acc.tlb_misses + x.tlb_misses;
   acc.tlb_flushes <- acc.tlb_flushes + x.tlb_flushes;
   acc.pt_walks <- acc.pt_walks + x.pt_walks;
-  acc.pt_node_copies <- acc.pt_node_copies + x.pt_node_copies
+  acc.pt_node_copies <- acc.pt_node_copies + x.pt_node_copies;
+  acc.frames_freed <- acc.frames_freed + x.frames_freed;
+  acc.frames_recycled <- acc.frames_recycled + x.frames_recycled;
+  acc.zero_fills_elided <- acc.zero_fills_elided + x.zero_fills_elided
 
 let copy x =
   let t = create () in
@@ -54,13 +62,18 @@ let diff a b =
     tlb_misses = a.tlb_misses - b.tlb_misses;
     tlb_flushes = a.tlb_flushes - b.tlb_flushes;
     pt_walks = a.pt_walks - b.pt_walks;
-    pt_node_copies = a.pt_node_copies - b.pt_node_copies }
+    pt_node_copies = a.pt_node_copies - b.pt_node_copies;
+    frames_freed = a.frames_freed - b.frames_freed;
+    frames_recycled = a.frames_recycled - b.frames_recycled;
+    zero_fills_elided = a.zero_fills_elided - b.zero_fills_elided }
 
 let pp fmt t =
   Format.fprintf fmt
     "@[<v>cow_faults=%d zero_fills=%d pages_copied=%d bytes_copied=%d@ \
      frames_allocated=%d snapshots=%d restores=%d@ \
-     tlb: hits=%d misses=%d flushes=%d pt_walks=%d pt_node_copies=%d@]"
+     tlb: hits=%d misses=%d flushes=%d pt_walks=%d pt_node_copies=%d@ \
+     frames_freed=%d frames_recycled=%d zero_fills_elided=%d@]"
     t.cow_faults t.zero_fills t.pages_copied t.bytes_copied
     t.frames_allocated t.snapshots t.restores t.tlb_hits t.tlb_misses
     t.tlb_flushes t.pt_walks t.pt_node_copies
+    t.frames_freed t.frames_recycled t.zero_fills_elided

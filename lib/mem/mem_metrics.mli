@@ -17,6 +17,11 @@ type t = {
   mutable tlb_flushes : int;
   mutable pt_walks : int;         (** page-table / trie lookups on TLB miss *)
   mutable pt_node_copies : int;   (** EPT backend: page-table pages COW'd *)
+  mutable frames_freed : int;     (** frames explicitly released to the free list *)
+  mutable frames_recycled : int;  (** allocations served from a recycled buffer *)
+  mutable zero_fills_elided : int;
+      (** allocations that skipped the zero-fill because the whole page was
+          about to be overwritten (COW copies, eager data maps) *)
 }
 
 val create : unit -> t

@@ -1,6 +1,18 @@
-type frame = { id : int; bytes : Bytes.t; mutable owner : int }
+type frame = {
+  mutable id : int;
+  bytes : Bytes.t;
+  mutable owner : int;
+  mutable freed : bool;
+}
 
 exception Out_of_frames of { capacity : int; live : int }
+
+(* Keep at most this many released page buffers around; beyond it a free
+   is a plain drop (the GC gets the buffer).  Bounds the pool's footprint
+   on workloads that release far more than they re-allocate. *)
+let max_free_bufs = 4096
+
+let poison_byte = '\xa5'
 
 type t = {
   mutable next_frame : int;
@@ -26,27 +38,49 @@ type t = {
   mutable pressure_events : int;
   mutable watermark_armed : bool;
   mutable alloc_fault : (int -> bool) option;
+  recycle : bool;
+      (* when set, explicitly-released frames feed a buffer free list and
+         full-page-overwrite allocations skip the zero fill; when clear the
+         allocator behaves exactly like the GC-only seed (the conservative
+         baseline the fuzz oracle compares against) *)
+  mutable poison : bool;
+      (* debug: fill released buffers with [poison_byte] immediately, so a
+         frame freed while still reachable diverges loudly *)
+  mutable free_bufs : Bytes.t list;
+  mutable free_len : int;
+  mutable total_allocs : int;
+      (* frames ever allocated; [next_frame] cannot serve because adoption
+         re-stamps frame ids from the same sequence *)
 }
 
 (* Generation 0 is reserved: it owns the zero frame and nothing else, so no
    live address space can ever write the zero frame in place. *)
 let zero_generation = 0
 
-let create ?(capacity = 0) ?(track_live = false) () =
+let create ?(capacity = 0) ?(track_live = false) ?(recycle = true)
+    ?(poison = false) () =
   if capacity < 0 then invalid_arg "Phys_mem.create: negative capacity";
-  let zero = { id = 0; bytes = Bytes.make Page.size '\000'; owner = zero_generation } in
+  let zero =
+    { id = 0; bytes = Bytes.make Page.size '\000'; owner = zero_generation;
+      freed = false }
+  in
   { next_frame = 1; next_gen = 1; zero; metrics = Mem_metrics.create ();
     shared_pages = Hashtbl.create 8; share_epoch = 0;
     capacity; track_live = track_live || capacity > 0;
     live = Atomic.make 0; peak_live = 0;
     on_pressure = None; pressure_events = 0; watermark_armed = true;
-    alloc_fault = None }
+    alloc_fault = None;
+    recycle; poison; free_bufs = []; free_len = 0; total_allocs = 0 }
 
 let metrics t = t.metrics
 
 let zero_frame t = t.zero
 
 let capacity t = t.capacity
+let recycling t = t.recycle
+let set_poison t b = t.poison <- b
+let poisoning t = t.poison
+let free_buffers t = t.free_len
 let frames_live t = Atomic.get t.live
 let peak_frames_live t = t.peak_live
 let pressure_events t = t.pressure_events
@@ -107,25 +141,95 @@ let account_live t f =
   if t.track_live then begin
     let live = 1 + Atomic.fetch_and_add t.live 1 in
     if live > t.peak_live then t.peak_live <- live;
-    Gc.finalise (fun (_ : frame) -> Atomic.decr t.live) f
+    (* An explicitly-freed frame already gave its live slot back; the
+       finaliser must not return it twice. *)
+    Gc.finalise (fun (f : frame) -> if not f.freed then Atomic.decr t.live) f
   end
 
-let alloc t ~owner =
-  ensure_frame_available t;
-  let f = { id = t.next_frame; bytes = Bytes.make Page.size '\000'; owner } in
+(* Pop a released page buffer, if the pool has one.  The buffer comes back
+   with arbitrary contents (possibly poisoned): callers overwrite it. *)
+let take_buf t =
+  match t.free_bufs with
+  | [] -> None
+  | b :: rest ->
+    t.free_bufs <- rest;
+    t.free_len <- t.free_len - 1;
+    t.metrics.frames_recycled <- t.metrics.frames_recycled + 1;
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant ~a:t.free_len Obs.Names.frame_recycle;
+    Some b
+
+let mint t ~owner bytes =
+  let f = { id = t.next_frame; bytes; owner; freed = false } in
   t.next_frame <- t.next_frame + 1;
+  t.total_allocs <- t.total_allocs + 1;
   t.metrics.frames_allocated <- t.metrics.frames_allocated + 1;
   account_live t f;
   f
 
+let alloc t ~owner =
+  ensure_frame_available t;
+  let bytes =
+    match take_buf t with
+    | Some b -> Bytes.fill b 0 Page.size '\000'; b
+    | None -> Bytes.make Page.size '\000'
+  in
+  mint t ~owner bytes
+
+(* A frame whose every byte is about to be overwritten: recycle a buffer or
+   take uninitialised memory, either way skipping the zero fill that
+   [Bytes.make] would pay.  Gated on [recycle] so the recycling-off
+   baseline keeps the seed's exact cost model. *)
+let alloc_overwritten t ~owner =
+  ensure_frame_available t;
+  if not t.recycle then mint t ~owner (Bytes.make Page.size '\000')
+  else begin
+    t.metrics.zero_fills_elided <- t.metrics.zero_fills_elided + 1;
+    let bytes =
+      match take_buf t with Some b -> b | None -> Bytes.create Page.size
+    in
+    mint t ~owner bytes
+  end
+
 let alloc_copy t ~owner src =
-  let f = alloc t ~owner in
+  let f = alloc_overwritten t ~owner in
   Bytes.blit src.bytes 0 f.bytes 0 Page.size;
   t.metrics.pages_copied <- t.metrics.pages_copied + 1;
   t.metrics.bytes_copied <- t.metrics.bytes_copied + Page.size;
   f
 
-let frames_allocated t = t.next_frame - 1
+let alloc_data t ~owner data =
+  let len = String.length data in
+  if len > Page.size then invalid_arg "Phys_mem.alloc_data: more than a page";
+  let f = alloc_overwritten t ~owner in
+  Bytes.blit_string data 0 f.bytes 0 len;
+  (* only the tail needs clearing: the recycled buffer carries old bytes *)
+  if len < Page.size then Bytes.fill f.bytes len (Page.size - len) '\000';
+  f
+
+let free_frame t (f : frame) =
+  if f == t.zero then invalid_arg "Phys_mem.free_frame: the zero frame";
+  if f.freed then
+    invalid_arg (Printf.sprintf "Phys_mem.free_frame: double free of frame %d" f.id);
+  f.freed <- true;
+  t.metrics.frames_freed <- t.metrics.frames_freed + 1;
+  if t.track_live then Atomic.decr t.live;
+  if t.recycle && t.free_len < max_free_bufs then begin
+    if t.poison then Bytes.fill f.bytes 0 Page.size poison_byte;
+    t.free_bufs <- f.bytes :: t.free_bufs;
+    t.free_len <- t.free_len + 1
+  end
+
+(* Transfer a frame into generation [owner] so stores hit it in place.  The
+   id is re-stamped from the same sequence as fresh frames: decode caches
+   key on frame ids under the frames-never-change-in-place invariant, and an
+   adopted frame is about to start changing. *)
+let adopt_frame t (f : frame) ~owner =
+  f.id <- t.next_frame;
+  t.next_frame <- t.next_frame + 1;
+  f.owner <- owner
+
+let frames_allocated t = t.total_allocs
 
 let shared_page t ~vpn = Hashtbl.find_opt t.shared_pages vpn
 let set_shared_page t ~vpn frame =

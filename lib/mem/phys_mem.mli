@@ -8,9 +8,14 @@
     refcounted physical-page free list a real libOS would keep. *)
 
 type frame = private {
-  id : int;                 (** unique stamp, used for space accounting *)
+  mutable id : int;
+      (** unique stamp, used for space accounting and decode-cache keys;
+          re-stamped by {!adopt_frame} because adoption ends the frame's
+          never-written-in-place phase *)
   bytes : Bytes.t;          (** always {!Page.size} bytes *)
   mutable owner : int;      (** generation allowed to write in place *)
+  mutable freed : bool;     (** released via {!free_frame}; any further use
+                                through a page map is a lifecycle bug *)
 }
 
 type t
@@ -21,13 +26,25 @@ exception Out_of_frames of { capacity : int; live : int }
     allocation fault fires (see {!set_alloc_fault}).  Schedulers treat it
     as a recoverable per-path failure, not a crash. *)
 
-val create : ?capacity:int -> ?track_live:bool -> unit -> t
+val create :
+  ?capacity:int -> ?track_live:bool -> ?recycle:bool -> ?poison:bool ->
+  unit -> t
 (** [capacity] (default 0 = unbounded) bounds the number of
     simultaneously-live frames.  [track_live] (implied by a positive
     capacity) enables live-frame accounting: every frame carries a GC
     finaliser that decrements the live count when the frame becomes
     unreachable — the simulation's stand-in for the refcounted free list a
-    real libOS would keep. *)
+    real libOS would keep.
+
+    [recycle] (default [true]) enables the explicit free list:
+    {!free_frame} keeps released page buffers for reuse and
+    full-page-overwrite allocations ({!alloc_copy}, {!alloc_data}) skip
+    the zero fill.  With [recycle:false] the allocator reproduces the
+    GC-only baseline bit for bit — the reference the fuzz oracle's
+    recycling pipeline is compared against.  [poison] (default [false])
+    fills released buffers with a recognizable byte immediately, so a
+    frame freed while still reachable diverges loudly instead of
+    silently. *)
 
 val metrics : t -> Mem_metrics.t
 
@@ -69,11 +86,39 @@ val zero_frame : t -> frame
     always COWs it. *)
 
 val alloc : t -> owner:int -> frame
-(** A fresh zero-filled frame owned by [owner]. *)
+(** A fresh zero-filled frame owned by [owner] — genuine demand-zero
+    materialisation, so a recycled buffer is re-zeroed here. *)
 
 val alloc_copy : t -> owner:int -> frame -> frame
 (** A fresh frame owned by [owner] whose contents copy the given frame; this
-    is the COW-fault service path and is counted in the metrics. *)
+    is the COW-fault service path and is counted in the metrics.  Under
+    [recycle] the backing buffer is pooled or uninitialised (never
+    zeroed): the blit overwrites every byte. *)
+
+val alloc_data : t -> owner:int -> string -> frame
+(** A fresh frame holding [data] (at most a page) followed by zeroes.
+    Under [recycle] only the tail beyond [data] is cleared. *)
+
+val free_frame : t -> frame -> unit
+(** Explicitly release a frame: its live slot is returned immediately and
+    (under [recycle]) its buffer joins the free list for the next
+    allocation.  The caller asserts no live page map, snapshot, or TLB can
+    reach the frame any more — see {!Addr_space.release_snapshot} for the
+    discipline that makes the assertion checkable.  Raises
+    [Invalid_argument] on a double free or on the zero frame; shared
+    frames must not be passed. *)
+
+val adopt_frame : t -> frame -> owner:int -> unit
+(** Transfer the frame to generation [owner] so the next store hits it in
+    place instead of COWing — the restore-last-reference fast path.  The
+    frame id is re-stamped (decode caches key on ids under the
+    frames-never-change-in-place invariant). *)
+
+val recycling : t -> bool
+val poisoning : t -> bool
+val set_poison : t -> bool -> unit
+val free_buffers : t -> int
+(** Buffers currently pooled in the free list. *)
 
 val frames_allocated : t -> int
 

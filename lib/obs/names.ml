@@ -12,6 +12,8 @@ let unmap = "mem.unmap"
 let share_flush = "mem.share_flush"
 let pressure = "mem.pressure"
 let out_of_frames = "mem.out_of_frames"
+let frame_recycle = "mem.frame_recycle" (* instant; a = free-list length *)
+let frame_adopt = "mem.frame_adopt" (* instant; a = frames adopted *)
 
 (* vcpu / decode cache (counter samples) *)
 let icache_misses = "vcpu.icache_misses"
@@ -28,6 +30,7 @@ let stop_kill = "stop.kill"
 (* snapshot lifecycle (instants; a = snapshot id, b = parent id or -1) *)
 let snap_capture = "snap.capture"
 let snap_restore = "snap.restore"
+let snap_release = "snap.release" (* instant; a = snapshot id, b = frames freed *)
 
 (* explorer / parallel *)
 let explorer_eval = "explorer.eval" (* span; a = snapshot id, b = instructions *)

@@ -11,6 +11,8 @@ val unmap : string
 val share_flush : string
 val pressure : string
 val out_of_frames : string
+val frame_recycle : string
+val frame_adopt : string
 val icache_misses : string
 val icache_slow : string
 val stop_guess : string
@@ -21,6 +23,7 @@ val stop_exit : string
 val stop_kill : string
 val snap_capture : string
 val snap_restore : string
+val snap_release : string
 val explorer_eval : string
 val worker : string
 val worker_eval : string

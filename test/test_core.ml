@@ -48,6 +48,30 @@ let counting_tree_exact () =
   check Alcotest.int "extensions = 3 * guesses" 120
     r.Explorer.stats.Core.Stats.extensions_pushed
 
+let recycling_is_invisible () =
+  (* Frame recycling (the default) must not change a single observable:
+     same transcript, same stop counts, same guest instruction count as
+     the GC-only baseline — while actually exercising the free list and
+     the DFS tail-child adopting restore. *)
+  let image = Workloads.Nqueens.program ~n:5 in
+  let on = Explorer.run_image image in
+  let off = Explorer.run_image ~recycle:false image in
+  check Alcotest.string "transcript identical" off.Explorer.transcript
+    on.Explorer.transcript;
+  check Alcotest.int "fails identical" off.Explorer.stats.Core.Stats.fails
+    on.Explorer.stats.Core.Stats.fails;
+  check Alcotest.int "instructions identical"
+    off.Explorer.stats.Core.Stats.instructions
+    on.Explorer.stats.Core.Stats.instructions;
+  check Alcotest.bool "tail children were adopted" true
+    (on.Explorer.stats.Core.Stats.adopting_restores > 0);
+  check Alcotest.bool "frames were recycled" true
+    (on.Explorer.stats.Core.Stats.mem.Mem.Mem_metrics.frames_recycled > 0);
+  check Alcotest.int "baseline recycles nothing" 0
+    off.Explorer.stats.Core.Stats.mem.Mem.Mem_metrics.frames_recycled;
+  check Alcotest.int "baseline adopts nothing" 0
+    off.Explorer.stats.Core.Stats.adopting_restores
+
 let strategy_scope_returns_zero_after_exhaustion () =
   (* Figure 1's protocol: the if-block runs with rax=1, and after the scope
      is exhausted the program continues with rax=0 and exits 77. *)
@@ -457,8 +481,10 @@ let explorer_survives_memory_pressure () =
     Workloads.Locality.program
       { depth = 4; branch = 3; touch_pages = 3; work = 5; arena_pages = 16 }
   in
-  (* Fault-free run on unbounded memory establishes the footprint. *)
-  let phys0 = Mem.Phys_mem.create ~track_live:true () in
+  (* Fault-free run on unbounded memory establishes the footprint.
+     Recycling off: the budget must undercut the GC-only peak, not the
+     (much smaller) eagerly-recycled one. *)
+  let phys0 = Mem.Phys_mem.create ~track_live:true ~recycle:false () in
   let base = Explorer.run (Libos.boot phys0 image) in
   let peak = Mem.Phys_mem.peak_frames_live phys0 in
   let capacity = max 24 (peak / 3) in
@@ -652,6 +678,8 @@ let tests =
   [ Alcotest.test_case "nqueens all sizes" `Quick nqueens_all_sizes;
     Alcotest.test_case "nqueens boards match host" `Quick nqueens_boards_match_host;
     Alcotest.test_case "counting tree exact" `Quick counting_tree_exact;
+    Alcotest.test_case "frame recycling is invisible" `Quick
+      recycling_is_invisible;
     Alcotest.test_case "scope returns 0 after exhaustion" `Quick
       strategy_scope_returns_zero_after_exhaustion;
     Alcotest.test_case "guess outside scope aborts" `Quick guess_outside_scope_aborts;

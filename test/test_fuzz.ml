@@ -23,7 +23,7 @@ let generated_programs_assemble () =
       Alcotest.failf "seed %d: assembly error: %s" seed message
   done
 
-(* The acceptance smoke run: a handful of programs through all five
+(* The acceptance smoke run: a handful of programs through all six
    pipeline comparisons.  Small budget and tree so the suite stays fast;
    the CLI (and CI's fuzz-smoke job) runs the full budget. *)
 let oracle_smoke () =

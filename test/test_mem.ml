@@ -576,6 +576,274 @@ let injected_alloc_fault_single_shot () =
   let f4 = Phys.alloc phys ~owner:1 in
   check Alcotest.int "subsequent allocations unaffected" 4 f4.Phys.id
 
+(* --- Frame recycling: free list, poison, explicit lifecycle ----------- *)
+
+let crossing_u64_is_chunked () =
+  (* Regression: a page-crossing write_u64/read_u64 used to fall back to a
+     per-byte loop with a full translation each byte; it must now cost at
+     most one walk per page touched (2 for a crossing access). *)
+  let check_one access label =
+    let phys = Phys.create () in
+    let t = As.create phys in
+    As.map_data t ~vpn:1 "x";
+    As.map_data t ~vpn:2 "y";
+    let addr = (2 * Page.size) - 3 in
+    let m0 = Mem.Mem_metrics.copy (Phys.metrics phys) in
+    access t addr;
+    let d = Mem.Mem_metrics.diff (Phys.metrics phys) m0 in
+    check Alcotest.bool (label ^ ": at most 2 walks") true
+      (d.Mem.Mem_metrics.pt_walks <= 2);
+    check Alcotest.bool (label ^ ": at most 2 tlb misses") true
+      (d.Mem.Mem_metrics.tlb_misses <= 2)
+  in
+  check_one (fun t addr -> As.write_u64 t addr 0x1122_3344_5566_7788) "write";
+  check_one (fun t addr -> ignore (As.read_u64 t addr)) "read"
+
+let free_list_recycles_buffers () =
+  let phys = Phys.create () in
+  let f = Phys.alloc phys ~owner:1 in
+  Bytes.set f.Phys.bytes 0 'z';
+  Phys.free_frame phys f;
+  check Alcotest.int "buffer pooled" 1 (Phys.free_buffers phys);
+  check Alcotest.bool "marked freed" true f.Phys.freed;
+  (match Phys.free_frame phys f with
+  | () -> Alcotest.fail "double free must raise"
+  | exception Invalid_argument _ -> ());
+  (match Phys.free_frame phys (Phys.zero_frame phys) with
+  | () -> Alcotest.fail "freeing the zero frame must raise"
+  | exception Invalid_argument _ -> ());
+  let g = Phys.alloc phys ~owner:2 in
+  check Alcotest.int "pool drained" 0 (Phys.free_buffers phys);
+  check Alcotest.bool "same buffer reused" true (g.Phys.bytes == f.Phys.bytes);
+  check Alcotest.bool "fresh id (decode caches key on ids)" true
+    (g.Phys.id <> f.Phys.id);
+  check Alcotest.int "demand-zero alloc re-zeroes the dirty buffer" 0
+    (Char.code (Bytes.get g.Phys.bytes 0));
+  let m = Phys.metrics phys in
+  check Alcotest.int "free counted" 1 m.Mem.Mem_metrics.frames_freed;
+  check Alcotest.int "recycle counted" 1 m.Mem.Mem_metrics.frames_recycled
+
+let no_pool_without_recycling () =
+  let phys = Phys.create ~recycle:false () in
+  let f = Phys.alloc phys ~owner:1 in
+  Phys.free_frame phys f;
+  check Alcotest.int "nothing pooled" 0 (Phys.free_buffers phys);
+  check Alcotest.int "free still counted" 1
+    (Phys.metrics phys).Mem.Mem_metrics.frames_freed;
+  check Alcotest.int "no elision in the baseline cost model" 0
+    (let g = Phys.alloc_data phys ~owner:1 "d" in
+     ignore (Sys.opaque_identity g);
+     (Phys.metrics phys).Mem.Mem_metrics.zero_fills_elided)
+
+let poison_marks_freed_buffers () =
+  let phys = Phys.create ~poison:true () in
+  let f = Phys.alloc phys ~owner:1 in
+  Bytes.set f.Phys.bytes 17 'q';
+  Phys.free_frame phys f;
+  check Alcotest.int "poison byte visible through stale aliases" 0xa5
+    (Char.code (Bytes.get f.Phys.bytes 17))
+
+let recycled_data_frame_clears_tail () =
+  (* alloc_data elides the zero fill but must still clear the tail beyond
+     the payload when handed a dirty recycled buffer. *)
+  let phys = Phys.create () in
+  let f = Phys.alloc phys ~owner:1 in
+  Bytes.fill f.Phys.bytes 0 Page.size '\xff';
+  Phys.free_frame phys f;
+  let g = Phys.alloc_data phys ~owner:2 "hi" in
+  check Alcotest.bool "recycled" true (g.Phys.bytes == f.Phys.bytes);
+  check Alcotest.string "payload installed" "hi"
+    (Bytes.sub_string g.Phys.bytes 0 2);
+  check Alcotest.int "tail head cleared" 0 (Char.code (Bytes.get g.Phys.bytes 2));
+  check Alcotest.int "tail end cleared" 0
+    (Char.code (Bytes.get g.Phys.bytes (Page.size - 1)));
+  check Alcotest.bool "elision counted" true
+    ((Phys.metrics phys).Mem.Mem_metrics.zero_fills_elided >= 1)
+
+let release_snapshot_frees_delta () =
+  let phys = Phys.create () in
+  let t = As.create phys in
+  As.map_data t ~vpn:0 "a";
+  As.map_data t ~vpn:1 "b";
+  let parent = As.snapshot t in
+  As.write_u8 t 0 1;
+  As.write_u8 t Page.size 2;
+  let child = As.snapshot t in
+  As.restore t parent;
+  let freed = As.release_snapshot ~phys ~parent child in
+  check Alcotest.int "delta-vs-parent freed" 2 freed;
+  check Alcotest.int "buffers pooled" 2 (Phys.free_buffers phys);
+  check Alcotest.int "parent branch intact" (Char.code 'a') (As.read_u8 t 0);
+  check Alcotest.int "parent branch intact 2" (Char.code 'b')
+    (As.read_u8 t Page.size)
+
+let discard_segment_frees_cow_tail () =
+  let phys = Phys.create () in
+  let t = As.create phys in
+  As.map_data t ~vpn:0 "a";
+  let s = As.snapshot t in
+  let epoch = As.epoch t in
+  As.write_u8 t 0 9;
+  check Alcotest.int "no snapshot grabbed the segment" epoch (As.epoch t);
+  let n = As.discard_segment t ~base:s in
+  check Alcotest.int "one COW frame discarded" 1 n;
+  As.restore t s;
+  check Alcotest.int "base intact after the mandated restore" (Char.code 'a')
+    (As.read_u8 t 0);
+  check Alcotest.int "buffer pooled" 1 (Phys.free_buffers phys)
+
+let restore_adopt_writes_in_place () =
+  let phys = Phys.create () in
+  let t = As.create phys in
+  As.map_data t ~vpn:0 "a";
+  let parent = As.snapshot t in
+  As.write_u8 t 0 (Char.code 'b');
+  let child = As.snapshot t in
+  As.restore t parent;
+  let m0 = Mem.Mem_metrics.copy (Phys.metrics phys) in
+  let adopted = As.restore_adopt t ~parent child in
+  check Alcotest.int "one frame adopted" 1 adopted;
+  check Alcotest.int "child contents visible" (Char.code 'b') (As.read_u8 t 0);
+  As.write_u8 t 0 (Char.code 'c');
+  let d = Mem.Mem_metrics.diff (Phys.metrics phys) m0 in
+  check Alcotest.int "write hits the adopted frame in place" 0
+    d.Mem.Mem_metrics.cow_faults;
+  check Alcotest.int "in-place write landed" (Char.code 'c') (As.read_u8 t 0);
+  As.restore t parent;
+  check Alcotest.int "parent never saw any of it" (Char.code 'a')
+    (As.read_u8 t 0)
+
+(* Random map/write/snapshot/restore/release interleavings on a poisoned
+   allocator, against a first-byte model.  A release is only issued when
+   the snapshot is provably dead (no live children, current map elsewhere,
+   has a parent) — exactly the discipline [Core.Snapshot]'s refcounts
+   enforce — and then no byte readable through any live snapshot or the
+   current map may come from a freed (poisoned, recyclable) buffer. *)
+type rop =
+  | R_map of int
+  | R_map_data of int * int
+  | R_write of int * int
+  | R_capture
+  | R_restore of int
+  | R_release of int
+
+let rop_gen =
+  QCheck2.Gen.(
+    let vp = int_range 0 7 in
+    (* values stay below 0x80 so the 0xa5 poison can never be legit data *)
+    let bv = map (fun b -> b land 0x7f) small_int in
+    oneof
+      [ map (fun v -> R_map v) vp;
+        map2 (fun v b -> R_map_data (v, b)) vp bv;
+        map2 (fun v b -> R_write (v, b)) vp bv;
+        return R_capture;
+        map (fun k -> R_restore k) small_int;
+        map (fun k -> R_release k) small_int ])
+
+type rnode = {
+  n_snap : As.snapshot;
+  n_model : int option array;       (* first byte per vpn; None = unmapped *)
+  n_parent : int option;            (* index into nodes; None = root *)
+  mutable n_children : int;
+  mutable n_released : bool;
+}
+
+let released_frames_never_alias_live_state =
+  qtest ~count:300 "released delta frames never alias live-readable bytes"
+    (QCheck2.Gen.list_size (QCheck2.Gen.int_range 1 60) rop_gen)
+    (fun script ->
+      let phys = Phys.create ~poison:true () in
+      let t = As.create phys in
+      let model = Array.make 8 None in
+      As.map_data t ~vpn:0 "s";
+      model.(0) <- Some (Char.code 's');
+      let nodes = ref [] in          (* newest first *)
+      let nnodes = ref 0 in
+      let node i = List.nth !nodes (!nnodes - 1 - i) in
+      let add_node parent =
+        (match parent with
+        | Some p -> (node p).n_children <- (node p).n_children + 1
+        | None -> ());
+        nodes :=
+          { n_snap = As.snapshot t; n_model = Array.copy model;
+            n_parent = parent; n_children = 0; n_released = false }
+          :: !nodes;
+        incr nnodes;
+        !nnodes - 1
+      in
+      let current = ref (add_node None) in    (* root: never released *)
+      List.iter
+        (fun op ->
+          match op with
+          | R_map vpn ->
+            As.map_zero t ~vpn;
+            model.(vpn) <- Some 0
+          | R_map_data (vpn, b) ->
+            As.map_data t ~vpn (String.make 2 (Char.chr b));
+            model.(vpn) <- Some b
+          | R_write (vpn, b) -> (
+            match model.(vpn) with
+            | Some _ ->
+              As.write_u8 t (Page.addr_of_vpn vpn) b;
+              model.(vpn) <- Some b
+            | None -> ())
+          | R_capture -> current := add_node (Some !current)
+          | R_restore k ->
+            let live = List.filter (fun n -> not n.n_released) !nodes in
+            if live <> [] then begin
+              let n = List.nth live (k mod List.length live) in
+              As.restore t n.n_snap;
+              Array.blit n.n_model 0 model 0 8;
+              (* find its index back *)
+              let idx = ref (-1) in
+              List.iteri
+                (fun j m -> if m == n then idx := !nnodes - 1 - j)
+                !nodes;
+              current := !idx
+            end
+          | R_release k ->
+            let dead_candidates = ref [] in
+            List.iteri
+              (fun j n ->
+                let i = !nnodes - 1 - j in
+                if
+                  (not n.n_released) && n.n_children = 0 && i <> !current
+                  && n.n_parent <> None
+                then dead_candidates := i :: !dead_candidates)
+              !nodes;
+            match !dead_candidates with
+            | [] -> ()
+            | cs ->
+              let i = List.nth cs (k mod List.length cs) in
+              let n = node i in
+              let p = node (Option.get n.n_parent) in
+              ignore
+                (As.release_snapshot ~phys ~parent:p.n_snap n.n_snap);
+              n.n_released <- true;
+              p.n_children <- p.n_children - 1)
+        script;
+      (* Every live snapshot (and the map restored from it) must still read
+         exactly its model: a freed frame reachable from live state would
+         show the 0xa5 poison instead. *)
+      List.for_all
+        (fun n ->
+          n.n_released
+          ||
+          (As.restore t n.n_snap;
+           Array.to_list n.n_model
+           |> List.mapi (fun vpn m -> vpn, m)
+           |> List.for_all (fun (vpn, m) ->
+                  match m with
+                  | Some b -> (
+                    try As.read_u8 t (Page.addr_of_vpn vpn) = b
+                    with As.Page_fault _ -> false)
+                  | None -> (
+                    try
+                      ignore (As.read_u8 t (Page.addr_of_vpn vpn));
+                      false
+                    with As.Page_fault _ -> true))))
+        !nodes)
+
 let untracked_by_default () =
   let phys = Phys.create () in
   let _f = Phys.alloc phys ~owner:1 in
@@ -618,6 +886,23 @@ let tests =
     Alcotest.test_case "injected alloc fault is single-shot" `Quick
       injected_alloc_fault_single_shot;
     Alcotest.test_case "live tracking is opt-in" `Quick untracked_by_default;
+    Alcotest.test_case "crossing u64 is chunked, not per-byte" `Quick
+      crossing_u64_is_chunked;
+    Alcotest.test_case "free list recycles buffers" `Quick
+      free_list_recycles_buffers;
+    Alcotest.test_case "no pool without recycling" `Quick
+      no_pool_without_recycling;
+    Alcotest.test_case "poison marks freed buffers" `Quick
+      poison_marks_freed_buffers;
+    Alcotest.test_case "recycled data frame clears tail" `Quick
+      recycled_data_frame_clears_tail;
+    Alcotest.test_case "release_snapshot frees the delta" `Quick
+      release_snapshot_frees_delta;
+    Alcotest.test_case "discard_segment frees the COW tail" `Quick
+      discard_segment_frees_cow_tail;
+    Alcotest.test_case "restore_adopt writes in place" `Quick
+      restore_adopt_writes_in_place;
+    released_frames_never_alias_live_state;
     backends_agree;
     sharing_matches_model;
     write_read_model ]
