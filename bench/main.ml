@@ -700,21 +700,22 @@ let e10 () =
 (* ------------------------------------------------------------------ *)
 
 let e11 () =
+  let host_cores = Domain.recommended_domain_count () in
   U.header "E11  true multicore exploration: OCaml 5 domains"
     (Printf.sprintf
        "The `Domains backend of Core.Parallel runs one OCaml domain per \
-        worker, each owning a private physical memory; extensions travel \
-        between domains as portable page deltas through a mutex-protected \
-        work queue.  Wall-clock speedup requires real cores: this host \
-        reports %d (Domain.recommended_domain_count), so on a 1-core host \
-        the curve is flat and only correctness is exercised.  'match' \
-        checks the terminal multiset (fails/exits and solution lines) \
-        against the cooperative backend."
-       (Domain.recommended_domain_count ()));
-  let row = U.row_format [ 8; 8; 9; 9; 8; 12; 6; 20 ] in
+        worker, each owning a private physical memory with the full frame \
+        recycling lifecycle, pulling from a sharded work-stealing queue \
+        (steal-half batching).  Wall-clock speedup requires real cores: \
+        this host reports %d (Domain.recommended_domain_count); speedup \
+        assertions on the work-heavy rows are gated on that count.  \
+        Terminal-set identity with the cooperative backend is asserted on \
+        every row."
+       host_cores);
+  let row = U.row_format [ 8; 8; 9; 9; 8; 12; 8; 10; 20 ] in
   row
-    [ "workload"; "domains"; "ms"; "speedup"; "eff."; "fails/exits"; "match";
-      "items/domain" ];
+    [ "workload"; "domains"; "ms"; "speedup"; "eff."; "fails/exits"; "steals";
+      "recycled"; "items/domain" ];
   let solution_lines transcript =
     List.sort compare
       (List.filter (fun l -> l <> "") (String.split_on_char '\n' transcript))
@@ -729,13 +730,22 @@ let e11 () =
     Workloads.Guest_dpll.program ~num_vars:cnf.Workloads.Cnf_gen.num_vars
       cnf.Workloads.Cnf_gen.clauses
   in
+  (* [work_heavy] rows have enough guest work per path for parallelism to
+     pay; they carry the speedup assertions (on capable hosts) and get
+     best-of-3 timing to keep those assertions off the noise floor. *)
   let jobs =
-    [ "queens", Workloads.Nqueens.program ~n:(if !quick then 6 else 7);
-      "dpll", dpll_image ]
+    [ "queens", Workloads.Nqueens.program ~n:(if !quick then 6 else 7), false;
+      "dpll", dpll_image, false;
+      "locality",
+      Workloads.Locality.program
+        { Workloads.Locality.depth = (if !quick then 3 else 4); branch = 3;
+          touch_pages = 2; work = (if !quick then 2_000 else 10_000);
+          arena_pages = 8 },
+      true ]
   in
   let json_rows = ref [] in
   List.iter
-    (fun (name, image) ->
+    (fun (name, image, work_heavy) ->
       let reference =
         Core.Parallel.run
           ~config:{ Core.Parallel.default_config with Core.Parallel.workers = 4 }
@@ -754,39 +764,113 @@ let e11 () =
               Core.Parallel.workers = domains;
               backend = `Domains }
           in
-          let ms, r = U.time_once_ms (fun () -> Core.Parallel.run ~config image) in
+          let run_once () =
+            U.time_once_ms (fun () -> Core.Parallel.run ~config image)
+          in
+          let ms, r =
+            if work_heavy && not !quick then
+              List.fold_left
+                (fun (best_ms, best_r) () ->
+                  let ms, r = run_once () in
+                  if ms < best_ms then (ms, r) else (best_ms, best_r))
+                (run_once ()) [ (); () ]
+            else run_once ()
+          in
           (match r.Core.Parallel.outcome with
           | Explorer.Completed _ -> ()
           | Explorer.Stopped_first_exit _ | Explorer.Aborted _ ->
             failwith "E11: unexpected outcome");
+          if signature r <> signature reference then
+            failwith
+              (Printf.sprintf
+                 "E11: %s at %d domains diverges from the cooperative \
+                  terminal set"
+                 name domains);
           if domains = 1 then base_ms := ms;
           let speedup = !base_ms /. ms in
+          if work_heavy && domains = 2 && host_cores >= 2 && speedup < 1.0 then
+            failwith
+              (Printf.sprintf "E11: %s slower at 2 domains (%.2fx)" name speedup);
+          if work_heavy && domains = 4 && host_cores >= 4 && speedup < 2.0 then
+            failwith
+              (Printf.sprintf "E11: %s below 2x at 4 domains (%.2fx)" name
+                 speedup);
+          let stats = r.Core.Parallel.stats in
+          let recycled = stats.Core.Stats.mem.Mem.Mem_metrics.frames_recycled in
+          (* The regression this PR fixes: per-domain rows reading
+             frames_recycled = 0.  Any domain that dirtied pages over
+             several paths must show reuse. *)
+          let per_domain =
+            Array.to_list
+              (Array.mapi
+                 (fun dom reg ->
+                   let get = Obs.Metrics.get_counter reg in
+                   let evaluated = get "explorer.extensions_evaluated" in
+                   let dom_recycled = get "mem.frames_recycled" in
+                   (* a domain that kept exploring after its first frees
+                      must have hit the free list; small item counts can
+                      legitimately free only on their last path *)
+                   if
+                     evaluated >= 10
+                     && get "mem.frames_freed" > 0
+                     && dom_recycled = 0
+                   then
+                     failwith
+                       (Printf.sprintf
+                          "E11: %s at %d domains: domain %d evaluated %d \
+                           extensions, freed frames, recycled nothing"
+                          name domains dom evaluated);
+                   Obs.Json.Obj
+                     [ "domain", Obs.Json.Int dom;
+                       "extensions_evaluated", Obs.Json.Int evaluated;
+                       "frames_recycled", Obs.Json.Int dom_recycled;
+                       "frames_freed", Obs.Json.Int (get "mem.frames_freed");
+                       "adopting_restores",
+                       Obs.Json.Int (get "explorer.adopting_restores");
+                       "steals", Obs.Json.Int (get "explorer.steals");
+                       "tlb_shootdowns",
+                       Obs.Json.Int (get "mem.tlb_shootdowns") ])
+                 r.Core.Parallel.domain_metrics)
+          in
           let reg = Obs.Metrics.create () in
-          Core.Stats.publish r.Core.Parallel.stats reg;
+          Core.Stats.publish stats reg;
+          let steal_batches =
+            Obs.Metrics.get_counter r.Core.Parallel.domain_metrics.(0)
+              "queue.steal_batches"
+          in
+          let stolen_items =
+            Obs.Metrics.get_counter r.Core.Parallel.domain_metrics.(0)
+              "queue.stolen_items"
+          in
           json_rows :=
             Obs.Json.Obj
               [ "workload", Obs.Json.Str name;
+                "work_heavy", Obs.Json.Bool work_heavy;
                 "domains", Obs.Json.Int domains;
                 "ms", Obs.Json.Float ms;
                 "speedup", Obs.Json.Float speedup;
-                "matches_reference",
-                Obs.Json.Bool (signature r = signature reference);
+                "matches_reference", Obs.Json.Bool true;
+                "steals", Obs.Json.Int stats.Core.Stats.steals;
+                "steal_batches", Obs.Json.Int steal_batches;
+                "stolen_items", Obs.Json.Int stolen_items;
+                "frames_recycled", Obs.Json.Int recycled;
+                "per_domain", Obs.Json.Arr per_domain;
                 "metrics", Obs.Metrics.to_json reg ]
             :: !json_rows;
           row
             [ name; U.fint domains; U.fms ms; U.fratio speedup;
               Printf.sprintf "%.0f%%" (100.0 *. speedup /. Float.of_int domains);
-              Printf.sprintf "%d/%d" r.Core.Parallel.stats.Core.Stats.fails
-                r.Core.Parallel.stats.Core.Stats.exits;
-              (if signature r = signature reference then "yes" else "NO");
+              Printf.sprintf "%d/%d" stats.Core.Stats.fails
+                stats.Core.Stats.exits;
+              U.fint stats.Core.Stats.steals;
+              U.fint recycled;
               String.concat "/"
                 (Array.to_list (Array.map string_of_int r.Core.Parallel.busy_rounds))
             ])
         [ 1; 2; 4; 8 ])
     jobs;
   U.emit_json ~experiment:"E11" ~quick:!quick
-    ~params:
-      [ "host_cores", Obs.Json.Int (Domain.recommended_domain_count ()) ]
+    ~params:[ "host_cores", Obs.Json.Int host_cores ]
     (List.rev !json_rows)
 
 (* ------------------------------------------------------------------ *)

@@ -34,6 +34,7 @@ type result = {
   rounds : int;
   busy_rounds : int array;
   stats : Stats.t;
+  domain_metrics : Obs.Metrics.t array;
 }
 
 exception Abort of string
@@ -416,32 +417,34 @@ let run_cooperative ~(config : config) (image : Isa.Asm.image) =
     terminals = List.rev !terminals;
     rounds = !rounds;
     busy_rounds;
-    stats }
+    stats;
+    domain_metrics = [||] }
 
 (* ------------------------------------------------------------------ *)
 (* Domains backend: one OCaml 5 domain per worker, each with a        *)
-(* domain-private Phys_mem.  Snapshots never cross domains; work      *)
-(* items carry a portable, delta-encoded copy of the machine state.   *)
+(* domain-private Phys_mem running the full frame-recycling           *)
+(* lifecycle (free list, zero-fill elision, release/adopt).  Work     *)
+(* items carry the producer's snapshot by reference through the       *)
+(* sharded queue: the producer's own pops restore it directly         *)
+(* (adopting its frames when it is the last reference), a thief       *)
+(* rebuilds the state as its own root plus a private copy of the      *)
+(* delta pages, and the reference travels back through the            *)
+(* producer's mailbox so refcounts stay single-writer.                *)
 (* ------------------------------------------------------------------ *)
 
-(* A portable machine state: immutable strings and persistent values only,
-   safe to hand to another domain through the work-queue mutex.  Pages are
-   encoded as a delta against the scope root, so the item costs O(pages
-   the path dirtied), not O(address-space size) — the same property the
-   snapshot encoding has locally. *)
-type pstate = {
-  p_regs : Cpu.saved;
-  p_os : Libos.os_state;
-  p_pages : (int * string) list;  (* vpn, contents; differs from the root *)
-  p_unmapped : int list;          (* mapped at the root, unmapped here *)
-}
-
 type item = {
-  it_state : pstate;
+  it_snap : Snapshot.t;
+      (* the producer's snapshot.  To the producing domain this is
+         directly restorable; to every other domain it is an immutable
+         description — saved registers, OS state, and a page map whose
+         frames belong to retired generations — pinned against reuse by
+         the extension ref the producer took at push time. *)
+  it_root_map : As.snapshot;
+      (* the producer's root page map: the base [it_snap]'s delta is
+         computed against when a thief rebuilds the state *)
   it_index : int;
   it_meta : Frontier.meta;
   it_origin : int;  (* producing domain *)
-  it_serial : int;  (* producer-local capture serial: the fast-path key *)
   it_retries : int; (* crash-recovery attempts already spent on this item *)
 }
 
@@ -453,8 +456,35 @@ type root_state = {
   r_os : Libos.os_state;
 }
 
-(* State shared by all worker domains.  The queue provides the
-   happens-before edges for everything an item references. *)
+(* Cross-domain snapshot-reference returns.  Only the owner domain ever
+   mutates its snapshots' refcounts, so a consumer of a foreign item posts
+   the snapshot here when it retires the path and the owner releases it at
+   its next retire.  The post happens strictly after the consumer stopped
+   reading the snapshot's frames, so a release that frees them cannot race
+   an import. *)
+module Mailbox = struct
+  type t = { lock : Mutex.t; mutable posted : Snapshot.t list }
+
+  let create () = { lock = Mutex.create (); posted = [] }
+
+  let post mb s =
+    Mutex.lock mb.lock;
+    mb.posted <- s :: mb.posted;
+    Mutex.unlock mb.lock
+
+  let drain mb =
+    if mb.posted == [] then [] (* racy peek: a miss surfaces next drain *)
+    else begin
+      Mutex.lock mb.lock;
+      let l = mb.posted in
+      mb.posted <- [];
+      Mutex.unlock mb.lock;
+      l
+    end
+end
+
+(* State shared by all worker domains.  The queue's shard mutexes provide
+   the happens-before edges for everything an item references. *)
 type shared = {
   queue : item Work_queue.t;
   outcome_cell : Explorer.outcome option Atomic.t;
@@ -463,18 +493,24 @@ type shared = {
   sh_mode : [ `Run_to_completion | `First_exit ];
   sh_max_extensions : int;
   sh_retry_budget : int;
+  sh_recycle : bool;
+      (* eager frame recycling on every domain; off under fault injection,
+         exactly like the cooperative backend *)
+  sh_mailboxes : Mailbox.t array;  (* indexed by producing domain *)
   sh_inj : Inject.t;  (* fire-state is atomic: shared by all domains *)
 }
 
-let make_item_frontier : Explorer.strategy -> item Frontier.t option = function
-  | `Dfs -> Some (Frontier.dfs ())
-  | `Bfs -> Some (Frontier.bfs ())
-  | `Astar -> Some (Frontier.astar ())
-  | `Sma capacity -> Some (Frontier.sma ~capacity ())
-  | `Wastar weight -> Some (Frontier.wastar ~weight ())
-  | `Beam width -> Some (Frontier.beam ~width ())
-  | `Dfs_bounded max_depth -> Some (Frontier.dfs_bounded ~max_depth ())
-  | `Random seed -> Some (Frontier.random ~seed ())
+(* One frontier per queue shard: the factory runs once per domain. *)
+let make_item_frontier :
+    Explorer.strategy -> (unit -> item Frontier.t) option = function
+  | `Dfs -> Some Frontier.dfs
+  | `Bfs -> Some Frontier.bfs
+  | `Astar -> Some Frontier.astar
+  | `Sma capacity -> Some (fun () -> Frontier.sma ~capacity ())
+  | `Wastar weight -> Some (fun () -> Frontier.wastar ~weight ())
+  | `Beam width -> Some (fun () -> Frontier.beam ~width ())
+  | `Dfs_bounded max_depth -> Some (fun () -> Frontier.dfs_bounded ~max_depth ())
+  | `Random seed -> Some (fun () -> Frontier.random ~seed ())
   | `Custom _ -> None
 
 let page_string aspace vpn =
@@ -508,51 +544,21 @@ let rehydrate_root image (root : root_state) =
   Libos.os_restore m root.r_os;
   phys, m
 
-(* Delta-encode a freshly captured snapshot against this domain's root.
-   [sym_diff] prunes physically-equal subtrees, so the cost is O(pages the
-   path dirtied); code and untouched data never show up.  Frames inside a
-   captured snapshot belong to retired generations and are never written in
-   place, so copying their bytes here is race-free by construction. *)
-let delta_pstate ~(root : Snapshot.t) (snap : Snapshot.t) =
-  let base = As.snapshot_map_for_debug root.Snapshot.mem in
-  let cur = As.snapshot_map_for_debug snap.Snapshot.mem in
-  let diff = Stdx.Ptmap.sym_diff (fun a b -> a == b) base cur in
-  List.fold_left
-    (fun st (vpn, _, now) ->
-      match (now : Mem.Phys_mem.frame option) with
-      | Some f -> { st with p_pages = (vpn, Bytes.to_string f.Mem.Phys_mem.bytes) :: st.p_pages }
-      | None -> { st with p_unmapped = vpn :: st.p_unmapped })
-    { p_regs = snap.Snapshot.regs;
-      p_os = snap.Snapshot.os;
-      p_pages = [];
-      p_unmapped = [] }
-    diff
-
-(* Rebuild a foreign item's state on this domain's machine: restore the
-   local root, then apply the delta. *)
-let apply_item (m : Libos.t) ~(root : Snapshot.t) (it : item) =
-  Snapshot.restore m root;
-  List.iter (fun vpn -> As.unmap m.Libos.aspace ~vpn) it.it_state.p_unmapped;
-  List.iter
-    (fun (vpn, data) -> As.map_data m.Libos.aspace ~vpn data)
-    it.it_state.p_pages;
-  Cpu.load m.Libos.cpu it.it_state.p_regs;
-  Libos.os_restore m it.it_state.p_os
-
 (* The per-domain evaluation loop.  [entry] is [`Root] for the domain that
    natively carries the scope's root path (counted by the queue's
    [initial_paths]), [`Take] for domains that start by pulling work. *)
-let eval_domain sh ~dom ~(machine : Libos.t) ~(d_root : Snapshot.t)
+let eval_domain sh ~dom ~(machine : Libos.t) ~phys ~(d_root : Snapshot.t)
     ~(st : Stats.t) ~buf ~terminals ~items ~entry =
   let inj = sh.sh_inj in
+  let aspace = machine.Libos.aspace in
+  let recycle = sh.sh_recycle && Mem.Phys_mem.recycling phys in
   let marker = ref (Libos.stdout_chunks machine) in
   let depth = ref 0 in
   let pending_hint = ref 0 in
   let cur_snap : Snapshot.t option ref = ref None in
-  let next_serial = ref 0 in
-  (* Producer-local fast path: items this domain pushed and later pops
-     itself restore the original snapshot instead of rehydrating. *)
-  let cache : (int, Snapshot.t) Hashtbl.t = Hashtbl.create 64 in
+  let seg_epoch = ref (-1) in
+  (* this domain's aspace epoch right after the last [prepare]; see
+     [Addr_space.discard_segment] *)
 
   let harvest () =
     let cur = Libos.stdout_chunks machine in
@@ -587,25 +593,87 @@ let eval_domain sh ~dom ~(machine : Libos.t) ~(d_root : Snapshot.t)
       max st.Stats.max_live_snapshots (frontier_len + lineage)
   in
 
-  (* Put the machine in the item's entry state: restore (fast path) or
-     rebuild (root + delta), then deliver the extension number. *)
+  (* Give an item's consumption ref back.  Own snapshots release directly;
+     foreign ones travel through the producer's mailbox, so a snapshot's
+     refcounts are only ever mutated by the domain that owns it. *)
+  let return_ref (it : item) =
+    if it.it_origin = dom then Snapshot.release_ext ~phys it.it_snap
+    else Mailbox.post sh.sh_mailboxes.(it.it_origin) it.it_snap
+  in
+  let drain_mailbox () =
+    List.iter (Snapshot.release_ext ~phys) (Mailbox.drain sh.sh_mailboxes.(dom))
+  in
+  (* Evicted extensions will never run: give their refs back.  (Any
+     snapshot on a busy path's lineage stays pinned by a live child or the
+     path's own unreleased ref.) *)
+  let drop_evicted () =
+    match Work_queue.drain_dropped sh.queue with
+    | [] -> ()
+    | dropped -> if recycle then List.iter return_ref dropped
+  in
+
+  (* Put the machine in the item's entry state and deliver the extension
+     number.  Own items restore their snapshot directly — adopting its
+     frames when this item is the last reference anywhere.  Foreign items
+     restore the local root replica and graft a private copy of the
+     producer's delta pages on top; the consumption ref (returned only at
+     retire, so a crash-requeue keeps the pin) holds those frames immutable
+     in retired generations for the whole read. *)
   let prepare (it : item) =
-    (match
-       if it.it_origin = dom then Hashtbl.find_opt cache it.it_serial else None
-     with
-    | Some snap ->
-      Snapshot.restore machine snap;
+    cur_snap := None;
+    seg_epoch := -1;
+    if it.it_origin = dom then begin
+      let snap = it.it_snap in
+      if recycle && Snapshot.sole_extension snap then begin
+        Snapshot.restore_adopting machine snap;
+        st.Stats.adopting_restores <- st.Stats.adopting_restores + 1
+      end
+      else Snapshot.restore machine snap;
       cur_snap := Some snap
-    | None ->
-      (* Rehydration: the work-stealing path — this domain rebuilds a
-         state another domain (or an evicted cache entry) produced. *)
+    end
+    else begin
+      st.Stats.steals <- st.Stats.steals + 1;
       if Obs.Trace.enabled () then
         Obs.Trace.instant ~a:it.it_origin ~b:dom Obs.Names.queue_steal;
-      apply_item machine ~root:d_root it;
-      cur_snap := None);
+      Snapshot.restore machine d_root;
+      ignore
+        (As.import_delta aspace ~base:it.it_root_map
+           ~target:it.it_snap.Snapshot.mem);
+      Cpu.load machine.Libos.cpu it.it_snap.Snapshot.regs;
+      Libos.os_restore machine it.it_snap.Snapshot.os
+    end;
+    seg_epoch := As.epoch aspace;
     marker := Libos.stdout_chunks machine;
     Cpu.set machine.Libos.cpu Reg.rax it.it_index;
     depth := it.it_meta.Frontier.depth
+  in
+
+  (* Free the path segment's COW tail — the frames dirtied since [prepare]
+     — unless a capture froze it (the epoch moved).  For a foreign segment
+     the base is the local root, so the imported delta pages are freed
+     along with the tail. *)
+  let discard_tail () =
+    if recycle && !seg_epoch >= 0 && As.epoch aspace = !seg_epoch then begin
+      let base =
+        match !cur_snap with
+        | Some s -> s.Snapshot.mem
+        | None -> d_root.Snapshot.mem
+      in
+      ignore (As.discard_segment aspace ~base)
+    end
+  in
+
+  (* End of a path segment: free its COW tail, give the consumption ref
+     back, and release whatever refs foreign consumers have returned to
+     this domain meanwhile. *)
+  let retire (it : item) =
+    if recycle then begin
+      discard_tail ();
+      return_ref it;
+      drain_mailbox ()
+    end;
+    cur_snap := None;
+    seg_epoch := -1
   in
 
   (* Run the current path to its terminal scheduling event.  Returns
@@ -639,27 +707,29 @@ let eval_domain sh ~dom ~(machine : Libos.t) ~(d_root : Snapshot.t)
         record Explorer.Fail ""
       end
       else begin
+        (* A foreign segment's capture parents to the local root replica —
+           physically right (the machine's map derives from it) and it
+           makes the foreign subtree recyclable on this domain. *)
+        let parent = match !cur_snap with Some s -> s | None -> d_root in
         let snap =
-          Snapshot.capture ~ids:sh.sh_ids ?parent:!cur_snap ~depth:!depth machine
+          Snapshot.capture ~ids:sh.sh_ids ~parent ~depth:!depth machine
         in
         st.Stats.guesses <- st.Stats.guesses + 1;
         st.Stats.snapshots_created <- st.Stats.snapshots_created + 1;
-        let serial = !next_serial in
-        incr next_serial;
-        if Hashtbl.length cache > 4096 then Hashtbl.reset cache;
-        Hashtbl.replace cache serial snap;
-        let state = delta_pstate ~root:d_root snap in
         let meta = { Frontier.depth = !depth + 1; hint = !pending_hint } in
         pending_hint := 0;
-        Work_queue.push_batch sh.queue
+        (* refs must exist before another domain can pop the items *)
+        if recycle then Snapshot.retain ~n snap;
+        Work_queue.push_batch sh.queue ~dom
           (List.init n (fun index ->
                ( meta,
-                 { it_state = state;
+                 { it_snap = snap;
+                   it_root_map = d_root.Snapshot.mem;
                    it_index = index;
                    it_meta = meta;
                    it_origin = dom;
-                   it_serial = serial;
                    it_retries = 0 } )));
+        drop_evicted ();
         st.Stats.extensions_pushed <- st.Stats.extensions_pushed + n;
         track_live ();
         if Work_queue.pushed sh.queue > sh.sh_max_extensions then
@@ -700,14 +770,25 @@ let eval_domain sh ~dom ~(machine : Libos.t) ~(d_root : Snapshot.t)
      crash point. *)
   let run_guarded (origin : item) =
     (match (try `Ok (prepare origin; path ()) with e -> `Crash e) with
-    | `Ok () -> ()
+    | `Ok () -> retire origin
     | `Crash e ->
-      if origin.it_retries < sh.sh_retry_budget - 1 then begin
+      (* free the crashed attempt's COW tail before anything else *)
+      discard_tail ();
+      let origin_adopted =
+        recycle && origin.it_origin = dom && Snapshot.adopted origin.it_snap
+      in
+      cur_snap := None;
+      seg_epoch := -1;
+      if (not origin_adopted) && origin.it_retries < sh.sh_retry_budget - 1
+      then begin
         st.Stats.requeues <- st.Stats.requeues + 1;
         if Obs.Trace.enabled () then
           Obs.Trace.instant ~a:(origin.it_retries + 1) Obs.Names.sched_requeue;
-        Work_queue.push_batch sh.queue
-          [ (origin.it_meta, { origin with it_retries = origin.it_retries + 1 }) ]
+        (* the requeued item keeps the consumption ref: whoever picks it
+           up next still needs the snapshot's frames pinned *)
+        Work_queue.push_batch sh.queue ~dom
+          [ (origin.it_meta, { origin with it_retries = origin.it_retries + 1 }) ];
+        drop_evicted ()
       end
       else begin
         if Obs.Trace.enabled () then
@@ -717,19 +798,24 @@ let eval_domain sh ~dom ~(machine : Libos.t) ~(d_root : Snapshot.t)
         depth := origin.it_meta.Frontier.depth;
         record
           (Explorer.Path_killed (quarantine_message e sh.sh_retry_budget))
-          ""
+          "";
+        if recycle then begin
+          return_ref origin;
+          drain_mailbox ()
+        end
       end);
     Work_queue.finish_path sh.queue
   in
 
   let rec consume () =
-    match Work_queue.take sh.queue with
+    match Work_queue.take sh.queue ~dom with
     | None -> ()
     | Some it ->
       incr items;
       st.Stats.extensions_evaluated <- st.Stats.extensions_evaluated + 1;
       st.Stats.restores <- st.Stats.restores + 1;
       run_guarded it;
+      drop_evicted ();
       consume ()
   in
   if Obs.Trace.enabled () then Obs.Trace.span_begin ~a:dom Obs.Names.worker;
@@ -737,22 +823,21 @@ let eval_domain sh ~dom ~(machine : Libos.t) ~(d_root : Snapshot.t)
     (match entry with
     | `Root ->
       (* The scope-opening path, encoded as an item so crash recovery can
-         requeue it like any other: the root state plus an empty delta,
-         entered with 1 in rax (the exploring branch).  Serial -1 misses
-         every cache. *)
+         requeue it like any other: the root snapshot itself, entered with
+         1 in rax (the exploring branch).  The retain balances its retire;
+         the root is parentless, so it is never actually freed. *)
+      if recycle then Snapshot.retain d_root;
       run_guarded
-        { it_state =
-            { p_regs = d_root.Snapshot.regs;
-              p_os = d_root.Snapshot.os;
-              p_pages = [];
-              p_unmapped = [] };
+        { it_snap = d_root;
+          it_root_map = d_root.Snapshot.mem;
           it_index = 1;
           it_meta = { Frontier.depth = 0; hint = 0 };
           it_origin = dom;
-          it_serial = -1;
           it_retries = 0 }
     | `Take -> ());
-    consume ()
+    consume ();
+    (* refs posted by foreign consumers after our last retire *)
+    if recycle then drain_mailbox ()
   with e ->
     (* A crashed worker loop must not leave the others blocked in [take]. *)
     abort (Printf.sprintf "worker %d: %s" dom (Printexc.to_string e)));
@@ -761,7 +846,12 @@ let eval_domain sh ~dom ~(machine : Libos.t) ~(d_root : Snapshot.t)
 let run_domains ~(config : config) (image : Isa.Asm.image) =
   let phys0 = Mem.Phys_mem.create () in
   let inj = arm_faults config in
-  let stats = Stats.create () in
+  (* Eager snapshot release on every domain, as in the cooperative backend.
+     Disabled under fault injection for the same reason. *)
+  let recycle = config.faults = None && Mem.Phys_mem.recycling phys0 in
+  (* Domain 0's own counters; the aggregate [stats] is assembled at the
+     end so the per-domain registries stay separable. *)
+  let st0 = Stats.create () in
   let mem_before = Mem.Mem_metrics.copy (Mem.Phys_mem.metrics phys0) in
   let m0 = Libos.boot phys0 image in
   let transcript = Buffer.create 256 in
@@ -779,6 +869,11 @@ let run_domains ~(config : config) (image : Isa.Asm.image) =
     Buffer.add_string transcript (String.concat "" chunks)
   in
   let worker_tail = ref [] in
+  let worker_stats : (Stats.t * Obs.Metrics.t) list ref = ref [] in
+  let queue_peak = ref 0 in
+  let queue_evicted = ref 0 in
+  let queue_steal_batches = ref 0 in
+  let queue_stolen = ref 0 in
   let outcome =
     try
       (* Phase 1: domain 0 runs alone up to sys_guess_strategy. *)
@@ -793,7 +888,7 @@ let run_domains ~(config : config) (image : Isa.Asm.image) =
         | Libos.Guess _ | Libos.Guess_fail | Libos.Guess_hint _ ->
           raise (Abort "guess before sys_guess_strategy")
       in
-      let frontier =
+      let mk_frontier =
         match make_item_frontier strat with
         | Some f -> f
         | None ->
@@ -806,16 +901,21 @@ let run_domains ~(config : config) (image : Isa.Asm.image) =
       let ids = Snapshot.ids () in
       let root_state = serialize_root m0 in
       let d_root0 = Snapshot.capture ~ids ~depth:0 m0 in
-      stats.Stats.snapshots_created <- stats.Stats.snapshots_created + 1;
+      st0.Stats.snapshots_created <- st0.Stats.snapshots_created + 1;
       Cpu.set m0.Libos.cpu Reg.rax 1;
       let sh =
-        { queue = Work_queue.create ~initial_paths:1 frontier;
+        { queue =
+            Work_queue.create ~shards:config.workers ~initial_paths:1
+              ~meta_of:(fun it -> it.it_meta)
+              mk_frontier;
           outcome_cell = Atomic.make None;
           sh_ids = ids;
           sh_quantum = config.quantum;
           sh_mode = config.mode;
           sh_max_extensions = config.max_extensions;
           sh_retry_budget = config.retry_budget;
+          sh_recycle = recycle;
+          sh_mailboxes = Array.init config.workers (fun _ -> Mailbox.create ());
           sh_inj = inj }
       in
       (* Phase 2: spawn the other domains; each rebuilds the root on a
@@ -827,6 +927,7 @@ let run_domains ~(config : config) (image : Isa.Asm.image) =
             let dom = i + 1 in
             Domain.spawn (fun () ->
                 let st = Stats.create () in
+                let reg = Obs.Metrics.create () in
                 let buf = Buffer.create 256 in
                 let terms = ref [] in
                 let items = ref 0 in
@@ -835,7 +936,7 @@ let run_domains ~(config : config) (image : Isa.Asm.image) =
                    let d_root = Snapshot.capture ~ids:sh.sh_ids ~depth:0 machine in
                    st.Stats.snapshots_created <- st.Stats.snapshots_created + 1;
                    Mem.Phys_mem.set_alloc_fault phys (Inject.alloc_hook inj);
-                   eval_domain sh ~dom ~machine ~d_root ~st ~buf
+                   eval_domain sh ~dom ~machine ~phys ~d_root ~st ~buf
                      ~terminals:terms ~items ~entry:`Take;
                    st.Stats.instructions <- machine.Libos.cpu.Cpu.retired;
                    Mem.Mem_metrics.add st.Stats.mem (Mem.Phys_mem.metrics phys)
@@ -847,24 +948,26 @@ let run_domains ~(config : config) (image : Isa.Asm.image) =
                               (Printf.sprintf "worker %d: %s" dom
                                  (Printexc.to_string e)))));
                    Work_queue.stop sh.queue);
-                st, Buffer.contents buf, List.rev !terms, !items))
+                Stats.publish st reg;
+                st, reg, Buffer.contents buf, List.rev !terms, !items))
       in
       let items0 = ref 0 in
       Mem.Phys_mem.set_alloc_fault phys0 (Inject.alloc_hook inj);
-      eval_domain sh ~dom:0 ~machine:m0 ~d_root:d_root0 ~st:stats
+      eval_domain sh ~dom:0 ~machine:m0 ~phys:phys0 ~d_root:d_root0 ~st:st0
         ~buf:transcript ~terminals:terminals0 ~items:items0 ~entry:`Root;
       busy_rounds.(0) <- !items0;
       let results = List.map Domain.join handles in
       List.iteri
-        (fun i (st, tr, terms, items) ->
+        (fun i (st, reg, tr, terms, items) ->
           busy_rounds.(i + 1) <- items;
-          Stats.merge stats st;
+          worker_stats := !worker_stats @ [ (st, reg) ];
           Buffer.add_string transcript tr;
           worker_tail := !worker_tail @ terms)
         results;
-      stats.Stats.max_frontier <-
-        max stats.Stats.max_frontier (Work_queue.max_length sh.queue);
-      stats.Stats.evicted <- stats.Stats.evicted + Work_queue.evicted sh.queue;
+      queue_peak := Work_queue.max_length sh.queue;
+      queue_evicted := Work_queue.evicted sh.queue;
+      queue_steal_batches := Work_queue.steal_batches sh.queue;
+      queue_stolen := Work_queue.stolen_items sh.queue;
       match Atomic.get sh.outcome_cell with
       | Some o -> o
       | None ->
@@ -873,7 +976,7 @@ let run_domains ~(config : config) (image : Isa.Asm.image) =
         Mem.Phys_mem.set_alloc_fault phys0 None;
         Snapshot.restore m0 d_root0;
         marker0 := Libos.stdout_chunks m0;
-        stats.Stats.restores <- stats.Stats.restores + 1;
+        st0.Stats.restores <- st0.Stats.restores + 1;
         let rec drain () =
           match Libos.run m0 ~fuel:max_int with
           | Libos.Exited { status } ->
@@ -893,15 +996,27 @@ let run_domains ~(config : config) (image : Isa.Asm.image) =
     | Done outcome -> outcome
     | Abort message -> Explorer.Aborted message
   in
-  stats.Stats.instructions <- stats.Stats.instructions + m0.Libos.cpu.Cpu.retired;
-  Mem.Mem_metrics.add stats.Stats.mem
+  st0.Stats.instructions <- st0.Stats.instructions + m0.Libos.cpu.Cpu.retired;
+  Mem.Mem_metrics.add st0.Stats.mem
     (Mem.Mem_metrics.diff (Mem.Phys_mem.metrics phys0) mem_before);
+  (* Domain 0's registry is published only now, after its memory metrics
+     landed — otherwise its mem.* counters would all read zero. *)
+  let reg0 = Obs.Metrics.create () in
+  Stats.publish st0 reg0;
+  Obs.Metrics.incr reg0 ~by:!queue_steal_batches "queue.steal_batches";
+  Obs.Metrics.incr reg0 ~by:!queue_stolen "queue.stolen_items";
+  let stats = Stats.create () in
+  Stats.merge stats st0;
+  List.iter (fun (st, _) -> Stats.merge stats st) !worker_stats;
+  stats.Stats.max_frontier <- max stats.Stats.max_frontier !queue_peak;
+  stats.Stats.evicted <- stats.Stats.evicted + !queue_evicted;
   { outcome;
     transcript = Buffer.contents transcript;
     terminals = List.rev !terminals0 @ !worker_tail;
     rounds = 0;
     busy_rounds;
-    stats }
+    stats;
+    domain_metrics = Array.of_list (reg0 :: List.map snd !worker_stats) }
 
 let run ?(config = default_config) (image : Isa.Asm.image) =
   if config.workers < 1 then invalid_arg "Parallel.run: need at least one worker";

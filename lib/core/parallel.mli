@@ -19,21 +19,25 @@
     threads.
 
     {b [`Domains]} is the true-multicore version: one OCaml 5 domain per
-    worker, each owning a {e domain-private} {!Mem.Phys_mem} and machine.
-    Generations are per-[Phys_mem], so snapshots and frames never cross
-    domains; instead each domain replicates the scope's root state once at
-    startup and work items travel through a mutex-protected
-    {!Work_queue} as {e portable extensions}: immutable page deltas
-    against the root plus saved registers and persistent OS state.  A
-    domain popping its own item restores the original snapshot (fast
-    path); popping a sibling's rebuilds the state as root + delta.  This
-    is §3's "parallel depth-first-search strategy [that] simply forks
-    without waiting", on real cores.  Two semantic deltas vs
-    [`Cooperative]: [sys_share] pages are replicated per domain (writes
-    after the scope opens stay domain-local), and [`Custom] strategies are
-    rejected (their frontiers are typed to in-heap extensions).  Path
-    completion order — and hence [terminals] order and, under
-    [`First_exit], {e which} exit wins — depends on OS scheduling. *)
+    worker, each owning a {e domain-private} {!Mem.Phys_mem} and machine,
+    and running the full frame-recycling lifecycle (free-list reuse,
+    zero-fill elision, adopting restores) against it.  Work items travel
+    through a sharded, work-stealing {!Work_queue} carrying the producer's
+    snapshot {e by reference}.  A domain popping its own item restores the
+    snapshot directly — adopting its frames when the item is the last
+    reference; a thief restores its local root replica and grafts a
+    private copy of the producer's delta pages on top
+    ({!Mem.Addr_space.import_delta}), safe because the item's extension
+    ref pins those frames in retired generations until the thief retires
+    the path and posts the ref back through the producer's mailbox
+    (refcounts stay single-writer).  This is §3's "parallel
+    depth-first-search strategy [that] simply forks without waiting", on
+    real cores.  Two semantic deltas vs [`Cooperative]: [sys_share] pages
+    are replicated per domain (writes after the scope opens stay
+    domain-local), and [`Custom] strategies are rejected (their frontiers
+    are typed to in-heap extensions).  Path completion order — and hence
+    [terminals] order and, under [`First_exit], {e which} exit wins —
+    depends on OS scheduling. *)
 
 type backend = [ `Cooperative | `Domains ]
 
@@ -71,6 +75,14 @@ type result = {
           evaluated ([`Domains]) — either way, the load-balance picture.
           Total guest instructions live in [stats.instructions]. *)
   stats : Stats.t;
+  domain_metrics : Obs.Metrics.t array;
+      (** per-domain metrics registries under [`Domains]: index 0 is the
+          coordinator domain, then the spawned workers in order.  Each
+          holds the [explorer.*]/[mem.*] names {!Stats.publish} emits
+          (domain 0 additionally carries [queue.steal_batches] and
+          [queue.stolen_items]); merging them with {!Obs.Metrics.merge}
+          agrees with [stats].  Empty for [`Cooperative] runs and for runs
+          aborted before workers spawned. *)
 }
 
 val run : ?config:config -> Isa.Asm.image -> result

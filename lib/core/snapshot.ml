@@ -10,8 +10,10 @@ type t = {
   (* Explicit-release bookkeeping (see [release_ext]).  [ext_refs] counts
      frontier extensions (plus pins) that may still restore this snapshot;
      [child_refs] counts live child snapshots whose maps share our frames.
-     Both are plain ints: the discipline runs only in single-threaded
-     schedulers (the domains backend keeps GC reclamation). *)
+     Both are plain ints: a snapshot's refcounts are only ever mutated by
+     the domain that owns it — single-threaded schedulers trivially, and
+     the domains backend routes cross-domain releases through per-domain
+     mailboxes back to the owner ([Parallel.Mailbox]). *)
   mutable ext_refs : int;
   mutable child_refs : int;
   mutable freed : bool;

@@ -14,6 +14,7 @@ type t = {
   mutable instructions : int;
   mutable requeues : int;
   mutable quarantined : int;
+  mutable steals : int;
   mutable payload_evictions : int;
   mutable replays : int;
   mutable replayed_instructions : int;
@@ -25,7 +26,7 @@ let create () =
     exits = 0; kills = 0; snapshots_created = 0; restores = 0;
     adopting_restores = 0; evicted = 0;
     max_frontier = 0; max_live_snapshots = 0; instructions = 0;
-    requeues = 0; quarantined = 0; payload_evictions = 0; replays = 0;
+    requeues = 0; quarantined = 0; steals = 0; payload_evictions = 0; replays = 0;
     replayed_instructions = 0;
     mem = Mem.Mem_metrics.create () }
 
@@ -47,6 +48,7 @@ let merge acc x =
   acc.instructions <- acc.instructions + x.instructions;
   acc.requeues <- acc.requeues + x.requeues;
   acc.quarantined <- acc.quarantined + x.quarantined;
+  acc.steals <- acc.steals + x.steals;
   acc.payload_evictions <- acc.payload_evictions + x.payload_evictions;
   acc.replays <- acc.replays + x.replays;
   acc.replayed_instructions <- acc.replayed_instructions + x.replayed_instructions;
@@ -74,6 +76,7 @@ let publish t (reg : Obs.Metrics.t) =
   c "explorer.instructions" t.instructions;
   c "explorer.requeues" t.requeues;
   c "explorer.quarantined" t.quarantined;
+  c "explorer.steals" t.steals;
   c "explorer.payload_evictions" t.payload_evictions;
   c "explorer.replays" t.replays;
   c "explorer.replayed_instructions" t.replayed_instructions;
@@ -88,6 +91,7 @@ let publish t (reg : Obs.Metrics.t) =
   c "mem.tlb_hits" m.Mem.Mem_metrics.tlb_hits;
   c "mem.tlb_misses" m.Mem.Mem_metrics.tlb_misses;
   c "mem.tlb_flushes" m.Mem.Mem_metrics.tlb_flushes;
+  c "mem.tlb_shootdowns" m.Mem.Mem_metrics.tlb_shootdowns;
   c "mem.pt_walks" m.Mem.Mem_metrics.pt_walks;
   c "mem.pt_node_copies" m.Mem.Mem_metrics.pt_node_copies;
   c "mem.frames_freed" m.Mem.Mem_metrics.frames_freed;
@@ -98,10 +102,11 @@ let pp fmt t =
   Format.fprintf fmt
     "@[<v>guesses=%d pushed=%d evaluated=%d fails=%d exits=%d kills=%d@ \
      snapshots=%d restores=%d adopting=%d evicted=%d max_frontier=%d \
-     max_live=%d@ instructions=%d@ requeues=%d quarantined=%d \
+     max_live=%d@ instructions=%d@ requeues=%d quarantined=%d steals=%d \
      payload_evictions=%d replays=%d replayed_instructions=%d@ %a@]"
     t.guesses t.extensions_pushed t.extensions_evaluated t.fails t.exits
     t.kills t.snapshots_created t.restores t.adopting_restores t.evicted
     t.max_frontier t.max_live_snapshots t.instructions t.requeues
-    t.quarantined t.payload_evictions t.replays t.replayed_instructions
+    t.quarantined t.steals t.payload_evictions t.replays
+    t.replayed_instructions
     Mem.Mem_metrics.pp t.mem

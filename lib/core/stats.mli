@@ -18,6 +18,8 @@ type t = {
   mutable instructions : int;          (** guest instructions retired *)
   mutable requeues : int;              (** crashed paths rescheduled *)
   mutable quarantined : int;           (** paths killed after the retry budget *)
+  mutable steals : int;                (** work items consumed by a domain other
+                                           than the one that produced them *)
   mutable payload_evictions : int;     (** snapshot payloads dropped under pressure *)
   mutable replays : int;               (** evicted payloads rebuilt by re-execution *)
   mutable replayed_instructions : int; (** re-executed during those rebuilds;

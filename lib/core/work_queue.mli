@@ -1,37 +1,64 @@
-(** A mutex-protected work-sharing wrapper around a strategy frontier.
+(** A sharded work-stealing queue over strategy frontiers.
 
     This is the shared search graph of Figure 2 for the true-multicore
-    backend of {!Parallel}: worker domains push each guess's extensions as
-    one batch and block in {!take} until the strategy hands them the next
-    one.  The wrapper also implements distributed termination: it counts
-    {e paths in flight} (items taken but not yet finished), so {!take}
-    returns [None] exactly when the frontier is empty {e and} no worker is
-    still evaluating a path that could push more work.
+    backend of {!Parallel}.  Each worker domain owns one {e shard} — a
+    plain sequential {!Search.Frontier} behind its own mutex — and in
+    steady state touches nothing else: push extensions into your shard,
+    pop from your shard.  Only when a shard runs dry does its owner steal,
+    migrating {e half} the victim's items in one lock acquisition
+    (steal-half batching, Cilk-style), so a deep subtree is split a
+    logarithmic number of times instead of leaking one leaf per steal.
 
-    All operations lock one mutex; the frontier itself stays the plain
-    sequential value from {!Search.Frontier}.  Contention is low by
-    construction — workers interact with the queue once per scheduling
-    event (a guess or a terminal), not per instruction. *)
+    The queue also implements distributed termination: one atomic counter
+    tracks {e outstanding paths} (queued plus in flight), so {!take}
+    returns [None] exactly when every shard is empty {e and} no worker is
+    still evaluating a path that could push more work.  Wakeups are
+    targeted: a push signals at most one sleeping worker per item made
+    available, never the whole fleet. *)
 
 type 'a t
 
-val create : ?initial_paths:int -> 'a Search.Frontier.t -> 'a t
-(** Wrap a frontier.  [initial_paths] (default 0) pre-counts paths already
-    being evaluated before any {!take} — the parallel explorer starts with
-    1 for the root path its first worker carries natively. *)
+val create :
+  ?shards:int ->
+  ?initial_paths:int ->
+  meta_of:('a -> Search.Frontier.meta) ->
+  (unit -> 'a Search.Frontier.t) ->
+  'a t
+(** [create ~shards ~meta_of make_frontier] builds [shards] (default 1)
+    independent frontiers by calling [make_frontier] once per shard.
+    [meta_of] recomputes an item's scheduling metadata when a steal
+    migrates it into another shard's frontier.  [initial_paths] (default
+    0) pre-counts paths already being evaluated before any {!take} — the
+    parallel explorer starts with 1 for the root path its first worker
+    carries natively. *)
 
-val push_batch : 'a t -> (Search.Frontier.meta * 'a) list -> unit
+val shard_count : 'a t -> int
 
-val take : 'a t -> 'a option
-(** Pop the next extension, blocking while the frontier is empty but paths
-    are still in flight.  [None] means the search is over: the scope is
-    exhausted, or {!stop} was called.  A successful take counts the caller
-    as in flight until it calls {!finish_path}. *)
+val push_batch : 'a t -> dom:int -> (Search.Frontier.meta * 'a) list -> unit
+(** Push a batch into shard [dom] (the caller's own shard).  The batch
+    length is computed once; at most one sleeping worker is signalled per
+    item actually enqueued.  Items evicted by a bounded strategy surface
+    via {!drain_dropped}. *)
+
+val take : 'a t -> dom:int -> 'a option
+(** Pop the next extension for worker [dom]: its own shard first, then by
+    stealing half of the first non-empty sibling shard.  Blocks while all
+    shards are empty but paths are still in flight.  [None] means the
+    search is over: the scope is exhausted, or {!stop} was called.  A
+    successful take keeps the caller counted as outstanding until it calls
+    {!finish_path}. *)
 
 val finish_path : 'a t -> unit
 (** The path taken earlier has been fully handled (its extensions, if any,
-    were pushed first).  Push-then-finish ordering matters: finishing first
-    could let the queue report termination while children are pending. *)
+    were pushed first).  Push-then-finish ordering matters: finishing
+    first could let the queue report termination while children are
+    pending. *)
+
+val drain_dropped : 'a t -> 'a list
+(** Items evicted by memory-bounded strategies since the last drain, from
+    any shard.  They have already left the termination accounting; the
+    scheduler drains them to release the snapshots they reference.  Any
+    worker may drain; each item surfaces exactly once. *)
 
 val stop : 'a t -> unit
 (** Make every current and future {!take} return [None] (first-exit mode,
@@ -40,6 +67,10 @@ val stop : 'a t -> unit
 val stopped : 'a t -> bool
 
 val length : 'a t -> int
+(** Items queued across all shards. *)
+
+val shard_length : 'a t -> int -> int
+(** Items queued in one shard. *)
 
 val pushed : 'a t -> int
 (** Total extensions ever pushed. *)
@@ -47,5 +78,11 @@ val pushed : 'a t -> int
 val evicted : 'a t -> int
 (** Extensions dropped by memory-bounded strategies. *)
 
+val steal_batches : 'a t -> int
+(** Steal operations that migrated at least one item. *)
+
+val stolen_items : 'a t -> int
+(** Items migrated by steals (including the one the thief consumed). *)
+
 val max_length : 'a t -> int
-(** Peak frontier length. *)
+(** Peak queued length, sampled on both push and take. *)

@@ -95,18 +95,31 @@ let shared_frame t vpn =
   if Ptmap.mem vpn t.shared_hidden then None
   else Phys_mem.shared_page t.phys ~vpn
 
-(* Look up the frame backing [vpn]; raises [Page_fault] when unmapped.
-   The epoch check is the simulated TLB shootdown: the sharing registry is
-   system-global, so a sibling machine mapping (or tearing down) a shared
-   page must invalidate OUR cached translations too, or a vpn we had
-   translated privately would keep resolving to the stale private frame. *)
+(* Catch up with sharing-registry changes made by sibling machines since
+   this space last looked.  This is the simulated TLB shootdown: the
+   registry is system-global, so a sibling mapping (or tearing down) a
+   shared page must invalidate OUR cached translation for that vpn too, or
+   a page we had translated privately would keep resolving to the stale
+   private frame.  Only the vpns that actually changed ownership need
+   shooting down; the whole-TLB wipe is kept as the fallback for a space
+   that fell behind the bounded change ring. *)
+let share_catch_up t epoch =
+  let n = ref 0 in
+  let targeted =
+    Phys_mem.share_changes_since t.phys ~seen:t.seen_share_epoch
+      ~f:(fun vpn -> tlb_invalidate t vpn; incr n)
+  in
+  if targeted then t.metrics.tlb_shootdowns <- t.metrics.tlb_shootdowns + !n
+  else tlb_flush t;
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant ~a:epoch ~b:(if targeted then !n else -1)
+      Obs.Names.share_flush;
+  t.seen_share_epoch <- epoch
+
+(* Look up the frame backing [vpn]; raises [Page_fault] when unmapped. *)
 let lookup t vpn access addr =
   let epoch = Phys_mem.share_epoch t.phys in
-  if t.seen_share_epoch <> epoch then begin
-    tlb_flush t;
-    if Obs.Trace.enabled () then Obs.Trace.instant ~a:epoch Obs.Names.share_flush;
-    t.seen_share_epoch <- epoch
-  end;
+  if t.seen_share_epoch <> epoch then share_catch_up t epoch;
   let i = vpn land tlb_mask in
   if t.tlb_vpn.(i) = vpn then begin
     t.metrics.tlb_hits <- t.metrics.tlb_hits + 1;
@@ -399,6 +412,32 @@ let restore_adopt t ~parent s =
   if Obs.Trace.enabled () then
     Obs.Trace.instant ~a:adopted Obs.Names.frame_adopt;
   adopted
+
+(* Rebuild, in THIS address space, the page delta between two snapshots a
+   sibling address space captured over the same logical root contents: map
+   a private copy of every frame [target] holds beyond [base], and unmap
+   every vpn [target] dropped.  This is the work-stealing import path — the
+   caller has just restored its own replica of [base]'s logical state, and
+   the producing domain guarantees the delta frames are immutable (they
+   belong to retired generations and are pinned by the queued item's
+   snapshot reference) for the duration of the call. *)
+let import_delta t ~base ~target =
+  List.fold_left
+    (fun n (vpn, _before, now) ->
+      (match (now : Phys_mem.frame option) with
+      | Some f ->
+        (* the blit in [alloc_data] copies the foreign bytes before this
+           call returns; avoid the extra copy unless a trace sink would
+           retain the string past the frame's lifetime *)
+        let data =
+          if t.trace = None then Bytes.unsafe_to_string f.Phys_mem.bytes
+          else Bytes.to_string f.Phys_mem.bytes
+        in
+        map_data t ~vpn data
+      | None -> unmap t ~vpn);
+      n + 1)
+    0
+    (Ptmap.sym_diff frame_eq base.snap_map target.snap_map)
 
 let snapshot_id s = s.snap_id
 let snapshot_pages s = Ptmap.cardinal s.snap_map

@@ -135,6 +135,17 @@ val restore_adopt : t -> parent:snapshot -> snapshot -> int
     fast path.  Returns the number of frames adopted.  [s] must never be
     restored again afterwards: its pages change under it. *)
 
+val import_delta : t -> base:snapshot -> target:snapshot -> int
+(** Rebuild in this address space the page delta between two snapshots a
+    {e sibling} address space captured over the same logical root
+    contents: map a private copy of every frame [target] holds beyond
+    [base] and unmap every vpn [target] dropped; returns the number of
+    pages touched.  The caller must have just restored its own replica of
+    [base]'s logical state, and the producing side must guarantee the
+    delta frames stay immutable for the duration of the call (queued
+    snapshot references pin them — see the Domains backend in
+    [Core.Parallel]). *)
+
 (** {1 Operation tracing}
 
     A recorder for the state-changing operations applied to this address

@@ -9,6 +9,7 @@ type t = {
   mutable tlb_hits : int;
   mutable tlb_misses : int;
   mutable tlb_flushes : int;
+  mutable tlb_shootdowns : int;
   mutable pt_walks : int;
   mutable pt_node_copies : int;
   mutable frames_freed : int;
@@ -19,14 +20,15 @@ type t = {
 let create () =
   { cow_faults = 0; zero_fills = 0; pages_copied = 0; bytes_copied = 0;
     frames_allocated = 0; snapshots = 0; restores = 0; tlb_hits = 0;
-    tlb_misses = 0; tlb_flushes = 0; pt_walks = 0; pt_node_copies = 0;
+    tlb_misses = 0; tlb_flushes = 0; tlb_shootdowns = 0; pt_walks = 0;
+    pt_node_copies = 0;
     frames_freed = 0; frames_recycled = 0; zero_fills_elided = 0 }
 
 let reset t =
   t.cow_faults <- 0; t.zero_fills <- 0; t.pages_copied <- 0;
   t.bytes_copied <- 0; t.frames_allocated <- 0; t.snapshots <- 0;
   t.restores <- 0; t.tlb_hits <- 0; t.tlb_misses <- 0; t.tlb_flushes <- 0;
-  t.pt_walks <- 0; t.pt_node_copies <- 0;
+  t.tlb_shootdowns <- 0; t.pt_walks <- 0; t.pt_node_copies <- 0;
   t.frames_freed <- 0; t.frames_recycled <- 0; t.zero_fills_elided <- 0
 
 let add acc x =
@@ -40,6 +42,7 @@ let add acc x =
   acc.tlb_hits <- acc.tlb_hits + x.tlb_hits;
   acc.tlb_misses <- acc.tlb_misses + x.tlb_misses;
   acc.tlb_flushes <- acc.tlb_flushes + x.tlb_flushes;
+  acc.tlb_shootdowns <- acc.tlb_shootdowns + x.tlb_shootdowns;
   acc.pt_walks <- acc.pt_walks + x.pt_walks;
   acc.pt_node_copies <- acc.pt_node_copies + x.pt_node_copies;
   acc.frames_freed <- acc.frames_freed + x.frames_freed;
@@ -61,6 +64,7 @@ let diff a b =
     tlb_hits = a.tlb_hits - b.tlb_hits;
     tlb_misses = a.tlb_misses - b.tlb_misses;
     tlb_flushes = a.tlb_flushes - b.tlb_flushes;
+    tlb_shootdowns = a.tlb_shootdowns - b.tlb_shootdowns;
     pt_walks = a.pt_walks - b.pt_walks;
     pt_node_copies = a.pt_node_copies - b.pt_node_copies;
     frames_freed = a.frames_freed - b.frames_freed;
@@ -71,9 +75,10 @@ let pp fmt t =
   Format.fprintf fmt
     "@[<v>cow_faults=%d zero_fills=%d pages_copied=%d bytes_copied=%d@ \
      frames_allocated=%d snapshots=%d restores=%d@ \
-     tlb: hits=%d misses=%d flushes=%d pt_walks=%d pt_node_copies=%d@ \
+     tlb: hits=%d misses=%d flushes=%d shootdowns=%d pt_walks=%d \
+     pt_node_copies=%d@ \
      frames_freed=%d frames_recycled=%d zero_fills_elided=%d@]"
     t.cow_faults t.zero_fills t.pages_copied t.bytes_copied
     t.frames_allocated t.snapshots t.restores t.tlb_hits t.tlb_misses
-    t.tlb_flushes t.pt_walks t.pt_node_copies
+    t.tlb_flushes t.tlb_shootdowns t.pt_walks t.pt_node_copies
     t.frames_freed t.frames_recycled t.zero_fills_elided

@@ -15,6 +15,10 @@ type t = {
   mutable tlb_hits : int;
   mutable tlb_misses : int;
   mutable tlb_flushes : int;
+  mutable tlb_shootdowns : int;
+      (** single-entry invalidations from a targeted cross-machine
+          share-epoch catch-up (vs. [tlb_flushes], which count whole-TLB
+          wipes) *)
   mutable pt_walks : int;         (** page-table / trie lookups on TLB miss *)
   mutable pt_node_copies : int;   (** EPT backend: page-table pages COW'd *)
   mutable frames_freed : int;     (** frames explicitly released to the free list *)

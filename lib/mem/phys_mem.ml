@@ -14,6 +14,12 @@ let max_free_bufs = 4096
 
 let poison_byte = '\xa5'
 
+(* Depth of the share-change ring.  Sized so that a machine which ran a
+   whole scheduling quantum while siblings reconfigured sharing still
+   catches up entry by entry; falling further behind degrades to the old
+   full flush, never to incoherence. *)
+let share_log_size = 64
+
 type t = {
   mutable next_frame : int;
   mutable next_gen : int;
@@ -24,10 +30,14 @@ type t = {
          address space over this physical memory sees the same page *)
   mutable share_epoch : int;
       (* bumped on every registry change; address spaces compare it against
-         the epoch they last observed and flush their TLB on mismatch — the
-         simulation's stand-in for a cross-CPU TLB shootdown, without which
-         a machine that cached a private translation would keep reading its
-         stale frame after a sibling shares the same vpn *)
+         the epoch they last observed and invalidate stale translations on
+         mismatch — the simulation's stand-in for a cross-CPU TLB shootdown,
+         without which a machine that cached a private translation would
+         keep reading its stale frame after a sibling shares the same vpn *)
+  share_log : int array;
+      (* ring of the vpns behind the last [share_log_size] epoch bumps, so
+         an address space that fell at most that far behind can shoot down
+         just the affected entries instead of wiping its whole TLB *)
   capacity : int;  (* 0 = unbounded *)
   track_live : bool;
   live : int Atomic.t;
@@ -66,6 +76,7 @@ let create ?(capacity = 0) ?(track_live = false) ?(recycle = true)
   in
   { next_frame = 1; next_gen = 1; zero; metrics = Mem_metrics.create ();
     shared_pages = Hashtbl.create 8; share_epoch = 0;
+    share_log = Array.make share_log_size (-1);
     capacity; track_live = track_live || capacity > 0;
     live = Atomic.make 0; peak_live = 0;
     on_pressure = None; pressure_events = 0; watermark_armed = true;
@@ -232,15 +243,34 @@ let adopt_frame t (f : frame) ~owner =
 let frames_allocated t = t.total_allocs
 
 let shared_page t ~vpn = Hashtbl.find_opt t.shared_pages vpn
+
+let log_share_change t vpn =
+  t.share_epoch <- t.share_epoch + 1;
+  t.share_log.(t.share_epoch mod share_log_size) <- vpn
+
 let set_shared_page t ~vpn frame =
   Hashtbl.replace t.shared_pages vpn frame;
-  t.share_epoch <- t.share_epoch + 1
+  log_share_change t vpn
 
 let clear_shared_page t ~vpn =
   Hashtbl.remove t.shared_pages vpn;
-  t.share_epoch <- t.share_epoch + 1
+  log_share_change t vpn
 
 let share_epoch t = t.share_epoch
+
+(* Replay the vpns behind epochs (seen, share_epoch] through [f].  Returns
+   [false] without calling [f] when [seen] is too far behind for the ring
+   to still hold every change — the caller must fall back to a full
+   flush. *)
+let share_changes_since t ~seen ~f =
+  let cur = t.share_epoch in
+  if cur - seen > share_log_size then false
+  else begin
+    for e = seen + 1 to cur do
+      f t.share_log.(e mod share_log_size)
+    done;
+    true
+  end
 let shared_page_count t = Hashtbl.length t.shared_pages
 let shared_vpns t = Hashtbl.fold (fun vpn _ acc -> vpn :: acc) t.shared_pages []
 

@@ -134,11 +134,19 @@ val shared_page_count : t -> int
 val shared_vpns : t -> int list
 
 val share_epoch : t -> int
-(** Bumped on every sharing-registry change.  Address spaces flush their
-    TLB when the epoch moves past the one they last observed — the
-    simulated TLB shootdown that keeps sibling machines coherent when one
-    of them shares (or tears down) a page the others had translated
-    privately. *)
+(** Bumped on every sharing-registry change.  Address spaces invalidate
+    stale translations when the epoch moves past the one they last
+    observed — the simulated TLB shootdown that keeps sibling machines
+    coherent when one of them shares (or tears down) a page the others had
+    translated privately. *)
+
+val share_changes_since : t -> seen:int -> f:(int -> unit) -> bool
+(** Replay, oldest first, the vpn behind every sharing-registry change in
+    epochs [(seen, share_epoch t]] through [f] and return [true] — the
+    targeted shootdown: an address space that fell behind invalidates just
+    those entries instead of wiping its whole TLB.  Returns [false]
+    without calling [f] when [seen] is too far behind the bounded change
+    ring, in which case the caller must fall back to a full flush. *)
 
 val fresh_generation : t -> int
 (** Monotonically increasing generation ids; generation 0 is reserved for

@@ -175,6 +175,74 @@ let domains_counting_tree_all_leaves () =
   check Alcotest.int "work split across domains" 363
     (Array.fold_left ( + ) 0 r.Parallel.busy_rounds)
 
+let terminal_multiset (r : Parallel.result) =
+  List.sort compare
+    (List.map
+       (fun (t : Explorer.terminal) -> (t.Explorer.kind, t.Explorer.output))
+       r.Parallel.terminals)
+
+let domains_recycling_terminal_identity () =
+  (* Recycling is on by default (no faults armed).  The reference is a
+     single-domain run under tracing — the instrumented slow path — so the
+     identity also guards against instrumentation perturbing semantics. *)
+  let image = Workloads.Nqueens.program ~n:5 in
+  Obs.Trace.start ();
+  let baseline =
+    Fun.protect ~finally:(fun () -> Obs.Trace.stop (); Obs.Trace.clear ())
+      (fun () -> Parallel.run ~config:(dconfig ~workers:1 ()) image)
+  in
+  check Alcotest.int "baseline completed" 0 (completed baseline);
+  let expected = terminal_multiset baseline in
+  List.iter
+    (fun workers ->
+      let r = Parallel.run ~config:(dconfig ~workers ()) image in
+      check Alcotest.int
+        (Printf.sprintf "%d domains completed" workers) 0 (completed r);
+      check Alcotest.bool
+        (Printf.sprintf "%d domains: recycling reached the backend" workers)
+        true
+        (r.Parallel.stats.Core.Stats.mem.Mem.Mem_metrics.frames_recycled > 0);
+      check Alcotest.bool
+        (Printf.sprintf "terminal multiset identical at %d domains" workers)
+        true
+        (expected = terminal_multiset r))
+    [ 1; 2; 4 ]
+
+let domains_per_domain_metrics () =
+  let workers = 4 in
+  (* a workload whose paths actually dirty pages, so recycling has frames
+     to reuse (a register-only guest legitimately recycles nothing) *)
+  let r =
+    Parallel.run ~config:(dconfig ~workers ()) (Workloads.Nqueens.program ~n:5)
+  in
+  check Alcotest.int "completed" 0 (completed r);
+  check Alcotest.int "one registry per domain" workers
+    (Array.length r.Parallel.domain_metrics);
+  let summed name =
+    Array.fold_left
+      (fun acc reg -> acc + Obs.Metrics.get_counter reg name)
+      0 r.Parallel.domain_metrics
+  in
+  check Alcotest.int "per-domain evaluation counts sum to the aggregate"
+    r.Parallel.stats.Core.Stats.extensions_evaluated
+    (summed "explorer.extensions_evaluated");
+  check Alcotest.int "per-domain recycling counts sum to the aggregate"
+    r.Parallel.stats.Core.Stats.mem.Mem.Mem_metrics.frames_recycled
+    (summed "mem.frames_recycled");
+  (* Any domain that kept exploring after its first frees must show
+     recycling — the E11 regression was exactly these rows reading zero. *)
+  Array.iteri
+    (fun dom reg ->
+      if
+        Obs.Metrics.get_counter reg "explorer.extensions_evaluated" >= 10
+        && Obs.Metrics.get_counter reg "mem.frames_freed" > 0
+      then
+        check Alcotest.bool
+          (Printf.sprintf "domain %d recycled frames" dom)
+          true
+          (Obs.Metrics.get_counter reg "mem.frames_recycled" > 0))
+    r.Parallel.domain_metrics
+
 let domains_first_exit () =
   let image = Workloads.Subset_sum.program ~target:21 [ 1; 2; 4; 8; 16 ] in
   let cfg = { (dconfig ~workers:4 ()) with Parallel.mode = `First_exit } in
@@ -367,6 +435,10 @@ let tests =
     Alcotest.test_case "domains: counting tree all leaves" `Quick
       domains_counting_tree_all_leaves;
     Alcotest.test_case "domains: first exit mode" `Quick domains_first_exit;
+    Alcotest.test_case "domains: recycling terminal identity" `Quick
+      domains_recycling_terminal_identity;
+    Alcotest.test_case "domains: per-domain metrics" `Quick
+      domains_per_domain_metrics;
     Alcotest.test_case "per-path output attribution" `Quick
       per_path_output_attribution;
     Alcotest.test_case "max live snapshots tracked" `Quick

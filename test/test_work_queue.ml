@@ -1,6 +1,7 @@
-(* Core.Work_queue: the mutex-protected shared frontier behind the
-   Domains backend.  Distributed-termination ordering, stop semantics and
-   initial-path accounting under real contending domains. *)
+(* Core.Work_queue: the sharded work-stealing frontier behind the Domains
+   backend.  Distributed-termination ordering, stop semantics,
+   initial-path accounting under real contending domains, and the
+   steal-half migration rule. *)
 
 module Wq = Core.Work_queue
 module Frontier = Search.Frontier
@@ -9,29 +10,34 @@ let check = Alcotest.check
 
 let meta depth = { Frontier.depth; hint = 0 }
 
-(* Four domains expand a synthetic binary tree through the queue.  Every
-   worker pushes children BEFORE finish_path, so the queue may never
-   report termination while work is pending; all domains must drain the
-   whole tree and exit their take loops. *)
+(* Items in these tests are bare ints (their depth). *)
+let create ?shards ?initial_paths () =
+  Wq.create ?shards ?initial_paths ~meta_of:meta Frontier.dfs
+
+(* Four domains expand a synthetic binary tree through the queue, one
+   shard each.  Every worker pushes children BEFORE finish_path, so the
+   queue may never report termination while work is pending; all domains
+   must drain the whole tree and exit their take loops. *)
 let push_then_finish_termination () =
-  let q = Wq.create (Frontier.dfs ()) in
-  Wq.push_batch q [ (meta 0, 0) ];
+  let q = create ~shards:4 () in
+  Wq.push_batch q ~dom:0 [ (meta 0, 0) ];
   let max_depth = 7 in
   let taken = Atomic.make 0 in
-  let worker () =
+  let worker dom () =
     let rec loop () =
-      match Wq.take q with
+      match Wq.take q ~dom with
       | None -> ()
       | Some depth ->
         Atomic.incr taken;
         if depth < max_depth then
-          Wq.push_batch q [ (meta (depth + 1), depth + 1); (meta (depth + 1), depth + 1) ];
+          Wq.push_batch q ~dom
+            [ (meta (depth + 1), depth + 1); (meta (depth + 1), depth + 1) ];
         Wq.finish_path q;
         loop ()
     in
     loop ()
   in
-  let domains = List.init 4 (fun _ -> Domain.spawn worker) in
+  let domains = List.init 4 (fun dom -> Domain.spawn (worker dom)) in
   List.iter Domain.join domains;
   (* a complete binary tree of depth 7: 2^8 - 1 nodes *)
   check Alcotest.int "every pushed path was taken exactly once" 255
@@ -43,14 +49,14 @@ let push_then_finish_termination () =
 (* take must block while paths are in flight (the frontier being empty is
    not termination), and stop must wake every blocked taker. *)
 let stop_wakes_blocked_takers () =
-  let q = Wq.create ~initial_paths:1 (Frontier.dfs ()) in
+  let q = create ~shards:3 ~initial_paths:1 () in
   let waiting = Atomic.make 0 in
   let results = Array.make 3 (Some 0) in
-  let taker i () =
+  let taker dom () =
     Atomic.incr waiting;
-    results.(i) <- Wq.take q
+    results.(dom) <- Wq.take q ~dom
   in
-  let domains = List.init 3 (fun i -> Domain.spawn (taker i)) in
+  let domains = List.init 3 (fun dom -> Domain.spawn (taker dom)) in
   (* let the takers reach the queue (and, in practice, block on it) *)
   while Atomic.get waiting < 3 do
     Domain.cpu_relax ()
@@ -70,20 +76,89 @@ let stop_wakes_blocked_takers () =
    it, an empty frontier blocks takers until that path finishes; without
    it, an empty frontier means immediate termination. *)
 let initial_paths_accounting () =
-  let q0 = Wq.create (Frontier.dfs ()) in
+  let q0 = create () in
   check Alcotest.bool "no initial paths: empty queue terminates" true
-    (Wq.take q0 = None);
-  let q = Wq.create ~initial_paths:1 (Frontier.dfs ()) in
+    (Wq.take q0 ~dom:0 = None);
+  let q = create ~initial_paths:1 () in
   let got = ref (Some (-1)) in
-  let taker = Domain.spawn (fun () -> got := Wq.take q) in
+  let taker = Domain.spawn (fun () -> got := Wq.take q ~dom:0) in
   (* the implicit root path pushes one child, then finishes *)
-  Wq.push_batch q [ (meta 1, 7) ];
+  Wq.push_batch q ~dom:0 [ (meta 1, 7) ];
   Wq.finish_path q;
   Domain.join taker;
   check Alcotest.bool "taker got the root's child" true (!got = Some 7);
   (* that child is now in flight; finishing it ends the search *)
   Wq.finish_path q;
-  check Alcotest.bool "drained and no paths in flight" true (Wq.take q = None)
+  check Alcotest.bool "drained and no paths in flight" true (Wq.take q ~dom:0 = None)
+
+(* Steal-half: a take on an empty shard migrates half the victim's items
+   in one batch — the thief consumes one and keeps the rest locally — and
+   leaves ceil(n/2) with the victim. *)
+let steal_half_leaves_half () =
+  let steal_case n =
+    let q = create ~shards:2 () in
+    Wq.push_batch q ~dom:0 (List.init n (fun i -> (meta i, i)));
+    (match Wq.take q ~dom:1 with
+    | None -> Alcotest.failf "n=%d: thief found nothing" n
+    | Some _ -> ());
+    let k = n / 2 in
+    check Alcotest.int
+      (Printf.sprintf "n=%d: victim keeps ceil(n/2)" n)
+      (n - k)
+      (Wq.shard_length q 0);
+    check Alcotest.int
+      (Printf.sprintf "n=%d: thief keeps the batch minus one" n)
+      (k - 1)
+      (Wq.shard_length q 1);
+    check Alcotest.int (Printf.sprintf "n=%d: one steal batch" n) 1
+      (Wq.steal_batches q);
+    check Alcotest.int (Printf.sprintf "n=%d: stolen accounting" n) k
+      (Wq.stolen_items q);
+    check Alcotest.int (Printf.sprintf "n=%d: nothing lost" n) (n - 1)
+      (Wq.length q)
+  in
+  steal_case 8;
+  steal_case 5
+
+(* A singleton is stolen whole — a literal floor(n/2) would leave the
+   thief empty-handed forever and stall the fleet on one-item frontiers. *)
+let steal_singleton () =
+  let q = create ~shards:2 () in
+  Wq.push_batch q ~dom:0 [ (meta 0, 42) ];
+  check Alcotest.bool "thief gets the singleton" true (Wq.take q ~dom:1 = Some 42);
+  check Alcotest.int "victim empty" 0 (Wq.shard_length q 0);
+  check Alcotest.int "thief shard empty" 0 (Wq.shard_length q 1);
+  check Alcotest.int "stolen accounting" 1 (Wq.stolen_items q)
+
+(* Conservation: concurrent thieves hammering one victim shard must hand
+   out every item exactly once, with no duplication or loss. *)
+let concurrent_steal_conservation () =
+  let n = 1000 in
+  let q = create ~shards:4 () in
+  Wq.push_batch q ~dom:0 (List.init n (fun i -> (meta 0, i)));
+  let seen = Array.make n (Atomic.make 0) in
+  Array.iteri (fun i _ -> seen.(i) <- Atomic.make 0) seen;
+  let worker dom () =
+    let rec loop () =
+      match Wq.take q ~dom with
+      | None -> ()
+      | Some i ->
+        Atomic.incr seen.(i);
+        Wq.finish_path q;
+        loop ()
+    in
+    loop ()
+  in
+  let domains = List.init 4 (fun dom -> Domain.spawn (worker dom)) in
+  List.iter Domain.join domains;
+  Array.iteri
+    (fun i c ->
+      if Atomic.get c <> 1 then
+        Alcotest.failf "item %d taken %d times" i (Atomic.get c))
+    seen;
+  check Alcotest.int "frontier drained" 0 (Wq.length q);
+  check Alcotest.bool "steals migrate in batches" true
+    (Wq.stolen_items q >= Wq.steal_batches q)
 
 let tests =
   [ Alcotest.test_case "push-then-finish termination, 4 domains" `Quick
@@ -91,4 +166,9 @@ let tests =
     Alcotest.test_case "stop wakes blocked takers" `Quick
       stop_wakes_blocked_takers;
     Alcotest.test_case "initial_paths accounting" `Quick
-      initial_paths_accounting ]
+      initial_paths_accounting;
+    Alcotest.test_case "steal-half leaves ceil(n/2) with the victim" `Quick
+      steal_half_leaves_half;
+    Alcotest.test_case "singleton is stolen whole" `Quick steal_singleton;
+    Alcotest.test_case "conservation under concurrent steals" `Quick
+      concurrent_steal_conservation ]
