@@ -55,16 +55,17 @@ let fint = string_of_int
 (* {1 Machine-readable results} *)
 
 (* Write BENCH_<experiment>.json next to the working directory.  Schema
-   (version 1, documented in EXPERIMENTS.md): {experiment, quick,
-   schema_version, params, rows} where [params] holds experiment-level
-   settings and [rows] one object per printed table row, typically
-   including a "metrics" sub-object from [Obs.Metrics.to_json]. *)
-let emit_json ~experiment ~quick ~params rows =
+   (version 1 unless the experiment bumps it; documented in
+   EXPERIMENTS.md): {experiment, quick, schema_version, params, rows}
+   where [params] holds experiment-level settings and [rows] one object
+   per printed table row, typically including a "metrics" sub-object from
+   [Obs.Metrics.to_json]. *)
+let emit_json ?(schema = 1) ~experiment ~quick ~params rows =
   let doc =
     Obs.Json.Obj
       [ "experiment", Obs.Json.Str experiment;
         "quick", Obs.Json.Bool quick;
-        "schema_version", Obs.Json.Int 1;
+        "schema_version", Obs.Json.Int schema;
         "params", Obs.Json.Obj params;
         "rows", Obs.Json.Arr rows ]
   in

@@ -9,13 +9,13 @@ type full = {
   bytes : int;
 }
 
-let copy_pages aspace vpns =
-  List.map
-    (fun vpn ->
-      vpn,
-      Bytes.to_string
-        (As.read_bytes aspace ~addr:(Mem.Page.addr_of_vpn vpn) ~len:Mem.Page.size))
-    vpns
+let copy_page aspace vpn =
+  ( vpn,
+    Bytes.to_string
+      (As.read_bytes aspace ~addr:(Mem.Page.addr_of_vpn vpn) ~len:Mem.Page.size)
+  )
+
+let copy_pages aspace vpns = List.map (copy_page aspace) vpns
 
 let full_capture aspace =
   let pages = copy_pages aspace (As.mapped_vpns aspace) in
@@ -41,18 +41,29 @@ let incr_start aspace =
 
 let incr_capture chain aspace =
   let mark = As.snapshot aspace in
-  let dirty_vpns =
+  let pages, dead =
     match chain.marks with
-    | [] -> As.mapped_vpns aspace
+    | [] -> (copy_pages aspace (As.mapped_vpns aspace), [])
     | prev :: _ ->
-      List.map (fun (vpn, _, _) -> vpn)
-        (Stdx.Ptmap.sym_diff
-           (fun (a : Mem.Phys_mem.frame) b -> a == b)
-           (As.snapshot_map_for_debug prev)
-           (As.snapshot_map_for_debug mark))
+      (* Dirty pages come straight out of the snapshot byte delta — the
+         same machinery the tiered payload store demotes with.  Two
+         corrections keep the checkpoint equal to what the guest actually
+         sees, which an explicitly-shared page overrides: a dirty vpn that
+         is (also) shared re-reads through the address space, and a vpn
+         dropped from the private map stays live while a shared page still
+         backs it. *)
+      let pages, dropped = As.snapshot_delta ~parent:prev mark in
+      let pages =
+        List.map
+          (fun ((vpn, _) as page) ->
+            if As.is_shared aspace ~vpn then copy_page aspace vpn else page)
+          pages
+      in
+      let live, dead =
+        List.partition (fun vpn -> As.is_mapped aspace ~vpn) dropped
+      in
+      (pages @ copy_pages aspace live, dead)
   in
-  let live, dead = List.partition (fun vpn -> As.is_mapped aspace ~vpn) dirty_vpns in
-  let pages = copy_pages aspace live in
   chain.marks <- mark :: chain.marks;
   chain.states <-
     { pages; dead; bytes = List.length pages * Mem.Page.size } :: chain.states

@@ -65,7 +65,7 @@ let reason_to_string r = Format.asprintf "%a" Libos.pp_reason r
 
 let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
     ?(max_extensions = max_int) ?(retry_budget = 3) ?strategy_override
-    ?on_stop (machine : Libos.t) =
+    ?tier_stress ?spill_threshold ?on_stop (machine : Libos.t) =
   let stats = Stats.create () in
   let mem_before = Mem.Mem_metrics.copy (Mem.Addr_space.metrics machine.aspace) in
   let retired_before = machine.cpu.Cpu.retired in
@@ -77,17 +77,37 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
   let current_depth = ref 0 in
   let current_snap : Snapshot.t option ref = ref None in
 
-  (* Memory-pressure integration: a bounded physical memory gets a reclaim
-     store, so snapshot payloads can be evicted when frames run out and
-     rebuilt by replay when their extension is finally scheduled. *)
+  (* Memory-pressure integration: a bounded physical memory gets a tiered
+     payload store, so snapshots can be demoted to compressed deltas when
+     frames run out and promoted back (or, past a truncation, rebuilt by
+     replay) when their extension is finally scheduled.  [tier_stress]
+     forces the store on and exercises the tiers on an unbounded memory —
+     the fuzz oracle's hammer. *)
   let phys = Mem.Addr_space.phys machine.aspace in
   let store =
-    if Mem.Phys_mem.capacity phys > 0 then begin
-      let st = Reclaim.create ~fuel_per_step machine in
+    if Mem.Phys_mem.capacity phys > 0 || tier_stress <> None then begin
+      let st = Reclaim.create ~fuel_per_step ?spill_threshold machine in
       Mem.Phys_mem.set_pressure_handler phys (Some (Reclaim.pressure_handler st));
       Some st
     end
     else None
+  in
+  (* Tier-stress hook: every [n]-th scheduler stop demotes every live
+     payload (and compresses/spills immediately — stops are quiet points),
+     and every 5[n]-th additionally truncates everything non-pinned so the
+     replay fallback is exercised too.  Pure store operations: the running
+     machine is never touched. *)
+  let stress_clock = ref 0 in
+  let stress_tick () =
+    match (tier_stress, store) with
+    | Some n, Some st when n > 0 ->
+      incr stress_clock;
+      if !stress_clock mod n = 0 then begin
+        ignore (Reclaim.demote_all st);
+        Reclaim.flush_pending st;
+        if !stress_clock mod (5 * n) = 0 then ignore (Reclaim.evict_all st)
+      end
+    | _ -> ()
   in
   (* Eager snapshot release runs only in the plain in-memory scheduler:
      reclaim mode manages payload lifetime itself (see [Reclaim]), and a
@@ -158,7 +178,12 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
         stats.instructions <-
           stats.instructions - Reclaim.replayed_instructions st;
         stats.payload_evictions <- Reclaim.evictions st;
+        stats.demotions <- Reclaim.demotions st;
+        stats.promotions <- Reclaim.promotions st;
+        stats.spills <- Reclaim.spills st;
+        stats.spill_loads <- Reclaim.spill_loads st;
         stats.replays <- Reclaim.replays st;
+        stats.replay_fallbacks <- Reclaim.replay_fallbacks st;
         stats.replayed_instructions <- Reclaim.replayed_instructions st;
         Mem.Mem_metrics.diff mem_delta (Reclaim.suppressed_mem st)
     in
@@ -207,7 +232,10 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
        snapshot, and nothing reads through the dangling map between the
        release and the restore that replaces it. *)
     let discard_prev () =
-      if recycle_snaps then
+      (* Runs in reclaim mode too (the store's explicit-free discipline
+         covers captured records but not the unfrozen tail of a finished
+         segment); only a non-recycling allocator makes it a no-op. *)
+      if Mem.Phys_mem.recycling phys then
         match prev with
         | Some p when Mem.Addr_space.epoch machine.aspace = !segment_epoch ->
           ignore
@@ -223,9 +251,14 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
     in
     match sc.frontier.Frontier.pop () with
     | Some (ext : Ext.t) -> (
+      (* Discard before resolving: a reconstruction (promotion or replay)
+         clobbers the machine and bumps the epoch, which would leak the
+         finished segment's COW tail to the GC.  Sound because every
+         resolve path that touches the machine starts with a full restore
+         and nothing reads through the outgoing map in between. *)
+      discard_prev ();
       match resolve ext with
       | snap ->
-        discard_prev ();
         release_prev ();
         if recycle_snaps && Snapshot.sole_extension snap then begin
           (* Last restore of this snapshot: adopt its frames into the new
@@ -319,6 +352,7 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
     | `Crash e -> crashed e
     | `Stop stop ->
     (match on_stop with None -> () | Some f -> f machine stop);
+    stress_tick ();
     match stop with
     | Libos.Guess_strategy { strategy } -> (
       match !scope with
@@ -364,9 +398,10 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
           loop ()
         end
         else begin
+          (* Thread lineage in reclaim mode too: the store's explicit-free
+             discipline ([Reclaim]) rides on the record parent chain. *)
           let snap =
-            Snapshot.capture ~ids
-              ?parent:(if store = None then !current_snap else None)
+            Snapshot.capture ~ids ?parent:!current_snap
               ~depth:!current_depth machine
           in
           stats.guesses <- stats.guesses + 1;
@@ -465,7 +500,7 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
           Obs.Trace.instant ~a:!retries Obs.Names.sched_requeue;
         (* the crashed attempt's COW tail dies here; free it before the
            re-restore if no capture froze it *)
-        if recycle_snaps then
+        if Mem.Phys_mem.recycling phys then
           (match !current_snap with
           | Some p when Mem.Addr_space.epoch machine.aspace = !segment_epoch
             ->
@@ -512,10 +547,11 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
   loop ()
 
 let run_image ?mode ?fuel_per_step ?max_extensions ?retry_budget ?capacity
-    ?recycle ?poison ?strategy_override ?(files = []) ?stdin image =
+    ?recycle ?poison ?strategy_override ?tier_stress ?spill_threshold
+    ?(files = []) ?stdin image =
   let phys = Mem.Phys_mem.create ?capacity ?recycle ?poison () in
   let machine = Libos.boot phys image in
   List.iter (fun (path, content) -> Libos.add_file machine ~path content) files;
   Option.iter (Libos.set_stdin machine) stdin;
   run ?mode ?fuel_per_step ?max_extensions ?retry_budget ?strategy_override
-    machine
+    ?tier_stress ?spill_threshold machine

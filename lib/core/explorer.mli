@@ -71,6 +71,8 @@ val run :
   ?max_extensions:int ->
   ?retry_budget:int ->
   ?strategy_override:strategy ->
+  ?tier_stress:int ->
+  ?spill_threshold:int ->
   ?on_stop:(Os.Libos.t -> Os.Libos.stop -> unit) ->
   Os.Libos.t ->
   result
@@ -84,10 +86,17 @@ val run :
     mutate the machine as long as the visible state is unchanged.
 
     Robustness: if the machine's physical memory is bounded
-    ({!Mem.Phys_mem.capacity} > 0), the run installs a {!Reclaim} store as
-    the pressure handler — snapshot payloads are evicted under frame
-    pressure and rebuilt by deterministic replay when scheduled, so
-    exploration completes within budgets smaller than its fault-free peak.
+    ({!Mem.Phys_mem.capacity} > 0), the run installs a tiered {!Reclaim}
+    store as the pressure handler — snapshot payloads are demoted to
+    compressed dirty-page deltas under frame pressure and promoted back
+    by decompress+apply when scheduled (replay remains the fallback past
+    a truncation), so exploration completes within budgets smaller than
+    its fault-free peak.  [tier_stress] forces the store on even with
+    unbounded memory and hammers it: every [n]-th scheduler stop demotes
+    every live payload, every 5[n]-th additionally truncates so the
+    replay fallback runs too — the fuzz oracle's tier-stress pipeline.
+    [spill_threshold] bounds in-memory compressed delta bytes; beyond it
+    cold deltas spill to host temp files (tier 2).
     An exception escaping guest evaluation (an injected crash, a genuine
     out-of-frames) is retried from the path's origin up to [retry_budget]
     total attempts (default 3) before the path is quarantined as a
@@ -103,6 +112,8 @@ val run_image :
   ?recycle:bool ->
   ?poison:bool ->
   ?strategy_override:strategy ->
+  ?tier_stress:int ->
+  ?spill_threshold:int ->
   ?files:(string * string) list ->
   ?stdin:string ->
   Isa.Asm.image ->

@@ -1,37 +1,66 @@
 module Libos = Os.Libos
 module Cpu = Vcpu.Cpu
 module Reg = Isa.Reg
+module As = Mem.Addr_space
 
 exception Replay_diverged of string
 
 type handle = int
 
+(* Payload tiers.  Tier 0 holds the live snapshot (its page map pins
+   physical frames).  A demotion replaces it with the byte delta against
+   the nearest still-live ancestor: first uncompressed page copies ([Raw]
+   — produced inside the allocator's pressure handler, which must not
+   spend time compressing), then codec-packed on the next store access
+   ([Packed], tier 1), then optionally spilled to host disk ([Spilled],
+   tier 2).  A truncated entry (payload [None], tier 3) keeps only the
+   skeleton and falls back to deterministic replay. *)
+type blob =
+  | Raw of (int * string) list
+  | Packed of string
+  | Spilled of { path : string; len : int }
+
+type delta = {
+  mutable d_blob : blob;
+  d_dead : int list;           (* vpns unmapped relative to the base *)
+  d_regs : Cpu.saved;
+  d_os : Libos.os_state;
+  d_base : handle option;      (* ancestor the pages diff against; [None]
+                                  = full image (a root, or no live
+                                  ancestor existed at demotion time) *)
+  d_raw_bytes : int;           (* page bytes before packing *)
+}
+
+type payload =
+  | Live of Snapshot.t
+  | Demoted of delta
+
 (* The skeleton is permanent and tiny (a few ints per entry); only the
-   payload — the snapshot itself, whose page map pins physical frames — is
-   evictable.  Reconstruction needs nothing but the edge metadata: restore
-   the nearest materialised ancestor and re-execute each edge's choice. *)
+   payload is reclaimable, and it degrades through the tiers above before
+   the store ever falls back to re-execution.
+
+   Frame lifetime rides on the {!Snapshot} extension-refcount discipline
+   rather than on the GC: the store holds one extension ref per Live
+   payload (taken at [add]/[add_root] and at every reconstruction) plus
+   one on the record the machine's current state derives from
+   ([t.anchor]).  Demoting, releasing or truncating a Live payload gives
+   its ref back, and [Snapshot.try_free] returns the record's
+   delta-vs-parent frames to the allocator the moment no child record and
+   no extension shares them — cascading up abandoned chains — so the
+   pressure handler reclaims frames without waiting for a major GC.
+   Records captured without a parent (the pinned root, callers that do
+   not thread lineage) simply fall back to GC reclamation: failing to
+   free eagerly leaks nothing. *)
 type entry = {
   e_parent : handle option;
   e_choice : int;              (* rax delivered when re-running the edge *)
   e_stdin : string option;     (* stdin installed alongside (Service) *)
   e_depth : int;
-  e_pinned : bool;             (* roots: always materialised *)
-  mutable e_payload : Snapshot.t option;
+  e_pinned : bool;             (* roots: never truncated or spilled *)
+  mutable e_payload : payload option;
   mutable e_last_used : int;
   mutable e_released : bool;   (* dropped by the client; skeleton kept for
                                   descendants' replays *)
-  (* Eager frame reclamation.  A released entry whose children are all dead
-     can return its payload's delta-vs-parent frames to the allocator
-     immediately instead of waiting for the GC — but only if the payload it
-     was captured from is still the parent's current materialisation.
-     Replay rebuilds payloads with fresh frames, so each materialisation
-     gets a serial and children record which one they were built on; a
-     delta against the wrong materialisation would free shared frames. *)
-  mutable e_children : int;
-  mutable e_dead_children : int;
-  mutable e_dead : bool;       (* released, and every child dead *)
-  mutable e_serial : int;      (* serial of the current materialisation *)
-  mutable e_built_on : int;    (* parent's serial this payload derives from *)
 }
 
 type t = {
@@ -39,27 +68,62 @@ type t = {
   fuel : int;
   ids : Snapshot.ids;
   entries : (handle, entry) Hashtbl.t;
+  spill_files : (string, unit) Hashtbl.t;
+  spill_threshold : int;
   mutable next : int;
   mutable clock : int;
-  mutable serial_next : int;
-  mutable evictions : int;
+  mutable anchor : Snapshot.t option;
+      (* the record whose materialisation the machine's current state
+         derives from (last capture or [get]); the store keeps an
+         extension ref on it so explicit freeing never touches frames the
+         live address space still maps *)
+  mutable pending_raw : int;   (* demotions awaiting compression; a hint —
+                                  [flush_pending] rescans and resets *)
+  mutable evictions : int;     (* truncations (tier 3), not demotions *)
+  mutable demotions : int;
+  mutable promotions : int;
+  mutable spills : int;
+  mutable spill_loads : int;
   mutable replays : int;
+  mutable replay_fallbacks : int;
   mutable replayed_instructions : int;
   suppressed_mem : Mem.Mem_metrics.t;
 }
 
-let create ?(fuel_per_step = 50_000_000) (machine : Libos.t) =
-  { machine;
-    fuel = fuel_per_step;
-    ids = Snapshot.ids ();
-    entries = Hashtbl.create 64;
-    next = 0;
-    clock = 0;
-    serial_next = 0;
-    evictions = 0;
-    replays = 0;
-    replayed_instructions = 0;
-    suppressed_mem = Mem.Mem_metrics.create () }
+let create ?(fuel_per_step = 50_000_000) ?(spill_threshold = max_int)
+    (machine : Libos.t) =
+  let t =
+    { machine;
+      fuel = fuel_per_step;
+      ids = Snapshot.ids ();
+      entries = Hashtbl.create 64;
+      spill_files = Hashtbl.create 8;
+      spill_threshold;
+      next = 0;
+      clock = 0;
+      anchor = None;
+      pending_raw = 0;
+      evictions = 0;
+      demotions = 0;
+      promotions = 0;
+      spills = 0;
+      spill_loads = 0;
+      replays = 0;
+      replay_fallbacks = 0;
+      replayed_instructions = 0;
+      suppressed_mem = Mem.Mem_metrics.create () }
+  in
+  (* Spill files live in the host temp dir; a store that dies with spilled
+     deltas must not leak them. *)
+  Gc.finalise
+    (fun t ->
+      Hashtbl.iter
+        (fun path () -> try Sys.remove path with Sys_error _ -> ())
+        t.spill_files)
+    t;
+  t
+
+let phys_of t = As.phys t.machine.Libos.aspace
 
 let tick t =
   t.clock <- t.clock + 1;
@@ -76,199 +140,476 @@ let fresh t e =
   Hashtbl.replace t.entries h e;
   h
 
-let fresh_serial t =
-  let s = t.serial_next in
-  t.serial_next <- s + 1;
-  s
+(* The machine's state now derives from [snap]'s materialisation: move the
+   store's machine ref there.  Retain-before-release so re-anchoring on the
+   same record is a no-op rather than a transient zero. *)
+let set_anchor t snap =
+  Snapshot.retain snap;
+  (match t.anchor with
+  | Some prev -> Snapshot.release_ext ~phys:(phys_of t) prev
+  | None -> ());
+  t.anchor <- Some snap
 
 let add_root t snap =
+  Snapshot.retain snap;
+  set_anchor t snap;
   fresh t
     { e_parent = None; e_choice = 0; e_stdin = None; e_depth = 0;
-      e_pinned = true; e_payload = Some snap; e_last_used = tick t;
-      e_released = false; e_children = 0; e_dead_children = 0;
-      e_dead = false; e_serial = fresh_serial t; e_built_on = -1 }
+      e_pinned = true; e_payload = Some (Live snap); e_last_used = tick t;
+      e_released = false }
 
 let add t ~parent ~choice ?stdin ~depth snap =
-  let p = entry t parent in
-  p.e_children <- p.e_children + 1;
+  ignore (entry t parent);
+  Snapshot.retain snap;
+  set_anchor t snap;
   fresh t
     { e_parent = Some parent; e_choice = choice; e_stdin = stdin;
-      e_depth = depth; e_pinned = false; e_payload = Some snap;
-      e_last_used = tick t; e_released = false; e_children = 0;
-      e_dead_children = 0; e_dead = false; e_serial = fresh_serial t;
-      e_built_on = p.e_serial }
+      e_depth = depth; e_pinned = false; e_payload = Some (Live snap);
+      e_last_used = tick t; e_released = false }
 
 let depth t h = (entry t h).e_depth
-let is_materialised t h = (entry t h).e_payload <> None
+
+let tier t h =
+  match (entry t h).e_payload with
+  | Some (Live _) -> 0
+  | Some (Demoted { d_blob = Raw _ | Packed _; _ }) -> 1
+  | Some (Demoted { d_blob = Spilled _; _ }) -> 2
+  | None -> 3
+
+let is_materialised t h = tier t h = 0
 let is_released t h = (entry t h).e_released
 
-(* [e] just became dead (released, every child dead).  Propagate upward:
-   an ancestor may have been waiting on this subtree.  Propagation only —
-   ancestors dropped their payloads when they were released, so there is
-   nothing left to free up there. *)
-let rec mark_dead t e =
-  if not e.e_dead then begin
-    e.e_dead <- true;
-    match e.e_parent with
-    | None -> ()
-    | Some p ->
-      let pe = entry t p in
-      pe.e_dead_children <- pe.e_dead_children + 1;
-      if pe.e_released && pe.e_dead_children = pe.e_children then
-        mark_dead t pe
+(* {1 Delta packing}
+
+   Packed layout (before compression): varint page count, then per page a
+   varint vpn, a varint length and the raw bytes.  The whole buffer goes
+   through the {!Stdx.Codec} block codec, whose stored fallback bounds
+   incompressible deltas. *)
+
+let put_varint buf n =
+  let n = ref n in
+  while !n >= 0x80 do
+    Buffer.add_char buf (Char.chr (!n land 0x7f lor 0x80));
+    n := !n lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !n)
+
+let get_varint s pos =
+  let v = ref 0 and shift = ref 0 and fin = ref false in
+  while not !fin do
+    let b = Char.code s.[!pos] in
+    incr pos;
+    v := !v lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b < 0x80 then fin := true
+  done;
+  !v
+
+let pack_pages pages =
+  let buf = Buffer.create 4096 in
+  put_varint buf (List.length pages);
+  List.iter
+    (fun (vpn, data) ->
+      put_varint buf vpn;
+      put_varint buf (String.length data);
+      Buffer.add_string buf data)
+    pages;
+  Stdx.Codec.compress (Buffer.contents buf)
+
+let unpack_pages packed =
+  let s = Stdx.Codec.decompress packed in
+  let pos = ref 0 in
+  let n = get_varint s pos in
+  List.init n (fun _ ->
+      let vpn = get_varint s pos in
+      let len = get_varint s pos in
+      let data = String.sub s !pos len in
+      pos := !pos + len;
+      (vpn, data))
+
+(* Bytes a delta currently holds in host memory / on disk, for the
+   accounting counters in {!Mem.Phys_mem}. *)
+let drop_delta t (d : delta) =
+  let phys = phys_of t in
+  match d.d_blob with
+  | Raw _ -> Mem.Phys_mem.note_delta_bytes phys (-d.d_raw_bytes)
+  | Packed p -> Mem.Phys_mem.note_delta_bytes phys (-(String.length p))
+  | Spilled { path; len } ->
+    Mem.Phys_mem.note_spill_bytes phys (-len);
+    Hashtbl.remove t.spill_files path;
+    (try Sys.remove path with Sys_error _ -> ())
+
+(* {1 Demotion (tier 0 -> 1)} *)
+
+(* Replace the live snapshot with its byte delta against the nearest
+   still-live ancestor (or the full image when none exists — always the
+   case for roots).  Reads frame bytes and allocates only OCaml heap,
+   never frames, so it is safe inside the allocator's pressure handler;
+   compression is deferred to [flush_pending] for the same reason the
+   handler must stay fast.  The delta is pure data: snapshot contents are
+   logically deterministic, so it stays valid however the base is later
+   rebuilt (promotion or replay). *)
+let demote t h =
+  let e = entry t h in
+  match e.e_payload with
+  | None | Some (Demoted _) -> false
+  | Some (Live snap) ->
+    let rec live_ancestor = function
+      | None -> None
+      | Some h' -> (
+        let e' = entry t h' in
+        match e'.e_payload with
+        | Some (Live s) -> Some (h', s)
+        | Some (Demoted _) | None -> live_ancestor e'.e_parent)
+    in
+    let base = live_ancestor e.e_parent in
+    let pages, dead =
+      match base with
+      | Some (_, bs) ->
+        As.snapshot_delta ~parent:bs.Snapshot.mem snap.Snapshot.mem
+      | None -> (As.snapshot_contents snap.Snapshot.mem, [])
+    in
+    let raw_bytes =
+      List.fold_left (fun n (_, data) -> n + String.length data) 0 pages
+    in
+    Mem.Phys_mem.note_delta_bytes (phys_of t) raw_bytes;
+    e.e_payload <-
+      Some
+        (Demoted
+           { d_blob = Raw pages; d_dead = dead; d_regs = snap.Snapshot.regs;
+             d_os = snap.Snapshot.os; d_base = Option.map fst base;
+             d_raw_bytes = raw_bytes });
+    (* The delta above copied every byte it needs; give the store's ref on
+       the record back.  [Snapshot.try_free] returns its delta-vs-parent
+       frames to the allocator right here — and cascades up released
+       chains — unless a child record still inherits them or the machine's
+       current state derives from this record (the anchor ref), in which
+       case the frames come back the moment the last sharer drains.  This
+       is what keeps a pressure event from needing a major collection. *)
+    Snapshot.release_ext ~phys:(phys_of t) snap;
+    t.pending_raw <- t.pending_raw + 1;
+    t.demotions <- t.demotions + 1;
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant ~a:h ~b:e.e_depth Obs.Names.reclaim_demote;
+    true
+
+(* {1 Spilling (tier 1 -> 2)} *)
+
+let spill t h =
+  let e = entry t h in
+  match e.e_payload with
+  | Some (Demoted ({ d_blob = Packed packed; _ } as d)) when not e.e_pinned
+    ->
+    let path = Filename.temp_file "lwsnap-delta" ".bin" in
+    let oc = open_out_bin path in
+    output_string oc packed;
+    close_out oc;
+    Hashtbl.replace t.spill_files path ();
+    let len = String.length packed in
+    let phys = phys_of t in
+    Mem.Phys_mem.note_delta_bytes phys (-len);
+    Mem.Phys_mem.note_spill_bytes phys len;
+    d.d_blob <- Spilled { path; len };
+    t.spills <- t.spills + 1;
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant ~a:h ~b:len Obs.Names.reclaim_spill;
+    true
+  | _ -> false
+
+(* Pack every Raw delta, then apply the spill policy: while the packed
+   bytes held in memory exceed the threshold, spill the coldest
+   non-pinned packed deltas to disk.  Called on the store-access paths
+   ([get]), never from the pressure handler. *)
+let flush_pending t =
+  if t.pending_raw > 0 then begin
+    t.pending_raw <- 0;
+    Hashtbl.iter
+      (fun _ e ->
+        match e.e_payload with
+        | Some (Demoted ({ d_blob = Raw pages; _ } as d)) ->
+          let packed = pack_pages pages in
+          Mem.Phys_mem.note_delta_bytes (phys_of t)
+            (String.length packed - d.d_raw_bytes);
+          d.d_blob <- Packed packed
+        | _ -> ())
+      t.entries
+  end;
+  if
+    t.spill_threshold < max_int
+    && Mem.Phys_mem.delta_bytes_held (phys_of t) > t.spill_threshold
+  then begin
+    let candidates =
+      Hashtbl.fold
+        (fun h e acc ->
+          match e.e_payload with
+          | Some (Demoted { d_blob = Packed _; _ }) when not e.e_pinned ->
+            (e.e_last_used, h) :: acc
+          | _ -> acc)
+        t.entries []
+    in
+    let phys = phys_of t in
+    List.iter
+      (fun (_, h) ->
+        if Mem.Phys_mem.delta_bytes_held phys > t.spill_threshold then
+          ignore (spill t h))
+      (List.sort compare candidates)
   end
+
+(* {1 Reconstruction (promotion, with replay as the fallback)} *)
+
+let load_pages t (d : delta) =
+  match d.d_blob with
+  | Raw pages -> pages
+  | Packed packed -> unpack_pages packed
+  | Spilled { path; len } ->
+    let packed = In_channel.with_open_bin path In_channel.input_all in
+    Hashtbl.remove t.spill_files path;
+    (try Sys.remove path with Sys_error _ -> ());
+    let phys = phys_of t in
+    Mem.Phys_mem.note_spill_bytes phys (-len);
+    Mem.Phys_mem.note_delta_bytes phys len;
+    t.spill_loads <- t.spill_loads + 1;
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant ~a:len Obs.Names.reclaim_spill_load;
+    (* back in memory: uniform accounting for the drop after promotion *)
+    d.d_blob <- Packed packed;
+    unpack_pages packed
+
+(* Rebuild the entry's live snapshot.  A demoted entry promotes by
+   decompress+apply — zero guest instructions: materialise its base (the
+   recursion bottoms out at a live ancestor, a full-image delta, or a
+   pinned root), restore the base's page map, apply the byte delta, load
+   the saved registers and OS state, capture.  A truncated entry replays
+   its one edge from its parent's materialisation, exactly as before the
+   tiers existed.  Both paths clobber the machine (every driver restores a
+   snapshot right after a [get], so this is free) and both re-stamp the
+   serial chain: fresh frames mean a fresh materialisation. *)
+let rec materialise t h =
+  let e = entry t h in
+  match e.e_payload with
+  | Some (Live s) -> s
+  | Some (Demoted d) -> promote t h e d
+  | None -> (
+    match e.e_parent with
+    | Some p ->
+      let base = materialise t p in
+      replay_edge t e base;
+      (match e.e_payload with
+      | Some (Live s) -> s
+      | _ -> assert false)
+    | None ->
+      (* unreachable: roots are pinned and never truncated *)
+      invalid_arg "Reclaim: evicted entry with no materialised ancestor")
+
+and promote t h e d =
+  let base =
+    match d.d_base with
+    | Some bh -> Some (bh, materialise t bh)
+    | None -> None
+  in
+  let m = t.machine in
+  if Obs.Trace.enabled () then
+    Obs.Trace.span_begin ~a:h Obs.Names.reclaim_promote;
+  (* The machine is about to derive from the base's map: anchor it before
+     the page applications below allocate (and possibly fire pressure). *)
+  (match base with Some (_, bs) -> set_anchor t bs | None -> ());
+  let mem0 = Mem.Mem_metrics.copy (As.metrics m.Libos.aspace) in
+  let pages = load_pages t d in
+  Cpu.load m.Libos.cpu d.d_regs;
+  As.restore_pages m.Libos.aspace
+    ~base:(Option.map (fun (_, s) -> s.Snapshot.mem) base)
+    ~pages ~dead:d.d_dead;
+  Libos.os_restore m d.d_os;
+  let snap =
+    Snapshot.capture ~ids:t.ids
+      ?parent:(Option.map snd base)
+      ~depth:e.e_depth m
+  in
+  (* Promotion rebuilds state the original run already paid for; keep its
+     memory-metric costs out of the driver's fault-free figures. *)
+  Mem.Mem_metrics.add t.suppressed_mem
+    (Mem.Mem_metrics.diff (As.metrics m.Libos.aspace) mem0);
+  drop_delta t d;
+  e.e_payload <- Some (Live snap);
+  Snapshot.retain snap;
+  set_anchor t snap;
+  e.e_last_used <- tick t;
+  t.promotions <- t.promotions + 1;
+  if Obs.Trace.enabled () then
+    Obs.Trace.span_end ~a:h ~b:(List.length pages) Obs.Names.reclaim_promote;
+  snap
+
+(* Re-execute one edge: restore the parent's payload, deliver the recorded
+   choice (and stdin), run to the next publish, capture.  The re-run's
+   output and costs are not new information: stdout is discarded (the
+   caller resets its harvest marker after the restore that follows) and
+   the instruction/memory-metric deltas are accumulated for drivers to
+   subtract from the figures they report. *)
+and replay_edge t e base =
+  let m = t.machine in
+  if Obs.Trace.enabled () then
+    Obs.Trace.span_begin ~a:1 Obs.Names.reclaim_replay;
+  let retired0 = m.Libos.cpu.Cpu.retired in
+  let mem0 = Mem.Mem_metrics.copy (As.metrics m.Libos.aspace) in
+  Snapshot.restore m base;
+  set_anchor t base;
+  Cpu.set m.Libos.cpu Reg.rax e.e_choice;
+  Option.iter (Libos.set_stdin m) e.e_stdin;
+  let rec step () =
+    match Libos.run m ~fuel:t.fuel with
+    | Libos.Guess _ -> ()
+    | Libos.Guess_hint _ ->
+      Cpu.set m.Libos.cpu Reg.rax 0;
+      step ()
+    | Libos.Guess_strategy _ ->
+      Cpu.set m.Libos.cpu Reg.rax 1;
+      step ()
+    | (Libos.Guess_fail | Libos.Exited _ | Libos.Killed _) as stop ->
+      raise
+        (Replay_diverged
+           (Format.asprintf
+              "replay reached %a where the original run published a \
+               choice point" Libos.pp_stop stop))
+  in
+  step ();
+  t.replays <- t.replays + 1;
+  let snap = Snapshot.capture ~ids:t.ids ~parent:base ~depth:e.e_depth m in
+  e.e_payload <- Some (Live snap);
+  Snapshot.retain snap;
+  set_anchor t snap;
+  e.e_last_used <- tick t;
+  t.replayed_instructions <-
+    t.replayed_instructions + (m.Libos.cpu.Cpu.retired - retired0);
+  if Obs.Trace.enabled () then
+    Obs.Trace.span_end ~a:1
+      ~b:(m.Libos.cpu.Cpu.retired - retired0)
+      Obs.Names.reclaim_replay;
+  Mem.Mem_metrics.add t.suppressed_mem
+    (Mem.Mem_metrics.diff (As.metrics m.Libos.aspace) mem0)
+
+let get t h =
+  let e = entry t h in
+  if e.e_released then
+    invalid_arg (Printf.sprintf "Reclaim: reference %d was released" h);
+  (* Deliberately NOT an unconditional [flush_pending]: the scheduler pops
+     right after a pressure event, and packing the whole pending set here
+     would put the codec on the search's critical path (and waste it — a
+     delta popped soon after demotion is about to be applied, not stored).
+     Raw deltas already gave their frames back; compressing them buys heap,
+     which only matters once the spill policy has a threshold to enforce. *)
+  if t.spill_threshold < max_int then flush_pending t;
+  e.e_last_used <- tick t;
+  let s =
+    match e.e_payload with
+    | Some (Live s) -> s
+    | Some (Demoted _) | None ->
+      let replays0 = t.replays in
+      let s = materialise t h in
+      (* A reconstruction that had to re-execute even one edge means a
+         delta chain was truncated under it: the promotion path alone
+         could not serve this [get]. *)
+      if t.replays > replays0 then
+        t.replay_fallbacks <- t.replay_fallbacks + 1;
+      s
+  in
+  (* Every driver restores the snapshot it just got (reconstruction
+     already clobbered the machine with it anyway), so the machine's state
+     now derives from this record. *)
+  set_anchor t s;
+  s
+
+(* {1 Lifecycle} *)
 
 let release t h =
   let e = entry t h in
   if not e.e_released then begin
     e.e_released <- true;
     if not e.e_pinned then begin
-      (* Instantly dead — no live descendants share this payload's frames —
-         so its delta against the parent payload is branch-private and can
-         feed the allocator's free list right now.  The serial check pins
-         both payloads to the materialisations the delta is valid for. *)
-      (match e.e_payload, e.e_parent with
-      | Some snap, Some p when e.e_dead_children = e.e_children -> (
-        let pe = entry t p in
-        match pe.e_payload with
-        | Some parent_snap when e.e_built_on = pe.e_serial ->
-          let phys = Mem.Addr_space.phys t.machine.Libos.aspace in
-          if Mem.Phys_mem.recycling phys then
-            ignore (Snapshot.free_delta ~phys ~parent:parent_snap snap)
-        | Some _ | None -> ())
-      | _ -> ());
+      (match e.e_payload with
+      | Some (Live snap) ->
+        (* The store's ref drains; [try_free] feeds the record's
+           branch-private frames to the allocator's free list right now
+           unless a child record or the machine still shares them. *)
+        Snapshot.release_ext ~phys:(phys_of t) snap
+      | Some (Demoted d) -> drop_delta t d
+      | None -> ());
       e.e_payload <- None
-    end;
-    if e.e_dead_children = e.e_children then mark_dead t e
+    end
   end
-
-(* Re-execute the edges from [base] down the chain, capturing a fresh
-   payload at each hop.  Every hop deterministically re-runs guest code the
-   original run already executed, so its output and its costs are not new
-   information: stdout is discarded (the caller resets its harvest marker
-   after the restore that follows), and the instruction/memory-metric
-   deltas are accumulated here so drivers can subtract them from the
-   figures they report. *)
-let replay t base base_serial chain =
-  let m = t.machine in
-  if Obs.Trace.enabled () then
-    Obs.Trace.span_begin ~a:(List.length chain) Obs.Names.reclaim_replay;
-  let retired0 = m.Libos.cpu.Cpu.retired in
-  let mem0 = Mem.Mem_metrics.copy (Mem.Addr_space.metrics m.Libos.aspace) in
-  Snapshot.restore m base;
-  let prev_serial = ref base_serial in
-  List.iter
-    (fun e ->
-      Cpu.set m.Libos.cpu Reg.rax e.e_choice;
-      Option.iter (Libos.set_stdin m) e.e_stdin;
-      let rec step () =
-        match Libos.run m ~fuel:t.fuel with
-        | Libos.Guess _ -> ()
-        | Libos.Guess_hint _ ->
-          Cpu.set m.Libos.cpu Reg.rax 0;
-          step ()
-        | Libos.Guess_strategy _ ->
-          Cpu.set m.Libos.cpu Reg.rax 1;
-          step ()
-        | (Libos.Guess_fail | Libos.Exited _ | Libos.Killed _) as stop ->
-          raise
-            (Replay_diverged
-               (Format.asprintf
-                  "replay reached %a where the original run published a \
-                   choice point" Libos.pp_stop stop))
-      in
-      step ();
-      t.replays <- t.replays + 1;
-      e.e_payload <- Some (Snapshot.capture ~ids:t.ids ~depth:e.e_depth m);
-      (* fresh frames, fresh materialisation: re-stamp the serial chain *)
-      e.e_serial <- fresh_serial t;
-      e.e_built_on <- !prev_serial;
-      prev_serial := e.e_serial;
-      e.e_last_used <- tick t)
-    chain;
-  t.replayed_instructions <-
-    t.replayed_instructions + (m.Libos.cpu.Cpu.retired - retired0);
-  if Obs.Trace.enabled () then
-    Obs.Trace.span_end ~a:(List.length chain)
-      ~b:(m.Libos.cpu.Cpu.retired - retired0)
-      Obs.Names.reclaim_replay;
-  Mem.Mem_metrics.add t.suppressed_mem
-    (Mem.Mem_metrics.diff (Mem.Addr_space.metrics m.Libos.aspace) mem0)
-
-let get t h =
-  let e = entry t h in
-  if e.e_released then
-    invalid_arg (Printf.sprintf "Reclaim: reference %d was released" h);
-  e.e_last_used <- tick t;
-  match e.e_payload with
-  | Some s -> s
-  | None ->
-    (* Walk up to the nearest materialised ancestor, then replay down. *)
-    let rec up chain h' =
-      let e' = entry t h' in
-      match e'.e_payload with
-      | Some base -> base, e'.e_serial, chain
-      | None -> (
-        match e'.e_parent with
-        | Some p -> up (e' :: chain) p
-        | None ->
-          (* unreachable: roots are pinned and never evicted *)
-          invalid_arg "Reclaim: evicted entry with no materialised ancestor")
-    in
-    let base, base_serial, chain = up [] h in
-    replay t base base_serial chain;
-    (match e.e_payload with
-    | Some s -> s
-    | None -> assert false)
 
 let evict t h =
   let e = entry t h in
-  if e.e_pinned || e.e_payload = None then false
-  else begin
+  match e.e_payload with
+  | None -> false
+  | Some _ when e.e_pinned -> false
+  | Some payload ->
+    (match payload with
+    | Live snap -> Snapshot.release_ext ~phys:(phys_of t) snap
+    | Demoted d -> drop_delta t d);
     e.e_payload <- None;
     t.evictions <- t.evictions + 1;
     if Obs.Trace.enabled () then
       Obs.Trace.instant ~a:h ~b:e.e_depth Obs.Names.reclaim_evict;
     true
-  end
 
-(* Deepest first, then least-recently-resumed: deep payloads are cheap to
-   rebuild (their parents are shallower, hence evicted later) and cold
-   payloads are the least likely to be resumed soon. *)
-let evict_under_pressure t =
-  let victims =
-    Hashtbl.fold
-      (fun h e acc ->
-        if e.e_pinned || e.e_payload = None then acc
-        else (e.e_depth, e.e_last_used, h) :: acc)
-      t.entries []
-  in
-  let victims =
-    List.sort
-      (fun (d1, u1, _) (d2, u2, _) ->
-        match compare d2 d1 with 0 -> compare u1 u2 | c -> c)
-      victims
-  in
-  let target = max 1 (List.length victims / 2) in
+(* {1 Pressure policy} *)
+
+(* Deepest first, then least-recently-resumed: deep payloads carry the
+   longest COW tails (the frames worth shedding) and cold payloads are the
+   least likely to be resumed soon.  Deepest-first also means every victim
+   still finds its parent live when it computes its delta, so demotion
+   under pressure always produces one-edge deltas.  Demotion is
+   feedback-driven: each victim's [release_ext] returns its delta frames
+   straight to the allocator, so stop as soon as the live count drops back
+   under the watermark — shedding more would copy pages (and later promote
+   them back) for frames nobody needed.  Only when the explicit frees
+   never clear the mark (shared frames, an anchor chain) does the sweep
+   run through every victim and leave the rest to the allocator's
+   collection. *)
+let demote_under_pressure t =
+  let phys = phys_of t in
   let rec go n = function
     | [] -> n
-    | _ when n >= target -> n
-    | (_, _, h) :: rest -> go (if evict t h then n + 1 else n) rest
+    | _ when n > 0 && Mem.Phys_mem.below_watermark phys -> n
+    | (_, _, h) :: rest -> go (if demote t h then n + 1 else n) rest
   in
-  if victims = [] then 0 else go 0 victims
+  Hashtbl.fold
+    (fun h e acc ->
+      match e.e_payload with
+      | Some (Live _) when not e.e_pinned ->
+        (e.e_depth, e.e_last_used, h) :: acc
+      | _ -> acc)
+    t.entries []
+  |> List.sort (fun (d1, u1, _) (d2, u2, _) ->
+         match compare d2 d1 with 0 -> compare u1 u2 | c -> c)
+  |> go 0
+
+(* Demote every live payload, deepest first (so each diffs against a
+   still-live parent), pinned roots included — they stop at tier 1. *)
+let demote_all t =
+  Hashtbl.fold
+    (fun h e acc ->
+      match e.e_payload with
+      | Some (Live _) -> (e.e_depth, h) :: acc
+      | _ -> acc)
+    t.entries []
+  |> List.sort (fun (d1, _) (d2, _) -> compare d2 d1)
+  |> List.fold_left (fun n (_, h) -> if demote t h then n + 1 else n) 0
 
 let evict_all t =
   Hashtbl.fold (fun h _ acc -> h :: acc) t.entries []
   |> List.fold_left (fun n h -> if evict t h then n + 1 else n) 0
 
-let pressure_handler t = fun () -> ignore (evict_under_pressure t)
+let pressure_handler t = fun () -> ignore (demote_under_pressure t)
+
+(* {1 Introspection} *)
 
 let snapshot_ids t = t.ids
 
 let materialised t =
   Hashtbl.fold
     (fun _ e acc ->
-      match e.e_payload with Some s -> s :: acc | None -> acc)
+      match e.e_payload with Some (Live s) -> s :: acc | _ -> acc)
     t.entries []
 
 let live_entries t =
@@ -278,10 +619,16 @@ let live_entries t =
 
 let materialised_count t =
   Hashtbl.fold
-    (fun _ e n -> if e.e_payload = None then n else n + 1)
+    (fun _ e n ->
+      match e.e_payload with Some (Live _) -> n + 1 | _ -> n)
     t.entries 0
 
 let evictions t = t.evictions
+let demotions t = t.demotions
+let promotions t = t.promotions
+let spills t = t.spills
+let spill_loads t = t.spill_loads
 let replays t = t.replays
+let replay_fallbacks t = t.replay_fallbacks
 let replayed_instructions t = t.replayed_instructions
 let suppressed_mem t = t.suppressed_mem

@@ -1,25 +1,42 @@
-(** Snapshot eviction with replay-based reconstruction (§5).
+(** Tiered snapshot storage: evict by compressing deltas, not by
+    forgetting (§5).
 
     The paper argues snapshots stay viable at scale because the system can
-    {e discard} them under memory pressure and rebuild them later by
-    re-executing from an ancestor.  This module is that layer: a store of
-    published snapshots where each entry permanently keeps a skeleton —
-    [(parent handle, choice, stdin, depth)], a few words — while the
-    payload (the snapshot, whose page map pins physical frames) can be
-    evicted at any time.
+    shed them under memory pressure and rebuild them later.  This module
+    is that layer, as a store of published snapshots whose payloads
+    degrade through tiers instead of vanishing:
 
-    {!get} on an evicted entry walks up to the nearest materialised
-    ancestor and deterministically re-executes each edge: restore the
-    ancestor, deliver the recorded choice in [rax] (and the recorded stdin,
-    if any), run to the next [sys_guess], capture.  Guest output produced
-    during replay is discarded (drivers reset their harvest marker after
-    the restore that follows a [get]) and the instruction / memory-metric
-    cost is accumulated separately ({!replayed_instructions},
-    {!suppressed_mem}) so drivers can report fault-free figures.
+    - {e tier 0} — the live snapshot; its page map pins physical frames.
+    - {e tier 1} — a compressed dirty-page delta against the nearest
+      still-live ancestor (held in host memory, accounted via
+      {!Mem.Phys_mem.note_delta_bytes}).  {!demote} moves 0 → 1 in two
+      steps: the pressure-handler half only copies page bytes out
+      (allocation-free with respect to frames, and fast), and compression
+      is deferred to {!flush_pending} — run by {!get} only on stores with
+      a spill budget to enforce, so the codec stays off the scheduler's
+      pop path.
+    - {e tier 2} — the compressed delta spilled to a host temp file, for
+      stores given a [spill_threshold] budget on in-memory delta bytes.
+    - {e tier 3} — truncated: payload gone, skeleton kept.  Only
+      {!evict} produces this state now; it is no longer the pressure
+      policy, just the fallback the store can always recover from.
 
-    Roots are pinned: they are the replay base of last resort.  Released
-    entries drop their payload and refuse {!get}, but keep their skeleton
-    — a descendant's replay may pass through them. *)
+    {!get} on a demoted entry {e promotes}: materialise the delta's base
+    (recursively), restore its page map, apply the byte delta, load the
+    saved registers and OS state, capture — zero guest instructions.
+    Only a truncated entry falls back to deterministic replay of its edge
+    from the parent: restore, deliver the recorded choice in [rax] (and
+    the recorded stdin, if any), run to the next [sys_guess], capture.
+    Guest output produced during reconstruction is discarded (drivers
+    reset their harvest marker after the restore that follows a [get])
+    and the replay instruction / memory-metric cost is accumulated
+    separately ({!replayed_instructions}, {!suppressed_mem}) so drivers
+    can report fault-free figures.
+
+    Roots are pinned: they may demote to a tier-1 full image but never
+    spill and never truncate, so reconstruction always bottoms out.
+    Released entries drop their payload and refuse {!get}, but keep their
+    skeleton — a descendant's replay may pass through them. *)
 
 type handle = int
 
@@ -30,13 +47,17 @@ exception Replay_diverged of string
 
 type t
 
-val create : ?fuel_per_step:int -> Os.Libos.t -> t
-(** The machine is the replay vehicle: reconstruction restores and re-runs
-    on it.  Callers must treat machine state as clobbered across {!get}
-    (every driver restores a snapshot right after, so this is free). *)
+val create : ?fuel_per_step:int -> ?spill_threshold:int -> Os.Libos.t -> t
+(** The machine is the reconstruction vehicle: promotion and replay both
+    restore onto it.  Callers must treat machine state as clobbered
+    across {!get} (every driver restores a snapshot right after, so this
+    is free).  [spill_threshold] (default [max_int] = never spill) bounds
+    the compressed delta bytes held in host memory: beyond it,
+    {!flush_pending} spills the coldest packed deltas to disk. *)
 
 val add_root : t -> Snapshot.t -> handle
-(** Register a pinned root: never evicted, the base of every replay. *)
+(** Register a pinned root: never spilled or truncated, the
+    reconstruction base of last resort. *)
 
 val add :
   t -> parent:handle -> choice:int -> ?stdin:string -> depth:int ->
@@ -45,50 +66,110 @@ val add :
     restoring [parent] and delivering [choice] (and [stdin], if given). *)
 
 val get : t -> handle -> Snapshot.t
-(** The entry's snapshot, reconstructing it by replay if evicted.
+(** The entry's snapshot, reconstructed if not live: promotion
+    (decompress + apply) for demoted entries, replay only where the chain
+    was truncated.  Runs {!flush_pending} first when the store has a
+    [spill_threshold] to enforce; otherwise pending raw deltas stay raw —
+    their frames are already free, and packing them here would put the
+    codec on the scheduler's critical path.
     @raise Invalid_argument on an unknown or released handle.
-    @raise Replay_diverged if re-execution does not reach a choice point. *)
+    @raise Replay_diverged if a replay does not reach a choice point. *)
 
 val depth : t -> handle -> int
+
+val tier : t -> handle -> int
+(** 0 live, 1 in-memory delta, 2 spilled delta, 3 truncated. *)
+
 val is_materialised : t -> handle -> bool
+(** [tier t h = 0]. *)
+
 val is_released : t -> handle -> bool
 
 val release : t -> handle -> unit
 (** Drop the payload and refuse future {!get}s; the skeleton stays so
     descendants can still replay through this entry. *)
 
+(** {1 Tier transitions} *)
+
+val demote : t -> handle -> bool
+(** Tier 0 → 1: replace the live snapshot with its dirty-page delta
+    against the nearest still-live ancestor (a full image when none
+    exists).  The delta is left uncompressed until the next
+    {!flush_pending}; the frames the snapshot pinned become unreachable.
+    [false] if the payload is not live.  Safe inside a {!Mem.Phys_mem}
+    pressure handler: reads frame bytes, allocates no frames, never runs
+    guest code. *)
+
+val demote_all : t -> int
+(** Demote every live payload, deepest first (so every delta is against a
+    still-live parent), pinned roots included; returns the number
+    demoted. *)
+
+val flush_pending : t -> unit
+(** Compress deltas parked by {!demote}, then spill the coldest packed
+    deltas while in-memory delta bytes exceed the [spill_threshold].
+    Run by {!get} on stores with a spill budget; exposed for drivers that
+    want compression to happen at a quiet point of their own choosing. *)
+
+val spill : t -> handle -> bool
+(** Tier 1 → 2: write the packed delta to a host temp file and drop the
+    in-memory copy.  [false] unless the entry holds a packed delta and is
+    not pinned. *)
+
 val evict : t -> handle -> bool
-(** Drop one payload; [false] if pinned or already evicted. *)
+(** Truncate: drop the payload entirely (tier 3); [false] if pinned or
+    already truncated.  Reconstruction degrades to replay for this
+    entry. *)
 
 val evict_all : t -> int
-(** Evict every evictable payload (testing / introspection); returns the
-    number evicted. *)
+(** Truncate every non-pinned payload (testing / worst-case
+    introspection); returns the number truncated. *)
 
-val evict_under_pressure : t -> int
-(** The pressure policy: evict half the evictable payloads (at least one),
-    deepest first, least-recently-resumed first among equals.  Returns the
-    number evicted.  Safe to call from a {!Mem.Phys_mem} pressure handler:
-    it only drops references, never allocates or replays. *)
+val demote_under_pressure : t -> int
+(** The pressure policy: demote live non-pinned payloads — deepest first,
+    least-recently-resumed first among equals — until the allocator's
+    live count drops back below its watermark (at least one victim; every
+    victim when the explicit frees never clear the mark).  Returns the
+    number demoted.  Safe to call from a {!Mem.Phys_mem} pressure
+    handler: it copies bytes out of frames but never allocates frames,
+    compresses, or replays. *)
 
 val pressure_handler : t -> unit -> unit
-(** [evict_under_pressure] packaged for {!Mem.Phys_mem.set_pressure_handler}. *)
+(** [demote_under_pressure] packaged for
+    {!Mem.Phys_mem.set_pressure_handler}. *)
 
 val snapshot_ids : t -> Snapshot.ids
-(** The id allocator replays capture under; drivers that capture into the
-    store themselves must use it too, so ids stay unique per store. *)
+(** The id allocator reconstruction captures under; drivers that capture
+    into the store themselves must use it too, so ids stay unique per
+    store. *)
 
 val materialised : t -> Snapshot.t list
+(** Live (tier-0) snapshots only. *)
 
 val live_entries : t -> int
 (** Entries not released. *)
 
 val materialised_count : t -> int
 
+(** {1 Counters} *)
+
 val evictions : t -> int
+(** Truncations (tier 3), not demotions. *)
+
+val demotions : t -> int
+val promotions : t -> int
+
+val spills : t -> int
+val spill_loads : t -> int
 
 val replays : t -> int
 (** Edges re-executed. *)
 
+val replay_fallbacks : t -> int
+(** {!get}s that could not be served by promotion alone because a delta
+    chain was truncated under them. *)
+
 val replayed_instructions : t -> int
 val suppressed_mem : t -> Mem.Mem_metrics.t
-(** Memory-metric deltas incurred by replays, to subtract from reports. *)
+(** Memory-metric deltas incurred by reconstruction, to subtract from
+    reports. *)

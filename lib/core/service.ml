@@ -11,6 +11,10 @@ type t = {
      stdin).  [None] only before the first publish, whose snapshot is the
      pinned replay root. *)
   mutable pending : (ref_ * int * string option) option;
+  (* the record the machine's state currently derives from; threaded as
+     the parent of the next publish's capture so the store's explicit
+     frame-free discipline sees the lineage *)
+  mutable base_snap : Snapshot.t option;
   mutable depth_next : int;
   fuel_per_step : int;
   mutable marker : string list;
@@ -34,9 +38,10 @@ let harvest t =
 
 let publish t =
   let snap =
-    Snapshot.capture ~ids:(Reclaim.snapshot_ids t.store) ~depth:t.depth_next
-      t.machine
+    Snapshot.capture ~ids:(Reclaim.snapshot_ids t.store)
+      ?parent:t.base_snap ~depth:t.depth_next t.machine
   in
+  t.base_snap <- Some snap;
   match t.pending with
   | None -> Reclaim.add_root t.store snap
   | Some (parent, choice, stdin) ->
@@ -60,12 +65,13 @@ let rec advance t =
     advance t
   | Libos.Killed reason -> Crashed (Format.asprintf "%a" Libos.pp_reason reason)
 
-let boot ?(fuel_per_step = 50_000_000) ?capacity ?(files = []) ?stdin image =
+let boot ?(fuel_per_step = 50_000_000) ?capacity ?spill_threshold ?(files = [])
+    ?stdin image =
   let phys = Mem.Phys_mem.create ?capacity () in
   let machine = Libos.boot phys image in
   List.iter (fun (path, content) -> Libos.add_file machine ~path content) files;
   Option.iter (Libos.set_stdin machine) stdin;
-  let store = Reclaim.create ~fuel_per_step machine in
+  let store = Reclaim.create ~fuel_per_step ?spill_threshold machine in
   if Mem.Phys_mem.capacity phys > 0 then
     Mem.Phys_mem.set_pressure_handler phys
       (Some (Reclaim.pressure_handler store));
@@ -73,6 +79,7 @@ let boot ?(fuel_per_step = 50_000_000) ?capacity ?(files = []) ?stdin image =
     { machine;
       store;
       pending = None;
+      base_snap = None;
       depth_next = 0;
       fuel_per_step;
       marker = Libos.stdout_chunks machine }
@@ -82,6 +89,7 @@ let boot ?(fuel_per_step = 50_000_000) ?capacity ?(files = []) ?stdin image =
 let resume t r ~choice ?stdin () =
   let snap = Reclaim.get t.store r in
   Snapshot.restore t.machine snap;
+  t.base_snap <- Some snap;
   t.pending <- Some (r, choice, stdin);
   t.depth_next <- Reclaim.depth t.store r + 1;
   t.marker <- Libos.stdout_chunks t.machine;
@@ -98,9 +106,16 @@ let live_candidates t = Reclaim.live_entries t.store
 let distinct_frames t = Snapshot.distinct_frames (Reclaim.materialised t.store)
 
 let evict_all t = Reclaim.evict_all t.store
+let demote_all t = Reclaim.demote_all t.store
+let candidate_tier t r = Reclaim.tier t.store r
 
 let materialised_candidates t = Reclaim.materialised_count t.store
 let payload_evictions t = Reclaim.evictions t.store
+let demotions t = Reclaim.demotions t.store
+let promotions t = Reclaim.promotions t.store
+let spills t = Reclaim.spills t.store
+let spill_loads t = Reclaim.spill_loads t.store
 let replays t = Reclaim.replays t.store
+let replay_fallbacks t = Reclaim.replay_fallbacks t.store
 
 let machine t = t.machine

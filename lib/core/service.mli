@@ -11,10 +11,12 @@
     Solving [p] then [p ∧ q] incrementally is: resume the reference
     obtained after solving [p].
 
-    Candidates live in a {!Reclaim} store: under memory pressure (a
-    bounded physical memory, or an explicit {!evict_all}) their snapshot
-    payloads are discarded and rebuilt by deterministic replay on the next
-    resume — the immutability guarantee of {!resume} survives eviction. *)
+    Candidates live in a tiered {!Reclaim} store: under memory pressure
+    (a bounded physical memory, or an explicit {!demote_all}) their
+    snapshot payloads are compressed into dirty-page deltas and promoted
+    back by decompress+apply on the next resume; only an outright
+    truncation ({!evict_all}) degrades reconstruction to deterministic
+    replay — the immutability guarantee of {!resume} survives both. *)
 
 type t
 
@@ -31,13 +33,16 @@ type outcome =
 val boot :
   ?fuel_per_step:int ->
   ?capacity:int ->
+  ?spill_threshold:int ->
   ?files:(string * string) list ->
   ?stdin:string ->
   Isa.Asm.image ->
   t * outcome
 (** Boot the guest and run it to its first choice point (or completion).
     [capacity] bounds the physical frame budget; under pressure the store
-    evicts candidate payloads rather than failing allocations. *)
+    demotes candidate payloads to compressed deltas rather than failing
+    allocations.  [spill_threshold] bounds in-memory delta bytes; colder
+    deltas spill to host temp files past it. *)
 
 val resume : t -> ref_ -> choice:int -> ?stdin:string -> unit -> outcome
 (** Restore the candidate's snapshot (reconstructing it by replay if its
@@ -64,10 +69,23 @@ val distinct_frames : t -> int
 (** Physical frames backing all {e materialised} candidates together. *)
 
 val evict_all : t -> int
-(** Evict every evictable candidate payload; returns the number evicted. *)
+(** Truncate every non-pinned candidate payload (worst case: the next
+    resume of each falls back to replay); returns the number truncated. *)
+
+val demote_all : t -> int
+(** Demote every live candidate payload to its compressed delta; returns
+    the number demoted. *)
+
+val candidate_tier : t -> ref_ -> int
+(** 0 live, 1 in-memory delta, 2 spilled, 3 truncated. *)
 
 val materialised_candidates : t -> int
 val payload_evictions : t -> int
+val demotions : t -> int
+val promotions : t -> int
+val spills : t -> int
+val spill_loads : t -> int
 val replays : t -> int
+val replay_fallbacks : t -> int
 
 val machine : t -> Os.Libos.t

@@ -139,8 +139,8 @@ let compare_multiset pipeline (a : run) (b : run) =
 
 (* {1 Pipelines} *)
 
-let boot ?recycle ?poison image ~icache =
-  let phys = Mem.Phys_mem.create ?recycle ?poison () in
+let boot ?recycle ?poison ?track_live image ~icache =
+  let phys = Mem.Phys_mem.create ?recycle ?poison ?track_live () in
   Libos.boot ~icache phys image
 
 let explorer_pipeline ?on_stop ?recycle ?poison ~icache image =
@@ -242,8 +242,9 @@ let check_image ?(ckpt_every = 1) image =
   (* Baseline: explorer with icache, tracing every Addr_space op.  Frame
      recycling off: the baseline keeps the GC-only seed cost model, so the
      recycling pipeline below is checked against an allocator that never
-     reuses a buffer. *)
-  let machine = boot ~recycle:false image ~icache:true in
+     reuses a buffer.  Live tracking gives the peak the tiered-store
+     pipeline sizes its frame budget under. *)
+  let machine = boot ~recycle:false ~track_live:true image ~icache:true in
   let initial_pages =
     List.map
       (fun vpn -> (vpn, page_string machine.Libos.aspace vpn))
@@ -269,6 +270,22 @@ let check_image ?(ckpt_every = 1) image =
            it diverges loudly instead of silently. *)
         compare_exact "recycle" base
           (explorer_pipeline ~icache:true ~recycle:true ~poison:true image));
+      (fun () ->
+        (* Tiered payload store under maximum stress: a frame budget below
+           the GC-only peak, a hook that demotes every live payload to its
+           compressed delta at every scheduler stop (truncating everything
+           every 5th, so the replay fallback runs too), and a zero spill
+           budget pushing cold deltas through host disk — on a poisoned
+           recycling allocator, so a frame freed while a delta still
+           described it diverges loudly.  Reconstruction is supposed to be
+           invisible: exact agreement, instruction count included. *)
+        let peak = Mem.Phys_mem.peak_frames_live (As.phys machine.Libos.aspace) in
+        let phys =
+          Mem.Phys_mem.create ~capacity:(max 64 (peak / 3)) ~poison:true ()
+        in
+        let m = Libos.boot ~icache:true phys image in
+        let r = Explorer.run ~tier_stress:1 ~spill_threshold:0 m in
+        compare_exact "tiered-store" base (machine_run m r));
       (fun () ->
         compare_multiset "parallel-coop" base
           (parallel_pipeline ~backend:`Cooperative image));

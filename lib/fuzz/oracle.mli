@@ -22,6 +22,14 @@
       elision and adopting restores must be guest-invisible, and the
       poison turns any premature free into a loud divergence; must match
       exactly;
+    + {b tiered-store}: the explorer under a frame budget below the
+      baseline's peak with the tiered {!Core.Reclaim} store hammered at
+      every scheduler stop — every live payload demoted to its compressed
+      delta (truncated outright every 5th stop, so the replay fallback
+      runs too) and a zero spill budget pushing cold deltas through host
+      disk, on a poisoned recycling allocator.  Demotion, promotion,
+      spilling and replay are supposed to be invisible, so this must
+      match {e exactly}, retired instruction count included;
     + {b parallel-coop} / {b parallel-domains}: {!Core.Parallel} with 4
       workers on each backend.  Path completion order is
       schedule-dependent, so these are compared as multisets: same

@@ -439,6 +439,62 @@ let import_delta t ~base ~target =
     0
     (Ptmap.sym_diff frame_eq base.snap_map target.snap_map)
 
+(* {1 Byte-level deltas}
+
+   The frame-level entry points above free or adopt the delta's frames;
+   these two read the delta's *contents*.  The result is pure data —
+   strings, no frames — so it stays valid however long it is retained and
+   wherever the parent's frames go afterwards: snapshot contents are
+   logically deterministic, so a byte delta recorded against one
+   materialisation of the parent applies equally to any later rebuild of
+   it.  This is the demotion path of the tiered payload store
+   ([Core.Reclaim]): reading frame bytes allocates no frames, so it is
+   safe inside the allocator's pressure handler. *)
+
+(* Pages whose backing differs between [parent] and [s], as
+   [(vpn, contents) list] plus the vpns [s] dropped.  Shared pages live
+   outside snapshot maps and never appear. *)
+let snapshot_delta ~parent s =
+  List.fold_left
+    (fun (pages, dead) (vpn, _before, now) ->
+      match (now : Phys_mem.frame option) with
+      | Some f -> ((vpn, Bytes.to_string f.bytes) :: pages, dead)
+      | None -> (pages, vpn :: dead))
+    ([], [])
+    (Ptmap.sym_diff frame_eq parent.snap_map s.snap_map)
+
+(* The full private image of [s]: every (vpn, contents) it maps. *)
+let snapshot_contents s =
+  Ptmap.fold
+    (fun vpn (f : Phys_mem.frame) acc -> (vpn, Bytes.to_string f.bytes) :: acc)
+    s.snap_map []
+
+let is_zero_page data =
+  let n = String.length data in
+  let rec go i = i >= n || (String.unsafe_get data i = '\000' && go (i + 1)) in
+  go 0
+
+(* Rebuild a snapshot's logical state from a byte delta: restore [base]
+   (or wipe the private map when the delta is a full image), then map each
+   delta page and unmap each dead vpn.  All-zero pages go through the
+   shared zero frame so a promoted snapshot keeps the same demand-zero
+   sharing a replayed one would have.  The caller captures immediately
+   after, freezing the result. *)
+let restore_pages t ~base ~pages ~dead =
+  (match base with
+  | Some b -> restore t b
+  | None ->
+    t.metrics.restores <- t.metrics.restores + 1;
+    tlb_flush t;
+    t.map <- Ptmap.empty;
+    t.gen <- Phys_mem.fresh_generation t.phys;
+    t.epoch <- t.epoch + 1);
+  List.iter
+    (fun (vpn, data) ->
+      if is_zero_page data then map_zero t ~vpn else map_data t ~vpn data)
+    pages;
+  List.iter (fun vpn -> unmap t ~vpn) dead
+
 let snapshot_id s = s.snap_id
 let snapshot_pages s = Ptmap.cardinal s.snap_map
 

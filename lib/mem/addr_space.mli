@@ -146,6 +146,37 @@ val import_delta : t -> base:snapshot -> target:snapshot -> int
     snapshot references pin them — see the Domains backend in
     [Core.Parallel]). *)
 
+(** {1 Byte-level deltas}
+
+    Where the explicit-lifecycle entry points free or adopt a delta's
+    {e frames}, these read its {e contents}.  The result is pure data —
+    no frames — so it stays valid however long it is retained and
+    survives the parent being freed, rematerialised or replayed: snapshot
+    contents are logically deterministic, so a byte delta recorded
+    against one materialisation applies equally to any later rebuild.
+    Reading frame bytes allocates no frames, which is what lets the
+    tiered payload store ([Core.Reclaim]) demote snapshots from inside
+    the allocator's pressure handler. *)
+
+val snapshot_delta :
+  parent:snapshot -> snapshot -> (int * string) list * int list
+(** [snapshot_delta ~parent s] is [(pages, dead)]: the [(vpn, contents)]
+    of every page whose backing differs between [parent] and [s], plus
+    the vpns [s] unmapped.  Explicitly-shared pages live outside snapshot
+    maps and never appear. *)
+
+val snapshot_contents : snapshot -> (int * string) list
+(** The full private image of a snapshot — a delta against the empty
+    map.  Used when demoting a snapshot with no materialised ancestor. *)
+
+val restore_pages :
+  t -> base:snapshot option -> pages:(int * string) list -> dead:int list -> unit
+(** Rebuild a snapshot's logical state from a byte delta: restore [base]
+    ([None] wipes the private map — the full-image case), then map each
+    page of [pages] and unmap each vpn of [dead].  All-zero pages map
+    through the shared zero frame, preserving demand-zero sharing.  The
+    caller must capture immediately after to freeze the result. *)
+
 (** {1 Operation tracing}
 
     A recorder for the state-changing operations applied to this address

@@ -61,6 +61,15 @@ type t = {
   mutable total_allocs : int;
       (* frames ever allocated; [next_frame] cannot serve because adoption
          re-stamps frame ids from the same sequence *)
+  mutable delta_bytes : int;
+      (* bytes of demoted snapshot deltas currently held in host memory by
+         the tiered payload store — the budget the simulated machine spends
+         on "compressed snapshots" instead of frames.  Reported, not
+         charged against [capacity]: the substitution table maps the
+         paper's compressed store to host heap outside guest frame RAM *)
+  mutable peak_delta_bytes : int;
+  mutable spill_bytes : int;
+      (* bytes of deltas currently spilled to host disk (tier 2) *)
 }
 
 (* Generation 0 is reserved: it owns the zero frame and nothing else, so no
@@ -81,7 +90,8 @@ let create ?(capacity = 0) ?(track_live = false) ?(recycle = true)
     live = Atomic.make 0; peak_live = 0;
     on_pressure = None; pressure_events = 0; watermark_armed = true;
     alloc_fault = None;
-    recycle; poison; free_bufs = []; free_len = 0; total_allocs = 0 }
+    recycle; poison; free_bufs = []; free_len = 0; total_allocs = 0;
+    delta_bytes = 0; peak_delta_bytes = 0; spill_bytes = 0 }
 
 let metrics t = t.metrics
 
@@ -98,6 +108,15 @@ let pressure_events t = t.pressure_events
 let set_pressure_handler t f = t.on_pressure <- f
 let set_alloc_fault t f = t.alloc_fault <- f
 
+let note_delta_bytes t n =
+  t.delta_bytes <- t.delta_bytes + n;
+  if t.delta_bytes > t.peak_delta_bytes then t.peak_delta_bytes <- t.delta_bytes
+
+let delta_bytes_held t = t.delta_bytes
+let peak_delta_bytes t = t.peak_delta_bytes
+let note_spill_bytes t n = t.spill_bytes <- t.spill_bytes + n
+let spill_bytes_held t = t.spill_bytes
+
 (* Finalisers registered during one major cycle run as part of the next, so
    a single [full_major] can leave just-dropped frames still counted; the
    second pass makes "unreachable now" observable in [live]. *)
@@ -106,16 +125,22 @@ let collect t =
   Gc.full_major ();
   ignore t
 
+let high_watermark t = t.capacity - (t.capacity / 8)
+
+let below_watermark t = t.capacity > 0 && Atomic.get t.live < high_watermark t
+
 (* Fire the pressure protocol: let the registered reclaimer shed payload
-   references, then collect so the freed frames actually leave [live]. *)
+   references, then collect so the freed frames actually leave [live].
+   A handler that returns frames explicitly (the tiered store's eager
+   demotion free feeds {!free_frame} directly) already moved [live]; when
+   that alone clears the watermark the full collection — two major GC
+   cycles, by far the dominant cost of a pressure event — is skipped. *)
 let pressure t =
   t.pressure_events <- t.pressure_events + 1;
   if Obs.Trace.enabled () then
     Obs.Trace.instant ~a:(Atomic.get t.live) ~b:t.capacity Obs.Names.pressure;
   (match t.on_pressure with Some f -> f () | None -> ());
-  collect t
-
-let high_watermark t = t.capacity - (t.capacity / 8)
+  if Atomic.get t.live >= high_watermark t then collect t
 
 let ensure_frame_available t =
   (match t.alloc_fault with

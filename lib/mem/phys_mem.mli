@@ -65,6 +65,12 @@ val pressure_events : t -> int
 (** Times the pressure protocol ran (watermark crossings plus hard
     capacity hits). *)
 
+val below_watermark : t -> bool
+(** [true] when {!frames_live} sits below the pressure watermark (⅞ of
+    capacity) — the pressure handler's stopping condition: once its
+    explicit frees bring the count back under, shedding more payload
+    buys nothing.  Always [false] on an unbounded allocator. *)
+
 val set_pressure_handler : t -> (unit -> unit) option -> unit
 (** The reclaimer invoked under memory pressure: at the high watermark
     (⅞ of capacity, once per excursion above it) and again before giving
@@ -72,6 +78,22 @@ val set_pressure_handler : t -> (unit -> unit) option -> unit
     reclaimable frames (e.g. evict snapshot payloads); the allocator then
     collects and re-checks.  Called from inside {!alloc}, so it must not
     allocate frames itself. *)
+
+val note_delta_bytes : t -> int -> unit
+(** Adjust (signed) the count of demoted-snapshot delta bytes held in host
+    memory by the tiered payload store.  Accounting only — the budget is
+    reported next to the frame numbers, not charged against {!capacity}:
+    in the substitution table the paper's compressed snapshot store maps
+    to host heap outside guest frame RAM. *)
+
+val delta_bytes_held : t -> int
+val peak_delta_bytes : t -> int
+
+val note_spill_bytes : t -> int -> unit
+(** Adjust (signed) the bytes of deltas currently spilled to host disk
+    (tier 2 of the payload store). *)
+
+val spill_bytes_held : t -> int
 
 val set_alloc_fault : t -> (int -> bool) option -> unit
 (** Deterministic fault injection: the callback is consulted with the

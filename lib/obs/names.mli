@@ -35,3 +35,7 @@ val sched_quarantine : string
 val instructions : string
 val reclaim_evict : string
 val reclaim_replay : string
+val reclaim_demote : string
+val reclaim_promote : string
+val reclaim_spill : string
+val reclaim_spill_load : string

@@ -1,0 +1,200 @@
+(* LZ77 with a 4 KiB window and a stored-block fallback.
+
+   Output layout:
+     byte 0          method: 0 = stored, 1 = lz
+     varint          original length (LEB128)
+     payload         stored: the input verbatim
+                     lz: groups of 8 items, each group led by a control
+                     byte (LSB first); bit 0 → one literal byte follows,
+                     bit 1 → a 2-byte match token:
+                       byte A = offset land 0xff
+                       byte B = (offset lsr 8) lsl 4 lor (len - min_match)
+                     offset in 1..4095 back from the write cursor, len in
+                     3..18.  Overlapping matches are legal (offset < len),
+                     which is how zero runs compress: one literal 0 then
+                     offset-1 matches.
+
+   The compressor is greedy with a single-candidate hash table over
+   3-byte sequences; snapshot pages are dominated by zero runs and short
+   repeated records, so one candidate already lands most matches.  When
+   the lz payload would not beat the input, the stored method wins — the
+   codec never expands input by more than the 6-byte header bound
+   documented in the mli. *)
+
+let min_match = 3
+let max_match = 18
+let max_offset = 4095
+let hash_bits = 12
+let hash_size = 1 lsl hash_bits
+
+let corrupt () = invalid_arg "Stdx.Codec.decompress: corrupt input"
+
+let put_varint buf n =
+  let n = ref n in
+  while !n >= 0x80 do
+    Buffer.add_char buf (Char.chr (!n land 0x7f lor 0x80));
+    n := !n lsr 7
+  done;
+  Buffer.add_char buf (Char.chr !n)
+
+(* Returns (value, next position); raises on truncation/overflow. *)
+let get_varint s pos =
+  let len = String.length s in
+  let v = ref 0 and shift = ref 0 and pos = ref pos and fin = ref false in
+  while not !fin do
+    if !pos >= len || !shift > 56 then corrupt ();
+    let b = Char.code s.[!pos] in
+    incr pos;
+    v := !v lor ((b land 0x7f) lsl !shift);
+    shift := !shift + 7;
+    if b < 0x80 then fin := true
+  done;
+  (!v, !pos)
+
+let hash3 s i =
+  let a = Char.code (String.unsafe_get s i)
+  and b = Char.code (String.unsafe_get s (i + 1))
+  and c = Char.code (String.unsafe_get s (i + 2)) in
+  ((a lsl 10) lxor (b lsl 5) lxor c) * 0x9e5f land (hash_size - 1)
+
+let lz_payload s =
+  let n = String.length s in
+  let buf = Buffer.create (n / 2) in
+  (* head.(h) = most recent position whose 3-byte hash is h, or -1 *)
+  let head = Array.make hash_size (-1) in
+  let ctrl = ref 0 and ctrl_bits = ref 0 in
+  let group = Buffer.create 17 in
+  let flush_group () =
+    if !ctrl_bits > 0 then begin
+      Buffer.add_char buf (Char.chr !ctrl);
+      Buffer.add_buffer buf group;
+      Buffer.clear group;
+      ctrl := 0;
+      ctrl_bits := 0
+    end
+  in
+  let emit_item bit add =
+    if bit then ctrl := !ctrl lor (1 lsl !ctrl_bits);
+    incr ctrl_bits;
+    add group;
+    if !ctrl_bits = 8 then flush_group ()
+  in
+  let i = ref 0 in
+  while !i < n do
+    let i0 = !i in
+    let matched = ref 0 and moffset = ref 0 in
+    if i0 + min_match <= n then begin
+      let h = hash3 s i0 in
+      let cand = head.(h) in
+      head.(h) <- i0;
+      if cand >= 0 && i0 - cand <= max_offset then begin
+        let limit = min max_match (n - i0) in
+        let l = ref 0 in
+        while
+          !l < limit
+          && String.unsafe_get s (cand + !l) = String.unsafe_get s (i0 + !l)
+        do
+          incr l
+        done;
+        if !l >= min_match then begin
+          matched := !l;
+          moffset := i0 - cand
+        end
+      end
+    end;
+    if !matched > 0 then begin
+      let len = !matched and off = !moffset in
+      emit_item true (fun g ->
+          Buffer.add_char g (Char.chr (off land 0xff));
+          Buffer.add_char g
+            (Char.chr (((off lsr 8) lsl 4) lor (len - min_match))));
+      (* Index the skipped positions too (cheaply: just their heads) so
+         later matches can land inside this run. *)
+      let stop = min (i0 + len) (n - min_match) in
+      let j = ref (i0 + 1) in
+      while !j < stop do
+        head.(hash3 s !j) <- !j;
+        incr j
+      done;
+      i := i0 + len
+    end
+    else begin
+      emit_item false (fun g -> Buffer.add_char g s.[i0]);
+      incr i
+    end
+  done;
+  flush_group ();
+  Buffer.contents buf
+
+let compress s =
+  let n = String.length s in
+  let header m =
+    let b = Buffer.create (n + 6) in
+    Buffer.add_char b (Char.chr m);
+    put_varint b n;
+    b
+  in
+  if n < min_match then begin
+    let b = header 0 in
+    Buffer.add_string b s;
+    Buffer.contents b
+  end
+  else
+    let lz = lz_payload s in
+    if String.length lz < n then begin
+      let b = header 1 in
+      Buffer.add_string b lz;
+      Buffer.contents b
+    end
+    else begin
+      let b = header 0 in
+      Buffer.add_string b s;
+      Buffer.contents b
+    end
+
+let decompress s =
+  let slen = String.length s in
+  if slen = 0 then corrupt ();
+  let meth = Char.code s.[0] in
+  let n, pos = get_varint s 1 in
+  match meth with
+  | 0 ->
+      if slen - pos <> n then corrupt ();
+      String.sub s pos n
+  | 1 ->
+      let out = Bytes.create n in
+      let op = ref 0 and ip = ref pos in
+      while !op < n do
+        if !ip >= slen then corrupt ();
+        let ctrl = Char.code s.[!ip] in
+        incr ip;
+        let bit = ref 0 in
+        while !bit < 8 && !op < n do
+          if ctrl land (1 lsl !bit) = 0 then begin
+            if !ip >= slen then corrupt ();
+            Bytes.unsafe_set out !op s.[!ip];
+            incr ip;
+            incr op
+          end
+          else begin
+            if !ip + 1 >= slen then corrupt ();
+            let a = Char.code s.[!ip] and b = Char.code s.[!ip + 1] in
+            ip := !ip + 2;
+            let off = a lor ((b lsr 4) lsl 8) in
+            let len = (b land 0xf) + min_match in
+            if off = 0 || off > !op || !op + len > n then corrupt ();
+            (* byte-at-a-time: overlapping matches must self-extend *)
+            for k = 0 to len - 1 do
+              Bytes.unsafe_set out (!op + k)
+                (Bytes.unsafe_get out (!op + k - off))
+            done;
+            op := !op + len
+          end;
+          incr bit
+        done
+      done;
+      if !ip <> slen then corrupt ();
+      Bytes.unsafe_to_string out
+  | _ -> corrupt ()
+
+let compressed_len s = String.length (compress s)

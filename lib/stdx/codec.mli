@@ -1,0 +1,28 @@
+(** A self-contained block codec for page-sized payloads.
+
+    The tiered snapshot store ([Core.Reclaim]) retains evicted snapshot
+    payloads as compressed dirty-page deltas; this is the codec those
+    deltas go through.  It is a greedy LZ77 over a 4 KiB window — a good
+    fit for guest pages, which are dominated by zero runs and small
+    repeated records — with a stored-block fallback so incompressible
+    input costs two bytes of header, never an expansion blow-up.
+
+    The format is self-describing (method byte + original length), so
+    [decompress] needs no out-of-band metadata and validates everything
+    it reads: corrupt input raises instead of producing garbage. *)
+
+val compress : string -> string
+(** Never larger than [String.length s + 6] (stored-block worst case:
+    method byte + length varint + verbatim payload). *)
+
+val decompress : string -> string
+(** Inverse of {!compress}: [decompress (compress s) = s] for every [s].
+    @raise Invalid_argument on input not produced by {!compress}
+    (truncated stream, bad method byte, out-of-window match, length
+    mismatch). *)
+
+val compressed_len : string -> int
+(** [String.length (compress s)] without materialising the output — for
+    accounting decisions (spill thresholds) only.  Currently implemented
+    as compress-and-measure; kept separate so a smarter implementation
+    can drop in. *)

@@ -844,6 +844,100 @@ let released_frames_never_alias_live_state =
                     with As.Page_fault _ -> true))))
         !nodes)
 
+(* {1 Byte-level deltas (the tiered payload store's substrate)} *)
+
+(* Random map/write/unmap scripts around two captures; the byte delta
+   between the captures, applied over a restore of the parent, must rebuild
+   the child's full image bit for bit — even from an unrelated machine
+   state, and even after more mutation clobbered the map.  The same scripts
+   check the full-image path ([base:None]). *)
+type dop =
+  | D_map_zero of int
+  | D_map_data of int * int
+  | D_write of int * int * int       (* vpn, offset, byte *)
+  | D_unmap of int
+
+let dop_gen =
+  QCheck2.Gen.(
+    let vp = int_range 0 7 in
+    oneof
+      [ map (fun v -> D_map_zero v) vp;
+        map2 (fun v b -> D_map_data (v, b land 0xff)) vp small_int;
+        map (fun (v, (o, b)) -> D_write (v, o, b land 0xff))
+          (pair vp (pair (int_range 0 (Page.size - 1)) small_int));
+        map (fun v -> D_unmap v) vp ])
+
+let d_apply t op =
+  match op with
+  | D_map_zero vpn -> As.map_zero t ~vpn
+  | D_map_data (vpn, b) -> As.map_data t ~vpn (String.make 3 (Char.chr b))
+  | D_write (vpn, off, b) ->
+    if As.is_mapped t ~vpn then As.write_u8 t (Page.addr_of_vpn vpn + off) b
+  | D_unmap vpn -> As.unmap t ~vpn
+
+let sorted_contents s =
+  List.sort compare (As.snapshot_contents s)
+
+let delta_roundtrip =
+  qtest ~count:300 "snapshot byte delta applies back bit-identically"
+    QCheck2.Gen.(
+      triple
+        (list_size (int_range 0 30) dop_gen)
+        (list_size (int_range 0 30) dop_gen)
+        (list_size (int_range 0 15) dop_gen))
+    (fun (s1, s2, s3) ->
+      let t = As.create (Phys.create ~poison:true ()) in
+      As.map_data t ~vpn:0 "root";
+      List.iter (d_apply t) s1;
+      let parent = As.snapshot t in
+      List.iter (d_apply t) s2;
+      let child = As.snapshot t in
+      let pages, dead = As.snapshot_delta ~parent child in
+      (* wander off: the rebuild must not depend on the current map *)
+      List.iter (d_apply t) s3;
+      As.restore_pages t ~base:(Some parent) ~pages ~dead;
+      let rebuilt = As.snapshot t in
+      let ok_delta = sorted_contents rebuilt = sorted_contents child in
+      (* full-image path: contents over an emptied map *)
+      List.iter (d_apply t) s3;
+      As.restore_pages t ~base:None ~pages:(As.snapshot_contents child) ~dead:[];
+      let rebuilt_full = As.snapshot t in
+      ok_delta && sorted_contents rebuilt_full = sorted_contents child)
+
+let delta_restore_keeps_zero_sharing () =
+  let phys = Phys.create () in
+  let t = As.create phys in
+  As.map_zero t ~vpn:1;
+  As.map_data t ~vpn:2 "x";
+  let parent = As.snapshot t in
+  As.write_u8 t (Page.addr_of_vpn 2) (Char.code 'y');
+  As.map_zero t ~vpn:3;
+  let child = As.snapshot t in
+  let pages, dead = As.snapshot_delta ~parent child in
+  check Alcotest.int "no dead vpns" 0 (List.length dead);
+  As.restore_pages t ~base:(Some parent) ~pages ~dead;
+  (* vpn 3 was demand-zero in the child; the rebuild must route it through
+     the shared zero frame, not burn a private frame on 4096 zeroes *)
+  let rebuilt = As.snapshot t in
+  check Alcotest.bool "all-zero page stays on the zero frame" true
+    (match Stdx.Ptmap.find_opt 3 (As.snapshot_map_for_debug rebuilt) with
+    | Some f -> f == Phys.zero_frame phys
+    | None -> false);
+  check Alcotest.int "contents match" (Char.code 'y')
+    (As.read_u8 t (Page.addr_of_vpn 2))
+
+let delta_bytes_accounting () =
+  let phys = Phys.create () in
+  Phys.note_delta_bytes phys 1000;
+  Phys.note_delta_bytes phys 500;
+  check Alcotest.int "held" 1500 (Phys.delta_bytes_held phys);
+  Phys.note_delta_bytes phys (-1200);
+  check Alcotest.int "released" 300 (Phys.delta_bytes_held phys);
+  check Alcotest.int "peak sticks" 1500 (Phys.peak_delta_bytes phys);
+  Phys.note_spill_bytes phys 700;
+  Phys.note_spill_bytes phys (-700);
+  check Alcotest.int "spill back to zero" 0 (Phys.spill_bytes_held phys)
+
 let untracked_by_default () =
   let phys = Phys.create () in
   let _f = Phys.alloc phys ~owner:1 in
@@ -903,6 +997,11 @@ let tests =
     Alcotest.test_case "restore_adopt writes in place" `Quick
       restore_adopt_writes_in_place;
     released_frames_never_alias_live_state;
+    Alcotest.test_case "delta restore keeps zero sharing" `Quick
+      delta_restore_keeps_zero_sharing;
+    Alcotest.test_case "delta/spill byte accounting" `Quick
+      delta_bytes_accounting;
+    delta_roundtrip;
     backends_agree;
     sharing_matches_model;
     write_read_model ]
