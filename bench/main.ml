@@ -1166,11 +1166,185 @@ let e13 () =
           "metrics", Obs.Metrics.to_json reg ] ]
 
 (* ------------------------------------------------------------------ *)
+(* E14: multi-tenant snapshot service (density, isolation, fairness)  *)
+(* ------------------------------------------------------------------ *)
+
+let e14 () =
+  U.header
+    "E14  multi-tenant snapshot service: session density and fault isolation"
+    "The paper's service runs many clients' candidate sets at once \
+     (section 3.2 'would need memory-management capabilities', section 4 \
+     'several sessions').  One shared frame pool hosts N same-image \
+     sessions: content-addressed dedup hash-conses their read-only image \
+     pages (COW on first divergence), per-tenant accounts attribute every \
+     other frame, and scheduling is round-robin.  The sweep reports \
+     session density (sessions/GB of frames), resume latency p50/p99 and \
+     the dedup sharing multiplier from 1 tenant up; the storm row then \
+     kills 10% of the tenants mid-sweep with injected allocation faults \
+     and asserts the survivors' outcome logs are bit-identical to the \
+     fault-free run — the fault-isolation contract, measured.";
+  let module Tenancy = Core.Tenancy in
+  let row = U.row_format [ 8; 7; 11; 9; 8; 8; 7; 10 ] in
+  row
+    [ "tenants"; "killed"; "frames-live"; "sess/GB"; "p50-us"; "p99-us";
+      "dedup"; "survivors" ];
+  let params =
+    { Workloads.Locality.depth = 3; branch = 2; touch_pages = 1; work = 1;
+      arena_pages = 4 }
+  in
+  let image = Workloads.Locality.program params in
+  let rounds = 3 in
+  (* Boot [n] tenants into one pool, then [rounds] round-robin resume
+     rounds each following its own candidate chain.  [victims] are killed
+     after boot by aiming a single-shot injected allocation fault at each
+     one's next frame ([Inject.Alloc_fail] on the allocator's next
+     ordinal) and serving only that tenant.  Returns the pool, each
+     tenant's outcome log (terminal signatures, for the survivor
+     comparison) and every step's wall-clock latency. *)
+  let drive n victims =
+    let pool = Tenancy.create () in
+    let phys = Tenancy.phys pool in
+    let cursors =
+      Array.init n (fun _ ->
+          match Tenancy.boot pool image with
+          | Tenancy.Admitted (id, Service.Ready { candidate; _ }) ->
+            (id, ref candidate)
+          | _ -> failwith "E14: boot failed")
+    in
+    let log = Array.make n [] in
+    let note id o =
+      let s =
+        match (o : Service.outcome) with
+        | Service.Ready { arity; output; _ } ->
+          Printf.sprintf "ready(%d):%s" arity output
+        | Service.Finished { status; output } ->
+          Printf.sprintf "exit(%d):%s" status output
+        | Service.Failed { output } -> "fail:" ^ output
+        | Service.Crashed msg -> "crashed:" ^ msg
+      in
+      log.(id) <- s :: log.(id)
+    in
+    List.iter
+      (fun vid ->
+        let _, cur = cursors.(vid) in
+        ignore (Tenancy.post pool vid !cur ~choice:0 ());
+        let armed =
+          Inject.arm
+            { Inject.seed = 0;
+              faults = [ Inject.Alloc_fail (Phys.next_frame_ordinal phys) ] }
+        in
+        Phys.set_alloc_fault phys (Inject.alloc_hook armed);
+        (match Tenancy.step pool with
+        | Some (id, Service.Crashed _) when id = vid -> ()
+        | _ -> failwith "E14: fault storm missed its victim");
+        Phys.set_alloc_fault phys None)
+      victims;
+    let latencies = ref [] in
+    for k = 1 to rounds do
+      Array.iter
+        (fun (id, cur) ->
+          if Tenancy.state pool id = Some Tenancy.Running then begin
+            ignore (Tenancy.post pool id !cur ~choice:(k mod 2) ());
+            let ms, served = U.time_once_ms (fun () -> Tenancy.step pool) in
+            latencies := (ms *. 1000.0) :: !latencies;
+            match served with
+            | Some (sid, o) when sid = id ->
+              note id o;
+              (match o with
+              | Service.Ready { candidate; _ } -> cur := candidate
+              | _ -> ())
+            | _ -> failwith "E14: round-robin served the wrong tenant"
+          end)
+        cursors
+    done;
+    pool, log, !latencies
+  in
+  let percentile p xs =
+    let a = Array.of_list xs in
+    Array.sort compare a;
+    let n = Array.length a in
+    if n = 0 then 0.0
+    else a.(min (n - 1) (int_of_float (p *. float_of_int (n - 1) +. 0.5)))
+  in
+  let frames_per_gb = 1024 * 1024 * 1024 / Mem.Page.size in
+  let json_rows = ref [] in
+  let emit_row ~n ~killed ~pool ~latencies ~survivors_ok =
+    let phys = Tenancy.phys pool in
+    let live = Phys.frames_live phys in
+    let sessions_per_gb =
+      float_of_int ((n - killed) * frames_per_gb) /. float_of_int (max 1 live)
+    in
+    let p50 = percentile 0.50 latencies in
+    let p99 = percentile 0.99 latencies in
+    let dedup = Tenancy.dedup_ratio pool in
+    json_rows :=
+      Obs.Json.Obj
+        [ "tenants", Obs.Json.Int n;
+          "killed", Obs.Json.Int killed;
+          "frames_live", Obs.Json.Int live;
+          "sessions_per_gb", Obs.Json.Float sessions_per_gb;
+          "p50_resume_us", Obs.Json.Float p50;
+          "p99_resume_us", Obs.Json.Float p99;
+          "dedup_ratio", Obs.Json.Float dedup;
+          "survivors_ok", Obs.Json.Bool survivors_ok ]
+      :: !json_rows;
+    row
+      [ U.fint n; U.fint killed; U.fint live;
+        Printf.sprintf "%.0f" sessions_per_gb; U.fus p50; U.fus p99;
+        U.fratio dedup;
+        (if killed = 0 then "-" else if survivors_ok then "ok" else "FAIL") ];
+    dedup
+  in
+  let counts = if !quick then [ 1; 16; 100 ] else [ 1; 10; 100; 1000 ] in
+  let biggest = List.nth counts (List.length counts - 1) in
+  let baseline_log = ref [||] in
+  List.iter
+    (fun n ->
+      let pool, log, latencies = drive n [] in
+      if n = biggest then baseline_log := log;
+      let dedup = emit_row ~n ~killed:0 ~pool ~latencies ~survivors_ok:true in
+      if n >= 100 && dedup <= 1.5 then
+        failwith
+          (Printf.sprintf
+             "E14: dedup ratio %.2f at %d same-image tenants - sharing is \
+              not happening"
+             dedup n))
+    counts;
+  (* The fault storm: kill every 10th tenant mid-sweep with an injected
+     allocation fault; every survivor's outcome log must be bit-identical
+     to the fault-free run above. *)
+  let victims = List.filter (fun v -> v mod 10 = 0) (List.init biggest Fun.id) in
+  let pool, log, latencies = drive biggest victims in
+  let survivors_ok =
+    List.for_all
+      (fun id -> log.(id) = !baseline_log.(id))
+      (List.filter (fun id -> not (List.mem id victims))
+         (List.init biggest Fun.id))
+  in
+  ignore
+    (emit_row ~n:biggest ~killed:(List.length victims) ~pool ~latencies
+       ~survivors_ok);
+  if not survivors_ok then
+    failwith "E14: a fault-storm survivor's outcomes diverged from the \
+              fault-free run";
+  if Tenancy.crashes pool <> List.length victims then
+    failwith "E14: crash containment miscounted the storm's victims";
+  U.emit_json ~experiment:"E14" ~quick:!quick
+    ~params:
+      [ "depth", Obs.Json.Int params.Workloads.Locality.depth;
+        "branch", Obs.Json.Int params.Workloads.Locality.branch;
+        "touch_pages", Obs.Json.Int params.Workloads.Locality.touch_pages;
+        "work", Obs.Json.Int params.Workloads.Locality.work;
+        "arena_pages", Obs.Json.Int params.Workloads.Locality.arena_pages;
+        "rounds", Obs.Json.Int rounds ]
+    (List.rev !json_rows)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ "E1", e1; "E2", e2; "E3", e3; "E4", e4; "E5", e5; "E6", e6; "E7", e7;
     "E8", e8; "E9", e9; "E10", e10; "E11", e11; "E12", e12; "E13", e13;
-    "MICRO", micro ]
+    "E14", e14; "MICRO", micro ]
 
 let () =
   let only = ref [] in

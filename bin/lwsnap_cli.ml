@@ -437,6 +437,17 @@ let fuzz_cmd =
                    identical to the fault-free baseline.  A diverging plan \
                    is written to fuzz-fault-plan-seed<N>.txt.")
   in
+  let tenants =
+    Arg.(value & opt int 0
+         & info [ "tenants" ] ~docv:"N"
+             ~doc:"Additionally run each program as N interleaved tenants \
+                   over one shared multi-tenant pool (Core.Tenancy), \
+                   cross-checked against a single-tenant baseline: every \
+                   tenant's terminal multiset must match, dedup references \
+                   must scale linearly with the tenant count and drain to \
+                   zero at teardown, and every live frame must be \
+                   attributed to a tenant account or the shared table.")
+  in
   let trace_flag =
     Arg.(value & flag
          & info [ "trace" ]
@@ -459,7 +470,8 @@ let fuzz_cmd =
     Printf.printf "fuzz: trace of the diverging run (%d events) written to %s\n"
       (List.length events) tpath
   in
-  let action seed budget depth fanout ckpt_every out render_only faults trace =
+  let action seed budget depth fanout ckpt_every out render_only faults
+      tenants trace =
     let cfg = { Fuzz.Gen_prog.default_cfg with max_depth = depth; max_fanout = fanout } in
     if render_only then begin
       print_string (Fuzz.Gen_prog.render (Fuzz.Gen_prog.generate ~cfg seed));
@@ -489,15 +501,45 @@ let fuzz_cmd =
                   prog);
           1
     in
+    let check_tenants i prog =
+      if tenants <= 0 then 0
+      else
+        match Fuzz.Oracle.check_prog_tenants ~tenants prog with
+        | None -> 0
+        | Some d ->
+          Printf.printf "fuzz: seed %d as %d tenants diverges: %s\n%!"
+            (seed + i) tenants d.Fuzz.Oracle.detail;
+          let still_diverges p =
+            Fuzz.Oracle.check_prog_tenants ~tenants p <> None
+          in
+          let small = Fuzz.Shrink.minimise ~still_diverges prog in
+          let path =
+            match out with
+            | Some p -> p
+            | None -> Printf.sprintf "fuzz-counterexample-seed%d.s" (seed + i)
+          in
+          Out_channel.with_open_text path (fun oc ->
+              Out_channel.output_string oc (Fuzz.Gen_prog.render small));
+          Printf.printf
+            "fuzz: shrunk reproducer (%d -> %d nodes+stmts) written to %s\n"
+            (Fuzz.Gen_prog.size prog) (Fuzz.Gen_prog.size small) path;
+          if trace then
+            traced_rerun path (fun () ->
+                Fuzz.Oracle.check_prog_tenants ~tenants small);
+          1
+    in
     let rec check i =
       if i >= budget then begin
         Printf.printf
           "fuzz: %d programs, 7 pipelines each (icache-off, ckpt-roundtrip, \
            recycle, tiered-store, parallel-coop, parallel-domains, \
-           ept-replay vs the baseline)%s: no divergences\n"
+           ept-replay vs the baseline)%s%s: no divergences\n"
           budget
           (if faults > 0 then
              Printf.sprintf " plus %d fault plans each" faults
+           else "")
+          (if tenants > 0 then
+             Printf.sprintf " plus a %d-tenant pool cross-check each" tenants
            else "");
         0
       end
@@ -506,6 +548,7 @@ let fuzz_cmd =
         match Fuzz.Oracle.check_prog ~ckpt_every prog with
         | None ->
           if check_faults i prog <> 0 then 1
+          else if check_tenants i prog <> 0 then 1
           else begin
             if (i + 1) mod 50 = 0 then
               Printf.printf "fuzz: %d/%d programs ok\n%!" (i + 1) budget;
@@ -542,7 +585,7 @@ let fuzz_cmd =
        ~doc:"Differential fuzzing: random guests cross-checked over every \
              execution pipeline.")
     Term.(const action $ seed $ budget $ depth $ fanout $ ckpt_every $ out
-          $ render_only $ faults $ trace_flag)
+          $ render_only $ faults $ tenants $ trace_flag)
 
 let () =
   let default = Term.(ret (const (`Help (`Pager, None)))) in

@@ -18,6 +18,11 @@ type t = {
   mutable depth_next : int;
   fuel_per_step : int;
   mutable marker : string list;
+  manages_pressure : bool;
+  mutable last_crash : Libos.reason option;
+      (* set by the [Killed] arm of [advance]; [None] after a [Crashed]
+         produced by allocation failure — how a pool distinguishes a
+         deadline kill from a frame-budget trip *)
 }
 
 type outcome =
@@ -47,7 +52,7 @@ let publish t =
   | Some (parent, choice, stdin) ->
     Reclaim.add t.store ~parent ~choice ?stdin ~depth:t.depth_next snap
 
-let rec advance t =
+let rec advance_unguarded t =
   match Libos.run t.machine ~fuel:t.fuel_per_step with
   | Libos.Guess { n } ->
     let output = harvest t in
@@ -57,22 +62,43 @@ let rec advance t =
   | Libos.Exited { status } -> Finished { status; output = harvest t }
   | Libos.Guess_hint _ ->
     Cpu.set t.machine.cpu Reg.rax 0;
-    advance t
+    advance_unguarded t
   | Libos.Guess_strategy _ ->
     (* A service-driven guest needs no internal strategy; accept and move
        on so the same binaries run under both drivers. *)
     Cpu.set t.machine.cpu Reg.rax 1;
-    advance t
-  | Libos.Killed reason -> Crashed (Format.asprintf "%a" Libos.pp_reason reason)
+    advance_unguarded t
+  | Libos.Killed reason ->
+    t.last_crash <- Some reason;
+    Crashed (Format.asprintf "%a" Libos.pp_reason reason)
+
+(* Contain allocation failure: a frame-budget trip mid-run (capacity
+   exhausted, or an injected fault from [lib/inject]) crashes THIS session
+   only.  Published candidates are untouched — their frames belong to
+   retired generations and are never written in place, so whatever the
+   half-finished step did to the current map cannot reach them; the next
+   resume of any reference restores a snapshot and never looks at the
+   machine state left behind here. *)
+let advance t =
+  try advance_unguarded t
+  with Mem.Phys_mem.Out_of_frames { capacity; live } ->
+    t.last_crash <- None;
+    t.pending <- None;
+    Crashed (Printf.sprintf "out of frames (capacity %d, live %d)" capacity live)
 
 let boot ?(fuel_per_step = 50_000_000) ?capacity ?spill_threshold ?(files = [])
-    ?stdin image =
-  let phys = Mem.Phys_mem.create ?capacity () in
-  let machine = Libos.boot phys image in
+    ?stdin ?phys ?(manage_pressure = true) ?(dedup = false) ?(account = 0)
+    image =
+  let phys =
+    match phys with
+    | Some p -> p
+    | None -> Mem.Phys_mem.create ?capacity ()
+  in
+  let machine = Libos.boot ~dedup ~account phys image in
   List.iter (fun (path, content) -> Libos.add_file machine ~path content) files;
   Option.iter (Libos.set_stdin machine) stdin;
   let store = Reclaim.create ~fuel_per_step ?spill_threshold machine in
-  if Mem.Phys_mem.capacity phys > 0 then
+  if manage_pressure && Mem.Phys_mem.capacity phys > 0 then
     Mem.Phys_mem.set_pressure_handler phys
       (Some (Reclaim.pressure_handler store));
   let t =
@@ -82,20 +108,30 @@ let boot ?(fuel_per_step = 50_000_000) ?capacity ?spill_threshold ?(files = [])
       base_snap = None;
       depth_next = 0;
       fuel_per_step;
-      marker = Libos.stdout_chunks machine }
+      marker = Libos.stdout_chunks machine;
+      manages_pressure = manage_pressure;
+      last_crash = None }
   in
   t, advance t
 
 let resume t r ~choice ?stdin () =
-  let snap = Reclaim.get t.store r in
-  Snapshot.restore t.machine snap;
-  t.base_snap <- Some snap;
-  t.pending <- Some (r, choice, stdin);
-  t.depth_next <- Reclaim.depth t.store r + 1;
-  t.marker <- Libos.stdout_chunks t.machine;
-  Cpu.set t.machine.cpu Reg.rax choice;
-  Option.iter (Libos.set_stdin t.machine) stdin;
-  advance t
+  try
+    let snap = Reclaim.get t.store r in
+    Snapshot.restore t.machine snap;
+    t.base_snap <- Some snap;
+    t.pending <- Some (r, choice, stdin);
+    t.depth_next <- Reclaim.depth t.store r + 1;
+    t.marker <- Libos.stdout_chunks t.machine;
+    Cpu.set t.machine.cpu Reg.rax choice;
+    Option.iter (Libos.set_stdin t.machine) stdin;
+    advance t
+  with Mem.Phys_mem.Out_of_frames { capacity; live } ->
+    (* Promotion of the target candidate itself ran out of frames.  The
+       store keeps the entry (its delta or skeleton is intact), so the
+       same reference can be resumed again once pressure relents. *)
+    t.last_crash <- None;
+    t.pending <- None;
+    Crashed (Printf.sprintf "out of frames (capacity %d, live %d)" capacity live)
 
 let release t r = Reclaim.release t.store r
 
@@ -119,3 +155,16 @@ let replays t = Reclaim.replays t.store
 let replay_fallbacks t = Reclaim.replay_fallbacks t.store
 
 let machine t = t.machine
+let phys t = Mem.Addr_space.phys t.machine.Libos.aspace
+let last_crash_reason t = t.last_crash
+let flush_spills t = Reclaim.flush_pending t.store
+
+(* Allocation-free payload shedding for an external (pool-level) pressure
+   handler: demote this session's candidates until the allocator is back
+   below its watermark.  See [Reclaim.demote_under_pressure]. *)
+let shed t = Reclaim.demote_under_pressure t.store
+
+let teardown t =
+  if t.manages_pressure && Mem.Phys_mem.capacity (phys t) > 0 then
+    Mem.Phys_mem.set_pressure_handler (phys t) None;
+  Mem.Addr_space.drop_dedup_refs t.machine.Libos.aspace

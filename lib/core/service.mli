@@ -29,6 +29,10 @@ type outcome =
   | Finished of { status : int; output : string }
   | Failed of { output : string }     (** the guest called [sys_guess_fail] *)
   | Crashed of string
+      (** the guest was killed (fault, fuel/deadline, denied syscall) or an
+          allocation failed mid-step.  The session's published candidates
+          remain resumable either way — see {!last_crash_reason} to
+          classify. *)
 
 val boot :
   ?fuel_per_step:int ->
@@ -36,13 +40,26 @@ val boot :
   ?spill_threshold:int ->
   ?files:(string * string) list ->
   ?stdin:string ->
+  ?phys:Mem.Phys_mem.t ->
+  ?manage_pressure:bool ->
+  ?dedup:bool ->
+  ?account:int ->
   Isa.Asm.image ->
   t * outcome
 (** Boot the guest and run it to its first choice point (or completion).
     [capacity] bounds the physical frame budget; under pressure the store
     demotes candidate payloads to compressed deltas rather than failing
     allocations.  [spill_threshold] bounds in-memory delta bytes; colder
-    deltas spill to host temp files past it. *)
+    deltas spill to host temp files past it.
+
+    The multi-tenant knobs: [phys] boots onto an {e existing} physical
+    memory instead of creating a private one ([capacity] is then ignored —
+    the pool already chose it); [manage_pressure:false] leaves the
+    allocator's pressure handler alone so a pool can install its own
+    cross-session policy (see [Core.Tenancy]); [dedup] maps image pages
+    through the content-addressed table so same-image sessions share
+    read-only frames; [account] charges the session's frames to a
+    {!Mem.Phys_mem.fresh_account} for per-tenant budgeting. *)
 
 val resume : t -> ref_ -> choice:int -> ?stdin:string -> unit -> outcome
 (** Restore the candidate's snapshot (reconstructing it by replay if its
@@ -89,3 +106,28 @@ val replays : t -> int
 val replay_fallbacks : t -> int
 
 val machine : t -> Os.Libos.t
+val phys : t -> Mem.Phys_mem.t
+
+val last_crash_reason : t -> Os.Libos.reason option
+(** After a [Crashed] outcome: [Some reason] when the guest was killed
+    (e.g. [Fuel_exhausted] for a deadline trip), [None] when an allocation
+    failed ([Out_of_frames] — capacity exhausted or an injected fault).
+    Meaningless before the first crash. *)
+
+val shed : t -> int
+(** Demote this session's live candidate payloads until the allocator
+    drops below its pressure watermark — allocation-free, safe inside a
+    {!Mem.Phys_mem} pressure handler.  The hook a multi-tenant pool's
+    two-level pressure policy is built on: shed the offender first, then
+    siblings.  Returns the number demoted. *)
+
+val flush_spills : t -> unit
+(** Compress parked deltas and enforce the spill budget now (see
+    {!Reclaim.flush_pending}) — lets a pool run codecs at idle points
+    rather than on the resume path. *)
+
+val teardown : t -> int
+(** Retire the session: uninstall the pressure handler this session
+    installed (if it manages one) and return its dedup-table references
+    (see {!Mem.Addr_space.drop_dedup_refs}); reports how many were
+    dropped.  Candidates become garbage once the caller drops [t]. *)

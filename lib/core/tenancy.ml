@@ -1,0 +1,395 @@
+(* Multi-tenant snapshot service: N independent Service-style sessions
+   multiplexed over ONE shared physical memory.
+
+   The robustness contract, in one sentence: a misbehaving tenant — guest
+   crash, fuel/deadline overrun, frame-budget blowout, injected allocation
+   fault — is contained to its own session, demoted first under pressure,
+   and evicted if incompressible, while every other tenant's published
+   candidates stay bit-identical resumable.
+
+   Mechanisms, and where each lives:
+
+   - {e sharing}: same-image tenants boot through the content-addressed
+     dedup table ([Phys_mem.dedup_frame]); read-only code pages are one
+     frame pool-wide, COW'd private on first divergence under the same
+     generation discipline that makes snapshots sound.
+   - {e attribution}: each tenant allocates under its own
+     [Phys_mem.fresh_account], so the pool can ask exactly how many live
+     frames any tenant holds ([Phys_mem.account_frames_live]).
+   - {e two-level pressure}: the pool owns the allocator's pressure
+     handler.  Level 1 sheds the OFFENDER — the tenant whose allocation
+     tripped the watermark (it is the one running).  Level 2, only if the
+     mark is still exceeded, sheds the remaining tenants least-recently-
+     scheduled first.  Both levels demote payloads through the tiered
+     [Reclaim] store (allocation-free), never truncate.
+   - {e admission control}: past the high watermark (or the tenant cap)
+     a new boot is queued with exponential backoff, or rejected when the
+     queue is full — allocations mid-resume never fail on behalf of an
+     over-eager admit.
+   - {e fair scheduling}: one resume per tenant per round (a run queue a
+     tenant re-enters at the back while it has work), with a per-resume
+     instruction deadline enforced through the same fuel bound
+     [sys_timeout] uses.
+   - {e containment}: [Service.advance] already converts an allocation
+     failure mid-step into a [Crashed] outcome for that session only;
+     the pool classifies the crash (deadline vs fault vs allocation),
+     retires the tenant, and returns its dedup references. *)
+
+module Libos = Os.Libos
+module Phys = Mem.Phys_mem
+
+type id = int
+
+type state =
+  | Running
+  | Crashed of string
+  | Evicted of string
+  | Retired
+
+type tenant = {
+  id : id;
+  account : int;
+  svc : Service.t;
+  mutable st : state;
+  mutable last_tick : int;
+  mutable resumes : int;
+  mutable queued_up : bool; (* member of the run queue *)
+  requests : (Service.ref_ * int * string option) Queue.t;
+}
+
+type pending_boot = {
+  p_image : Isa.Asm.image;
+  p_files : (string * string) list;
+  p_stdin : string option;
+  mutable retry_at : int;
+  mutable backoff : int;
+}
+
+type t = {
+  phys : Phys.t;
+  fuel_per_step : int;
+  spill_threshold : int option;
+  frame_budget : int;
+  fuel_budget : int;
+  deadline : int;
+  max_tenants : int;
+  queue_limit : int;
+  dedup : bool;
+  tenants : (id, tenant) Hashtbl.t;
+  mutable next_id : int;
+  mutable tick : int;
+  run_queue : id Queue.t;
+  mutable pending : pending_boot list; (* FIFO; admitted from the head *)
+  mutable running : tenant option;     (* the pressure offender *)
+  (* counters *)
+  mutable admits : int;
+  mutable rejects : int;
+  mutable queued_boots : int;
+  mutable deadline_kills : int;
+  mutable budget_evictions : int;
+  mutable fuel_evictions : int;
+  mutable crashes : int;
+  mutable pressure_level2 : int;
+}
+
+type admission =
+  | Admitted of id * Service.outcome
+  | Queued of int
+  | Rejected
+
+(* {1 Pressure} *)
+
+let live_tenant_count t =
+  Hashtbl.fold (fun _ tn n -> if tn.st = Running then n + 1 else n) t.tenants 0
+
+(* Level 1: the offender is whoever is allocating — the running tenant, or
+   the booting one (admission already gated on the watermark, so a boot
+   that trips pressure is squeezed like anyone else).  Level 2: remaining
+   tenants, least-recently-scheduled first.  Demotion only — reads frame
+   bytes, allocates nothing, so this is legal inside [Phys_mem.alloc]. *)
+let pressure t () =
+  (match t.running with
+  | Some tn when tn.st = Running -> ignore (Service.shed tn.svc)
+  | Some _ | None -> ());
+  if not (Phys.below_watermark t.phys) then begin
+    t.pressure_level2 <- t.pressure_level2 + 1;
+    let others =
+      Hashtbl.fold
+        (fun _ tn acc ->
+          match t.running with
+          | Some r when r.id = tn.id -> acc
+          | _ -> if tn.st = Running then tn :: acc else acc)
+        t.tenants []
+    in
+    let lru = List.sort (fun a b -> compare a.last_tick b.last_tick) others in
+    List.iter
+      (fun tn ->
+        if not (Phys.below_watermark t.phys) then ignore (Service.shed tn.svc))
+      lru
+  end
+
+let create ?(capacity = 0) ?spill_threshold ?(fuel_per_step = 50_000_000)
+    ?(frame_budget = 0) ?(fuel_budget = 0) ?(deadline = 0) ?(max_tenants = 0)
+    ?(queue_limit = 64) ?(dedup = true) () =
+  let phys = Phys.create ~capacity ~track_live:true () in
+  let t =
+    { phys;
+      fuel_per_step;
+      spill_threshold;
+      frame_budget;
+      fuel_budget;
+      deadline;
+      max_tenants;
+      queue_limit;
+      dedup;
+      tenants = Hashtbl.create 64;
+      next_id = 0;
+      tick = 0;
+      run_queue = Queue.create ();
+      pending = [];
+      running = None;
+      admits = 0;
+      rejects = 0;
+      queued_boots = 0;
+      deadline_kills = 0;
+      budget_evictions = 0;
+      fuel_evictions = 0;
+      crashes = 0;
+      pressure_level2 = 0 }
+  in
+  if capacity > 0 then Phys.set_pressure_handler phys (Some (pressure t));
+  t
+
+(* {1 Teardown} *)
+
+(* Retire a tenant's footprint: compress its candidate payloads out of the
+   frame pool and return its dedup-table references.  The service record
+   stays (clients may still query state and counters); its remaining
+   frames become unreachable and drain back through the GC finalisers. *)
+let teardown_tenant tn st =
+  if tn.st = Running then begin
+    tn.st <- st;
+    Queue.clear tn.requests;
+    ignore (Service.demote_all tn.svc);
+    ignore (Service.teardown tn.svc);
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant ~a:tn.id Obs.Names.tenancy_evict
+  end
+
+let kill t id =
+  match Hashtbl.find_opt t.tenants id with
+  | None -> invalid_arg "Tenancy.kill: unknown tenant"
+  | Some tn -> teardown_tenant tn Retired
+
+(* {1 Admission} *)
+
+let admissible t =
+  (t.max_tenants = 0 || live_tenant_count t < t.max_tenants)
+  && (Phys.capacity t.phys = 0 || Phys.below_watermark t.phys)
+
+let admit t image files stdin =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let account = Phys.fresh_account t.phys in
+  let fuel_per_step =
+    if t.deadline > 0 then min t.fuel_per_step t.deadline else t.fuel_per_step
+  in
+  let svc, first =
+    Service.boot ~fuel_per_step ?spill_threshold:t.spill_threshold ~files
+      ?stdin ~phys:t.phys ~manage_pressure:false ~dedup:t.dedup ~account image
+  in
+  let tn =
+    { id;
+      account;
+      svc;
+      st = Running;
+      last_tick = t.tick;
+      resumes = 0;
+      queued_up = false;
+      requests = Queue.create () }
+  in
+  Hashtbl.add t.tenants id tn;
+  t.admits <- t.admits + 1;
+  if Obs.Trace.enabled () then
+    Obs.Trace.instant ~a:id ~b:(live_tenant_count t) Obs.Names.tenancy_admit;
+  (* A boot that crashed on arrival (e.g. allocation failure despite the
+     admission gate) is contained exactly like a crashed resume. *)
+  (match first with
+  | Service.Crashed msg ->
+    t.crashes <- t.crashes + 1;
+    teardown_tenant tn (Crashed msg)
+  | _ -> ());
+  (id, first)
+
+let boot ?(files = []) ?stdin t image =
+  if admissible t then begin
+    let id, first = admit t image files stdin in
+    Admitted (id, first)
+  end
+  else if List.length t.pending >= t.queue_limit then begin
+    t.rejects <- t.rejects + 1;
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant ~a:(live_tenant_count t) Obs.Names.tenancy_reject;
+    Rejected
+  end
+  else begin
+    t.pending <-
+      t.pending
+      @ [ { p_image = image;
+            p_files = files;
+            p_stdin = stdin;
+            retry_at = t.tick + 1;
+            backoff = 1 } ];
+    t.queued_boots <- t.queued_boots + 1;
+    let pos = List.length t.pending in
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant ~a:pos Obs.Names.tenancy_queue;
+    Queued pos
+  end
+
+(* Retry queued boots, oldest first, stopping at the first that is not yet
+   due or still inadmissible (FIFO: nobody jumps the queue).  An attempt
+   blocked by pressure doubles its backoff. *)
+let pump t =
+  t.tick <- t.tick + 1;
+  let admitted = ref [] in
+  let rec go () =
+    match t.pending with
+    | [] -> ()
+    | head :: rest ->
+      if head.retry_at > t.tick then ()
+      else if admissible t then begin
+        t.pending <- rest;
+        let id, first = admit t head.p_image head.p_files head.p_stdin in
+        admitted := (id, first) :: !admitted;
+        go ()
+      end
+      else begin
+        head.backoff <- head.backoff * 2;
+        head.retry_at <- t.tick + head.backoff
+      end
+  in
+  go ();
+  List.rev !admitted
+
+(* {1 Scheduling} *)
+
+let enqueue_run t tn =
+  if (not tn.queued_up) && tn.st = Running && not (Queue.is_empty tn.requests)
+  then begin
+    tn.queued_up <- true;
+    Queue.push tn.id t.run_queue
+  end
+
+let post t id r ~choice ?stdin () =
+  match Hashtbl.find_opt t.tenants id with
+  | None -> invalid_arg "Tenancy.post: unknown tenant"
+  | Some tn ->
+    if tn.st <> Running then false
+    else begin
+      Queue.push (r, choice, stdin) tn.requests;
+      enqueue_run t tn;
+      true
+    end
+
+let next_tenant t = Queue.peek_opt t.run_queue
+
+(* Post-step police work, in degradation order: classify a crash; then the
+   cumulative fuel budget (cheap: the vCPU's retired counter is monotone —
+   snapshots do not save it); then the frame budget — demote everything
+   the tenant holds, collect so the finaliser-driven accounting catches
+   up, and evict only if the tenant is still over (incompressible). *)
+let police t tn outcome =
+  (match (outcome : Service.outcome) with
+  | Crashed msg ->
+    (match Service.last_crash_reason tn.svc with
+    | Some Libos.Fuel_exhausted when t.deadline > 0 ->
+      t.deadline_kills <- t.deadline_kills + 1;
+      if Obs.Trace.enabled () then
+        Obs.Trace.instant ~a:tn.id Obs.Names.tenancy_deadline_kill
+    | _ -> ());
+    t.crashes <- t.crashes + 1;
+    teardown_tenant tn (Crashed msg)
+  | Ready _ | Finished _ | Failed _ -> ());
+  if tn.st = Running && t.fuel_budget > 0
+     && (Service.machine tn.svc).Libos.cpu.Vcpu.Cpu.retired > t.fuel_budget
+  then begin
+    t.fuel_evictions <- t.fuel_evictions + 1;
+    teardown_tenant tn (Evicted "fuel budget")
+  end;
+  if tn.st = Running && t.frame_budget > 0
+     && Phys.account_frames_live t.phys tn.account > t.frame_budget
+  then begin
+    ignore (Service.demote_all tn.svc);
+    Service.flush_spills tn.svc;
+    (* finalisers registered during one major cycle run as part of the
+       next; two collections make "unreachable now" visible in the
+       account before we judge the tenant incompressible *)
+    Gc.full_major ();
+    Gc.full_major ();
+    if Phys.account_frames_live t.phys tn.account > t.frame_budget then begin
+      t.budget_evictions <- t.budget_evictions + 1;
+      teardown_tenant tn (Evicted "frame budget")
+    end
+  end
+
+let rec step t =
+  match Queue.take_opt t.run_queue with
+  | None -> None
+  | Some id ->
+    t.tick <- t.tick + 1;
+    let tn = Hashtbl.find t.tenants id in
+    tn.queued_up <- false;
+    if tn.st <> Running || Queue.is_empty tn.requests then step t
+    else begin
+      let r, choice, stdin = Queue.pop tn.requests in
+      tn.last_tick <- t.tick;
+      tn.resumes <- tn.resumes + 1;
+      t.running <- Some tn;
+      let outcome =
+        match Service.resume tn.svc r ~choice ?stdin () with
+        | o -> t.running <- None; o
+        | exception e -> t.running <- None; raise e
+      in
+      police t tn outcome;
+      enqueue_run t tn;
+      Some (id, outcome)
+    end
+
+(* {1 Introspection} *)
+
+let phys t = t.phys
+let service t id =
+  match Hashtbl.find_opt t.tenants id with
+  | None -> invalid_arg "Tenancy.service: unknown tenant"
+  | Some tn -> tn.svc
+
+let state t id =
+  Option.map (fun tn -> tn.st) (Hashtbl.find_opt t.tenants id)
+
+let tenant_count t = Hashtbl.length t.tenants
+let live_tenants t = live_tenant_count t
+let tenant_frames t id =
+  match Hashtbl.find_opt t.tenants id with
+  | None -> 0
+  | Some tn -> Phys.account_frames_live t.phys tn.account
+
+let resumes_of t id =
+  match Hashtbl.find_opt t.tenants id with
+  | None -> 0
+  | Some tn -> tn.resumes
+
+let pending_boots t = List.length t.pending
+let admits t = t.admits
+let rejects t = t.rejects
+let queued_boots t = t.queued_boots
+let deadline_kills t = t.deadline_kills
+let budget_evictions t = t.budget_evictions
+let fuel_evictions t = t.fuel_evictions
+let crashes t = t.crashes
+let pressure_level2 t = t.pressure_level2
+
+let dedup_ratio t =
+  let entries = Phys.dedup_entries t.phys in
+  if entries = 0 then 1.0
+  else float_of_int (Phys.dedup_refs t.phys) /. float_of_int entries

@@ -2,6 +2,8 @@ module As = Mem.Addr_space
 module Libos = Os.Libos
 module Explorer = Core.Explorer
 module Parallel = Core.Parallel
+module Service = Core.Service
+module Tenancy = Core.Tenancy
 
 type divergence = { pipeline : string; detail : string }
 
@@ -340,6 +342,157 @@ let check_text ?ckpt_every text =
 
 let check_prog ?ckpt_every prog =
   check_text ?ckpt_every (Gen_prog.render prog)
+
+(* {1 Multi-tenant mode}
+
+   The same generated guest as [tenants] interleaved sessions in one
+   shared pool, cross-checked against a single-tenant baseline pool run
+   by the same driver.  Exploration is an explicit-frontier DFS expressed
+   through [Tenancy.post]/[Tenancy.step], so the pool's round-robin
+   scheduler interleaves the tenants edge by edge; every tenant must
+   produce the baseline's terminal multiset bit for bit, and the shared
+   pool's dedup accounting must obey its invariants: boot references
+   scale linearly with the tenant count, distinct hash-consed frames
+   match the single-tenant table, every live frame is attributed (charged
+   to some tenant's account or shared in the dedup table), and all
+   references drain to zero at teardown. *)
+
+(* One tenant's DFS state: a stack of (candidate, choice, depth, output
+   prefix) edges still to resume, and the terminals found so far. *)
+type walk = {
+  w_id : Tenancy.id;
+  mutable w_frontier : (Service.ref_ * int * int * string) list;
+  mutable w_terminals : (string * string * int) list;
+  mutable w_dead : bool;
+}
+
+let walk_note w ~depth ~prefix (o : Service.outcome) =
+  match o with
+  | Service.Ready { candidate; arity; output } ->
+    let prefix = prefix ^ output in
+    for c = arity - 1 downto 0 do
+      w.w_frontier <- (candidate, c, depth + 1, prefix) :: w.w_frontier
+    done
+  | Service.Finished { status; output } ->
+    w.w_terminals <-
+      (Printf.sprintf "exit(%d)" status, prefix ^ output, depth)
+      :: w.w_terminals
+  | Service.Failed { output } ->
+    w.w_terminals <- ("fail", prefix ^ output, depth) :: w.w_terminals
+  | Service.Crashed msg ->
+    (* The pool tears the tenant down on a crash; the rest of the
+       frontier is unreachable.  Deterministic guests crash at the same
+       point in every session, so the truncation is identical across
+       tenants and the multisets still agree. *)
+    w.w_terminals <- ("killed: " ^ msg, prefix, depth) :: w.w_terminals
+
+let walk_of_admission = function
+  | Tenancy.Admitted (id, first) ->
+    let w = { w_id = id; w_frontier = []; w_terminals = []; w_dead = false } in
+    walk_note w ~depth:0 ~prefix:"" first;
+    w
+  | Tenancy.Queued _ | Tenancy.Rejected ->
+    invalid_arg "Oracle: unbounded pool refused an admission"
+
+(* Round-robin over the walks, one edge per tenant per round, until every
+   frontier drains.  Each post is served by an immediate [step], so the
+   pool's own scheduler decides which tenant runs — with one request
+   outstanding that is exactly the posting tenant, keeping the DFS order
+   deterministic per tenant while the pool interleaves them. *)
+let run_walks pool walks =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    List.iter
+      (fun w ->
+        if not w.w_dead then
+          match w.w_frontier with
+          | [] -> ()
+          | (r, c, depth, prefix) :: rest ->
+            w.w_frontier <- rest;
+            if Tenancy.post pool w.w_id r ~choice:c () then begin
+              progress := true;
+              match Tenancy.step pool with
+              | Some (id, o) when id = w.w_id -> walk_note w ~depth ~prefix o
+              | Some _ | None ->
+                invalid_arg "Oracle: pool served the wrong tenant"
+            end
+            else begin
+              (* torn down by an earlier crash: drop the dead frontier *)
+              w.w_dead <- true;
+              w.w_frontier <- []
+            end)
+      walks
+  done
+
+let check_image_tenants ?(tenants = 4) image =
+  let fail fmt =
+    Printf.ksprintf (fun detail -> Some { pipeline = "tenancy"; detail }) fmt
+  in
+  let base_pool = Tenancy.create () in
+  let base = walk_of_admission (Tenancy.boot base_pool image) in
+  let refs1 = Mem.Phys_mem.dedup_refs (Tenancy.phys base_pool) in
+  let entries1 = Mem.Phys_mem.dedup_entries (Tenancy.phys base_pool) in
+  run_walks base_pool [ base ];
+  let pool = Tenancy.create () in
+  let walks =
+    List.init tenants (fun _ -> walk_of_admission (Tenancy.boot pool image))
+  in
+  let phys = Tenancy.phys pool in
+  let refs_boot = Mem.Phys_mem.dedup_refs phys in
+  let entries_boot = Mem.Phys_mem.dedup_entries phys in
+  (* crash-at-boot teardown already returned that tenant's references, so
+     scale by the sessions that actually survived admission *)
+  let expected_refs = Tenancy.live_tenants pool * refs1 in
+  if refs_boot <> expected_refs then
+    fail "dedup refs after %d boots: %d, expected %d (baseline %d per tenant)"
+      tenants refs_boot expected_refs refs1
+  else if entries_boot <> entries1 then
+    fail "dedup entries after %d boots: %d, baseline table has %d" tenants
+      entries_boot entries1
+  else begin
+    run_walks pool walks;
+    let sorted w = List.sort compare w.w_terminals in
+    let base_terms = sorted base in
+    match
+      List.find_map
+        (fun w ->
+          Option.map
+            (Printf.sprintf "tenant %d vs baseline: %s" w.w_id)
+            (diff_list "sorted terminal" terminal_to_string base_terms
+               (sorted w)))
+        walks
+    with
+    | Some detail -> Some { pipeline = "tenancy"; detail }
+    | None ->
+      let charged =
+        List.fold_left
+          (fun n w -> n + Tenancy.tenant_frames pool w.w_id)
+          0 walks
+      in
+      let live = Mem.Phys_mem.frames_live phys in
+      let entries = Mem.Phys_mem.dedup_entries phys in
+      if live > charged + entries then
+        fail "unattributed frames: %d live > %d charged + %d shared" live
+          charged entries
+      else begin
+        List.iter (fun w -> Tenancy.kill pool w.w_id) walks;
+        (* finalisers registered during one major cycle run in the next *)
+        Gc.full_major ();
+        Gc.full_major ();
+        let refs = Mem.Phys_mem.dedup_refs phys in
+        let entries = Mem.Phys_mem.dedup_entries phys in
+        if refs <> 0 then
+          fail "dedup refs did not drain at teardown: %d left" refs
+        else if entries <> 0 then
+          fail "dedup entries survived their last reference: %d left" entries
+        else None
+      end
+  end
+
+let check_prog_tenants ?tenants prog =
+  check_image_tenants ?tenants
+    (Isa.Asm_parser.assemble_text (Gen_prog.render prog))
 
 type report = {
   programs : int;

@@ -65,6 +65,19 @@ val check_image_faults :
 val check_prog_faults :
   ?seed:int -> ?plans:int -> Gen_prog.prog -> (Inject.plan * divergence) option
 
+val check_image_tenants : ?tenants:int -> Isa.Asm.image -> divergence option
+(** Multi-tenant mode: the same guest as [tenants] (default 4) interleaved
+    sessions in one shared {!Core.Tenancy} pool, cross-checked against a
+    single-tenant baseline pool driven identically.  Every tenant must
+    reproduce the baseline's terminal multiset exactly, and the pool's
+    dedup accounting must hold: boot-time references scale linearly with
+    the surviving tenant count, the hash-consed table matches the
+    single-tenant one, live frames never exceed the sum of per-tenant
+    charges plus shared frames, and references drain to zero once every
+    tenant is killed. *)
+
+val check_prog_tenants : ?tenants:int -> Gen_prog.prog -> divergence option
+
 type report = {
   programs : int;  (** programs checked *)
   failures : (Gen_prog.prog * divergence) list;

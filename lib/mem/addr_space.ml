@@ -48,6 +48,12 @@ type t = {
          discipline: restores do not roll it back. *)
   mutable trace : (trace_op -> unit) option;
       (* operation recorder for differential replay; [None] in production *)
+  mutable account : int;
+      (* session (tenant) every frame this space allocates is charged to;
+         0 = unattributed.  See {!Phys_mem.fresh_account}. *)
+  mutable dedup_held : Phys_mem.frame list;
+      (* boot-lifetime references into the phys dedup table taken by
+         [map_dedup]; returned wholesale by [drop_dedup_refs] at teardown *)
   mutable epoch : int;
       (* bumped on every capture, restore and seal.  A caller that restored
          a snapshot and sees the epoch unchanged knows no other map has
@@ -70,6 +76,8 @@ let create phys =
     seen_share_epoch = Phys_mem.share_epoch phys;
     shared_hidden = Ptmap.empty;
     trace = None;
+    account = 0;
+    dedup_held = [];
     epoch = 0 }
 
 let set_trace t sink = t.trace <- sink
@@ -79,6 +87,8 @@ let record t op =
 
 let phys t = t.phys
 let metrics t = t.metrics
+let set_account t account = t.account <- account
+let account t = t.account
 let generation t = t.gen
 let epoch t = t.epoch
 
@@ -150,12 +160,12 @@ let cow t vpn (f : Phys_mem.frame) =
     if f == zero then begin
       t.metrics.zero_fills <- t.metrics.zero_fills + 1;
       if Obs.Trace.enabled () then Obs.Trace.instant ~a:vpn Obs.Names.zero_fill;
-      Phys_mem.alloc t.phys ~owner:t.gen
+      Phys_mem.alloc ~account:t.account t.phys ~owner:t.gen
     end
     else begin
       t.metrics.cow_faults <- t.metrics.cow_faults + 1;
       if Obs.Trace.enabled () then Obs.Trace.instant ~a:vpn Obs.Names.cow_fault;
-      Phys_mem.alloc_copy t.phys ~owner:t.gen f
+      Phys_mem.alloc_copy t.phys ~account:t.account ~owner:t.gen f
     end
   in
   t.map <- Ptmap.add vpn f' t.map;
@@ -179,11 +189,33 @@ let map_zero t ~vpn =
 let map_data t ~vpn data =
   if String.length data > Page.size then
     invalid_arg "Addr_space.map_data: more than a page";
-  let f = Phys_mem.alloc_data t.phys ~owner:t.gen data in
+  let f = Phys_mem.alloc_data t.phys ~account:t.account ~owner:t.gen data in
   t.map <- Ptmap.add vpn f t.map;
   tlb_invalidate t vpn;
   if Obs.Trace.enabled () then Obs.Trace.instant ~a:vpn Obs.Names.map;
   record t (T_map_data (vpn, data))
+
+(* Map [data] through the system-global dedup table: tenants booting the
+   same image resolve the same read-only frame, and the first store COWs it
+   private (its owner is a reserved pseudo-generation no live generation
+   ever matches).  The reference taken here is boot-lifetime — returned by
+   [drop_dedup_refs] when the space is torn down.  Recorded as a plain
+   data map: differential replay cares about contents, not sharing. *)
+let map_dedup t ~vpn data =
+  if String.length data > Page.size then
+    invalid_arg "Addr_space.map_dedup: more than a page";
+  let f = Phys_mem.dedup_frame t.phys data in
+  t.dedup_held <- f :: t.dedup_held;
+  t.map <- Ptmap.add vpn f t.map;
+  tlb_invalidate t vpn;
+  if Obs.Trace.enabled () then Obs.Trace.instant ~a:vpn Obs.Names.map;
+  record t (T_map_data (vpn, data))
+
+let drop_dedup_refs t =
+  let held = t.dedup_held in
+  t.dedup_held <- [];
+  List.iter (fun f -> Phys_mem.dedup_unref t.phys f) held;
+  List.length held
 
 let map_shared t ~vpn =
   if Obs.Trace.enabled () then Obs.Trace.instant ~a:vpn Obs.Names.map;
@@ -345,9 +377,12 @@ let restore t s =
    allocated (COW'd or eagerly mapped) after the base's capture, on the one
    execution path that leads from the base to the later map — private
    frames enter a map at one vpn and are never re-mapped elsewhere, so no
-   other snapshot or address space can reach them.  The zero frame and
-   explicitly-shared frames never satisfy that (shared frames do not even
-   live in snapshot maps) and are skipped defensively. *)
+   other snapshot or address space can reach them.  The zero frame,
+   explicitly-shared frames and dedup-table frames never satisfy that
+   (shared frames do not even live in snapshot maps; dedup frames are
+   reachable from every tenant of the same image) and are skipped — the
+   [owner >= 0] guard admits only frames some live-or-retired private
+   generation allocated. *)
 
 let frame_eq (x : Phys_mem.frame) (y : Phys_mem.frame) = x == y
 
@@ -360,7 +395,7 @@ let free_delta phys delta =
     (fun n (_vpn, _before, now) ->
       match now with
       | Some (f : Phys_mem.frame)
-        when f != zero && f.owner <> shared_owner && not f.freed ->
+        when f != zero && f.owner >= 0 && not f.freed ->
         Phys_mem.free_frame phys f;
         n + 1
       | Some _ | None -> n)
@@ -402,7 +437,7 @@ let restore_adopt t ~parent s =
         match now with
         | Some (f : Phys_mem.frame)
           when f != Phys_mem.zero_frame t.phys
-               && f.owner <> shared_owner && not f.freed ->
+               && f.owner >= 0 && not f.freed ->
           Phys_mem.adopt_frame t.phys f ~owner:gen;
           n + 1
         | Some _ | None -> n)

@@ -49,6 +49,26 @@ val is_shared : t -> vpn:int -> bool
 val map_data : t -> vpn:int -> string -> unit
 (** Map a page initialised with up to {!Page.size} bytes of data. *)
 
+val map_dedup : t -> vpn:int -> string -> unit
+(** Map a page through the system-global content-addressed dedup table
+    ({!Phys_mem.dedup_frame}): address spaces booting the same image
+    resolve the same read-only frame, and the first store COWs it private
+    under the ordinary generation discipline.  Takes a boot-lifetime
+    reference on the deduped frame; {!drop_dedup_refs} returns them. *)
+
+val drop_dedup_refs : t -> int
+(** Return every dedup-table reference this space took via {!map_dedup}
+    and report how many were dropped.  Call at teardown (or when undoing
+    a partial boot); the map must not be accessed through those vpns
+    afterwards unless the pages were COW'd private. *)
+
+val set_account : t -> int -> unit
+(** Charge every frame this space allocates from now on (COW copies,
+    zero-fills, data maps) to the given {!Phys_mem.fresh_account} session;
+    0 (the default) leaves allocations unattributed. *)
+
+val account : t -> int
+
 val unmap : t -> vpn:int -> unit
 val is_mapped : t -> vpn:int -> bool
 val mapped_pages : t -> int
@@ -117,9 +137,9 @@ val release_snapshot : phys:Phys_mem.t -> parent:snapshot -> snapshot -> int
 (** [release_snapshot ~phys ~parent s] returns the frames [s] acquired since
     [parent] to the allocator and reports how many were freed.  Sound only
     once [s] is dead: off the frontier, every descendant already released,
-    and the current map restored away from its branch.  The zero frame and
-    explicitly-shared frames are skipped; frames [parent] still references
-    (pages unmapped in [s]) are kept. *)
+    and the current map restored away from its branch.  The zero frame,
+    explicitly-shared frames and dedup-table frames are skipped; frames
+    [parent] still references (pages unmapped in [s]) are kept. *)
 
 val discard_segment : t -> base:snapshot -> int
 (** Free what the current map acquired since [base] was restored — the COW

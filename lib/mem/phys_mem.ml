@@ -3,6 +3,7 @@ type frame = {
   bytes : Bytes.t;
   mutable owner : int;
   mutable freed : bool;
+  mutable account : int;
 }
 
 exception Out_of_frames of { capacity : int; live : int }
@@ -19,6 +20,10 @@ let poison_byte = '\xa5'
    catches up entry by entry; falling further behind degrades to the old
    full flush, never to incoherence. *)
 let share_log_size = 64
+
+(* A dedup-table entry: the hash-consed frame plus the number of address
+   spaces currently holding a boot-time reference to it. *)
+type dedup_entry = { d_frame : frame; mutable d_refs : int }
 
 type t = {
   mutable next_frame : int;
@@ -70,18 +75,39 @@ type t = {
   mutable peak_delta_bytes : int;
   mutable spill_bytes : int;
       (* bytes of deltas currently spilled to host disk (tier 2) *)
+  mutable next_account : int;
+  account_live_tbl : (int, int ref) Hashtbl.t;
+      (* live frames charged to each non-zero account — the per-tenant
+         frame accounting the tenancy layer's budgets read.  Account 0 is
+         the shared/unattributed pool and is never tracked. *)
+  dedup : (string, dedup_entry) Hashtbl.t;
+      (* content digest -> hash-consed read-only frame.  Entries are owned
+         by [dedup_owner], a reserved pseudo-generation that never matches
+         any address space's current generation, so every store through a
+         mapping of a deduped frame COWs — the frame-generation discipline
+         is what makes cross-tenant sharing sound. *)
+  dedup_rev : (int, string) Hashtbl.t;  (* frame id -> digest, for unref *)
+  mutable dedup_refs : int;             (* sum of d_refs over all entries *)
+  mutable dedup_hits : int;             (* dedup_frame calls served by an
+                                           existing entry *)
 }
 
 (* Generation 0 is reserved: it owns the zero frame and nothing else, so no
    live address space can ever write the zero frame in place. *)
 let zero_generation = 0
 
+(* Pseudo-generation owning hash-consed (deduplicated) frames.  Like
+   [Addr_space.shared_owner] (-1) it is negative so it can never collide
+   with a real generation — but unlike shared frames, deduped frames are
+   never written in place: a store through them always COWs. *)
+let dedup_owner = -2
+
 let create ?(capacity = 0) ?(track_live = false) ?(recycle = true)
     ?(poison = false) () =
   if capacity < 0 then invalid_arg "Phys_mem.create: negative capacity";
   let zero =
     { id = 0; bytes = Bytes.make Page.size '\000'; owner = zero_generation;
-      freed = false }
+      freed = false; account = 0 }
   in
   { next_frame = 1; next_gen = 1; zero; metrics = Mem_metrics.create ();
     shared_pages = Hashtbl.create 8; share_epoch = 0;
@@ -91,7 +117,10 @@ let create ?(capacity = 0) ?(track_live = false) ?(recycle = true)
     on_pressure = None; pressure_events = 0; watermark_armed = true;
     alloc_fault = None;
     recycle; poison; free_bufs = []; free_len = 0; total_allocs = 0;
-    delta_bytes = 0; peak_delta_bytes = 0; spill_bytes = 0 }
+    delta_bytes = 0; peak_delta_bytes = 0; spill_bytes = 0;
+    next_account = 1; account_live_tbl = Hashtbl.create 8;
+    dedup = Hashtbl.create 64; dedup_rev = Hashtbl.create 64;
+    dedup_refs = 0; dedup_hits = 0 }
 
 let metrics t = t.metrics
 
@@ -173,13 +202,53 @@ let ensure_frame_available t =
     else t.watermark_armed <- true
   end
 
+(* {1 Per-account accounting}
+
+   Accounts attribute live frames to the session (tenant) whose address
+   space allocated them, independently of generation ownership.  Account 0
+   is the shared/unattributed pool and is never tracked, so the tables stay
+   empty (and the per-allocation cost stays one integer compare) for every
+   user that never calls {!fresh_account}. *)
+
+let fresh_account t =
+  let a = t.next_account in
+  t.next_account <- a + 1;
+  a
+
+let account_cell t account =
+  match Hashtbl.find_opt t.account_live_tbl account with
+  | Some r -> r
+  | None ->
+    let r = ref 0 in
+    Hashtbl.replace t.account_live_tbl account r;
+    r
+
+let charge_account t account =
+  if account <> 0 then incr (account_cell t account)
+
+let credit_account t account =
+  if account <> 0 then decr (account_cell t account)
+
+let account_frames_live t account =
+  if account = 0 then 0
+  else match Hashtbl.find_opt t.account_live_tbl account with
+    | Some r -> !r
+    | None -> 0
+
 let account_live t f =
   if t.track_live then begin
     let live = 1 + Atomic.fetch_and_add t.live 1 in
     if live > t.peak_live then t.peak_live <- live;
+    charge_account t f.account;
     (* An explicitly-freed frame already gave its live slot back; the
        finaliser must not return it twice. *)
-    Gc.finalise (fun (f : frame) -> if not f.freed then Atomic.decr t.live) f
+    Gc.finalise
+      (fun (f : frame) ->
+        if not f.freed then begin
+          Atomic.decr t.live;
+          credit_account t f.account
+        end)
+      f
   end
 
 (* Pop a released page buffer, if the pool has one.  The buffer comes back
@@ -195,49 +264,49 @@ let take_buf t =
       Obs.Trace.instant ~a:t.free_len Obs.Names.frame_recycle;
     Some b
 
-let mint t ~owner bytes =
-  let f = { id = t.next_frame; bytes; owner; freed = false } in
+let mint t ~owner ~account bytes =
+  let f = { id = t.next_frame; bytes; owner; freed = false; account } in
   t.next_frame <- t.next_frame + 1;
   t.total_allocs <- t.total_allocs + 1;
   t.metrics.frames_allocated <- t.metrics.frames_allocated + 1;
   account_live t f;
   f
 
-let alloc t ~owner =
+let alloc ?(account = 0) t ~owner =
   ensure_frame_available t;
   let bytes =
     match take_buf t with
     | Some b -> Bytes.fill b 0 Page.size '\000'; b
     | None -> Bytes.make Page.size '\000'
   in
-  mint t ~owner bytes
+  mint t ~owner ~account bytes
 
 (* A frame whose every byte is about to be overwritten: recycle a buffer or
    take uninitialised memory, either way skipping the zero fill that
    [Bytes.make] would pay.  Gated on [recycle] so the recycling-off
    baseline keeps the seed's exact cost model. *)
-let alloc_overwritten t ~owner =
+let alloc_overwritten t ~owner ~account =
   ensure_frame_available t;
-  if not t.recycle then mint t ~owner (Bytes.make Page.size '\000')
+  if not t.recycle then mint t ~owner ~account (Bytes.make Page.size '\000')
   else begin
     t.metrics.zero_fills_elided <- t.metrics.zero_fills_elided + 1;
     let bytes =
       match take_buf t with Some b -> b | None -> Bytes.create Page.size
     in
-    mint t ~owner bytes
+    mint t ~owner ~account bytes
   end
 
-let alloc_copy t ~owner src =
-  let f = alloc_overwritten t ~owner in
+let alloc_copy t ?(account = 0) ~owner src =
+  let f = alloc_overwritten t ~owner ~account in
   Bytes.blit src.bytes 0 f.bytes 0 Page.size;
   t.metrics.pages_copied <- t.metrics.pages_copied + 1;
   t.metrics.bytes_copied <- t.metrics.bytes_copied + Page.size;
   f
 
-let alloc_data t ~owner data =
+let alloc_data t ?(account = 0) ~owner data =
   let len = String.length data in
   if len > Page.size then invalid_arg "Phys_mem.alloc_data: more than a page";
-  let f = alloc_overwritten t ~owner in
+  let f = alloc_overwritten t ~owner ~account in
   Bytes.blit_string data 0 f.bytes 0 len;
   (* only the tail needs clearing: the recycled buffer carries old bytes *)
   if len < Page.size then Bytes.fill f.bytes len (Page.size - len) '\000';
@@ -249,7 +318,10 @@ let free_frame t (f : frame) =
     invalid_arg (Printf.sprintf "Phys_mem.free_frame: double free of frame %d" f.id);
   f.freed <- true;
   t.metrics.frames_freed <- t.metrics.frames_freed + 1;
-  if t.track_live then Atomic.decr t.live;
+  if t.track_live then begin
+    Atomic.decr t.live;
+    credit_account t f.account
+  end;
   if t.recycle && t.free_len < max_free_bufs then begin
     if t.poison then Bytes.fill f.bytes 0 Page.size poison_byte;
     t.free_bufs <- f.bytes :: t.free_bufs;
@@ -266,6 +338,62 @@ let adopt_frame t (f : frame) ~owner =
   f.owner <- owner
 
 let frames_allocated t = t.total_allocs
+let next_frame_ordinal t = t.next_frame
+
+(* {1 Content-addressed frame dedup}
+
+   Hash-consing for read-only image pages shared across tenants of the
+   same guest image.  A deduped frame is owned by [dedup_owner], so any
+   store through a mapping of it COWs into a private frame (first
+   divergence); the shared original is never written in place, which is
+   exactly the invariant snapshots and the decode cache already rely on
+   for retired-generation frames.  References are boot-lifetime: one per
+   address space that mapped the frame, dropped at tenant teardown, and
+   the frame itself is freed when the last reference drains. *)
+
+let page_digest data =
+  (* digest of the full page image: short data is padded with zeroes, the
+     same contents the frame will hold *)
+  if String.length data = Page.size then Digest.string data
+  else Digest.string (data ^ String.make (Page.size - String.length data) '\000')
+
+let dedup_frame t data =
+  if String.length data > Page.size then
+    invalid_arg "Phys_mem.dedup_frame: more than a page";
+  let key = page_digest data in
+  match Hashtbl.find_opt t.dedup key with
+  | Some e ->
+    e.d_refs <- e.d_refs + 1;
+    t.dedup_refs <- t.dedup_refs + 1;
+    t.dedup_hits <- t.dedup_hits + 1;
+    if Obs.Trace.enabled () then
+      Obs.Trace.instant ~a:e.d_frame.id ~b:e.d_refs Obs.Names.dedup_hit;
+    e.d_frame
+  | None ->
+    let f = alloc_data t ~owner:dedup_owner data in
+    Hashtbl.replace t.dedup key { d_frame = f; d_refs = 1 };
+    Hashtbl.replace t.dedup_rev f.id key;
+    t.dedup_refs <- t.dedup_refs + 1;
+    f
+
+let dedup_unref t (f : frame) =
+  match Hashtbl.find_opt t.dedup_rev f.id with
+  | None -> invalid_arg "Phys_mem.dedup_unref: frame is not in the dedup table"
+  | Some key ->
+    let e = Hashtbl.find t.dedup key in
+    e.d_refs <- e.d_refs - 1;
+    t.dedup_refs <- t.dedup_refs - 1;
+    if e.d_refs = 0 then begin
+      Hashtbl.remove t.dedup key;
+      Hashtbl.remove t.dedup_rev f.id;
+      (* every address space that booted over this frame is gone: its
+         buffer can rejoin the free list *)
+      free_frame t f
+    end
+
+let dedup_entries t = Hashtbl.length t.dedup
+let dedup_refs t = t.dedup_refs
+let dedup_hits t = t.dedup_hits
 
 let shared_page t ~vpn = Hashtbl.find_opt t.shared_pages vpn
 

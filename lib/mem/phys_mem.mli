@@ -16,6 +16,8 @@ type frame = private {
   mutable owner : int;      (** generation allowed to write in place *)
   mutable freed : bool;     (** released via {!free_frame}; any further use
                                 through a page map is a lifecycle bug *)
+  mutable account : int;    (** session (tenant) the frame's live slot is
+                                charged to; 0 = shared/unattributed *)
 }
 
 type t
@@ -107,17 +109,19 @@ val zero_frame : t -> frame
     reserved generation that never matches a live one, so the first store
     always COWs it. *)
 
-val alloc : t -> owner:int -> frame
+val alloc : ?account:int -> t -> owner:int -> frame
 (** A fresh zero-filled frame owned by [owner] — genuine demand-zero
-    materialisation, so a recycled buffer is re-zeroed here. *)
+    materialisation, so a recycled buffer is re-zeroed here.  [account]
+    (default 0 = unattributed) charges the frame's live slot to a session
+    opened with {!fresh_account}. *)
 
-val alloc_copy : t -> owner:int -> frame -> frame
+val alloc_copy : t -> ?account:int -> owner:int -> frame -> frame
 (** A fresh frame owned by [owner] whose contents copy the given frame; this
     is the COW-fault service path and is counted in the metrics.  Under
     [recycle] the backing buffer is pooled or uninitialised (never
     zeroed): the blit overwrites every byte. *)
 
-val alloc_data : t -> owner:int -> string -> frame
+val alloc_data : t -> ?account:int -> owner:int -> string -> frame
 (** A fresh frame holding [data] (at most a page) followed by zeroes.
     Under [recycle] only the tail beyond [data] is cleared. *)
 
@@ -173,3 +177,54 @@ val share_changes_since : t -> seen:int -> f:(int -> unit) -> bool
 val fresh_generation : t -> int
 (** Monotonically increasing generation ids; generation 0 is reserved for
     the zero frame. *)
+
+(** {1 Per-account (per-tenant) frame accounting}
+
+    Accounts attribute live frames to the session that allocated them —
+    the quantity a multi-tenant pool's per-tenant frame budgets are
+    enforced against.  Accounting requires live tracking (a positive
+    capacity, or [track_live:true]); account 0 is the shared pool and is
+    never tracked. *)
+
+val fresh_account : t -> int
+(** A fresh non-zero account id. *)
+
+val account_frames_live : t -> int -> int
+(** Frames charged to the account and not yet freed or proven unreachable.
+    Always 0 for account 0. *)
+
+(** {1 Content-addressed frame dedup}
+
+    Hash-consed read-only frames shared across the address spaces (tenants)
+    that boot the same guest image.  Deduped frames are owned by a reserved
+    pseudo-generation that can never match a live one, so every store
+    through a mapping of one raises a COW fault and copies it private — the
+    same frame-generation discipline that makes snapshots sound makes this
+    sharing invisible.  References are boot-lifetime: {!dedup_frame} takes
+    one, {!Addr_space.drop_dedup_refs} gives them back at teardown, and the
+    frame is freed when the last reference drains. *)
+
+val dedup_frame : t -> string -> frame
+(** The hash-consed frame holding [data] (at most a page, zero-padded),
+    minting it on first sight; bumps the entry's refcount either way. *)
+
+val dedup_unref : t -> frame -> unit
+(** Drop one reference; frees the frame and its table entry at zero.
+    Raises [Invalid_argument] if the frame is not a dedup-table entry. *)
+
+val dedup_entries : t -> int
+(** Distinct hash-consed frames currently in the table. *)
+
+val dedup_refs : t -> int
+(** Outstanding references over all entries; 0 once every address space
+    that booted through the table has been torn down. *)
+
+val dedup_hits : t -> int
+(** {!dedup_frame} calls served by an existing entry — each one is a frame
+    some earlier tenant already paid for. *)
+
+val next_frame_ordinal : t -> int
+(** The ordinal the next allocated frame will carry — the value an
+    injected allocation fault ({!set_alloc_fault}) is matched against,
+    exposed so tests and benches can arm a fault for exactly the next
+    allocation. *)

@@ -43,6 +43,16 @@ let sched_requeue = "sched.requeue"
 let sched_quarantine = "sched.quarantine"
 let instructions = "explorer.instructions" (* counter *)
 
+(* content-addressed frame dedup *)
+let dedup_hit = "mem.dedup_hit" (* instant; a = frame id, b = refs *)
+
+(* multi-tenant pool *)
+let tenancy_admit = "tenancy.admit" (* instant; a = tenant id, b = live tenants *)
+let tenancy_reject = "tenancy.reject" (* instant; a = live tenants *)
+let tenancy_queue = "tenancy.queue" (* instant; a = queue length *)
+let tenancy_deadline_kill = "tenancy.deadline_kill" (* instant; a = tenant id *)
+let tenancy_evict = "tenancy.evict" (* instant; a = tenant id *)
+
 (* reclaim *)
 let reclaim_evict = "reclaim.evict" (* instant; a = handle, b = depth *)
 let reclaim_replay = "reclaim.replay" (* span; a = chain length, b = instrs *)

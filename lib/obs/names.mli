@@ -33,6 +33,12 @@ val queue_steal : string
 val sched_requeue : string
 val sched_quarantine : string
 val instructions : string
+val dedup_hit : string
+val tenancy_admit : string
+val tenancy_reject : string
+val tenancy_queue : string
+val tenancy_deadline_kill : string
+val tenancy_evict : string
 val reclaim_evict : string
 val reclaim_replay : string
 val reclaim_demote : string

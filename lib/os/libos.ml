@@ -63,20 +63,31 @@ let initial_os =
     stdin_pos = 0;
     timeout = 0 }
 
-let boot ?(layout = default_layout) ?(icache = true) phys (image : Isa.Asm.image) =
+let boot ?(layout = default_layout) ?(icache = true) ?(dedup = false)
+    ?(account = 0) phys (image : Isa.Asm.image) =
   if not (Mem.Page.is_aligned image.origin) then
     invalid_arg "Libos.boot: image origin not page-aligned";
   if image.origin + String.length image.code > layout.heap_base then
     invalid_arg "Libos.boot: image overlaps heap";
   let aspace = As.create phys in
-  (* Map code/data one page at a time. *)
+  As.set_account aspace account;
+  (* Map code/data one page at a time — through the content-addressed dedup
+     table when requested, so same-image tenants share read-only frames.  A
+     mid-boot allocation failure must return the dedup references already
+     taken, or the pool leaks an entry per rejected boot. *)
   let len = String.length image.code in
   let pages = (len + Mem.Page.size - 1) / Mem.Page.size in
-  for p = 0 to pages - 1 do
-    let off = p * Mem.Page.size in
-    let chunk = String.sub image.code off (min Mem.Page.size (len - off)) in
-    As.map_data aspace ~vpn:(Mem.Page.vpn_of_addr (image.origin + off)) chunk
-  done;
+  (try
+     for p = 0 to pages - 1 do
+       let off = p * Mem.Page.size in
+       let chunk = String.sub image.code off (min Mem.Page.size (len - off)) in
+       let vpn = Mem.Page.vpn_of_addr (image.origin + off) in
+       if dedup then As.map_dedup aspace ~vpn chunk
+       else As.map_data aspace ~vpn chunk
+     done
+   with e ->
+     ignore (As.drop_dedup_refs aspace);
+     raise e);
   (* Seal the freshly-mapped image: code and initialised data become
      immutable-until-COW, like text/data mapped from an executable. *)
   As.seal aspace;

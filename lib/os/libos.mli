@@ -57,10 +57,17 @@ type t = {
 
 val default_layout : layout
 
-val boot : ?layout:layout -> ?icache:bool -> Mem.Phys_mem.t -> Isa.Asm.image -> t
+val boot :
+  ?layout:layout -> ?icache:bool -> ?dedup:bool -> ?account:int ->
+  Mem.Phys_mem.t -> Isa.Asm.image -> t
 (** Map the image's code/data pages, point [rsp] at the stack top and the
     break at [heap_base].  [icache] (default true) enables the decoded
-    instruction cache.
+    instruction cache.  [dedup] (default false) maps image pages through
+    the physical memory's content-addressed table so same-image guests on
+    one [Phys_mem] share read-only frames (COW on first store; references
+    dropped by {!Mem.Addr_space.drop_dedup_refs} at teardown).  [account]
+    charges every frame the guest allocates to a
+    {!Mem.Phys_mem.fresh_account} session for per-tenant budgeting.
     @raise Invalid_argument if the image overlaps the heap. *)
 
 val run : t -> fuel:int -> stop

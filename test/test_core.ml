@@ -4,6 +4,7 @@
 module Explorer = Core.Explorer
 module Snapshot = Core.Snapshot
 module Service = Core.Service
+module Tenancy = Core.Tenancy
 module Native_bt = Core.Native_bt
 module Libos = Os.Libos
 module Abi = Os.Sys_abi
@@ -853,6 +854,357 @@ let reclaim_tier_roundtrip_prop =
         (fun (h, img) -> snap_image (Reclaim.get store h) = img)
         !published)
 
+(* {1 Service robustness: spill tier and fault containment} *)
+
+let locality_image =
+  Workloads.Locality.program
+    { depth = 3; branch = 2; touch_pages = 2; work = 1; arena_pages = 8 }
+
+let same_outcome msg (a : Service.outcome) (b : Service.outcome) =
+  match a, b with
+  | Service.Ready { arity = a1; output = o1; _ },
+    Service.Ready { arity = a2; output = o2; _ } ->
+    check Alcotest.int (msg ^ ": arity") a1 a2;
+    check Alcotest.string (msg ^ ": output") o1 o2
+  | Service.Finished { status = s1; output = o1 },
+    Service.Finished { status = s2; output = o2 } ->
+    check Alcotest.int (msg ^ ": status") s1 s2;
+    check Alcotest.string (msg ^ ": output") o1 o2
+  | Service.Failed { output = o1 }, Service.Failed { output = o2 } ->
+    check Alcotest.string (msg ^ ": output") o1 o2
+  | _ -> Alcotest.failf "%s: outcomes differ in kind" msg
+
+let service_spill_threshold_end_to_end () =
+  (* boot -> demote -> spill (tier 2) -> resume promotes via spill-load
+     with bit-identical output *)
+  let svc, outcome = Service.boot ~spill_threshold:0 locality_image in
+  match outcome with
+  | Service.Ready { candidate; _ } -> (
+    match Service.resume svc candidate ~choice:0 () with
+    | Service.Ready { candidate = child; _ } ->
+      let baseline = Service.resume svc child ~choice:0 () in
+      ignore (Service.demote_all svc);
+      Service.flush_spills svc;
+      check Alcotest.int "child sits at tier 2 (spilled)" 2
+        (Service.candidate_tier svc child);
+      check Alcotest.bool "spill counted" true (Service.spills svc >= 1);
+      let after = Service.resume svc child ~choice:0 () in
+      same_outcome "resume across the disk round-trip" baseline after;
+      check Alcotest.bool "promotion loaded from disk" true
+        (Service.spill_loads svc >= 1);
+      check Alcotest.int "no reconstruction fell back to replay" 0
+        (Service.replays svc)
+    | _ -> Alcotest.fail "expected a child choice point")
+  | _ -> Alcotest.fail "expected a choice point"
+
+let service_alloc_fail_contained () =
+  (* An injected Alloc_fail mid-resume must return Crashed without
+     corrupting sibling candidates. *)
+  let svc, outcome = Service.boot locality_image in
+  match outcome with
+  | Service.Ready { candidate; _ } ->
+    let baseline = Service.resume svc candidate ~choice:0 () in
+    let phys = Service.phys svc in
+    let armed =
+      Inject.arm
+        { Inject.seed = 0;
+          faults = [ Inject.Alloc_fail (Mem.Phys_mem.next_frame_ordinal phys) ] }
+    in
+    Mem.Phys_mem.set_alloc_fault phys (Inject.alloc_hook armed);
+    (match Service.resume svc candidate ~choice:1 () with
+    | Service.Crashed _ -> ()
+    | _ -> Alcotest.fail "expected the injected fault to crash the resume");
+    check Alcotest.bool "classified as allocation failure, not a kill" true
+      (Service.last_crash_reason svc = None);
+    Mem.Phys_mem.set_alloc_fault phys None;
+    (* the sibling path is bit-identical resumable after the crash *)
+    same_outcome "sibling resume after injected crash" baseline
+      (Service.resume svc candidate ~choice:0 ())
+  | _ -> Alcotest.fail "expected a choice point"
+
+(* {1 Multi-tenant pool} *)
+
+let pool_roots pool n image =
+  List.init n (fun _ ->
+      match Tenancy.boot pool image with
+      | Tenancy.Admitted (id, Service.Ready { candidate; _ }) -> (id, candidate)
+      | Tenancy.Admitted (_, _) -> Alcotest.fail "tenant boot missed its choice point"
+      | Tenancy.Queued _ | Tenancy.Rejected -> Alcotest.fail "tenant boot refused")
+
+let tenancy_dedup_shares_image_frames () =
+  let pool = Tenancy.create () in
+  let tenants = pool_roots pool 8 locality_image in
+  let phys = Tenancy.phys pool in
+  let pages =
+    (String.length locality_image.code + Mem.Page.size - 1) / Mem.Page.size
+  in
+  let entries = Mem.Phys_mem.dedup_entries phys in
+  (* identical pages within ONE image (zeroed arena pages) hash-cons to a
+     single entry too, so the table is no larger than the page count *)
+  check Alcotest.bool "image pages hash-consed" true
+    (entries >= 1 && entries <= pages);
+  check Alcotest.int "one reference per mapped page per tenant"
+    (8 * pages) (Mem.Phys_mem.dedup_refs phys);
+  check Alcotest.int "all but the first-sight pages came from the table"
+    ((8 * pages) - entries) (Mem.Phys_mem.dedup_hits phys);
+  check Alcotest.bool "sharing multiplier at least the tenant count" true
+    (Tenancy.dedup_ratio pool >= 8.0);
+  (* refcounts return to zero at teardown *)
+  List.iter (fun (id, _) -> Tenancy.kill pool id) tenants;
+  check Alcotest.int "dedup references drain at teardown" 0
+    (Mem.Phys_mem.dedup_refs phys);
+  check Alcotest.int "dedup table empties with the last tenant" 0
+    (Mem.Phys_mem.dedup_entries phys)
+
+let tenancy_fault_containment () =
+  (* kill one tenant with an injected allocation fault; its siblings'
+     candidates stay bit-identical resumable *)
+  let pool = Tenancy.create () in
+  (match pool_roots pool 3 locality_image with
+  | [ (t0, r0); (t1, r1); (t2, r2) ] ->
+    let run id r ~choice =
+      check Alcotest.bool "posted" true (Tenancy.post pool id r ~choice ());
+      match Tenancy.step pool with
+      | Some (id', outcome) ->
+        check Alcotest.int "round-robin served the poster" id id';
+        outcome
+      | None -> Alcotest.fail "pool had work but no step"
+    in
+    let baseline0 = run t0 r0 ~choice:0 in
+    (* aim the fault at tenant 1's next allocation *)
+    let phys = Tenancy.phys pool in
+    check Alcotest.bool "victim posted" true (Tenancy.post pool t1 r1 ~choice:0 ());
+    check (Alcotest.option Alcotest.int) "victim is next" (Some t1)
+      (Tenancy.next_tenant pool);
+    let armed =
+      Inject.arm
+        { Inject.seed = 1;
+          faults = [ Inject.Alloc_fail (Mem.Phys_mem.next_frame_ordinal phys) ] }
+    in
+    Mem.Phys_mem.set_alloc_fault phys (Inject.alloc_hook armed);
+    (match Tenancy.step pool with
+    | Some (id, Service.Crashed _) -> check Alcotest.int "victim crashed" t1 id
+    | _ -> Alcotest.fail "expected the victim to crash");
+    Mem.Phys_mem.set_alloc_fault phys None;
+    (match Tenancy.state pool t1 with
+    | Some (Tenancy.Crashed _) -> ()
+    | _ -> Alcotest.fail "victim not marked crashed");
+    check Alcotest.bool "crashed tenant refuses new work" false
+      (Tenancy.post pool t1 r1 ~choice:0 ());
+    check Alcotest.int "one crash counted" 1 (Tenancy.crashes pool);
+    (* survivors: bit-identical to their fault-free resumes *)
+    same_outcome "survivor t0 after the storm" baseline0 (run t0 r0 ~choice:0);
+    (match run t2 r2 ~choice:0 with
+    | Service.Ready _ -> ()
+    | _ -> Alcotest.fail "survivor t2 lost its choice point");
+    check Alcotest.int "two tenants still live" 2 (Tenancy.live_tenants pool)
+  | _ -> Alcotest.fail "expected three tenants")
+
+let tenancy_round_robin_is_fair () =
+  let pool = Tenancy.create () in
+  match pool_roots pool 2 locality_image with
+  | [ (t0, r0); (t1, r1) ] ->
+    (* t0 floods the pool with work before t1 posts anything; the schedule
+       must still alternate — one slot per tenant per round *)
+    ignore (Tenancy.post pool t0 r0 ~choice:0 ());
+    ignore (Tenancy.post pool t0 r0 ~choice:1 ());
+    ignore (Tenancy.post pool t0 r0 ~choice:0 ());
+    ignore (Tenancy.post pool t1 r1 ~choice:0 ());
+    ignore (Tenancy.post pool t1 r1 ~choice:1 ());
+    let order =
+      List.init 5 (fun _ ->
+          match Tenancy.step pool with
+          | Some (id, _) -> id
+          | None -> Alcotest.fail "queued work vanished")
+    in
+    check (Alcotest.list Alcotest.int) "one slot per tenant per round"
+      [ t0; t1; t0; t1; t0 ] order;
+    check Alcotest.bool "drained" true (Tenancy.step pool = None)
+  | _ -> Alcotest.fail "expected two tenants"
+
+let tenancy_admission_control () =
+  let pool = Tenancy.create ~max_tenants:2 ~queue_limit:1 () in
+  let _tenants = pool_roots pool 2 locality_image in
+  (match Tenancy.boot pool locality_image with
+  | Tenancy.Queued 1 -> ()
+  | _ -> Alcotest.fail "third boot should queue");
+  (match Tenancy.boot pool locality_image with
+  | Tenancy.Rejected -> ()
+  | _ -> Alcotest.fail "fourth boot should be rejected: queue full");
+  check Alcotest.int "nothing admitted while full" 0
+    (List.length (Tenancy.pump pool));
+  check Alcotest.int "still one pending boot" 1 (Tenancy.pending_boots pool);
+  (* room opens; the queued boot must eventually be admitted (backoff may
+     push the retry a few pumps out) *)
+  Tenancy.kill pool 0;
+  let rec pump_until n =
+    if n = 0 then Alcotest.fail "queued boot never admitted"
+    else
+      match Tenancy.pump pool with
+      | [] -> pump_until (n - 1)
+      | [ (_, Service.Ready _) ] -> ()
+      | _ -> Alcotest.fail "unexpected admission result"
+  in
+  pump_until 20;
+  check Alcotest.int "queue drained" 0 (Tenancy.pending_boots pool);
+  check Alcotest.int "admissions counted" 3 (Tenancy.admits pool);
+  check Alcotest.int "rejections counted" 1 (Tenancy.rejects pool)
+
+let tenancy_deadline_kills_runaway () =
+  (* extension 1 spins forever; the pool deadline must kill that tenant
+     alone, classified as a deadline kill, and leave its sibling intact *)
+  let spin_image =
+    assemble ~entry:"main"
+      ([ label "main" ]
+      @ Wl_common.sys_guess_imm ~n:2
+      @ [ cmp R.rax (i 1); je "spin" ]
+      @ Wl_common.sys_exit ~status:0
+      @ [ label "spin"; jmp "spin" ])
+  in
+  let pool = Tenancy.create ~deadline:5_000 () in
+  match pool_roots pool 2 spin_image with
+  | [ (t0, r0); (t1, r1) ] ->
+    ignore (Tenancy.post pool t0 r0 ~choice:1 ());
+    (match Tenancy.step pool with
+    | Some (id, Service.Crashed _) -> check Alcotest.int "runaway killed" t0 id
+    | _ -> Alcotest.fail "expected a deadline kill");
+    check Alcotest.int "classified as deadline kill" 1
+      (Tenancy.deadline_kills pool);
+    (match Tenancy.state pool t0 with
+    | Some (Tenancy.Crashed _) -> ()
+    | _ -> Alcotest.fail "runaway not marked crashed");
+    ignore (Tenancy.post pool t1 r1 ~choice:0 ());
+    (match Tenancy.step pool with
+    | Some (id, Service.Finished { status; _ }) ->
+      check Alcotest.int "sibling survives" t1 id;
+      check Alcotest.int "sibling exits cleanly" 0 status
+    | _ -> Alcotest.fail "sibling should finish")
+  | _ -> Alcotest.fail "expected two tenants"
+
+let tenancy_frame_budget_degrades_fairly () =
+  (* Probe the per-step working set on an unbudgeted pool, then give a
+     budget a wide frontier will exceed: the pool must demote the tenant's
+     cold candidates back under it (fair degradation), not evict — and a
+     hopeless budget must evict.
+
+     The shape matters: frontier siblings off one root are reclaimable
+     (demoted, their delta frames free immediately — no child shares
+     them), whereas the anchor chain under the machine's current state is
+     pinned by design.  Fanning out from the root keeps the irreducible
+     footprint at one candidate's delta, so a modest budget is something
+     demotion can actually maintain. *)
+  let image =
+    Workloads.Locality.program
+      { depth = 4; branch = 2; touch_pages = 4; work = 1; arena_pages = 16 }
+  in
+  let drive pool id root rounds =
+    let cur = ref root in
+    for k = 1 to rounds do
+      ignore (Tenancy.post pool id !cur ~choice:(k mod 2) ());
+      match Tenancy.step pool with
+      | Some (_, Service.Ready { candidate; _ }) -> cur := candidate
+      | Some (_, _) -> ()
+      | None -> Alcotest.fail "pool had work but no step"
+    done
+  in
+  (* resume the same root over and over: a frontier of siblings *)
+  let fan pool id root rounds =
+    for k = 1 to rounds do
+      if not (Tenancy.post pool id root ~choice:(k mod 2) ()) then
+        Alcotest.fail "tenant stopped running mid-fan";
+      match Tenancy.step pool with
+      | Some (_, Service.Ready _) -> ()
+      | Some (_, Service.Crashed msg) ->
+        Alcotest.fail ("tenant crashed mid-fan: " ^ msg)
+      | Some (_, _) -> Alcotest.fail "root stopped publishing mid-fan"
+      | None -> Alcotest.fail "pool had work but no step"
+    done
+  in
+  let probe = Tenancy.create () in
+  let ws =
+    match pool_roots probe 1 image with
+    | [ (id, root) ] ->
+      drive probe id root 1;
+      Tenancy.tenant_frames probe id
+    | _ -> Alcotest.fail "probe boot failed"
+  in
+  check Alcotest.bool "probe found a real working set" true (ws >= 4);
+  let budget = (2 * ws) + 4 in
+  let pool = Tenancy.create ~frame_budget:budget () in
+  (match pool_roots pool 1 image with
+  | [ (id, root) ] ->
+    fan pool id root 12;
+    check Alcotest.bool "tenant still running" true
+      (Tenancy.state pool id = Some Tenancy.Running);
+    check Alcotest.int "no eviction needed" 0 (Tenancy.budget_evictions pool);
+    check Alcotest.bool "payloads were demoted to fit" true
+      (Service.demotions (Tenancy.service pool id) > 0);
+    check Alcotest.bool "budget respected after degradation" true
+      (Tenancy.tenant_frames pool id <= budget)
+  | _ -> Alcotest.fail "budgeted boot failed");
+  (* a budget below the live working set is incompressible: evict *)
+  let pool2 = Tenancy.create ~frame_budget:2 () in
+  match pool_roots pool2 1 image with
+  | [ (id, root) ] ->
+    drive pool2 id root 1;
+    check Alcotest.bool "incompressible tenant evicted" true
+      (Tenancy.state pool2 id = Some (Tenancy.Evicted "frame budget"));
+    check Alcotest.int "eviction counted" 1 (Tenancy.budget_evictions pool2)
+  | _ -> Alcotest.fail "tiny-budget boot failed"
+
+let tenancy_shared_pressure_pool () =
+  (* Many tenants over one bounded pool: pressure must demote across
+     tenants rather than fail allocations, and every tenant's search must
+     still complete correctly. *)
+  let image =
+    Workloads.Locality.program
+      { depth = 3; branch = 2; touch_pages = 2; work = 1; arena_pages = 8 }
+  in
+  (* fault-free footprint of ONE tenant *)
+  let probe = Tenancy.create () in
+  let dfs pool id root =
+    (* exhaustive DFS via the pool, returning terminal outputs in order *)
+    let terminals = ref [] in
+    let rec go r =
+      ignore (Tenancy.post pool id r ~choice:0 ());
+      ignore (Tenancy.post pool id r ~choice:1 ());
+      (* requests are queued FIFO per tenant; serve both *)
+      for _ = 1 to 2 do
+        match Tenancy.step pool with
+        | Some (_, Service.Ready { candidate; _ }) -> go candidate
+        | Some (_, Service.Finished { status; output }) ->
+          terminals := (status, output) :: !terminals
+        | Some (_, Service.Failed { output }) ->
+          terminals := (-1, output) :: !terminals
+        | Some (_, Service.Crashed msg) -> Alcotest.fail ("crash: " ^ msg)
+        | None -> Alcotest.fail "queued request vanished"
+      done
+    in
+    go root;
+    List.rev !terminals
+  in
+  let baseline =
+    match pool_roots probe 1 image with
+    | [ (id, root) ] -> dfs probe id root
+    | _ -> Alcotest.fail "probe boot failed"
+  in
+  let peak = Mem.Phys_mem.peak_frames_live (Tenancy.phys probe) in
+  (* four tenants under a pool budget well below 4x one tenant's peak *)
+  let capacity = max 48 (peak * 2) in
+  let pool = Tenancy.create ~capacity () in
+  let tenants = pool_roots pool 4 image in
+  List.iter
+    (fun (id, root) ->
+      let got = dfs pool id root in
+      check
+        (Alcotest.list (Alcotest.pair Alcotest.int Alcotest.string))
+        (Printf.sprintf "tenant %d terminal set" id)
+        baseline got)
+    tenants;
+  check Alcotest.bool "budget respected" true
+    (Mem.Phys_mem.peak_frames_live (Tenancy.phys pool) <= capacity);
+  check Alcotest.int "all tenants survived" 4 (Tenancy.live_tenants pool)
+
 let tests =
   [ Alcotest.test_case "nqueens all sizes" `Quick nqueens_all_sizes;
     Alcotest.test_case "nqueens boards match host" `Quick nqueens_boards_match_host;
@@ -900,6 +1252,24 @@ let tests =
     Alcotest.test_case "reclaim spill roundtrip" `Quick
       reclaim_spill_roundtrip;
     reclaim_tier_roundtrip_prop;
+    Alcotest.test_case "service spill threshold end to end" `Quick
+      service_spill_threshold_end_to_end;
+    Alcotest.test_case "service alloc fail contained" `Quick
+      service_alloc_fail_contained;
+    Alcotest.test_case "tenancy dedup shares image frames" `Quick
+      tenancy_dedup_shares_image_frames;
+    Alcotest.test_case "tenancy fault containment" `Quick
+      tenancy_fault_containment;
+    Alcotest.test_case "tenancy round robin fair" `Quick
+      tenancy_round_robin_is_fair;
+    Alcotest.test_case "tenancy admission control" `Quick
+      tenancy_admission_control;
+    Alcotest.test_case "tenancy deadline kill" `Quick
+      tenancy_deadline_kills_runaway;
+    Alcotest.test_case "tenancy frame budget degrades fairly" `Quick
+      tenancy_frame_budget_degrades_fairly;
+    Alcotest.test_case "tenancy shared pressure pool" `Quick
+      tenancy_shared_pressure_pool;
     Alcotest.test_case "divergent path killed by fuel" `Quick
       divergent_path_killed_by_fuel;
     Alcotest.test_case "native replay enumerates" `Quick native_bt_enumerates;

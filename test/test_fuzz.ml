@@ -43,6 +43,20 @@ let oracle_smoke_default_cfg () =
     Alcotest.failf "seed %d diverges on %s: %s" prog.Fuzz.Gen_prog.seed
       d.Fuzz.Oracle.pipeline d.Fuzz.Oracle.detail
 
+(* The multi-tenant cross-check: a handful of generated guests, each run
+   as three interleaved tenants over one shared pool against a
+   single-tenant baseline.  Small trees keep the DFS frontier cheap. *)
+let oracle_tenants_smoke () =
+  for seed = 42 to 47 do
+    let prog = Fuzz.Gen_prog.generate ~cfg:small_cfg seed in
+    match Fuzz.Oracle.check_prog_tenants ~tenants:3 prog with
+    | None -> ()
+    | Some d ->
+      Alcotest.failf "seed %d diverges as tenants: %s\nprogram:\n%s" seed
+        d.Fuzz.Oracle.detail
+        (Fuzz.Gen_prog.render prog)
+  done
+
 (* Disassembling the code section of a generated image and re-encoding the
    listing must reproduce the bytes exactly. *)
 let encode_disasm_roundtrip () =
@@ -103,5 +117,6 @@ let tests =
     Alcotest.test_case "oracle smoke (fixed seeds)" `Quick oracle_smoke;
     Alcotest.test_case "oracle smoke (default config)" `Quick
       oracle_smoke_default_cfg;
+    Alcotest.test_case "oracle multi-tenant smoke" `Quick oracle_tenants_smoke;
     Alcotest.test_case "encode/disasm roundtrip" `Quick encode_disasm_roundtrip;
     Alcotest.test_case "shrinker minimises" `Quick shrinker_minimises ]
