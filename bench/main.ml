@@ -1340,11 +1340,129 @@ let e14 () =
     (List.rev !json_rows)
 
 (* ------------------------------------------------------------------ *)
+(* E15: record/replay — recording overhead, reverse-seek latency      *)
+(* ------------------------------------------------------------------ *)
+
+let e15 () =
+  U.header "E15  record/replay: recording overhead and time-travel latency"
+    "Recording a run's nondeterministic inputs (scheduler decisions plus \
+     the ordinary-syscall stream, lib/record) must not slow exploration \
+     by 10% or more; the time-travel cursor's reverse-step must cost \
+     O(anchor interval), not O(run length).  Runs n-queens unrecorded \
+     and recorded (min of 5 each, identical exploration asserted), then \
+     replays the bundle and measures forward-pass and reverse-step \
+     latency at anchor spacings 1/4/16/64.";
+  let n = if !quick then 5 else 6 in
+  let image = Workloads.Nqueens.program ~n in
+  let reps = 5 in
+  let boot () = Os.Libos.boot (Phys.create ()) image in
+  let min_ms f =
+    ignore (f ());
+    let best = ref infinity in
+    let last = ref None in
+    for _ = 1 to reps do
+      let ms, r = f () in
+      if ms < !best then best := ms;
+      last := Some r
+    done;
+    (!best, Option.get !last)
+  in
+  let off_ms, off_r =
+    min_ms (fun () ->
+        let m = boot () in
+        Gc.full_major ();
+        U.time_once_ms (fun () -> Explorer.run m))
+  in
+  let last_recorder = ref (Record.Recorder.create ()) in
+  let on_ms, on_r =
+    min_ms (fun () ->
+        let m = boot () in
+        let recorder = Record.Recorder.create () in
+        Record.Recorder.install recorder m;
+        last_recorder := recorder;
+        Gc.full_major ();
+        U.time_once_ms (fun () ->
+            Explorer.run ~probe:(Record.Recorder.probe recorder) m))
+  in
+  let signature (r : Explorer.result) =
+    ( r.Explorer.stats.Core.Stats.fails,
+      r.Explorer.stats.Core.Stats.exits,
+      r.Explorer.transcript )
+  in
+  if signature off_r <> signature on_r then
+    failwith "E15: recording changed the exploration result";
+  let overhead_pct = 100.0 *. ((on_ms /. off_ms) -. 1.0) in
+  let log = Record.Recorder.log !last_recorder in
+  let log_bytes = String.length (Record.Log.encode log) in
+  let events = Record.Recorder.events !last_recorder in
+  let instructions = off_r.Explorer.stats.Core.Stats.instructions in
+  let row = U.row_format [ 26; 16 ] in
+  row [ "recording off (min of 5)"; U.fms off_ms ^ " ms" ];
+  row [ "recording on  (min of 5)"; U.fms on_ms ^ " ms" ];
+  row [ "record overhead"; Printf.sprintf "%.1f%%" overhead_pct ];
+  row [ "guest instructions"; U.fint instructions ];
+  row [ "events logged"; U.fint events ];
+  row [ "log size"; Printf.sprintf "%d bytes" log_bytes ];
+  (* the time-travel axis: one bundle, four anchor spacings *)
+  let bundle = Record.Bundle.of_image image log in
+  let rsteps_wanted = if !quick then 50 else 200 in
+  let row = U.row_format [ 12; 14; 10; 14 ] in
+  row [ "anchor_every"; "fwd pass ms"; "rsteps"; "us/rstep" ];
+  let seek_rows =
+    List.map
+      (fun anchor_every ->
+        let cur = Record.Replay.create ~anchor_every bundle in
+        let fwd_ms, () =
+          U.time_once_ms (fun () ->
+              match Record.Replay.seek cur (Record.Replay.total_time cur) with
+              | Record.Replay.Stopped -> ()
+              | Record.Replay.End | Record.Replay.Break _ ->
+                failwith "E15: seek to end interrupted")
+        in
+        let k = min rsteps_wanted (Record.Replay.total_time cur - 1) in
+        let rstep_ms, () =
+          U.time_once_ms (fun () ->
+              for _ = 1 to k do
+                match Record.Replay.rstep cur with
+                | Record.Replay.Stopped -> ()
+                | Record.Replay.End | Record.Replay.Break _ ->
+                  failwith "E15: rstep hit the boundary"
+              done)
+        in
+        let us_per = rstep_ms *. 1000.0 /. Float.of_int k in
+        row
+          [ string_of_int anchor_every; U.fms fwd_ms; string_of_int k;
+            Printf.sprintf "%.1f" us_per ];
+        Obs.Json.Obj
+          [ "anchor_every", Obs.Json.Int anchor_every;
+            "forward_ms", Obs.Json.Float fwd_ms;
+            "rsteps", Obs.Json.Int k;
+            "us_per_rstep", Obs.Json.Float us_per ])
+      [ 1; 4; 16; 64 ]
+  in
+  if overhead_pct >= 10.0 then
+    failwith "E15: recording overhead reached 10%";
+  U.emit_json ~experiment:"E15" ~quick:!quick
+    ~params:
+      [ "workload", Obs.Json.Str "nqueens";
+        "n", Obs.Json.Int n;
+        "reps", Obs.Json.Int reps;
+        "rsteps", Obs.Json.Int rsteps_wanted ]
+    (Obs.Json.Obj
+       [ "off_ms", Obs.Json.Float off_ms;
+         "on_ms", Obs.Json.Float on_ms;
+         "record_overhead_pct", Obs.Json.Float overhead_pct;
+         "instructions", Obs.Json.Int instructions;
+         "events", Obs.Json.Int events;
+         "log_bytes", Obs.Json.Int log_bytes ]
+     :: seek_rows)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [ "E1", e1; "E2", e2; "E3", e3; "E4", e4; "E5", e5; "E6", e6; "E7", e7;
     "E8", e8; "E9", e9; "E10", e10; "E11", e11; "E12", e12; "E13", e13;
-    "E14", e14; "MICRO", micro ]
+    "E14", e14; "E15", e15; "MICRO", micro ]
 
 let () =
   let only = ref [] in

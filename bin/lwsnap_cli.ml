@@ -91,6 +91,30 @@ let build_image workload n =
           (List.init n (fun k -> k + 1)))
   | other -> Error (Printf.sprintf "unknown workload %S" other)
 
+(* Run the explorer with a recorder attached and write the replay bundle:
+   the probe logs scheduler decisions, the installed sys hook logs the
+   ordinary-syscall stream.  Recording needs an unbounded in-memory
+   scheduler, so the machine is booted on a fresh unbounded memory here
+   rather than going through [run_image]. *)
+let record_explored ?source ?stdin ?(files = []) ?mode ?strategy_override
+    ~fuel ~meta image path =
+  let phys = Mem.Phys_mem.create () in
+  let machine = Os.Libos.boot phys image in
+  List.iter (fun (p, c) -> Os.Libos.add_file machine ~path:p c) files;
+  Option.iter (Os.Libos.set_stdin machine) stdin;
+  let recorder = Record.Recorder.create ~fuel_per_step:fuel ~meta () in
+  Record.Recorder.install recorder machine;
+  let result =
+    Core.Explorer.run ?mode ~fuel_per_step:fuel ?strategy_override
+      ~probe:(Record.Recorder.probe recorder) machine
+  in
+  Record.Bundle.write ~path
+    (Record.Bundle.of_image ?source ?stdin ~files image
+       (Record.Recorder.log recorder));
+  Printf.printf "[replay bundle: %d events written to %s]\n"
+    (Record.Recorder.events recorder) path;
+  result
+
 let run_cmd =
   let workload =
     Arg.(value & pos 0 string "nqueens"
@@ -105,18 +129,43 @@ let run_cmd =
              ~doc:"Record a trace of the run and write it to FILE as Chrome \
                    trace_event JSON (open in Perfetto or chrome://tracing).")
   in
-  let action workload n strategy first fuel capacity trace_out =
+  let record_out =
+    Arg.(value & opt (some string) None
+         & info [ "record" ] ~docv:"FILE"
+             ~doc:"Record the run's nondeterministic inputs (scheduler \
+                   decisions, syscall results) and write a self-contained \
+                   replay bundle to FILE for $(b,lwsnap replay).  \
+                   Incompatible with --capacity (recording needs the plain \
+                   in-memory scheduler).")
+  in
+  let action workload n strategy first fuel capacity trace_out record_out =
     match build_image workload n with
     | Error msg ->
       prerr_endline msg;
       1
     | Ok image ->
+      if record_out <> None && capacity > 0 then begin
+        prerr_endline "lwsnap: --record is incompatible with --capacity";
+        exit 2
+      end;
       let mode = if first then `First_exit else `Run_to_completion in
       (match trace_out with Some _ -> Obs.Trace.start () | None -> ());
       let result =
-        Core.Explorer.run_image ~mode ~fuel_per_step:fuel
-          ?capacity:(if capacity > 0 then Some capacity else None)
-          ?strategy_override:strategy image
+        match record_out with
+        | Some path ->
+          let source =
+            if Filename.check_suffix workload ".s" && Sys.file_exists workload
+            then
+              Some (In_channel.with_open_text workload In_channel.input_all)
+            else None
+          in
+          record_explored ?source ~mode ?strategy_override:strategy ~fuel
+            ~meta:(Printf.sprintf "lwsnap run %s (n=%d)" workload n)
+            image path
+        | None ->
+          Core.Explorer.run_image ~mode ~fuel_per_step:fuel
+            ?capacity:(if capacity > 0 then Some capacity else None)
+            ?strategy_override:strategy image
       in
       print_string result.Core.Explorer.transcript;
       (match result.Core.Explorer.outcome with
@@ -134,7 +183,240 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc:"Run a guest search workload under the explorer.")
     Term.(const action $ workload $ size_arg ~default:6 $ strategy_arg
-          $ first_arg $ fuel_arg $ capacity_arg $ trace_out)
+          $ first_arg $ fuel_arg $ capacity_arg $ trace_out $ record_out)
+
+(* The time-travel debugger: a small command interpreter over
+   [Record.Replay].  One grammar serves both the interactive prompt and
+   --script (semicolon-separated), so CI can drive the same paths a human
+   would. *)
+let replay_cmd =
+  let bundle_arg =
+    Arg.(required & pos 0 (some file) None
+         & info [] ~docv:"BUNDLE"
+             ~doc:"A replay bundle written by $(b,run --record) or the \
+                   fuzzer's counterexample emitter.")
+  in
+  let script_arg =
+    Arg.(value & opt (some string) None
+         & info [ "script" ] ~docv:"CMDS"
+             ~doc:"Execute semicolon-separated debugger commands and exit, \
+                   e.g. \"break stop 3; continue; regs; rstep; where\".")
+  in
+  let anchor_arg =
+    Arg.(value & opt int 8
+         & info [ "anchor-every" ] ~docv:"K"
+             ~doc:"Drop a reverse-seek anchor every K scheduler stops \
+                   (default 8).  Smaller = faster reverse motion, more \
+                   memory.")
+  in
+  let parse_int s =
+    match int_of_string_opt s with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "not a number: %S" s)
+  in
+  let action path script anchor_every =
+    match Record.Bundle.read ~path with
+    | Error msg ->
+      Printf.eprintf "lwsnap: %s: %s\n" path msg;
+      1
+    | Ok bundle -> (
+      let cur = Record.Replay.create ~anchor_every bundle in
+      let machine = Record.Replay.machine cur in
+      let pp_bp fmt (bp : Record.Replay.bp) =
+        match bp with
+        | Record.Replay.Bp_pc a -> Format.fprintf fmt "pc 0x%x" a
+        | Record.Replay.Bp_sys n ->
+          Format.fprintf fmt "sys %d (%s)" n (Os.Sys_abi.name_of_syscall n)
+        | Record.Replay.Bp_stop k -> Format.fprintf fmt "stop %d" k
+      in
+      let where () =
+        Printf.printf "time %d/%d  stop %d/%d  rip=0x%x"
+          (Record.Replay.time cur)
+          (Record.Replay.total_time cur)
+          (Record.Replay.stop_index cur)
+          (Record.Replay.segments cur)
+          machine.Os.Libos.cpu.Vcpu.Cpu.rip;
+        (match Record.Replay.current_stop cur with
+        | Some stop when not (Record.Replay.at_end cur) ->
+          Printf.printf "  [segment ends: %s]"
+            (Format.asprintf "%a" Record.Log.pp_stop stop)
+        | Some stop ->
+          Printf.printf "  [at end: %s]"
+            (Format.asprintf "%a" Record.Log.pp_stop stop)
+        | None -> ());
+        print_newline ()
+      in
+      let report = function
+        | Record.Replay.Stopped -> where ()
+        | Record.Replay.Break (id, bp) ->
+          Printf.printf "breakpoint %d (%s) hit\n" id
+            (Format.asprintf "%a" pp_bp bp);
+          where ()
+        | Record.Replay.End ->
+          print_endline "[log boundary]";
+          where ()
+      in
+      let hexdump addr s =
+        String.iteri
+          (fun i c ->
+            if i mod 16 = 0 then Printf.printf "%s0x%08x  " (if i > 0 then "\n" else "") (addr + i);
+            Printf.printf "%02x " (Char.code c))
+          s;
+        print_newline ()
+      in
+      let repeat n f =
+        let rec go i = if i < n then match f () with
+          | Record.Replay.Stopped -> go (i + 1)
+          | halt -> halt
+        else Record.Replay.Stopped
+        in
+        report (go 0)
+      in
+      (* returns [false] to quit *)
+      let exec line =
+        match
+          String.split_on_char ' ' (String.trim line)
+          |> List.filter (fun s -> s <> "")
+        with
+        | [] -> Ok true
+        | [ ("quit" | "q" | "exit") ] -> Ok false
+        | [ "info" ] ->
+          Printf.printf
+            "bundle: %d stop segments, %d instructions, fuel/step %d%s\n"
+            (Record.Replay.segments cur)
+            (Record.Replay.total_time cur)
+            bundle.Record.Bundle.log.Record.Log.fuel_per_step
+            (match Record.Replay.meta cur with
+            | "" -> ""
+            | m -> Printf.sprintf "\nmeta: %s" m);
+          Ok true
+        | [ "where" ] | [ "w" ] ->
+          where ();
+          Ok true
+        | [ ("step" | "s") ] ->
+          report (Record.Replay.step cur);
+          Ok true
+        | [ ("step" | "s"); n ] ->
+          Result.map
+            (fun n -> repeat n (fun () -> Record.Replay.step cur); true)
+            (parse_int n)
+        | [ ("rstep" | "rs") ] ->
+          report (Record.Replay.rstep cur);
+          Ok true
+        | [ ("rstep" | "rs"); n ] ->
+          Result.map
+            (fun n -> repeat n (fun () -> Record.Replay.rstep cur); true)
+            (parse_int n)
+        | [ ("continue" | "c") ] ->
+          report (Record.Replay.continue cur);
+          Ok true
+        | [ ("rcontinue" | "rc") ] ->
+          report (Record.Replay.rcontinue cur);
+          Ok true
+        | [ "seek"; n ] ->
+          Result.map
+            (fun n -> report (Record.Replay.seek cur n); true)
+            (parse_int n)
+        | [ "seek-stop"; n ] ->
+          Result.map
+            (fun n -> report (Record.Replay.seek_stop cur n); true)
+            (parse_int n)
+        | [ "regs" ] ->
+          Format.printf "%a@." Vcpu.Cpu.pp machine.Os.Libos.cpu;
+          Ok true
+        | [ "mem"; addr; len ] -> (
+          match (parse_int addr, parse_int len) with
+          | Ok addr, Ok len -> (
+            match Record.Replay.read_mem cur ~addr ~len with
+            | Some bytes ->
+              hexdump addr bytes;
+              Ok true
+            | None ->
+              Printf.printf "unmapped range 0x%x+%d\n" addr len;
+              Ok true)
+          | (Error _ as e), _ | _, (Error _ as e) ->
+            Result.map (fun _ -> true) e)
+        | [ "stdout" ] ->
+          print_string (Os.Libos.stdout_text machine);
+          print_newline ();
+          Ok true
+        | [ "break"; "pc"; a ] ->
+          Result.map
+            (fun a ->
+              Printf.printf "breakpoint %d\n"
+                (Record.Replay.add_bp cur (Record.Replay.Bp_pc a));
+              true)
+            (parse_int a)
+        | [ "break"; "sys"; n ] ->
+          Result.map
+            (fun n ->
+              Printf.printf "breakpoint %d\n"
+                (Record.Replay.add_bp cur (Record.Replay.Bp_sys n));
+              true)
+            (parse_int n)
+        | [ "break"; "stop"; k ] ->
+          Result.map
+            (fun k ->
+              Printf.printf "breakpoint %d\n"
+                (Record.Replay.add_bp cur (Record.Replay.Bp_stop k));
+              true)
+            (parse_int k)
+        | [ "delete"; id ] ->
+          Result.map
+            (fun id ->
+              if not (Record.Replay.remove_bp cur id) then
+                Printf.printf "no breakpoint %d\n" id;
+              true)
+            (parse_int id)
+        | [ "breaks" ] ->
+          List.iter
+            (fun (id, bp) ->
+              Printf.printf "%d: %s\n" id (Format.asprintf "%a" pp_bp bp))
+            (Record.Replay.bps cur);
+          Ok true
+        | [ "help" ] ->
+          print_endline
+            "commands: info where step|s [N] rstep|rs [N] continue|c \
+             rcontinue|rc seek T seek-stop K regs mem ADDR LEN stdout \
+             break pc|sys|stop N delete ID breaks quit";
+          Ok true
+        | cmd :: _ -> Error (Printf.sprintf "unknown command %S (try help)" cmd)
+      in
+      let exec_report line =
+        match exec line with
+        | Ok cont -> cont
+        | Error msg ->
+          Printf.printf "error: %s\n" msg;
+          true
+      in
+      try
+        match script with
+        | Some s ->
+          List.iter
+            (fun line -> ignore (exec_report line))
+            (String.split_on_char ';' s);
+          0
+        | None ->
+          where ();
+          let rec loop () =
+            print_string "(replay) ";
+            flush Stdlib.stdout;
+            match In_channel.input_line In_channel.stdin with
+            | None -> 0
+            | Some line -> if exec_report line then loop () else 0
+          in
+          loop ()
+      with Record.Engine.Diverged msg ->
+        Printf.eprintf "lwsnap: replay diverged from the record: %s\n" msg;
+        3)
+  in
+  Cmd.v
+    (Cmd.info "replay"
+       ~doc:"Time-travel through a recorded run: deterministic replay with \
+             reverse-step/reverse-continue in O(anchor interval) via \
+             snapshot anchors, and breakpoints on pc, syscall number, or \
+             stop index.")
+    Term.(const action $ bundle_arg $ script_arg $ anchor_arg)
 
 let trace_cmd =
   let workload =
@@ -470,11 +752,35 @@ let fuzz_cmd =
     Printf.printf "fuzz: trace of the diverging run (%d events) written to %s\n"
       (List.length events) tpath
   in
+  (* Re-run the shrunk counterexample's baseline exploration under a
+     recorder and drop a self-contained replay bundle next to the .s, so
+     the divergence can be stepped through (forward and backward) with
+     [lwsnap replay] instead of re-fuzzed.  Best-effort: a recording
+     failure must not mask the divergence report. *)
+  let emit_replay_bundle ~seed path prog =
+    let rpath = Filename.remove_extension path ^ ".replay" in
+    let source = Fuzz.Gen_prog.render prog in
+    match
+      let image = Isa.Asm_parser.assemble_text source in
+      record_explored ~source ~fuel:50_000_000
+        ~meta:(Printf.sprintf "fuzz counterexample seed %d" seed)
+        image rpath
+    with
+    | (_ : Core.Explorer.result) ->
+      Printf.printf "fuzz: time-travel it with: lwsnap replay %s\n" rpath
+    | exception e ->
+      Printf.printf "fuzz: could not record a replay bundle: %s\n"
+        (Printexc.to_string e)
+  in
   let action seed budget depth fanout ckpt_every out render_only faults
       tenants trace =
     let cfg = { Fuzz.Gen_prog.default_cfg with max_depth = depth; max_fanout = fanout } in
     if render_only then begin
       print_string (Fuzz.Gen_prog.render (Fuzz.Gen_prog.generate ~cfg seed));
+      Printf.printf
+        "; if this seed diverged, a replay bundle was written alongside the\n\
+         ; reproducer: lwsnap replay fuzz-counterexample-seed%d.replay\n"
+        seed;
       0
     end
     else
@@ -523,6 +829,7 @@ let fuzz_cmd =
           Printf.printf
             "fuzz: shrunk reproducer (%d -> %d nodes+stmts) written to %s\n"
             (Fuzz.Gen_prog.size prog) (Fuzz.Gen_prog.size small) path;
+          emit_replay_bundle ~seed:(seed + i) path small;
           if trace then
             traced_rerun path (fun () ->
                 Fuzz.Oracle.check_prog_tenants ~tenants small);
@@ -573,6 +880,7 @@ let fuzz_cmd =
           Printf.printf
             "fuzz: shrunk reproducer (%d -> %d nodes+stmts) written to %s\n"
             (Fuzz.Gen_prog.size prog) (Fuzz.Gen_prog.size small) path;
+          emit_replay_bundle ~seed:(seed + i) path small;
           if trace then
             traced_rerun path (fun () -> Fuzz.Oracle.check_prog ~ckpt_every small);
           1
@@ -594,5 +902,5 @@ let () =
       ~doc:"Lightweight snapshots and system-level backtracking."
   in
   exit (Cmd.eval' (Cmd.group ~default info
-                     [ run_cmd; trace_cmd; solve_cmd; symex_cmd; prolog_cmd;
-                       disasm_cmd; fuzz_cmd ]))
+                     [ run_cmd; replay_cmd; trace_cmd; solve_cmd; symex_cmd;
+                       prolog_cmd; disasm_cmd; fuzz_cmd ]))

@@ -2,6 +2,7 @@ module Libos = Os.Libos
 module Cpu = Vcpu.Cpu
 module Reg = Isa.Reg
 module Frontier = Search.Frontier
+module Probe = Record.Probe
 
 type strategy =
   [ `Dfs
@@ -65,7 +66,7 @@ let reason_to_string r = Format.asprintf "%a" Libos.pp_reason r
 
 let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
     ?(max_extensions = max_int) ?(retry_budget = 3) ?strategy_override
-    ?tier_stress ?spill_threshold ?on_stop (machine : Libos.t) =
+    ?tier_stress ?spill_threshold ?on_stop ?probe (machine : Libos.t) =
   let stats = Stats.create () in
   let mem_before = Mem.Mem_metrics.copy (Mem.Addr_space.metrics machine.aspace) in
   let retired_before = machine.cpu.Cpu.retired in
@@ -92,6 +93,11 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
     end
     else None
   in
+  (* Recording assumes snapshot ids in the log resolve to states the
+     replayer has itself captured; a reclaim store rebuilds evicted
+     payloads by replay under *fresh* ids the log has never seen. *)
+  if probe <> None && store <> None then
+    invalid_arg "Explorer: recording requires an unbounded in-memory store";
   (* Tier-stress hook: every [n]-th scheduler stop demotes every live
      payload (and compresses/spills immediately — stops are quiet points),
      and every 5[n]-th additionally truncates everything non-pinned so the
@@ -275,6 +281,9 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
         segment_epoch := Mem.Addr_space.epoch machine.aspace;
         marker := Libos.stdout_chunks machine;
         Cpu.set machine.cpu Reg.rax ext.index;
+        (match probe with
+        | None -> ()
+        | Some p -> p.Probe.resume ~snap:snap.Snapshot.id ~rax:ext.index);
         current_depth := ext.meta.Frontier.depth;
         current_snap := Some snap;
         current_origin := Some ext;
@@ -298,6 +307,11 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
       discard_prev ();
       release_prev ();
       Snapshot.restore machine sc.root;
+      (* the root was captured with rax already 0, the value the resumed
+         program observes — no register override to record *)
+      (match probe with
+      | None -> ()
+      | Some p -> p.Probe.resume ~snap:sc.root.Snapshot.id ~rax:(-1));
       segment_epoch := Mem.Addr_space.epoch machine.aspace;
       marker := Libos.stdout_chunks machine;
       current_depth := 0;
@@ -328,6 +342,7 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
   in
 
   let rec loop () =
+    let eval_retired0 = machine.cpu.Cpu.retired in
     let step =
       if Obs.Trace.enabled () then begin
         let sid =
@@ -348,6 +363,13 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
       end
       else try `Stop (Libos.run machine ~fuel:fuel_per_step) with e -> `Crash e
     in
+    (match probe with
+    | None -> ()
+    | Some p -> (
+      let retired = machine.cpu.Cpu.retired - eval_retired0 in
+      match step with
+      | `Stop stop -> p.Probe.eval ~retired stop
+      | `Crash e -> p.Probe.crash ~retired (Printexc.to_string e)));
     match step with
     | `Crash e -> crashed e
     | `Stop stop ->
@@ -370,7 +392,11 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
           (* The root must observe 0 when restored after exhaustion, and 1
              on the exploring path right now. *)
           Cpu.set machine.cpu Reg.rax 0;
+          (match probe with None -> () | Some p -> p.Probe.set_rax 0);
           let root = Snapshot.capture ~ids ~depth:0 machine in
+          (match probe with
+          | None -> ()
+          | Some p -> p.Probe.capture ~snap:root.Snapshot.id);
           (* one ref for the scope-opening path itself, so the uniform
              release-on-reschedule in [schedule] balances *)
           if recycle_snaps then Snapshot.retain root;
@@ -385,6 +411,7 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
           current_choice := 1;
           retries := 0;
           Cpu.set machine.cpu Reg.rax 1;
+          (match probe with None -> () | Some p -> p.Probe.set_rax 1);
           loop ()))
     | Libos.Guess { n } -> (
       match !scope with
@@ -404,6 +431,9 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
             Snapshot.capture ~ids ?parent:!current_snap
               ~depth:!current_depth machine
           in
+          (match probe with
+          | None -> ()
+          | Some p -> p.Probe.capture ~snap:snap.Snapshot.id);
           stats.guesses <- stats.guesses + 1;
           stats.snapshots_created <- stats.snapshots_created + 1;
           let payload =
@@ -447,6 +477,7 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
     | Libos.Guess_hint { dist } ->
       pending_hint := dist;
       Cpu.set machine.cpu Reg.rax 0;
+      (match probe with None -> () | Some p -> p.Probe.set_rax 0);
       loop ()
     | Libos.Exited { status } -> (
       let output = harvest () in
@@ -516,13 +547,20 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
                  let snap = resolve ext in
                  Snapshot.restore machine snap;
                  marker := Libos.stdout_chunks machine;
-                 Cpu.set machine.cpu Reg.rax ext.index
+                 Cpu.set machine.cpu Reg.rax ext.index;
+                 (match probe with
+                 | None -> ()
+                 | Some p ->
+                   p.Probe.resume ~snap:snap.Snapshot.id ~rax:ext.index)
                | None ->
                  (* the scope-opening path restarts from the root with the
                     exploring value of rax *)
                  Snapshot.restore machine sc.root;
                  marker := Libos.stdout_chunks machine;
-                 Cpu.set machine.cpu Reg.rax 1)
+                 Cpu.set machine.cpu Reg.rax 1;
+                 (match probe with
+                 | None -> ()
+                 | Some p -> p.Probe.resume ~snap:sc.root.Snapshot.id ~rax:1))
            with e' -> `Err e')
         with
         | `Ok () ->

@@ -74,6 +74,7 @@ val run :
   ?tier_stress:int ->
   ?spill_threshold:int ->
   ?on_stop:(Os.Libos.t -> Os.Libos.stop -> unit) ->
+  ?probe:Record.Probe.t ->
   Os.Libos.t ->
   result
 (** Drive a booted machine to completion.  [fuel_per_step] bounds guest
@@ -101,7 +102,17 @@ val run :
     out-of-frames) is retried from the path's origin up to [retry_budget]
     total attempts (default 3) before the path is quarantined as a
     [Path_killed] terminal; the search itself is never aborted by a crash
-    inside a scope. *)
+    inside a scope.
+
+    [probe] observes every scheduler decision — evaluation outcomes,
+    snapshot captures, restores with the delivered [rax] — which is
+    exactly the nondeterministic input stream of a run.  The recorder
+    ([Record.Recorder.probe]) turns it into a replay log; pair it with
+    {!Record.Recorder.install} on the machine so the ordinary-syscall
+    stream is logged too.  Recording composes only with the plain
+    in-memory scheduler: a reclaim store rebuilds evicted payloads under
+    fresh snapshot ids the log has never seen, so [probe] together with a
+    bounded capacity or [tier_stress] raises [Invalid_argument]. *)
 
 val run_image :
   ?mode:mode ->

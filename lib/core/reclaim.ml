@@ -455,23 +455,16 @@ and replay_edge t e base =
   set_anchor t base;
   Cpu.set m.Libos.cpu Reg.rax e.e_choice;
   Option.iter (Libos.set_stdin m) e.e_stdin;
-  let rec step () =
-    match Libos.run m ~fuel:t.fuel with
-    | Libos.Guess _ -> ()
-    | Libos.Guess_hint _ ->
-      Cpu.set m.Libos.cpu Reg.rax 0;
-      step ()
-    | Libos.Guess_strategy _ ->
-      Cpu.set m.Libos.cpu Reg.rax 1;
-      step ()
-    | (Libos.Guess_fail | Libos.Exited _ | Libos.Killed _) as stop ->
-      raise
-        (Replay_diverged
-           (Format.asprintf
-              "replay reached %a where the original run published a \
-               choice point" Libos.pp_stop stop))
-  in
-  step ();
+  (* the shared replay engine auto-resumes hint/strategy stops exactly as
+     the recorder's replayer does — one deterministic re-execution path *)
+  (match Record.Engine.run_to_publish m ~fuel:t.fuel with
+  | Libos.Guess _ -> ()
+  | stop ->
+    raise
+      (Replay_diverged
+         (Format.asprintf
+            "replay reached %a where the original run published a \
+             choice point" Libos.pp_stop stop)));
   t.replays <- t.replays + 1;
   let snap = Snapshot.capture ~ids:t.ids ~parent:base ~depth:e.e_depth m in
   e.e_payload <- Some (Live snap);

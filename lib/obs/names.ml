@@ -60,3 +60,8 @@ let reclaim_demote = "reclaim.demote" (* instant; a = handle, b = depth *)
 let reclaim_promote = "reclaim.promote" (* span; a = handle, b = pages applied *)
 let reclaim_spill = "reclaim.spill" (* instant; a = handle, b = bytes *)
 let reclaim_spill_load = "reclaim.spill_load" (* instant; a = bytes *)
+
+(* record / replay *)
+let record_append = "record.append" (* instant; a = events logged *)
+let replay_seek = "replay.seek" (* instant; a = target stop index *)
+let replay_anchor_restore = "replay.anchor_restore" (* instant; a = anchor stop index *)

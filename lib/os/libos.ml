@@ -46,6 +46,7 @@ type t = {
   counters : counters;
   icache : Interp.icache option;
   mutable os : os_state;
+  mutable sys_hook : (int -> int -> unit) option;
 }
 
 let default_layout =
@@ -98,7 +99,10 @@ let boot ?(layout = default_layout) ?(icache = true) ?(dedup = false)
     layout;
     counters = { syscall_count = Array.make 32 0; demand_pages = 0; denied = 0 };
     icache = (if icache then Some (Interp.create_icache ()) else None);
-    os = { initial_os with brk = layout.heap_base } }
+    os = { initial_os with brk = layout.heap_base };
+    sys_hook = None }
+
+let set_sys_hook t hook = t.sys_hook <- hook
 
 (* {1 OS state} *)
 
@@ -423,6 +427,7 @@ let run t ~fuel =
             end
           in
           if traced then Obs.Trace.span_end ~b:result (sys_span_name number);
+          (match t.sys_hook with None -> () | Some f -> f number result);
           Cpu.set cpu Reg.rax result;
           loop remaining
         end

@@ -53,6 +53,11 @@ type t = {
           the decoder (the E9 ablation and the fuzz oracle's icache-off
           pipeline — retired counts and semantics must not change) *)
   mutable os : os_state;
+  mutable sys_hook : (int -> int -> unit) option;
+      (** observer of ordinary (non-scheduler) syscalls, called with
+          [(number, result)] after each one completes; [None] (the default)
+          costs a single load-and-branch per syscall.  The recorder
+          ([Record.Recorder]) installs one to log the syscall stream. *)
 }
 
 val default_layout : layout
@@ -69,6 +74,9 @@ val boot :
     charges every frame the guest allocates to a
     {!Mem.Phys_mem.fresh_account} session for per-tenant budgeting.
     @raise Invalid_argument if the image overlaps the heap. *)
+
+val set_sys_hook : t -> (int -> int -> unit) option -> unit
+(** Install (or clear) the ordinary-syscall observer on a machine. *)
 
 val run : t -> fuel:int -> stop
 (** Execute the guest until a scheduler-visible stop, serving ordinary

@@ -1,0 +1,140 @@
+type t = {
+  origin : int;
+  code : string;
+  entry : int;
+  source : string option;
+  stdin : string option;
+  files : (string * string) list;
+  log : Log.t;
+}
+
+let magic = "LWRB"
+let version = 1
+
+let image t : Isa.Asm.image =
+  { Isa.Asm.origin = t.origin; code = t.code; entry = t.entry; symbols = [] }
+
+let of_image ?source ?stdin ?(files = []) (image : Isa.Asm.image) log =
+  { origin = image.Isa.Asm.origin;
+    code = image.Isa.Asm.code;
+    entry = image.Isa.Asm.entry;
+    source;
+    stdin;
+    files;
+    log }
+
+(* Reuse the log's primitive codec conventions: zigzag varints and
+   length-prefixed strings.  An option is a 0/1 byte plus the payload. *)
+
+let put_int buf n =
+  let n = (n lsl 1) lxor (n asr 62) in
+  let rec go n =
+    if n land lnot 0x7f = 0 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go (n land max_int)
+
+let put_string buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+let put_opt buf = function
+  | None -> Buffer.add_char buf '\000'
+  | Some s ->
+    Buffer.add_char buf '\001';
+    put_string buf s
+
+exception Short
+
+type cursor = { s : string; mutable pos : int }
+
+let get_int c =
+  let rec go shift acc =
+    if c.pos >= String.length c.s then raise Short;
+    let b = Char.code c.s.[c.pos] in
+    c.pos <- c.pos + 1;
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  let n = go 0 0 in
+  (n lsr 1) lxor (- (n land 1))
+
+let get_string c =
+  let len = get_int c in
+  if len < 0 || c.pos + len > String.length c.s then raise Short;
+  let s = String.sub c.s c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let get_opt c =
+  if c.pos >= String.length c.s then raise Short;
+  let tag = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  match tag with
+  | 0 -> None
+  | 1 -> Some (get_string c)
+  | n -> raise (Failure (Printf.sprintf "bad option tag %d" n))
+
+let encode t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr version);
+  put_int buf t.origin;
+  put_string buf t.code;
+  put_int buf t.entry;
+  put_opt buf t.source;
+  put_opt buf t.stdin;
+  put_int buf (List.length t.files);
+  List.iter
+    (fun (path, content) ->
+      put_string buf path;
+      put_string buf content)
+    t.files;
+  put_string buf (Log.encode t.log);
+  Buffer.contents buf
+
+let decode s =
+  let mlen = String.length magic in
+  if String.length s < mlen + 1 || String.sub s 0 mlen <> magic then
+    Error "not a replay bundle (bad magic)"
+  else begin
+    let v = Char.code s.[mlen] in
+    if v <> version then
+      Error (Printf.sprintf "unsupported bundle version %d (expected %d)" v version)
+    else begin
+      let c = { s; pos = mlen + 1 } in
+      match
+        let origin = get_int c in
+        let code = get_string c in
+        let entry = get_int c in
+        let source = get_opt c in
+        let stdin = get_opt c in
+        let nfiles = get_int c in
+        if nfiles < 0 || nfiles > 1_000_000 then failwith "bad file count";
+        let files =
+          List.init nfiles (fun _ ->
+              let path = get_string c in
+              let content = get_string c in
+              (path, content))
+        in
+        let log_bytes = get_string c in
+        match Log.decode log_bytes with
+        | Ok log -> Ok { origin; code; entry; source; stdin; files; log }
+        | Error e -> Error (Log.error_to_string e)
+      with
+      | r -> r
+      | exception Short -> Error "replay bundle truncated"
+      | exception Failure msg -> Error ("replay bundle corrupt: " ^ msg)
+    end
+  end
+
+let write ~path t =
+  Out_channel.with_open_bin path (fun oc -> Out_channel.output_string oc (encode t))
+
+let read ~path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | s -> decode s
+  | exception Sys_error msg -> Error msg

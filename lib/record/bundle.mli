@@ -1,0 +1,33 @@
+(** A replay bundle: everything needed to re-create the recorded run on a
+    fresh machine — the guest image, its inputs (stdin, VFS files), and
+    the event log.  One self-contained file, so a fuzz counterexample or a
+    bug report travels as a single artifact. *)
+
+type t = {
+  origin : int;
+  code : string;
+  entry : int;            (** the assembled image (symbols are not kept) *)
+  source : string option; (** original .s text when known, for display *)
+  stdin : string option;
+  files : (string * string) list;
+  log : Log.t;
+}
+
+val image : t -> Isa.Asm.image
+
+val of_image :
+  ?source:string ->
+  ?stdin:string ->
+  ?files:(string * string) list ->
+  Isa.Asm.image ->
+  Log.t ->
+  t
+
+val encode : t -> string
+(** "LWRB" magic + version byte + sections; the log is embedded with its
+    own header so {!Log.decode} errors surface intact. *)
+
+val decode : string -> (t, string) result
+
+val write : path:string -> t -> unit
+val read : path:string -> (t, string) result

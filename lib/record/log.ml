@@ -1,0 +1,201 @@
+type stop =
+  | Guess of int
+  | Guess_fail
+  | Strategy of int
+  | Hint of int
+  | Exit of int
+  | Kill of string
+  | Crash of string
+
+type event =
+  | Capture of { snap : int }
+  | Resume of { snap : int; rax : int }
+  | Set_rax of int
+  | Sys of { number : int; ret : int }
+  | Eval of { retired : int; stop : stop }
+
+type t = {
+  fuel_per_step : int;
+  meta : string;
+  events : event list;
+}
+
+type error =
+  | Bad_magic
+  | Bad_version of int
+  | Truncated of { events : int }
+  | Corrupt of { events : int; detail : string }
+
+let magic = "LWRR"
+let version = 1
+
+(* {1 Primitive codec}
+
+   Every integer is zigzag-mapped then LEB128-varint-packed (rax may be -1,
+   syscall results are negative errnos, exit statuses are arbitrary);
+   strings are a varint length plus raw bytes.  Reads go through a mutable
+   cursor and raise [Short] past the end — [decode] turns that into the
+   typed [Truncated] error with the count of complete events. *)
+
+exception Short
+
+let put_int buf n =
+  let n = (n lsl 1) lxor (n asr 62) in
+  let rec go n =
+    if n land lnot 0x7f = 0 then Buffer.add_char buf (Char.chr n)
+    else begin
+      Buffer.add_char buf (Char.chr (0x80 lor (n land 0x7f)));
+      go (n lsr 7)
+    end
+  in
+  go (n land max_int)
+
+let put_string buf s =
+  put_int buf (String.length s);
+  Buffer.add_string buf s
+
+type cursor = { s : string; mutable pos : int }
+
+let get_int c =
+  let rec go shift acc =
+    if c.pos >= String.length c.s then raise Short;
+    let b = Char.code c.s.[c.pos] in
+    c.pos <- c.pos + 1;
+    let acc = acc lor ((b land 0x7f) lsl shift) in
+    if b land 0x80 = 0 then acc else go (shift + 7) acc
+  in
+  let n = go 0 0 in
+  (n lsr 1) lxor (- (n land 1))
+
+let get_string c =
+  let len = get_int c in
+  if len < 0 || c.pos + len > String.length c.s then raise Short;
+  let s = String.sub c.s c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+(* {1 Events} *)
+
+let put_stop buf = function
+  | Guess n -> Buffer.add_char buf '\000'; put_int buf n
+  | Guess_fail -> Buffer.add_char buf '\001'
+  | Strategy s -> Buffer.add_char buf '\002'; put_int buf s
+  | Hint d -> Buffer.add_char buf '\003'; put_int buf d
+  | Exit s -> Buffer.add_char buf '\004'; put_int buf s
+  | Kill m -> Buffer.add_char buf '\005'; put_string buf m
+  | Crash m -> Buffer.add_char buf '\006'; put_string buf m
+
+exception Bad_tag of string
+
+let get_stop c =
+  if c.pos >= String.length c.s then raise Short;
+  let tag = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  match tag with
+  | 0 -> Guess (get_int c)
+  | 1 -> Guess_fail
+  | 2 -> Strategy (get_int c)
+  | 3 -> Hint (get_int c)
+  | 4 -> Exit (get_int c)
+  | 5 -> Kill (get_string c)
+  | 6 -> Crash (get_string c)
+  | n -> raise (Bad_tag (Printf.sprintf "stop tag %d" n))
+
+let put_event buf = function
+  | Capture { snap } -> Buffer.add_char buf '\001'; put_int buf snap
+  | Resume { snap; rax } ->
+    Buffer.add_char buf '\002';
+    put_int buf snap;
+    put_int buf rax
+  | Set_rax v -> Buffer.add_char buf '\003'; put_int buf v
+  | Sys { number; ret } ->
+    Buffer.add_char buf '\004';
+    put_int buf number;
+    put_int buf ret
+  | Eval { retired; stop } ->
+    Buffer.add_char buf '\005';
+    put_int buf retired;
+    put_stop buf stop
+
+let get_event c =
+  let tag = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  match tag with
+  | 1 -> Capture { snap = get_int c }
+  | 2 ->
+    let snap = get_int c in
+    let rax = get_int c in
+    Resume { snap; rax }
+  | 3 -> Set_rax (get_int c)
+  | 4 ->
+    let number = get_int c in
+    let ret = get_int c in
+    Sys { number; ret }
+  | 5 ->
+    let retired = get_int c in
+    let stop = get_stop c in
+    Eval { retired; stop }
+  | n -> raise (Bad_tag (Printf.sprintf "event tag %d" n))
+
+let encode t =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf magic;
+  Buffer.add_char buf (Char.chr version);
+  put_int buf t.fuel_per_step;
+  put_string buf t.meta;
+  List.iter (put_event buf) t.events;
+  Buffer.contents buf
+
+let decode s =
+  let mlen = String.length magic in
+  if String.length s < mlen + 1 then Error Bad_magic
+  else if String.sub s 0 mlen <> magic then Error Bad_magic
+  else begin
+    let v = Char.code s.[mlen] in
+    if v <> version then Error (Bad_version v)
+    else begin
+      let c = { s; pos = mlen + 1 } in
+      match
+        let fuel_per_step = get_int c in
+        let meta = get_string c in
+        let events = ref [] in
+        let count = ref 0 in
+        (try
+           while c.pos < String.length s do
+             events := get_event c :: !events;
+             incr count
+           done;
+           Ok { fuel_per_step; meta; events = List.rev !events }
+         with
+        | Short -> Error (Truncated { events = !count })
+        | Bad_tag detail -> Error (Corrupt { events = !count; detail }))
+      with
+      | r -> r
+      | exception Short -> Error (Truncated { events = 0 })
+      | exception Bad_tag detail -> Error (Corrupt { events = 0; detail })
+    end
+  end
+
+let error_to_string = function
+  | Bad_magic -> "not a record log (bad magic)"
+  | Bad_version v -> Printf.sprintf "unsupported record-log version %d (expected %d)" v version
+  | Truncated { events } ->
+    Printf.sprintf "record log truncated mid-event after %d complete events" events
+  | Corrupt { events; detail } ->
+    Printf.sprintf "record log corrupt after %d events: unknown %s" events detail
+
+let pp_stop fmt = function
+  | Guess n -> Format.fprintf fmt "guess(%d)" n
+  | Guess_fail -> Format.pp_print_string fmt "guess_fail"
+  | Strategy s -> Format.fprintf fmt "guess_strategy(%d)" s
+  | Hint d -> Format.fprintf fmt "guess_hint(%d)" d
+  | Exit s -> Format.fprintf fmt "exited(%d)" s
+  | Kill m -> Format.fprintf fmt "killed: %s" m
+  | Crash m -> Format.fprintf fmt "crashed: %s" m
+
+let pp_event fmt = function
+  | Capture { snap } -> Format.fprintf fmt "capture snap=%d" snap
+  | Resume { snap; rax } -> Format.fprintf fmt "resume snap=%d rax=%d" snap rax
+  | Set_rax v -> Format.fprintf fmt "set_rax %d" v
+  | Sys { number; ret } -> Format.fprintf fmt "sys %d -> %d" number ret
+  | Eval { retired; stop } -> Format.fprintf fmt "eval retired=%d %a" retired pp_stop stop

@@ -1,0 +1,63 @@
+(** The record log: one event per scheduler-visible action of a recorded
+    exploration.
+
+    The guest machine itself is deterministic — the libOS recomputes every
+    syscall result from rolled-back persistent state — so what the log
+    captures is the nondeterminism *above* the vmexit boundary: which
+    snapshot the scheduler restored and what it put in [rax] (the analogue
+    of rr's scheduling decisions), plus enough per-segment bookkeeping
+    (retired-instruction counts, stop identity, the ordinary-syscall
+    stream) for the replayer to validate, instruction by instruction, that
+    a re-execution really is the recorded run.
+
+    Events appear in strict chronological order.  An [Eval] closes a
+    segment of guest execution; [Capture]/[Resume]/[Set_rax] between two
+    [Eval]s are the scheduler's boundary actions, and [Sys] events are the
+    ordinary syscalls the closing segment performed. *)
+
+type stop =
+  | Guess of int           (** [sys_guess n] *)
+  | Guess_fail
+  | Strategy of int        (** [sys_guess_strategy] with the strategy id *)
+  | Hint of int            (** [sys_guess_hint dist] *)
+  | Exit of int            (** exit status *)
+  | Kill of string         (** rendered {!Os.Libos.reason} *)
+  | Crash of string        (** host exception ended the segment (injected
+                               fault, out of frames) *)
+
+type event =
+  | Capture of { snap : int }           (** snapshot [snap] captured here *)
+  | Resume of { snap : int; rax : int } (** [snap] restored; [rax >= 0] is
+                                            delivered to the guest, [-1]
+                                            restores without touching it *)
+  | Set_rax of int                      (** in-place rax rewrite (hint
+                                            resume, strategy-scope open) *)
+  | Sys of { number : int; ret : int }  (** ordinary syscall + its result *)
+  | Eval of { retired : int; stop : stop }
+      (** one guest-execution segment: instructions retired and why it
+          stopped *)
+
+type t = {
+  fuel_per_step : int;  (** scheduler fuel grant the run was recorded with *)
+  meta : string;        (** free-form provenance ("fuzz seed 17", ...) *)
+  events : event list;
+}
+
+type error =
+  | Bad_magic
+  | Bad_version of int
+  | Truncated of { events : int }
+      (** the file ends mid-event; [events] complete events precede the cut *)
+  | Corrupt of { events : int; detail : string }
+
+val version : int
+
+val encode : t -> string
+(** Versioned binary encoding: "LWRR" magic, a version byte, then
+    varint-packed events.  [decode (encode t) = Ok t]. *)
+
+val decode : string -> (t, error) result
+
+val error_to_string : error -> string
+val pp_stop : Format.formatter -> stop -> unit
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,21 @@
+(* The explorer-side recording hook: a record of closures the scheduler
+   invokes at every replay-relevant action.  Defined here (below [core] in
+   the layering) so [Core.Explorer] can accept a [?probe] without the
+   record library depending on the scheduler.  All call sites are
+   per-segment, not per-instruction, and guard with a [None] check, so an
+   unprobed run pays one branch per scheduler stop. *)
+
+type t = {
+  eval : retired:int -> Os.Libos.stop -> unit;
+      (* one guest-execution segment ended: instructions retired and why *)
+  crash : retired:int -> string -> unit;
+      (* a host exception ended the segment (injected fault, out of frames) *)
+  capture : snap:int -> unit;
+      (* the scheduler captured snapshot [snap] at the current state *)
+  resume : snap:int -> rax:int -> unit;
+      (* the scheduler restored [snap]; [rax >= 0] was delivered, [-1]
+         means the restore left the captured rax in place *)
+  set_rax : int -> unit;
+      (* in-place rax rewrite without a restore (hint resume, strategy
+         scope open) *)
+}

@@ -20,5 +20,6 @@ let () =
       "prolog", Test_prolog.tests;
       "prolog-parser", Test_prolog_parser.tests;
       "ckpt", Test_ckpt.tests;
+      "record", Test_record.tests;
       "workloads", Test_workloads.tests;
       "integration", Test_integration.tests ]
