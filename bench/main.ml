@@ -592,59 +592,113 @@ let e8 () =
   print_row "radix (EPT-like)" ept_ms ept_metrics
 
 (* ------------------------------------------------------------------ *)
-(* E9: interpreter ablation — decoded-instruction cache on/off        *)
+(* E9: interpreter ablation — dispatch modes of the decode cache      *)
 (* ------------------------------------------------------------------ *)
 
 let e9 () =
-  U.header "E9  ablation: decoded-instruction cache"
-    "The interpreter memoises decoded instructions per immutable frame      (sound because frames of retired generations never change in place).       This is infrastructure, not a paper claim; it calibrates how much of      the guest runtime is simulation overhead.";
-  let row = U.row_format [ 10; 12; 14; 12 ] in
-  row [ "icache"; "ms"; "instructions"; "ns/instr" ];
+  U.header "E9  ablation: interpreter dispatch"
+    "Three fetch pipelines over identical semantics: no cache (every      fetch decodes from guest memory), the per-instruction decode cache      (PR 9 behaviour), and basic-block superinstruction dispatch (fuse      straight-line runs, resolve the fetch frame once per block).  The      work-heavy row is the ≥2x block-vs-insn gate; the cliff rows          re-measure the data/code-page-separation penalty, which block          dispatch makes steeper.  Infrastructure, not a paper claim.";
+  let row = U.row_format [ 12; 10; 10; 14; 12 ] in
+  row [ "workload"; "dispatch"; "ms"; "instructions"; "ns/instr" ];
+  (* Drive a guest to completion on a bare interpreter (serving brk and
+     demand-zero faults inline), under one of the three dispatch modes. *)
+  let measure image mode =
+    U.time_ms (fun () ->
+        let machine = Os.Libos.boot (Phys.create ()) image in
+        let cpu = machine.Os.Libos.cpu in
+        let aspace = machine.Os.Libos.aspace in
+        let icache =
+          match mode with
+          | None -> None
+          | Some dispatch -> Some (Vcpu.Interp.create_icache ~dispatch ())
+        in
+        let brk = ref Os.Libos.default_layout.Os.Libos.heap_base in
+        let rec drive () =
+          match Vcpu.Interp.run ?icache cpu aspace ~fuel:2_000_000_000 with
+          | Vcpu.Interp.Syscall ->
+            let number = Vcpu.Cpu.get cpu Isa.Reg.rax in
+            if number = Os.Sys_abi.sys_brk then begin
+              let req = Vcpu.Cpu.get cpu Isa.Reg.rdi in
+              if req > !brk then
+                for vpn = Mem.Page.vpn_of_addr !brk
+                    to Mem.Page.vpn_of_addr (req - 1) do
+                  As.map_zero aspace ~vpn
+                done;
+              if req > 0 then brk := req;
+              Vcpu.Cpu.set cpu Isa.Reg.rax !brk;
+              drive ()
+            end
+            else ()  (* exit *)
+          | Vcpu.Interp.Fault (Vcpu.Interp.Page_fault { addr; _ }) ->
+            As.map_zero aspace ~vpn:(Mem.Page.vpn_of_addr addr);
+            drive ()
+          | Vcpu.Interp.Halt | Vcpu.Interp.Out_of_fuel
+          | Vcpu.Interp.Fault _ -> ()
+        in
+        drive ();
+        cpu.Vcpu.Cpu.retired)
+  in
+  let mode_name = function
+    | None -> "off"
+    | Some Vcpu.Interp.Insn -> "insn"
+    | Some Vcpu.Interp.Block -> "block"
+  in
+  let json_rows = ref [] in
+  let bench workload image mode =
+    let ms, retired = measure image mode in
+    let ns = ms *. 1e6 /. Float.of_int retired in
+    row
+      [ workload; mode_name mode; U.fms ms; U.fint retired;
+        Printf.sprintf "%.0f" ns ];
+    json_rows :=
+      Obs.Json.Obj
+        [ "workload", Obs.Json.Str workload;
+          "dispatch", Obs.Json.Str (mode_name mode);
+          "ms", Obs.Json.Float ms;
+          "instructions", Obs.Json.Int retired;
+          "ns_per_instr", Obs.Json.Float ns ]
+      :: !json_rows;
+    ns
+  in
+  let modes = [ None; Some Vcpu.Interp.Insn; Some Vcpu.Interp.Block ] in
+  (* Row group 1: the locality search guest (branchy; short blocks). *)
   let p =
     { Workloads.Locality.depth = 4; branch = 3; touch_pages = 1;
       work = (if !quick then 500 else 2000); arena_pages = 8 }
   in
-  let image = Workloads.Locality.program_handcoded p in
-  List.iter
-    (fun use_cache ->
-      let ms, retired =
-        U.time_ms (fun () ->
-            let machine = Os.Libos.boot (Phys.create ()) image in
-            let cpu = machine.Os.Libos.cpu in
-            let aspace = machine.Os.Libos.aspace in
-            let icache =
-              if use_cache then Some (Vcpu.Interp.create_icache ()) else None
-            in
-            let brk = ref Os.Libos.default_layout.Os.Libos.heap_base in
-            let rec drive () =
-              match Vcpu.Interp.run ?icache cpu aspace ~fuel:2_000_000_000 with
-              | Vcpu.Interp.Syscall ->
-                let number = Vcpu.Cpu.get cpu Isa.Reg.rax in
-                if number = Os.Sys_abi.sys_brk then begin
-                  let req = Vcpu.Cpu.get cpu Isa.Reg.rdi in
-                  if req > !brk then
-                    for vpn = Mem.Page.vpn_of_addr !brk
-                        to Mem.Page.vpn_of_addr (req - 1) do
-                      As.map_zero aspace ~vpn
-                    done;
-                  if req > 0 then brk := req;
-                  Vcpu.Cpu.set cpu Isa.Reg.rax !brk;
-                  drive ()
-                end
-                else ()  (* exit *)
-              | Vcpu.Interp.Fault (Vcpu.Interp.Page_fault { addr; _ }) ->
-                As.map_zero aspace ~vpn:(Mem.Page.vpn_of_addr addr);
-                drive ()
-              | Vcpu.Interp.Halt | Vcpu.Interp.Out_of_fuel
-              | Vcpu.Interp.Fault _ -> ()
-            in
-            drive ();
-            cpu.Vcpu.Cpu.retired)
-      in
-      row
-        [ (if use_cache then "on" else "off"); U.fms ms; U.fint retired;
-          Printf.sprintf "%.0f" (ms *. 1e6 /. Float.of_int retired) ])
-    [ false; true ]
+  let locality = Workloads.Locality.program_handcoded p in
+  List.iter (fun m -> ignore (bench "locality" locality m)) modes;
+  (* Row group 2: work-heavy straight-line ALU (the gated configuration). *)
+  let iters = if !quick then 20_000 else 200_000 in
+  let work = Workloads.Dispatch_micro.work_heavy ~iters () in
+  let work_ns = List.map (fun m -> bench "work-heavy" work m) modes in
+  (* Row group 3: the data/code-page-separation cliff under block dispatch. *)
+  let cliff_iters = if !quick then 20_000 else 200_000 in
+  let sep_ns =
+    bench "cliff-sep"
+      (Workloads.Dispatch_micro.cliff ~separate_data:true ~iters:cliff_iters)
+      (Some Vcpu.Interp.Block)
+  in
+  let mixed_ns =
+    bench "cliff-mixed"
+      (Workloads.Dispatch_micro.cliff ~separate_data:false ~iters:cliff_iters)
+      (Some Vcpu.Interp.Block)
+  in
+  let insn_ns = List.nth work_ns 1 and block_ns = List.nth work_ns 2 in
+  Printf.printf
+    "\n  work-heavy block vs insn: %s   data/code separation cliff: %s\n"
+    (U.fratio (insn_ns /. block_ns))
+    (U.fratio (mixed_ns /. sep_ns));
+  if insn_ns < 2.0 *. block_ns then
+    failwith "E9: block dispatch under 2x over per-instruction on work-heavy";
+  U.emit_json ~experiment:"E9" ~quick:!quick
+    ~params:
+      [ "locality_work", Obs.Json.Int p.Workloads.Locality.work;
+        "work_heavy_iters", Obs.Json.Int iters;
+        "work_heavy_unroll",
+        Obs.Json.Int Workloads.Dispatch_micro.default_unroll;
+        "cliff_iters", Obs.Json.Int cliff_iters ]
+    (List.rev !json_rows)
 
 (* ------------------------------------------------------------------ *)
 (* E10: parallel exploration (Figure 2)                               *)

@@ -167,6 +167,12 @@ let run ?(mode = `Run_to_completion) ?(fuel_per_step = 50_000_000)
         Obs.Trace.counter Obs.Names.icache_misses misses;
         Obs.Trace.counter Obs.Names.icache_slow slow
       | None -> ());
+      (match Libos.block_counts machine with
+      | Some (fuses, hits, splits) ->
+        Obs.Trace.counter Obs.Names.block_fuse fuses;
+        Obs.Trace.counter Obs.Names.block_hit hits;
+        Obs.Trace.counter Obs.Names.block_split splits
+      | None -> ());
       Obs.Trace.counter Obs.Names.instructions
         (machine.cpu.Cpu.retired - retired_before)
     end;

@@ -78,8 +78,15 @@ let gen_stmt st ~label_counter ~n_helpers =
     Printf.sprintf "l%d" !label_counter
   in
   let lines =
-    match Random.State.int st 13 with
+    match Random.State.int st 14 with
     | 0 | 1 -> gen_simple st
+    | 13 ->
+      (* long straight-line ALU run: fuses into one superinstruction
+         block (and, at random offsets, strays into the page-edge
+         slow-path band), so block dispatch is hammered with runs longer
+         than a tight fuel quantum *)
+      List.concat
+        (List.init (8 + Random.State.int st 17) (fun _ -> gen_simple st))
     | 2 ->
       (* non-zero immediate divisor: quotient/remainder without faults *)
       let op = if Random.State.bool st then "div" else "rem" in

@@ -141,13 +141,14 @@ let compare_multiset pipeline (a : run) (b : run) =
 
 (* {1 Pipelines} *)
 
-let boot ?recycle ?poison ?track_live image ~icache =
+let boot ?recycle ?poison ?track_live ?dispatch image ~icache =
   let phys = Mem.Phys_mem.create ?recycle ?poison ?track_live () in
-  Libos.boot ~icache phys image
+  Libos.boot ~icache ?dispatch phys image
 
-let explorer_pipeline ?on_stop ?recycle ?poison ~icache image =
-  let machine = boot ?recycle ?poison image ~icache in
-  let r = Explorer.run ?on_stop machine in
+let explorer_pipeline ?on_stop ?recycle ?poison ?dispatch ?fuel_per_step
+    ~icache image =
+  let machine = boot ?recycle ?poison ?dispatch image ~icache in
+  let r = Explorer.run ?on_stop ?fuel_per_step machine in
   machine_run machine r
 
 (* Checkpoint round-trips at scheduler stops: a full eager
@@ -262,6 +263,24 @@ let check_image ?(ckpt_every = 1) image =
     [ (fun () ->
         compare_exact "icache-off" base
           (explorer_pipeline ~icache:false image));
+      (fun () ->
+        (* The baseline runs basic-block superinstruction dispatch (the
+           default); per-instruction decode-cache dispatch must be
+           indistinguishable from it — and both from icache-off above. *)
+        compare_exact "icache-insn" base
+          (explorer_pipeline ~icache:true ~dispatch:Vcpu.Interp.Insn image));
+      (fun () ->
+        (* Fuel exhaustion mid-block, deterministically: a quantum far
+           smaller than typical block lengths lands Out_of_fuel inside
+           fused blocks at every step, and tight-fuel explorer runs kill
+           paths at the quantum — so block and per-instruction dispatch
+           must agree on every retired count, kill point and register. *)
+        let tight = 97 in
+        compare_exact "tight-fuel"
+          (explorer_pipeline ~icache:true ~dispatch:Vcpu.Interp.Insn
+             ~fuel_per_step:tight image)
+          (explorer_pipeline ~icache:true ~dispatch:Vcpu.Interp.Block
+             ~fuel_per_step:tight image));
       (fun () ->
         compare_exact "ckpt-roundtrip" base
           (explorer_pipeline ~icache:true

@@ -4,13 +4,22 @@
     transparency claim (§3) — so the oracle runs a program through each
     and demands they agree:
 
-    + {b baseline}: {!Core.Explorer} with the decoded-instruction cache,
+    + {b baseline}: {!Core.Explorer} with the decoded-instruction cache
+      under basic-block superinstruction dispatch (the default),
       recording the address-space operation trace (see
       {!Mem.Addr_space.set_trace});
     + {b icache-off}: the same explorer with the decode cache disabled —
       must match the baseline {e exactly} (outcome, transcript, ordered
       terminals, retired instruction count, final registers, memory
       digest);
+    + {b icache-insn}: the explorer with the cache in per-instruction
+      dispatch mode — block fusion must be invisible, so this too must
+      match exactly;
+    + {b tight-fuel}: per-instruction vs block dispatch under a fuel
+      quantum far below typical block lengths, compared exactly against
+      each other — every step lands [Out_of_fuel] {e inside} a fused
+      block, so partial-block fuel accounting, kill points and register
+      state are all exercised;
     + {b ckpt-roundtrip}: the explorer again, but an [on_stop] hook
       performs an eager {!Ckpt} full-checkpoint capture/restore (plus an
       incremental-chain round-trip) at every k-th scheduler stop — a

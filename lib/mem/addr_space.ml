@@ -553,4 +553,7 @@ let immutable_frame t ~addr =
     Some (f.id, f.bytes)
   | Some _ | None -> None
 
+let frame_is_immutable t (f : Phys_mem.frame) =
+  f.owner <> t.gen && f.owner <> shared_owner
+
 let reading_frame t addr = lookup t (Page.vpn_of_addr addr) Read addr

@@ -235,3 +235,11 @@ val immutable_frame : t -> addr:int -> (int * Bytes.t) option
     COWs it into a fresh frame with a fresh id).  This is what makes
     decoded-instruction caches sound: a cache keyed by frame id needs no
     invalidation.  [None] while the frame is still writable in place. *)
+
+val frame_is_immutable : t -> Phys_mem.frame -> bool
+(** Whether a frame already resolved (e.g. via {!reading_frame}) can never
+    change in place under this address space: it is owned neither by the
+    current generation nor by the explicit-sharing pseudo-generation
+    (shared pages are written in place on every path, so they must never
+    be decode- or block-cached).  The predicate the interpreter's decode
+    and superinstruction caches gate on. *)

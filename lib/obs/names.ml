@@ -19,6 +19,11 @@ let frame_adopt = "mem.frame_adopt" (* instant; a = frames adopted *)
 let icache_misses = "vcpu.icache_misses"
 let icache_slow = "vcpu.icache_slow"
 
+(* vcpu / superinstruction block cache (counter samples) *)
+let block_fuse = "interp.block_fuse"
+let block_hit = "interp.block_hit"
+let block_split = "interp.block_split"
+
 (* scheduler stop reasons (instants) *)
 let stop_guess = "stop.guess"
 let stop_guess_fail = "stop.guess_fail"

@@ -15,6 +15,9 @@ val frame_recycle : string
 val frame_adopt : string
 val icache_misses : string
 val icache_slow : string
+val block_fuse : string
+val block_hit : string
+val block_split : string
 val stop_guess : string
 val stop_guess_fail : string
 val stop_strategy : string

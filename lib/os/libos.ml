@@ -64,8 +64,9 @@ let initial_os =
     stdin_pos = 0;
     timeout = 0 }
 
-let boot ?(layout = default_layout) ?(icache = true) ?(dedup = false)
-    ?(account = 0) phys (image : Isa.Asm.image) =
+let boot ?(layout = default_layout) ?(icache = true)
+    ?(dispatch = Interp.Block) ?(dedup = false) ?(account = 0) phys
+    (image : Isa.Asm.image) =
   if not (Mem.Page.is_aligned image.origin) then
     invalid_arg "Libos.boot: image origin not page-aligned";
   if image.origin + String.length image.code > layout.heap_base then
@@ -98,7 +99,7 @@ let boot ?(layout = default_layout) ?(icache = true) ?(dedup = false)
     cpu;
     layout;
     counters = { syscall_count = Array.make 32 0; demand_pages = 0; denied = 0 };
-    icache = (if icache then Some (Interp.create_icache ()) else None);
+    icache = (if icache then Some (Interp.create_icache ~dispatch ()) else None);
     os = { initial_os with brk = layout.heap_base };
     sys_hook = None }
 
@@ -364,6 +365,7 @@ let stop_trace_name = function
   | Killed _ -> Obs.Names.stop_kill
 
 let icache_counts t = Option.map Interp.icache_counts t.icache
+let block_counts t = Option.map Interp.block_counts t.icache
 
 let run t ~fuel =
   let cpu = t.cpu in

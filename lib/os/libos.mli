@@ -63,11 +63,14 @@ type t = {
 val default_layout : layout
 
 val boot :
-  ?layout:layout -> ?icache:bool -> ?dedup:bool -> ?account:int ->
-  Mem.Phys_mem.t -> Isa.Asm.image -> t
+  ?layout:layout -> ?icache:bool -> ?dispatch:Vcpu.Interp.dispatch ->
+  ?dedup:bool -> ?account:int -> Mem.Phys_mem.t -> Isa.Asm.image -> t
 (** Map the image's code/data pages, point [rsp] at the stack top and the
     break at [heap_base].  [icache] (default true) enables the decoded
-    instruction cache.  [dedup] (default false) maps image pages through
+    instruction cache; [dispatch] (default {!Vcpu.Interp.Block}) selects
+    per-basic-block superinstruction dispatch or the per-instruction
+    cache — bit-identical semantics, different speed (the E9 ablation
+    runs all three).  [dedup] (default false) maps image pages through
     the physical memory's content-addressed table so same-image guests on
     one [Phys_mem] share read-only frames (COW on first store; references
     dropped by {!Mem.Addr_space.drop_dedup_refs} at teardown).  [account]
@@ -89,6 +92,11 @@ val stop_trace_name : stop -> string
 val icache_counts : t -> (int * int) option
 (** Decode-cache [(misses, slow_decodes)]; [None] when booted with
     [~icache:false].  See {!Vcpu.Interp.icache_counts}. *)
+
+val block_counts : t -> (int * int * int) option
+(** Superinstruction-cache [(fuses, hits, splits)]; [None] when booted
+    with [~icache:false], all zero under [~dispatch:Insn].  See
+    {!Vcpu.Interp.block_counts}. *)
 
 (** {1 OS state} *)
 

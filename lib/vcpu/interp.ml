@@ -186,24 +186,75 @@ let exec (cpu : Cpu.t) aspace insn sz : vmexit option =
    decode arrays never need invalidation.  The cache keeps the last-used
    frame's array in a hot slot — guest code is typically one or two frames.
    Instructions close to the page edge (they may cross it) always take the
-   slow path. *)
+   slow path.
+
+   On top of the per-instruction arrays sits basic-block superinstruction
+   dispatch (the default): a cache miss decodes forward through
+   straight-line code — stopping at control flow, [syscall]/[hlt], the
+   page edge, and a maximum block length — and fuses the run into a
+   preassembled instruction array.  Dispatch then executes whole blocks,
+   resolving the fetch frame once per block instead of once per
+   instruction.  Invalidation rides the same frame-generation discipline
+   (blocks are keyed to retired-generation frame ids that never change in
+   place); the one case the per-block grain adds is a store COWing the
+   block's own code page mid-block (self-modifying straight-line code),
+   which is caught by re-checking the fetch mapping after every fused
+   store and splitting the block there. *)
 let max_insn_bytes = 24
+let max_block_insns = 64
+
+type dispatch = Insn | Block
+
+type op = Cpu.t -> As.t -> vmexit option
+(* One fused instruction, compiled to a closure at fuse time: operand
+   shapes are pre-matched, register numbers and immediates live in the
+   closure environment, and the rip delta is baked in.  Contract: behaves
+   exactly like [exec insn sz] — retires-and-returns-[None], returns
+   [Some] for syscall/hlt, or raises [As.Page_fault]/[Exit_run] with
+   [cpu.rip] still at the instruction. *)
+
+type block = {
+  b_fid : int;
+      (* frame the block was fused from; compared against the live fetch
+         mapping after fused stores to catch self-modifying code *)
+  b_ops : op array;
+      (* straight-line run, terminator (branch/syscall/hlt) last *)
+  b_writes : bool array;
+      (* b_writes.(i): instruction i may store to guest memory, so the
+         fetch mapping must be re-verified before running i+1 *)
+  b_has_writes : bool; (* false lets dispatch skip the per-insn check *)
+}
 
 type icache = {
+  dispatch : dispatch;
+  (* per-instruction decode arrays (Insn dispatch, and block fusion) *)
   mutable hot_fid : int;
   mutable hot_arr : (Isa.Insn.t * int) option array;
   frames : (int, (Isa.Insn.t * int) option array) Hashtbl.t;
+  (* per-block superinstruction tables (Block dispatch), keyed by the
+     block's first-instruction offset within its frame *)
+  mutable hot_bfid : int;
+  mutable hot_blocks : block option array;
+  bframes : (int, block option array) Hashtbl.t;
   (* Observability counters, kept off the per-instruction hit path: the
      hit count is derivable as retired - misses - slow_decodes. *)
-  mutable misses : int; (* cacheable but not yet decoded into the cache *)
+  mutable misses : int; (* cacheable instructions decoded into the cache *)
   mutable slow_decodes : int; (* uncacheable: page edge or mutable frame *)
+  mutable block_fuses : int; (* blocks assembled *)
+  mutable block_hits : int; (* whole-block dispatches from the cache *)
+  mutable block_splits : int; (* dispatches that exited a block early *)
 }
 
-let create_icache () =
-  { hot_fid = -1; hot_arr = [||]; frames = Hashtbl.create 16;
-    misses = 0; slow_decodes = 0 }
+let create_icache ?(dispatch = Block) () =
+  { dispatch;
+    hot_fid = -1; hot_arr = [||]; frames = Hashtbl.create 16;
+    hot_bfid = -1; hot_blocks = [||]; bframes = Hashtbl.create 16;
+    misses = 0; slow_decodes = 0;
+    block_fuses = 0; block_hits = 0; block_splits = 0 }
 
 let icache_counts cache = (cache.misses, cache.slow_decodes)
+let block_counts cache =
+  (cache.block_fuses, cache.block_hits, cache.block_splits)
 
 let decode_at ?icache (cpu : Cpu.t) aspace rip =
   let slow () =
@@ -221,7 +272,7 @@ let decode_at ?icache (cpu : Cpu.t) aspace rip =
     end
     else begin
       let frame = As.reading_frame aspace rip in
-      if frame.Mem.Phys_mem.owner = As.generation aspace then begin
+      if not (As.frame_is_immutable aspace frame) then begin
         cache.slow_decodes <- cache.slow_decodes + 1;
         slow ()
       end
@@ -270,15 +321,356 @@ let step_inner ?icache (cpu : Cpu.t) aspace =
 
 let step cpu aspace = step_inner cpu aspace
 
-let run ?icache cpu aspace ~fuel =
+(* {1 Basic-block superinstruction dispatch} *)
+
+let ends_block (insn : Isa.Insn.t) =
+  match insn with
+  | Hlt | Syscall | Ret | Jmp _ | Jcc _ | Call _ -> true
+  | Nop | Mov _ | Lea _ | Ld _ | St _ | Sti _ | Bin _ | Un _ | Cmp _
+  | Test _ | Push _ | Pop _ | Setcc _ -> false
+
+let writes_memory (insn : Isa.Insn.t) =
+  match insn with
+  | St _ | Sti _ | Push _ | Call _ -> true
+  | Nop | Hlt | Syscall | Ret | Mov _ | Lea _ | Ld _ | Bin _ | Un _ | Cmp _
+  | Test _ | Jmp _ | Jcc _ | Pop _ | Setcc _ -> false
+
+(* Compile one decoded instruction into a superinstruction slot.  The
+   specialised arms cover the ALU/mov/compare shapes straight-line code is
+   made of; everything with a rare or faulting shape falls back to a
+   closure over the generic [exec].  Each arm re-derives exactly the
+   semantics of the corresponding [exec] arm — keep them in lockstep. *)
+let compile_op (insn : Isa.Insn.t) sz : op =
+  let open Isa.Insn in
+  let fallback () cpu aspace = exec cpu aspace insn sz in
+  match insn with
+  | Nop ->
+    fun (cpu : Cpu.t) _ ->
+      cpu.rip <- cpu.rip + sz;
+      cpu.retired <- cpu.retired + 1;
+      None
+  | Mov (r, Imm v) ->
+    let r = Isa.Reg.to_int r in
+    fun (cpu : Cpu.t) _ ->
+      Array.unsafe_set cpu.regs r v;
+      cpu.rip <- cpu.rip + sz;
+      cpu.retired <- cpu.retired + 1;
+      None
+  | Mov (r, Reg r2) ->
+    let r = Isa.Reg.to_int r and r2 = Isa.Reg.to_int r2 in
+    fun (cpu : Cpu.t) _ ->
+      Array.unsafe_set cpu.regs r (Array.unsafe_get cpu.regs r2);
+      cpu.rip <- cpu.rip + sz;
+      cpu.retired <- cpu.retired + 1;
+      None
+  | Bin (op, r, operand) -> (
+    let r = Isa.Reg.to_int r in
+    let alu f =
+      fun (cpu : Cpu.t) _ ->
+        let v = f cpu in
+        Array.unsafe_set cpu.regs r v;
+        cpu.flags.zf <- v = 0;
+        cpu.flags.sf <- v < 0;
+        cpu.rip <- cpu.rip + sz;
+        cpu.retired <- cpu.retired + 1;
+        None
+    in
+    match op, operand with
+    | Add, Imm v -> alu (fun cpu -> Array.unsafe_get cpu.regs r + v)
+    | Sub, Imm v -> alu (fun cpu -> Array.unsafe_get cpu.regs r - v)
+    | Imul, Imm v -> alu (fun cpu -> Array.unsafe_get cpu.regs r * v)
+    | And, Imm v -> alu (fun cpu -> Array.unsafe_get cpu.regs r land v)
+    | Or, Imm v -> alu (fun cpu -> Array.unsafe_get cpu.regs r lor v)
+    | Xor, Imm v -> alu (fun cpu -> Array.unsafe_get cpu.regs r lxor v)
+    | Add, Reg r2 ->
+      let r2 = Isa.Reg.to_int r2 in
+      alu (fun cpu -> Array.unsafe_get cpu.regs r + Array.unsafe_get cpu.regs r2)
+    | Sub, Reg r2 ->
+      let r2 = Isa.Reg.to_int r2 in
+      alu (fun cpu -> Array.unsafe_get cpu.regs r - Array.unsafe_get cpu.regs r2)
+    | Imul, Reg r2 ->
+      let r2 = Isa.Reg.to_int r2 in
+      alu (fun cpu -> Array.unsafe_get cpu.regs r * Array.unsafe_get cpu.regs r2)
+    | And, Reg r2 ->
+      let r2 = Isa.Reg.to_int r2 in
+      alu (fun cpu ->
+          Array.unsafe_get cpu.regs r land Array.unsafe_get cpu.regs r2)
+    | Or, Reg r2 ->
+      let r2 = Isa.Reg.to_int r2 in
+      alu (fun cpu ->
+          Array.unsafe_get cpu.regs r lor Array.unsafe_get cpu.regs r2)
+    | Xor, Reg r2 ->
+      let r2 = Isa.Reg.to_int r2 in
+      alu (fun cpu ->
+          Array.unsafe_get cpu.regs r lxor Array.unsafe_get cpu.regs r2)
+    | (Div | Rem | Shl | Shr | Sar), _ ->
+      (* faulting shapes: shared with the cold interpreter arm *)
+      fallback ())
+  | Un (op, r) ->
+    let r = Isa.Reg.to_int r in
+    let f =
+      match op with
+      | Inc -> fun a -> a + 1
+      | Dec -> fun a -> a - 1
+      | Neg -> fun a -> -a
+      | Not -> lnot
+    in
+    fun (cpu : Cpu.t) _ ->
+      let v = f (Array.unsafe_get cpu.regs r) in
+      Array.unsafe_set cpu.regs r v;
+      cpu.flags.zf <- v = 0;
+      cpu.flags.sf <- v < 0;
+      cpu.rip <- cpu.rip + sz;
+      cpu.retired <- cpu.retired + 1;
+      None
+  | Cmp (r, operand) ->
+    let r = Isa.Reg.to_int r in
+    let value =
+      match operand with
+      | Imm v -> fun (_ : Cpu.t) -> v
+      | Reg r2 ->
+        let r2 = Isa.Reg.to_int r2 in
+        fun (cpu : Cpu.t) -> Array.unsafe_get cpu.regs r2
+    in
+    fun (cpu : Cpu.t) _ ->
+      let a = Array.unsafe_get cpu.regs r in
+      let b = value cpu in
+      cpu.flags.zf <- a = b;
+      cpu.flags.sf <- a - b < 0;
+      cpu.flags.lt_s <- a < b;
+      cpu.flags.lt_u <- unsigned_lt a b;
+      cpu.rip <- cpu.rip + sz;
+      cpu.retired <- cpu.retired + 1;
+      None
+  | Test (r, operand) ->
+    let r = Isa.Reg.to_int r in
+    let value =
+      match operand with
+      | Imm v -> fun (_ : Cpu.t) -> v
+      | Reg r2 ->
+        let r2 = Isa.Reg.to_int r2 in
+        fun (cpu : Cpu.t) -> Array.unsafe_get cpu.regs r2
+    in
+    fun (cpu : Cpu.t) _ ->
+      let v = Array.unsafe_get cpu.regs r land value cpu in
+      cpu.flags.zf <- v = 0;
+      cpu.flags.sf <- v < 0;
+      cpu.flags.lt_s <- false;
+      cpu.flags.lt_u <- false;
+      cpu.rip <- cpu.rip + sz;
+      cpu.retired <- cpu.retired + 1;
+      None
+  | Ld (Q, r, { base = Some b; index = None; disp }) ->
+    let r = Isa.Reg.to_int r and b = Isa.Reg.to_int b in
+    fun (cpu : Cpu.t) aspace ->
+      Array.unsafe_set cpu.regs r
+        (As.read_u64 aspace (Array.unsafe_get cpu.regs b + disp));
+      cpu.rip <- cpu.rip + sz;
+      cpu.retired <- cpu.retired + 1;
+      None
+  | St (Q, { base = Some b; index = None; disp }, r) ->
+    let r = Isa.Reg.to_int r and b = Isa.Reg.to_int b in
+    fun (cpu : Cpu.t) aspace ->
+      As.write_u64 aspace
+        (Array.unsafe_get cpu.regs b + disp)
+        (Array.unsafe_get cpu.regs r);
+      cpu.rip <- cpu.rip + sz;
+      cpu.retired <- cpu.retired + 1;
+      None
+  | Jmp target ->
+    fun (cpu : Cpu.t) _ ->
+      cpu.rip <- target;
+      cpu.retired <- cpu.retired + 1;
+      None
+  | Jcc (c, target) ->
+    fun (cpu : Cpu.t) _ ->
+      cpu.rip <- (if Cpu.eval_cond cpu c then target else cpu.rip + sz);
+      cpu.retired <- cpu.retired + 1;
+      None
+  | Setcc (c, r) ->
+    let r = Isa.Reg.to_int r in
+    fun (cpu : Cpu.t) _ ->
+      Array.unsafe_set cpu.regs r (if Cpu.eval_cond cpu c then 1 else 0);
+      cpu.rip <- cpu.rip + sz;
+      cpu.retired <- cpu.retired + 1;
+      None
+  | Hlt | Syscall | Ret | Lea _ | Ld _ | St _ | Sti _ | Call _ | Push _
+  | Pop _ ->
+    fallback ()
+
+(* Decode forward from [start_offset] through straight-line code, entirely
+   within the immutable frame's bytes.  Stops at block terminators, the
+   page-edge guard (an instruction that may cross the edge must take the
+   slow path, exactly as in per-instruction mode), [max_block_insns], and
+   undecodable bytes (the block ends before them; reaching them re-raises
+   the fault through the slow path).  [None] iff not even the first
+   instruction was fusable. *)
+let fuse_block cache (frame : Mem.Phys_mem.frame) start_offset start_rip =
+  let bytes = frame.Mem.Phys_mem.bytes in
+  let insns = ref [] in
+  let count = ref 0 in
+  let offset = ref start_offset in
+  let rip = ref start_rip in
+  let fusing = ref true in
+  while !fusing do
+    if !offset > Mem.Page.size - max_insn_bytes || !count >= max_block_insns
+    then fusing := false
+    else begin
+      let off = !offset and pc = !rip in
+      match
+        Isa.Encode.decode
+          ~fetch:(fun addr -> Bytes.get_uint8 bytes (off + (addr - pc)))
+          pc
+      with
+      | exception Isa.Encode.Invalid_opcode _ -> fusing := false
+      | (insn, sz) as decoded ->
+        cache.misses <- cache.misses + 1;
+        insns := decoded :: !insns;
+        incr count;
+        offset := off + sz;
+        rip := pc + sz;
+        if ends_block insn then fusing := false
+    end
+  done;
+  match !insns with
+  | [] -> None
+  | l ->
+    let arr = Array.of_list (List.rev l) in
+    let writes = Array.map (fun (insn, _) -> writes_memory insn) arr in
+    Some
+      { b_fid = frame.Mem.Phys_mem.id;
+        b_ops = Array.map (fun (insn, sz) -> compile_op insn sz) arr;
+        b_writes = writes;
+        b_has_writes = Array.exists Fun.id writes }
+
+(* Execute up to [budget] instructions of [b] from its head (cpu.rip is the
+   head).  Returns the vmexit if one materialised; [None] means every
+   instruction retired and either the block is done or the budget ran out —
+   the caller recomputes consumed fuel from the retired delta, which keeps
+   block dispatch bit-identical to per-instruction fuel accounting.
+
+   The exception handler is hoisted out of the per-instruction loop: ops
+   (like [exec], whose contract they share) only move [cpu.rip] as the
+   last step of a retiring instruction, so when [As.Page_fault] or
+   [Exit_run] escapes, [cpu.rip] still addresses the faulting
+   instruction — exactly the rip per-instruction dispatch reports. *)
+let exec_block cache (cpu : Cpu.t) aspace (b : block) ~budget =
+  let n = Array.length b.b_ops in
+  let limit = if budget < n then budget else n in
+  let ops = b.b_ops in
+  match
+    if b.b_has_writes then begin
+      let rec go i =
+        if i >= limit then begin
+          if limit < n then cache.block_splits <- cache.block_splits + 1;
+          None
+        end
+        else
+          match (Array.unsafe_get ops i) cpu aspace with
+          | Some e -> Some e (* syscall/hlt terminator: always last *)
+          | None ->
+            if
+              i + 1 < limit
+              && Array.unsafe_get b.b_writes i
+              && (As.reading_frame aspace cpu.rip).Mem.Phys_mem.id <> b.b_fid
+            then begin
+              (* The store COW'd the block's own code page (self-modifying
+                 straight-line code): the fused tail decodes stale bytes, so
+                 split here and re-dispatch at the — now mutable — frame. *)
+              cache.block_splits <- cache.block_splits + 1;
+              None
+            end
+            else go (i + 1)
+      in
+      go 0
+    end
+    else begin
+      let rec go i =
+        if i >= limit then begin
+          if limit < n then cache.block_splits <- cache.block_splits + 1;
+          None
+        end
+        else
+          match (Array.unsafe_get ops i) cpu aspace with
+          | Some e -> Some e
+          | None -> go (i + 1)
+      in
+      go 0
+    end
+  with
+  | result -> result
+  | exception As.Page_fault { addr; access } ->
+    cache.block_splits <- cache.block_splits + 1;
+    let rip = cpu.rip in
+    Some (Fault (Page_fault { rip; addr; access }))
+  | exception Exit_run e ->
+    cache.block_splits <- cache.block_splits + 1;
+    Some e
+
+let run_block cache (cpu : Cpu.t) aspace ~fuel =
   let rec loop remaining =
     if remaining <= 0 then Out_of_fuel
-    else
-      match step_inner ?icache cpu aspace with
-      | None -> loop (remaining - 1)
-      | Some e -> e
+    else begin
+      let rip = cpu.rip in
+      let offset = Mem.Page.offset_of_addr rip in
+      if offset > Mem.Page.size - max_insn_bytes then slow_step remaining
+      else
+        match As.reading_frame aspace rip with
+        | exception As.Page_fault { addr; access } ->
+          Fault (Page_fault { rip; addr; access })
+        | frame ->
+          if not (As.frame_is_immutable aspace frame) then slow_step remaining
+          else begin
+            if cache.hot_bfid <> frame.Mem.Phys_mem.id then begin
+              let arr =
+                match Hashtbl.find_opt cache.bframes frame.Mem.Phys_mem.id with
+                | Some arr -> arr
+                | None ->
+                  let arr = Array.make Mem.Page.size None in
+                  Hashtbl.replace cache.bframes frame.Mem.Phys_mem.id arr;
+                  arr
+              in
+              cache.hot_bfid <- frame.Mem.Phys_mem.id;
+              cache.hot_blocks <- arr
+            end;
+            match Array.unsafe_get cache.hot_blocks offset with
+            | Some b ->
+              cache.block_hits <- cache.block_hits + 1;
+              dispatch b remaining
+            | None -> (
+              match fuse_block cache frame offset rip with
+              | None -> slow_step remaining
+              | Some b ->
+                cache.block_fuses <- cache.block_fuses + 1;
+                cache.hot_blocks.(offset) <- Some b;
+                dispatch b remaining)
+          end
+    end
+  and dispatch b remaining =
+    let before = cpu.retired in
+    match exec_block cache cpu aspace b ~budget:remaining with
+    | Some e -> e
+    | None -> loop (remaining - (cpu.retired - before))
+  and slow_step remaining =
+    cache.slow_decodes <- cache.slow_decodes + 1;
+    match step_inner cpu aspace with
+    | None -> loop (remaining - 1)
+    | Some e -> e
   in
   loop fuel
+
+let run ?icache cpu aspace ~fuel =
+  match icache with
+  | Some ({ dispatch = Block; _ } as cache) -> run_block cache cpu aspace ~fuel
+  | None | Some { dispatch = Insn; _ } ->
+    let rec loop remaining =
+      if remaining <= 0 then Out_of_fuel
+      else
+        match step_inner ?icache cpu aspace with
+        | None -> loop (remaining - 1)
+        | Some e -> e
+    in
+    loop fuel
 
 let pp_fault fmt = function
   | Page_fault { rip; addr; access } ->

@@ -21,17 +21,38 @@ type vmexit =
 
 type icache
 (** Decoded-instruction cache, one per machine: per-frame decode arrays
-    keyed by frame id.  Sound with no invalidation because entries are only
-    created for frames that are owned by a retired generation — such frames
-    can never change in place (writes COW them into fresh frames). *)
+    keyed by frame id, plus (under {!Block} dispatch) per-frame
+    basic-block superinstruction tables.  Sound with no invalidation
+    because entries are only created for frames that are owned by a
+    retired generation — such frames can never change in place (writes
+    COW them into fresh frames with fresh ids).  The one hazard the
+    per-block grain adds — a store COWing the block's own code page
+    mid-block — is caught by re-verifying the fetch mapping after every
+    fused store and splitting the block there. *)
 
-val create_icache : unit -> icache
+type dispatch =
+  | Insn   (** per-instruction decode-cache dispatch (the PR-9 behaviour) *)
+  | Block
+      (** basic-block superinstruction dispatch: straight-line runs are
+          fused on first execution and dispatched whole, resolving the
+          fetch frame once per block instead of once per instruction.
+          Bit-identical to [Insn] in semantics, fuel accounting and
+          vmexit placement. *)
+
+val create_icache : ?dispatch:dispatch -> unit -> icache
+(** [dispatch] defaults to {!Block}. *)
 
 val icache_counts : icache -> int * int
 (** [(misses, slow_decodes)]: cache fills of cacheable instructions, and
     decodes that bypassed the cache (page-edge or current-generation
     frame).  Cache hits are not counted on the hot path; derive them as
     [retired - misses - slow_decodes]. *)
+
+val block_counts : icache -> int * int * int
+(** [(fuses, hits, splits)]: blocks assembled, whole-block dispatches
+    served from the cache, and dispatches that exited a block before its
+    last instruction (fault, fuel boundary, or self-modified code).  All
+    zero under {!Insn} dispatch. *)
 
 val run : ?icache:icache -> Cpu.t -> Mem.Addr_space.t -> fuel:int -> vmexit
 (** Execute at most [fuel] instructions.  The CPU state is mutated in place;

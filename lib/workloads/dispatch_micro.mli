@@ -1,0 +1,23 @@
+(** Guest microbenchmarks for the E9 interpreter-dispatch ablation:
+    pure-ALU straight-line churn (the work-heavy ≥2× gate row) and the
+    data/code-page-separation cliff pair. *)
+
+val default_unroll : int
+
+val work_heavy : ?unroll:int -> iters:int -> unit -> Isa.Asm.image
+(** [Locality]'s pseudo-random ALU work loop unrolled [unroll]-fold
+    (default {!default_unroll}): the hot path is one long basic block, so
+    per-block dispatch amortises the fetch-frame walk over [3*unroll + 2]
+    instructions. *)
+
+val work_heavy_insns : ?unroll:int -> iters:int -> unit -> int
+(** Instructions {!work_heavy} retires to completion. *)
+
+val cliff : separate_data:bool -> iters:int -> Isa.Asm.image
+(** Read-modify-write loop over one counter cell.  [separate_data] puts
+    the cell behind [align 4096] (the CLAUDE.md discipline); without it
+    the cell shares the code page, whose first store makes the page
+    permanently uncacheable — no decode memoisation, no fused blocks. *)
+
+val cliff_insns : iters:int -> int
+(** Instructions {!cliff} retires to completion (either layout). *)

@@ -234,28 +234,45 @@ let retired_counts () =
   let cpu, _ = run_to_halt [ label "main"; nop; nop; nop; hlt ] in
   check Alcotest.int "retired" 4 cpu.Cpu.retired
 
-(* Decode-cache soundness: the same guest, icache on and off, must retire
-   the same instruction count into the same terminal state.  The address
-   space is sealed after load (as the libOS does) so cached runs actually
-   cache from the first fetch. *)
-let run_both items =
-  let exec with_icache =
-    let cpu, aspace = load items in
-    As.seal aspace;
-    let icache = if with_icache then Some (Interp.create_icache ()) else None in
-    let e = Interp.run ?icache cpu aspace ~fuel:1_000_000 in
-    e, cpu
-  in
-  let (e_on, cpu_on) = exec true and (e_off, cpu_off) = exec false in
-  check exit_testable "same vmexit" e_off e_on;
-  check Alcotest.int "same retired count" cpu_off.Cpu.retired cpu_on.Cpu.retired;
-  check Alcotest.int "same rip" cpu_off.Cpu.rip cpu_on.Cpu.rip;
+(* Decode-cache soundness: the same guest under all three dispatch modes
+   (no cache, per-instruction cache, basic-block superinstructions) must
+   retire the same instruction count into the same terminal state.  The
+   address space is sealed after load (as the libOS does) so cached runs
+   actually cache from the first fetch. *)
+let icache_of_mode = function
+  | `Off -> None
+  | `Insn -> Some (Interp.create_icache ~dispatch:Interp.Insn ())
+  | `Block -> Some (Interp.create_icache ~dispatch:Interp.Block ())
+
+let mode_name = function `Off -> "off" | `Insn -> "insn" | `Block -> "block"
+
+let run_mode ?(fuel = 1_000_000) items mode =
+  let cpu, aspace = load items in
+  As.seal aspace;
+  let icache = icache_of_mode mode in
+  let e = Interp.run ?icache cpu aspace ~fuel in
+  e, cpu, aspace
+
+let compare_cpus name (cpu_ref : Cpu.t) (cpu : Cpu.t) =
+  check Alcotest.int (name ^ ": same retired count") cpu_ref.Cpu.retired
+    cpu.Cpu.retired;
+  check Alcotest.int (name ^ ": same rip") cpu_ref.Cpu.rip cpu.Cpu.rip;
   List.iter
     (fun reg ->
       check Alcotest.int
-        (Printf.sprintf "same %s" (R.name reg))
-        (Cpu.get cpu_off reg) (Cpu.get cpu_on reg))
+        (Printf.sprintf "%s: same %s" name (R.name reg))
+        (Cpu.get cpu_ref reg) (Cpu.get cpu reg))
     R.all
+
+let run_both ?fuel items =
+  let (e_off, cpu_off, _) = run_mode ?fuel items `Off in
+  List.iter
+    (fun mode ->
+      let e, cpu, _ = run_mode ?fuel items mode in
+      let name = mode_name mode in
+      check exit_testable (name ^ ": same vmexit") e_off e;
+      compare_cpus name cpu_off cpu)
+    [ `Insn; `Block ]
 
 let icache_sound_adjacent_data () =
   (* writable data on the page right after the code page: the E9 layout
@@ -297,6 +314,162 @@ let icache_sound_same_page_data () =
       label "cell";
       zeros 8 ]
 
+(* {2 Basic-block superinstruction dispatch} *)
+
+let block_branch_into_middle () =
+  (* The fall-through pass fuses one block from "head" through the
+     backward branch; the branch then re-enters at "mid", the middle of
+     that cached block, which must dispatch as its own block — not replay
+     the head's fused prefix. *)
+  run_both
+    [ label "main";
+      mov R.rax (i 0);
+      mov R.rcx (i 3);
+      label "head";
+      add R.rax (i 1);
+      add R.rax (i 10);
+      label "mid";
+      add R.rax (i 100);
+      dec R.rcx;
+      jg "mid";
+      hlt ]
+
+let block_across_page_edge () =
+  (* A straight-line run long enough to cross the page-edge guard band
+     and continue onto the next code page: fusion must stop at the band,
+     the band itself single-steps, and a fresh block starts on the next
+     page — retiring exactly the same state as per-instruction mode. *)
+  run_both
+    ([ label "main"; mov R.rax (i 0) ]
+    @ List.concat (List.init 700 (fun k -> [ add R.rax (i (k land 7)) ]))
+    @ [ hlt ])
+
+let block_fault_mid_block () =
+  (* Instruction k of a fused straight-line block faults: rip must
+     address the faulting store, the prefix must have retired, and after
+     mapping the page every mode resumes to the same halt state. *)
+  let items =
+    [ label "main";
+      mov R.r8 (i 0);
+      mov R.rax (i 1);
+      add R.rax (i 2);
+      st (R.r8 @+ 0) R.rax;  (* store to unmapped vpn 0: faults *)
+      add R.rax (i 100);
+      hlt ]
+  in
+  List.iter
+    (fun mode ->
+      let (e_off, cpu_off, as_off) = run_mode items `Off in
+      (match e_off with
+      | Interp.Fault (Interp.Page_fault { addr = 0; _ }) -> ()
+      | other ->
+        Alcotest.failf "expected page fault, got %a" Interp.pp_vmexit other);
+      let e, cpu, aspace = run_mode items mode in
+      let name = mode_name mode in
+      check exit_testable (name ^ ": same fault") e_off e;
+      compare_cpus (name ^ " at fault") cpu_off cpu;
+      (* resumable: map the page and both executions converge on halt *)
+      As.map_zero aspace ~vpn:0;
+      As.map_zero as_off ~vpn:0;
+      let resume c a = Interp.run c a ~fuel:1_000 in
+      check exit_testable "off: resumes to halt" Interp.Halt
+        (resume cpu_off as_off);
+      check exit_testable (name ^ ": resumes to halt") Interp.Halt
+        (resume cpu aspace);
+      compare_cpus (name ^ " after resume") cpu_off cpu)
+    [ `Insn; `Block ]
+
+let block_fuel_exhaustion_mid_block () =
+  (* Out-of-fuel inside a fused block: exactly [fuel] instructions retire
+     (never the whole block), and the run is resumable to the same end
+     state — the no-overshoot property replay depends on. *)
+  let items =
+    [ label "main"; mov R.rax (i 0) ]
+    @ List.concat (List.init 40 (fun _ -> [ add R.rax (i 1) ]))
+    @ [ hlt ]
+  in
+  List.iter
+    (fun fuel ->
+      let (e_off, cpu_off, _) = run_mode ~fuel items `Off in
+      check exit_testable "off runs out of fuel" Interp.Out_of_fuel e_off;
+      check Alcotest.int "off retires exactly fuel" fuel cpu_off.Cpu.retired;
+      let e, cpu, aspace = run_mode ~fuel items `Block in
+      check exit_testable "block runs out of fuel" Interp.Out_of_fuel e;
+      compare_cpus (Printf.sprintf "block at fuel %d" fuel) cpu_off cpu;
+      check exit_testable "block resumes to halt" Interp.Halt
+        (Interp.run cpu aspace ~fuel:1_000))
+    [ 3; 7; 17 ]
+
+let block_self_modifying_code () =
+  (* A fused store overwrites a later instruction of its own block: the
+     store COWs the sealed code frame, so block dispatch must split at
+     the store and re-fetch from the fresh frame instead of replaying the
+     stale fused tail.  All modes must agree on whatever the patched
+     bytes decode to. *)
+  run_both
+    [ label "main";
+      movl R.r8 "target";
+      mov R.rax (i 5);
+      sti (R.r8 @+ 0) 0;
+      label "target";
+      add R.rax (i 1);  (* overwritten before it executes *)
+      hlt ]
+
+let block_invalidation_on_generation_retire () =
+  (* Rewrite the whole code page between runs (COW into a fresh frame,
+     then seal so the new frame retires and becomes cacheable): the same
+     icache must serve the new code, because block tables are keyed by
+     frame id and a retired frame is never written in place. *)
+  let prog n = assemble ~entry:"main" [ label "main"; mov R.rax (i n); hlt ] in
+  let image1 = prog 1 in
+  let aspace = As.create (Mem.Phys_mem.create ()) in
+  let vpn = Mem.Page.vpn_of_addr image1.origin in
+  As.map_data aspace ~vpn image1.code;
+  As.seal aspace;
+  let cache = Interp.create_icache () in
+  let run () =
+    let cpu = Cpu.create ~entry:image1.entry in
+    check exit_testable "halts" Interp.Halt
+      (Interp.run ~icache:cache cpu aspace ~fuel:100);
+    Cpu.get cpu R.rax
+  in
+  check Alcotest.int "first program" 1 (run ());
+  check Alcotest.int "cached rerun" 1 (run ());
+  As.write_bytes aspace ~addr:image1.origin (prog 2).code;
+  As.seal aspace;
+  check Alcotest.int "rewritten program" 2 (run ());
+  let fuses, hits, _ = Interp.block_counts cache in
+  check Alcotest.bool "fused both frames" true (fuses >= 2);
+  check Alcotest.bool "served the stable frame from cache" true (hits >= 1)
+
+let shared_page_never_cached () =
+  (* Explicitly-shared pages are written in place on every path — same
+     frame, same id — so neither the decode cache nor the block cache may
+     key on them.  Rewriting the shared code page in place must take
+     effect immediately under every dispatch mode and a warm cache. *)
+  let prog n = assemble ~entry:"main" [ label "main"; mov R.rax (i n); hlt ] in
+  let image1 = prog 1 in
+  List.iter
+    (fun mode ->
+      let aspace = As.create (Mem.Phys_mem.create ()) in
+      let vpn = Mem.Page.vpn_of_addr image1.origin in
+      As.map_shared aspace ~vpn;
+      As.write_bytes aspace ~addr:image1.origin image1.code;
+      As.seal aspace;
+      let icache = icache_of_mode mode in
+      let run () =
+        let cpu = Cpu.create ~entry:image1.entry in
+        check exit_testable (mode_name mode ^ ": halts") Interp.Halt
+          (Interp.run ?icache cpu aspace ~fuel:100);
+        Cpu.get cpu R.rax
+      in
+      check Alcotest.int (mode_name mode ^ ": first program") 1 (run ());
+      As.write_bytes aspace ~addr:image1.origin (prog 2).code;
+      check Alcotest.int
+        (mode_name mode ^ ": in-place rewrite visible")
+        2 (run ()))
+    [ `Off; `Insn; `Block ]
+
 let tests =
   [ Alcotest.test_case "arithmetic" `Quick arithmetic;
     Alcotest.test_case "fibonacci loop" `Quick fibonacci;
@@ -314,4 +487,18 @@ let tests =
     Alcotest.test_case "icache sound: adjacent data page" `Quick
       icache_sound_adjacent_data;
     Alcotest.test_case "icache sound: data on the code page" `Quick
-      icache_sound_same_page_data ]
+      icache_sound_same_page_data;
+    Alcotest.test_case "block: branch into the middle of a cached block"
+      `Quick block_branch_into_middle;
+    Alcotest.test_case "block: straight line across the page edge" `Quick
+      block_across_page_edge;
+    Alcotest.test_case "block: fault at instruction k of a fused block"
+      `Quick block_fault_mid_block;
+    Alcotest.test_case "block: fuel exhaustion mid-block" `Quick
+      block_fuel_exhaustion_mid_block;
+    Alcotest.test_case "block: self-modifying store splits the block" `Quick
+      block_self_modifying_code;
+    Alcotest.test_case "block: generation retire invalidates by frame id"
+      `Quick block_invalidation_on_generation_retire;
+    Alcotest.test_case "shared page is never decode- or block-cached" `Quick
+      shared_page_never_cached ]
